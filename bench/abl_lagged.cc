@@ -1,0 +1,62 @@
+// Ablation of the paper's immediacy requirement: SPSD decides at arrival,
+// while related work ([4]) allows a decision lag. How much smaller would
+// the diversified stream be if we waited? This bench runs the lagged
+// greedy (LaggedDiversifier) at increasing lags on the standard workload.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/util/timer.h"
+
+namespace firehose {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBenchHeader(
+      "abl_lagged", "immediacy ablation (related work [4])",
+      "Output size and ingest cost of lag-tolerant diversification vs the "
+      "paper's immediate decisions (lag 0). The coverage guarantee is "
+      "identical; only delivery latency is traded.");
+
+  WorkloadOptions options = WorkloadOptions::FromEnv();
+  options.num_authors = options.num_authors / 4;  // lag scan is O(pending²)
+  const Workload w = BuildWorkload(options);
+  const DiversityThresholds t = PaperThresholds();
+
+  Table table({"lag", "posts out", "vs lag 0", "comparisons", "time ms"});
+  uint64_t baseline_out = 0;
+  for (int64_t lag_s : {0LL, 30LL, 120LL, 600LL, 1800LL}) {
+    LaggedDiversifier diversifier(t, lag_s * 1000, &w.graph);
+    std::vector<Post> emitted;
+    WallTimer timer;
+    for (const Post& post : w.stream) diversifier.Offer(post, &emitted);
+    diversifier.Finish(&emitted);
+    const double ms = timer.ElapsedMillis();
+    if (lag_s == 0) baseline_out = emitted.size();
+    table.AddRow(
+        {lag_s == 0 ? "0 (paper)" : Table::Fmt(lag_s, 0) + "s",
+         Table::Fmt(static_cast<uint64_t>(emitted.size())),
+         Table::Fmt(100.0 * (static_cast<double>(emitted.size()) /
+                                 static_cast<double>(baseline_out) -
+                             1.0),
+                    2) +
+             "%",
+         Table::Fmt(diversifier.stats().comparisons), Table::Fmt(ms, 1)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "the lagged variant prunes slightly more by picking better "
+      "representatives, at quadratic pending-buffer cost and up to `lag` "
+      "delivery delay — supporting the paper's choice of immediate "
+      "decisions for timelines.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace firehose
+
+int main() {
+  firehose::bench::Run();
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Ablation: MinHash/Jaccard vs SimHash/Hamming as the hash-based content
+// distance for microblog near-duplicates. §3 picks SimHash; this bench
+// asks whether the other classic sketch would have done as well, on the
+// same labeled pairs, and at what comparison cost.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/util/timer.h"
+
+namespace firehose {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBenchHeader(
+      "abl_minhash", "§3 design choice",
+      "Precision/recall crossover and per-comparison cost of SimHash "
+      "(64-bit, Hamming) vs MinHash (k in {16, 64}, Jaccard estimate) on "
+      "the labeled near-duplicate pairs.");
+
+  LabeledPairOptions pair_options;
+  pair_options.pairs_per_distance = 100;
+  const auto pairs = GenerateLabeledPairs(pair_options);
+  std::printf("labeled pairs: %zu\n\n", pairs.size());
+
+  Table table({"measure", "crossover", "precision", "recall",
+               "ns/comparison", "bytes/post"});
+
+  // SimHash row (reuses the stored normalized distances).
+  {
+    const auto sweep = SweepHamming(pairs, ContentMeasure::kHammingNorm, 1, 30);
+    const PrPoint crossover = CrossoverPoint(sweep);
+    // Comparison cost: popcount on 8-byte fingerprints.
+    Rng rng(1);
+    std::vector<uint64_t> prints(4096);
+    for (auto& p : prints) p = rng.Next();
+    WallTimer timer;
+    uint64_t acc = 0;
+    const int reps = 2000000;
+    for (int i = 0; i < reps; ++i) {
+      acc += static_cast<uint64_t>(
+          SimHashDistance(prints[i & 4095], prints[(i * 7 + 3) & 4095]));
+    }
+    const double ns = timer.ElapsedMillis() * 1e6 / reps;
+    if (acc == 42) std::printf(" ");  // defeat optimizer
+    table.AddRow({"SimHash d<=h", "h=" + Table::Fmt(crossover.threshold, 0),
+                  Table::Fmt(crossover.precision, 3),
+                  Table::Fmt(crossover.recall, 3), Table::Fmt(ns, 1), "8"});
+  }
+
+  for (int k : {16, 64}) {
+    const MinHasher hasher(k);
+    // Jaccard estimates per pair; sweep the similarity threshold.
+    std::vector<double> estimates(pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      estimates[i] = EstimateJaccard(hasher.Sign(pairs[i].text_a),
+                                     hasher.Sign(pairs[i].text_b));
+    }
+    PrPoint best;
+    double best_gap = 2.0;
+    for (int step = 0; step <= 20; ++step) {
+      const double threshold = step / 20.0;
+      PrPoint point;
+      point.threshold = threshold;
+      uint64_t actual = 0;
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        const bool predicted = estimates[i] >= threshold;
+        if (pairs[i].redundant) ++actual;
+        if (predicted) {
+          ++point.predicted_positive;
+          if (pairs[i].redundant) ++point.true_positive;
+        }
+      }
+      point.precision =
+          point.predicted_positive == 0
+              ? 1.0
+              : static_cast<double>(point.true_positive) /
+                    static_cast<double>(point.predicted_positive);
+      point.recall = actual == 0 ? 0.0
+                                 : static_cast<double>(point.true_positive) /
+                                       static_cast<double>(actual);
+      const double gap = std::abs(point.precision - point.recall);
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = point;
+      }
+    }
+    // Comparison cost: k equality checks.
+    std::vector<MinHashSignature> signatures;
+    for (size_t i = 0; i < 512; ++i) {
+      signatures.push_back(hasher.Sign(pairs[i % pairs.size()].text_a));
+    }
+    WallTimer timer;
+    double acc = 0.0;
+    const int reps = 400000;
+    for (int i = 0; i < reps; ++i) {
+      acc += EstimateJaccard(signatures[i & 511], signatures[(i * 7 + 3) & 511]);
+    }
+    const double ns = timer.ElapsedMillis() * 1e6 / reps;
+    if (acc < -1) std::printf(" ");
+    table.AddRow({"MinHash k=" + Table::Fmt(k) + " J>=t",
+                  "t=" + Table::Fmt(best.threshold, 2),
+                  Table::Fmt(best.precision, 3), Table::Fmt(best.recall, 3),
+                  Table::Fmt(ns, 1), Table::Fmt(k * 8)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "takeaway: MinHash matches (k=16) or slightly exceeds (k=64) "
+      "SimHash's quality, but at 16-64x the bytes per binned post and "
+      "several times the per-comparison cost — for bins holding r*n "
+      "posts per window, SimHash's single 64-bit fingerprint is the "
+      "right trade.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace firehose
+
+int main() {
+  firehose::bench::Run();
+  return 0;
+}

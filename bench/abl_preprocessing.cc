@@ -1,0 +1,114 @@
+// Ablation of §3's text preprocessing study: beyond normalization, the
+// paper tried (a) expanding shortened URLs, (b) re-weighting mentions and
+// hashtags via artificial copies, and (c) expanding abbreviations, and
+// found "no significant impact to the precision and recall". This bench
+// reruns the precision/recall sweep under each variant.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace firehose {
+namespace bench {
+namespace {
+
+struct Variant {
+  const char* name;
+  SimHashOptions options;
+  bool expand_urls = false;
+  bool expand_abbreviations = false;
+};
+
+void Run() {
+  PrintBenchHeader(
+      "abl_preprocessing", "§3 preprocessing study",
+      "Precision/recall at the crossover for each preprocessing variant "
+      "(paper: normalization helps; URL expansion, mention/hashtag "
+      "weighting and abbreviation expansion have no significant impact).");
+
+  // Build the labeled pairs once; recompute hamming per variant.
+  LabeledPairOptions pair_options;
+  pair_options.pairs_per_distance = 100;
+  const auto pairs = GenerateLabeledPairs(pair_options);
+  std::printf("labeled pairs: %zu\n\n", pairs.size());
+
+  std::vector<Variant> variants;
+  {
+    Variant raw{"raw text", {}, false, false};
+    raw.options.normalize = false;
+    variants.push_back(raw);
+  }
+  variants.push_back(Variant{"normalized (paper default)", {}, false, false});
+  variants.push_back(Variant{"normalized + expanded urls", {}, true, false});
+  {
+    Variant weighted{"normalized + hashtag/mention x3", {}, false, false};
+    weighted.options.hashtag_weight = 3;
+    weighted.options.mention_weight = 3;
+    variants.push_back(weighted);
+  }
+  {
+    Variant no_url{"normalized + urls dropped", {}, false, false};
+    no_url.options.url_weight = 0;
+    variants.push_back(no_url);
+  }
+  variants.push_back(
+      Variant{"normalized + abbreviations expanded", {}, false, true});
+
+  // A shared shortener able to expand the generator's URLs: regenerate
+  // the pair corpus' URLs is not possible post hoc, so URL expansion here
+  // replaces every t.co token with a canonical stand-in — equivalent to
+  // expansion because duplicate posts then agree on the token again.
+  Table table({"variant", "crossover h", "precision", "recall"});
+  for (const Variant& variant : variants) {
+    const SimHasher hasher(variant.options);
+    std::vector<LabeledPair> scored = pairs;
+    for (LabeledPair& pair : scored) {
+      std::string a = pair.text_a;
+      std::string b = pair.text_b;
+      if (variant.expand_urls) {
+        // Canonicalize every URL token (stand-in for expansion).
+        auto canonicalize = [](const std::string& text) {
+          std::string out;
+          size_t start = 0;
+          while (start < text.size()) {
+            size_t end = text.find(' ', start);
+            if (end == std::string::npos) end = text.size();
+            const std::string token = text.substr(start, end - start);
+            if (!out.empty()) out += ' ';
+            out += IsUrl(token) ? "https://expanded.example/url" : token;
+            start = end + 1;
+          }
+          return out;
+        };
+        a = canonicalize(a);
+        b = canonicalize(b);
+      }
+      if (variant.expand_abbreviations) {
+        a = ExpandAbbreviations(a);
+        b = ExpandAbbreviations(b);
+      }
+      pair.hamming_norm =
+          SimHashDistance(hasher.Fingerprint(a), hasher.Fingerprint(b));
+    }
+    const auto sweep =
+        SweepHamming(scored, ContentMeasure::kHammingNorm, 1, 30);
+    const PrPoint crossover = CrossoverPoint(sweep);
+    table.AddRow({variant.name, Table::Fmt(crossover.threshold, 0),
+                  Table::Fmt(crossover.precision, 3),
+                  Table::Fmt(crossover.recall, 3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "expected: the raw-text row is clearly worse; all normalized rows "
+      "sit within noise of each other (the paper's 'no significant "
+      "impact').\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace firehose
+
+int main() {
+  firehose::bench::Run();
+  return 0;
+}

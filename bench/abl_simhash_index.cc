@@ -1,0 +1,99 @@
+// Ablation: why the paper rejects the Manku permuted-table SimHash index
+// at λc = 18 (§3). For growing max distance k we report the table count
+// C(B, k), per-table prefix selectivity, index memory, and query cost vs
+// a plain linear scan.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/util/timer.h"
+
+namespace firehose {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBenchHeader(
+      "abl_simhash_index", "§3 design choice",
+      "Manku permuted-table index vs linear scan as lambda_c grows. The "
+      "index wins at the WWW'07 regime (k=3) and collapses long before "
+      "the paper's k=18: table count explodes while the exact-match "
+      "prefix shrinks to a few bits.");
+
+  TextGenerator text_gen(1);
+  const SimHasher hasher;
+  const int corpus = 20000;
+  std::vector<uint64_t> prints;
+  for (int i = 0; i < corpus; ++i) {
+    prints.push_back(hasher.Fingerprint(text_gen.MakePost()));
+  }
+  const int queries = 2000;
+
+  Table feasibility({"k", "blocks B", "tables C(B,k)", "prefix bits"});
+  for (int k : {2, 3, 4, 6, 8, 12, 18}) {
+    const int blocks = k + 2;
+    const int64_t tables = PermutedSimHashIndex::TableCountFor(blocks, k);
+    const int prefix = 64 * (blocks - k) / blocks;
+    feasibility.AddRow({Table::Fmt(k), Table::Fmt(blocks),
+                        tables < 0 ? "overflow" : Table::Fmt(tables),
+                        Table::Fmt(prefix)});
+  }
+  std::printf("%s\n", feasibility.ToString().c_str());
+
+  Table table({"k", "tables", "index MiB", "index query ms (total)",
+               "candidates/query", "linear scan ms (total)"});
+  for (int k : {2, 3, 4, 6, 8}) {
+    const int blocks = k + 2;
+    PermutedSimHashIndex index(blocks, k, /*max_tables=*/4096);
+    if (!index.valid()) {
+      table.AddRow({Table::Fmt(k), "infeasible", "-", "-", "-", "-"});
+      continue;
+    }
+    for (size_t i = 0; i < prints.size(); ++i) {
+      index.Insert(prints[i], i);
+    }
+    index.Build();
+
+    WallTimer timer;
+    size_t hits = 0;
+    for (int q = 0; q < queries; ++q) {
+      hits += index.Query(prints[static_cast<size_t>(q) * 7 % prints.size()])
+                  .size();
+    }
+    const double index_ms = timer.ElapsedMillis();
+
+    timer.Restart();
+    size_t linear_hits = 0;
+    for (int q = 0; q < queries; ++q) {
+      const uint64_t query = prints[static_cast<size_t>(q) * 7 % prints.size()];
+      for (uint64_t p : prints) {
+        if (HammingDistance64(p, query) <= k) ++linear_hits;
+      }
+    }
+    const double linear_ms = timer.ElapsedMillis();
+    if (hits > linear_hits) std::printf("(hit mismatch!)\n");
+
+    table.AddRow(
+        {Table::Fmt(k), Table::Fmt(index.NumTables()), Mib(index.ApproxBytes()),
+         Table::Fmt(index_ms, 1),
+         Table::Fmt(static_cast<double>(index.total_candidates_examined()) /
+                        index.total_queries(),
+                    1),
+         Table::Fmt(linear_ms, 1)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "at k=18 the index would need C(20,18)=190 tables of 6-bit prefixes "
+      "— every query scans ~190 * corpus/64 candidates, worse than one "
+      "linear scan. Hence the paper's bin algorithms prune by time and "
+      "author instead.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace firehose
+
+int main() {
+  firehose::bench::Run();
+  return 0;
+}

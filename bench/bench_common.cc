@@ -1,0 +1,104 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/timer.h"
+
+namespace firehose {
+namespace bench {
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::atof(value);
+}
+
+}  // namespace
+
+WorkloadOptions WorkloadOptions::FromEnv() {
+  WorkloadOptions options;
+  options.num_authors = static_cast<uint32_t>(
+      EnvDouble("FIREHOSE_BENCH_AUTHORS", options.num_authors));
+  options.posts_per_author = EnvDouble("FIREHOSE_BENCH_POSTS_PER_AUTHOR",
+                                       options.posts_per_author);
+  options.seed = static_cast<uint64_t>(
+      EnvDouble("FIREHOSE_BENCH_SEED", static_cast<double>(options.seed)));
+  return options;
+}
+
+AuthorGraph Workload::GraphAt(double lambda_a) const {
+  return AuthorGraph::FromSimilarities(authors, similarities, lambda_a);
+}
+
+Workload BuildWorkload(const WorkloadOptions& options) {
+  WallTimer timer;
+  Workload w;
+  w.options = options;
+
+  SocialGraphOptions graph_options;
+  graph_options.num_authors = options.num_authors;
+  graph_options.num_communities = options.num_communities;
+  graph_options.avg_followees = options.avg_followees;
+  graph_options.popularity_exponent = 0.8;  // soften global hubs
+  graph_options.seed = options.seed;
+  w.social = GenerateSocialGraph(graph_options);
+
+  for (AuthorId a = 0; a < w.social.num_authors(); ++a) {
+    w.authors.push_back(a);
+  }
+  // Hub cap bounds the quadratic inverted-index blowup; see
+  // AllPairsSimilarity's doc comment.
+  w.similarities = AllPairsSimilarity(w.social, w.authors, 0.05,
+                                      /*max_follower_list_size=*/1500);
+  w.graph = AuthorGraph::FromSimilarities(w.authors, w.similarities,
+                                          options.lambda_a);
+  w.cover = CliqueCover::Greedy(w.graph);
+
+  StreamGenOptions stream_options;
+  stream_options.posts_per_author = options.posts_per_author;
+  stream_options.cross_author_dup_prob = options.cross_author_dup_prob;
+  stream_options.seed = options.seed ^ 0x9999;
+  const SimHasher hasher;
+  w.stream = GenerateStream(w.graph, hasher, stream_options);
+
+  std::printf(
+      "workload: %u authors, %llu similarity edges (lambda_a=%.2f), "
+      "%zu cliques, %zu posts/day  [built in %.1fs]\n",
+      options.num_authors,
+      static_cast<unsigned long long>(w.graph.num_edges()), options.lambda_a,
+      w.cover.num_cliques(), w.stream.size(), timer.ElapsedSeconds());
+  return w;
+}
+
+DiversityThresholds PaperThresholds() {
+  DiversityThresholds t;
+  t.lambda_c = 18;
+  t.lambda_t_ms = 30 * 60 * 1000;
+  t.lambda_a = 0.7;
+  return t;
+}
+
+RunResult RunOnce(Algorithm algorithm, const DiversityThresholds& t,
+                  const AuthorGraph& graph, const CliqueCover* cover,
+                  const PostStream& stream) {
+  auto diversifier = MakeDiversifier(algorithm, t, &graph, cover);
+  return RunDiversifier(*diversifier, stream);
+}
+
+std::string Mib(size_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f",
+                static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return buf;
+}
+
+void PrintBenchHeader(const std::string& id, const std::string& paper_ref,
+                      const std::string& description) {
+  std::printf("=== %s — %s ===\n%s\n\n", id.c_str(), paper_ref.c_str(),
+              description.c_str());
+}
+
+}  // namespace bench
+}  // namespace firehose

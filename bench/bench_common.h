@@ -1,0 +1,67 @@
+#ifndef FIREHOSE_BENCH_BENCH_COMMON_H_
+#define FIREHOSE_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/firehose.h"
+
+namespace firehose {
+namespace bench {
+
+/// Knobs of the standard §6 workload. Defaults reproduce the paper's
+/// setup at roughly 1/5 author scale so the whole bench suite completes
+/// in minutes on one core; set FIREHOSE_BENCH_AUTHORS (and optionally
+/// FIREHOSE_BENCH_POSTS_PER_AUTHOR) to raise it toward the paper's
+/// 20,150 authors / 213k posts.
+struct WorkloadOptions {
+  uint32_t num_authors = 4000;
+  uint32_t num_communities = 50;
+  double avg_followees = 40.0;
+  double posts_per_author = 10.0;   // paper: ~10.6/day
+  double lambda_a = 0.7;
+  double cross_author_dup_prob = 0.12;
+  uint64_t seed = 2016;
+
+  /// Reads FIREHOSE_BENCH_* environment overrides.
+  static WorkloadOptions FromEnv();
+};
+
+/// The fully-built §6.1 workload: follow graph, pairwise similarities,
+/// λa-thresholded author graph, greedy clique cover, and a one-day stream.
+struct Workload {
+  WorkloadOptions options;
+  FollowGraph social;
+  std::vector<AuthorId> authors;
+  std::vector<AuthorPairSimilarity> similarities;  // sim >= 0.05
+  AuthorGraph graph;        // at options.lambda_a
+  CliqueCover cover;        // of `graph`
+  PostStream stream;        // one simulated day
+
+  /// Rebuilds graph+cover at a different λa (for Figure 13).
+  AuthorGraph GraphAt(double lambda_a) const;
+};
+
+/// Builds the workload; prints a one-line summary to stdout.
+Workload BuildWorkload(const WorkloadOptions& options);
+
+/// Default paper thresholds: λc = 18, λt = 30 min, λa = 0.7.
+DiversityThresholds PaperThresholds();
+
+/// Runs one algorithm over `stream` and returns the measured quantities.
+RunResult RunOnce(Algorithm algorithm, const DiversityThresholds& t,
+                  const AuthorGraph& graph, const CliqueCover* cover,
+                  const PostStream& stream);
+
+/// Formats bytes as MiB with 2 decimals.
+std::string Mib(size_t bytes);
+
+/// Standard header printed by every figure bench.
+void PrintBenchHeader(const std::string& id, const std::string& paper_ref,
+                      const std::string& description);
+
+}  // namespace bench
+}  // namespace firehose
+
+#endif  // FIREHOSE_BENCH_BENCH_COMMON_H_

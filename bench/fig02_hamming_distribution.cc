@@ -1,0 +1,51 @@
+// Figure 2: distribution of SimHash Hamming distances between random
+// post pairs — expected to be normal with mean 32.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace firehose {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBenchHeader("fig02_hamming_distribution", "Paper Figure 2",
+                   "Hamming distance distribution over random pairs of "
+                   "synthetic posts (paper: normal, mean 32, bulk in 24-40).");
+
+  TextGenerator text_gen(2016);
+  const SimHasher hasher;
+  const int corpus_size = 20000;
+  std::vector<uint64_t> prints;
+  prints.reserve(corpus_size);
+  for (int i = 0; i < corpus_size; ++i) {
+    prints.push_back(hasher.Fingerprint(text_gen.MakePost()));
+  }
+
+  Histogram histogram(65);
+  Rng rng(7);
+  const int pairs = 200000;
+  for (int i = 0; i < pairs; ++i) {
+    const uint64_t a = prints[rng.UniformInt(prints.size())];
+    const uint64_t b = prints[rng.UniformInt(prints.size())];
+    histogram.Add(SimHashDistance(a, b));
+  }
+
+  std::printf("%s\n", histogram.ToAscii().c_str());
+  std::printf("pairs=%d  mean=%.2f (paper: 32)  stddev=%.2f\n",
+              pairs, histogram.Mean(), histogram.Stddev());
+  double bulk = 0.0;
+  for (int d = 24; d <= 40; ++d) bulk += histogram.Fraction(d);
+  std::printf("fraction in [24, 40] = %.3f (paper: 'most of the "
+              "distances')\n", bulk);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace firehose
+
+int main() {
+  firehose::bench::Run();
+  return 0;
+}

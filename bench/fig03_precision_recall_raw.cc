@@ -1,0 +1,45 @@
+// Figure 3: precision and recall of the SimHash Hamming threshold on RAW
+// post text, over the labeled near-duplicate pair dataset.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace firehose {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBenchHeader("fig03_precision_recall_raw", "Paper Figure 3",
+                   "Precision/recall vs Hamming threshold, fingerprints of "
+                   "raw text (paper: both curves lower than the normalized "
+                   "variant of Figure 4).");
+
+  LabeledPairOptions options;
+  options.pairs_per_distance = 100;
+  const auto pairs = GenerateLabeledPairs(options);
+  std::printf("labeled pairs: %zu (paper: 2000)\n\n", pairs.size());
+
+  const auto sweep = SweepHamming(pairs, ContentMeasure::kHammingRaw, 3, 22);
+  Table table({"hamming <=", "precision", "recall", "predicted", "true_pos"});
+  for (const PrPoint& point : sweep) {
+    table.AddRow({Table::Fmt(point.threshold, 0), Table::Fmt(point.precision),
+                  Table::Fmt(point.recall),
+                  Table::Fmt(point.predicted_positive),
+                  Table::Fmt(point.true_positive)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  const PrPoint crossover = CrossoverPoint(sweep);
+  std::printf("crossover at h=%.0f: precision=%.3f recall=%.3f\n",
+              crossover.threshold, crossover.precision, crossover.recall);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace firehose
+
+int main() {
+  firehose::bench::Run();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 9: CCDF of pairwise author similarity in the sampled author set
+// (paper: 2.3% of pairs >= 0.2 similarity, 0.6% >= 0.3).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace firehose {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBenchHeader("fig09_author_similarity", "Paper Figure 9",
+                   "Fraction of author pairs with followee-cosine "
+                   "similarity >= x (paper: 2.3% at 0.2, 0.6% at 0.3).");
+
+  const Workload w = BuildWorkload(WorkloadOptions::FromEnv());
+  const double total_pairs = static_cast<double>(w.authors.size()) *
+                             (w.authors.size() - 1) / 2.0;
+
+  Table table({"similarity >=", "fraction of pairs", "pair count"});
+  for (double threshold : {0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5, 0.6,
+                           0.7, 0.8, 0.9}) {
+    uint64_t count = 0;
+    for (const AuthorPairSimilarity& pair : w.similarities) {
+      if (pair.similarity >= threshold) ++count;
+    }
+    table.AddRow({Table::Fmt(threshold), Table::Fmt(count / total_pairs, 5),
+                  Table::Fmt(count)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("(similarities below 0.05 are not materialized)\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace firehose
+
+int main() {
+  firehose::bench::Run();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 10: number of posts left after diversification when dimensions
+// are removed or thresholds varied — all three dimensions matter.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace firehose {
+namespace bench {
+namespace {
+
+uint64_t OutputSize(const Workload& w, const DiversityThresholds& t) {
+  auto diversifier = MakeDiversifier(Algorithm::kUniBin, t, &w.graph);
+  return RunDiversifier(*diversifier, w.stream).posts_out;
+}
+
+void Run() {
+  PrintBenchHeader(
+      "fig10_dimension_ablation", "Paper Figure 10",
+      "Posts left after diversification under dimension ablations (paper: "
+      "full 3-D model prunes ~10%; removing dimensions shrinks the output "
+      "a lot, so every dimension matters).");
+
+  const Workload w = BuildWorkload(WorkloadOptions::FromEnv());
+  const uint64_t input = w.stream.size();
+
+  Table table({"setting", "posts left", "fraction of stream"});
+  auto add = [&](const char* name, const DiversityThresholds& t) {
+    const uint64_t out = OutputSize(w, t);
+    table.AddRow({name, Table::Fmt(out),
+                  Table::Fmt(static_cast<double>(out) / input, 4)});
+  };
+
+  DiversityThresholds full = PaperThresholds();
+  add("content+time+author (paper default)", full);
+
+  DiversityThresholds tighter = full;
+  tighter.lambda_c = 9;
+  add("lambda_c=9 (stricter content)", tighter);
+
+  DiversityThresholds wide_t = full;
+  wide_t.lambda_t_ms = 4 * 3600 * 1000;
+  add("lambda_t=4h", wide_t);
+
+  DiversityThresholds narrow_t = full;
+  narrow_t.lambda_t_ms = 5 * 60 * 1000;
+  add("lambda_t=5min", narrow_t);
+
+  DiversityThresholds no_author = full;
+  no_author.use_author = false;
+  add("author dimension removed", no_author);
+
+  DiversityThresholds no_content = full;
+  no_content.use_content = false;
+  add("content dimension removed", no_content);
+
+  DiversityThresholds no_time = full;
+  no_time.lambda_t_ms = 24LL * 3600 * 1000;  // whole stream
+  add("time dimension removed (lambda_t=1 day)", no_time);
+
+  DiversityThresholds time_only = full;
+  time_only.use_author = false;
+  time_only.use_content = false;
+  add("time only (content+author removed)", time_only);
+
+  std::printf("input stream: %llu posts\n\n%s\n",
+              static_cast<unsigned long long>(input),
+              table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace firehose
+
+int main() {
+  firehose::bench::Run();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 11: performance of UniBin / NeighborBin / CliqueBin while
+// varying the time diversity threshold λt (λc = 18, λa = 0.7).
+// Expected shape: all costs fall with smaller λt; NeighborBin/CliqueBin
+// beat UniBin on runtime except at very small λt; CliqueBin wins for
+// small-to-moderate λt; NeighborBin uses the most RAM.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace firehose {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBenchHeader("fig11_vary_lambda_t", "Paper Figure 11",
+                   "Running time / RAM / comparisons / insertions vs "
+                   "lambda_t in {1, 5, 10, 30, 60} minutes.");
+
+  const Workload w = BuildWorkload(WorkloadOptions::FromEnv());
+  Table table({"lambda_t", "algorithm", "time ms", "RAM MiB", "comparisons",
+               "insertions", "posts out"});
+  for (int minutes : {1, 5, 10, 30, 60}) {
+    DiversityThresholds t = PaperThresholds();
+    t.lambda_t_ms = static_cast<int64_t>(minutes) * 60 * 1000;
+    for (Algorithm algorithm : kAllAlgorithms) {
+      const RunResult r = RunOnce(algorithm, t, w.graph, &w.cover, w.stream);
+      table.AddRow({std::to_string(minutes) + "min",
+                    std::string(AlgorithmName(algorithm)),
+                    Table::Fmt(r.wall_ms, 1), Mib(r.peak_bytes),
+                    Table::Fmt(r.comparisons), Table::Fmt(r.insertions),
+                    Table::Fmt(r.posts_out)});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace firehose
+
+int main() {
+  firehose::bench::Run();
+  return 0;
+}

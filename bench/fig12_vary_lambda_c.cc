@@ -1,0 +1,45 @@
+// Figure 12: performance of the three algorithms while varying the
+// content diversity threshold λc (λt = 30 min, λa = 0.7).
+// Expected shape: λc barely moves any metric — SimHash detects the
+// near-duplicate population stably for λc >= 9.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace firehose {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBenchHeader("fig12_vary_lambda_c", "Paper Figure 12",
+                   "Running time / RAM / comparisons / insertions vs "
+                   "lambda_c in {9, 12, 15, 18} (paper: only slight "
+                   "effect across the whole range).");
+
+  const Workload w = BuildWorkload(WorkloadOptions::FromEnv());
+  Table table({"lambda_c", "algorithm", "time ms", "RAM MiB", "comparisons",
+               "insertions", "posts out"});
+  for (int lambda_c : {9, 12, 15, 18}) {
+    DiversityThresholds t = PaperThresholds();
+    t.lambda_c = lambda_c;
+    for (Algorithm algorithm : kAllAlgorithms) {
+      const RunResult r = RunOnce(algorithm, t, w.graph, &w.cover, w.stream);
+      table.AddRow({Table::Fmt(lambda_c),
+                    std::string(AlgorithmName(algorithm)),
+                    Table::Fmt(r.wall_ms, 1), Mib(r.peak_bytes),
+                    Table::Fmt(r.comparisons), Table::Fmt(r.insertions),
+                    Table::Fmt(r.posts_out)});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace firehose
+
+int main() {
+  firehose::bench::Run();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 14: performance of the three algorithms under different post
+// stream throughputs (random subsampling of the day's stream).
+// Expected shape: at low throughput UniBin wins (insertion overhead of
+// the other two dominates); CliqueBin beats NeighborBin at moderate and
+// small rates.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace firehose {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBenchHeader("fig14_vary_post_rate", "Paper Figure 14",
+                   "Running time / RAM / comparisons / insertions vs post "
+                   "sample ratio in {1%, 5%, 25%, 100%}.");
+
+  const Workload w = BuildWorkload(WorkloadOptions::FromEnv());
+  Table table({"sample", "posts", "algorithm", "time ms", "RAM MiB",
+               "comparisons", "insertions", "posts out"});
+  for (double ratio : {0.01, 0.05, 0.25, 1.0}) {
+    const PostStream sampled =
+        ratio >= 1.0 ? w.stream : SampleStream(w.stream, ratio, 11);
+    const DiversityThresholds t = PaperThresholds();
+    for (Algorithm algorithm : kAllAlgorithms) {
+      const RunResult r = RunOnce(algorithm, t, w.graph, &w.cover, sampled);
+      char label[16];
+      std::snprintf(label, sizeof(label), "%.0f%%", ratio * 100);
+      table.AddRow({label, Table::Fmt(static_cast<uint64_t>(sampled.size())),
+                    std::string(AlgorithmName(algorithm)),
+                    Table::Fmt(r.wall_ms, 2), Mib(r.peak_bytes),
+                    Table::Fmt(r.comparisons), Table::Fmt(r.insertions),
+                    Table::Fmt(r.posts_out)});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace firehose
+
+int main() {
+  firehose::bench::Run();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 15: performance of the three algorithms while varying the
+// number of subscribed authors (random author samples).
+// Expected shape: UniBin slightly ahead with few subscriptions; the
+// indexed algorithms take over as the author set grows.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace firehose {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBenchHeader("fig15_vary_subscriptions", "Paper Figure 15",
+                   "Running time / RAM / comparisons / insertions vs the "
+                   "number of subscribed authors.");
+
+  const Workload w = BuildWorkload(WorkloadOptions::FromEnv());
+  Rng rng(13);
+  Table table({"authors", "posts", "algorithm", "time ms", "RAM MiB",
+               "comparisons", "insertions", "posts out"});
+  const size_t total = w.authors.size();
+  for (double fraction : {0.05, 0.2, 0.5, 1.0}) {
+    const size_t count = static_cast<size_t>(total * fraction);
+    const std::vector<AuthorId> subset =
+        fraction >= 1.0 ? w.authors : rng.Sample(w.authors, count);
+    const AuthorGraph sub_graph = w.graph.InducedSubgraph(subset);
+    const CliqueCover sub_cover = CliqueCover::Greedy(sub_graph);
+    const PostStream sub_stream = FilterStreamByAuthors(w.stream, subset);
+    const DiversityThresholds t = PaperThresholds();
+    for (Algorithm algorithm : kAllAlgorithms) {
+      const RunResult r =
+          RunOnce(algorithm, t, sub_graph, &sub_cover, sub_stream);
+      table.AddRow({Table::Fmt(static_cast<uint64_t>(count)),
+                    Table::Fmt(static_cast<uint64_t>(sub_stream.size())),
+                    std::string(AlgorithmName(algorithm)),
+                    Table::Fmt(r.wall_ms, 2), Mib(r.peak_bytes),
+                    Table::Fmt(r.comparisons), Table::Fmt(r.insertions),
+                    Table::Fmt(r.posts_out)});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace firehose
+
+int main() {
+  firehose::bench::Run();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 16: M-SPSD — every author is also a user following the authors
+// it follows in the social graph. Compares the per-user M_* engines with
+// the component-sharing S_* engines.
+// Expected shape: S_* beats M_* on every metric; the gain is largest for
+// UniBin (paper: S_UniBin -43% runtime, -27% RAM vs M_UniBin).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace firehose {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBenchHeader("fig16_multiuser", "Paper Figure 16",
+                   "M_* vs S_* running time / RAM / comparisons / "
+                   "insertions, each author doubling as a user subscribed "
+                   "to its followees.");
+
+  WorkloadOptions options = WorkloadOptions::FromEnv();
+  // Multi-user runs are ~#users times heavier; scale the population down
+  // (the paper reduces per-user subscriptions the same way by dropping
+  // uncrawled authors).
+  options.num_authors = options.num_authors / 4;
+  const Workload w = BuildWorkload(options);
+
+  std::vector<User> users;
+  double total_subs = 0;
+  for (AuthorId a = 0; a < w.social.num_authors(); ++a) {
+    std::vector<AuthorId> subs = w.social.Followees(a);
+    if (subs.empty()) continue;
+    users.push_back(User{static_cast<UserId>(users.size()), subs});
+    total_subs += subs.size();
+  }
+  std::printf("users: %zu, avg subscriptions: %.1f (paper: 130 after "
+              "dropping uncrawled authors)\n\n",
+              users.size(), total_subs / users.size());
+
+  const DiversityThresholds t = PaperThresholds();
+  Table table({"engine", "diversifiers", "time ms", "RAM MiB", "comparisons",
+               "insertions", "deliveries"});
+  double m_unibin_ms = 0.0;
+  size_t m_unibin_bytes = 0;
+  for (Algorithm algorithm : kAllAlgorithms) {
+    for (bool shared : {false, true}) {
+      auto engine =
+          shared ? MakeSUserEngine(algorithm, t, w.graph, users)
+                 : MakeMUserEngine(algorithm, t, w.graph, users);
+      const MultiUserRunResult r = RunMultiUser(*engine, w.stream);
+      table.AddRow({std::string(engine->name()),
+                    Table::Fmt(static_cast<uint64_t>(engine->num_diversifiers())),
+                    Table::Fmt(r.wall_ms, 1), Mib(r.peak_bytes),
+                    Table::Fmt(r.comparisons), Table::Fmt(r.insertions),
+                    Table::Fmt(r.deliveries)});
+      if (algorithm == Algorithm::kUniBin) {
+        if (!shared) {
+          m_unibin_ms = r.wall_ms;
+          m_unibin_bytes = r.peak_bytes;
+        } else {
+          std::printf(
+              "S_UniBin vs M_UniBin: time %+.0f%% (paper: -43%%), "
+              "RAM %+.0f%% (paper: -27%%)\n\n",
+              (r.wall_ms / m_unibin_ms - 1.0) * 100.0,
+              (static_cast<double>(r.peak_bytes) / m_unibin_bytes - 1.0) *
+                  100.0);
+        }
+      }
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace firehose
+
+int main() {
+  firehose::bench::Run();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// google-benchmark microbenchmarks of the stream-side hot paths: post-bin
+// push/evict/scan and the per-post Offer of each algorithm on a steady
+// synthetic stream.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/engine.h"
+#include "src/stream/post_bin.h"
+#include "src/util/random.h"
+
+namespace firehose {
+namespace {
+
+void BM_PostBinPushEvict(benchmark::State& state) {
+  const int64_t window = state.range(0);
+  PostBin bin;
+  int64_t t = 0;
+  for (auto _ : state) {
+    bin.Push(BinEntry{t, static_cast<uint64_t>(t), 0, 0});
+    bin.EvictOlderThan(t - window);
+    ++t;
+  }
+  state.counters["resident"] = static_cast<double>(bin.size());
+}
+BENCHMARK(BM_PostBinPushEvict)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_PostBinScan(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  PostBin bin;
+  Rng rng(3);
+  for (size_t i = 0; i < size; ++i) {
+    bin.Push(BinEntry{static_cast<int64_t>(i), rng.Next(), 0, 0});
+  }
+  for (auto _ : state) {
+    uint64_t acc = 0;
+    for (size_t i = 0; i < bin.size(); ++i) {
+      acc += bin.FromNewest(i).simhash;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size));
+}
+BENCHMARK(BM_PostBinScan)->Arg(256)->Arg(4096);
+
+// Per-post Offer cost of each algorithm on a stream over a 64-author
+// clustered graph with a 4096-tick window.
+void OfferBenchmark(benchmark::State& state, Algorithm algorithm) {
+  Rng rng(7);
+  const int num_authors = 64;
+  std::vector<AuthorId> vertices;
+  std::vector<std::pair<AuthorId, AuthorId>> edges;
+  for (AuthorId a = 0; a < num_authors; ++a) {
+    vertices.push_back(a);
+    for (AuthorId b = a + 1; b < num_authors; ++b) {
+      if (a / 8 == b / 8) edges.emplace_back(a, b);  // 8 cliques of 8
+    }
+  }
+  const AuthorGraph graph = AuthorGraph::FromEdges(vertices, edges);
+  const CliqueCover cover = CliqueCover::Greedy(graph);
+  DiversityThresholds t;
+  t.lambda_c = 18;
+  t.lambda_t_ms = 4096;
+  auto diversifier = MakeDiversifier(algorithm, t, &graph, &cover);
+
+  int64_t now = 0;
+  for (auto _ : state) {
+    Post post;
+    post.id = static_cast<PostId>(now);
+    post.author = static_cast<AuthorId>(rng.UniformInt(num_authors));
+    post.time_ms = now++;
+    post.simhash = rng.Next();
+    benchmark::DoNotOptimize(diversifier->Offer(post));
+  }
+  state.counters["cmp/post"] =
+      static_cast<double>(diversifier->stats().comparisons) /
+      static_cast<double>(diversifier->stats().posts_in);
+}
+
+void BM_OfferUniBin(benchmark::State& state) {
+  OfferBenchmark(state, Algorithm::kUniBin);
+}
+void BM_OfferNeighborBin(benchmark::State& state) {
+  OfferBenchmark(state, Algorithm::kNeighborBin);
+}
+void BM_OfferCliqueBin(benchmark::State& state) {
+  OfferBenchmark(state, Algorithm::kCliqueBin);
+}
+BENCHMARK(BM_OfferUniBin);
+BENCHMARK(BM_OfferNeighborBin);
+BENCHMARK(BM_OfferCliqueBin);
+
+}  // namespace
+}  // namespace firehose
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// google-benchmark microbenchmarks of the content-distance hot paths:
+// fingerprinting, Hamming distance, normalization and TF-cosine (the
+// rejected baseline), quantifying §3's "SimHash is much faster" claim.
+
+#include <benchmark/benchmark.h>
+
+#include "src/gen/text_gen.h"
+#include "src/simhash/simhash.h"
+#include "src/text/normalize.h"
+#include "src/text/tf_vector.h"
+#include "src/util/random.h"
+
+namespace firehose {
+namespace {
+
+std::vector<std::string> Corpus(int n) {
+  TextGenerator text_gen(99);
+  std::vector<std::string> posts;
+  posts.reserve(n);
+  for (int i = 0; i < n; ++i) posts.push_back(text_gen.MakePost());
+  return posts;
+}
+
+void BM_SimHashFingerprint(benchmark::State& state) {
+  const auto posts = Corpus(1024);
+  const SimHasher hasher;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.Fingerprint(posts[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_SimHashFingerprint);
+
+void BM_SimHashFingerprintRaw(benchmark::State& state) {
+  const auto posts = Corpus(1024);
+  SimHashOptions options;
+  options.normalize = false;
+  const SimHasher hasher(options);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.Fingerprint(posts[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_SimHashFingerprintRaw);
+
+void BM_HammingDistance(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<uint64_t> prints(1024);
+  for (auto& p : prints) p = rng.Next();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SimHashDistance(prints[i & 1023], prints[(i * 7 + 1) & 1023]));
+    ++i;
+  }
+}
+BENCHMARK(BM_HammingDistance);
+
+void BM_Normalize(benchmark::State& state) {
+  const auto posts = Corpus(1024);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Normalize(posts[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_Normalize);
+
+void BM_TfCosine(benchmark::State& state) {
+  // The exact-similarity baseline SimHash replaces: build-once vectors,
+  // pairwise cosine per iteration.
+  const auto posts = Corpus(256);
+  std::vector<TfVector> vectors;
+  for (const auto& post : posts) vectors.push_back(TfVector::FromText(post));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vectors[i & 255].CosineSimilarity(vectors[(i * 13 + 7) & 255]));
+    ++i;
+  }
+}
+BENCHMARK(BM_TfCosine);
+
+void BM_TfVectorBuild(benchmark::State& state) {
+  const auto posts = Corpus(1024);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TfVector::FromText(posts[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_TfVectorBuild);
+
+}  // namespace
+}  // namespace firehose
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Table 4: the use-case matrix — which algorithm wins (lowest running
+// time) in each regime. Sweeps the three regime axes the paper calls out
+// (λt, graph density via λa, stream throughput) and reports the
+// empirical winner per cell, to be compared with the paper's
+// recommendations: UniBin for tiny λt / low throughput / dense G;
+// NeighborBin for large λt + sparse G + high throughput; CliqueBin for
+// moderate λt + sparse G + high throughput.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace firehose {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBenchHeader("tab04_use_cases", "Paper Table 4",
+                   "Empirical winner (lowest ingest time, median of 3 "
+                   "runs) per (lambda_t, lambda_a, throughput) regime.");
+
+  const Workload w = BuildWorkload(WorkloadOptions::FromEnv());
+  Table table({"lambda_t", "lambda_a", "throughput", "UniBin ms",
+               "NeighborBin ms", "CliqueBin ms", "winner"});
+
+  for (double lambda_a : {0.7, 0.85}) {
+    const AuthorGraph graph = w.GraphAt(lambda_a);
+    const CliqueCover cover = CliqueCover::Greedy(graph);
+    for (int minutes : {1, 30, 240}) {
+      for (double ratio : {0.05, 1.0}) {
+        const PostStream stream =
+            ratio >= 1.0 ? w.stream : SampleStream(w.stream, ratio, 5);
+        DiversityThresholds t = PaperThresholds();
+        t.lambda_t_ms = static_cast<int64_t>(minutes) * 60 * 1000;
+        t.lambda_a = lambda_a;
+
+        double best = 1e300;
+        std::string winner;
+        std::vector<std::string> cells;
+        for (Algorithm algorithm : kAllAlgorithms) {
+          double times[3];
+          for (double& ms : times) {
+            ms = RunOnce(algorithm, t, graph, &cover, stream).wall_ms;
+          }
+          std::sort(times, times + 3);
+          const double median = times[1];
+          cells.push_back(Table::Fmt(median, 1));
+          if (median < best) {
+            best = median;
+            winner = AlgorithmName(algorithm);
+          }
+        }
+        table.AddRow({std::to_string(minutes) + "min",
+                      Table::Fmt(lambda_a, 2),
+                      ratio >= 1.0 ? "high (100%)" : "low (5%)", cells[0],
+                      cells[1], cells[2], winner});
+      }
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "paper's guidance: UniBin for very small lambda_t / low throughput "
+      "/ dense G (large lambda_a); NeighborBin for large lambda_t, sparse "
+      "G, high throughput; CliqueBin for moderate lambda_t, sparse G, "
+      "high throughput.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace firehose
+
+int main() {
+  firehose::bench::Run();
+  return 0;
+}

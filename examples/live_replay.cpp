@@ -1,0 +1,66 @@
+// Real-time scenario: replay a recorded day of posts at increasing
+// speedups through the two-thread live runtime and watch when each
+// algorithm stops keeping up with the arrival rate. This is the paper's
+// real-time requirement ("immediately decide whether a post should be
+// pushed") made measurable: per-post queueing latency and backlog.
+//
+// Build & run:  ./build/examples/live_replay
+
+#include <cstdio>
+
+#include "src/firehose.h"
+
+using namespace firehose;
+
+int main() {
+  // Offline setup (small so the example runs in seconds).
+  SocialGraphOptions graph_options;
+  graph_options.num_authors = 1500;
+  graph_options.num_communities = 30;
+  graph_options.avg_followees = 30.0;
+  graph_options.seed = 5;
+  const FollowGraph social = GenerateSocialGraph(graph_options);
+  std::vector<AuthorId> authors;
+  for (AuthorId a = 0; a < social.num_authors(); ++a) authors.push_back(a);
+  const auto pairs = AllPairsSimilarity(social, authors, 0.3);
+  const AuthorGraph graph = AuthorGraph::FromSimilarities(authors, pairs, 0.7);
+  const CliqueCover cover = CliqueCover::Greedy(graph);
+
+  StreamGenOptions stream_options;
+  stream_options.posts_per_author = 10.0;
+  stream_options.seed = 6;
+  const SimHasher hasher;
+  const PostStream day = GenerateStream(graph, hasher, stream_options);
+  std::printf("replaying %zu posts (one simulated day)\n\n", day.size());
+
+  DiversityThresholds thresholds;
+  thresholds.lambda_c = 18;
+  thresholds.lambda_t_ms = 30 * 60 * 1000;
+
+  std::printf("%-12s %10s %12s %10s %10s %10s %8s\n", "algorithm", "speedup",
+              "posts/s", "p50 us", "p99 us", "max us", "backlog");
+  for (Algorithm algorithm : kAllAlgorithms) {
+    for (double speedup : {200000.0, 1000000.0, 5000000.0}) {
+      auto diversifier = MakeDiversifier(algorithm, thresholds, &graph,
+                                         algorithm == Algorithm::kCliqueBin
+                                             ? &cover
+                                             : nullptr);
+      LiveIngestOptions options;
+      options.speedup = speedup;
+      const LiveIngestReport report =
+          RunLiveIngest(*diversifier, day, options);
+      std::printf("%-12s %9.0fx %12.0f %10.1f %10.1f %10.1f %8zu\n",
+                  std::string(diversifier->name()).c_str(), speedup,
+                  report.achieved_posts_per_sec,
+                  report.queueing_latency.p50_us,
+                  report.queueing_latency.p99_us,
+                  report.queueing_latency.max_us, report.queue_high_water);
+    }
+  }
+  std::printf(
+      "\nreading the table: a day compressed 1,000,000x is ~170 posts/ms; "
+      "where the queue high-water hits the 4096 cap the algorithm is the "
+      "bottleneck, and the p99 queueing latency shows how far behind the "
+      "firehose it runs.\n");
+  return 0;
+}

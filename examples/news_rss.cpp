@@ -1,0 +1,86 @@
+// News-RSS scenario (paper Table 4, UniBin row): a reader subscribed to a
+// few dozen news agencies. Agencies cluster tightly by syndication (the
+// author graph is DENSE), throughput is low, and the right algorithm is
+// UniBin — NeighborBin/CliqueBin would store d+1 ≈ m copies per story.
+//
+// Build & run:  ./build/examples/news_rss
+
+#include <cstdio>
+
+#include "src/firehose.h"
+
+using namespace firehose;
+
+int main() {
+  // 30 news agencies in 3 syndication blocs; agencies within a bloc are
+  // pairwise similar -> three 10-cliques.
+  std::vector<AuthorId> agencies;
+  std::vector<std::pair<AuthorId, AuthorId>> edges;
+  for (AuthorId a = 0; a < 30; ++a) {
+    agencies.push_back(a);
+    for (AuthorId b = a + 1; b < 30; ++b) {
+      if (a / 10 == b / 10) edges.emplace_back(a, b);
+    }
+  }
+  const AuthorGraph graph = AuthorGraph::FromEdges(agencies, edges);
+  std::printf("author graph: %zu agencies, avg degree %.1f (dense)\n",
+              graph.num_vertices(), graph.AvgDegree());
+
+  // Agencies re-publish each other's wire stories within minutes; λt can
+  // be generous because headlines stay redundant for hours.
+  DiversityThresholds thresholds;
+  thresholds.lambda_c = 18;
+  thresholds.lambda_t_ms = 4LL * 3600 * 1000;  // 4 hours
+
+  auto unibin = MakeDiversifier(Algorithm::kUniBin, thresholds, &graph);
+  auto neighbor = MakeDiversifier(Algorithm::kNeighborBin, thresholds, &graph);
+
+  // Simulate a slow day: every bloc re-publishes each breaking story.
+  TextGenerator text_gen(3);
+  Rng rng(4);
+  const SimHasher hasher;
+  PostStream feed;
+  int64_t now = 0;
+  for (int story = 0; story < 120; ++story) {
+    now += static_cast<int64_t>(rng.Exponential(10 * 60 * 1000));  // ~10 min
+    const std::string original = text_gen.MakePost();
+    const AuthorId origin = static_cast<AuthorId>(rng.UniformInt(30));
+    const int bloc = origin / 10;
+    // Origin publishes, then 2-5 same-bloc agencies syndicate variants.
+    const int copies = static_cast<int>(2 + rng.UniformInt(4));
+    for (int copy = 0; copy <= copies; ++copy) {
+      Post post;
+      post.id = static_cast<PostId>(feed.size());
+      post.author = copy == 0 ? origin
+                              : static_cast<AuthorId>(bloc * 10 +
+                                                      rng.UniformInt(10));
+      post.time_ms = now + copy * 90 * 1000;
+      post.text = copy == 0 ? original
+                            : text_gen.Perturb(original,
+                                               PerturbLevel::kAttribution);
+      post.simhash = hasher.Fingerprint(post.text);
+      feed.push_back(std::move(post));
+    }
+  }
+
+  const RunResult uni = RunDiversifier(*unibin, feed);
+  const RunResult nbr = RunDiversifier(*neighbor, feed);
+  std::printf("\nfeed: %zu items; after diversification: %llu (%.0f%% of "
+              "wire duplicates pruned)\n",
+              feed.size(), static_cast<unsigned long long>(uni.posts_out),
+              100.0 * (1.0 - uni.SurvivorRatio()));
+  std::printf("\n                 %12s %12s\n", "UniBin", "NeighborBin");
+  std::printf("insertions       %12llu %12llu\n",
+              static_cast<unsigned long long>(uni.insertions),
+              static_cast<unsigned long long>(nbr.insertions));
+  std::printf("peak bin bytes   %12zu %12zu\n", uni.peak_bytes,
+              nbr.peak_bytes);
+  std::printf("comparisons      %12llu %12llu\n",
+              static_cast<unsigned long long>(uni.comparisons),
+              static_cast<unsigned long long>(nbr.comparisons));
+  std::printf(
+      "\nUniBin stores each story once; NeighborBin pays ~10x insertions "
+      "and RAM for a comparison saving that cannot matter at this "
+      "throughput — Table 4's News-RSS recommendation.\n");
+  return 0;
+}

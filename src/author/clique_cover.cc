@@ -1,0 +1,164 @@
+#include "src/author/clique_cover.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace firehose {
+
+const std::vector<CliqueId> CliqueCover::kNoCliques;
+
+namespace {
+
+uint64_t EdgeKey(AuthorId a, AuthorId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+// Intersects sorted `candidates` with the sorted neighbor list of `v`.
+std::vector<AuthorId> IntersectSorted(const std::vector<AuthorId>& candidates,
+                                      const std::vector<AuthorId>& neighbors) {
+  std::vector<AuthorId> out;
+  std::set_intersection(candidates.begin(), candidates.end(),
+                        neighbors.begin(), neighbors.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+CliqueCover CliqueCover::Greedy(const AuthorGraph& graph) {
+  CliqueCover cover;
+  cover.num_authors_ = graph.num_vertices();
+  std::unordered_set<uint64_t> covered;
+  covered.reserve(static_cast<size_t>(graph.num_edges()) * 2);
+
+  for (AuthorId u : graph.vertices()) {
+    for (AuthorId v : graph.Neighbors(u)) {
+      if (v < u) continue;  // visit each edge once, from its lower endpoint
+      if (covered.count(EdgeKey(u, v)) > 0) continue;
+
+      // Seed the clique with the uncovered edge {u, v} and grow it.
+      std::vector<AuthorId> clique = {u, v};
+      std::vector<AuthorId> candidates =
+          IntersectSorted(graph.Neighbors(u), graph.Neighbors(v));
+      while (!candidates.empty()) {
+        // Pick the candidate contributing the most still-uncovered edges
+        // into the clique; ties break to the smallest id for determinism.
+        AuthorId best = candidates.front();
+        int best_gain = -1;
+        for (AuthorId cand : candidates) {
+          int gain = 0;
+          for (AuthorId member : clique) {
+            if (covered.count(EdgeKey(cand, member)) == 0) ++gain;
+          }
+          if (gain > best_gain) {
+            best_gain = gain;
+            best = cand;
+          }
+        }
+        clique.push_back(best);
+        candidates = IntersectSorted(candidates, graph.Neighbors(best));
+        candidates.erase(
+            std::remove(candidates.begin(), candidates.end(), best),
+            candidates.end());
+      }
+      std::sort(clique.begin(), clique.end());
+      for (size_t i = 0; i < clique.size(); ++i) {
+        for (size_t j = i + 1; j < clique.size(); ++j) {
+          covered.insert(EdgeKey(clique[i], clique[j]));
+        }
+      }
+      const CliqueId id = static_cast<CliqueId>(cover.cliques_.size());
+      for (AuthorId member : clique) {
+        cover.author_to_cliques_[member].push_back(id);
+      }
+      cover.cliques_.push_back(std::move(clique));
+    }
+  }
+
+  // Singleton cliques for vertices covered by no clique, so same-author
+  // posts of isolated authors can still cover each other.
+  for (AuthorId a : graph.vertices()) {
+    if (cover.author_to_cliques_.find(a) == cover.author_to_cliques_.end()) {
+      const CliqueId id = static_cast<CliqueId>(cover.cliques_.size());
+      cover.author_to_cliques_[a].push_back(id);
+      cover.cliques_.push_back({a});
+    }
+  }
+  return cover;
+}
+
+CliqueCover CliqueCover::FromCliques(
+    std::vector<std::vector<AuthorId>> cliques, size_t num_authors) {
+  CliqueCover cover;
+  cover.num_authors_ = num_authors;
+  cover.cliques_ = std::move(cliques);
+  for (size_t i = 0; i < cover.cliques_.size(); ++i) {
+    std::sort(cover.cliques_[i].begin(), cover.cliques_[i].end());
+    for (AuthorId member : cover.cliques_[i]) {
+      cover.author_to_cliques_[member].push_back(static_cast<CliqueId>(i));
+    }
+  }
+  return cover;
+}
+
+bool CliqueCover::IsValidFor(const AuthorGraph& graph) const {
+  std::unordered_set<uint64_t> covered;
+  for (const auto& clique : cliques_) {
+    for (size_t i = 0; i < clique.size(); ++i) {
+      for (size_t j = i + 1; j < clique.size(); ++j) {
+        if (!graph.IsNeighbor(clique[i], clique[j])) return false;
+        covered.insert(EdgeKey(clique[i], clique[j]));
+      }
+    }
+  }
+  for (AuthorId u : graph.vertices()) {
+    if (CliquesOf(u).empty()) return false;
+    for (AuthorId v : graph.Neighbors(u)) {
+      if (u < v && covered.count(EdgeKey(u, v)) == 0) return false;
+    }
+  }
+  return true;
+}
+
+const std::vector<CliqueId>& CliqueCover::CliquesOf(AuthorId author) const {
+  auto it = author_to_cliques_.find(author);
+  return it == author_to_cliques_.end() ? kNoCliques : it->second;
+}
+
+double CliqueCover::AvgCliquesPerAuthor() const {
+  if (num_authors_ == 0) return 0.0;
+  uint64_t total = 0;
+  for (const auto& [author, ids] : author_to_cliques_) {
+    (void)author;
+    total += ids.size();
+  }
+  return static_cast<double>(total) / static_cast<double>(num_authors_);
+}
+
+double CliqueCover::AvgCliqueSize() const {
+  if (cliques_.empty()) return 0.0;
+  return static_cast<double>(TotalCliqueSize()) /
+         static_cast<double>(cliques_.size());
+}
+
+uint64_t CliqueCover::TotalCliqueSize() const {
+  uint64_t total = 0;
+  for (const auto& clique : cliques_) total += clique.size();
+  return total;
+}
+
+size_t CliqueCover::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const auto& clique : cliques_) {
+    bytes += clique.capacity() * sizeof(AuthorId) + sizeof(clique);
+  }
+  for (const auto& [author, ids] : author_to_cliques_) {
+    (void)author;
+    bytes += ids.capacity() * sizeof(CliqueId) + sizeof(ids) +
+             sizeof(AuthorId) + sizeof(void*);
+  }
+  return bytes;
+}
+
+}  // namespace firehose

@@ -1,0 +1,72 @@
+#ifndef FIREHOSE_AUTHOR_CLIQUE_COVER_H_
+#define FIREHOSE_AUTHOR_CLIQUE_COVER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/author/similarity_graph.h"
+
+namespace firehose {
+
+/// Identifier of a clique within a CliqueCover.
+using CliqueId = uint32_t;
+
+/// A clique edge cover of an author similarity graph plus the
+/// Author2Cliques map (paper §4.3). Every edge of the graph lies in at
+/// least one clique; every vertex lies in at least one clique (isolated
+/// vertices receive singleton cliques so an author's own posts can still
+/// cover each other in CliqueBin).
+class CliqueCover {
+ public:
+  /// Greedy heuristic of §4.3: pick an uncovered edge, grow a clique by
+  /// adding vertices adjacent to every current member (preferring the one
+  /// covering the most still-uncovered edges), save it, repeat until all
+  /// edges are covered; finally add singleton cliques for vertices in no
+  /// clique. The exact minimum-total-size cover is NP-hard.
+  static CliqueCover Greedy(const AuthorGraph& graph);
+
+  /// Reassembles a cover from explicit cliques (persistence, tests,
+  /// dynamic maintenance). `num_authors` is the vertex count of the
+  /// covered graph, used for the `c` statistic. No validity checking —
+  /// pair with ValidateCover() when the cliques come from disk.
+  static CliqueCover FromCliques(std::vector<std::vector<AuthorId>> cliques,
+                                 size_t num_authors);
+
+  /// True when this cover is a valid clique edge cover of `graph`:
+  /// every clique complete, every edge covered, every vertex in >= 1
+  /// clique.
+  bool IsValidFor(const AuthorGraph& graph) const;
+
+  /// All cliques; each is a sorted author list.
+  const std::vector<std::vector<AuthorId>>& cliques() const {
+    return cliques_;
+  }
+  size_t num_cliques() const { return cliques_.size(); }
+
+  /// Cliques containing `author` (the Author2Cliques hashmap). Empty for
+  /// authors absent from the covered graph.
+  const std::vector<CliqueId>& CliquesOf(AuthorId author) const;
+
+  /// Σ over authors of cliques-per-author / num authors — the `c` of §4.4.
+  double AvgCliquesPerAuthor() const;
+
+  /// Average clique size — the `s` of §4.4.
+  double AvgCliqueSize() const;
+
+  /// Σ of clique sizes (the space objective the greedy heuristic targets).
+  uint64_t TotalCliqueSize() const;
+
+  /// Approximate resident bytes of the cover and its author map.
+  size_t ApproxBytes() const;
+
+ private:
+  std::vector<std::vector<AuthorId>> cliques_;
+  std::unordered_map<AuthorId, std::vector<CliqueId>> author_to_cliques_;
+  size_t num_authors_ = 0;
+  static const std::vector<CliqueId> kNoCliques;
+};
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_AUTHOR_CLIQUE_COVER_H_

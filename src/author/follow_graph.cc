@@ -1,0 +1,60 @@
+#include "src/author/follow_graph.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace firehose {
+
+FollowGraph::FollowGraph(AuthorId num_authors)
+    : followees_(num_authors), followers_(num_authors) {}
+
+void FollowGraph::AddFollow(AuthorId follower, AuthorId followee) {
+  if (follower == followee) return;
+  if (follower >= num_authors() || followee >= num_authors()) return;
+  followees_[follower].push_back(followee);
+  followers_[followee].push_back(follower);
+  finalized_ = false;
+}
+
+void FollowGraph::Finalize() {
+  if (finalized_) return;
+  num_edges_ = 0;
+  auto dedupe = [](std::vector<AuthorId>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  for (auto& v : followees_) {
+    dedupe(v);
+    num_edges_ += v.size();
+  }
+  for (auto& v : followers_) dedupe(v);
+  finalized_ = true;
+}
+
+std::vector<AuthorId> FollowGraph::BfsSample(AuthorId start,
+                                             size_t max_authors) const {
+  std::vector<AuthorId> visited;
+  if (start >= num_authors() || max_authors == 0) return visited;
+  std::vector<bool> seen(num_authors(), false);
+  std::queue<AuthorId> frontier;
+  frontier.push(start);
+  seen[start] = true;
+  while (!frontier.empty() && visited.size() < max_authors) {
+    AuthorId a = frontier.front();
+    frontier.pop();
+    visited.push_back(a);
+    auto expand = [&](const std::vector<AuthorId>& nbrs) {
+      for (AuthorId b : nbrs) {
+        if (!seen[b]) {
+          seen[b] = true;
+          frontier.push(b);
+        }
+      }
+    };
+    expand(followees_[a]);
+    expand(followers_[a]);
+  }
+  return visited;
+}
+
+}  // namespace firehose

@@ -1,0 +1,60 @@
+#ifndef FIREHOSE_AUTHOR_FOLLOW_GRAPH_H_
+#define FIREHOSE_AUTHOR_FOLLOW_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace firehose {
+
+/// Dense author identifier; authors are numbered 0..num_authors-1.
+using AuthorId = uint32_t;
+
+/// Directed follower/followee graph (the raw social graph of §6.1, the
+/// substitute for the Twitter graph of [22]). An edge a -> b means
+/// "a follows b"; b is a *followee* of a. Author similarity is the cosine
+/// similarity of two authors' followee sets (binary friend vectors).
+class FollowGraph {
+ public:
+  /// Creates a graph over `num_authors` authors with no follows.
+  explicit FollowGraph(AuthorId num_authors = 0);
+
+  AuthorId num_authors() const {
+    return static_cast<AuthorId>(followees_.size());
+  }
+
+  /// Adds a follow edge; self-follows and duplicates are ignored.
+  /// Both endpoints must be < num_authors().
+  void AddFollow(AuthorId follower, AuthorId followee);
+
+  /// Sorts adjacency lists and drops duplicates. Must be called after the
+  /// last AddFollow and before similarity computations. Idempotent.
+  void Finalize();
+
+  /// Followees of `a`, sorted ascending after Finalize().
+  const std::vector<AuthorId>& Followees(AuthorId a) const {
+    return followees_[a];
+  }
+
+  /// Followers of `a`, sorted ascending after Finalize().
+  const std::vector<AuthorId>& Followers(AuthorId a) const {
+    return followers_[a];
+  }
+
+  uint64_t num_edges() const { return num_edges_; }
+
+  /// BFS over the *undirected* follower-followee relation starting from
+  /// `start`, as the paper's §6.1 sampling: returns up to `max_authors`
+  /// reachable authors (including `start`), in visit order.
+  std::vector<AuthorId> BfsSample(AuthorId start, size_t max_authors) const;
+
+ private:
+  std::vector<std::vector<AuthorId>> followees_;
+  std::vector<std::vector<AuthorId>> followers_;
+  uint64_t num_edges_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_AUTHOR_FOLLOW_GRAPH_H_

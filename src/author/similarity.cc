@@ -1,0 +1,127 @@
+#include "src/author/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace firehose {
+
+double AuthorCosineSimilarity(const FollowGraph& graph, AuthorId a,
+                              AuthorId b) {
+  const auto& fa = graph.Followees(a);
+  const auto& fb = graph.Followees(b);
+  if (fa.empty() || fb.empty()) return 0.0;
+  size_t overlap = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < fa.size() && j < fb.size()) {
+    if (fa[i] < fb[j]) {
+      ++i;
+    } else if (fa[i] > fb[j]) {
+      ++j;
+    } else {
+      ++overlap;
+      ++i;
+      ++j;
+    }
+  }
+  return static_cast<double>(overlap) /
+         std::sqrt(static_cast<double>(fa.size()) *
+                   static_cast<double>(fb.size()));
+}
+
+double AuthorDistance(const FollowGraph& graph, AuthorId a, AuthorId b) {
+  return 1.0 - AuthorCosineSimilarity(graph, a, b);
+}
+
+std::vector<AuthorPairSimilarity> SimilarityDeltaForFollowChange(
+    const FollowGraph& graph, AuthorId follower, AuthorId followee,
+    const std::vector<AuthorId>& authors) {
+  // Candidates: everyone sharing any current followee with `follower`
+  // (their numerator or denominator moved), plus the followers of the
+  // toggled `followee` (covers pairs whose overlap just dropped to zero).
+  std::vector<AuthorId> candidates;
+  for (AuthorId f : graph.Followees(follower)) {
+    const auto& fans = graph.Followers(f);
+    candidates.insert(candidates.end(), fans.begin(), fans.end());
+  }
+  {
+    const auto& fans = graph.Followers(followee);
+    candidates.insert(candidates.end(), fans.begin(), fans.end());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  std::vector<AuthorId> sorted_authors = authors;
+  std::sort(sorted_authors.begin(), sorted_authors.end());
+  const bool follower_in = std::binary_search(
+      sorted_authors.begin(), sorted_authors.end(), follower);
+
+  std::vector<AuthorPairSimilarity> delta;
+  if (!follower_in) return delta;
+  for (AuthorId other : candidates) {
+    if (other == follower) continue;
+    if (!std::binary_search(sorted_authors.begin(), sorted_authors.end(),
+                            other)) {
+      continue;
+    }
+    AuthorPairSimilarity pair;
+    pair.a = std::min(follower, other);
+    pair.b = std::max(follower, other);
+    pair.similarity = AuthorCosineSimilarity(graph, follower, other);
+    delta.push_back(pair);
+  }
+  std::sort(delta.begin(), delta.end(),
+            [](const AuthorPairSimilarity& x, const AuthorPairSimilarity& y) {
+              return x.a != y.a ? x.a < y.a : x.b < y.b;
+            });
+  return delta;
+}
+
+std::vector<AuthorPairSimilarity> AllPairsSimilarity(
+    const FollowGraph& graph, const std::vector<AuthorId>& authors,
+    double min_similarity, size_t max_follower_list_size) {
+  // Inverted index: followee -> the subset authors that follow it.
+  std::unordered_map<AuthorId, std::vector<AuthorId>> inverted;
+  std::vector<bool> in_subset(graph.num_authors(), false);
+  for (AuthorId a : authors) in_subset[a] = true;
+  for (AuthorId a : authors) {
+    for (AuthorId f : graph.Followees(a)) inverted[f].push_back(a);
+  }
+
+  // Accumulate intersection counts per candidate pair.
+  std::unordered_map<uint64_t, uint32_t> overlap;
+  for (auto& [followee, followers] : inverted) {
+    (void)followee;
+    if (followers.size() > max_follower_list_size) continue;
+    std::sort(followers.begin(), followers.end());
+    for (size_t i = 0; i < followers.size(); ++i) {
+      for (size_t j = i + 1; j < followers.size(); ++j) {
+        const uint64_t key =
+            (static_cast<uint64_t>(followers[i]) << 32) | followers[j];
+        ++overlap[key];
+      }
+    }
+  }
+
+  std::vector<AuthorPairSimilarity> result;
+  result.reserve(overlap.size() / 4);
+  for (const auto& [key, count] : overlap) {
+    const AuthorId a = static_cast<AuthorId>(key >> 32);
+    const AuthorId b = static_cast<AuthorId>(key & 0xFFFFFFFFu);
+    const double da = static_cast<double>(graph.Followees(a).size());
+    const double db = static_cast<double>(graph.Followees(b).size());
+    const double sim = static_cast<double>(count) / std::sqrt(da * db);
+    if (sim >= min_similarity) {
+      result.push_back(AuthorPairSimilarity{a, b, sim});
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const AuthorPairSimilarity& x, const AuthorPairSimilarity& y) {
+              return x.a != y.a ? x.a < y.a : x.b < y.b;
+            });
+  return result;
+}
+
+}  // namespace firehose

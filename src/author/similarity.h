@@ -1,0 +1,66 @@
+#ifndef FIREHOSE_AUTHOR_SIMILARITY_H_
+#define FIREHOSE_AUTHOR_SIMILARITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/author/follow_graph.h"
+
+namespace firehose {
+
+/// A weighted author pair produced by the all-pairs similarity pass.
+struct AuthorPairSimilarity {
+  AuthorId a;
+  AuthorId b;  // a < b
+  double similarity;
+};
+
+/// Cosine similarity between the binary followee vectors of `a` and `b`:
+/// |F(a) ∩ F(b)| / sqrt(|F(a)| * |F(b)|). The paper's author similarity
+/// (distance = 1 - similarity). Requires a finalized graph.
+double AuthorCosineSimilarity(const FollowGraph& graph, AuthorId a, AuthorId b);
+
+/// Author distance `dista` = 1 - AuthorCosineSimilarity.
+double AuthorDistance(const FollowGraph& graph, AuthorId a, AuthorId b);
+
+/// Computes every author pair with cosine similarity >= `min_similarity`
+/// (> 0 required) over the given subset of authors, via an inverted index
+/// on followees: only pairs sharing at least one followee are ever touched,
+/// so the cost is Σ_f indegree(f)² rather than |authors|².
+///
+/// This is the weekly offline precomputation the paper assumes for the
+/// author similarity graph. Pairs are returned with a < b, sorted by (a, b).
+///
+/// `max_follower_list_size` optionally skips followees followed by more
+/// than that many subset authors: such hubs contribute a quadratic number
+/// of candidate pairs while adding at most 1/sqrt(|F(a)|·|F(b)|) to each
+/// pair's similarity, so dropping them trades a small similarity
+/// underestimate for bounded memory — the standard prefix-filtering
+/// compromise for offline all-pairs jobs at scale. The default (no cap)
+/// is exact.
+std::vector<AuthorPairSimilarity> AllPairsSimilarity(
+    const FollowGraph& graph, const std::vector<AuthorId>& authors,
+    double min_similarity, size_t max_follower_list_size = SIZE_MAX);
+
+/// The author pairs whose similarity changes when `follower` follows or
+/// unfollows `followee` — exactly the pairs (follower, x) where x also
+/// follows `followee`, plus every pair (follower, y) whose denominator
+/// moved because |F(follower)| changed.
+///
+/// `graph` must already reflect the change (call after AddFollow +
+/// Finalize, or after rebuilding). Returns fresh similarities for the
+/// affected pairs restricted to `authors` (pairs dropping to 0 are
+/// included with similarity 0 so callers can delete edges). Feeding the
+/// result into DynamicCoverMaintainer closes the loop:
+///
+///   follow-graph delta -> similarity delta -> graph edge delta ->
+///   clique cover repair,
+///
+/// replacing the paper's weekly full recompute with an incremental one.
+std::vector<AuthorPairSimilarity> SimilarityDeltaForFollowChange(
+    const FollowGraph& graph, AuthorId follower, AuthorId followee,
+    const std::vector<AuthorId>& authors);
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_AUTHOR_SIMILARITY_H_

@@ -1,0 +1,79 @@
+#include "src/core/clique_bin.h"
+
+#include <algorithm>
+
+namespace firehose {
+
+CliqueBinDiversifier::CliqueBinDiversifier(
+    const DiversityThresholds& thresholds, const CliqueCover* cover)
+    : thresholds_(thresholds), cover_(cover) {}
+
+bool CliqueBinDiversifier::Offer(const Post& post) {
+  ++stats_.posts_in;
+  const int64_t cutoff = post.time_ms - thresholds_.lambda_t_ms;
+  const std::vector<CliqueId>& cliques = cover_->CliquesOf(post.author);
+
+  // Posts sharing a clique with the author are by construction similar to
+  // it (clique members are pairwise neighbors), so only content is checked.
+  auto author_similar = [](AuthorId) { return true; };
+  bool covered = false;
+  for (CliqueId clique : cliques) {
+    PostBin& bin = bins_[clique];
+    bin.EvictOlderThan(cutoff);
+    for (size_t i = 0; i < bin.size() && !covered; ++i) {
+      const BinEntry& entry = bin.FromNewest(i);
+      ++stats_.comparisons;
+      covered = internal::CoversContentAndAuthor(
+          entry, post.simhash, post.author, thresholds_, author_similar);
+    }
+    if (covered) break;
+  }
+  if (covered) {
+    stats_.peak_bytes = std::max(stats_.peak_bytes, ApproxBytes());
+    return false;
+  }
+
+  const BinEntry entry{post.time_ms, post.simhash, post.author, post.id};
+  for (CliqueId clique : cliques) {
+    PostBin& bin = bins_[clique];
+    const size_t before = bin.ApproxBytes();
+    bin.Push(entry);
+    bins_bytes_ += bin.ApproxBytes() - before;
+    ++stats_.insertions;
+  }
+  ++stats_.posts_out;
+  stats_.peak_bytes = std::max(stats_.peak_bytes, ApproxBytes());
+  return true;
+}
+
+void CliqueBinDiversifier::SaveState(BinaryWriter* out) const {
+  internal::SaveStats(stats_, out);
+  out->PutVarint(bins_.size());
+  for (const auto& [clique, bin] : bins_) {
+    out->PutVarint(clique);
+    bin.Save(out);
+  }
+}
+
+bool CliqueBinDiversifier::LoadState(BinaryReader& in) {
+  if (!internal::LoadStats(in, &stats_)) return false;
+  bins_.clear();
+  bins_bytes_ = 0;
+  uint64_t count;
+  if (!in.GetVarint(&count)) return false;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t clique;
+    if (!in.GetVarint(&clique)) return false;
+    PostBin& bin = bins_[static_cast<CliqueId>(clique)];
+    if (!bin.Load(in)) return false;
+    bins_bytes_ += bin.ApproxBytes();
+  }
+  return true;
+}
+
+size_t CliqueBinDiversifier::ApproxBytes() const {
+  return bins_bytes_ +
+         bins_.size() * (sizeof(PostBin) + sizeof(CliqueId) + 2 * sizeof(void*));
+}
+
+}  // namespace firehose

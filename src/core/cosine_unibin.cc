@@ -1,0 +1,55 @@
+#include "src/core/cosine_unibin.h"
+
+#include <algorithm>
+
+#include "src/text/normalize.h"
+
+namespace firehose {
+
+CosineUniBinDiversifier::CosineUniBinDiversifier(
+    const DiversityThresholds& thresholds, double min_cosine_similarity,
+    const AuthorGraph* graph)
+    : thresholds_(thresholds),
+      min_cosine_similarity_(min_cosine_similarity),
+      graph_(graph) {}
+
+bool CosineUniBinDiversifier::Offer(const Post& post) {
+  ++stats_.posts_in;
+  const int64_t cutoff = post.time_ms - thresholds_.lambda_t_ms;
+  while (!bin_.empty() && bin_.front().time_ms < cutoff) {
+    bin_bytes_ -= bin_.front().bytes;
+    bin_.pop_front();
+  }
+
+  const TfVector vector = TfVector::FromText(Normalize(post.text));
+
+  for (auto it = bin_.rbegin(); it != bin_.rend(); ++it) {
+    ++stats_.comparisons;
+    if (thresholds_.use_content &&
+        vector.CosineSimilarity(it->vector) < min_cosine_similarity_) {
+      continue;
+    }
+    if (thresholds_.use_author && it->author != post.author &&
+        (graph_ == nullptr || !graph_->IsNeighbor(post.author, it->author))) {
+      continue;
+    }
+    stats_.peak_bytes = std::max(stats_.peak_bytes, ApproxBytes());
+    return false;  // covered
+  }
+
+  Entry entry;
+  entry.time_ms = post.time_ms;
+  entry.author = post.author;
+  entry.bytes = sizeof(Entry) + vector.size() * 12;  // hash + count approx
+  entry.vector = std::move(vector);
+  bin_bytes_ += entry.bytes;
+  bin_.push_back(std::move(entry));
+  ++stats_.insertions;
+  ++stats_.posts_out;
+  stats_.peak_bytes = std::max(stats_.peak_bytes, ApproxBytes());
+  return true;
+}
+
+size_t CosineUniBinDiversifier::ApproxBytes() const { return bin_bytes_; }
+
+}  // namespace firehose

@@ -1,0 +1,37 @@
+#include "src/core/cost_model.h"
+
+namespace firehose {
+
+CostPrediction PredictCost(Algorithm algorithm,
+                           const CostModelParams& params) {
+  const double rn = params.r * params.n;
+  CostPrediction p;
+  switch (algorithm) {
+    case Algorithm::kUniBin:
+      p.ram_posts = rn;
+      p.comparisons = rn * params.n;
+      p.insertions = rn;
+      break;
+    case Algorithm::kNeighborBin: {
+      const double copies = params.d + 1.0;
+      p.ram_posts = copies * rn;
+      p.comparisons = params.m > 0 ? copies / params.m * rn * params.n : 0.0;
+      p.insertions = copies * rn;
+      break;
+    }
+    case Algorithm::kCliqueBin:
+      p.ram_posts = params.c * rn;
+      p.comparisons = params.m > 0
+                          ? params.s * params.c / params.m * rn * params.n
+                          : 0.0;
+      p.insertions = params.c * rn;
+      break;
+  }
+  return p;
+}
+
+double CliqueIdentityResidual(const CostModelParams& params, double q) {
+  return params.c * (params.s - 1.0) * q - params.d;
+}
+
+}  // namespace firehose

@@ -1,0 +1,39 @@
+#ifndef FIREHOSE_CORE_COST_MODEL_H_
+#define FIREHOSE_CORE_COST_MODEL_H_
+
+#include "src/core/engine.h"
+
+namespace firehose {
+
+/// Workload/topology parameters of the §4.4 performance analysis.
+struct CostModelParams {
+  double r = 0.9;  ///< fraction of posts surviving diversification
+  double n = 0.0;  ///< posts arriving per λt window
+  double m = 0.0;  ///< number of subscribed authors
+  double d = 0.0;  ///< average neighbors per author in G
+  double c = 0.0;  ///< average cliques per author
+  double s = 0.0;  ///< average clique size
+};
+
+/// Predicted costs over one λt window (paper Table 2). RAM is in posts
+/// (bin entries), not bytes.
+struct CostPrediction {
+  double ram_posts = 0.0;
+  double comparisons = 0.0;
+  double insertions = 0.0;
+};
+
+/// Evaluates the Table 2 row for `algorithm`:
+///   UniBin:      RAM r·n,        cmp r·n²,             ins r·n
+///   NeighborBin: RAM (d+1)·r·n,  cmp (d+1)/m·r·n²,     ins (d+1)·r·n
+///   CliqueBin:   RAM c·r·n,      cmp s·c/m·r·n²,       ins c·r·n
+CostPrediction PredictCost(Algorithm algorithm, const CostModelParams& params);
+
+/// The §4.4 clique-overlap identity check: with q = (edges of G) /
+/// (Σ edges inside cliques, counted per clique), the model expects
+/// c·(s−1)·q ≈ d. Returns c*(s-1)*q - d (should be near 0).
+double CliqueIdentityResidual(const CostModelParams& params, double q);
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_CORE_COST_MODEL_H_

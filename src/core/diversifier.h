@@ -1,0 +1,110 @@
+#ifndef FIREHOSE_CORE_DIVERSIFIER_H_
+#define FIREHOSE_CORE_DIVERSIFIER_H_
+
+#include <cstddef>
+#include <string_view>
+
+#include "src/core/thresholds.h"
+#include "src/io/binary.h"
+#include "src/stream/post.h"
+#include "src/stream/post_bin.h"
+#include "src/stream/stats.h"
+#include "src/util/bitops.h"
+
+namespace firehose {
+
+/// Online streaming diversifier solving SPSD (Problem 1): posts are offered
+/// in timestamp order and the decision to admit each post into the
+/// diversified sub-stream Z is made immediately at arrival.
+///
+/// Implementations: UniBinDiversifier, NeighborBinDiversifier,
+/// CliqueBinDiversifier. All three emit the identical sub-stream; they
+/// differ in indexing and therefore in RAM/comparison/insertion cost
+/// (paper Table 3).
+class Diversifier {
+ public:
+  virtual ~Diversifier() = default;
+
+  /// Offers the next post of the stream. Posts must arrive in
+  /// non-decreasing time order. Returns true when the post is
+  /// non-redundant and belongs to Z; false when an earlier post in Z
+  /// covers it.
+  virtual bool Offer(const Post& post) = 0;
+
+  /// Counters accumulated so far.
+  virtual const IngestStats& stats() const = 0;
+
+  /// Current resident bytes of the algorithm's bins and indexes.
+  virtual size_t ApproxBytes() const = 0;
+
+  /// Human-readable algorithm name ("UniBin", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Serializes the mutable runtime state (bins + counters) so a
+  /// replacement process can resume ingest mid-stream (failover / rolling
+  /// restart). The immutable inputs — author graph, clique cover,
+  /// thresholds — are persisted separately via src/io/persist.h and must
+  /// match on restore. Default: unsupported (writes nothing).
+  virtual void SaveState(BinaryWriter* out) const { (void)out; }
+
+  /// Restores state written by SaveState on an identically-configured
+  /// diversifier. Returns false (state unchanged or reset to empty) if
+  /// unsupported or the snapshot is malformed.
+  virtual bool LoadState(BinaryReader& in) {
+    (void)in;
+    return false;
+  }
+};
+
+namespace internal {
+
+inline void SaveStats(const IngestStats& stats, BinaryWriter* out) {
+  out->PutVarint(stats.posts_in);
+  out->PutVarint(stats.posts_out);
+  out->PutVarint(stats.comparisons);
+  out->PutVarint(stats.insertions);
+  out->PutVarint(stats.peak_bytes);
+}
+
+inline bool LoadStats(BinaryReader& in, IngestStats* stats) {
+  uint64_t peak = 0;
+  const bool ok = in.GetVarint(&stats->posts_in) &&
+                  in.GetVarint(&stats->posts_out) &&
+                  in.GetVarint(&stats->comparisons) &&
+                  in.GetVarint(&stats->insertions) && in.GetVarint(&peak);
+  stats->peak_bytes = static_cast<size_t>(peak);
+  return ok;
+}
+
+}  // namespace internal
+
+namespace internal {
+
+/// The coverage predicate shared by all bin algorithms, minus the time
+/// dimension (bins are already time-windowed): true when `entry` covers a
+/// new post with fingerprint `simhash` by author `author`.
+///
+/// `author_similar` is evaluated lazily only when content matches, the
+/// cheap-dimension-first pruning the paper describes in its third
+/// challenge.
+template <typename AuthorSimilarFn>
+bool CoversContentAndAuthor(const BinEntry& entry, uint64_t simhash,
+                            AuthorId author,
+                            const DiversityThresholds& thresholds,
+                            AuthorSimilarFn&& author_similar) {
+  if (thresholds.use_content &&
+      HammingDistance64(entry.simhash, simhash) > thresholds.lambda_c) {
+    return false;
+  }
+  if (thresholds.use_author && entry.author != author &&
+      !author_similar(entry.author)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace internal
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_CORE_DIVERSIFIER_H_

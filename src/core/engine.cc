@@ -1,0 +1,64 @@
+#include "src/core/engine.h"
+
+#include <utility>
+
+#include "src/core/clique_bin.h"
+#include "src/core/neighbor_bin.h"
+#include "src/core/unibin.h"
+
+namespace firehose {
+
+namespace {
+
+/// CliqueBin bundled with an owned cover, for callers that did not
+/// precompute one.
+class OwningCliqueBin final : public Diversifier {
+ public:
+  OwningCliqueBin(const DiversityThresholds& thresholds, CliqueCover cover)
+      : cover_(std::move(cover)), impl_(thresholds, &cover_) {}
+
+  bool Offer(const Post& post) override { return impl_.Offer(post); }
+  const IngestStats& stats() const override { return impl_.stats(); }
+  size_t ApproxBytes() const override { return impl_.ApproxBytes(); }
+  std::string_view name() const override { return impl_.name(); }
+  void SaveState(BinaryWriter* out) const override { impl_.SaveState(out); }
+  bool LoadState(BinaryReader& in) override { return impl_.LoadState(in); }
+
+ private:
+  CliqueCover cover_;
+  CliqueBinDiversifier impl_;
+};
+
+}  // namespace
+
+std::string_view AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kUniBin:
+      return "UniBin";
+    case Algorithm::kNeighborBin:
+      return "NeighborBin";
+    case Algorithm::kCliqueBin:
+      return "CliqueBin";
+  }
+  return "?";
+}
+
+std::unique_ptr<Diversifier> MakeDiversifier(Algorithm algorithm,
+                                             const DiversityThresholds& t,
+                                             const AuthorGraph* graph,
+                                             const CliqueCover* cover) {
+  switch (algorithm) {
+    case Algorithm::kUniBin:
+      return std::make_unique<UniBinDiversifier>(t, graph);
+    case Algorithm::kNeighborBin:
+      return std::make_unique<NeighborBinDiversifier>(t, graph);
+    case Algorithm::kCliqueBin:
+      if (cover != nullptr) {
+        return std::make_unique<CliqueBinDiversifier>(t, cover);
+      }
+      return std::make_unique<OwningCliqueBin>(t, CliqueCover::Greedy(*graph));
+  }
+  return nullptr;
+}
+
+}  // namespace firehose

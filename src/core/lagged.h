@@ -1,0 +1,73 @@
+#ifndef FIREHOSE_CORE_LAGGED_H_
+#define FIREHOSE_CORE_LAGGED_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/author/similarity_graph.h"
+#include "src/core/diversifier.h"
+#include "src/stream/post.h"
+#include "src/stream/stats.h"
+
+namespace firehose {
+
+/// Lagged-decision stream diversification — the relaxation the paper's
+/// related work ([4], Cheng et al. EDBT'14) permits and SPSD forbids: the
+/// engine may hold each post for up to `lag_ms` before deciding, so a
+/// post arriving *during* the lag can cover it.
+///
+/// Decision rule (greedy, emission in arrival order): when post P's
+/// deadline (arrival + lag) passes,
+///   1. if an already-emitted post covers P -> prune (as in UniBin);
+///   2. else if some still-pending later arrival Q covers P -> prune P
+///      and *pin* Q: Q will be emitted at its own deadline no matter
+///      what, so P stays covered. Among candidate pinners the one
+///      covering the most other pending posts is chosen (set-cover
+///      greedy);
+///   3. else emit P.
+/// Because coverage is symmetric pair-wise, a pin can only ever swap the
+/// representative; the win comes from chains — a later post covering
+/// several pending posts none of which cover each other.
+///
+/// Coverage guarantee is unchanged: every input post is covered by some
+/// output post within the three thresholds. What is traded away is
+/// immediacy: outputs appear up to `lag_ms` after arrival.
+class LaggedDiversifier {
+ public:
+  /// With lag_ms == 0 the decisions match UniBinDiversifier exactly.
+  /// `graph` may be null (same-author-only coverage).
+  LaggedDiversifier(const DiversityThresholds& thresholds, int64_t lag_ms,
+                    const AuthorGraph* graph);
+
+  /// Feeds the next post (non-decreasing time_ms) and appends to
+  /// `*emitted` every pending post whose deadline passed and that
+  /// survived. Emissions come out in arrival order.
+  void Offer(const Post& post, std::vector<Post>* emitted);
+
+  /// Flushes all pending decisions at end of stream.
+  void Finish(std::vector<Post>* emitted);
+
+  const IngestStats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    Post post;
+    bool pinned = false;
+  };
+
+  bool Covers(const Post& a, const Post& b) const;
+
+  /// Decides every pending post with deadline <= now.
+  void DecideUntil(int64_t now, std::vector<Post>* emitted);
+
+  const DiversityThresholds thresholds_;
+  const int64_t lag_ms_;
+  const AuthorGraph* graph_;  // not owned
+  std::deque<Pending> pending_;       // arrival order
+  std::deque<Post> emitted_window_;   // emitted posts within λt + lag
+  IngestStats stats_;
+};
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_CORE_LAGGED_H_

@@ -1,0 +1,250 @@
+#include "src/core/multi_user.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "src/util/hash.h"
+
+namespace firehose {
+
+namespace {
+
+std::string EngineName(const char* prefix, Algorithm algorithm) {
+  return std::string(prefix) + std::string(AlgorithmName(algorithm));
+}
+
+/// One diversifier together with the structures it borrows from.
+struct OwnedDiversifier {
+  AuthorGraph graph;
+  std::unique_ptr<CliqueCover> cover;  // only for CliqueBin
+  std::unique_ptr<Diversifier> diversifier;
+
+  OwnedDiversifier() = default;
+  OwnedDiversifier(OwnedDiversifier&&) = delete;  // pointers into members
+
+  void Init(Algorithm algorithm, const DiversityThresholds& t,
+            AuthorGraph subgraph) {
+    graph = std::move(subgraph);
+    if (algorithm == Algorithm::kCliqueBin) {
+      cover = std::make_unique<CliqueCover>(CliqueCover::Greedy(graph));
+    }
+    diversifier = MakeDiversifier(algorithm, t, &graph, cover.get());
+  }
+
+  size_t ApproxBytes() const {
+    size_t bytes = diversifier->ApproxBytes() + graph.ApproxBytes();
+    if (cover != nullptr) bytes += cover->ApproxBytes();
+    return bytes;
+  }
+};
+
+/// M_*: independent per-user diversifiers.
+class MUserEngine final : public MultiUserEngine {
+ public:
+  MUserEngine(Algorithm algorithm, const DiversityThresholds& t,
+              const AuthorGraph& graph, const std::vector<User>& users)
+      : name_(EngineName("M_", algorithm)) {
+    AuthorId max_author = 0;
+    for (const User& user : users) {
+      for (AuthorId a : user.subscriptions) max_author = std::max(max_author, a);
+    }
+    subscribers_.assign(static_cast<size_t>(max_author) + 1, {});
+    engines_.resize(users.size());
+    user_ids_.resize(users.size());
+    for (size_t u = 0; u < users.size(); ++u) {
+      user_ids_[u] = users[u].id;
+      engines_[u] = std::make_unique<OwnedDiversifier>();
+      engines_[u]->Init(algorithm, users[u].custom_thresholds.value_or(t),
+                        graph.InducedSubgraph(users[u].subscriptions));
+      for (AuthorId a : engines_[u]->graph.vertices()) {
+        subscribers_[a].push_back(u);
+      }
+    }
+  }
+
+  void Offer(const Post& post, std::vector<UserId>* delivered) override {
+    delivered->clear();
+    if (post.author >= subscribers_.size()) return;
+    for (size_t u : subscribers_[post.author]) {
+      if (engines_[u]->diversifier->Offer(post)) {
+        delivered->push_back(user_ids_[u]);
+      }
+    }
+    std::sort(delivered->begin(), delivered->end());
+  }
+
+  IngestStats AggregateStats() const override {
+    IngestStats total;
+    for (const auto& e : engines_) total.MergeFrom(e->diversifier->stats());
+    return total;
+  }
+
+  size_t ApproxBytes() const override {
+    size_t bytes = 0;
+    for (const auto& e : engines_) bytes += e->ApproxBytes();
+    for (const auto& subs : subscribers_) {
+      bytes += subs.capacity() * sizeof(size_t);
+    }
+    return bytes;
+  }
+
+  std::string_view name() const override { return name_; }
+  size_t num_diversifiers() const override { return engines_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<OwnedDiversifier>> engines_;  // per users index
+  std::vector<UserId> user_ids_;                            // per users index
+  std::vector<std::vector<size_t>> subscribers_;            // author -> indices
+};
+
+uint64_t AuthorSetKey(const std::vector<AuthorId>& sorted_authors) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (AuthorId a : sorted_authors) h = HashCombine(h, Fmix64(a));
+  return h;
+}
+
+uint64_t ThresholdsKey(const DiversityThresholds& t) {
+  uint64_t h = Fmix64(static_cast<uint64_t>(t.lambda_c));
+  h = HashCombine(h, Fmix64(static_cast<uint64_t>(t.lambda_t_ms)));
+  uint64_t lambda_a_bits;
+  static_assert(sizeof(lambda_a_bits) == sizeof(t.lambda_a));
+  std::memcpy(&lambda_a_bits, &t.lambda_a, sizeof(lambda_a_bits));
+  h = HashCombine(h, Fmix64(lambda_a_bits));
+  h = HashCombine(h, (t.use_content ? 2u : 0u) | (t.use_author ? 1u : 0u));
+  return h;
+}
+
+/// S_*: shared per-distinct-component diversifiers.
+class SUserEngine final : public MultiUserEngine {
+ public:
+  SUserEngine(Algorithm algorithm, const DiversityThresholds& t,
+              const AuthorGraph& graph, const std::vector<User>& users)
+      : name_(EngineName("S_", algorithm)) {
+    AuthorId max_author = 0;
+    for (SharedComponent& shared :
+         ComputeSharedComponents(t, graph, users)) {
+      for (AuthorId a : shared.authors) max_author = std::max(max_author, a);
+      components_.push_back({});
+      Component& c = components_.back();
+      c.authors = std::move(shared.authors);
+      c.users = std::move(shared.users);
+      c.thresholds = shared.thresholds;
+      c.engine = std::make_unique<OwnedDiversifier>();
+      c.engine->Init(algorithm, c.thresholds,
+                     graph.InducedSubgraph(c.authors));
+    }
+    // Route authors to the components containing them.
+    author_components_.assign(static_cast<size_t>(max_author) + 1, {});
+    for (size_t i = 0; i < components_.size(); ++i) {
+      for (AuthorId a : components_[i].authors) {
+        author_components_[a].push_back(i);
+      }
+    }
+  }
+
+  void Offer(const Post& post, std::vector<UserId>* delivered) override {
+    delivered->clear();
+    if (post.author >= author_components_.size()) return;
+    for (size_t index : author_components_[post.author]) {
+      Component& c = components_[index];
+      if (c.engine->diversifier->Offer(post)) {
+        delivered->insert(delivered->end(), c.users.begin(), c.users.end());
+      }
+    }
+    std::sort(delivered->begin(), delivered->end());
+  }
+
+  IngestStats AggregateStats() const override {
+    IngestStats total;
+    for (const Component& c : components_) {
+      total.MergeFrom(c.engine->diversifier->stats());
+    }
+    return total;
+  }
+
+  size_t ApproxBytes() const override {
+    size_t bytes = 0;
+    for (const Component& c : components_) {
+      bytes += c.engine->ApproxBytes();
+      bytes += c.authors.capacity() * sizeof(AuthorId);
+      bytes += c.users.capacity() * sizeof(UserId);
+    }
+    for (const auto& v : author_components_) bytes += v.capacity() * sizeof(size_t);
+    return bytes;
+  }
+
+  std::string_view name() const override { return name_; }
+  size_t num_diversifiers() const override { return components_.size(); }
+
+ private:
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+
+  struct Component {
+    std::vector<AuthorId> authors;  // sorted
+    std::vector<UserId> users;      // owners, sorted
+    DiversityThresholds thresholds;
+    std::unique_ptr<OwnedDiversifier> engine;
+  };
+
+  std::string name_;
+  std::vector<Component> components_;
+  std::vector<std::vector<size_t>> author_components_;  // index = author
+};
+
+}  // namespace
+
+std::vector<SharedComponent> ComputeSharedComponents(
+    const DiversityThresholds& t, const AuthorGraph& graph,
+    const std::vector<User>& users) {
+  // Key every connected component of every user's G_i by its exact
+  // author set AND the user's effective thresholds; identical keys share
+  // one component (a customized user gets private components).
+  std::vector<SharedComponent> components;
+  std::unordered_map<uint64_t, std::vector<size_t>> by_key;
+  constexpr size_t kNotFound = static_cast<size_t>(-1);
+  for (const User& user : users) {
+    const DiversityThresholds user_t = user.custom_thresholds.value_or(t);
+    AuthorGraph gi = graph.InducedSubgraph(user.subscriptions);
+    for (std::vector<AuthorId>& component : gi.ConnectedComponents()) {
+      const uint64_t key =
+          HashCombine(AuthorSetKey(component), ThresholdsKey(user_t));
+      size_t index = kNotFound;
+      for (size_t cand : by_key[key]) {
+        if (components[cand].authors == component &&
+            components[cand].thresholds == user_t) {
+          index = cand;
+          break;
+        }
+      }
+      if (index == kNotFound) {
+        index = components.size();
+        by_key[key].push_back(index);
+        components.push_back(
+            SharedComponent{std::move(component), {}, user_t});
+      }
+      components[index].users.push_back(user.id);
+    }
+  }
+  for (SharedComponent& c : components) {
+    std::sort(c.users.begin(), c.users.end());
+    c.users.erase(std::unique(c.users.begin(), c.users.end()), c.users.end());
+  }
+  return components;
+}
+
+std::unique_ptr<MultiUserEngine> MakeMUserEngine(
+    Algorithm algorithm, const DiversityThresholds& t,
+    const AuthorGraph& graph, const std::vector<User>& users) {
+  return std::make_unique<MUserEngine>(algorithm, t, graph, users);
+}
+
+std::unique_ptr<MultiUserEngine> MakeSUserEngine(
+    Algorithm algorithm, const DiversityThresholds& t,
+    const AuthorGraph& graph, const std::vector<User>& users) {
+  return std::make_unique<SUserEngine>(algorithm, t, graph, users);
+}
+
+}  // namespace firehose

@@ -1,0 +1,85 @@
+#include "src/core/neighbor_bin.h"
+
+#include <algorithm>
+
+namespace firehose {
+
+NeighborBinDiversifier::NeighborBinDiversifier(
+    const DiversityThresholds& thresholds, const AuthorGraph* graph)
+    : thresholds_(thresholds), graph_(graph) {}
+
+PostBin& NeighborBinDiversifier::BinOf(AuthorId author) {
+  return bins_[author];
+}
+
+bool NeighborBinDiversifier::Offer(const Post& post) {
+  ++stats_.posts_in;
+  const int64_t cutoff = post.time_ms - thresholds_.lambda_t_ms;
+
+  PostBin& own_bin = BinOf(post.author);
+  own_bin.EvictOlderThan(cutoff);
+
+  // Every post in bin(author) is from the author or a similar author, so
+  // the author dimension holds by construction; only content is checked.
+  auto author_similar = [](AuthorId) { return true; };
+  for (size_t i = 0; i < own_bin.size(); ++i) {
+    const BinEntry& entry = own_bin.FromNewest(i);
+    ++stats_.comparisons;
+    if (internal::CoversContentAndAuthor(entry, post.simhash, post.author,
+                                         thresholds_, author_similar)) {
+      stats_.peak_bytes = std::max(stats_.peak_bytes, ApproxBytes());
+      return false;
+    }
+  }
+
+  // Non-redundant: insert into the author's bin and each neighbor's bin.
+  const BinEntry entry{post.time_ms, post.simhash, post.author, post.id};
+  size_t before = own_bin.ApproxBytes();
+  own_bin.Push(entry);
+  bins_bytes_ += own_bin.ApproxBytes() - before;
+  ++stats_.insertions;
+  for (AuthorId neighbor : graph_->Neighbors(post.author)) {
+    PostBin& bin = BinOf(neighbor);
+    bin.EvictOlderThan(cutoff);
+    before = bin.ApproxBytes();
+    bin.Push(entry);
+    bins_bytes_ += bin.ApproxBytes() - before;
+    ++stats_.insertions;
+  }
+  ++stats_.posts_out;
+  stats_.peak_bytes = std::max(stats_.peak_bytes, ApproxBytes());
+  return true;
+}
+
+void NeighborBinDiversifier::SaveState(BinaryWriter* out) const {
+  internal::SaveStats(stats_, out);
+  out->PutVarint(bins_.size());
+  for (const auto& [author, bin] : bins_) {
+    out->PutVarint(author);
+    bin.Save(out);
+  }
+}
+
+bool NeighborBinDiversifier::LoadState(BinaryReader& in) {
+  if (!internal::LoadStats(in, &stats_)) return false;
+  bins_.clear();
+  bins_bytes_ = 0;
+  uint64_t count;
+  if (!in.GetVarint(&count)) return false;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t author;
+    if (!in.GetVarint(&author)) return false;
+    PostBin& bin = bins_[static_cast<AuthorId>(author)];
+    if (!bin.Load(in)) return false;
+    bins_bytes_ += bin.ApproxBytes();
+  }
+  return true;
+}
+
+size_t NeighborBinDiversifier::ApproxBytes() const {
+  // Ring capacities plus hash-map node overhead per bin.
+  return bins_bytes_ +
+         bins_.size() * (sizeof(PostBin) + sizeof(AuthorId) + 2 * sizeof(void*));
+}
+
+}  // namespace firehose

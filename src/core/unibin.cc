@@ -1,0 +1,46 @@
+#include "src/core/unibin.h"
+
+#include <algorithm>
+
+namespace firehose {
+
+UniBinDiversifier::UniBinDiversifier(const DiversityThresholds& thresholds,
+                                     const AuthorGraph* graph)
+    : thresholds_(thresholds), graph_(graph) {}
+
+bool UniBinDiversifier::Offer(const Post& post) {
+  ++stats_.posts_in;
+  bin_.EvictOlderThan(post.time_ms - thresholds_.lambda_t_ms);
+
+  auto author_similar = [&](AuthorId other) {
+    return graph_ != nullptr && graph_->IsNeighbor(post.author, other);
+  };
+  for (size_t i = 0; i < bin_.size(); ++i) {
+    const BinEntry& entry = bin_.FromNewest(i);
+    ++stats_.comparisons;
+    if (internal::CoversContentAndAuthor(entry, post.simhash, post.author,
+                                         thresholds_, author_similar)) {
+      stats_.peak_bytes = std::max(stats_.peak_bytes, ApproxBytes());
+      return false;  // covered: redundant
+    }
+  }
+
+  bin_.Push(BinEntry{post.time_ms, post.simhash, post.author, post.id});
+  ++stats_.insertions;
+  ++stats_.posts_out;
+  stats_.peak_bytes = std::max(stats_.peak_bytes, ApproxBytes());
+  return true;
+}
+
+size_t UniBinDiversifier::ApproxBytes() const { return bin_.ApproxBytes(); }
+
+void UniBinDiversifier::SaveState(BinaryWriter* out) const {
+  internal::SaveStats(stats_, out);
+  bin_.Save(out);
+}
+
+bool UniBinDiversifier::LoadState(BinaryReader& in) {
+  return internal::LoadStats(in, &stats_) && bin_.Load(in);
+}
+
+}  // namespace firehose

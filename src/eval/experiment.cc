@@ -1,0 +1,51 @@
+#include "src/eval/experiment.h"
+
+#include "src/util/timer.h"
+
+namespace firehose {
+
+RunResult RunDiversifier(Diversifier& diversifier, const PostStream& stream,
+                         std::vector<PostId>* admitted) {
+  WallTimer timer;
+  for (const Post& post : stream) {
+    if (diversifier.Offer(post) && admitted != nullptr) {
+      admitted->push_back(post.id);
+    }
+  }
+  RunResult result;
+  result.wall_ms = timer.ElapsedMillis();
+  const IngestStats& stats = diversifier.stats();
+  result.peak_bytes = stats.peak_bytes;
+  result.comparisons = stats.comparisons;
+  result.insertions = stats.insertions;
+  result.posts_in = stats.posts_in;
+  result.posts_out = stats.posts_out;
+  return result;
+}
+
+MultiUserRunResult RunMultiUser(
+    MultiUserEngine& engine, const PostStream& stream,
+    std::vector<std::pair<PostId, UserId>>* deliveries) {
+  WallTimer timer;
+  std::vector<UserId> delivered;
+  uint64_t total_deliveries = 0;
+  for (const Post& post : stream) {
+    engine.Offer(post, &delivered);
+    total_deliveries += delivered.size();
+    if (deliveries != nullptr) {
+      for (UserId user : delivered) deliveries->emplace_back(post.id, user);
+    }
+  }
+  MultiUserRunResult result;
+  result.wall_ms = timer.ElapsedMillis();
+  const IngestStats stats = engine.AggregateStats();
+  result.peak_bytes = engine.ApproxBytes();
+  result.comparisons = stats.comparisons;
+  result.insertions = stats.insertions;
+  result.posts_in = stats.posts_in;
+  result.posts_out = stats.posts_out;
+  result.deliveries = total_deliveries;
+  return result;
+}
+
+}  // namespace firehose

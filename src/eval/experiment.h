@@ -1,0 +1,46 @@
+#ifndef FIREHOSE_EVAL_EXPERIMENT_H_
+#define FIREHOSE_EVAL_EXPERIMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/diversifier.h"
+#include "src/core/multi_user.h"
+#include "src/stream/post.h"
+
+namespace firehose {
+
+/// Measured result of running a diversifier (or multi-user engine) over a
+/// stream — the four quantities each §6 figure plots, plus output size.
+struct RunResult {
+  double wall_ms = 0.0;
+  size_t peak_bytes = 0;
+  uint64_t comparisons = 0;
+  uint64_t insertions = 0;
+  uint64_t posts_in = 0;
+  uint64_t posts_out = 0;
+
+  double SurvivorRatio() const {
+    return posts_in == 0 ? 0.0
+                         : static_cast<double>(posts_out) /
+                               static_cast<double>(posts_in);
+  }
+};
+
+/// Feeds every post of `stream` to `diversifier`, timing ingest only
+/// (setup excluded). Optionally collects the ids of admitted posts.
+RunResult RunDiversifier(Diversifier& diversifier, const PostStream& stream,
+                         std::vector<PostId>* admitted = nullptr);
+
+/// Feeds every post of `stream` to `engine`, timing ingest only.
+/// Optionally collects (post, user) deliveries in arrival order.
+struct MultiUserRunResult : RunResult {
+  uint64_t deliveries = 0;
+};
+MultiUserRunResult RunMultiUser(
+    MultiUserEngine& engine, const PostStream& stream,
+    std::vector<std::pair<PostId, UserId>>* deliveries = nullptr);
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_EVAL_EXPERIMENT_H_

@@ -1,0 +1,88 @@
+#include "src/eval/precision_recall.h"
+
+#include <cmath>
+
+namespace firehose {
+
+namespace {
+
+PrPoint MakePoint(const std::vector<LabeledPair>& pairs, double threshold,
+                  bool (*predict)(const LabeledPair&, double)) {
+  PrPoint point;
+  point.threshold = threshold;
+  uint64_t actual_positive = 0;
+  for (const LabeledPair& pair : pairs) {
+    const bool predicted = predict(pair, threshold);
+    if (pair.redundant) ++actual_positive;
+    if (predicted) {
+      ++point.predicted_positive;
+      if (pair.redundant) ++point.true_positive;
+    }
+  }
+  point.precision = point.predicted_positive == 0
+                        ? 1.0
+                        : static_cast<double>(point.true_positive) /
+                              static_cast<double>(point.predicted_positive);
+  point.recall = actual_positive == 0
+                     ? 0.0
+                     : static_cast<double>(point.true_positive) /
+                           static_cast<double>(actual_positive);
+  return point;
+}
+
+}  // namespace
+
+std::vector<PrPoint> SweepHamming(const std::vector<LabeledPair>& pairs,
+                                  ContentMeasure measure, int min_threshold,
+                                  int max_threshold) {
+  std::vector<PrPoint> sweep;
+  for (int h = min_threshold; h <= max_threshold; ++h) {
+    switch (measure) {
+      case ContentMeasure::kHammingRaw:
+        sweep.push_back(MakePoint(
+            pairs, h, [](const LabeledPair& p, double threshold) {
+              return p.hamming_raw <= static_cast<int>(threshold);
+            }));
+        break;
+      case ContentMeasure::kHammingNorm:
+        sweep.push_back(MakePoint(
+            pairs, h, [](const LabeledPair& p, double threshold) {
+              return p.hamming_norm <= static_cast<int>(threshold);
+            }));
+        break;
+      case ContentMeasure::kCosine:
+        // Cosine is swept by SweepCosine; fall through to a no-op point.
+        sweep.push_back(PrPoint{});
+        break;
+    }
+  }
+  return sweep;
+}
+
+std::vector<PrPoint> SweepCosine(const std::vector<LabeledPair>& pairs,
+                                 int steps) {
+  std::vector<PrPoint> sweep;
+  for (int i = 0; i <= steps; ++i) {
+    const double threshold = static_cast<double>(i) / steps;
+    sweep.push_back(
+        MakePoint(pairs, threshold, [](const LabeledPair& p, double t) {
+          return p.cosine >= t;
+        }));
+  }
+  return sweep;
+}
+
+PrPoint CrossoverPoint(const std::vector<PrPoint>& sweep) {
+  PrPoint best;
+  double best_gap = 2.0;
+  for (const PrPoint& point : sweep) {
+    const double gap = std::fabs(point.precision - point.recall);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = point;
+    }
+  }
+  return best;
+}
+
+}  // namespace firehose

@@ -1,0 +1,44 @@
+#ifndef FIREHOSE_EVAL_PRECISION_RECALL_H_
+#define FIREHOSE_EVAL_PRECISION_RECALL_H_
+
+#include <vector>
+
+#include "src/gen/labeled_pairs.h"
+
+namespace firehose {
+
+/// One precision/recall point of a threshold sweep (one x position of the
+/// paper's Figures 3/4).
+struct PrPoint {
+  double threshold = 0.0;
+  double precision = 0.0;  ///< 1.0 when nothing is predicted positive
+  double recall = 0.0;
+  uint64_t predicted_positive = 0;
+  uint64_t true_positive = 0;
+};
+
+/// Which distance field of LabeledPair the sweep thresholds.
+enum class ContentMeasure {
+  kHammingRaw,    ///< Figure 3: SimHash of raw text, predict dup if d <= h
+  kHammingNorm,   ///< Figure 4: SimHash of normalized text
+  kCosine,        ///< §3 baseline: predict dup if cosine similarity >= θ
+};
+
+/// Sweeps Hamming thresholds h = min..max (inclusive) and computes, per h,
+/// precision and recall of "distance <= h" against ground truth.
+std::vector<PrPoint> SweepHamming(const std::vector<LabeledPair>& pairs,
+                                  ContentMeasure measure, int min_threshold,
+                                  int max_threshold);
+
+/// Sweeps cosine-similarity thresholds over [0, 1] in `steps` increments;
+/// prediction is "similarity >= threshold".
+std::vector<PrPoint> SweepCosine(const std::vector<LabeledPair>& pairs,
+                                 int steps);
+
+/// Returns the sweep point where precision and recall are closest (the
+/// curves' crossover, which the paper reads off to pick λc = 18).
+PrPoint CrossoverPoint(const std::vector<PrPoint>& sweep);
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_EVAL_PRECISION_RECALL_H_

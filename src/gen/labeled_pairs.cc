@@ -1,0 +1,67 @@
+#include "src/gen/labeled_pairs.h"
+
+#include <vector>
+
+#include "src/gen/text_gen.h"
+#include "src/simhash/simhash.h"
+#include "src/text/normalize.h"
+#include "src/text/tf_vector.h"
+#include "src/util/random.h"
+
+namespace firehose {
+
+std::vector<LabeledPair> GenerateLabeledPairs(
+    const LabeledPairOptions& options) {
+  TextGenerator text_gen(options.seed);
+  Rng rng(options.seed ^ 0x51ED5EED);
+
+  SimHashOptions raw_options;
+  raw_options.normalize = false;
+  const SimHasher raw_hasher(raw_options);
+  const SimHasher norm_hasher;  // normalized by default
+
+  const int buckets = options.max_distance - options.min_distance + 1;
+  std::vector<int> filled(static_cast<size_t>(buckets), 0);
+  int buckets_remaining = buckets;
+  std::vector<LabeledPair> pairs;
+  pairs.reserve(static_cast<size_t>(buckets) *
+                static_cast<size_t>(options.pairs_per_distance));
+
+  for (int attempt = 0;
+       attempt < options.max_attempts && buckets_remaining > 0; ++attempt) {
+    const std::string base = text_gen.MakePost();
+    // All levels are sampled; heavier levels fill the far buckets and the
+    // unrelated level supplies the non-redundant pairs that land in the
+    // band by chance.
+    const int level = static_cast<int>(rng.UniformInt(6));
+    const std::string variant =
+        text_gen.Perturb(base, static_cast<PerturbLevel>(level));
+
+    LabeledPair pair;
+    pair.hamming_raw = SimHashDistance(raw_hasher.Fingerprint(base),
+                                       raw_hasher.Fingerprint(variant));
+    if (pair.hamming_raw < options.min_distance ||
+        pair.hamming_raw > options.max_distance) {
+      continue;
+    }
+    const int bucket = pair.hamming_raw - options.min_distance;
+    if (filled[static_cast<size_t>(bucket)] >= options.pairs_per_distance) {
+      continue;
+    }
+    pair.text_a = base;
+    pair.text_b = variant;
+    pair.hamming_norm = SimHashDistance(norm_hasher.Fingerprint(base),
+                                        norm_hasher.Fingerprint(variant));
+    pair.cosine = TfVector::FromText(Normalize(base))
+                      .CosineSimilarity(TfVector::FromText(Normalize(variant)));
+    pair.level = level;
+    pair.redundant = level <= kMaxRedundantLevel;
+    pairs.push_back(std::move(pair));
+    if (++filled[static_cast<size_t>(bucket)] == options.pairs_per_distance) {
+      --buckets_remaining;
+    }
+  }
+  return pairs;
+}
+
+}  // namespace firehose

@@ -1,0 +1,44 @@
+#ifndef FIREHOSE_GEN_LABELED_PAIRS_H_
+#define FIREHOSE_GEN_LABELED_PAIRS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace firehose {
+
+/// A pair of posts with ground-truth redundancy label and the measures
+/// the §3 study sweeps over. Stands in for the paper's 2000
+/// student-labeled tweet pairs.
+struct LabeledPair {
+  std::string text_a;
+  std::string text_b;
+  int hamming_raw = 0;     ///< SimHash distance of raw texts (Figure 3)
+  int hamming_norm = 0;    ///< SimHash distance of normalized texts (Fig. 4)
+  double cosine = 0.0;     ///< TF cosine similarity of normalized texts
+  bool redundant = false;  ///< ground truth (perturbation level <= cutoff)
+  int level = 0;           ///< generator perturbation level (0-5)
+};
+
+/// Options for the labeled-pair dataset of the §3 user-study reproduction.
+struct LabeledPairOptions {
+  /// Raw-text Hamming distance band to fill, inclusive (paper: 3..22).
+  int min_distance = 3;
+  int max_distance = 22;
+  /// Pairs wanted per distance value (paper: 100).
+  int pairs_per_distance = 100;
+  /// Give up after this many generation attempts (the far buckets are rare).
+  int max_attempts = 2000000;
+  uint64_t seed = 2016;
+};
+
+/// Generates pairs at all perturbation levels, buckets them by raw-text
+/// SimHash distance and keeps up to `pairs_per_distance` per bucket in
+/// [min_distance, max_distance], mirroring the paper's sampling. Buckets
+/// that cannot be filled within `max_attempts` stay short; callers should
+/// weight per-bucket metrics accordingly.
+std::vector<LabeledPair> GenerateLabeledPairs(const LabeledPairOptions& options);
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_GEN_LABELED_PAIRS_H_

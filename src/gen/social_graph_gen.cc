@@ -1,0 +1,54 @@
+#include "src/gen/social_graph_gen.h"
+
+#include <algorithm>
+
+namespace firehose {
+
+uint32_t CommunityOf(AuthorId author, const SocialGraphOptions& options) {
+  if (options.num_communities == 0) return 0;
+  return author % options.num_communities;
+}
+
+FollowGraph GenerateSocialGraph(const SocialGraphOptions& options) {
+  FollowGraph graph(options.num_authors);
+  if (options.num_authors < 2) {
+    graph.Finalize();
+    return graph;
+  }
+  Rng rng(options.seed);
+
+  // Authors of each community, so intra-community picks are O(1).
+  std::vector<std::vector<AuthorId>> members(
+      std::max<uint32_t>(options.num_communities, 1));
+  for (AuthorId a = 0; a < options.num_authors; ++a) {
+    members[CommunityOf(a, options)].push_back(a);
+  }
+
+  for (AuthorId a = 0; a < options.num_authors; ++a) {
+    // Degree with a heavy-ish tail: exponential around the mean, min 1.
+    int degree = std::max<int>(
+        1, static_cast<int>(rng.Exponential(options.avg_followees) + 0.5));
+    degree = std::min<int>(degree, static_cast<int>(options.num_authors) - 1);
+    const std::vector<AuthorId>& home = members[CommunityOf(a, options)];
+    for (int k = 0; k < degree; ++k) {
+      AuthorId target;
+      if (home.size() > 1 && rng.Bernoulli(options.intra_community_bias)) {
+        // Popularity-biased pick inside the community: low member indices
+        // act as the community's celebrities.
+        const int idx = rng.Zipf(static_cast<int>(home.size()),
+                                 options.popularity_exponent);
+        target = home[static_cast<size_t>(idx)];
+      } else {
+        // Global popularity-biased pick: low author ids are global hubs.
+        const int idx = rng.Zipf(static_cast<int>(options.num_authors),
+                                 options.popularity_exponent);
+        target = static_cast<AuthorId>(idx);
+      }
+      if (target != a) graph.AddFollow(a, target);
+    }
+  }
+  graph.Finalize();
+  return graph;
+}
+
+}  // namespace firehose

@@ -1,0 +1,46 @@
+#ifndef FIREHOSE_GEN_SOCIAL_GRAPH_GEN_H_
+#define FIREHOSE_GEN_SOCIAL_GRAPH_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/author/follow_graph.h"
+#include "src/util/random.h"
+
+namespace firehose {
+
+/// Parameters of the synthetic Twitter-like social graph standing in for
+/// the 660k-author dataset of [22] (see DESIGN.md substitution #2).
+///
+/// The generator produces community structure (authors inside a community
+/// follow a shared set of popular accounts, giving high followee-vector
+/// cosine similarity within communities, near-zero across) plus a
+/// heavy-tailed popularity skew (Zipf-biased followee choice), matching
+/// the shape of the paper's Figure 9: a small percentage of author pairs
+/// with similarity above 0.2-0.3.
+struct SocialGraphOptions {
+  uint32_t num_authors = 5000;
+  uint32_t num_communities = 50;
+  /// Mean followees per author (out-degree); per-author degree is drawn
+  /// from a shifted geometric-ish distribution with this mean.
+  double avg_followees = 40.0;
+  /// Probability a followee is chosen inside the author's own community.
+  double intra_community_bias = 0.8;
+  /// Zipf exponent of the popularity skew used when picking followees.
+  double popularity_exponent = 1.0;
+  uint64_t seed = 42;
+};
+
+/// Generates the directed follower/followee graph. The result is
+/// finalized and ready for similarity computation.
+FollowGraph GenerateSocialGraph(const SocialGraphOptions& options);
+
+/// Community assignment used by GenerateSocialGraph: author -> community.
+/// Deterministic companion of the generator (same formula), exposed so the
+/// stream generator can create cross-author near-duplicates within
+/// communities.
+uint32_t CommunityOf(AuthorId author, const SocialGraphOptions& options);
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_GEN_SOCIAL_GRAPH_GEN_H_

@@ -1,0 +1,116 @@
+#include "src/gen/stream_gen.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace firehose {
+
+PostStream GenerateStream(const AuthorGraph& graph, const SimHasher& hasher,
+                          const StreamGenOptions& options) {
+  Rng rng(options.seed);
+  TextGenerator text_gen(options.seed ^ 0xABCDEF);
+  const std::vector<AuthorId>& authors = graph.vertices();
+
+  // Draw every (author, timestamp) event, then sort by time.
+  struct Event {
+    int64_t time_ms;
+    AuthorId author;
+  };
+  std::vector<Event> events;
+  for (AuthorId a : authors) {
+    const int count = rng.Poisson(options.posts_per_author);
+    for (int i = 0; i < count; ++i) {
+      events.push_back(Event{
+          static_cast<int64_t>(rng.UniformInt(
+              static_cast<uint64_t>(options.duration_ms))),
+          a});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& x, const Event& y) { return x.time_ms < y.time_ms; });
+
+  // Recent posts usable as duplication sources.
+  struct RecentPost {
+    AuthorId author;
+    std::string text;
+  };
+  std::deque<RecentPost> recent;
+
+  PostStream stream;
+  stream.reserve(events.size());
+  for (const Event& event : events) {
+    std::string text;
+    const double roll = rng.UniformDouble();
+    if (roll < options.cross_author_dup_prob && !recent.empty()) {
+      // Copy a recent post from a similar author if one exists in the
+      // window; syndicated content spreads along similarity edges.
+      std::vector<size_t> sources;
+      for (size_t i = 0; i < recent.size(); ++i) {
+        if (recent[i].author == event.author ||
+            graph.IsNeighbor(event.author, recent[i].author)) {
+          sources.push_back(i);
+        }
+      }
+      if (!sources.empty()) {
+        const size_t pick = sources[rng.UniformInt(sources.size())];
+        const int level = static_cast<int>(rng.UniformInt(
+            static_cast<uint64_t>(kMaxRedundantLevel) + 1));
+        text = text_gen.Perturb(recent[pick].text,
+                                static_cast<PerturbLevel>(level));
+      }
+    } else if (roll < options.cross_author_dup_prob + options.self_dup_prob) {
+      for (auto it = recent.rbegin(); it != recent.rend(); ++it) {
+        if (it->author == event.author) {
+          text = text_gen.Perturb(it->text, PerturbLevel::kFormatting);
+          break;
+        }
+      }
+    }
+    if (text.empty()) text = text_gen.MakePost();
+
+    Post post;
+    post.id = static_cast<PostId>(stream.size());
+    post.author = event.author;
+    post.time_ms = event.time_ms;
+    post.text = text;
+    post.simhash = hasher.Fingerprint(post.text);
+    stream.push_back(std::move(post));
+
+    recent.push_back(RecentPost{event.author, stream.back().text});
+    if (recent.size() > options.copy_window) recent.pop_front();
+  }
+  return stream;
+}
+
+PostStream SampleStream(const PostStream& stream, double ratio,
+                        uint64_t seed) {
+  Rng rng(seed);
+  PostStream out;
+  out.reserve(static_cast<size_t>(static_cast<double>(stream.size()) * ratio) +
+              16);
+  for (const Post& post : stream) {
+    if (rng.Bernoulli(ratio)) {
+      Post copy = post;
+      copy.id = static_cast<PostId>(out.size());
+      out.push_back(std::move(copy));
+    }
+  }
+  return out;
+}
+
+PostStream FilterStreamByAuthors(const PostStream& stream,
+                                 const std::vector<AuthorId>& authors) {
+  std::vector<AuthorId> sorted = authors;
+  std::sort(sorted.begin(), sorted.end());
+  PostStream out;
+  for (const Post& post : stream) {
+    if (std::binary_search(sorted.begin(), sorted.end(), post.author)) {
+      Post copy = post;
+      copy.id = static_cast<PostId>(out.size());
+      out.push_back(std::move(copy));
+    }
+  }
+  return out;
+}
+
+}  // namespace firehose

@@ -1,0 +1,53 @@
+#ifndef FIREHOSE_GEN_STREAM_GEN_H_
+#define FIREHOSE_GEN_STREAM_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/author/similarity_graph.h"
+#include "src/gen/text_gen.h"
+#include "src/simhash/simhash.h"
+#include "src/stream/post.h"
+
+namespace firehose {
+
+/// Parameters of the synthetic one-day post stream standing in for the
+/// paper's 213,175-tweet crawl (DESIGN.md substitution #3).
+struct StreamGenOptions {
+  /// Stream duration; the paper's crawl covers one day.
+  int64_t duration_ms = 24LL * 3600 * 1000;
+  /// Mean posts per author over the whole duration (paper: ~10/day).
+  double posts_per_author = 10.0;
+  /// Probability that a post is a near-duplicate derived from a recent
+  /// post of a *similar* author (retweets, syndicated headlines). This is
+  /// what diversification prunes; the paper observes ~10% pruned.
+  double cross_author_dup_prob = 0.09;
+  /// Probability that a post is a near-duplicate of the author's own
+  /// recent post (reposts after typo fixes etc.).
+  double self_dup_prob = 0.02;
+  /// Recent posts eligible as duplication sources (per similar author
+  /// pool); older posts fall out of the copy window.
+  size_t copy_window = 2048;
+  uint64_t seed = 99;
+};
+
+/// Generates a time-ordered stream of posts authored by the vertices of
+/// `graph`. Near-duplicates are derived from recent posts of similar
+/// authors (neighbors in `graph`) at random levels <= kMaxRedundantLevel,
+/// so the stream contains exactly the redundancy the diversifier is meant
+/// to prune. Every post's `simhash` field is populated with `hasher`.
+PostStream GenerateStream(const AuthorGraph& graph, const SimHasher& hasher,
+                          const StreamGenOptions& options);
+
+/// Uniformly subsamples `stream` keeping each post with probability
+/// `ratio`, reassigning ids to stay dense (Figure 14's post-rate knob).
+PostStream SampleStream(const PostStream& stream, double ratio, uint64_t seed);
+
+/// Restricts `stream` to posts authored by `authors`, reassigning ids
+/// (Figure 15's subscription-count knob).
+PostStream FilterStreamByAuthors(const PostStream& stream,
+                                 const std::vector<AuthorId>& authors);
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_GEN_STREAM_GEN_H_

@@ -1,0 +1,277 @@
+#include "src/gen/text_gen.h"
+
+#include <array>
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "src/text/tokenize.h"
+
+namespace firehose {
+
+namespace {
+
+constexpr std::array<const char*, 120> kCommonWords = {{
+    "the",     "of",      "and",      "to",      "in",       "is",
+    "you",     "that",    "it",       "he",      "was",      "for",
+    "on",      "are",     "as",       "with",    "his",      "they",
+    "at",      "be",      "this",     "have",    "from",     "or",
+    "one",     "had",     "by",       "word",    "but",      "not",
+    "what",    "all",     "were",     "we",      "when",     "your",
+    "can",     "said",    "there",    "use",     "an",       "each",
+    "which",   "she",     "do",       "how",     "their",    "if",
+    "will",    "up",      "other",    "about",   "out",      "many",
+    "then",    "them",    "these",    "so",      "some",     "her",
+    "would",   "make",    "like",     "him",     "into",     "time",
+    "has",     "look",    "two",      "more",    "write",    "go",
+    "see",     "number",  "no",       "way",     "could",    "people",
+    "my",      "than",    "first",    "water",   "been",     "call",
+    "who",     "oil",     "its",      "now",     "find",     "long",
+    "down",    "day",     "did",      "get",     "come",     "made",
+    "may",     "part",    "over",     "new",     "sound",    "take",
+    "only",    "little",  "work",     "know",    "place",    "year",
+    "live",    "me",      "back",     "give",    "most",     "very",
+    "after",   "thing",   "our",      "just",    "name",     "good",
+}};
+
+constexpr std::array<const char*, 24> kEntities = {{
+    "Alibaba",        "the White House", "South Korea",  "the Fed",
+    "Apple",          "Google",          "the UN",       "Congress",
+    "Tesla",          "the ECB",         "Japan",        "Brazil",
+    "the Supreme Court", "NASA",         "OPEC",         "Microsoft",
+    "the EU",         "China",           "Argentina",    "the IMF",
+    "Boeing",         "Airbus",          "the CDC",      "the WHO",
+}};
+
+constexpr std::array<const char*, 20> kVerbPhrases = {{
+    "reports record profits in",
+    "announces new policy on",
+    "faces growing pressure over",
+    "denies involvement in",
+    "warns of risks in",
+    "accelerates growth in",
+    "plans major investment in",
+    "suspends operations in",
+    "reaches agreement on",
+    "rejects proposal for",
+    "launches investigation into",
+    "confirms talks about",
+    "downplays concerns about",
+    "expands presence in",
+    "cuts forecast for",
+    "raises outlook for",
+    "signals shift on",
+    "delays decision on",
+    "files lawsuit over",
+    "seals partnership for",
+}};
+
+constexpr std::array<const char*, 20> kObjects = {{
+    "emerging markets",     "the tech sector",   "quarterly earnings",
+    "the trade dispute",    "interest rates",    "the energy market",
+    "cloud computing",      "consumer spending", "the labor market",
+    "semiconductor supply", "the housing market","electric vehicles",
+    "data privacy",         "antitrust rules",   "the bond market",
+    "vaccine distribution", "climate policy",    "digital currencies",
+    "supply chains",        "the merger review",
+}};
+
+constexpr std::array<const char*, 10> kAgencies = {{
+    "(Reuters)", "(AP)", "(AFP)", "(Bloomberg)", "(BBC)",
+    "(CNN)",     "(WSJ)", "(FT)", "(NYT)",       "(Xinhua)",
+}};
+
+constexpr std::array<const char*, 16> kQuotes = {{
+    "In order to succeed, your desire for success should be greater than your fear of failure",
+    "The only way to do great work is to love what you do",
+    "Success is not final, failure is not fatal",
+    "It always seems impossible until it is done",
+    "The best way to predict the future is to invent it",
+    "Whether you think you can or you think you cannot, you are right",
+    "Simplicity is the ultimate sophistication",
+    "What we think, we become",
+    "Quality is not an act, it is a habit",
+    "Well done is better than well said",
+    "A journey of a thousand miles begins with a single step",
+    "Fortune favors the bold",
+    "Knowledge speaks, but wisdom listens",
+    "Stay hungry, stay foolish",
+    "The obstacle is the way",
+    "Action is the foundational key to all success",
+}};
+
+constexpr std::array<const char*, 16> kNames = {{
+    "Bill Cosby",     "Steve Jobs",    "Winston Churchill", "Nelson Mandela",
+    "Alan Kay",       "Henry Ford",    "Leonardo da Vinci", "Buddha",
+    "Aristotle",      "Ben Franklin",  "Lao Tzu",           "Virgil",
+    "Jimi Hendrix",   "Marcus Aurelius", "Pablo Picasso",   "Maya Angelou",
+}};
+
+constexpr std::array<const char*, 20> kHashtags = {{
+    "#news",    "#breaking", "#tech",    "#quote",   "#success",
+    "#finance", "#sports",   "#health",  "#science", "#politics",
+    "#world",   "#business", "#markets", "#ai",      "#energy",
+    "#climate", "#music",    "#travel",  "#food",    "#life",
+}};
+
+constexpr std::array<const char*, 16> kHandles = {{
+    "@reuters",  "@ap",       "@bbcworld", "@cnnbrk",
+    "@business", "@wsj",      "@ft",       "@nytimes",
+    "@techcrunch", "@verge",  "@espn",     "@natgeo",
+    "@nasa",     "@who",      "@un",       "@forbes",
+}};
+
+constexpr std::array<const char*, 12> kDomains = {{
+    "reuters.com",  "apnews.com",   "bbc.co.uk",     "cnn.com",
+    "bloomberg.com","wsj.com",      "ft.com",        "nytimes.com",
+    "techcrunch.com", "theverge.com", "espn.com",    "forbes.com",
+}};
+
+template <size_t N>
+const char* Pick(Rng& rng, const std::array<const char*, N>& pool) {
+  return pool[rng.UniformInt(N)];
+}
+
+}  // namespace
+
+TextGenerator::TextGenerator(uint64_t seed)
+    : rng_(seed), shortener_(seed ^ 0x5bd1e995u) {}
+
+std::string TextGenerator::RandomWord() {
+  return Pick(rng_, kCommonWords);
+}
+
+std::string TextGenerator::RandomHashtag() { return Pick(rng_, kHashtags); }
+
+std::string TextGenerator::RandomMention() { return Pick(rng_, kHandles); }
+
+std::string TextGenerator::FreshUrl() {
+  std::ostringstream url;
+  url << "https://" << Pick(rng_, kDomains) << "/article/"
+      << rng_.UniformInt(1000000);
+  return shortener_.Shorten(url.str());
+}
+
+std::string TextGenerator::MakeHeadline() {
+  std::ostringstream out;
+  out << Pick(rng_, kEntities) << " " << Pick(rng_, kVerbPhrases) << " "
+      << Pick(rng_, kObjects);
+  if (rng_.Bernoulli(0.6)) out << " " << Pick(rng_, kAgencies);
+  if (rng_.Bernoulli(0.5)) out << " Story: " << FreshUrl();
+  if (rng_.Bernoulli(0.4)) out << " " << RandomHashtag();
+  return out.str();
+}
+
+std::string TextGenerator::MakeQuote() {
+  std::ostringstream out;
+  out << "\"" << Pick(rng_, kQuotes) << "\" - " << Pick(rng_, kNames);
+  if (rng_.Bernoulli(0.5)) out << " " << RandomHashtag();
+  if (rng_.Bernoulli(0.3)) out << " " << RandomHashtag();
+  return out.str();
+}
+
+std::string TextGenerator::MakeChatter() {
+  std::ostringstream out;
+  const int words = static_cast<int>(rng_.UniformRange(6, 14));
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) out << " ";
+    out << RandomWord();
+  }
+  if (rng_.Bernoulli(0.3)) out << " " << RandomMention();
+  if (rng_.Bernoulli(0.3)) out << " " << RandomHashtag();
+  return out.str();
+}
+
+std::string TextGenerator::MakePost() {
+  const uint64_t pick = rng_.UniformInt(100);
+  if (pick < 40) return MakeHeadline();
+  if (pick < 65) return MakeQuote();
+  return MakeChatter();
+}
+
+std::string TextGenerator::ReShortenUrls(const std::string& text) {
+  std::istringstream in(text);
+  std::ostringstream out;
+  std::string token;
+  bool first = true;
+  while (in >> token) {
+    if (!first) out << ' ';
+    first = false;
+    if (IsUrl(token)) {
+      const std::string expanded = shortener_.Expand(token);
+      out << shortener_.Shorten(expanded.empty() ? token : expanded);
+    } else {
+      out << token;
+    }
+  }
+  return out.str();
+}
+
+std::string TextGenerator::Perturb(const std::string& text,
+                                   PerturbLevel level) {
+  if (level == PerturbLevel::kUnrelated) return MakePost();
+
+  std::string current = ReShortenUrls(text);
+  if (level == PerturbLevel::kUrlOnly) return current;
+
+  std::vector<std::string> words = TokenizeWords(current);
+  if (words.empty()) return current;
+
+  // kFormatting: case flips and punctuation noise that normalization
+  // removes, so raw-text SimHash moves but normalized SimHash stays close.
+  for (std::string& w : words) {
+    if (!IsUrl(w) && rng_.Bernoulli(0.15) && !w.empty()) {
+      w[0] = static_cast<char>(
+          std::islower(static_cast<unsigned char>(w[0]))
+              ? std::toupper(static_cast<unsigned char>(w[0]))
+              : std::tolower(static_cast<unsigned char>(w[0])));
+    }
+    if (rng_.Bernoulli(0.08)) w += (rng_.Bernoulli(0.5) ? "." : ",");
+  }
+
+  if (static_cast<int>(level) >= static_cast<int>(PerturbLevel::kAttribution)) {
+    // Add or drop attribution; swap one word.
+    if (rng_.Bernoulli(0.5)) {
+      words.push_back(rng_.Bernoulli(0.5) ? RandomHashtag()
+                                          : "via " + RandomMention());
+    } else if (words.size() > 3 && words.back().front() == '#') {
+      words.pop_back();
+    }
+    if (words.size() > 2) {
+      words[rng_.UniformInt(words.size())] = RandomWord();
+    }
+  }
+
+  if (static_cast<int>(level) >= static_cast<int>(PerturbLevel::kTruncation)) {
+    if (rng_.Bernoulli(0.5)) {
+      words.insert(words.begin(),
+                   rng_.Bernoulli(0.5) ? "BREAKING:" : "RT " + RandomMention() + ":");
+    } else if (words.size() > 5) {
+      words.resize(words.size() - words.size() / 5);  // drop ~20% tail
+    }
+    const size_t swaps = words.size() / 10;
+    for (size_t i = 0; i < swaps; ++i) {
+      words[rng_.UniformInt(words.size())] = RandomWord();
+    }
+  }
+
+  if (static_cast<int>(level) >= static_cast<int>(PerturbLevel::kReworded)) {
+    const size_t swaps = words.size() * 2 / 5;
+    for (size_t i = 0; i < swaps; ++i) {
+      words[rng_.UniformInt(words.size())] = RandomWord();
+    }
+    if (rng_.Bernoulli(0.5)) {
+      words.push_back(RandomWord());
+      words.push_back(RandomWord());
+    }
+  }
+
+  std::ostringstream out;
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (i > 0) out << ' ';
+    out << words[i];
+  }
+  return out.str();
+}
+
+}  // namespace firehose

@@ -1,0 +1,69 @@
+#ifndef FIREHOSE_GEN_TEXT_GEN_H_
+#define FIREHOSE_GEN_TEXT_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/text/url.h"
+#include "src/util/random.h"
+
+namespace firehose {
+
+/// Perturbation strength used when deriving one post from another. The
+/// levels model how near-duplicates actually arise on microblogs
+/// (paper Table 1): identical retweets differing only in their t.co code,
+/// light re-punctuation, added attribution, truncation by a different
+/// aggregator, and progressively heavier rewording.
+enum class PerturbLevel : int {
+  kUrlOnly = 0,      ///< same text, re-shortened URL
+  kFormatting = 1,   ///< + case/punctuation noise (normalization removes it)
+  kAttribution = 2,  ///< + attribution/hashtag added or dropped, a word swap
+  kTruncation = 3,   ///< + prefix ("BREAKING:"/"RT @x:") or tail truncation
+  kReworded = 4,     ///< ~40% of words replaced — borderline duplicate
+  kUnrelated = 5,    ///< fresh, unrelated post
+};
+
+/// Pairs generated at level <= kMaxRedundantLevel are ground-truth
+/// redundant (the stand-in for the paper's user-study majority votes).
+inline constexpr int kMaxRedundantLevel =
+    static_cast<int>(PerturbLevel::kTruncation);
+
+/// Synthetic microblog text generator (DESIGN.md substitution #1).
+///
+/// Produces short posts in three styles — news headlines (with agency tags
+/// and shortened URLs), quotes with attribution, and casual chatter with
+/// mentions/hashtags — and derives near-duplicates at controlled
+/// perturbation levels. All randomness flows through the owned Rng, so a
+/// seed fully determines the corpus.
+class TextGenerator {
+ public:
+  explicit TextGenerator(uint64_t seed = 1234);
+
+  /// A fresh post (uniformly weighted mix of the three styles).
+  std::string MakePost();
+
+  /// Derives a variant of `text` at the given level. kUnrelated ignores
+  /// `text` and returns a fresh post.
+  std::string Perturb(const std::string& text, PerturbLevel level);
+
+  /// The t.co model used for URLs; exposes Expand for the preprocessing
+  /// ablation.
+  const UrlShortener& shortener() const { return shortener_; }
+
+ private:
+  std::string MakeHeadline();
+  std::string MakeQuote();
+  std::string MakeChatter();
+  std::string RandomWord();
+  std::string RandomHashtag();
+  std::string RandomMention();
+  std::string FreshUrl();
+  std::string ReShortenUrls(const std::string& text);
+
+  Rng rng_;
+  UrlShortener shortener_;
+};
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_GEN_TEXT_GEN_H_

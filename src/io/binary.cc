@@ -1,0 +1,122 @@
+#include "src/io/binary.h"
+
+#include <cstdio>
+
+namespace firehose {
+
+void BinaryWriter::PutVarint(uint64_t value) {
+  while (value >= 0x80) {
+    buffer_.push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  buffer_.push_back(static_cast<char>(value));
+}
+
+void BinaryWriter::PutSignedVarint(int64_t value) {
+  // Zigzag: small magnitudes of either sign become small varints.
+  PutVarint((static_cast<uint64_t>(value) << 1) ^
+            static_cast<uint64_t>(value >> 63));
+}
+
+void BinaryWriter::PutString(std::string_view value) {
+  PutVarint(value.size());
+  buffer_.append(value.data(), value.size());
+}
+
+void BinaryWriter::PutFixed64(uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+bool BinaryReader::GetU8(uint8_t* value) {
+  if (!ok_ || pos_ >= data_.size()) return ok_ = false;
+  *value = static_cast<uint8_t>(data_[pos_++]);
+  return true;
+}
+
+bool BinaryReader::GetVarint(uint64_t* value) {
+  if (!ok_) return false;
+  uint64_t result = 0;
+  int shift = 0;
+  size_t pos = pos_;
+  while (pos < data_.size() && shift < 64) {
+    const uint8_t byte = static_cast<uint8_t>(data_[pos++]);
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      pos_ = pos;
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return ok_ = false;
+}
+
+bool BinaryReader::GetSignedVarint(int64_t* value) {
+  uint64_t raw;
+  if (!GetVarint(&raw)) return false;
+  *value = static_cast<int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+  return true;
+}
+
+bool BinaryReader::GetString(std::string* value) {
+  uint64_t length;
+  if (!GetVarint(&length)) return false;
+  if (length > data_.size() - pos_) return ok_ = false;
+  value->assign(data_.data() + pos_, length);
+  pos_ += length;
+  return true;
+}
+
+bool BinaryReader::GetFixed64(uint64_t* value) {
+  if (!ok_ || data_.size() - pos_ < 8) return ok_ = false;
+  uint64_t result = 0;
+  for (int i = 0; i < 8; ++i) {
+    result |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+              << (8 * i);
+  }
+  pos_ += 8;
+  *value = result;
+  return true;
+}
+
+bool WriteFileAtomic(const std::string& path, std::string_view data) {
+  const std::string temp = path + ".tmp";
+  std::FILE* file = std::fopen(temp.c_str(), "wb");
+  if (file == nullptr) return false;
+  const bool write_ok =
+      data.empty() || std::fwrite(data.data(), 1, data.size(), file) ==
+                          data.size();
+  const bool close_ok = std::fclose(file) == 0;
+  if (!write_ok || !close_ok) {
+    std::remove(temp.c_str());
+    return false;
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ReadFileToString(const std::string& path, std::string* data) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  if (size < 0) {
+    std::fclose(file);
+    return false;
+  }
+  std::fseek(file, 0, SEEK_SET);
+  data->resize(static_cast<size_t>(size));
+  const bool read_ok =
+      size == 0 ||
+      std::fread(data->data(), 1, static_cast<size_t>(size), file) ==
+          static_cast<size_t>(size);
+  std::fclose(file);
+  return read_ok;
+}
+
+}  // namespace firehose

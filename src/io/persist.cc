@@ -1,0 +1,332 @@
+#include "src/io/persist.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "src/io/binary.h"
+
+namespace firehose {
+
+namespace {
+
+constexpr uint64_t kFollowGraphMagic = 0x464847;   // "FHG"
+constexpr uint64_t kSimilarityMagic = 0x464853;    // "FHS"
+constexpr uint64_t kAuthorGraphMagic = 0x464841;   // "FHA"
+constexpr uint64_t kCliqueCoverMagic = 0x464843;   // "FHC"
+constexpr uint64_t kPostStreamMagic = 0x464850;    // "FHP"
+constexpr uint8_t kVersion = 1;
+
+bool CheckHeader(BinaryReader& reader, uint64_t magic) {
+  uint64_t found_magic;
+  uint8_t version;
+  if (!reader.GetVarint(&found_magic) || !reader.GetU8(&version)) return false;
+  return found_magic == magic && version == kVersion;
+}
+
+void PutHeader(BinaryWriter& writer, uint64_t magic) {
+  writer.PutVarint(magic);
+  writer.PutU8(kVersion);
+}
+
+}  // namespace
+
+bool SaveFollowGraph(const FollowGraph& graph, const std::string& path) {
+  BinaryWriter writer;
+  PutHeader(writer, kFollowGraphMagic);
+  writer.PutVarint(graph.num_authors());
+  for (AuthorId a = 0; a < graph.num_authors(); ++a) {
+    const auto& followees = graph.Followees(a);
+    writer.PutVarint(followees.size());
+    // Delta-encode the sorted followee list.
+    AuthorId prev = 0;
+    for (AuthorId f : followees) {
+      writer.PutVarint(f - prev);
+      prev = f;
+    }
+  }
+  return WriteFileAtomic(path, writer.buffer());
+}
+
+bool LoadFollowGraph(const std::string& path, FollowGraph* graph) {
+  std::string data;
+  if (!ReadFileToString(path, &data)) return false;
+  BinaryReader reader(data);
+  if (!CheckHeader(reader, kFollowGraphMagic)) return false;
+  uint64_t num_authors;
+  if (!reader.GetVarint(&num_authors) || num_authors > (1ULL << 32)) {
+    return false;
+  }
+  FollowGraph result(static_cast<AuthorId>(num_authors));
+  for (AuthorId a = 0; a < result.num_authors(); ++a) {
+    uint64_t count;
+    if (!reader.GetVarint(&count) || count > num_authors) return false;
+    AuthorId prev = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t delta;
+      if (!reader.GetVarint(&delta)) return false;
+      prev += static_cast<AuthorId>(delta);
+      result.AddFollow(a, prev);
+    }
+  }
+  if (!reader.ok() || !reader.AtEnd()) return false;
+  result.Finalize();
+  *graph = std::move(result);
+  return true;
+}
+
+bool SaveSimilarities(const std::vector<AuthorPairSimilarity>& pairs,
+                      const std::string& path) {
+  BinaryWriter writer;
+  PutHeader(writer, kSimilarityMagic);
+  writer.PutVarint(pairs.size());
+  for (const AuthorPairSimilarity& pair : pairs) {
+    writer.PutVarint(pair.a);
+    writer.PutVarint(pair.b);
+    // Similarities are in [0, 1]; 1e-9 resolution via 30-bit fixed point.
+    writer.PutVarint(
+        static_cast<uint64_t>(pair.similarity * (1 << 30) + 0.5));
+  }
+  return WriteFileAtomic(path, writer.buffer());
+}
+
+bool LoadSimilarities(const std::string& path,
+                      std::vector<AuthorPairSimilarity>* pairs) {
+  std::string data;
+  if (!ReadFileToString(path, &data)) return false;
+  BinaryReader reader(data);
+  if (!CheckHeader(reader, kSimilarityMagic)) return false;
+  uint64_t count;
+  if (!reader.GetVarint(&count)) return false;
+  std::vector<AuthorPairSimilarity> result;
+  result.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t a, b, fixed;
+    if (!reader.GetVarint(&a) || !reader.GetVarint(&b) ||
+        !reader.GetVarint(&fixed)) {
+      return false;
+    }
+    result.push_back(AuthorPairSimilarity{
+        static_cast<AuthorId>(a), static_cast<AuthorId>(b),
+        static_cast<double>(fixed) / (1 << 30)});
+  }
+  if (!reader.ok() || !reader.AtEnd()) return false;
+  *pairs = std::move(result);
+  return true;
+}
+
+bool SaveAuthorGraph(const AuthorGraph& graph, const std::string& path) {
+  BinaryWriter writer;
+  PutHeader(writer, kAuthorGraphMagic);
+  writer.PutVarint(graph.num_vertices());
+  AuthorId prev = 0;
+  for (AuthorId v : graph.vertices()) {
+    writer.PutVarint(v - prev);
+    prev = v;
+  }
+  writer.PutVarint(graph.num_edges());
+  for (AuthorId u : graph.vertices()) {
+    for (AuthorId v : graph.Neighbors(u)) {
+      if (u < v) {
+        writer.PutVarint(u);
+        writer.PutVarint(v);
+      }
+    }
+  }
+  return WriteFileAtomic(path, writer.buffer());
+}
+
+bool LoadAuthorGraph(const std::string& path, AuthorGraph* graph) {
+  std::string data;
+  if (!ReadFileToString(path, &data)) return false;
+  BinaryReader reader(data);
+  if (!CheckHeader(reader, kAuthorGraphMagic)) return false;
+  uint64_t num_vertices;
+  if (!reader.GetVarint(&num_vertices)) return false;
+  std::vector<AuthorId> vertices;
+  vertices.reserve(num_vertices);
+  AuthorId prev = 0;
+  for (uint64_t i = 0; i < num_vertices; ++i) {
+    uint64_t delta;
+    if (!reader.GetVarint(&delta)) return false;
+    prev += static_cast<AuthorId>(delta);
+    vertices.push_back(prev);
+  }
+  uint64_t num_edges;
+  if (!reader.GetVarint(&num_edges)) return false;
+  std::vector<std::pair<AuthorId, AuthorId>> edges;
+  edges.reserve(num_edges);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    uint64_t u, v;
+    if (!reader.GetVarint(&u) || !reader.GetVarint(&v)) return false;
+    edges.emplace_back(static_cast<AuthorId>(u), static_cast<AuthorId>(v));
+  }
+  if (!reader.ok() || !reader.AtEnd()) return false;
+  *graph = AuthorGraph::FromEdges(std::move(vertices), edges);
+  return true;
+}
+
+bool SaveCliqueCover(const CliqueCover& cover, size_t num_authors,
+                     const std::string& path) {
+  BinaryWriter writer;
+  PutHeader(writer, kCliqueCoverMagic);
+  writer.PutVarint(num_authors);
+  writer.PutVarint(cover.num_cliques());
+  for (const auto& clique : cover.cliques()) {
+    writer.PutVarint(clique.size());
+    AuthorId prev = 0;
+    for (AuthorId member : clique) {  // sorted: delta-encode
+      writer.PutVarint(member - prev);
+      prev = member;
+    }
+  }
+  return WriteFileAtomic(path, writer.buffer());
+}
+
+bool LoadCliqueCover(const std::string& path, CliqueCover* cover) {
+  std::string data;
+  if (!ReadFileToString(path, &data)) return false;
+  BinaryReader reader(data);
+  if (!CheckHeader(reader, kCliqueCoverMagic)) return false;
+  uint64_t num_authors, num_cliques;
+  if (!reader.GetVarint(&num_authors) || !reader.GetVarint(&num_cliques)) {
+    return false;
+  }
+  std::vector<std::vector<AuthorId>> cliques;
+  cliques.reserve(num_cliques);
+  for (uint64_t i = 0; i < num_cliques; ++i) {
+    uint64_t size;
+    if (!reader.GetVarint(&size) || size > (1ULL << 24)) return false;
+    std::vector<AuthorId> clique;
+    clique.reserve(size);
+    AuthorId prev = 0;
+    for (uint64_t j = 0; j < size; ++j) {
+      uint64_t delta;
+      if (!reader.GetVarint(&delta)) return false;
+      prev += static_cast<AuthorId>(delta);
+      clique.push_back(prev);
+    }
+    cliques.push_back(std::move(clique));
+  }
+  if (!reader.ok() || !reader.AtEnd()) return false;
+  *cover = CliqueCover::FromCliques(std::move(cliques),
+                                    static_cast<size_t>(num_authors));
+  return true;
+}
+
+bool SavePostStream(const PostStream& stream, const std::string& path) {
+  BinaryWriter writer;
+  PutHeader(writer, kPostStreamMagic);
+  writer.PutVarint(stream.size());
+  int64_t prev_time = 0;
+  for (const Post& post : stream) {
+    writer.PutVarint(post.id);
+    writer.PutVarint(post.author);
+    writer.PutSignedVarint(post.time_ms - prev_time);
+    prev_time = post.time_ms;
+    writer.PutFixed64(post.simhash);
+    writer.PutString(post.text);
+  }
+  return WriteFileAtomic(path, writer.buffer());
+}
+
+bool LoadPostStream(const std::string& path, PostStream* stream) {
+  std::string data;
+  if (!ReadFileToString(path, &data)) return false;
+  BinaryReader reader(data);
+  if (!CheckHeader(reader, kPostStreamMagic)) return false;
+  uint64_t count;
+  if (!reader.GetVarint(&count)) return false;
+  PostStream result;
+  result.reserve(count);
+  int64_t prev_time = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    Post post;
+    uint64_t id, author;
+    int64_t delta;
+    if (!reader.GetVarint(&id) || !reader.GetVarint(&author) ||
+        !reader.GetSignedVarint(&delta) || !reader.GetFixed64(&post.simhash) ||
+        !reader.GetString(&post.text)) {
+      return false;
+    }
+    post.id = static_cast<PostId>(id);
+    post.author = static_cast<AuthorId>(author);
+    prev_time += delta;
+    post.time_ms = prev_time;
+    result.push_back(std::move(post));
+  }
+  if (!reader.ok() || !reader.AtEnd()) return false;
+  *stream = std::move(result);
+  return true;
+}
+
+namespace {
+
+std::string SanitizeTsvField(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+}  // namespace
+
+bool SavePostStreamTsv(const PostStream& stream, const std::string& path) {
+  std::ostringstream out;
+  out << "id\tauthor\ttime_ms\tsimhash\ttext\n";
+  for (const Post& post : stream) {
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(post.simhash));
+    out << post.id << '\t' << post.author << '\t' << post.time_ms << '\t'
+        << hex << '\t' << SanitizeTsvField(post.text) << '\n';
+  }
+  return WriteFileAtomic(path, out.str());
+}
+
+bool LoadPostStreamTsv(const std::string& path, PostStream* stream) {
+  std::string data;
+  if (!ReadFileToString(path, &data)) return false;
+  PostStream result;
+  std::istringstream in(data);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first) {
+      first = false;
+      if (line.rfind("id\t", 0) == 0) continue;  // header
+    }
+    if (line.empty()) continue;
+    // Split into exactly 5 fields; text may contain no tabs (sanitized).
+    std::vector<std::string> fields;
+    size_t start = 0;
+    for (int f = 0; f < 4; ++f) {
+      const size_t tab = line.find('\t', start);
+      if (tab == std::string::npos) break;
+      fields.push_back(line.substr(start, tab - start));
+      start = tab + 1;
+    }
+    if (fields.size() != 4) continue;  // malformed line
+    fields.push_back(line.substr(start));
+    Post post;
+    char* end = nullptr;
+    post.id = static_cast<PostId>(std::strtoull(fields[0].c_str(), &end, 10));
+    if (end == fields[0].c_str()) continue;
+    post.author =
+        static_cast<AuthorId>(std::strtoull(fields[1].c_str(), &end, 10));
+    if (end == fields[1].c_str()) continue;
+    post.time_ms = std::strtoll(fields[2].c_str(), &end, 10);
+    if (end == fields[2].c_str()) continue;
+    post.simhash = std::strtoull(fields[3].c_str(), &end, 16);
+    if (end == fields[3].c_str()) continue;
+    post.text = fields[4];
+    result.push_back(std::move(post));
+  }
+  *stream = std::move(result);
+  return true;
+}
+
+}  // namespace firehose

@@ -1,0 +1,53 @@
+#ifndef FIREHOSE_IO_PERSIST_H_
+#define FIREHOSE_IO_PERSIST_H_
+
+#include <string>
+
+#include "src/author/clique_cover.h"
+#include "src/author/follow_graph.h"
+#include "src/author/similarity.h"
+#include "src/author/similarity_graph.h"
+#include "src/stream/post.h"
+
+namespace firehose {
+
+/// Persistence for the offline artifacts of the paper's pipeline: the
+/// social graph, the precomputed pairwise similarities, the λa-thresholded
+/// author similarity graph and its clique cover are all "computed offline
+/// (e.g., once every week)" (§3/§4.3), so a deployment saves them and the
+/// online diversifier loads them at startup.
+///
+/// All binary formats carry a magic tag and version byte; every Load
+/// returns false (leaving the output untouched) on missing files,
+/// truncation, wrong magic or wrong version.
+
+bool SaveFollowGraph(const FollowGraph& graph, const std::string& path);
+bool LoadFollowGraph(const std::string& path, FollowGraph* graph);
+
+bool SaveSimilarities(const std::vector<AuthorPairSimilarity>& pairs,
+                      const std::string& path);
+bool LoadSimilarities(const std::string& path,
+                      std::vector<AuthorPairSimilarity>* pairs);
+
+bool SaveAuthorGraph(const AuthorGraph& graph, const std::string& path);
+bool LoadAuthorGraph(const std::string& path, AuthorGraph* graph);
+
+bool SaveCliqueCover(const CliqueCover& cover, size_t num_authors,
+                     const std::string& path);
+bool LoadCliqueCover(const std::string& path, CliqueCover* cover);
+
+/// Binary post stream (compact: delta-encoded timestamps).
+bool SavePostStream(const PostStream& stream, const std::string& path);
+bool LoadPostStream(const std::string& path, PostStream* stream);
+
+/// Human-editable TSV post stream: `id \t author \t time_ms \t simhash_hex
+/// \t text` with a header row. Tabs/newlines inside text are replaced by
+/// spaces on save. Lines that fail to parse are skipped on load (the
+/// return value is still true if the header parsed); a missing file
+/// returns false.
+bool SavePostStreamTsv(const PostStream& stream, const std::string& path);
+bool LoadPostStreamTsv(const std::string& path, PostStream* stream);
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_IO_PERSIST_H_

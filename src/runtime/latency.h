@@ -1,0 +1,50 @@
+#ifndef FIREHOSE_RUNTIME_LATENCY_H_
+#define FIREHOSE_RUNTIME_LATENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace firehose {
+
+/// Percentile summary of a latency distribution, in microseconds.
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Log-bucketed latency recorder: buckets at ~8% resolution from 1ns to
+/// ~70s, constant memory, O(1) record. The real-time claim of the paper
+/// ("immediately decide whether a post should be pushed") is quantified
+/// as the per-post decision latency distribution this recorder captures.
+class LatencyRecorder {
+ public:
+  LatencyRecorder();
+
+  /// Records one sample, in nanoseconds.
+  void RecordNanos(uint64_t nanos);
+
+  /// Percentiles computed from bucket boundaries (upper edge).
+  LatencySummary Summarize() const;
+
+  uint64_t count() const { return count_; }
+
+ private:
+  static constexpr int kBucketsPerOctave = 9;  // ~8% resolution
+  static constexpr int kNumBuckets = 36 * kBucketsPerOctave;
+
+  int BucketFor(uint64_t nanos) const;
+  double BucketUpperNanos(int bucket) const;
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_nanos_ = 0.0;
+  uint64_t max_nanos_ = 0;
+};
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_RUNTIME_LATENCY_H_

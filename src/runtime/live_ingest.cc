@@ -1,0 +1,98 @@
+#include "src/runtime/live_ingest.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/runtime/spsc_queue.h"
+#include "src/util/timer.h"
+
+namespace firehose {
+
+namespace {
+
+struct QueuedPost {
+  const Post* post = nullptr;
+  uint64_t enqueue_nanos = 0;
+};
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+LiveIngestReport RunLiveIngest(Diversifier& diversifier,
+                               const PostStream& stream,
+                               const LiveIngestOptions& options) {
+  LiveIngestReport report;
+  if (stream.empty()) return report;
+
+  SpscQueue<QueuedPost> queue(options.queue_capacity);
+  std::atomic<bool> producer_done{false};
+  std::atomic<uint64_t> blocked{0};
+
+  WallTimer timer;
+  const uint64_t start_nanos = NowNanos();
+  const int64_t first_time_ms = stream.front().time_ms;
+
+  std::thread producer([&] {
+    for (const Post& post : stream) {
+      // Release the post at its scaled timestamp.
+      const double offset_ms =
+          static_cast<double>(post.time_ms - first_time_ms) / options.speedup;
+      const uint64_t due =
+          start_nanos + static_cast<uint64_t>(offset_ms * 1e6);
+      while (NowNanos() < due) {
+        // Sub-millisecond gaps: spin; larger gaps: sleep.
+        if (due - NowNanos() > 2000000) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+      QueuedPost item{&post, NowNanos()};
+      while (!queue.TryPush(item)) {
+        blocked.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::yield();
+        item.enqueue_nanos = NowNanos();
+      }
+    }
+    producer_done.store(true, std::memory_order_release);
+  });
+
+  LatencyRecorder latency;
+  size_t high_water = 0;
+  QueuedPost item;
+  for (;;) {
+    if (queue.TryPop(&item)) {
+      high_water = std::max(high_water, queue.ApproxSize() + 1);
+      ++report.posts_in;
+      if (diversifier.Offer(*item.post)) ++report.posts_out;
+      latency.RecordNanos(NowNanos() - item.enqueue_nanos);
+    } else if (producer_done.load(std::memory_order_acquire)) {
+      // Drain anything pushed between the last pop and the flag.
+      if (!queue.TryPop(&item)) break;
+      ++report.posts_in;
+      if (diversifier.Offer(*item.post)) ++report.posts_out;
+      latency.RecordNanos(NowNanos() - item.enqueue_nanos);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+
+  report.wall_ms = timer.ElapsedMillis();
+  report.achieved_posts_per_sec =
+      report.wall_ms > 0.0
+          ? static_cast<double>(report.posts_in) / (report.wall_ms / 1000.0)
+          : 0.0;
+  report.queue_high_water = high_water;
+  report.producer_blocked = blocked.load();
+  report.queueing_latency = latency.Summarize();
+  return report;
+}
+
+}  // namespace firehose

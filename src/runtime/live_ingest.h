@@ -1,0 +1,46 @@
+#ifndef FIREHOSE_RUNTIME_LIVE_INGEST_H_
+#define FIREHOSE_RUNTIME_LIVE_INGEST_H_
+
+#include <cstdint>
+
+#include "src/core/diversifier.h"
+#include "src/runtime/latency.h"
+#include "src/stream/post.h"
+
+namespace firehose {
+
+/// Configuration of a live replay run.
+struct LiveIngestOptions {
+  /// Replay a recorded day this many times faster than real time.
+  /// 86,400x compresses a day into one second of wall time.
+  double speedup = 100000.0;
+  /// Arrival queue depth; when full, the producer blocks (models TCP
+  /// backpressure against the upstream feed).
+  size_t queue_capacity = 4096;
+};
+
+/// Result of a live replay.
+struct LiveIngestReport {
+  uint64_t posts_in = 0;
+  uint64_t posts_out = 0;
+  double wall_ms = 0.0;
+  double achieved_posts_per_sec = 0.0;
+  size_t queue_high_water = 0;       ///< worst backlog observed
+  uint64_t producer_blocked = 0;     ///< pushes that had to retry
+  LatencySummary queueing_latency;   ///< enqueue -> decision, per post
+};
+
+/// Two-thread live replay: a producer thread releases each post of
+/// `stream` at its recorded timestamp (scaled by `speedup`) into an SPSC
+/// queue; the consumer thread runs the diversifier. This exercises the
+/// paper's real-time semantics — the decision must keep up with the
+/// arrival rate — and measures how much backlog the algorithm accrues.
+///
+/// `diversifier` is used from the consumer thread only.
+LiveIngestReport RunLiveIngest(Diversifier& diversifier,
+                               const PostStream& stream,
+                               const LiveIngestOptions& options);
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_RUNTIME_LIVE_INGEST_H_

@@ -1,0 +1,61 @@
+#include "src/runtime/pipeline.h"
+
+#include <chrono>
+
+#include "src/util/timer.h"
+
+namespace firehose {
+
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+PipelineReport Pipeline::Run(PostSource& source) {
+  PipelineReport report;
+  LatencyRecorder latency;
+  WallTimer timer;
+  Post post;
+  while (source.Next(&post)) {
+    ++report.posts_in;
+    const uint64_t start = NowNanos();
+    const bool admitted = diversifier_->Offer(post);
+    latency.RecordNanos(NowNanos() - start);
+    if (admitted) {
+      ++report.posts_out;
+      sink_->Deliver(post);
+    }
+  }
+  report.wall_ms = timer.ElapsedMillis();
+  report.decision_latency = latency.Summarize();
+  return report;
+}
+
+PipelineReport MultiUserPipeline::Run(PostSource& source) {
+  PipelineReport report;
+  LatencyRecorder latency;
+  WallTimer timer;
+  Post post;
+  std::vector<UserId> delivered;
+  while (source.Next(&post)) {
+    ++report.posts_in;
+    const uint64_t start = NowNanos();
+    engine_->Offer(post, &delivered);
+    latency.RecordNanos(NowNanos() - start);
+    if (!delivered.empty()) ++report.posts_out;
+    if (on_delivery_) {
+      for (UserId user : delivered) on_delivery_(post, user);
+    }
+  }
+  report.wall_ms = timer.ElapsedMillis();
+  report.decision_latency = latency.Summarize();
+  return report;
+}
+
+}  // namespace firehose

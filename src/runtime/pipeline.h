@@ -1,0 +1,113 @@
+#ifndef FIREHOSE_RUNTIME_PIPELINE_H_
+#define FIREHOSE_RUNTIME_PIPELINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/diversifier.h"
+#include "src/core/multi_user.h"
+#include "src/runtime/latency.h"
+#include "src/stream/post.h"
+
+namespace firehose {
+
+/// Pull-based post source feeding a pipeline. Sources deliver posts in
+/// non-decreasing timestamp order and return false when exhausted.
+class PostSource {
+ public:
+  virtual ~PostSource() = default;
+  /// Fills `*post` with the next post; false at end of stream.
+  virtual bool Next(Post* post) = 0;
+};
+
+/// Source over an in-memory stream (replay of a recorded day).
+class VectorSource final : public PostSource {
+ public:
+  /// `stream` must outlive the source.
+  explicit VectorSource(const PostStream* stream) : stream_(stream) {}
+  bool Next(Post* post) override {
+    if (index_ >= stream_->size()) return false;
+    *post = (*stream_)[index_++];
+    return true;
+  }
+
+ private:
+  const PostStream* stream_;
+  size_t index_ = 0;
+};
+
+/// Terminal stage receiving the diversified sub-stream.
+class PostSink {
+ public:
+  virtual ~PostSink() = default;
+  virtual void Deliver(const Post& post) = 0;
+};
+
+/// Sink that appends to a vector (tests, examples).
+class CollectSink final : public PostSink {
+ public:
+  explicit CollectSink(PostStream* out) : out_(out) {}
+  void Deliver(const Post& post) override { out_->push_back(post); }
+
+ private:
+  PostStream* out_;
+};
+
+/// Sink that counts deliveries without storing them (benchmarks).
+class CountingSink final : public PostSink {
+ public:
+  void Deliver(const Post&) override { ++count_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+/// Summary of one pipeline run.
+struct PipelineReport {
+  uint64_t posts_in = 0;
+  uint64_t posts_out = 0;
+  double wall_ms = 0.0;
+  LatencySummary decision_latency;  ///< per-post Offer latency
+};
+
+/// Single-user real-time pipeline (the SPSD deployment of Figure 1a):
+/// source -> diversifier -> sink, instrumented with per-decision latency.
+/// This is the "Twitter app of a user" shape — the diversifier runs
+/// client-side on the user's merged subscription stream.
+class Pipeline {
+ public:
+  /// `diversifier` and `sink` must outlive Run().
+  Pipeline(Diversifier* diversifier, PostSink* sink)
+      : diversifier_(diversifier), sink_(sink) {}
+
+  /// Drains `source` to completion, delivering admitted posts to the
+  /// sink. Latency histogram samples every post's decision time.
+  PipelineReport Run(PostSource& source);
+
+ private:
+  Diversifier* diversifier_;
+  PostSink* sink_;
+};
+
+/// Multi-user real-time pipeline (the M-SPSD deployment of Figure 1b):
+/// one central engine, per-user delivery callbacks.
+class MultiUserPipeline {
+ public:
+  using DeliveryFn = std::function<void(const Post&, UserId)>;
+
+  MultiUserPipeline(MultiUserEngine* engine, DeliveryFn on_delivery)
+      : engine_(engine), on_delivery_(std::move(on_delivery)) {}
+
+  PipelineReport Run(PostSource& source);
+
+ private:
+  MultiUserEngine* engine_;
+  DeliveryFn on_delivery_;
+};
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_RUNTIME_PIPELINE_H_

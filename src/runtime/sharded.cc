@@ -1,0 +1,120 @@
+#include "src/runtime/sharded.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "src/author/clique_cover.h"
+#include "src/util/timer.h"
+
+namespace firehose {
+
+namespace {
+
+/// One shard's share of the work: a subset of components with their own
+/// diversifiers, scanned over the whole stream.
+struct Shard {
+  // Heap-allocated and never moved after Init: `diversifier` keeps a
+  // pointer into `graph`/`cover`, so the component's address must be
+  // stable (mirrors OwnedDiversifier's deleted move in multi_user.cc).
+  struct ShardComponent {
+    std::vector<AuthorId> authors;  // sorted
+    std::vector<UserId> users;
+    AuthorGraph graph;
+    std::unique_ptr<CliqueCover> cover;
+    std::unique_ptr<Diversifier> diversifier;
+
+    ShardComponent() = default;
+    ShardComponent(ShardComponent&&) = delete;
+  };
+  std::vector<std::unique_ptr<ShardComponent>> components;
+  // author -> indices into `components` (only this shard's).
+  std::vector<std::vector<uint32_t>> author_components;
+  std::vector<std::pair<PostId, UserId>> deliveries;
+  uint64_t posts_in = 0;
+
+  void Run(const PostStream& stream) {
+    for (const Post& post : stream) {
+      if (post.author >= author_components.size()) continue;
+      for (uint32_t index : author_components[post.author]) {
+        ShardComponent& c = *components[index];
+        ++posts_in;
+        if (c.diversifier->Offer(post)) {
+          for (UserId user : c.users) deliveries.emplace_back(post.id, user);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ShardedRunResult RunShardedSUser(
+    Algorithm algorithm, const DiversityThresholds& thresholds,
+    const AuthorGraph& graph, const std::vector<User>& users,
+    const PostStream& stream, int num_shards,
+    std::vector<std::pair<PostId, UserId>>* deliveries) {
+  ShardedRunResult result;
+  result.num_shards = std::max(num_shards, 1);
+
+  // Partition the distinct components round-robin across shards.
+  std::vector<Shard> shards(static_cast<size_t>(result.num_shards));
+  AuthorId max_author = 0;
+  {
+    size_t next = 0;
+    for (SharedComponent& shared :
+         ComputeSharedComponents(thresholds, graph, users)) {
+      Shard& shard = shards[next % shards.size()];
+      ++next;
+      shard.components.push_back(std::make_unique<Shard::ShardComponent>());
+      Shard::ShardComponent& c = *shard.components.back();
+      c.authors = std::move(shared.authors);
+      c.users = std::move(shared.users);
+      c.graph = graph.InducedSubgraph(c.authors);
+      if (algorithm == Algorithm::kCliqueBin) {
+        c.cover = std::make_unique<CliqueCover>(CliqueCover::Greedy(c.graph));
+      }
+      c.diversifier = MakeDiversifier(algorithm, shared.thresholds, &c.graph,
+                                      c.cover.get());
+      for (AuthorId a : c.authors) max_author = std::max(max_author, a);
+    }
+    for (Shard& shard : shards) {
+      shard.author_components.assign(static_cast<size_t>(max_author) + 1, {});
+      for (uint32_t i = 0; i < shard.components.size(); ++i) {
+        for (AuthorId a : shard.components[i]->authors) {
+          shard.author_components[a].push_back(i);
+        }
+      }
+    }
+  }
+
+  // Components never interact, so shards run lock-free over the shared
+  // read-only stream and their outputs merge into exactly the sequential
+  // S_* deliveries.
+  WallTimer timer;
+  if (shards.size() == 1) {
+    shards[0].Run(stream);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(shards.size());
+    for (Shard& shard : shards) {
+      workers.emplace_back([&shard, &stream] { shard.Run(stream); });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  result.wall_ms = timer.ElapsedMillis();
+
+  std::vector<std::pair<PostId, UserId>> merged;
+  for (Shard& shard : shards) {
+    result.posts_in += shard.posts_in;
+    merged.insert(merged.end(), shard.deliveries.begin(),
+                  shard.deliveries.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  result.deliveries = merged.size();
+  if (deliveries != nullptr) *deliveries = std::move(merged);
+  return result;
+}
+
+}  // namespace firehose

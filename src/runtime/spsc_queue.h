@@ -1,0 +1,67 @@
+#ifndef FIREHOSE_RUNTIME_SPSC_QUEUE_H_
+#define FIREHOSE_RUNTIME_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace firehose {
+
+/// Bounded lock-free single-producer/single-consumer ring queue. The
+/// live-ingest runtime uses it to hand posts from the network/arrival
+/// thread to the diversifier thread without locks on the hot path.
+///
+/// Exactly one thread may call TryPush and one thread TryPop.
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit SpscQueue(size_t capacity) {
+    size_t rounded = 2;
+    while (rounded < capacity) rounded *= 2;
+    slots_.resize(rounded);
+    mask_ = rounded - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// False when the queue is full (producer should back off or drop).
+  bool TryPush(const T& item) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false;
+    slots_[head & mask_] = item;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// False when the queue is empty.
+  bool TryPop(T* item) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return false;
+    *item = slots_[tail & mask_];
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy size estimate (monitoring only).
+  size_t ApproxSize() const {
+    const size_t head = head_.load(std::memory_order_acquire);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    return head - tail;
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  std::atomic<size_t> head_{0};  // producer-owned write index
+  std::atomic<size_t> tail_{0};  // consumer-owned read index
+};
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_RUNTIME_SPSC_QUEUE_H_

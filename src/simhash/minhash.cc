@@ -1,0 +1,80 @@
+#include "src/simhash/minhash.h"
+
+#include <algorithm>
+
+#include "src/text/tokenize.h"
+#include "src/util/hash.h"
+#include "src/util/random.h"
+
+namespace firehose {
+
+MinHasher::MinHasher(int num_hashes, bool normalize, uint64_t seed)
+    : num_hashes_(num_hashes > 0 ? num_hashes : 1), normalize_(normalize) {
+  uint64_t state = seed;
+  salts_.reserve(static_cast<size_t>(num_hashes_));
+  for (int i = 0; i < num_hashes_; ++i) salts_.push_back(SplitMix64(&state));
+}
+
+MinHashSignature MinHasher::Sign(std::string_view text) const {
+  std::string normalized;
+  std::string_view effective = text;
+  if (normalize_) {
+    normalized = Normalize(text);
+    effective = normalized;
+  }
+  MinHashSignature signature;
+  bool any = false;
+  signature.mins.assign(salts_.size(), ~0ULL);
+  for (const Token& token : Tokenize(effective)) {
+    any = true;
+    const uint64_t base = Fnv1a64(token.text);
+    for (size_t i = 0; i < salts_.size(); ++i) {
+      const uint64_t h = Fmix64(base ^ salts_[i]);
+      signature.mins[i] = std::min(signature.mins[i], h);
+    }
+  }
+  if (!any) signature.mins.clear();
+  return signature;
+}
+
+double EstimateJaccard(const MinHashSignature& a, const MinHashSignature& b) {
+  if (a.empty() || b.empty() || a.size() != b.size()) return 0.0;
+  size_t agree = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.mins[i] == b.mins[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(a.size());
+}
+
+double ExactJaccard(std::string_view text_a, std::string_view text_b,
+                    bool normalize) {
+  auto token_set = [normalize](std::string_view text) {
+    std::string normalized;
+    std::string_view effective = text;
+    if (normalize) {
+      normalized = Normalize(text);
+      effective = normalized;
+    }
+    std::vector<uint64_t> hashes;
+    for (const Token& token : Tokenize(effective)) {
+      hashes.push_back(Fnv1a64(token.text));
+    }
+    std::sort(hashes.begin(), hashes.end());
+    hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+    return hashes;
+  };
+  const std::vector<uint64_t> set_a = token_set(text_a);
+  const std::vector<uint64_t> set_b = token_set(text_b);
+  if (set_a.empty() && set_b.empty()) return 0.0;
+  std::vector<uint64_t> intersection;
+  std::set_intersection(set_a.begin(), set_a.end(), set_b.begin(),
+                        set_b.end(), std::back_inserter(intersection));
+  const size_t union_size =
+      set_a.size() + set_b.size() - intersection.size();
+  return union_size == 0
+             ? 0.0
+             : static_cast<double>(intersection.size()) /
+                   static_cast<double>(union_size);
+}
+
+}  // namespace firehose

@@ -1,0 +1,57 @@
+#ifndef FIREHOSE_SIMHASH_MINHASH_H_
+#define FIREHOSE_SIMHASH_MINHASH_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/text/normalize.h"
+
+namespace firehose {
+
+/// A k-permutation MinHash signature; element i is the minimum of hash_i
+/// over the post's token set.
+struct MinHashSignature {
+  std::vector<uint64_t> mins;
+
+  bool empty() const { return mins.empty(); }
+  size_t size() const { return mins.size(); }
+};
+
+/// MinHash signatures for microblog posts — the other classic hash-based
+/// near-duplicate detector (Broder), implemented alongside SimHash so the
+/// §3 content-distance choice can be evaluated against it
+/// (abl_minhash bench). Agreement fraction of two signatures is an
+/// unbiased estimate of the Jaccard similarity of the token sets.
+class MinHasher {
+ public:
+  /// `num_hashes` trades estimate variance (~1/sqrt(k)) for signature
+  /// size and comparison cost. `normalize` applies the paper's text
+  /// normalization before tokenizing.
+  explicit MinHasher(int num_hashes = 16, bool normalize = true,
+                     uint64_t seed = 0x5EEDF00D);
+
+  /// Signs `text`. An empty/blank post yields an empty signature.
+  MinHashSignature Sign(std::string_view text) const;
+
+  int num_hashes() const { return num_hashes_; }
+
+ private:
+  int num_hashes_;
+  bool normalize_;
+  std::vector<uint64_t> salts_;  // one per hash function
+};
+
+/// Fraction of agreeing components — the Jaccard estimate. Signatures
+/// must come from the same MinHasher; mismatched or empty signatures
+/// return 0.
+double EstimateJaccard(const MinHashSignature& a, const MinHashSignature& b);
+
+/// Exact Jaccard similarity of the (normalized) token sets of two texts,
+/// for validating the estimator.
+double ExactJaccard(std::string_view text_a, std::string_view text_b,
+                    bool normalize = true);
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_SIMHASH_MINHASH_H_

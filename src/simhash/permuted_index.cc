@@ -1,0 +1,160 @@
+#include "src/simhash/permuted_index.h"
+
+#include <algorithm>
+
+#include "src/util/bitops.h"
+
+namespace firehose {
+
+namespace {
+
+// Advances `comb` (a strictly increasing k-subset of {0..n-1}) to the next
+// combination; returns false when exhausted.
+bool NextCombination(std::vector<int>& comb, int n) {
+  int k = static_cast<int>(comb.size());
+  for (int i = k - 1; i >= 0; --i) {
+    if (comb[static_cast<size_t>(i)] < n - k + i) {
+      ++comb[static_cast<size_t>(i)];
+      for (int j = i + 1; j < k; ++j) {
+        comb[static_cast<size_t>(j)] = comb[static_cast<size_t>(j - 1)] + 1;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int64_t PermutedSimHashIndex::TableCountFor(int num_blocks, int max_distance) {
+  if (max_distance < 1 || max_distance >= num_blocks || num_blocks > 64) {
+    return -1;
+  }
+  // C(num_blocks, max_distance) with overflow guard.
+  int64_t result = 1;
+  int k = std::min(max_distance, num_blocks - max_distance);
+  for (int i = 1; i <= k; ++i) {
+    result = result * (num_blocks - k + i) / i;
+    if (result > (int64_t{1} << 31)) return -1;
+  }
+  return result;
+}
+
+PermutedSimHashIndex::PermutedSimHashIndex(int num_blocks, int max_distance,
+                                           int max_tables)
+    : num_blocks_(num_blocks), max_distance_(max_distance) {
+  const int64_t table_count = TableCountFor(num_blocks, max_distance);
+  if (table_count < 0 || table_count > max_tables) return;
+
+  block_start_.resize(static_cast<size_t>(num_blocks_) + 1);
+  for (int i = 0; i <= num_blocks_; ++i) {
+    block_start_[static_cast<size_t>(i)] = i * 64 / num_blocks_;
+  }
+
+  // One table per (B - k)-subset of blocks permuted to the top.
+  const int top = num_blocks_ - max_distance_;
+  std::vector<int> comb(static_cast<size_t>(top));
+  for (int i = 0; i < top; ++i) comb[static_cast<size_t>(i)] = i;
+  prefix_bits_ = 64;
+  do {
+    PermTable table;
+    table.top_blocks = comb;
+    tables_.push_back(std::move(table));
+    int bits = 0;
+    for (int b : comb) {
+      bits += block_start_[static_cast<size_t>(b) + 1] -
+              block_start_[static_cast<size_t>(b)];
+    }
+    prefix_bits_ = std::min(prefix_bits_, bits);
+  } while (NextCombination(comb, num_blocks_));
+  valid_ = true;
+}
+
+uint64_t PermutedSimHashIndex::PermuteKey(uint64_t key,
+                                          const PermTable& table) const {
+  // Top blocks first (most significant), remaining blocks after, each block
+  // keeping its internal bit order. Bit 63 of the result is the first bit of
+  // the first top block.
+  uint64_t out = 0;
+  int out_pos = 64;  // next free most-significant position (exclusive)
+  std::vector<bool> is_top(static_cast<size_t>(num_blocks_), false);
+  for (int b : table.top_blocks) is_top[static_cast<size_t>(b)] = true;
+  auto append_block = [&](int b) {
+    const int lo = block_start_[static_cast<size_t>(b)];
+    const int hi = block_start_[static_cast<size_t>(b) + 1];
+    const int width = hi - lo;
+    const uint64_t bits = (key >> lo) & ((width == 64) ? ~0ULL
+                                                       : ((1ULL << width) - 1));
+    out_pos -= width;
+    out |= bits << out_pos;
+  };
+  for (int b : table.top_blocks) append_block(b);
+  for (int b = 0; b < num_blocks_; ++b) {
+    if (!is_top[static_cast<size_t>(b)]) append_block(b);
+  }
+  return out;
+}
+
+void PermutedSimHashIndex::Insert(uint64_t fingerprint, uint64_t id) {
+  if (!valid_) return;
+  built_ = false;
+  for (PermTable& table : tables_) {
+    table.entries.push_back(
+        TableEntry{PermuteKey(fingerprint, table), fingerprint, id});
+  }
+}
+
+void PermutedSimHashIndex::Build() {
+  if (!valid_ || built_) return;
+  for (PermTable& table : tables_) {
+    std::sort(table.entries.begin(), table.entries.end(),
+              [](const TableEntry& a, const TableEntry& b) {
+                return a.permuted < b.permuted;
+              });
+  }
+  built_ = true;
+}
+
+std::vector<uint64_t> PermutedSimHashIndex::Query(uint64_t query) const {
+  std::vector<uint64_t> hits;
+  if (!valid_ || !built_) return hits;
+  ++queries_;
+  for (const PermTable& table : tables_) {
+    int bits = 0;
+    for (int b : table.top_blocks) {
+      bits += block_start_[static_cast<size_t>(b) + 1] -
+              block_start_[static_cast<size_t>(b)];
+    }
+    const uint64_t permuted = PermuteKey(query, table);
+    const uint64_t lo_key = bits >= 64 ? permuted
+                                       : (permuted >> (64 - bits)) << (64 - bits);
+    const uint64_t hi_key =
+        bits >= 64 ? permuted : lo_key | ((1ULL << (64 - bits)) - 1);
+    auto lo = std::lower_bound(
+        table.entries.begin(), table.entries.end(), lo_key,
+        [](const TableEntry& e, uint64_t k) { return e.permuted < k; });
+    auto hi = std::upper_bound(
+        lo, table.entries.end(), hi_key,
+        [](uint64_t k, const TableEntry& e) { return k < e.permuted; });
+    for (auto it = lo; it != hi; ++it) {
+      ++candidates_examined_;
+      if (HammingDistance64(it->fingerprint, query) <= max_distance_) {
+        hits.push_back(it->id);
+      }
+    }
+  }
+  std::sort(hits.begin(), hits.end());
+  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+  return hits;
+}
+
+size_t PermutedSimHashIndex::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const PermTable& table : tables_) {
+    bytes += table.entries.capacity() * sizeof(TableEntry);
+    bytes += table.top_blocks.capacity() * sizeof(int);
+  }
+  return bytes;
+}
+
+}  // namespace firehose

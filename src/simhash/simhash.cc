@@ -1,0 +1,59 @@
+#include "src/simhash/simhash.h"
+
+#include <array>
+#include <string>
+
+#include "src/text/tokenize.h"
+#include "src/util/hash.h"
+
+namespace firehose {
+
+uint64_t SimHasher::Fingerprint(std::string_view text) const {
+  std::string normalized;
+  std::string_view effective = text;
+  if (options_.normalize) {
+    normalized = Normalize(text, options_.normalize_options);
+    effective = normalized;
+  }
+
+  std::array<int32_t, 64> tally{};
+  bool any = false;
+  for (const Token& token : Tokenize(effective)) {
+    int weight = options_.word_weight;
+    switch (token.kind) {
+      case TokenKind::kHashtag:
+        weight = options_.hashtag_weight;
+        break;
+      case TokenKind::kMention:
+        weight = options_.mention_weight;
+        break;
+      case TokenKind::kUrl:
+        weight = options_.url_weight;
+        break;
+      case TokenKind::kNumber:
+        weight = options_.number_weight;
+        break;
+      case TokenKind::kWord:
+        break;
+    }
+    if (weight == 0) continue;
+    any = true;
+    const uint64_t h = Fnv1a64(token.text);
+    for (int bit = 0; bit < 64; ++bit) {
+      if ((h >> bit) & 1) {
+        tally[static_cast<size_t>(bit)] += weight;
+      } else {
+        tally[static_cast<size_t>(bit)] -= weight;
+      }
+    }
+  }
+  if (!any) return 0;
+
+  uint64_t fingerprint = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    if (tally[static_cast<size_t>(bit)] > 0) fingerprint |= 1ULL << bit;
+  }
+  return fingerprint;
+}
+
+}  // namespace firehose

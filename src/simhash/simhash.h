@@ -1,0 +1,57 @@
+#ifndef FIREHOSE_SIMHASH_SIMHASH_H_
+#define FIREHOSE_SIMHASH_SIMHASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/text/normalize.h"
+#include "src/util/bitops.h"
+
+namespace firehose {
+
+/// Options controlling SimHash fingerprinting of a social post.
+struct SimHashOptions {
+  /// Apply the paper's §3 normalization (lowercase, squeeze whitespace,
+  /// strip non-alphanumerics) before tokenizing. Figure 3 uses raw text
+  /// (false); Figure 4 and all §6 experiments use normalized text (true).
+  bool normalize = true;
+  NormalizeOptions normalize_options;
+
+  /// Integer weights per token class. Weight w hashes the token once and
+  /// adds w to the bit tallies — equivalent to the paper's "artificial
+  /// copies" of mentions/hashtags. 0 drops the token class entirely.
+  int word_weight = 1;
+  int hashtag_weight = 1;
+  int mention_weight = 1;
+  int url_weight = 1;
+  int number_weight = 1;
+};
+
+/// 64-bit SimHash fingerprinter (Charikar / Sadowski-Levin as used by the
+/// paper). Two posts with near-duplicate content receive fingerprints at
+/// small Hamming distance; unrelated posts concentrate around distance 32.
+///
+/// Thread-compatible: const after construction.
+class SimHasher {
+ public:
+  SimHasher() = default;
+  explicit SimHasher(const SimHashOptions& options) : options_(options) {}
+
+  /// Fingerprints `text`. Deterministic across runs and platforms.
+  /// Empty or all-stripped text maps to fingerprint 0.
+  uint64_t Fingerprint(std::string_view text) const;
+
+  const SimHashOptions& options() const { return options_; }
+
+ private:
+  SimHashOptions options_;
+};
+
+/// Content distance between two fingerprints: Hamming distance in [0, 64].
+inline int SimHashDistance(uint64_t a, uint64_t b) {
+  return HammingDistance64(a, b);
+}
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_SIMHASH_SIMHASH_H_

@@ -1,0 +1,33 @@
+#ifndef FIREHOSE_STREAM_POST_H_
+#define FIREHOSE_STREAM_POST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/author/follow_graph.h"
+
+namespace firehose {
+
+/// Post identifier, unique within a stream; ids are assigned in arrival
+/// order so they double as sequence numbers.
+using PostId = uint32_t;
+
+/// A social post: the unit of the SPSD problem. Every post has an author,
+/// a timestamp and textual content; `simhash` caches the content
+/// fingerprint so stream algorithms never re-hash text.
+struct Post {
+  PostId id = 0;
+  AuthorId author = 0;
+  int64_t time_ms = 0;      ///< milliseconds since stream epoch
+  uint64_t simhash = 0;     ///< 64-bit SimHash of (normalized) text
+  std::string text;
+};
+
+/// A time-ordered sequence of posts (the stream P). Invariant: time_ms is
+/// non-decreasing and ids are 0..size-1 in order.
+using PostStream = std::vector<Post>;
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_STREAM_POST_H_

@@ -1,0 +1,70 @@
+#include "src/stream/post_bin.h"
+
+namespace firehose {
+
+void PostBin::Grow() {
+  const size_t new_capacity = slots_.empty() ? 2 : slots_.size() * 2;
+  std::vector<BinEntry> next(new_capacity);
+  for (size_t i = 0; i < size_; ++i) next[i] = slots_[(head_ + i) & mask_];
+  slots_ = std::move(next);
+  head_ = 0;
+  mask_ = new_capacity - 1;
+}
+
+void PostBin::Push(const BinEntry& entry) {
+  if (size_ == slots_.size()) Grow();
+  slots_[(head_ + size_) & mask_] = entry;
+  ++size_;
+}
+
+void PostBin::Save(BinaryWriter* out) const {
+  out->PutVarint(size_);
+  int64_t prev_time = 0;
+  for (size_t i = 0; i < size_; ++i) {
+    const BinEntry& entry = FromOldest(i);
+    out->PutSignedVarint(entry.time_ms - prev_time);
+    prev_time = entry.time_ms;
+    out->PutFixed64(entry.simhash);
+    out->PutVarint(entry.author);
+    out->PutVarint(entry.post_id);
+  }
+}
+
+bool PostBin::Load(BinaryReader& in) {
+  slots_.clear();
+  head_ = 0;
+  size_ = 0;
+  mask_ = 0;
+  uint64_t count;
+  if (!in.GetVarint(&count)) return false;
+  int64_t prev_time = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    BinEntry entry;
+    int64_t delta;
+    uint64_t author, post_id;
+    if (!in.GetSignedVarint(&delta) || !in.GetFixed64(&entry.simhash) ||
+        !in.GetVarint(&author) || !in.GetVarint(&post_id)) {
+      slots_.clear();
+      head_ = size_ = mask_ = 0;
+      return false;
+    }
+    prev_time += delta;
+    entry.time_ms = prev_time;
+    entry.author = static_cast<AuthorId>(author);
+    entry.post_id = static_cast<PostId>(post_id);
+    Push(entry);
+  }
+  return true;
+}
+
+size_t PostBin::EvictOlderThan(int64_t cutoff_ms) {
+  size_t evicted = 0;
+  while (size_ > 0 && slots_[head_].time_ms < cutoff_ms) {
+    head_ = (head_ + 1) & mask_;
+    --size_;
+    ++evicted;
+  }
+  return evicted;
+}
+
+}  // namespace firehose

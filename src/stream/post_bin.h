@@ -1,0 +1,76 @@
+#ifndef FIREHOSE_STREAM_POST_BIN_H_
+#define FIREHOSE_STREAM_POST_BIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/io/binary.h"
+#include "src/stream/post.h"
+
+namespace firehose {
+
+/// Compact record a post bin stores per post: everything a coverage check
+/// needs (time, fingerprint, author), without the text.
+struct BinEntry {
+  int64_t time_ms;
+  uint64_t simhash;
+  AuthorId author;
+  PostId post_id;
+};
+
+/// Time-windowed post bin: the circular array of §4 ("Handling Time
+/// Diversity"). Entries are pushed in non-decreasing time order; entries
+/// older than the λt window are evicted from the front. The buffer is a
+/// growable ring, so both insertion and eviction are amortized O(1), and
+/// iteration from newest to oldest is cache-friendly.
+class PostBin {
+ public:
+  PostBin() = default;
+
+  /// Appends an entry. Entries must arrive in non-decreasing `time_ms`
+  /// order (streams are time-ordered); violating this breaks eviction.
+  void Push(const BinEntry& entry);
+
+  /// Removes all entries with time_ms < cutoff_ms. Returns the number of
+  /// evicted entries.
+  size_t EvictOlderThan(int64_t cutoff_ms);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Entry `i` positions from the newest (FromNewest(0) is the most recent).
+  /// Precondition: i < size().
+  const BinEntry& FromNewest(size_t i) const {
+    return slots_[(head_ + size_ - 1 - i) & mask_];
+  }
+
+  /// Entry `i` positions from the oldest. Precondition: i < size().
+  const BinEntry& FromOldest(size_t i) const {
+    return slots_[(head_ + i) & mask_];
+  }
+
+  /// Bytes of the backing ring (capacity, not size — what the process
+  /// actually holds resident).
+  size_t ApproxBytes() const { return slots_.capacity() * sizeof(BinEntry); }
+
+  /// Serializes the live entries (oldest to newest, delta-encoded) for
+  /// diversifier failover snapshots.
+  void Save(BinaryWriter* out) const;
+
+  /// Replaces the contents from a Save()d snapshot; false (contents
+  /// undefined-but-safe: empty) on malformed input.
+  bool Load(BinaryReader& in);
+
+ private:
+  void Grow();
+
+  std::vector<BinEntry> slots_;  // power-of-two ring; empty until first Push
+  size_t head_ = 0;              // index of the oldest entry
+  size_t size_ = 0;
+  size_t mask_ = 0;              // slots_.size() - 1
+};
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_STREAM_POST_BIN_H_

@@ -1,0 +1,31 @@
+#ifndef FIREHOSE_STREAM_STATS_H_
+#define FIREHOSE_STREAM_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace firehose {
+
+/// Work and output counters accumulated by a diversifier while ingesting a
+/// stream — the paper's four measured quantities (Figures 11-16):
+/// running time is measured externally; RAM, post comparisons and post
+/// insertions are tracked here.
+struct IngestStats {
+  uint64_t posts_in = 0;      ///< posts offered
+  uint64_t posts_out = 0;     ///< posts admitted to the diversified stream Z
+  uint64_t comparisons = 0;   ///< pairwise post comparisons performed
+  uint64_t insertions = 0;    ///< bin insertions (copies count individually)
+  size_t peak_bytes = 0;      ///< high-water mark of bin memory
+
+  void MergeFrom(const IngestStats& other) {
+    posts_in += other.posts_in;
+    posts_out += other.posts_out;
+    comparisons += other.comparisons;
+    insertions += other.insertions;
+    peak_bytes += other.peak_bytes;  // engines aggregate by summing
+  }
+};
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_STREAM_STATS_H_

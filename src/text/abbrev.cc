@@ -1,0 +1,107 @@
+#include "src/text/abbrev.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace firehose {
+
+namespace {
+
+struct Entry {
+  std::string_view abbrev;
+  std::string_view expansion;
+};
+
+// Sorted by abbrev for binary search.
+constexpr std::array<Entry, 40> kAbbrevs = {{
+    {"2day", "today"},
+    {"2mrw", "tomorrow"},
+    {"2nite", "tonight"},
+    {"4", "for"},
+    {"abt", "about"},
+    {"afaik", "as far as i know"},
+    {"b4", "before"},
+    {"bc", "because"},
+    {"bday", "birthday"},
+    {"brb", "be right back"},
+    {"btw", "by the way"},
+    {"cya", "see you"},
+    {"dm", "direct message"},
+    {"fb", "facebook"},
+    {"ffs", "for heavens sake"},
+    {"fomo", "fear of missing out"},
+    {"ftw", "for the win"},
+    {"fyi", "for your information"},
+    {"gr8", "great"},
+    {"idk", "i do not know"},
+    {"ikr", "i know right"},
+    {"imho", "in my humble opinion"},
+    {"imo", "in my opinion"},
+    {"irl", "in real life"},
+    {"jk", "just kidding"},
+    {"lmk", "let me know"},
+    {"lol", "laughing out loud"},
+    {"nbd", "no big deal"},
+    {"ngl", "not gonna lie"},
+    {"omg", "oh my god"},
+    {"ppl", "people"},
+    {"rn", "right now"},
+    {"rt", "retweet"},
+    {"smh", "shaking my head"},
+    {"tbh", "to be honest"},
+    {"thx", "thanks"},
+    {"til", "today i learned"},
+    {"u", "you"},
+    {"ur", "your"},
+    {"w/", "with"},
+}};
+
+std::string ToLowerCopy(std::string_view token) {
+  std::string lower(token);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return lower;
+}
+
+}  // namespace
+
+std::string_view LookupAbbreviation(std::string_view token) {
+  const std::string lower = ToLowerCopy(token);
+  auto it = std::lower_bound(
+      kAbbrevs.begin(), kAbbrevs.end(), std::string_view(lower),
+      [](const Entry& e, std::string_view key) { return e.abbrev < key; });
+  if (it != kAbbrevs.end() && it->abbrev == lower) return it->expansion;
+  return {};
+}
+
+int AbbreviationCount() { return static_cast<int>(kAbbrevs.size()); }
+
+std::string ExpandAbbreviations(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  bool first = true;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    size_t start = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    if (i > start) {
+      std::string_view tok = text.substr(start, i - start);
+      if (!first) out.push_back(' ');
+      first = false;
+      std::string_view expansion = LookupAbbreviation(tok);
+      if (!expansion.empty()) {
+        out.append(expansion);
+      } else {
+        out.append(tok);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace firehose

@@ -1,0 +1,57 @@
+#include "src/text/normalize.h"
+
+#include <cctype>
+
+namespace firehose {
+
+namespace {
+
+bool IsAsciiAlnum(unsigned char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+         (c >= 'A' && c <= 'Z');
+}
+
+bool IsSocialMarker(unsigned char c) {
+  return c == '#' || c == '@' || c == ':' || c == '/' || c == '.';
+}
+
+}  // namespace
+
+std::string Normalize(std::string_view text, const NormalizeOptions& options) {
+  std::string out;
+  out.reserve(text.size());
+  bool pending_space = false;
+  bool emitted_any = false;
+  for (unsigned char c : text) {
+    if (std::isspace(c)) {
+      if (options.squeeze_whitespace) {
+        pending_space = true;
+        continue;
+      }
+      out.push_back(static_cast<char>(c));
+      continue;
+    }
+    bool keep = true;
+    if (options.strip_non_alnum && c < 0x80 && !IsAsciiAlnum(c)) {
+      keep = options.preserve_social_markers && IsSocialMarker(c);
+    }
+    if (!keep) continue;
+    if (pending_space) {
+      if (emitted_any) out.push_back(' ');
+      pending_space = false;
+    }
+    char ch = static_cast<char>(c);
+    if (options.lowercase && c < 0x80) {
+      ch = static_cast<char>(std::tolower(c));
+    }
+    out.push_back(ch);
+    emitted_any = true;
+  }
+  return out;
+}
+
+std::string Normalize(std::string_view text) {
+  return Normalize(text, NormalizeOptions{});
+}
+
+}  // namespace firehose

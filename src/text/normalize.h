@@ -1,0 +1,34 @@
+#ifndef FIREHOSE_TEXT_NORMALIZE_H_
+#define FIREHOSE_TEXT_NORMALIZE_H_
+
+#include <string>
+#include <string_view>
+
+namespace firehose {
+
+/// Text normalization applied before SimHash fingerprinting (paper §3):
+/// (a) lowercase all text, (b) squeeze runs of whitespace to single spaces,
+/// (c) drop non-alphanumeric characters (such as *, -, +, /).
+///
+/// Each step can be toggled so the benches can reproduce both the raw-text
+/// curve (Figure 3) and the normalized-text curve (Figure 4).
+struct NormalizeOptions {
+  bool lowercase = true;
+  bool squeeze_whitespace = true;
+  bool strip_non_alnum = true;
+  /// Keep characters that carry microblog semantics even when stripping
+  /// non-alphanumerics: '#' (hashtags), '@' (mentions), and ':'+'/'+'.'
+  /// inside URLs so links survive normalization as single tokens.
+  bool preserve_social_markers = true;
+};
+
+/// Returns the normalized copy of `text` under `options`. ASCII-oriented;
+/// bytes >= 0x80 are preserved verbatim (treated as alphanumeric).
+std::string Normalize(std::string_view text, const NormalizeOptions& options);
+
+/// Normalizes with default options (the paper's (a)+(b)+(c) pipeline).
+std::string Normalize(std::string_view text);
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_TEXT_NORMALIZE_H_

@@ -1,0 +1,56 @@
+#include "src/text/tf_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/text/tokenize.h"
+#include "src/util/hash.h"
+
+namespace firehose {
+
+TfVector TfVector::FromText(std::string_view text) {
+  std::vector<uint64_t> hashes;
+  for (const Token& token : Tokenize(text)) {
+    hashes.push_back(Fnv1a64(token.text));
+  }
+  std::sort(hashes.begin(), hashes.end());
+  TfVector v;
+  for (size_t i = 0; i < hashes.size();) {
+    size_t j = i;
+    while (j < hashes.size() && hashes[j] == hashes[i]) ++j;
+    v.entries_.push_back(Entry{hashes[i], static_cast<uint32_t>(j - i)});
+    i = j;
+  }
+  return v;
+}
+
+double TfVector::Norm() const {
+  double sq = 0.0;
+  for (const Entry& e : entries_) {
+    sq += static_cast<double>(e.count) * static_cast<double>(e.count);
+  }
+  return std::sqrt(sq);
+}
+
+double TfVector::CosineSimilarity(const TfVector& other) const {
+  if (entries_.empty() || other.entries_.empty()) return 0.0;
+  double dot = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < entries_.size() && j < other.entries_.size()) {
+    if (entries_[i].term_hash < other.entries_[j].term_hash) {
+      ++i;
+    } else if (entries_[i].term_hash > other.entries_[j].term_hash) {
+      ++j;
+    } else {
+      dot += static_cast<double>(entries_[i].count) *
+             static_cast<double>(other.entries_[j].count);
+      ++i;
+      ++j;
+    }
+  }
+  const double denom = Norm() * other.Norm();
+  return denom == 0.0 ? 0.0 : dot / denom;
+}
+
+}  // namespace firehose

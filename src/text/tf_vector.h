@@ -1,0 +1,48 @@
+#ifndef FIREHOSE_TEXT_TF_VECTOR_H_
+#define FIREHOSE_TEXT_TF_VECTOR_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace firehose {
+
+/// Sparse term-frequency vector over hashed tokens. This is the exact
+/// (non-hashed) content-similarity baseline the paper compares SimHash
+/// against in §3: cosine similarity over token frequencies.
+///
+/// Tokens are identified by their 64-bit FNV-1a hashes; entries are kept
+/// sorted by token hash so dot products run in linear-merge time.
+class TfVector {
+ public:
+  TfVector() = default;
+
+  /// Builds the vector from whitespace-tokenized `text`.
+  static TfVector FromText(std::string_view text);
+
+  /// Cosine similarity in [0, 1]; 0 when either vector is empty.
+  double CosineSimilarity(const TfVector& other) const;
+
+  /// Cosine distance = 1 - similarity.
+  double CosineDistance(const TfVector& other) const {
+    return 1.0 - CosineSimilarity(other);
+  }
+
+  /// Number of distinct terms.
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// L2 norm of the frequency vector.
+  double Norm() const;
+
+ private:
+  struct Entry {
+    uint64_t term_hash;
+    uint32_t count;
+  };
+  std::vector<Entry> entries_;  // sorted by term_hash
+};
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_TEXT_TF_VECTOR_H_

@@ -1,0 +1,58 @@
+#include "src/text/tokenize.h"
+
+#include <cctype>
+
+namespace firehose {
+
+TokenKind ClassifyToken(std::string_view token) {
+  if (token.empty()) return TokenKind::kWord;
+  if (token.front() == '#' && token.size() > 1) return TokenKind::kHashtag;
+  if (token.front() == '@' && token.size() > 1) return TokenKind::kMention;
+  if (token.rfind("http://", 0) == 0 || token.rfind("https://", 0) == 0) {
+    return TokenKind::kUrl;
+  }
+  bool all_digits = true;
+  for (unsigned char c : token) {
+    if (!std::isdigit(c)) {
+      all_digits = false;
+      break;
+    }
+  }
+  if (all_digits) return TokenKind::kNumber;
+  return TokenKind::kWord;
+}
+
+std::vector<Token> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    size_t start = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    if (i > start) {
+      std::string_view tok = text.substr(start, i - start);
+      tokens.push_back(Token{std::string(tok), ClassifyToken(tok)});
+    }
+  }
+  return tokens;
+}
+
+std::vector<std::string> TokenizeWords(std::string_view text) {
+  std::vector<std::string> out;
+  for (auto& t : Tokenize(text)) out.push_back(std::move(t.text));
+  return out;
+}
+
+bool IsDegeneratePost(std::string_view text, int min_words) {
+  int words = 0;
+  for (const Token& t : Tokenize(text)) {
+    if (t.kind == TokenKind::kWord && t.text.size() > 1) ++words;
+    if (words >= min_words) return false;
+  }
+  return true;
+}
+
+}  // namespace firehose

@@ -1,0 +1,44 @@
+#ifndef FIREHOSE_TEXT_TOKENIZE_H_
+#define FIREHOSE_TEXT_TOKENIZE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace firehose {
+
+/// Classification of a microblog token; lets the SimHasher weight hashtags
+/// and mentions differently (the paper's "artificial copies" experiment).
+enum class TokenKind {
+  kWord,
+  kHashtag,   // starts with '#'
+  kMention,   // starts with '@'
+  kUrl,       // http:// or https:// prefix
+  kNumber,    // all-digit token
+};
+
+/// A token with its kind. Tokens view into the tokenized string's lifetime
+/// only when produced by TokenizeView; the owning variant copies.
+struct Token {
+  std::string text;
+  TokenKind kind = TokenKind::kWord;
+};
+
+/// Splits whitespace-separated tokens and classifies each one.
+/// Empty tokens are never produced.
+std::vector<Token> Tokenize(std::string_view text);
+
+/// Convenience: tokens as plain strings, classification discarded.
+std::vector<std::string> TokenizeWords(std::string_view text);
+
+/// Returns the kind a single token would be classified as.
+TokenKind ClassifyToken(std::string_view token);
+
+/// True when a post is too short to be meaningful: fewer than `min_words`
+/// word-like tokens (the paper drops tweets with < 2 words or only
+/// meaningless tokens before the evaluation).
+bool IsDegeneratePost(std::string_view text, int min_words = 2);
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_TEXT_TOKENIZE_H_

@@ -1,0 +1,54 @@
+#include "src/text/url.h"
+
+#include <sstream>
+
+#include "src/util/random.h"
+
+namespace firehose {
+
+bool IsUrl(std::string_view token) {
+  return token.rfind("http://", 0) == 0 || token.rfind("https://", 0) == 0;
+}
+
+UrlShortener::UrlShortener(uint64_t seed) : state_(seed) {}
+
+std::string UrlShortener::Shorten(const std::string& long_url) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  std::string code;
+  code.reserve(10);
+  // Re-draw on the (unlikely) collision with an already-issued code.
+  do {
+    code.clear();
+    uint64_t bits = SplitMix64(&state_);
+    for (int i = 0; i < 10; ++i) {
+      code.push_back(kAlphabet[bits % 62]);
+      bits /= 62;
+      if (bits == 0) bits = SplitMix64(&state_);
+    }
+  } while (issued_.count("https://t.co/" + code) > 0);
+  std::string short_url = "https://t.co/" + code;
+  issued_.emplace(short_url, long_url);
+  return short_url;
+}
+
+std::string UrlShortener::Expand(const std::string& short_url) const {
+  auto it = issued_.find(short_url);
+  return it == issued_.end() ? std::string() : it->second;
+}
+
+std::string UrlShortener::ExpandAll(const std::string& text) const {
+  std::istringstream in(text);
+  std::ostringstream out;
+  std::string token;
+  bool first = true;
+  while (in >> token) {
+    if (!first) out << ' ';
+    first = false;
+    auto it = issued_.find(token);
+    out << (it == issued_.end() ? token : it->second);
+  }
+  return out.str();
+}
+
+}  // namespace firehose

@@ -1,0 +1,45 @@
+#ifndef FIREHOSE_TEXT_URL_H_
+#define FIREHOSE_TEXT_URL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace firehose {
+
+/// True if `token` looks like an http(s) URL.
+bool IsUrl(std::string_view token);
+
+/// Simulates the Twitter t.co URL shortener: every call for the same long
+/// URL yields a *different* short code (this is exactly why two identical
+/// retweets differ by a few SimHash bits — see Table 1 of the paper), while
+/// `Expand` maps any issued short URL back to its long form.
+///
+/// Deterministic given the constructor seed and call sequence.
+class UrlShortener {
+ public:
+  explicit UrlShortener(uint64_t seed = 7);
+
+  /// Returns a fresh short URL (https://t.co/XXXXXXXXXX) for `long_url`.
+  std::string Shorten(const std::string& long_url);
+
+  /// Returns the long URL a short one was issued for, or an empty string
+  /// when `short_url` was never issued by this shortener.
+  std::string Expand(const std::string& short_url) const;
+
+  /// Rewrites every issued short URL inside `text` back to its long form;
+  /// tokens that are not known short URLs are left untouched. This is the
+  /// "expand shortened URLs" preprocessing evaluated in §3.
+  std::string ExpandAll(const std::string& text) const;
+
+  size_t issued_count() const { return issued_.size(); }
+
+ private:
+  uint64_t state_;
+  std::unordered_map<std::string, std::string> issued_;  // short -> long
+};
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_TEXT_URL_H_

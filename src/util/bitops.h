@@ -1,0 +1,21 @@
+#ifndef FIREHOSE_UTIL_BITOPS_H_
+#define FIREHOSE_UTIL_BITOPS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace firehose {
+
+/// Number of set bits in `x`.
+inline int Popcount64(uint64_t x) { return std::popcount(x); }
+
+/// Hamming distance between two 64-bit fingerprints: the number of
+/// differing bit positions. This is the paper's content distance `distc`
+/// applied to SimHash fingerprints.
+inline int HammingDistance64(uint64_t a, uint64_t b) {
+  return std::popcount(a ^ b);
+}
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_UTIL_BITOPS_H_

@@ -1,0 +1,40 @@
+#ifndef FIREHOSE_UTIL_FLAGS_H_
+#define FIREHOSE_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace firehose {
+
+/// Minimal `--key=value` command-line parser for the CLI tools.
+/// `--flag` without a value parses as "true". Unrecognized positional
+/// arguments are collected separately.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  /// True when --name was present (with or without value).
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags seen that are not in `known`; lets tools reject typos.
+  std::vector<std::string> UnknownFlags(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_UTIL_FLAGS_H_

@@ -1,0 +1,38 @@
+#ifndef FIREHOSE_UTIL_HASH_H_
+#define FIREHOSE_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace firehose {
+
+/// 64-bit FNV-1a hash of a byte string. Deterministic across platforms;
+/// used for token hashing in SimHash so fingerprints are stable.
+inline uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Murmur-style 64-bit finalizer; turns a weak integer key into a
+/// well-distributed hash.
+inline uint64_t Fmix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Combines two 64-bit hashes (boost::hash_combine flavored for 64 bits).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (value + 0x9E3779B97F4A7C15ULL + (seed << 12) + (seed >> 4));
+}
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_UTIL_HASH_H_

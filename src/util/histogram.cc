@@ -1,0 +1,82 @@
+#include "src/util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace firehose {
+
+Histogram::Histogram(int num_buckets)
+    : counts_(static_cast<size_t>(num_buckets > 0 ? num_buckets : 1), 0) {}
+
+void Histogram::Add(int value) {
+  int clamped = std::clamp(value, 0, num_buckets() - 1);
+  ++counts_[static_cast<size_t>(clamped)];
+  ++total_;
+}
+
+uint64_t Histogram::Count(int bucket) const {
+  if (bucket < 0 || bucket >= num_buckets()) return 0;
+  return counts_[static_cast<size_t>(bucket)];
+}
+
+double Histogram::Fraction(int bucket) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(Count(bucket)) / static_cast<double>(total_);
+}
+
+double Histogram::Mean() const {
+  if (total_ == 0) return 0.0;
+  double sum = 0.0;
+  for (int i = 0; i < num_buckets(); ++i) {
+    sum += static_cast<double>(i) * static_cast<double>(counts_[i]);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+double Histogram::Stddev() const {
+  if (total_ == 0) return 0.0;
+  const double mean = Mean();
+  double sq = 0.0;
+  for (int i = 0; i < num_buckets(); ++i) {
+    const double d = static_cast<double>(i) - mean;
+    sq += d * d * static_cast<double>(counts_[i]);
+  }
+  return std::sqrt(sq / static_cast<double>(total_));
+}
+
+double Histogram::FractionAtLeast(int threshold) const {
+  if (total_ == 0) return 0.0;
+  uint64_t count = 0;
+  for (int i = std::max(threshold, 0); i < num_buckets(); ++i) {
+    count += counts_[static_cast<size_t>(i)];
+  }
+  return static_cast<double>(count) / static_cast<double>(total_);
+}
+
+std::string Histogram::ToAscii(int max_bar_width) const {
+  int first = num_buckets();
+  int last = -1;
+  uint64_t max_count = 0;
+  for (int i = 0; i < num_buckets(); ++i) {
+    if (counts_[i] > 0) {
+      first = std::min(first, i);
+      last = std::max(last, i);
+      max_count = std::max(max_count, counts_[i]);
+    }
+  }
+  std::ostringstream out;
+  if (last < 0) return "(empty)\n";
+  for (int i = first; i <= last; ++i) {
+    int width = max_count == 0
+                    ? 0
+                    : static_cast<int>(static_cast<double>(counts_[i]) /
+                                       static_cast<double>(max_count) *
+                                       max_bar_width);
+    out << (i < 10 ? " " : "") << i << " |" << std::string(width, '#') << " "
+        << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace firehose

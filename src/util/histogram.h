@@ -1,0 +1,53 @@
+#ifndef FIREHOSE_UTIL_HISTOGRAM_H_
+#define FIREHOSE_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace firehose {
+
+/// Fixed-bucket integer histogram over [0, num_buckets). Values outside the
+/// range are clamped into the first/last bucket. Used by the distance
+/// distribution experiments (Figures 2 and 9).
+class Histogram {
+ public:
+  /// Creates a histogram with `num_buckets` buckets; bucket i counts value i.
+  explicit Histogram(int num_buckets);
+
+  /// Adds one observation of `value`.
+  void Add(int value);
+
+  /// Count in bucket `bucket`.
+  uint64_t Count(int bucket) const;
+
+  /// Total number of observations.
+  uint64_t Total() const { return total_; }
+
+  /// Fraction of observations in bucket `bucket` (0 when empty).
+  double Fraction(int bucket) const;
+
+  /// Mean of the recorded values (bucket indices weighted by counts).
+  double Mean() const;
+
+  /// Standard deviation of the recorded values.
+  double Stddev() const;
+
+  /// Fraction of observations with value >= `threshold` (a CCDF point).
+  double FractionAtLeast(int threshold) const;
+
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+
+  /// Renders an ASCII bar chart, one row per bucket, suitable for bench
+  /// output. Buckets with zero counts outside [first, last] nonzero bucket
+  /// are omitted.
+  std::string ToAscii(int max_bar_width = 50) const;
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_UTIL_HISTOGRAM_H_

@@ -1,0 +1,115 @@
+#include "src/util/random.h"
+
+#include <cmath>
+
+namespace firehose {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling: discard values in the biased tail.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+int Rng::Poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation for large means.
+    double u1 = UniformDouble();
+    double u2 = UniformDouble();
+    if (u1 <= 0.0) u1 = 1e-300;
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    double v = mean + std::sqrt(mean) * z;
+    return v < 0.0 ? 0 : static_cast<int>(v + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  double prod = 1.0;
+  int count = -1;
+  do {
+    prod *= UniformDouble();
+    ++count;
+  } while (prod > limit);
+  return count;
+}
+
+int Rng::Zipf(int n, double s) {
+  if (n <= 1) return 0;
+  if (n != zipf_n_ || s != zipf_s_) {
+    zipf_cdf_.assign(static_cast<size_t>(n), 0.0);
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      zipf_cdf_[static_cast<size_t>(i)] = sum;
+    }
+    for (auto& v : zipf_cdf_) v /= sum;
+    zipf_n_ = n;
+    zipf_s_ = s;
+  }
+  const double u = UniformDouble();
+  // Binary search for the first CDF entry >= u.
+  int lo = 0;
+  int hi = n - 1;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (zipf_cdf_[static_cast<size_t>(mid)] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double Rng::Exponential(double mean) {
+  double u = UniformDouble();
+  if (u <= 0.0) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+}  // namespace firehose

@@ -1,0 +1,86 @@
+#ifndef FIREHOSE_UTIL_RANDOM_H_
+#define FIREHOSE_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace firehose {
+
+/// Mixes a 64-bit value through the SplitMix64 finalizer. Useful for seeding
+/// and for cheap, high-quality stateless hashing of integers.
+uint64_t SplitMix64(uint64_t* state);
+
+/// Deterministic xoshiro256** pseudo-random generator.
+///
+/// All randomized components of the library (workload generators, samplers,
+/// property tests) take an explicit `Rng` so runs are reproducible from a
+/// single seed. The generator is copyable so callers can fork streams.
+class Rng {
+ public:
+  /// Seeds the four 256-bit state words from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t Next();
+
+  /// Returns a uniform integer in [0, bound). `bound` must be > 0.
+  /// Uses rejection sampling, so the result is unbiased.
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Returns a uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Returns true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Samples a Poisson-distributed count with the given mean.
+  /// Uses Knuth's algorithm for small means and a normal approximation
+  /// (rounded, clamped at zero) for means above 64.
+  int Poisson(double mean);
+
+  /// Samples from a Zipf distribution over {0, .., n-1} with exponent `s`.
+  /// Uses inverse-CDF on a precomputable harmonic sum; O(log n) per sample
+  /// via binary search over the cached CDF of the most recent (n, s).
+  int Zipf(int n, double s);
+
+  /// Samples an exponentially distributed double with the given mean.
+  double Exponential(double mean);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Picks `k` distinct elements from `items` (k > size returns all, in
+  /// shuffled order). Order of the sample is random.
+  template <typename T>
+  std::vector<T> Sample(const std::vector<T>& items, size_t k) {
+    std::vector<T> copy = items;
+    Shuffle(copy);
+    if (k < copy.size()) copy.resize(k);
+    return copy;
+  }
+
+ private:
+  uint64_t s_[4];
+  // Cached Zipf CDF for the last (n, s) pair requested.
+  std::vector<double> zipf_cdf_;
+  int zipf_n_ = 0;
+  double zipf_s_ = 0.0;
+};
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_UTIL_RANDOM_H_

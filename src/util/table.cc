@@ -1,0 +1,76 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace firehose {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+namespace {
+std::string WithThousands(std::string digits) {
+  bool negative = !digits.empty() && digits[0] == '-';
+  std::string body = negative ? digits.substr(1) : digits;
+  std::string out;
+  int count = 0;
+  for (auto it = body.rbegin(); it != body.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return negative ? "-" + out : out;
+}
+}  // namespace
+
+std::string Table::Fmt(uint64_t value) {
+  return WithThousands(std::to_string(value));
+}
+std::string Table::Fmt(int64_t value) {
+  return WithThousands(std::to_string(value));
+}
+std::string Table::Fmt(int value) {
+  return WithThousands(std::to_string(value));
+}
+
+std::string Table::ToString() const {
+  size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<size_t> widths(cols, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  measure(header_);
+  for (const auto& row : rows_) measure(row);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < cols; ++i) {
+      const std::string cell = i < row.size() ? row[i] : "";
+      out << cell << std::string(widths[i] - cell.size(), ' ');
+      if (i + 1 < cols) out << "  ";
+    }
+    out << "\n";
+  };
+  emit(header_);
+  size_t total = 0;
+  for (size_t i = 0; i < cols; ++i) total += widths[i] + (i + 1 < cols ? 2 : 0);
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+}  // namespace firehose

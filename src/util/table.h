@@ -1,0 +1,44 @@
+#ifndef FIREHOSE_UTIL_TABLE_H_
+#define FIREHOSE_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace firehose {
+
+/// Minimal console table printer used by the benchmark harness to emit the
+/// rows/series a paper table or figure reports.
+///
+/// Usage:
+///   Table t({"lambda_t", "UniBin ms", "NeighborBin ms"});
+///   t.AddRow({"30min", "512", "120"});
+///   std::cout << t.ToString();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; missing cells render empty, extra cells are kept and
+  /// widen the table.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string Fmt(double value, int precision = 2);
+
+  /// Convenience: formats integers with thousands separators.
+  static std::string Fmt(uint64_t value);
+  static std::string Fmt(int64_t value);
+  static std::string Fmt(int value);
+
+  /// Renders the table with aligned columns and a separator under the header.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_UTIL_TABLE_H_

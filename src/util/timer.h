@@ -1,0 +1,31 @@
+#ifndef FIREHOSE_UTIL_TIMER_H_
+#define FIREHOSE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace firehose {
+
+/// Monotonic wall-clock stopwatch for benchmark harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_UTIL_TIMER_H_

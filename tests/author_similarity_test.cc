@@ -1,0 +1,226 @@
+#include "src/author/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "src/gen/social_graph_gen.h"
+#include "src/util/random.h"
+
+namespace firehose {
+namespace {
+
+FollowGraph MakeTriangleGraph() {
+  // Followee sets: 0 -> {2,3}, 1 -> {2,3,4}, 5 -> {6}.
+  FollowGraph g(7);
+  g.AddFollow(0, 2);
+  g.AddFollow(0, 3);
+  g.AddFollow(1, 2);
+  g.AddFollow(1, 3);
+  g.AddFollow(1, 4);
+  g.AddFollow(5, 6);
+  g.Finalize();
+  return g;
+}
+
+TEST(AuthorSimilarityTest, ExactCosineValue) {
+  const FollowGraph g = MakeTriangleGraph();
+  // |{2,3} ∩ {2,3,4}| / sqrt(2*3) = 2/sqrt(6).
+  EXPECT_NEAR(AuthorCosineSimilarity(g, 0, 1), 2.0 / std::sqrt(6.0), 1e-12);
+}
+
+TEST(AuthorSimilarityTest, SymmetricSimilarity) {
+  const FollowGraph g = MakeTriangleGraph();
+  EXPECT_DOUBLE_EQ(AuthorCosineSimilarity(g, 0, 1),
+                   AuthorCosineSimilarity(g, 1, 0));
+}
+
+TEST(AuthorSimilarityTest, DisjointFolloweesAreZero) {
+  const FollowGraph g = MakeTriangleGraph();
+  EXPECT_DOUBLE_EQ(AuthorCosineSimilarity(g, 0, 5), 0.0);
+}
+
+TEST(AuthorSimilarityTest, EmptyFolloweeSetIsZero) {
+  const FollowGraph g = MakeTriangleGraph();
+  // Author 2 follows nobody.
+  EXPECT_DOUBLE_EQ(AuthorCosineSimilarity(g, 2, 0), 0.0);
+}
+
+TEST(AuthorSimilarityTest, IdenticalFolloweesAreOne) {
+  FollowGraph g(4);
+  g.AddFollow(0, 2);
+  g.AddFollow(0, 3);
+  g.AddFollow(1, 2);
+  g.AddFollow(1, 3);
+  g.Finalize();
+  EXPECT_NEAR(AuthorCosineSimilarity(g, 0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(AuthorDistance(g, 0, 1), 0.0, 1e-12);
+}
+
+TEST(AuthorSimilarityTest, DistanceIsOneMinusSimilarity) {
+  const FollowGraph g = MakeTriangleGraph();
+  EXPECT_DOUBLE_EQ(AuthorDistance(g, 0, 1),
+                   1.0 - AuthorCosineSimilarity(g, 0, 1));
+}
+
+TEST(AllPairsSimilarityTest, FindsExpectedPairOnSmallGraph) {
+  const FollowGraph g = MakeTriangleGraph();
+  const std::vector<AuthorId> authors = {0, 1, 5};
+  const auto pairs = AllPairsSimilarity(g, authors, 0.1);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].a, 0u);
+  EXPECT_EQ(pairs[0].b, 1u);
+  EXPECT_NEAR(pairs[0].similarity, 2.0 / std::sqrt(6.0), 1e-12);
+}
+
+TEST(AllPairsSimilarityTest, ThresholdFilters) {
+  const FollowGraph g = MakeTriangleGraph();
+  const std::vector<AuthorId> authors = {0, 1, 5};
+  EXPECT_TRUE(AllPairsSimilarity(g, authors, 0.95).empty());
+}
+
+TEST(AllPairsSimilarityTest, MatchesBruteForceOnRandomGraph) {
+  SocialGraphOptions options;
+  options.num_authors = 120;
+  options.num_communities = 4;
+  options.avg_followees = 12.0;
+  options.seed = 5;
+  const FollowGraph g = GenerateSocialGraph(options);
+  std::vector<AuthorId> authors;
+  for (AuthorId a = 0; a < g.num_authors(); ++a) authors.push_back(a);
+
+  const double min_sim = 0.2;
+  const auto fast = AllPairsSimilarity(g, authors, min_sim);
+
+  std::map<std::pair<AuthorId, AuthorId>, double> brute;
+  for (AuthorId a = 0; a < g.num_authors(); ++a) {
+    for (AuthorId b = a + 1; b < g.num_authors(); ++b) {
+      const double sim = AuthorCosineSimilarity(g, a, b);
+      if (sim >= min_sim) brute[{a, b}] = sim;
+    }
+  }
+  ASSERT_EQ(fast.size(), brute.size());
+  for (const auto& pair : fast) {
+    auto it = brute.find({pair.a, pair.b});
+    ASSERT_NE(it, brute.end());
+    EXPECT_NEAR(pair.similarity, it->second, 1e-9);
+  }
+}
+
+TEST(AllPairsSimilarityTest, RestrictsToGivenSubset) {
+  const FollowGraph g = MakeTriangleGraph();
+  // Author 1 excluded: no pair can reach the threshold.
+  EXPECT_TRUE(AllPairsSimilarity(g, {0, 5}, 0.1).empty());
+}
+
+TEST(SimilarityDeltaTest, FollowChangeTouchesExpectedPairs) {
+  // 0 -> {2,3}, 1 -> {2,3,4}, 5 -> {6}. Author 5 now also follows 2.
+  FollowGraph g = MakeTriangleGraph();
+  g.AddFollow(5, 2);
+  g.Finalize();
+  const std::vector<AuthorId> authors = {0, 1, 5};
+  const auto delta = SimilarityDeltaForFollowChange(g, 5, 2, authors);
+  // Pairs involving 5 that share a followee now: (0,5) and (1,5).
+  ASSERT_EQ(delta.size(), 2u);
+  EXPECT_EQ(delta[0].a, 0u);
+  EXPECT_EQ(delta[0].b, 5u);
+  EXPECT_NEAR(delta[0].similarity, AuthorCosineSimilarity(g, 0, 5), 1e-12);
+  EXPECT_EQ(delta[1].a, 1u);
+  EXPECT_EQ(delta[1].b, 5u);
+}
+
+TEST(SimilarityDeltaTest, UnfollowReportsZeroedPairs) {
+  // Authors 0 and 1 share followees {2,3}; author 0 unfollows both.
+  FollowGraph g(5);
+  g.AddFollow(0, 2);
+  g.AddFollow(1, 2);
+  g.Finalize();
+  // Simulate the unfollow by rebuilding without the edge.
+  FollowGraph after(5);
+  after.AddFollow(1, 2);
+  after.AddFollow(0, 3);  // 0 still follows something else
+  after.Finalize();
+  const auto delta =
+      SimilarityDeltaForFollowChange(after, 0, 2, {0, 1});
+  // Pair (0,1) must be reported with its new similarity: 0.
+  ASSERT_EQ(delta.size(), 1u);
+  EXPECT_EQ(delta[0].a, 0u);
+  EXPECT_EQ(delta[0].b, 1u);
+  EXPECT_DOUBLE_EQ(delta[0].similarity, 0.0);
+}
+
+TEST(SimilarityDeltaTest, FollowerOutsideSubsetYieldsNothing) {
+  FollowGraph g = MakeTriangleGraph();
+  const auto delta = SimilarityDeltaForFollowChange(g, 0, 2, {1, 5});
+  EXPECT_TRUE(delta.empty());
+}
+
+TEST(SimilarityDeltaTest, DeltaMatchesFullRecomputeOnRandomGraph) {
+  SocialGraphOptions options;
+  options.num_authors = 100;
+  options.num_communities = 4;
+  options.avg_followees = 10.0;
+  options.seed = 13;
+  FollowGraph g = GenerateSocialGraph(options);
+  std::vector<AuthorId> authors;
+  for (AuthorId a = 0; a < g.num_authors(); ++a) authors.push_back(a);
+
+  Rng rng(14);
+  for (int round = 0; round < 10; ++round) {
+    const AuthorId follower = static_cast<AuthorId>(rng.UniformInt(100));
+    const AuthorId followee = static_cast<AuthorId>(rng.UniformInt(100));
+    if (follower == followee) continue;
+    g.AddFollow(follower, followee);
+    g.Finalize();
+    const auto delta =
+        SimilarityDeltaForFollowChange(g, follower, followee, authors);
+    // Every reported pair's similarity must equal the exact recompute,
+    // and every pair involving `follower` with nonzero similarity must
+    // be present.
+    for (const auto& pair : delta) {
+      EXPECT_NEAR(pair.similarity, AuthorCosineSimilarity(g, pair.a, pair.b),
+                  1e-12);
+    }
+    for (AuthorId other = 0; other < 100; ++other) {
+      if (other == follower) continue;
+      if (AuthorCosineSimilarity(g, follower, other) > 0.0) {
+        const AuthorId a = std::min(follower, other);
+        const AuthorId b = std::max(follower, other);
+        const bool found =
+            std::any_of(delta.begin(), delta.end(),
+                        [&](const AuthorPairSimilarity& p) {
+                          return p.a == a && p.b == b;
+                        });
+        EXPECT_TRUE(found) << "missing pair " << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST(AllPairsSimilarityTest, HubCapSkipsOnlyHubContributions) {
+  const FollowGraph g = MakeTriangleGraph();
+  const std::vector<AuthorId> authors = {0, 1, 5};
+  // Followees 2 and 3 each have 2 followers; a cap of 1 suppresses them.
+  EXPECT_EQ(AllPairsSimilarity(g, authors, 0.01, 1).size(), 0u);
+  EXPECT_EQ(AllPairsSimilarity(g, authors, 0.01, 2).size(), 1u);
+}
+
+TEST(AllPairsSimilarityTest, ResultsSortedByPair) {
+  SocialGraphOptions options;
+  options.num_authors = 60;
+  options.seed = 9;
+  const FollowGraph g = GenerateSocialGraph(options);
+  std::vector<AuthorId> authors;
+  for (AuthorId a = 0; a < g.num_authors(); ++a) authors.push_back(a);
+  const auto pairs = AllPairsSimilarity(g, authors, 0.05);
+  for (size_t i = 1; i < pairs.size(); ++i) {
+    EXPECT_TRUE(pairs[i - 1].a < pairs[i].a ||
+                (pairs[i - 1].a == pairs[i].a && pairs[i - 1].b < pairs[i].b));
+  }
+  for (const auto& p : pairs) EXPECT_LT(p.a, p.b);
+}
+
+}  // namespace
+}  // namespace firehose

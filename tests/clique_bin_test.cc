@@ -1,0 +1,136 @@
+#include "src/core/clique_bin.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace firehose {
+namespace {
+
+using testing_util::PaperExampleGraph;
+using testing_util::PaperExamplePosts;
+using testing_util::PaperExampleThresholds;
+
+Post MakePost(PostId id, AuthorId author, int64_t time_ms, uint64_t simhash) {
+  Post post;
+  post.id = id;
+  post.author = author;
+  post.time_ms = time_ms;
+  post.simhash = simhash;
+  return post;
+}
+
+TEST(CliqueBinTest, PaperFigure6cTrace) {
+  const AuthorGraph graph = PaperExampleGraph();
+  const CliqueCover cover = CliqueCover::Greedy(graph);
+  CliqueBinDiversifier diversifier(PaperExampleThresholds(), &cover);
+  std::vector<bool> admitted;
+  for (const Post& post : PaperExamplePosts()) {
+    admitted.push_back(diversifier.Offer(post));
+  }
+  EXPECT_EQ(admitted, (std::vector<bool>{true, true, false, true, false}));
+  // §4.3 walk-through with C0={a1,a2,a3}, C1={a3,a4}:
+  //   P1: 0 comps, 1 insertion (C0).      P2: 1 comp, 1 insertion (C0).
+  //   P3: 2 comps (C0: P2 then P1 covers).
+  //   P4: 0 comps (C1 empty), 1 insertion (C1).
+  //   P5: C0 holds P2,P1 (2 comps, no cover), C1 holds P4 (1 comp, cover).
+  EXPECT_EQ(diversifier.stats().comparisons, 6u);
+  EXPECT_EQ(diversifier.stats().insertions, 3u);
+  EXPECT_EQ(diversifier.stats().posts_out, 3u);
+}
+
+TEST(CliqueBinTest, SingleCopyPerCliqueNotPerNeighbor) {
+  const AuthorGraph graph = PaperExampleGraph();
+  const CliqueCover cover = CliqueCover::Greedy(graph);
+  CliqueBinDiversifier diversifier(PaperExampleThresholds(), &cover);
+  // Author 0 is in exactly one clique: one insertion, not deg+1 = 3.
+  EXPECT_TRUE(diversifier.Offer(MakePost(0, 0, 0, 0x1)));
+  EXPECT_EQ(diversifier.stats().insertions, 1u);
+}
+
+TEST(CliqueBinTest, BridgeAuthorInsertsIntoAllItsCliques) {
+  const AuthorGraph graph = PaperExampleGraph();
+  const CliqueCover cover = CliqueCover::Greedy(graph);
+  CliqueBinDiversifier diversifier(PaperExampleThresholds(), &cover);
+  // Author 2 belongs to both cliques.
+  EXPECT_TRUE(diversifier.Offer(MakePost(0, 2, 0, 0x1)));
+  EXPECT_EQ(diversifier.stats().insertions, 2u);
+}
+
+TEST(CliqueBinTest, DoubleComparisonAcrossSharedCliquesIsCounted) {
+  // The paper's P6/P7 remark: a post stored in two cliques can be compared
+  // twice against one new post.
+  const AuthorGraph graph = PaperExampleGraph();
+  const CliqueCover cover = CliqueCover::Greedy(graph);
+  CliqueBinDiversifier diversifier(PaperExampleThresholds(), &cover);
+  // Post by bridge author 2 lands in C0 and C1.
+  EXPECT_TRUE(diversifier.Offer(MakePost(0, 2, 0, 0xFFFF0000ULL)));
+  // New post by author 2 with far content scans both bins: the old post is
+  // compared once per clique bin = 2 comparisons.
+  EXPECT_TRUE(diversifier.Offer(MakePost(1, 2, 1, 0x0000FFFFULL)));
+  EXPECT_EQ(diversifier.stats().comparisons, 2u);
+}
+
+TEST(CliqueBinTest, CoverageViaSharedClique) {
+  const AuthorGraph graph = PaperExampleGraph();
+  const CliqueCover cover = CliqueCover::Greedy(graph);
+  CliqueBinDiversifier diversifier(PaperExampleThresholds(), &cover);
+  EXPECT_TRUE(diversifier.Offer(MakePost(0, 3, 0, 0x1)));
+  // Author 2 shares clique C1 with author 3.
+  EXPECT_FALSE(diversifier.Offer(MakePost(1, 2, 1, 0x1)));
+}
+
+TEST(CliqueBinTest, NonNeighborsNeverShareACliqueBin) {
+  const AuthorGraph graph = PaperExampleGraph();
+  const CliqueCover cover = CliqueCover::Greedy(graph);
+  CliqueBinDiversifier diversifier(PaperExampleThresholds(), &cover);
+  EXPECT_TRUE(diversifier.Offer(MakePost(0, 0, 0, 0x1)));
+  // Author 3 is not a neighbor of author 0: identical content is admitted.
+  EXPECT_TRUE(diversifier.Offer(MakePost(1, 3, 1, 0x1)));
+}
+
+TEST(CliqueBinTest, IsolatedAuthorSelfCoverageViaSingleton) {
+  const AuthorGraph graph = AuthorGraph::FromEdges({0, 1, 7}, {{0, 1}});
+  const CliqueCover cover = CliqueCover::Greedy(graph);
+  CliqueBinDiversifier diversifier(PaperExampleThresholds(), &cover);
+  EXPECT_TRUE(diversifier.Offer(MakePost(0, 7, 0, 0x1)));
+  EXPECT_FALSE(diversifier.Offer(MakePost(1, 7, 1, 0x1)));
+}
+
+TEST(CliqueBinTest, TimeWindowEvicts) {
+  const AuthorGraph graph = PaperExampleGraph();
+  const CliqueCover cover = CliqueCover::Greedy(graph);
+  DiversityThresholds t = PaperExampleThresholds();
+  t.lambda_t_ms = 10;
+  CliqueBinDiversifier diversifier(t, &cover);
+  EXPECT_TRUE(diversifier.Offer(MakePost(0, 2, 0, 0x1)));
+  EXPECT_TRUE(diversifier.Offer(MakePost(1, 2, 100, 0x1)));
+}
+
+TEST(CliqueBinTest, MatchesReferenceOnPaperExample) {
+  const AuthorGraph graph = PaperExampleGraph();
+  const CliqueCover cover = CliqueCover::Greedy(graph);
+  const auto expected = testing_util::ReferenceDiversify(
+      PaperExamplePosts(), PaperExampleThresholds(), graph);
+  CliqueBinDiversifier diversifier(PaperExampleThresholds(), &cover);
+  std::vector<PostId> admitted;
+  for (const Post& post : PaperExamplePosts()) {
+    if (diversifier.Offer(post)) admitted.push_back(post.id);
+  }
+  EXPECT_EQ(admitted, expected);
+}
+
+TEST(CliqueBinTest, MemoryTracked) {
+  const AuthorGraph graph = PaperExampleGraph();
+  const CliqueCover cover = CliqueCover::Greedy(graph);
+  CliqueBinDiversifier diversifier(PaperExampleThresholds(), &cover);
+  for (int i = 0; i < 20; ++i) {
+    diversifier.Offer(MakePost(static_cast<PostId>(i), 2, i,
+                               static_cast<uint64_t>(i) << 40));
+  }
+  EXPECT_GT(diversifier.ApproxBytes(), 0u);
+  EXPECT_GE(diversifier.stats().peak_bytes, diversifier.ApproxBytes());
+}
+
+}  // namespace
+}  // namespace firehose

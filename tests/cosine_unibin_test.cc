@@ -1,0 +1,125 @@
+#include "src/core/cosine_unibin.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/unibin.h"
+#include "src/gen/text_gen.h"
+#include "src/simhash/simhash.h"
+#include "tests/test_util.h"
+
+namespace firehose {
+namespace {
+
+using testing_util::PaperExampleGraph;
+using testing_util::PaperExampleThresholds;
+
+Post TextPost(PostId id, AuthorId author, int64_t time_ms,
+              const std::string& text) {
+  Post post;
+  post.id = id;
+  post.author = author;
+  post.time_ms = time_ms;
+  post.text = text;
+  return post;
+}
+
+TEST(CosineUniBinTest, NearDuplicateTextIsCovered) {
+  const AuthorGraph graph = PaperExampleGraph();
+  CosineUniBinDiversifier diversifier(PaperExampleThresholds(), 0.7, &graph);
+  EXPECT_TRUE(diversifier.Offer(TextPost(
+      0, 0, 0, "markets rally sharply after the fed decision today")));
+  // Author 1 is similar to author 0; nearly identical text.
+  EXPECT_FALSE(diversifier.Offer(TextPost(
+      1, 1, 1, "markets rally sharply after the fed decision")));
+}
+
+TEST(CosineUniBinTest, DistinctTextIsAdmitted) {
+  const AuthorGraph graph = PaperExampleGraph();
+  CosineUniBinDiversifier diversifier(PaperExampleThresholds(), 0.7, &graph);
+  EXPECT_TRUE(diversifier.Offer(TextPost(0, 0, 0, "a story about markets")));
+  EXPECT_TRUE(diversifier.Offer(
+      TextPost(1, 1, 1, "completely different words on local sports")));
+}
+
+TEST(CosineUniBinTest, AuthorDimensionStillApplies) {
+  const AuthorGraph graph = PaperExampleGraph();
+  CosineUniBinDiversifier diversifier(PaperExampleThresholds(), 0.7, &graph);
+  const std::string text = "identical wire copy about the election result";
+  EXPECT_TRUE(diversifier.Offer(TextPost(0, 0, 0, text)));
+  // Author 3 is not similar to author 0: admitted despite identical text.
+  EXPECT_TRUE(diversifier.Offer(TextPost(1, 3, 1, text)));
+  // Author 2 is similar to author 0: covered.
+  EXPECT_FALSE(diversifier.Offer(TextPost(2, 2, 2, text)));
+}
+
+TEST(CosineUniBinTest, TimeWindowEvicts) {
+  const AuthorGraph graph = PaperExampleGraph();
+  DiversityThresholds t = PaperExampleThresholds();
+  t.lambda_t_ms = 10;
+  CosineUniBinDiversifier diversifier(t, 0.7, &graph);
+  const std::string text = "same story text repeated later in the day";
+  EXPECT_TRUE(diversifier.Offer(TextPost(0, 0, 0, text)));
+  EXPECT_TRUE(diversifier.Offer(TextPost(1, 0, 100, text)));
+}
+
+TEST(CosineUniBinTest, NormalizationAppliedBeforeVectorizing) {
+  const AuthorGraph graph = PaperExampleGraph();
+  CosineUniBinDiversifier diversifier(PaperExampleThresholds(), 0.99, &graph);
+  EXPECT_TRUE(diversifier.Offer(TextPost(0, 0, 0, "Hello World News Today")));
+  EXPECT_FALSE(
+      diversifier.Offer(TextPost(1, 0, 1, "hello world news today!!!")));
+}
+
+TEST(CosineUniBinTest, AgreesWithSimHashUniBinOnClearCases) {
+  // On text pairs that are either identical or entirely disjoint, the
+  // exact-cosine baseline and the SimHash algorithms must agree.
+  const AuthorGraph graph = PaperExampleGraph();
+  const SimHasher hasher;
+  const DiversityThresholds t = PaperExampleThresholds();
+
+  CosineUniBinDiversifier cosine(t, 0.7, &graph);
+  DiversityThresholds simhash_t = t;
+  simhash_t.lambda_c = 18;
+  UniBinDiversifier simhash(simhash_t, &graph);
+
+  const char* texts[] = {
+      "first unique story about spaceflight and rockets",
+      "first unique story about spaceflight and rockets",  // dup of 0
+      "unrelated chatter concerning cooking pasta dinners",
+      "unrelated chatter concerning cooking pasta dinners",  // dup of 2
+  };
+  for (int i = 0; i < 4; ++i) {
+    Post post = TextPost(static_cast<PostId>(i), 0, i, texts[i]);
+    post.simhash = hasher.Fingerprint(post.text);
+    EXPECT_EQ(cosine.Offer(post), simhash.Offer(post)) << i;
+  }
+  EXPECT_EQ(cosine.stats().posts_out, 2u);
+}
+
+TEST(CosineUniBinTest, MemoryFootprintExceedsSimHashUniBin) {
+  // The §3 cost argument: stored TF vectors dwarf 8-byte fingerprints.
+  const AuthorGraph graph = PaperExampleGraph();
+  const SimHasher hasher;
+  CosineUniBinDiversifier cosine(PaperExampleThresholds(), 0.7, &graph);
+  UniBinDiversifier simhash(PaperExampleThresholds(), &graph);
+  Rng rng(5);
+  TextGenerator text_gen(6);
+  for (int i = 0; i < 64; ++i) {
+    Post post = TextPost(static_cast<PostId>(i), 0, i, text_gen.MakePost());
+    post.simhash = hasher.Fingerprint(post.text);
+    cosine.Offer(post);
+    simhash.Offer(post);
+  }
+  EXPECT_GT(cosine.ApproxBytes(), simhash.ApproxBytes() * 2);
+}
+
+TEST(CosineUniBinTest, NullGraphSameAuthorOnly) {
+  CosineUniBinDiversifier diversifier(PaperExampleThresholds(), 0.7, nullptr);
+  const std::string text = "some identical content in both posts here";
+  EXPECT_TRUE(diversifier.Offer(TextPost(0, 0, 0, text)));
+  EXPECT_TRUE(diversifier.Offer(TextPost(1, 1, 1, text)));
+  EXPECT_FALSE(diversifier.Offer(TextPost(2, 0, 2, text)));
+}
+
+}  // namespace
+}  // namespace firehose

@@ -1,0 +1,81 @@
+#include "src/core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace firehose {
+namespace {
+
+CostModelParams PaperishParams() {
+  // Roughly the paper's λa = 0.7 topology: d = 113.7, c = 29, s = 20 over
+  // m = 20,150 authors, with n posts per 30-minute window.
+  CostModelParams p;
+  p.r = 0.9;
+  p.n = 4400;
+  p.m = 20150;
+  p.d = 113.7;
+  p.c = 29;
+  p.s = 20;
+  return p;
+}
+
+TEST(CostModelTest, UniBinFormulas) {
+  const CostModelParams p = PaperishParams();
+  const CostPrediction pred = PredictCost(Algorithm::kUniBin, p);
+  EXPECT_DOUBLE_EQ(pred.ram_posts, 0.9 * 4400);
+  EXPECT_DOUBLE_EQ(pred.comparisons, 0.9 * 4400 * 4400);
+  EXPECT_DOUBLE_EQ(pred.insertions, 0.9 * 4400);
+}
+
+TEST(CostModelTest, NeighborBinFormulas) {
+  const CostModelParams p = PaperishParams();
+  const CostPrediction pred = PredictCost(Algorithm::kNeighborBin, p);
+  EXPECT_DOUBLE_EQ(pred.ram_posts, (113.7 + 1) * 0.9 * 4400);
+  EXPECT_DOUBLE_EQ(pred.comparisons, (113.7 + 1) / 20150 * 0.9 * 4400 * 4400);
+  EXPECT_DOUBLE_EQ(pred.insertions, (113.7 + 1) * 0.9 * 4400);
+}
+
+TEST(CostModelTest, CliqueBinFormulas) {
+  const CostModelParams p = PaperishParams();
+  const CostPrediction pred = PredictCost(Algorithm::kCliqueBin, p);
+  EXPECT_DOUBLE_EQ(pred.ram_posts, 29 * 0.9 * 4400);
+  EXPECT_DOUBLE_EQ(pred.comparisons, 20.0 * 29 / 20150 * 0.9 * 4400 * 4400);
+  EXPECT_DOUBLE_EQ(pred.insertions, 29 * 0.9 * 4400);
+}
+
+TEST(CostModelTest, ExpectedOrderingUnderSparseGraph) {
+  // Table 3's qualitative ordering: UniBin most comparisons / least RAM,
+  // NeighborBin fewest comparisons / most RAM, CliqueBin in between.
+  const CostModelParams p = PaperishParams();
+  const CostPrediction uni = PredictCost(Algorithm::kUniBin, p);
+  const CostPrediction nbr = PredictCost(Algorithm::kNeighborBin, p);
+  const CostPrediction clq = PredictCost(Algorithm::kCliqueBin, p);
+  EXPECT_GT(uni.comparisons, clq.comparisons);
+  EXPECT_GT(clq.comparisons, nbr.comparisons);
+  EXPECT_LT(uni.ram_posts, clq.ram_posts);
+  EXPECT_LT(clq.ram_posts, nbr.ram_posts);
+  EXPECT_LT(uni.insertions, clq.insertions);
+  EXPECT_LT(clq.insertions, nbr.insertions);
+}
+
+TEST(CostModelTest, ZeroAuthorsAvoidsDivisionByZero) {
+  CostModelParams p;
+  p.m = 0;
+  p.n = 100;
+  EXPECT_DOUBLE_EQ(PredictCost(Algorithm::kNeighborBin, p).comparisons, 0.0);
+  EXPECT_DOUBLE_EQ(PredictCost(Algorithm::kCliqueBin, p).comparisons, 0.0);
+}
+
+TEST(CostModelTest, CliqueIdentity) {
+  // With disjoint cliques (q = 1), c cliques of size s per author give
+  // each author c*(s-1) neighbors: residual zero when d matches.
+  CostModelParams p;
+  p.c = 2;
+  p.s = 5;
+  p.d = 8;
+  EXPECT_DOUBLE_EQ(CliqueIdentityResidual(p, 1.0), 0.0);
+  // Overlapping cliques (q < 1) reduce the effective neighbor count.
+  EXPECT_LT(CliqueIdentityResidual(p, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace firehose

@@ -1,0 +1,112 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "tests/test_util.h"
+
+namespace firehose {
+namespace {
+
+struct CoverageCase {
+  Algorithm algorithm;
+  uint64_t seed;
+  int lambda_c;
+  int64_t lambda_t_ms;
+  double edge_prob;
+};
+
+class CoveragePropertyTest : public ::testing::TestWithParam<CoverageCase> {};
+
+// The defining guarantee of Problem 1: every stream post is covered by at
+// least one post of the diversified sub-stream Z — in all three
+// dimensions simultaneously. Verified against Z by brute force.
+TEST_P(CoveragePropertyTest, EveryInputPostIsCovered) {
+  const CoverageCase c = GetParam();
+  Rng rng(c.seed);
+  const AuthorGraph graph = testing_util::RandomAuthorGraph(20, c.edge_prob, rng);
+  const PostStream stream = testing_util::RandomStream(400, 20, 50, rng);
+
+  DiversityThresholds t;
+  t.lambda_c = c.lambda_c;
+  t.lambda_t_ms = c.lambda_t_ms;
+  auto diversifier = MakeDiversifier(c.algorithm, t, &graph);
+
+  std::vector<const Post*> z;
+  for (const Post& post : stream) {
+    if (diversifier->Offer(post)) z.push_back(&post);
+  }
+
+  for (const Post& post : stream) {
+    bool covered = false;
+    for (const Post* zp : z) {
+      if (std::abs(post.time_ms - zp->time_ms) > t.lambda_t_ms) continue;
+      if (HammingDistance64(post.simhash, zp->simhash) > t.lambda_c) continue;
+      if (zp->author != post.author &&
+          !graph.IsNeighbor(post.author, zp->author)) {
+        continue;
+      }
+      covered = true;
+      break;
+    }
+    EXPECT_TRUE(covered) << "post " << post.id << " uncovered under "
+                         << AlgorithmName(c.algorithm);
+  }
+}
+
+// Z is online-maximal: no Z post is covered by an *earlier* Z post (it
+// would have been pruned at arrival otherwise).
+TEST_P(CoveragePropertyTest, OutputIsOnlineMaximal) {
+  const CoverageCase c = GetParam();
+  Rng rng(c.seed ^ 0xBEEF);
+  const AuthorGraph graph = testing_util::RandomAuthorGraph(20, c.edge_prob, rng);
+  const PostStream stream = testing_util::RandomStream(400, 20, 50, rng);
+
+  DiversityThresholds t;
+  t.lambda_c = c.lambda_c;
+  t.lambda_t_ms = c.lambda_t_ms;
+  auto diversifier = MakeDiversifier(c.algorithm, t, &graph);
+
+  std::vector<const Post*> z;
+  for (const Post& post : stream) {
+    if (diversifier->Offer(post)) z.push_back(&post);
+  }
+  for (size_t i = 0; i < z.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      const bool covers =
+          z[i]->time_ms - z[j]->time_ms <= t.lambda_t_ms &&
+          HammingDistance64(z[i]->simhash, z[j]->simhash) <= t.lambda_c &&
+          (z[i]->author == z[j]->author ||
+           graph.IsNeighbor(z[i]->author, z[j]->author));
+      EXPECT_FALSE(covers) << "Z post " << z[i]->id
+                           << " was already covered by Z post " << z[j]->id;
+    }
+  }
+}
+
+std::vector<CoverageCase> MakeCases() {
+  std::vector<CoverageCase> cases;
+  for (Algorithm algorithm : kAllAlgorithms) {
+    for (uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+      for (int lambda_c : {0, 3, 18}) {
+        cases.push_back(CoverageCase{algorithm, seed, lambda_c, 2000, 0.2});
+        cases.push_back(CoverageCase{algorithm, seed, lambda_c, 200, 0.5});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CoveragePropertyTest, ::testing::ValuesIn(MakeCases()),
+    [](const ::testing::TestParamInfo<CoverageCase>& info) {
+      const CoverageCase& c = info.param;
+      return std::string(AlgorithmName(c.algorithm)) + "_s" +
+             std::to_string(c.seed) + "_c" + std::to_string(c.lambda_c) +
+             "_t" + std::to_string(c.lambda_t_ms) + "_e" +
+             std::to_string(static_cast<int>(c.edge_prob * 10));
+    });
+
+}  // namespace
+}  // namespace firehose

@@ -1,0 +1,117 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "tests/test_util.h"
+
+namespace firehose {
+namespace {
+
+struct EquivalenceCase {
+  uint64_t seed;
+  int lambda_c;
+  int64_t lambda_t_ms;
+  double edge_prob;
+  int num_authors;
+  int num_posts;
+};
+
+class EquivalencePropertyTest
+    : public ::testing::TestWithParam<EquivalenceCase> {};
+
+// UniBin, NeighborBin and CliqueBin index Z differently but decide
+// coverage identically, so all three must emit the exact same sub-stream —
+// and that sub-stream must match the brute-force reference.
+TEST_P(EquivalencePropertyTest, AllAlgorithmsMatchReference) {
+  const EquivalenceCase c = GetParam();
+  Rng rng(c.seed);
+  const AuthorGraph graph =
+      testing_util::RandomAuthorGraph(c.num_authors, c.edge_prob, rng);
+  const PostStream stream =
+      testing_util::RandomStream(c.num_posts, c.num_authors, 40, rng);
+
+  DiversityThresholds t;
+  t.lambda_c = c.lambda_c;
+  t.lambda_t_ms = c.lambda_t_ms;
+
+  const std::vector<PostId> expected =
+      testing_util::ReferenceDiversify(stream, t, graph);
+
+  for (Algorithm algorithm : kAllAlgorithms) {
+    auto diversifier = MakeDiversifier(algorithm, t, &graph);
+    std::vector<PostId> admitted;
+    for (const Post& post : stream) {
+      if (diversifier->Offer(post)) admitted.push_back(post.id);
+    }
+    EXPECT_EQ(admitted, expected) << AlgorithmName(algorithm);
+  }
+}
+
+// NeighborBin never does more comparisons than UniBin (it scans a strict
+// subset of candidates), and all algorithms agree on posts_out.
+TEST_P(EquivalencePropertyTest, WorkCountersAreConsistent) {
+  const EquivalenceCase c = GetParam();
+  Rng rng(c.seed ^ 0xF00D);
+  const AuthorGraph graph =
+      testing_util::RandomAuthorGraph(c.num_authors, c.edge_prob, rng);
+  const PostStream stream =
+      testing_util::RandomStream(c.num_posts, c.num_authors, 40, rng);
+
+  DiversityThresholds t;
+  t.lambda_c = c.lambda_c;
+  t.lambda_t_ms = c.lambda_t_ms;
+
+  IngestStats stats[3];
+  int i = 0;
+  for (Algorithm algorithm : kAllAlgorithms) {
+    auto diversifier = MakeDiversifier(algorithm, t, &graph);
+    for (const Post& post : stream) diversifier->Offer(post);
+    stats[i++] = diversifier->stats();
+  }
+  const IngestStats& unibin = stats[0];
+  const IngestStats& neighbor = stats[1];
+  const IngestStats& clique = stats[2];
+
+  EXPECT_EQ(unibin.posts_out, neighbor.posts_out);
+  EXPECT_EQ(unibin.posts_out, clique.posts_out);
+  // UniBin: one insertion per admitted post. Others: >= 1 copies.
+  EXPECT_EQ(unibin.insertions, unibin.posts_out);
+  EXPECT_GE(neighbor.insertions, neighbor.posts_out);
+  EXPECT_GE(clique.insertions, clique.posts_out);
+  // NeighborBin's candidate set is a subset of UniBin's window.
+  EXPECT_LE(neighbor.comparisons, unibin.comparisons);
+  // CliqueBin stores at most as many copies as NeighborBin (Table 3).
+  EXPECT_LE(clique.insertions, neighbor.insertions);
+}
+
+std::vector<EquivalenceCase> MakeCases() {
+  std::vector<EquivalenceCase> cases;
+  uint64_t seed = 100;
+  for (int lambda_c : {0, 2, 6, 18, 32}) {
+    for (int64_t lambda_t : {50LL, 500LL, 100000LL}) {
+      for (double edge_prob : {0.05, 0.3, 0.9}) {
+        cases.push_back(
+            EquivalenceCase{++seed, lambda_c, lambda_t, edge_prob, 15, 300});
+      }
+    }
+  }
+  // A couple of larger shapes.
+  cases.push_back(EquivalenceCase{7777, 18, 1000, 0.1, 60, 1500});
+  cases.push_back(EquivalenceCase{8888, 12, 250, 0.6, 8, 1500});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EquivalencePropertyTest, ::testing::ValuesIn(MakeCases()),
+    [](const ::testing::TestParamInfo<EquivalenceCase>& info) {
+      const EquivalenceCase& c = info.param;
+      return "s" + std::to_string(c.seed) + "_c" + std::to_string(c.lambda_c) +
+             "_t" + std::to_string(c.lambda_t_ms) + "_e" +
+             std::to_string(static_cast<int>(c.edge_prob * 100)) + "_a" +
+             std::to_string(c.num_authors);
+    });
+
+}  // namespace
+}  // namespace firehose

@@ -1,0 +1,107 @@
+#include "src/author/follow_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace firehose {
+namespace {
+
+TEST(FollowGraphTest, EmptyGraph) {
+  FollowGraph g;
+  EXPECT_EQ(g.num_authors(), 0u);
+  g.Finalize();
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(FollowGraphTest, AddAndQueryFollows) {
+  FollowGraph g(4);
+  g.AddFollow(0, 1);
+  g.AddFollow(0, 2);
+  g.AddFollow(3, 1);
+  g.Finalize();
+  EXPECT_EQ(g.Followees(0), (std::vector<AuthorId>{1, 2}));
+  EXPECT_EQ(g.Followers(1), (std::vector<AuthorId>{0, 3}));
+  EXPECT_TRUE(g.Followees(1).empty());
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(FollowGraphTest, SelfFollowsIgnored) {
+  FollowGraph g(2);
+  g.AddFollow(0, 0);
+  g.Finalize();
+  EXPECT_TRUE(g.Followees(0).empty());
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(FollowGraphTest, DuplicateFollowsCollapse) {
+  FollowGraph g(2);
+  g.AddFollow(0, 1);
+  g.AddFollow(0, 1);
+  g.AddFollow(0, 1);
+  g.Finalize();
+  EXPECT_EQ(g.Followees(0).size(), 1u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(FollowGraphTest, OutOfRangeEndpointsIgnored) {
+  FollowGraph g(2);
+  g.AddFollow(0, 5);
+  g.AddFollow(5, 0);
+  g.Finalize();
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(FollowGraphTest, FinalizeIsIdempotent) {
+  FollowGraph g(3);
+  g.AddFollow(0, 1);
+  g.Finalize();
+  g.Finalize();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(FollowGraphTest, AdjacencySortedAfterFinalize) {
+  FollowGraph g(5);
+  g.AddFollow(0, 4);
+  g.AddFollow(0, 1);
+  g.AddFollow(0, 3);
+  g.Finalize();
+  EXPECT_EQ(g.Followees(0), (std::vector<AuthorId>{1, 3, 4}));
+}
+
+TEST(BfsSampleTest, ReachesConnectedAuthorsUndirected) {
+  FollowGraph g(5);
+  // 0 -> 1, 2 -> 1 (undirected reach from 0: {0,1,2}), 3 -> 4 separate.
+  g.AddFollow(0, 1);
+  g.AddFollow(2, 1);
+  g.AddFollow(3, 4);
+  g.Finalize();
+  auto sample = g.BfsSample(0, 100);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(sample, (std::vector<AuthorId>{0, 1, 2}));
+}
+
+TEST(BfsSampleTest, RespectsSizeLimit) {
+  FollowGraph g(10);
+  for (AuthorId a = 0; a + 1 < 10; ++a) g.AddFollow(a, a + 1);
+  g.Finalize();
+  EXPECT_EQ(g.BfsSample(0, 4).size(), 4u);
+}
+
+TEST(BfsSampleTest, StartIsFirstInVisitOrder) {
+  FollowGraph g(3);
+  g.AddFollow(2, 0);
+  g.Finalize();
+  const auto sample = g.BfsSample(2, 10);
+  ASSERT_FALSE(sample.empty());
+  EXPECT_EQ(sample[0], 2u);
+}
+
+TEST(BfsSampleTest, DegenerateInputs) {
+  FollowGraph g(2);
+  g.Finalize();
+  EXPECT_TRUE(g.BfsSample(5, 10).empty());  // start out of range
+  EXPECT_TRUE(g.BfsSample(0, 0).empty());   // zero budget
+  EXPECT_EQ(g.BfsSample(0, 10).size(), 1u); // isolated start
+}
+
+}  // namespace
+}  // namespace firehose

@@ -1,0 +1,120 @@
+#include "src/gen/labeled_pairs.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "src/gen/text_gen.h"
+#include "src/simhash/simhash.h"
+
+namespace firehose {
+namespace {
+
+LabeledPairOptions SmallOptions() {
+  LabeledPairOptions options;
+  options.min_distance = 3;
+  options.max_distance = 22;
+  options.pairs_per_distance = 20;
+  options.max_attempts = 400000;
+  options.seed = 77;
+  return options;
+}
+
+TEST(LabeledPairsTest, DistancesStayInBand) {
+  const auto pairs = GenerateLabeledPairs(SmallOptions());
+  ASSERT_FALSE(pairs.empty());
+  for (const LabeledPair& pair : pairs) {
+    EXPECT_GE(pair.hamming_raw, 3);
+    EXPECT_LE(pair.hamming_raw, 22);
+  }
+}
+
+TEST(LabeledPairsTest, BucketQuotasRespected) {
+  const LabeledPairOptions options = SmallOptions();
+  const auto pairs = GenerateLabeledPairs(options);
+  std::map<int, int> per_bucket;
+  for (const LabeledPair& pair : pairs) ++per_bucket[pair.hamming_raw];
+  for (const auto& [distance, count] : per_bucket) {
+    EXPECT_LE(count, options.pairs_per_distance) << "bucket " << distance;
+  }
+  // The near buckets (easy to fill) should be full.
+  EXPECT_EQ(per_bucket[3], options.pairs_per_distance);
+  EXPECT_EQ(per_bucket[8], options.pairs_per_distance);
+}
+
+TEST(LabeledPairsTest, LabelsFollowPerturbLevel) {
+  for (const LabeledPair& pair : GenerateLabeledPairs(SmallOptions())) {
+    EXPECT_EQ(pair.redundant, pair.level <= kMaxRedundantLevel);
+  }
+}
+
+TEST(LabeledPairsTest, StoredDistancesMatchTexts) {
+  SimHashOptions raw_options;
+  raw_options.normalize = false;
+  const SimHasher raw_hasher(raw_options);
+  const SimHasher norm_hasher;
+  int checked = 0;
+  for (const LabeledPair& pair : GenerateLabeledPairs(SmallOptions())) {
+    if (++checked > 50) break;
+    EXPECT_EQ(pair.hamming_raw,
+              SimHashDistance(raw_hasher.Fingerprint(pair.text_a),
+                              raw_hasher.Fingerprint(pair.text_b)));
+    EXPECT_EQ(pair.hamming_norm,
+              SimHashDistance(norm_hasher.Fingerprint(pair.text_a),
+                              norm_hasher.Fingerprint(pair.text_b)));
+    EXPECT_GE(pair.cosine, 0.0);
+    EXPECT_LE(pair.cosine, 1.0 + 1e-9);
+  }
+}
+
+TEST(LabeledPairsTest, ContainsBothClasses) {
+  int redundant = 0;
+  int clean = 0;
+  for (const LabeledPair& pair : GenerateLabeledPairs(SmallOptions())) {
+    (pair.redundant ? redundant : clean)++;
+  }
+  EXPECT_GT(redundant, 0);
+  EXPECT_GT(clean, 0);
+}
+
+TEST(LabeledPairsTest, RedundancyConcentratesAtSmallDistances) {
+  // Near bucket (h<=8) should be mostly redundant; far bucket (h>=20)
+  // mostly not — the separation Figures 3/4 rely on.
+  uint64_t near_red = 0;
+  uint64_t near_total = 0;
+  uint64_t far_red = 0;
+  uint64_t far_total = 0;
+  for (const LabeledPair& pair : GenerateLabeledPairs(SmallOptions())) {
+    if (pair.hamming_norm <= 8) {
+      ++near_total;
+      near_red += pair.redundant ? 1 : 0;
+    } else if (pair.hamming_norm >= 26) {
+      ++far_total;
+      far_red += pair.redundant ? 1 : 0;
+    }
+  }
+  ASSERT_GT(near_total, 0u);
+  ASSERT_GT(far_total, 0u);
+  EXPECT_GT(static_cast<double>(near_red) / near_total, 0.8);
+  EXPECT_LT(static_cast<double>(far_red) / far_total, 0.5);
+}
+
+TEST(LabeledPairsTest, DeterministicGivenSeed) {
+  const auto a = GenerateLabeledPairs(SmallOptions());
+  const auto b = GenerateLabeledPairs(SmallOptions());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i += 17) {
+    EXPECT_EQ(a[i].text_a, b[i].text_a);
+    EXPECT_EQ(a[i].text_b, b[i].text_b);
+  }
+}
+
+TEST(LabeledPairsTest, AttemptBudgetBoundsWork) {
+  LabeledPairOptions options = SmallOptions();
+  options.max_attempts = 100;  // far too small to fill everything
+  const auto pairs = GenerateLabeledPairs(options);
+  EXPECT_LE(pairs.size(), 100u);
+}
+
+}  // namespace
+}  // namespace firehose

@@ -1,0 +1,149 @@
+#include "src/core/lagged.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/unibin.h"
+#include "tests/test_util.h"
+
+namespace firehose {
+namespace {
+
+using testing_util::PaperExampleGraph;
+using testing_util::PaperExamplePosts;
+using testing_util::PaperExampleThresholds;
+
+Post MakePost(PostId id, AuthorId author, int64_t time_ms, uint64_t simhash) {
+  Post post;
+  post.id = id;
+  post.author = author;
+  post.time_ms = time_ms;
+  post.simhash = simhash;
+  return post;
+}
+
+std::vector<PostId> RunLagged(const PostStream& stream,
+                              const DiversityThresholds& t, int64_t lag_ms,
+                              const AuthorGraph* graph) {
+  LaggedDiversifier diversifier(t, lag_ms, graph);
+  std::vector<Post> emitted;
+  for (const Post& post : stream) diversifier.Offer(post, &emitted);
+  diversifier.Finish(&emitted);
+  std::vector<PostId> ids;
+  for (const Post& post : emitted) ids.push_back(post.id);
+  return ids;
+}
+
+TEST(LaggedTest, ZeroLagMatchesUniBin) {
+  const AuthorGraph graph = PaperExampleGraph();
+  const DiversityThresholds t = PaperExampleThresholds();
+  Rng rng(3);
+  const PostStream stream = testing_util::RandomStream(500, 4, 30, rng);
+
+  UniBinDiversifier unibin(t, &graph);
+  std::vector<PostId> immediate;
+  for (const Post& post : stream) {
+    if (unibin.Offer(post)) immediate.push_back(post.id);
+  }
+  EXPECT_EQ(RunLagged(stream, t, 0, &graph), immediate);
+}
+
+TEST(LaggedTest, PaperExampleWithZeroLag) {
+  const AuthorGraph graph = PaperExampleGraph();
+  EXPECT_EQ(RunLagged(PaperExamplePosts(), PaperExampleThresholds(), 0, &graph),
+            (std::vector<PostId>{0, 1, 3}));
+}
+
+TEST(LaggedTest, ChainExampleShrinksOutput) {
+  // P1 at t=0, P2 at t=1 covering both P1 and P3, P3 at t=2 not covered
+  // by P1. Immediate decision emits {P1, P3}; a lag >= 1 lets P2
+  // represent both: output {P2}.
+  DiversityThresholds t;
+  t.lambda_c = 2;
+  t.lambda_t_ms = 1000;
+  t.use_author = false;
+  const PostStream stream = {
+      MakePost(0, 0, 0, 0b00000),   // P1
+      MakePost(1, 0, 1, 0b00011),   // P2: d(P1)=2 ok, d(P3)=2 ok
+      MakePost(2, 0, 2, 0b01111),   // P3: d(P1)=4 too far
+  };
+  EXPECT_EQ(RunLagged(stream, t, 0, nullptr),
+            (std::vector<PostId>{0, 2}));
+  EXPECT_EQ(RunLagged(stream, t, 5, nullptr), (std::vector<PostId>{1}));
+}
+
+TEST(LaggedTest, CoverageInvariantHoldsUnderLag) {
+  const AuthorGraph graph = PaperExampleGraph();
+  DiversityThresholds t = PaperExampleThresholds();
+  Rng rng(11);
+  const PostStream stream = testing_util::RandomStream(600, 4, 20, rng);
+  for (int64_t lag : {0LL, 10LL, 100LL, 1000LL}) {
+    LaggedDiversifier diversifier(t, lag, &graph);
+    std::vector<Post> emitted;
+    for (const Post& post : stream) diversifier.Offer(post, &emitted);
+    diversifier.Finish(&emitted);
+
+    for (const Post& post : stream) {
+      bool covered = false;
+      for (const Post& z : emitted) {
+        if (std::abs(post.time_ms - z.time_ms) > t.lambda_t_ms) continue;
+        if (HammingDistance64(post.simhash, z.simhash) > t.lambda_c) continue;
+        if (z.author != post.author &&
+            !graph.IsNeighbor(post.author, z.author)) {
+          continue;
+        }
+        covered = true;
+        break;
+      }
+      EXPECT_TRUE(covered) << "post " << post.id << " uncovered at lag "
+                           << lag;
+    }
+  }
+}
+
+TEST(LaggedTest, LagNeverGrowsOutputOnRandomStreams) {
+  const AuthorGraph graph = PaperExampleGraph();
+  DiversityThresholds t = PaperExampleThresholds();
+  for (uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    Rng rng(seed);
+    const PostStream stream = testing_util::RandomStream(500, 4, 20, rng);
+    const size_t immediate = RunLagged(stream, t, 0, &graph).size();
+    const size_t lagged = RunLagged(stream, t, 200, &graph).size();
+    EXPECT_LE(lagged, immediate) << "seed " << seed;
+  }
+}
+
+TEST(LaggedTest, EmissionsComeOutInArrivalOrder) {
+  const AuthorGraph graph = PaperExampleGraph();
+  Rng rng(7);
+  const PostStream stream = testing_util::RandomStream(400, 4, 15, rng);
+  const auto ids = RunLagged(stream, PaperExampleThresholds(), 77, &graph);
+  for (size_t i = 1; i < ids.size(); ++i) EXPECT_LT(ids[i - 1], ids[i]);
+}
+
+TEST(LaggedTest, FinishFlushesEverything) {
+  LaggedDiversifier diversifier(PaperExampleThresholds(), 1000000, nullptr);
+  std::vector<Post> emitted;
+  diversifier.Offer(MakePost(0, 0, 0, 1), &emitted);
+  diversifier.Offer(MakePost(1, 1, 5, ~0ULL), &emitted);
+  EXPECT_TRUE(emitted.empty());  // deadlines far in the future
+  diversifier.Finish(&emitted);
+  EXPECT_EQ(emitted.size(), 2u);
+  EXPECT_EQ(diversifier.stats().posts_in, 2u);
+  EXPECT_EQ(diversifier.stats().posts_out, 2u);
+}
+
+TEST(LaggedTest, StatsAccumulate) {
+  const AuthorGraph graph = PaperExampleGraph();
+  LaggedDiversifier diversifier(PaperExampleThresholds(), 2, &graph);
+  std::vector<Post> emitted;
+  for (const Post& post : PaperExamplePosts()) {
+    diversifier.Offer(post, &emitted);
+  }
+  diversifier.Finish(&emitted);
+  EXPECT_EQ(diversifier.stats().posts_in, 5u);
+  EXPECT_GT(diversifier.stats().comparisons, 0u);
+  EXPECT_EQ(diversifier.stats().posts_out, emitted.size());
+}
+
+}  // namespace
+}  // namespace firehose

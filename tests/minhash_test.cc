@@ -1,0 +1,106 @@
+#include "src/simhash/minhash.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/gen/text_gen.h"
+
+namespace firehose {
+namespace {
+
+TEST(MinHashTest, DeterministicSignatures) {
+  const MinHasher hasher(16);
+  const MinHashSignature a = hasher.Sign("the quick brown fox jumps");
+  const MinHashSignature b = hasher.Sign("the quick brown fox jumps");
+  EXPECT_EQ(a.mins, b.mins);
+}
+
+TEST(MinHashTest, SignatureSizeMatchesNumHashes) {
+  const MinHasher hasher(32);
+  EXPECT_EQ(hasher.Sign("one two three").size(), 32u);
+  EXPECT_EQ(hasher.num_hashes(), 32);
+}
+
+TEST(MinHashTest, EmptyTextYieldsEmptySignature) {
+  const MinHasher hasher(16);
+  EXPECT_TRUE(hasher.Sign("").empty());
+  EXPECT_TRUE(hasher.Sign("   ").empty());
+}
+
+TEST(MinHashTest, IdenticalSetsEstimateOne) {
+  const MinHasher hasher(16);
+  const MinHashSignature a = hasher.Sign("alpha beta gamma delta");
+  const MinHashSignature b = hasher.Sign("delta gamma beta alpha");  // set-equal
+  EXPECT_DOUBLE_EQ(EstimateJaccard(a, b), 1.0);
+}
+
+TEST(MinHashTest, DisjointSetsEstimateNearZero) {
+  const MinHasher hasher(64);
+  const MinHashSignature a = hasher.Sign("alpha beta gamma delta epsilon");
+  const MinHashSignature b = hasher.Sign("one two three four five");
+  EXPECT_LT(EstimateJaccard(a, b), 0.1);
+}
+
+TEST(MinHashTest, MismatchedOrEmptySignaturesEstimateZero) {
+  const MinHasher h16(16);
+  const MinHasher h32(32);
+  const MinHashSignature a = h16.Sign("some words here");
+  const MinHashSignature b = h32.Sign("some words here");
+  EXPECT_DOUBLE_EQ(EstimateJaccard(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateJaccard(a, MinHashSignature{}), 0.0);
+}
+
+TEST(MinHashTest, SeedChangesSignatures) {
+  const MinHasher a(16, true, 1);
+  const MinHasher b(16, true, 2);
+  EXPECT_NE(a.Sign("hello world foo").mins, b.Sign("hello world foo").mins);
+}
+
+TEST(ExactJaccardTest, KnownValues) {
+  // {a,b,c} vs {b,c,d}: |∩|=2, |∪|=4 -> 0.5.
+  EXPECT_DOUBLE_EQ(ExactJaccard("a b c", "b c d"), 0.5);
+  EXPECT_DOUBLE_EQ(ExactJaccard("a b", "a b"), 1.0);
+  EXPECT_DOUBLE_EQ(ExactJaccard("a b", "c d"), 0.0);
+  EXPECT_DOUBLE_EQ(ExactJaccard("", ""), 0.0);
+}
+
+TEST(ExactJaccardTest, NormalizationApplied) {
+  EXPECT_DOUBLE_EQ(ExactJaccard("Hello World!", "hello world"), 1.0);
+  EXPECT_LT(ExactJaccard("Hello World!", "hello world", /*normalize=*/false),
+            1.0);
+}
+
+TEST(ExactJaccardTest, DuplicateTokensCollapse) {
+  EXPECT_DOUBLE_EQ(ExactJaccard("a a a b", "a b b b"), 1.0);
+}
+
+class MinHashEstimatorTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinHashEstimatorTest, EstimateTracksExactJaccard) {
+  const int k = GetParam();
+  const MinHasher hasher(k);
+  TextGenerator text_gen(33);
+  double total_error = 0.0;
+  int count = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::string a = text_gen.MakePost();
+    const std::string b =
+        text_gen.Perturb(a, static_cast<PerturbLevel>(i % 6));
+    const double exact = ExactJaccard(a, b);
+    const double estimate =
+        EstimateJaccard(hasher.Sign(a), hasher.Sign(b));
+    total_error += std::fabs(exact - estimate);
+    ++count;
+  }
+  // Mean absolute error shrinks with k; bounds are loose multiples of
+  // the 1/sqrt(k) standard error.
+  const double mae = total_error / count;
+  EXPECT_LT(mae, 1.5 / std::sqrt(static_cast<double>(k)));
+}
+
+INSTANTIATE_TEST_SUITE_P(SignatureSizes, MinHashEstimatorTest,
+                         ::testing::Values(16, 64, 256));
+
+}  // namespace
+}  // namespace firehose

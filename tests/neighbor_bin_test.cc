@@ -1,0 +1,111 @@
+#include "src/core/neighbor_bin.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace firehose {
+namespace {
+
+using testing_util::PaperExampleGraph;
+using testing_util::PaperExamplePosts;
+using testing_util::PaperExampleThresholds;
+
+Post MakePost(PostId id, AuthorId author, int64_t time_ms, uint64_t simhash) {
+  Post post;
+  post.id = id;
+  post.author = author;
+  post.time_ms = time_ms;
+  post.simhash = simhash;
+  return post;
+}
+
+TEST(NeighborBinTest, PaperFigure6bTrace) {
+  const AuthorGraph graph = PaperExampleGraph();
+  NeighborBinDiversifier diversifier(PaperExampleThresholds(), &graph);
+  std::vector<bool> admitted;
+  for (const Post& post : PaperExamplePosts()) {
+    admitted.push_back(diversifier.Offer(post));
+  }
+  EXPECT_EQ(admitted, (std::vector<bool>{true, true, false, true, false}));
+  // §4.2 walk-through: P1 0 comps, P2 1 (P1 in bin a2), P3 2 (P2 then P1
+  // in bin a3), P4 0 (bin a4 empty), P5 1 (P4 newest in bin a3).
+  EXPECT_EQ(diversifier.stats().comparisons, 4u);
+  // P1 -> bins {a1,a2,a3} (3), P2 -> {a2,a1,a3} (3), P4 -> {a4,a3} (2).
+  EXPECT_EQ(diversifier.stats().insertions, 8u);
+  EXPECT_EQ(diversifier.stats().posts_out, 3u);
+}
+
+TEST(NeighborBinTest, ChecksOnlyOwnAuthorsBin) {
+  const AuthorGraph graph = PaperExampleGraph();
+  NeighborBinDiversifier diversifier(PaperExampleThresholds(), &graph);
+  // Post by author 3; then identical content by author 0 (not neighbors):
+  // author 0's bin does not contain author 3's post, so no comparison at
+  // all is made and the post is admitted.
+  EXPECT_TRUE(diversifier.Offer(MakePost(0, 3, 0, 0x1)));
+  const uint64_t before = diversifier.stats().comparisons;
+  EXPECT_TRUE(diversifier.Offer(MakePost(1, 0, 1, 0x1)));
+  EXPECT_EQ(diversifier.stats().comparisons, before);
+}
+
+TEST(NeighborBinTest, NeighborPostCovers) {
+  const AuthorGraph graph = PaperExampleGraph();
+  NeighborBinDiversifier diversifier(PaperExampleThresholds(), &graph);
+  EXPECT_TRUE(diversifier.Offer(MakePost(0, 2, 0, 0x1)));
+  // Author 3 is a neighbor of 2: the earlier post sits in bin(3).
+  EXPECT_FALSE(diversifier.Offer(MakePost(1, 3, 1, 0x1)));
+}
+
+TEST(NeighborBinTest, OwnPostCovers) {
+  const AuthorGraph graph = PaperExampleGraph();
+  NeighborBinDiversifier diversifier(PaperExampleThresholds(), &graph);
+  EXPECT_TRUE(diversifier.Offer(MakePost(0, 2, 0, 0x1)));
+  EXPECT_FALSE(diversifier.Offer(MakePost(1, 2, 1, 0x1)));
+}
+
+TEST(NeighborBinTest, TimeWindowEvicts) {
+  const AuthorGraph graph = PaperExampleGraph();
+  DiversityThresholds t = PaperExampleThresholds();
+  t.lambda_t_ms = 10;
+  NeighborBinDiversifier diversifier(t, &graph);
+  EXPECT_TRUE(diversifier.Offer(MakePost(0, 2, 0, 0x1)));
+  EXPECT_TRUE(diversifier.Offer(MakePost(1, 2, 100, 0x1)));
+}
+
+TEST(NeighborBinTest, InsertionCountIsDegreePlusOne) {
+  const AuthorGraph graph = PaperExampleGraph();
+  NeighborBinDiversifier diversifier(PaperExampleThresholds(), &graph);
+  // Author 2 has 3 neighbors: admitting a post costs 4 insertions.
+  EXPECT_TRUE(diversifier.Offer(MakePost(0, 2, 0, 0x1)));
+  EXPECT_EQ(diversifier.stats().insertions, 4u);
+}
+
+TEST(NeighborBinTest, MemoryExceedsUniBinEquivalent) {
+  // d+1 copies per post: bytes should exceed a single bin's worth.
+  const AuthorGraph graph = PaperExampleGraph();
+  NeighborBinDiversifier diversifier(PaperExampleThresholds(), &graph);
+  Rng rng(1);
+  for (int i = 0; i < 32; ++i) {
+    // Random fingerprints are pairwise far, so every post is admitted and
+    // copied into the bins of author 2 and its three neighbors.
+    diversifier.Offer(MakePost(static_cast<PostId>(i), 2, i, rng.Next()));
+  }
+  EXPECT_EQ(diversifier.stats().insertions, 32u * 4u);
+  EXPECT_GT(diversifier.ApproxBytes(), 32 * sizeof(BinEntry));
+  EXPECT_GE(diversifier.stats().peak_bytes, diversifier.ApproxBytes());
+}
+
+TEST(NeighborBinTest, MatchesReferenceOnPaperExample) {
+  const AuthorGraph graph = PaperExampleGraph();
+  const auto expected = testing_util::ReferenceDiversify(
+      PaperExamplePosts(), PaperExampleThresholds(), graph);
+  NeighborBinDiversifier diversifier(PaperExampleThresholds(), &graph);
+  std::vector<PostId> admitted;
+  for (const Post& post : PaperExamplePosts()) {
+    if (diversifier.Offer(post)) admitted.push_back(post.id);
+  }
+  EXPECT_EQ(admitted, expected);
+}
+
+}  // namespace
+}  // namespace firehose

@@ -1,0 +1,120 @@
+#include "src/stream/post_bin.h"
+
+#include <gtest/gtest.h>
+
+namespace firehose {
+namespace {
+
+BinEntry Entry(int64_t time_ms, PostId id = 0) {
+  return BinEntry{time_ms, 0, 0, id};
+}
+
+TEST(PostBinTest, StartsEmpty) {
+  PostBin bin;
+  EXPECT_TRUE(bin.empty());
+  EXPECT_EQ(bin.size(), 0u);
+}
+
+TEST(PostBinTest, PushAndAccess) {
+  PostBin bin;
+  bin.Push(Entry(10, 1));
+  bin.Push(Entry(20, 2));
+  bin.Push(Entry(30, 3));
+  EXPECT_EQ(bin.size(), 3u);
+  EXPECT_EQ(bin.FromNewest(0).post_id, 3u);
+  EXPECT_EQ(bin.FromNewest(2).post_id, 1u);
+  EXPECT_EQ(bin.FromOldest(0).post_id, 1u);
+  EXPECT_EQ(bin.FromOldest(2).post_id, 3u);
+}
+
+TEST(PostBinTest, EvictOlderThanRemovesPrefix) {
+  PostBin bin;
+  for (int64_t t = 0; t < 10; ++t) bin.Push(Entry(t, static_cast<PostId>(t)));
+  EXPECT_EQ(bin.EvictOlderThan(5), 5u);
+  EXPECT_EQ(bin.size(), 5u);
+  EXPECT_EQ(bin.FromOldest(0).time_ms, 5);
+}
+
+TEST(PostBinTest, EvictBoundaryIsExclusive) {
+  PostBin bin;
+  bin.Push(Entry(100));
+  EXPECT_EQ(bin.EvictOlderThan(100), 0u);  // time == cutoff survives
+  EXPECT_EQ(bin.EvictOlderThan(101), 1u);
+}
+
+TEST(PostBinTest, EvictAllAndReuse) {
+  PostBin bin;
+  bin.Push(Entry(1));
+  bin.Push(Entry(2));
+  EXPECT_EQ(bin.EvictOlderThan(1000), 2u);
+  EXPECT_TRUE(bin.empty());
+  bin.Push(Entry(2000, 42));
+  EXPECT_EQ(bin.FromNewest(0).post_id, 42u);
+}
+
+TEST(PostBinTest, EvictOnEmptyIsNoop) {
+  PostBin bin;
+  EXPECT_EQ(bin.EvictOlderThan(100), 0u);
+}
+
+TEST(PostBinTest, RingWrapsCorrectly) {
+  PostBin bin;
+  // Fill past the initial capacity (8) with interleaved evictions so the
+  // ring head moves and wraps.
+  int64_t t = 0;
+  for (int round = 0; round < 100; ++round) {
+    bin.Push(Entry(t, static_cast<PostId>(t)));
+    ++t;
+    if (round % 3 == 0) bin.EvictOlderThan(t - 4);
+  }
+  // Validate ordering end to end.
+  for (size_t i = 0; i + 1 < bin.size(); ++i) {
+    EXPECT_LE(bin.FromOldest(i).time_ms, bin.FromOldest(i + 1).time_ms);
+  }
+  EXPECT_EQ(bin.FromNewest(0).time_ms, t - 1);
+}
+
+TEST(PostBinTest, GrowthPreservesOrder) {
+  PostBin bin;
+  for (int64_t t = 0; t < 1000; ++t) {
+    bin.Push(Entry(t, static_cast<PostId>(t)));
+  }
+  ASSERT_EQ(bin.size(), 1000u);
+  for (size_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(bin.FromOldest(i).post_id, i);
+  }
+}
+
+TEST(PostBinTest, GrowthAfterWrapPreservesOrder) {
+  PostBin bin;
+  for (int64_t t = 0; t < 6; ++t) bin.Push(Entry(t));
+  bin.EvictOlderThan(4);  // head moves to index 4
+  for (int64_t t = 6; t < 40; ++t) bin.Push(Entry(t));  // forces growth
+  EXPECT_EQ(bin.size(), 36u);
+  for (size_t i = 0; i + 1 < bin.size(); ++i) {
+    EXPECT_LT(bin.FromOldest(i).time_ms, bin.FromOldest(i + 1).time_ms);
+  }
+}
+
+TEST(PostBinTest, ApproxBytesTracksCapacity) {
+  PostBin bin;
+  EXPECT_EQ(bin.ApproxBytes(), 0u);
+  bin.Push(Entry(1));
+  const size_t small = bin.ApproxBytes();
+  EXPECT_GE(small, 2 * sizeof(BinEntry));
+  for (int64_t t = 2; t <= 100; ++t) bin.Push(Entry(t));
+  EXPECT_GT(bin.ApproxBytes(), small);
+}
+
+TEST(PostBinTest, EqualTimestampsAllowed) {
+  PostBin bin;
+  bin.Push(Entry(5, 1));
+  bin.Push(Entry(5, 2));
+  bin.Push(Entry(5, 3));
+  EXPECT_EQ(bin.size(), 3u);
+  EXPECT_EQ(bin.FromNewest(0).post_id, 3u);
+  EXPECT_EQ(bin.EvictOlderThan(6), 3u);
+}
+
+}  // namespace
+}  // namespace firehose

@@ -1,0 +1,117 @@
+#include "src/eval/precision_recall.h"
+
+#include <gtest/gtest.h>
+
+namespace firehose {
+namespace {
+
+LabeledPair Pair(int raw, int norm, double cosine, bool redundant) {
+  LabeledPair pair;
+  pair.hamming_raw = raw;
+  pair.hamming_norm = norm;
+  pair.cosine = cosine;
+  pair.redundant = redundant;
+  return pair;
+}
+
+std::vector<LabeledPair> HandcraftedPairs() {
+  return {
+      Pair(2, 1, 0.95, true),   // near duplicate
+      Pair(5, 4, 0.90, true),   // near duplicate
+      Pair(6, 6, 0.40, false),  // coincidental close pair
+      Pair(12, 11, 0.80, true),
+      Pair(20, 19, 0.10, false),
+      Pair(30, 29, 0.05, false),
+  };
+}
+
+TEST(SweepHammingTest, ExactPrecisionRecallValues) {
+  const auto sweep =
+      SweepHamming(HandcraftedPairs(), ContentMeasure::kHammingRaw, 0, 32);
+  // h = 5: predicted {p0, p1}, both true -> precision 1, recall 2/3.
+  EXPECT_DOUBLE_EQ(sweep[5].precision, 1.0);
+  EXPECT_NEAR(sweep[5].recall, 2.0 / 3.0, 1e-12);
+  // h = 6: predicted {p0,p1,p2}, 2 true -> precision 2/3, recall 2/3.
+  EXPECT_NEAR(sweep[6].precision, 2.0 / 3.0, 1e-12);
+  // h = 12: predicted {p0,p1,p2,p3}, 3 true -> precision 3/4, recall 1.
+  EXPECT_DOUBLE_EQ(sweep[12].precision, 0.75);
+  EXPECT_DOUBLE_EQ(sweep[12].recall, 1.0);
+  // h = 32: everything predicted -> precision 3/6.
+  EXPECT_DOUBLE_EQ(sweep[32].precision, 0.5);
+  EXPECT_DOUBLE_EQ(sweep[32].recall, 1.0);
+}
+
+TEST(SweepHammingTest, EmptyPredictionHasPrecisionOne) {
+  const auto sweep =
+      SweepHamming(HandcraftedPairs(), ContentMeasure::kHammingRaw, 0, 1);
+  EXPECT_EQ(sweep[0].predicted_positive, 0u);
+  EXPECT_DOUBLE_EQ(sweep[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(sweep[0].recall, 0.0);
+}
+
+TEST(SweepHammingTest, RecallIsMonotonicInThreshold) {
+  const auto sweep =
+      SweepHamming(HandcraftedPairs(), ContentMeasure::kHammingRaw, 0, 32);
+  for (size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GE(sweep[i].recall, sweep[i - 1].recall);
+    EXPECT_GE(sweep[i].predicted_positive, sweep[i - 1].predicted_positive);
+  }
+}
+
+TEST(SweepHammingTest, NormalizedMeasureUsesNormField) {
+  const auto sweep =
+      SweepHamming(HandcraftedPairs(), ContentMeasure::kHammingNorm, 0, 32);
+  // h = 4 catches p0 (norm 1) and p1 (norm 4) but not raw-5-norm-4 ... p1
+  // has norm 4 so both are in; precision 1, recall 2/3.
+  EXPECT_DOUBLE_EQ(sweep[4].precision, 1.0);
+  EXPECT_NEAR(sweep[4].recall, 2.0 / 3.0, 1e-12);
+}
+
+TEST(SweepCosineTest, HighThresholdIsPrecise) {
+  const auto sweep = SweepCosine(HandcraftedPairs(), 20);
+  // θ = 1.0: nothing predicted.
+  EXPECT_DOUBLE_EQ(sweep.back().recall, 0.0);
+  // θ = 0.85: {p0, p1} predicted, both true.
+  const PrPoint& p85 = sweep[17];
+  EXPECT_DOUBLE_EQ(p85.precision, 1.0);
+  EXPECT_NEAR(p85.recall, 2.0 / 3.0, 1e-12);
+  // θ = 0: everything predicted.
+  EXPECT_DOUBLE_EQ(sweep.front().recall, 1.0);
+  EXPECT_DOUBLE_EQ(sweep.front().precision, 0.5);
+}
+
+TEST(SweepCosineTest, RecallDecreasesWithThreshold) {
+  const auto sweep = SweepCosine(HandcraftedPairs(), 50);
+  for (size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LE(sweep[i].recall, sweep[i - 1].recall);
+  }
+}
+
+TEST(CrossoverTest, FindsBalancedPoint) {
+  std::vector<PrPoint> sweep(3);
+  sweep[0].threshold = 1;
+  sweep[0].precision = 1.0;
+  sweep[0].recall = 0.2;
+  sweep[1].threshold = 2;
+  sweep[1].precision = 0.9;
+  sweep[1].recall = 0.88;
+  sweep[2].threshold = 3;
+  sweep[2].precision = 0.5;
+  sweep[2].recall = 1.0;
+  EXPECT_DOUBLE_EQ(CrossoverPoint(sweep).threshold, 2.0);
+}
+
+TEST(CrossoverTest, EmptySweepReturnsDefault) {
+  EXPECT_DOUBLE_EQ(CrossoverPoint({}).threshold, 0.0);
+}
+
+TEST(SweepTest, EmptyPairsBehaveSanely) {
+  const auto sweep = SweepHamming({}, ContentMeasure::kHammingRaw, 0, 5);
+  for (const PrPoint& point : sweep) {
+    EXPECT_DOUBLE_EQ(point.precision, 1.0);
+    EXPECT_DOUBLE_EQ(point.recall, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace firehose

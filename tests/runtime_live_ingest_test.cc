@@ -1,0 +1,99 @@
+#include "src/runtime/live_ingest.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "tests/test_util.h"
+
+namespace firehose {
+namespace {
+
+PostStream TimedStream(int num_posts, int64_t spacing_ms) {
+  Rng rng(3);
+  PostStream stream;
+  for (int i = 0; i < num_posts; ++i) {
+    Post post;
+    post.id = static_cast<PostId>(i);
+    post.author = static_cast<AuthorId>(i % 4);
+    post.time_ms = static_cast<int64_t>(i) * spacing_ms;
+    post.simhash = rng.Next();
+    stream.push_back(post);
+  }
+  return stream;
+}
+
+TEST(LiveIngestTest, ProcessesEveryPostExactlyOnce) {
+  const AuthorGraph graph = testing_util::PaperExampleGraph();
+  auto diversifier = MakeDiversifier(
+      Algorithm::kUniBin, testing_util::PaperExampleThresholds(), &graph);
+  const PostStream stream = TimedStream(2000, 100);
+  LiveIngestOptions options;
+  options.speedup = 1e6;  // compress instantly
+  const LiveIngestReport report =
+      RunLiveIngest(*diversifier, stream, options);
+  EXPECT_EQ(report.posts_in, 2000u);
+  EXPECT_EQ(report.posts_in, diversifier->stats().posts_in);
+  EXPECT_EQ(report.posts_out, diversifier->stats().posts_out);
+  EXPECT_EQ(report.queueing_latency.count, 2000u);
+}
+
+TEST(LiveIngestTest, MatchesOfflineDecisions) {
+  // The threaded runtime must make the identical decisions as a plain
+  // sequential pass (same posts, same order).
+  const AuthorGraph graph = testing_util::PaperExampleGraph();
+  const DiversityThresholds t = testing_util::PaperExampleThresholds();
+  const PostStream stream = TimedStream(3000, 10);
+
+  auto offline = MakeDiversifier(Algorithm::kCliqueBin, t, &graph);
+  for (const Post& post : stream) offline->Offer(post);
+
+  auto live = MakeDiversifier(Algorithm::kCliqueBin, t, &graph);
+  LiveIngestOptions options;
+  options.speedup = 1e6;
+  const LiveIngestReport report = RunLiveIngest(*live, stream, options);
+
+  EXPECT_EQ(report.posts_out, offline->stats().posts_out);
+  EXPECT_EQ(live->stats().comparisons, offline->stats().comparisons);
+}
+
+TEST(LiveIngestTest, EmptyStream) {
+  const AuthorGraph graph = testing_util::PaperExampleGraph();
+  auto diversifier = MakeDiversifier(
+      Algorithm::kUniBin, testing_util::PaperExampleThresholds(), &graph);
+  const LiveIngestReport report =
+      RunLiveIngest(*diversifier, {}, LiveIngestOptions{});
+  EXPECT_EQ(report.posts_in, 0u);
+}
+
+TEST(LiveIngestTest, RealTimePacingRoughlyHonorsSpeedup) {
+  // 50 posts spaced 100ms apart = 5s of stream; at 100x it should take
+  // roughly 50ms of wall time (generously bounded for CI noise).
+  const AuthorGraph graph = testing_util::PaperExampleGraph();
+  auto diversifier = MakeDiversifier(
+      Algorithm::kUniBin, testing_util::PaperExampleThresholds(), &graph);
+  const PostStream stream = TimedStream(50, 100);
+  LiveIngestOptions options;
+  options.speedup = 100.0;
+  const LiveIngestReport report =
+      RunLiveIngest(*diversifier, stream, options);
+  EXPECT_GE(report.wall_ms, 30.0);
+  EXPECT_LE(report.wall_ms, 2000.0);
+  EXPECT_EQ(report.posts_in, 50u);
+}
+
+TEST(LiveIngestTest, TinyQueueForcesBackpressureNotLoss) {
+  const AuthorGraph graph = testing_util::PaperExampleGraph();
+  auto diversifier = MakeDiversifier(
+      Algorithm::kUniBin, testing_util::PaperExampleThresholds(), &graph);
+  const PostStream stream = TimedStream(5000, 0);  // burst arrival
+  LiveIngestOptions options;
+  options.speedup = 1e9;
+  options.queue_capacity = 2;
+  const LiveIngestReport report =
+      RunLiveIngest(*diversifier, stream, options);
+  EXPECT_EQ(report.posts_in, 5000u);  // nothing dropped
+  EXPECT_LE(report.queue_high_water, 2u + 1u);
+}
+
+}  // namespace
+}  // namespace firehose

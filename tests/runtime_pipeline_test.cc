@@ -1,0 +1,114 @@
+#include "src/runtime/pipeline.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "tests/test_util.h"
+
+namespace firehose {
+namespace {
+
+using testing_util::PaperExampleGraph;
+using testing_util::PaperExamplePosts;
+using testing_util::PaperExampleThresholds;
+
+TEST(VectorSourceTest, YieldsAllPostsThenStops) {
+  const PostStream stream = PaperExamplePosts();
+  VectorSource source(&stream);
+  Post post;
+  size_t count = 0;
+  while (source.Next(&post)) {
+    EXPECT_EQ(post.id, count);
+    ++count;
+  }
+  EXPECT_EQ(count, stream.size());
+  EXPECT_FALSE(source.Next(&post));  // stays exhausted
+}
+
+TEST(PipelineTest, DeliversExactlyTheDiversifiedSubStream) {
+  const AuthorGraph graph = PaperExampleGraph();
+  const PostStream stream = PaperExamplePosts();
+  auto diversifier =
+      MakeDiversifier(Algorithm::kUniBin, PaperExampleThresholds(), &graph);
+  PostStream delivered;
+  CollectSink sink(&delivered);
+  Pipeline pipeline(diversifier.get(), &sink);
+  VectorSource source(&stream);
+  const PipelineReport report = pipeline.Run(source);
+
+  EXPECT_EQ(report.posts_in, 5u);
+  EXPECT_EQ(report.posts_out, 3u);
+  ASSERT_EQ(delivered.size(), 3u);
+  EXPECT_EQ(delivered[0].id, 0u);  // P1
+  EXPECT_EQ(delivered[1].id, 1u);  // P2
+  EXPECT_EQ(delivered[2].id, 3u);  // P4
+  EXPECT_EQ(report.decision_latency.count, 5u);
+  EXPECT_GT(report.decision_latency.mean_us, 0.0);
+}
+
+TEST(PipelineTest, CountingSinkCounts) {
+  const AuthorGraph graph = PaperExampleGraph();
+  const PostStream stream = PaperExamplePosts();
+  auto diversifier =
+      MakeDiversifier(Algorithm::kCliqueBin, PaperExampleThresholds(), &graph);
+  CountingSink sink;
+  Pipeline pipeline(diversifier.get(), &sink);
+  VectorSource source(&stream);
+  pipeline.Run(source);
+  EXPECT_EQ(sink.count(), 3u);
+}
+
+TEST(PipelineTest, EmptyStream) {
+  const AuthorGraph graph = PaperExampleGraph();
+  const PostStream empty;
+  auto diversifier =
+      MakeDiversifier(Algorithm::kUniBin, PaperExampleThresholds(), &graph);
+  CountingSink sink;
+  Pipeline pipeline(diversifier.get(), &sink);
+  VectorSource source(&empty);
+  const PipelineReport report = pipeline.Run(source);
+  EXPECT_EQ(report.posts_in, 0u);
+  EXPECT_EQ(report.posts_out, 0u);
+  EXPECT_EQ(sink.count(), 0u);
+}
+
+TEST(MultiUserPipelineTest, RoutesDeliveriesPerUser) {
+  const AuthorGraph graph = PaperExampleGraph();
+  // Two users: u0 follows {0,1}, u1 follows {2,3}.
+  const std::vector<User> users = {User{0, {0, 1}}, User{1, {2, 3}}};
+  auto engine = MakeSUserEngine(Algorithm::kUniBin, PaperExampleThresholds(),
+                                graph, users);
+  std::map<UserId, std::vector<PostId>> timelines;
+  MultiUserPipeline pipeline(engine.get(),
+                             [&](const Post& post, UserId user) {
+                               timelines[user].push_back(post.id);
+                             });
+  const PostStream stream = PaperExamplePosts();
+  VectorSource source(&stream);
+  const PipelineReport report = pipeline.Run(source);
+
+  EXPECT_EQ(report.posts_in, 5u);
+  // u0 sees P1 (author 0) and P2 (author 1): no coverage within {0,1}
+  // because their contents are far (0x0 vs 0xFF = 8 bits > 3).
+  EXPECT_EQ(timelines[0], (std::vector<PostId>{0, 1}));
+  // u1 sees P3 (author 2, uncovered within {2,3}) and P4 (author 3);
+  // P5 (author 2) is covered by P4 via the 2-3 edge.
+  EXPECT_EQ(timelines[1], (std::vector<PostId>{2, 3}));
+}
+
+TEST(MultiUserPipelineTest, NullDeliveryCallbackIsSafe) {
+  const AuthorGraph graph = PaperExampleGraph();
+  const std::vector<User> users = {User{0, {0, 1, 2, 3}}};
+  auto engine = MakeMUserEngine(Algorithm::kUniBin, PaperExampleThresholds(),
+                                graph, users);
+  MultiUserPipeline pipeline(engine.get(), nullptr);
+  const PostStream stream = PaperExamplePosts();
+  VectorSource source(&stream);
+  const PipelineReport report = pipeline.Run(source);
+  EXPECT_EQ(report.posts_out, 3u);
+}
+
+}  // namespace
+}  // namespace firehose

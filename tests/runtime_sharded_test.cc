@@ -1,0 +1,117 @@
+#include "src/runtime/sharded.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/eval/experiment.h"
+#include "tests/test_util.h"
+
+namespace firehose {
+namespace {
+
+struct Workbench {
+  AuthorGraph graph;
+  std::vector<User> users;
+  PostStream stream;
+};
+
+Workbench MakeWorkbench(uint64_t seed, int num_authors, int num_users,
+                        int num_posts) {
+  Rng rng(seed);
+  Workbench w;
+  w.graph = testing_util::RandomAuthorGraph(num_authors, 0.25, rng);
+  for (UserId u = 0; u < static_cast<UserId>(num_users); ++u) {
+    std::vector<AuthorId> subs;
+    for (AuthorId a = 0; a < static_cast<AuthorId>(num_authors); ++a) {
+      if (rng.Bernoulli(0.4)) subs.push_back(a);
+    }
+    if (subs.empty()) subs.push_back(0);
+    w.users.push_back(User{u, subs});
+  }
+  w.stream = testing_util::RandomStream(num_posts, num_authors, 25, rng);
+  return w;
+}
+
+std::vector<std::pair<PostId, UserId>> SequentialDeliveries(
+    Algorithm algorithm, const DiversityThresholds& t, const Workbench& w) {
+  auto engine = MakeSUserEngine(algorithm, t, w.graph, w.users);
+  std::vector<std::pair<PostId, UserId>> deliveries;
+  RunMultiUser(*engine, w.stream, &deliveries);
+  std::sort(deliveries.begin(), deliveries.end());
+  return deliveries;
+}
+
+class ShardedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardedTest, MatchesSequentialSEngineExactly) {
+  const int num_shards = GetParam();
+  const Workbench w = MakeWorkbench(91, 14, 8, 500);
+  DiversityThresholds t;
+  t.lambda_c = 4;
+  t.lambda_t_ms = 400;
+
+  for (Algorithm algorithm : kAllAlgorithms) {
+    const auto expected = SequentialDeliveries(algorithm, t, w);
+    std::vector<std::pair<PostId, UserId>> sharded;
+    const ShardedRunResult result = RunShardedSUser(
+        algorithm, t, w.graph, w.users, w.stream, num_shards, &sharded);
+    EXPECT_EQ(sharded, expected) << AlgorithmName(algorithm) << " shards="
+                                 << num_shards;
+    EXPECT_EQ(result.deliveries, expected.size());
+    EXPECT_EQ(result.num_shards, std::max(num_shards, 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardedTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 7));
+
+TEST(ShardedTest, CustomThresholdsPreserved) {
+  Workbench w = MakeWorkbench(93, 10, 4, 400);
+  DiversityThresholds loose;
+  loose.lambda_c = -1;  // user 0 gets everything
+  w.users[0].custom_thresholds = loose;
+  DiversityThresholds t;
+  t.lambda_c = 6;
+  t.lambda_t_ms = 500;
+  const auto expected = SequentialDeliveries(Algorithm::kUniBin, t, w);
+  std::vector<std::pair<PostId, UserId>> sharded;
+  RunShardedSUser(Algorithm::kUniBin, t, w.graph, w.users, w.stream, 3,
+                  &sharded);
+  EXPECT_EQ(sharded, expected);
+}
+
+TEST(ShardedTest, EmptyStreamAndUsers) {
+  const Workbench w = MakeWorkbench(95, 6, 3, 0);
+  DiversityThresholds t;
+  std::vector<std::pair<PostId, UserId>> deliveries;
+  const ShardedRunResult result = RunShardedSUser(
+      Algorithm::kUniBin, t, w.graph, w.users, w.stream, 2, &deliveries);
+  EXPECT_EQ(result.deliveries, 0u);
+  EXPECT_TRUE(deliveries.empty());
+
+  const ShardedRunResult no_users = RunShardedSUser(
+      Algorithm::kUniBin, t, w.graph, {}, w.stream, 2, nullptr);
+  EXPECT_EQ(no_users.deliveries, 0u);
+}
+
+TEST(ShardedTest, ComputeSharedComponentsShape) {
+  // Two users with the same subscriptions share every component; a third
+  // disjoint user adds its own.
+  const AuthorGraph graph = testing_util::PaperExampleGraph();
+  const DiversityThresholds t = testing_util::PaperExampleThresholds();
+  const std::vector<User> users = {User{0, {0, 1, 2, 3}},
+                                   User{1, {0, 1, 2, 3}},
+                                   User{2, {0}}};
+  const auto components = ComputeSharedComponents(t, graph, users);
+  // {0,1,2,3} is one connected component shared by u0+u1; {0} for u2.
+  ASSERT_EQ(components.size(), 2u);
+  EXPECT_EQ(components[0].authors, (std::vector<AuthorId>{0, 1, 2, 3}));
+  EXPECT_EQ(components[0].users, (std::vector<UserId>{0, 1}));
+  EXPECT_EQ(components[1].authors, (std::vector<AuthorId>{0}));
+  EXPECT_EQ(components[1].users, (std::vector<UserId>{2}));
+}
+
+}  // namespace
+}  // namespace firehose

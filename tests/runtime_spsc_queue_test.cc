@@ -1,0 +1,105 @@
+#include "src/runtime/spsc_queue.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace firehose {
+namespace {
+
+TEST(SpscQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscQueue<int>(1000).capacity(), 1024u);
+}
+
+TEST(SpscQueueTest, PushPopSingleThread) {
+  SpscQueue<int> queue(4);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  int v = 0;
+  EXPECT_TRUE(queue.TryPop(&v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(queue.TryPop(&v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(queue.TryPop(&v));
+}
+
+TEST(SpscQueueTest, FullQueueRejectsPush) {
+  SpscQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));
+  int v;
+  EXPECT_TRUE(queue.TryPop(&v));
+  EXPECT_TRUE(queue.TryPush(3));  // space again
+}
+
+TEST(SpscQueueTest, WrapsAroundRepeatedly) {
+  SpscQueue<int> queue(4);
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_TRUE(queue.TryPush(round));
+    int v = -1;
+    EXPECT_TRUE(queue.TryPop(&v));
+    EXPECT_EQ(v, round);
+  }
+}
+
+TEST(SpscQueueTest, ApproxSizeTracksOccupancy) {
+  SpscQueue<int> queue(8);
+  EXPECT_EQ(queue.ApproxSize(), 0u);
+  queue.TryPush(1);
+  queue.TryPush(2);
+  EXPECT_EQ(queue.ApproxSize(), 2u);
+  int v;
+  queue.TryPop(&v);
+  EXPECT_EQ(queue.ApproxSize(), 1u);
+}
+
+TEST(SpscQueueTest, TwoThreadsTransferEverythingInOrder) {
+  SpscQueue<int> queue(64);
+  constexpr int kCount = 200000;
+  std::vector<int> received;
+  received.reserve(kCount);
+
+  std::thread producer([&queue] {
+    for (int i = 0; i < kCount; ++i) {
+      while (!queue.TryPush(i)) std::this_thread::yield();
+    }
+  });
+  std::thread consumer([&queue, &received] {
+    while (static_cast<int>(received.size()) < kCount) {
+      int v;
+      if (queue.TryPop(&v)) {
+        received.push_back(v);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  producer.join();
+  consumer.join();
+
+  ASSERT_EQ(received.size(), static_cast<size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_EQ(received[static_cast<size_t>(i)], i) << "out of order at " << i;
+  }
+}
+
+TEST(SpscQueueTest, StructPayload) {
+  struct Payload {
+    uint64_t a;
+    int b;
+  };
+  SpscQueue<Payload> queue(4);
+  EXPECT_TRUE(queue.TryPush({42, -1}));
+  Payload out{0, 0};
+  EXPECT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(out.a, 42u);
+  EXPECT_EQ(out.b, -1);
+}
+
+}  // namespace
+}  // namespace firehose

@@ -1,0 +1,141 @@
+#include "src/simhash/simhash.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/gen/text_gen.h"
+#include "src/util/random.h"
+
+namespace firehose {
+namespace {
+
+TEST(SimHashTest, DeterministicFingerprints) {
+  const SimHasher hasher;
+  EXPECT_EQ(hasher.Fingerprint("hello world news today"),
+            hasher.Fingerprint("hello world news today"));
+}
+
+TEST(SimHashTest, IdenticalTextsAtDistanceZero) {
+  const SimHasher hasher;
+  const uint64_t a = hasher.Fingerprint("markets rally on fed decision");
+  EXPECT_EQ(SimHashDistance(a, a), 0);
+}
+
+TEST(SimHashTest, EmptyTextMapsToZero) {
+  const SimHasher hasher;
+  EXPECT_EQ(hasher.Fingerprint(""), 0u);
+  EXPECT_EQ(hasher.Fingerprint("   "), 0u);
+}
+
+TEST(SimHashTest, NormalizationMakesCaseIrrelevant) {
+  const SimHasher hasher;  // normalize = true by default
+  EXPECT_EQ(hasher.Fingerprint("Breaking News About Markets"),
+            hasher.Fingerprint("breaking news about markets"));
+}
+
+TEST(SimHashTest, NormalizationMakesPunctuationIrrelevant) {
+  const SimHasher hasher;
+  EXPECT_EQ(hasher.Fingerprint("breaking news, about markets!"),
+            hasher.Fingerprint("breaking news about markets"));
+}
+
+TEST(SimHashTest, RawModeIsCaseSensitive) {
+  SimHashOptions options;
+  options.normalize = false;
+  const SimHasher hasher(options);
+  EXPECT_NE(hasher.Fingerprint("Breaking News About Markets Today Friends"),
+            hasher.Fingerprint("breaking news about markets today friends"));
+}
+
+TEST(SimHashTest, NearDuplicatesAreClose) {
+  const SimHasher hasher;
+  const std::string base =
+      "over 300 people missing after south korean ferry sinks reuters story";
+  const std::string variant =
+      "over 300 people missing after south korean ferry sinks reuters";
+  EXPECT_LE(SimHashDistance(hasher.Fingerprint(base),
+                            hasher.Fingerprint(variant)),
+            18);
+}
+
+TEST(SimHashTest, UnrelatedTextsAreFar) {
+  const SimHasher hasher;
+  const uint64_t a = hasher.Fingerprint(
+      "alibaba growth accelerates ipo filing expected next week technology");
+  const uint64_t b = hasher.Fingerprint(
+      "your desire for success should be greater than your fear of failure");
+  EXPECT_GT(SimHashDistance(a, b), 18);
+}
+
+TEST(SimHashTest, RandomPairsConcentrateAroundThirtyTwo) {
+  // Figure 2's premise: fingerprints of unrelated posts behave like
+  // independent random bit vectors, so distances center on 32.
+  TextGenerator text_gen(7);
+  const SimHasher hasher;
+  std::vector<uint64_t> prints;
+  for (int i = 0; i < 400; ++i) {
+    prints.push_back(hasher.Fingerprint(text_gen.MakePost()));
+  }
+  double sum = 0.0;
+  int count = 0;
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t a = prints[rng.UniformInt(prints.size())];
+    const uint64_t b = prints[rng.UniformInt(prints.size())];
+    if (a == b) continue;
+    sum += SimHashDistance(a, b);
+    ++count;
+  }
+  EXPECT_NEAR(sum / count, 32.0, 4.0);
+}
+
+TEST(SimHashTest, ZeroMentionWeightIgnoresMentions) {
+  SimHashOptions options;
+  options.mention_weight = 0;
+  const SimHasher hasher(options);
+  EXPECT_EQ(hasher.Fingerprint("big news about rates @cnn"),
+            hasher.Fingerprint("big news about rates @fox"));
+}
+
+TEST(SimHashTest, BoostedHashtagWeightDominates) {
+  SimHashOptions boosted;
+  boosted.hashtag_weight = 100;
+  const SimHasher heavy(boosted);
+  const SimHasher plain;
+  // With overwhelming hashtag weight, two posts sharing only the hashtag
+  // should be closer under `heavy` than under `plain`.
+  const std::string a = "markets fall sharply on weak data #breaking";
+  const std::string b = "completely different words about sports #breaking";
+  const int d_heavy =
+      SimHashDistance(heavy.Fingerprint(a), heavy.Fingerprint(b));
+  const int d_plain =
+      SimHashDistance(plain.Fingerprint(a), plain.Fingerprint(b));
+  EXPECT_LT(d_heavy, d_plain);
+}
+
+TEST(SimHashTest, AllWeightsZeroYieldsZeroFingerprint) {
+  SimHashOptions options;
+  options.word_weight = 0;
+  options.hashtag_weight = 0;
+  options.mention_weight = 0;
+  options.url_weight = 0;
+  options.number_weight = 0;
+  const SimHasher hasher(options);
+  EXPECT_EQ(hasher.Fingerprint("anything at all #tag @user 42"), 0u);
+}
+
+TEST(SimHashTest, DistanceBoundedBySixtyFour) {
+  TextGenerator text_gen(13);
+  const SimHasher hasher;
+  for (int i = 0; i < 100; ++i) {
+    const int d = SimHashDistance(hasher.Fingerprint(text_gen.MakePost()),
+                                  hasher.Fingerprint(text_gen.MakePost()));
+    EXPECT_GE(d, 0);
+    EXPECT_LE(d, 64);
+  }
+}
+
+}  // namespace
+}  // namespace firehose

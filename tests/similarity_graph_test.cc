@@ -1,0 +1,190 @@
+#include "src/author/similarity_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace firehose {
+namespace {
+
+AuthorGraph MakePaperFigure5Graph() {
+  // Figure 5a: a1-a2, a1-a3, a2-a3 triangle plus a3-a4 (ids shifted to 0).
+  return AuthorGraph::FromEdges({0, 1, 2, 3},
+                                {{0, 1}, {0, 2}, {1, 2}, {2, 3}});
+}
+
+TEST(AuthorGraphTest, EmptyGraph) {
+  AuthorGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.HasVertex(0));
+  EXPECT_TRUE(g.Neighbors(0).empty());
+  EXPECT_TRUE(g.ConnectedComponents().empty());
+}
+
+TEST(AuthorGraphTest, FromEdgesBasics) {
+  const AuthorGraph g = MakePaperFigure5Graph();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.Neighbors(0), (std::vector<AuthorId>{1, 2}));
+  EXPECT_EQ(g.Neighbors(2), (std::vector<AuthorId>{0, 1, 3}));
+}
+
+TEST(AuthorGraphTest, IsNeighborSymmetric) {
+  const AuthorGraph g = MakePaperFigure5Graph();
+  EXPECT_TRUE(g.IsNeighbor(0, 1));
+  EXPECT_TRUE(g.IsNeighbor(1, 0));
+  EXPECT_FALSE(g.IsNeighbor(0, 3));
+  EXPECT_FALSE(g.IsNeighbor(3, 0));
+}
+
+TEST(AuthorGraphTest, SelfIsNotANeighbor) {
+  const AuthorGraph g = MakePaperFigure5Graph();
+  EXPECT_FALSE(g.IsNeighbor(0, 0));
+}
+
+TEST(AuthorGraphTest, SelfLoopsAndForeignEdgesIgnored) {
+  const AuthorGraph g =
+      AuthorGraph::FromEdges({0, 1}, {{0, 0}, {0, 1}, {0, 9}, {9, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(AuthorGraphTest, DuplicateEdgesCollapse) {
+  const AuthorGraph g =
+      AuthorGraph::FromEdges({0, 1}, {{0, 1}, {1, 0}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.Neighbors(0).size(), 1u);
+}
+
+TEST(AuthorGraphTest, AvgDegree) {
+  const AuthorGraph g = MakePaperFigure5Graph();
+  EXPECT_DOUBLE_EQ(g.AvgDegree(), 2.0);  // 2*4 edges / 4 vertices
+}
+
+TEST(AuthorGraphTest, FromSimilaritiesAppliesLambdaA) {
+  std::vector<AuthorPairSimilarity> pairs = {
+      {0, 1, 0.5},   // distance 0.5
+      {1, 2, 0.25},  // distance 0.75
+  };
+  // λa = 0.7 keeps only distance <= 0.7, i.e. similarity >= 0.3.
+  const AuthorGraph g = AuthorGraph::FromSimilarities({0, 1, 2}, pairs, 0.7);
+  EXPECT_TRUE(g.IsNeighbor(0, 1));
+  EXPECT_FALSE(g.IsNeighbor(1, 2));
+  // λa = 0.8 admits both edges.
+  const AuthorGraph g2 = AuthorGraph::FromSimilarities({0, 1, 2}, pairs, 0.8);
+  EXPECT_TRUE(g2.IsNeighbor(1, 2));
+}
+
+TEST(AuthorGraphTest, InducedSubgraphKeepsOnlyInternalEdges) {
+  const AuthorGraph g = MakePaperFigure5Graph();
+  const AuthorGraph sub = g.InducedSubgraph({0, 1, 3});
+  EXPECT_EQ(sub.num_vertices(), 3u);
+  EXPECT_TRUE(sub.IsNeighbor(0, 1));
+  EXPECT_FALSE(sub.IsNeighbor(0, 2));  // 2 not in subgraph
+  EXPECT_TRUE(sub.Neighbors(3).empty());  // 3's only neighbor (2) excluded
+  EXPECT_EQ(sub.num_edges(), 1u);
+}
+
+TEST(AuthorGraphTest, InducedSubgraphWithUnknownVertices) {
+  const AuthorGraph g = MakePaperFigure5Graph();
+  // Vertex 9 unknown to g: becomes isolated, not dropped.
+  const AuthorGraph sub = g.InducedSubgraph({0, 9});
+  EXPECT_EQ(sub.num_vertices(), 2u);
+  EXPECT_TRUE(sub.HasVertex(9));
+  EXPECT_TRUE(sub.Neighbors(9).empty());
+}
+
+TEST(AuthorGraphTest, InducedSubgraphDeduplicatesInput) {
+  const AuthorGraph g = MakePaperFigure5Graph();
+  const AuthorGraph sub = g.InducedSubgraph({1, 1, 0, 0});
+  EXPECT_EQ(sub.num_vertices(), 2u);
+}
+
+TEST(AuthorGraphTest, ConnectedComponents) {
+  // Two components: {0,1,2,3} and {5,6}; 8 isolated.
+  const AuthorGraph g = AuthorGraph::FromEdges(
+      {0, 1, 2, 3, 5, 6, 8}, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {5, 6}});
+  const auto components = g.ConnectedComponents();
+  ASSERT_EQ(components.size(), 3u);
+  EXPECT_EQ(components[0], (std::vector<AuthorId>{0, 1, 2, 3}));
+  EXPECT_EQ(components[1], (std::vector<AuthorId>{5, 6}));
+  EXPECT_EQ(components[2], (std::vector<AuthorId>{8}));
+}
+
+TEST(AuthorGraphTest, ComponentsPartitionTheVertexSet) {
+  const AuthorGraph g = MakePaperFigure5Graph();
+  size_t total = 0;
+  for (const auto& c : g.ConnectedComponents()) total += c.size();
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+TEST(AuthorGraphMutationTest, AddVertexAndEdge) {
+  AuthorGraph g = MakePaperFigure5Graph();
+  g.AddVertex(7);
+  EXPECT_TRUE(g.HasVertex(7));
+  EXPECT_EQ(g.num_vertices(), 5u);
+  g.AddVertex(7);  // idempotent
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_TRUE(g.AddEdge(7, 0));
+  EXPECT_TRUE(g.IsNeighbor(0, 7));
+  EXPECT_TRUE(g.IsNeighbor(7, 0));
+  EXPECT_EQ(g.num_edges(), 5u);
+}
+
+TEST(AuthorGraphMutationTest, AddEdgeRejections) {
+  AuthorGraph g = MakePaperFigure5Graph();
+  EXPECT_FALSE(g.AddEdge(0, 0));   // self loop
+  EXPECT_FALSE(g.AddEdge(0, 1));   // duplicate
+  EXPECT_FALSE(g.AddEdge(0, 42));  // unknown endpoint
+  EXPECT_EQ(g.num_edges(), 4u);
+}
+
+TEST(AuthorGraphMutationTest, RemoveEdge) {
+  AuthorGraph g = MakePaperFigure5Graph();
+  EXPECT_TRUE(g.RemoveEdge(0, 1));
+  EXPECT_FALSE(g.IsNeighbor(0, 1));
+  EXPECT_FALSE(g.IsNeighbor(1, 0));
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_FALSE(g.RemoveEdge(0, 1));  // already gone
+  EXPECT_FALSE(g.RemoveEdge(0, 42));
+}
+
+TEST(AuthorGraphMutationTest, RemoveVertexDropsIncidentEdges) {
+  AuthorGraph g = MakePaperFigure5Graph();
+  EXPECT_TRUE(g.RemoveVertex(2));  // degree-3 bridge vertex
+  EXPECT_FALSE(g.HasVertex(2));
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 1u);  // only {0,1} survives
+  EXPECT_TRUE(g.Neighbors(3).empty());
+  EXPECT_FALSE(g.RemoveVertex(2));
+}
+
+TEST(AuthorGraphMutationTest, AdjacencyStaysSorted) {
+  AuthorGraph g = AuthorGraph::FromEdges({0, 1, 2, 3, 4}, {});
+  EXPECT_TRUE(g.AddEdge(2, 4));
+  EXPECT_TRUE(g.AddEdge(2, 0));
+  EXPECT_TRUE(g.AddEdge(2, 3));
+  EXPECT_EQ(g.Neighbors(2), (std::vector<AuthorId>{0, 3, 4}));
+}
+
+TEST(AuthorGraphMutationTest, MutatedGraphMatchesFromEdges) {
+  AuthorGraph incremental = AuthorGraph::FromEdges({0, 1, 2, 3}, {});
+  incremental.AddEdge(0, 1);
+  incremental.AddEdge(0, 2);
+  incremental.AddEdge(1, 2);
+  incremental.AddEdge(2, 3);
+  incremental.RemoveEdge(0, 2);
+  const AuthorGraph direct =
+      AuthorGraph::FromEdges({0, 1, 2, 3}, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(incremental.num_edges(), direct.num_edges());
+  for (AuthorId a : direct.vertices()) {
+    EXPECT_EQ(incremental.Neighbors(a), direct.Neighbors(a));
+  }
+}
+
+TEST(AuthorGraphTest, ApproxBytesGrowsWithGraph) {
+  const AuthorGraph small = AuthorGraph::FromEdges({0, 1}, {{0, 1}});
+  const AuthorGraph large = MakePaperFigure5Graph();
+  EXPECT_GT(large.ApproxBytes(), small.ApproxBytes());
+}
+
+}  // namespace
+}  // namespace firehose

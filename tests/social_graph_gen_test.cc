@@ -1,0 +1,107 @@
+#include "src/gen/social_graph_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "src/author/similarity.h"
+
+namespace firehose {
+namespace {
+
+SocialGraphOptions SmallOptions(uint64_t seed = 1) {
+  SocialGraphOptions options;
+  options.num_authors = 400;
+  options.num_communities = 8;
+  options.avg_followees = 15.0;
+  options.seed = seed;
+  return options;
+}
+
+TEST(SocialGraphGenTest, DeterministicGivenSeed) {
+  const FollowGraph a = GenerateSocialGraph(SmallOptions(7));
+  const FollowGraph b = GenerateSocialGraph(SmallOptions(7));
+  ASSERT_EQ(a.num_authors(), b.num_authors());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (AuthorId id = 0; id < a.num_authors(); ++id) {
+    EXPECT_EQ(a.Followees(id), b.Followees(id));
+  }
+}
+
+TEST(SocialGraphGenTest, DifferentSeedsDiffer) {
+  const FollowGraph a = GenerateSocialGraph(SmallOptions(1));
+  const FollowGraph b = GenerateSocialGraph(SmallOptions(2));
+  EXPECT_NE(a.num_edges(), b.num_edges());
+}
+
+TEST(SocialGraphGenTest, EveryAuthorFollowsSomeone) {
+  const FollowGraph g = GenerateSocialGraph(SmallOptions());
+  for (AuthorId a = 0; a < g.num_authors(); ++a) {
+    EXPECT_FALSE(g.Followees(a).empty()) << a;
+  }
+}
+
+TEST(SocialGraphGenTest, MeanOutDegreeNearTarget) {
+  const FollowGraph g = GenerateSocialGraph(SmallOptions());
+  const double mean =
+      static_cast<double>(g.num_edges()) / g.num_authors();
+  // Dedup of repeated picks pushes the mean below the raw target; allow a
+  // generous band.
+  EXPECT_GT(mean, 15.0 * 0.4);
+  EXPECT_LT(mean, 15.0 * 1.5);
+}
+
+TEST(SocialGraphGenTest, PopularAuthorsAttractMoreFollowers) {
+  const FollowGraph g = GenerateSocialGraph(SmallOptions());
+  // Author 0 is both a global hub and a community celebrity.
+  uint64_t head = 0;
+  uint64_t tail = 0;
+  for (AuthorId a = 0; a < 20; ++a) head += g.Followers(a).size();
+  for (AuthorId a = g.num_authors() - 20; a < g.num_authors(); ++a) {
+    tail += g.Followers(a).size();
+  }
+  EXPECT_GT(head, tail * 2);
+}
+
+TEST(SocialGraphGenTest, IntraCommunitySimilarityExceedsInter) {
+  const FollowGraph g = GenerateSocialGraph(SmallOptions());
+  const SocialGraphOptions options = SmallOptions();
+  double intra = 0.0;
+  double inter = 0.0;
+  int intra_count = 0;
+  int inter_count = 0;
+  Rng rng(3);
+  for (int i = 0; i < 3000; ++i) {
+    const AuthorId a = static_cast<AuthorId>(rng.UniformInt(g.num_authors()));
+    const AuthorId b = static_cast<AuthorId>(rng.UniformInt(g.num_authors()));
+    if (a == b) continue;
+    const double sim = AuthorCosineSimilarity(g, a, b);
+    if (CommunityOf(a, options) == CommunityOf(b, options)) {
+      intra += sim;
+      ++intra_count;
+    } else {
+      inter += sim;
+      ++inter_count;
+    }
+  }
+  ASSERT_GT(intra_count, 0);
+  ASSERT_GT(inter_count, 0);
+  EXPECT_GT(intra / intra_count, 2.0 * inter / inter_count);
+}
+
+TEST(SocialGraphGenTest, DegenerateSizes) {
+  SocialGraphOptions options;
+  options.num_authors = 0;
+  EXPECT_EQ(GenerateSocialGraph(options).num_authors(), 0u);
+  options.num_authors = 1;
+  const FollowGraph one = GenerateSocialGraph(options);
+  EXPECT_EQ(one.num_authors(), 1u);
+  EXPECT_EQ(one.num_edges(), 0u);
+}
+
+TEST(SocialGraphGenTest, CommunityAssignmentIsStable) {
+  const SocialGraphOptions options = SmallOptions();
+  EXPECT_EQ(CommunityOf(17, options), CommunityOf(17, options));
+  EXPECT_LT(CommunityOf(17, options), options.num_communities);
+}
+
+}  // namespace
+}  // namespace firehose

@@ -1,0 +1,143 @@
+#include "src/gen/stream_gen.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/gen/social_graph_gen.h"
+
+namespace firehose {
+namespace {
+
+AuthorGraph SmallAuthorGraph() {
+  SocialGraphOptions options;
+  options.num_authors = 200;
+  options.num_communities = 5;
+  options.avg_followees = 20.0;
+  options.seed = 3;
+  const FollowGraph social = GenerateSocialGraph(options);
+  std::vector<AuthorId> authors;
+  for (AuthorId a = 0; a < social.num_authors(); ++a) authors.push_back(a);
+  const auto pairs = AllPairsSimilarity(social, authors, 0.3);
+  return AuthorGraph::FromSimilarities(authors, pairs, 0.7);
+}
+
+StreamGenOptions SmallStreamOptions(uint64_t seed = 4) {
+  StreamGenOptions options;
+  options.duration_ms = 3600 * 1000;  // one hour keeps the test fast
+  options.posts_per_author = 8.0;
+  options.seed = seed;
+  return options;
+}
+
+TEST(StreamGenTest, DeterministicGivenSeed) {
+  const AuthorGraph graph = SmallAuthorGraph();
+  const SimHasher hasher;
+  const PostStream a = GenerateStream(graph, hasher, SmallStreamOptions());
+  const PostStream b = GenerateStream(graph, hasher, SmallStreamOptions());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].text, b[i].text);
+    EXPECT_EQ(a[i].time_ms, b[i].time_ms);
+    EXPECT_EQ(a[i].author, b[i].author);
+  }
+}
+
+TEST(StreamGenTest, TimeOrderedWithDenseIds) {
+  const AuthorGraph graph = SmallAuthorGraph();
+  const SimHasher hasher;
+  const PostStream stream = GenerateStream(graph, hasher, SmallStreamOptions());
+  ASSERT_FALSE(stream.empty());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(stream[i].id, i);
+    if (i > 0) {
+      EXPECT_GE(stream[i].time_ms, stream[i - 1].time_ms);
+    }
+    EXPECT_LT(stream[i].time_ms, SmallStreamOptions().duration_ms);
+  }
+}
+
+TEST(StreamGenTest, AuthorsComeFromTheGraph) {
+  const AuthorGraph graph = SmallAuthorGraph();
+  const SimHasher hasher;
+  const PostStream stream = GenerateStream(graph, hasher, SmallStreamOptions());
+  for (const Post& post : stream) {
+    EXPECT_TRUE(graph.HasVertex(post.author));
+  }
+}
+
+TEST(StreamGenTest, VolumeMatchesRate) {
+  const AuthorGraph graph = SmallAuthorGraph();
+  const SimHasher hasher;
+  const PostStream stream = GenerateStream(graph, hasher, SmallStreamOptions());
+  const double expected = 200 * 8.0;
+  EXPECT_GT(stream.size(), expected * 0.8);
+  EXPECT_LT(stream.size(), expected * 1.2);
+}
+
+TEST(StreamGenTest, SimhashMatchesText) {
+  const AuthorGraph graph = SmallAuthorGraph();
+  const SimHasher hasher;
+  const PostStream stream = GenerateStream(graph, hasher, SmallStreamOptions());
+  for (size_t i = 0; i < stream.size(); i += 37) {
+    EXPECT_EQ(stream[i].simhash, hasher.Fingerprint(stream[i].text));
+  }
+}
+
+TEST(StreamGenTest, ContainsPrunableRedundancy) {
+  // Diversification must find something to prune: posts_out < posts_in.
+  const AuthorGraph graph = SmallAuthorGraph();
+  const SimHasher hasher;
+  StreamGenOptions options = SmallStreamOptions();
+  options.cross_author_dup_prob = 0.2;
+  const PostStream stream = GenerateStream(graph, hasher, options);
+
+  DiversityThresholds t;
+  t.lambda_c = 18;
+  t.lambda_t_ms = 30 * 60 * 1000;
+  auto diversifier = MakeDiversifier(Algorithm::kUniBin, t, &graph);
+  for (const Post& post : stream) diversifier->Offer(post);
+  EXPECT_LT(diversifier->stats().posts_out, diversifier->stats().posts_in);
+  // But most posts survive (the paper prunes ~10%).
+  EXPECT_GT(diversifier->stats().posts_out,
+            diversifier->stats().posts_in / 2);
+}
+
+TEST(StreamGenTest, ZeroDupProbabilityStillGenerates) {
+  const AuthorGraph graph = SmallAuthorGraph();
+  const SimHasher hasher;
+  StreamGenOptions options = SmallStreamOptions();
+  options.cross_author_dup_prob = 0.0;
+  options.self_dup_prob = 0.0;
+  EXPECT_FALSE(GenerateStream(graph, hasher, options).empty());
+}
+
+TEST(SampleStreamTest, RatioAndDenseIds) {
+  const AuthorGraph graph = SmallAuthorGraph();
+  const SimHasher hasher;
+  const PostStream stream = GenerateStream(graph, hasher, SmallStreamOptions());
+  const PostStream sampled = SampleStream(stream, 0.25, 8);
+  EXPECT_GT(sampled.size(), stream.size() / 5);
+  EXPECT_LT(sampled.size(), stream.size() / 3);
+  for (size_t i = 0; i < sampled.size(); ++i) EXPECT_EQ(sampled[i].id, i);
+  EXPECT_TRUE(SampleStream(stream, 0.0, 8).empty());
+  EXPECT_EQ(SampleStream(stream, 1.0, 8).size(), stream.size());
+}
+
+TEST(FilterStreamTest, KeepsOnlyGivenAuthors) {
+  const AuthorGraph graph = SmallAuthorGraph();
+  const SimHasher hasher;
+  const PostStream stream = GenerateStream(graph, hasher, SmallStreamOptions());
+  const std::vector<AuthorId> keep = {0, 1, 2, 3, 4};
+  const PostStream filtered = FilterStreamByAuthors(stream, keep);
+  const std::set<AuthorId> keep_set(keep.begin(), keep.end());
+  for (size_t i = 0; i < filtered.size(); ++i) {
+    EXPECT_EQ(filtered[i].id, i);
+    EXPECT_TRUE(keep_set.count(filtered[i].author) > 0);
+  }
+  EXPECT_LT(filtered.size(), stream.size());
+}
+
+}  // namespace
+}  // namespace firehose

@@ -1,0 +1,59 @@
+#include "src/text/abbrev.h"
+
+#include <gtest/gtest.h>
+
+namespace firehose {
+namespace {
+
+TEST(AbbrevTest, LookupKnown) {
+  EXPECT_EQ(LookupAbbreviation("lol"), "laughing out loud");
+  EXPECT_EQ(LookupAbbreviation("u"), "you");
+  EXPECT_EQ(LookupAbbreviation("gr8"), "great");
+}
+
+TEST(AbbrevTest, LookupIsCaseInsensitive) {
+  EXPECT_EQ(LookupAbbreviation("LOL"), "laughing out loud");
+  EXPECT_EQ(LookupAbbreviation("Btw"), "by the way");
+}
+
+TEST(AbbrevTest, LookupUnknownReturnsEmpty) {
+  EXPECT_TRUE(LookupAbbreviation("hello").empty());
+  EXPECT_TRUE(LookupAbbreviation("").empty());
+  EXPECT_TRUE(LookupAbbreviation("zzz").empty());
+}
+
+TEST(AbbrevTest, ExpandWholeText) {
+  EXPECT_EQ(ExpandAbbreviations("omg this is gr8"),
+            "oh my god this is great");
+}
+
+TEST(AbbrevTest, ExpandPreservesUnknownTokens) {
+  EXPECT_EQ(ExpandAbbreviations("reading the news rn #breaking"),
+            "reading the news right now #breaking");
+}
+
+TEST(AbbrevTest, ExpandEmptyAndWhitespace) {
+  EXPECT_EQ(ExpandAbbreviations(""), "");
+  EXPECT_EQ(ExpandAbbreviations("   "), "");
+}
+
+TEST(AbbrevTest, DictionaryHasDeclaredSize) {
+  EXPECT_EQ(AbbreviationCount(), 40);
+}
+
+TEST(AbbrevTest, EveryDictionaryEntryResolves) {
+  // Exercises the binary search against the full (sorted) table.
+  const char* known[] = {"2day", "2mrw", "2nite", "4",    "abt",  "afaik",
+                         "b4",   "bc",   "bday",  "brb",  "btw",  "cya",
+                         "dm",   "fb",   "ffs",   "fomo", "ftw",  "fyi",
+                         "gr8",  "idk",  "ikr",   "imho", "imo",  "irl",
+                         "jk",   "lmk",  "lol",   "nbd",  "ngl",  "omg",
+                         "ppl",  "rn",   "rt",    "smh",  "tbh",  "thx",
+                         "til",  "u",    "ur",    "w/"};
+  for (const char* abbrev : known) {
+    EXPECT_FALSE(LookupAbbreviation(abbrev).empty()) << abbrev;
+  }
+}
+
+}  // namespace
+}  // namespace firehose

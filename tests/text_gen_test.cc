@@ -1,0 +1,137 @@
+#include "src/gen/text_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "src/simhash/simhash.h"
+#include "src/text/tokenize.h"
+
+namespace firehose {
+namespace {
+
+TEST(TextGenTest, DeterministicGivenSeed) {
+  TextGenerator a(5);
+  TextGenerator b(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.MakePost(), b.MakePost());
+}
+
+TEST(TextGenTest, PostsAreNonDegenerate) {
+  TextGenerator text_gen(11);
+  for (int i = 0; i < 200; ++i) {
+    const std::string post = text_gen.MakePost();
+    EXPECT_FALSE(post.empty());
+    EXPECT_FALSE(IsDegeneratePost(post)) << post;
+    EXPECT_LT(post.size(), 400u) << post;  // microblog-length
+  }
+}
+
+TEST(TextGenTest, CorpusIsDiverse) {
+  TextGenerator text_gen(13);
+  const SimHasher hasher;
+  const uint64_t a = hasher.Fingerprint(text_gen.MakePost());
+  int distinct = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (SimHashDistance(a, hasher.Fingerprint(text_gen.MakePost())) > 10) {
+      ++distinct;
+    }
+  }
+  EXPECT_GT(distinct, 40);
+}
+
+TEST(TextGenTest, UrlOnlyPerturbationKeepsWordsChangesUrl) {
+  TextGenerator text_gen(17);
+  // Find a post that contains a URL.
+  std::string post;
+  for (int i = 0; i < 200; ++i) {
+    post = text_gen.MakePost();
+    if (post.find("https://t.co/") != std::string::npos) break;
+  }
+  ASSERT_NE(post.find("https://t.co/"), std::string::npos);
+  const std::string variant = text_gen.Perturb(post, PerturbLevel::kUrlOnly);
+  EXPECT_NE(variant, post);  // URL re-shortened
+  // Every non-URL token is preserved in order.
+  const auto tokens_a = Tokenize(post);
+  const auto tokens_b = Tokenize(variant);
+  ASSERT_EQ(tokens_a.size(), tokens_b.size());
+  for (size_t i = 0; i < tokens_a.size(); ++i) {
+    if (tokens_a[i].kind != TokenKind::kUrl) {
+      EXPECT_EQ(tokens_a[i].text, tokens_b[i].text);
+    } else {
+      EXPECT_NE(tokens_a[i].text, tokens_b[i].text);
+      // Both short URLs expand to the same long URL.
+      EXPECT_EQ(text_gen.shortener().Expand(tokens_a[i].text),
+                text_gen.shortener().Expand(tokens_b[i].text));
+    }
+  }
+}
+
+TEST(TextGenTest, UrlOnlyPerturbationWithoutUrlIsIdentity) {
+  TextGenerator text_gen(19);
+  const std::string post = "plain words with no links here";
+  EXPECT_EQ(text_gen.Perturb(post, PerturbLevel::kUrlOnly), post);
+}
+
+TEST(TextGenTest, MeanDistanceGrowsWithPerturbLevel) {
+  // The engine behind Figures 3/4: stronger perturbation means larger
+  // normalized-SimHash distance, on average.
+  TextGenerator text_gen(23);
+  const SimHasher hasher;
+  double mean_by_level[6] = {};
+  const int trials = 150;
+  for (int level = 0; level <= 5; ++level) {
+    double sum = 0.0;
+    for (int i = 0; i < trials; ++i) {
+      const std::string base = text_gen.MakePost();
+      const std::string variant =
+          text_gen.Perturb(base, static_cast<PerturbLevel>(level));
+      sum += SimHashDistance(hasher.Fingerprint(base),
+                             hasher.Fingerprint(variant));
+    }
+    mean_by_level[level] = sum / trials;
+  }
+  EXPECT_LT(mean_by_level[0], 3.0);            // URL swap barely moves it
+  EXPECT_LT(mean_by_level[1], mean_by_level[3]);
+  EXPECT_LT(mean_by_level[3], mean_by_level[5]);
+  EXPECT_GT(mean_by_level[5], 24.0);           // unrelated ≈ 32
+}
+
+TEST(TextGenTest, FormattingPerturbationVanishesUnderNormalization) {
+  // Level-1 noise is case/punctuation: normalized fingerprints should stay
+  // much closer than raw fingerprints on URL-free posts.
+  TextGenerator text_gen(29);
+  SimHashOptions raw_options;
+  raw_options.normalize = false;
+  const SimHasher raw_hasher(raw_options);
+  const SimHasher norm_hasher;
+  double raw_sum = 0.0;
+  double norm_sum = 0.0;
+  int count = 0;
+  for (int i = 0; i < 300 && count < 100; ++i) {
+    const std::string base = text_gen.MakePost();
+    if (base.find("https://") != std::string::npos) continue;
+    const std::string variant =
+        text_gen.Perturb(base, PerturbLevel::kFormatting);
+    raw_sum += SimHashDistance(raw_hasher.Fingerprint(base),
+                               raw_hasher.Fingerprint(variant));
+    norm_sum += SimHashDistance(norm_hasher.Fingerprint(base),
+                                norm_hasher.Fingerprint(variant));
+    ++count;
+  }
+  ASSERT_GT(count, 20);
+  EXPECT_LT(norm_sum, raw_sum * 0.8);
+}
+
+TEST(TextGenTest, UnrelatedLevelIgnoresInput) {
+  TextGenerator text_gen(31);
+  const std::string variant =
+      text_gen.Perturb("some specific input words", PerturbLevel::kUnrelated);
+  EXPECT_EQ(variant.find("specific"), std::string::npos);
+}
+
+TEST(TextGenTest, RedundancyCutoffConstant) {
+  EXPECT_EQ(kMaxRedundantLevel, 3);
+  EXPECT_LE(static_cast<int>(PerturbLevel::kTruncation), kMaxRedundantLevel);
+  EXPECT_GT(static_cast<int>(PerturbLevel::kReworded), kMaxRedundantLevel);
+}
+
+}  // namespace
+}  // namespace firehose

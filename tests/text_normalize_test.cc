@@ -1,0 +1,83 @@
+#include "src/text/normalize.h"
+
+#include <gtest/gtest.h>
+
+namespace firehose {
+namespace {
+
+TEST(NormalizeTest, LowercasesText) {
+  EXPECT_EQ(Normalize("Hello WORLD"), "hello world");
+}
+
+TEST(NormalizeTest, SqueezesWhitespace) {
+  EXPECT_EQ(Normalize("a   b\t\tc\n d"), "a b c d");
+}
+
+TEST(NormalizeTest, StripsLeadingAndTrailingWhitespace) {
+  EXPECT_EQ(Normalize("  hello  "), "hello");
+}
+
+TEST(NormalizeTest, StripsNonAlphanumerics) {
+  // '*', '-', '+', '!' are stripped; '/' survives as a URL character.
+  EXPECT_EQ(Normalize("a*b-c+d/e!"), "abcd/e");
+  EXPECT_EQ(Normalize("so-called \"news\"*"), "socalled news");
+}
+
+TEST(NormalizeTest, PreservesSocialMarkersByDefault) {
+  EXPECT_EQ(Normalize("#Tag @User!"), "#tag @user");
+  EXPECT_EQ(Normalize("see https://t.co/Abc123"), "see https://t.co/abc123");
+}
+
+TEST(NormalizeTest, MarkersStrippedWhenDisabled) {
+  NormalizeOptions options;
+  options.preserve_social_markers = false;
+  EXPECT_EQ(Normalize("#Tag @User", options), "tag user");
+}
+
+TEST(NormalizeTest, LowercaseToggle) {
+  NormalizeOptions options;
+  options.lowercase = false;
+  EXPECT_EQ(Normalize("Hello World", options), "Hello World");
+}
+
+TEST(NormalizeTest, SqueezeToggle) {
+  NormalizeOptions options;
+  options.squeeze_whitespace = false;
+  EXPECT_EQ(Normalize("a  b", options), "a  b");
+}
+
+TEST(NormalizeTest, StripToggle) {
+  NormalizeOptions options;
+  options.strip_non_alnum = false;
+  EXPECT_EQ(Normalize("a*b!", options), "a*b!");
+}
+
+TEST(NormalizeTest, EmptyAndWhitespaceOnly) {
+  EXPECT_EQ(Normalize(""), "");
+  EXPECT_EQ(Normalize("   \t\n "), "");
+}
+
+TEST(NormalizeTest, HighBytesPassThrough) {
+  // UTF-8 continuation bytes are treated as alphanumeric.
+  EXPECT_EQ(Normalize("caf\xC3\xA9"), "caf\xC3\xA9");
+}
+
+TEST(NormalizeTest, IdempotentOnNormalizedText) {
+  const std::string once = Normalize("Some *Text* With   Noise!!");
+  EXPECT_EQ(Normalize(once), once);
+}
+
+TEST(NormalizeTest, PaperExampleQuotePair) {
+  // The two Bill Cosby quote variants of Table 1 normalize to nearly the
+  // same string (quotes/periods removed, case folded).
+  const std::string a = Normalize(
+      "\"In order to succeed, your desire for success should be greater "
+      "than your fear of failure\" Bill Cosby");
+  const std::string b = Normalize(
+      "In order to succeed, your desire for success should be greater than "
+      "your fear of failure. Bill Cosby");
+  EXPECT_EQ(a.substr(0, 40), b.substr(0, 40));
+}
+
+}  // namespace
+}  // namespace firehose

@@ -1,0 +1,74 @@
+#include "src/text/tf_vector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace firehose {
+namespace {
+
+TEST(TfVectorTest, IdenticalTextsHaveSimilarityOne) {
+  const TfVector a = TfVector::FromText("the quick brown fox");
+  const TfVector b = TfVector::FromText("the quick brown fox");
+  EXPECT_NEAR(a.CosineSimilarity(b), 1.0, 1e-12);
+  EXPECT_NEAR(a.CosineDistance(b), 0.0, 1e-12);
+}
+
+TEST(TfVectorTest, DisjointTextsHaveSimilarityZero) {
+  const TfVector a = TfVector::FromText("alpha beta gamma");
+  const TfVector b = TfVector::FromText("delta epsilon zeta");
+  EXPECT_DOUBLE_EQ(a.CosineSimilarity(b), 0.0);
+}
+
+TEST(TfVectorTest, SymmetricSimilarity) {
+  const TfVector a = TfVector::FromText("one two three four");
+  const TfVector b = TfVector::FromText("three four five six");
+  EXPECT_DOUBLE_EQ(a.CosineSimilarity(b), b.CosineSimilarity(a));
+}
+
+TEST(TfVectorTest, KnownOverlapValue) {
+  // a = {x:1, y:1}, b = {y:1, z:1}: cos = 1 / (sqrt(2)*sqrt(2)) = 0.5.
+  const TfVector a = TfVector::FromText("x y");
+  const TfVector b = TfVector::FromText("y z");
+  EXPECT_NEAR(a.CosineSimilarity(b), 0.5, 1e-12);
+}
+
+TEST(TfVectorTest, TermFrequenciesMatter) {
+  // a = {w:2}, b = {w:1, v:1}: cos = 2 / (2 * sqrt(2)) = 0.7071.
+  const TfVector a = TfVector::FromText("w w");
+  const TfVector b = TfVector::FromText("w v");
+  EXPECT_NEAR(a.CosineSimilarity(b), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(TfVectorTest, EmptyVectorBehaviour) {
+  const TfVector empty = TfVector::FromText("");
+  const TfVector full = TfVector::FromText("hello world");
+  EXPECT_TRUE(empty.empty());
+  EXPECT_DOUBLE_EQ(empty.CosineSimilarity(full), 0.0);
+  EXPECT_DOUBLE_EQ(full.CosineSimilarity(empty), 0.0);
+  EXPECT_DOUBLE_EQ(empty.CosineSimilarity(empty), 0.0);
+}
+
+TEST(TfVectorTest, NormOfCountVector) {
+  // "a a b" -> counts (2, 1), norm sqrt(5).
+  const TfVector v = TfVector::FromText("a a b");
+  EXPECT_NEAR(v.Norm(), std::sqrt(5.0), 1e-12);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(TfVectorTest, WordOrderIsIrrelevant) {
+  const TfVector a = TfVector::FromText("one two three");
+  const TfVector b = TfVector::FromText("three one two");
+  EXPECT_NEAR(a.CosineSimilarity(b), 1.0, 1e-12);
+}
+
+TEST(TfVectorTest, SimilarityBoundedByOne) {
+  const TfVector a = TfVector::FromText("a a a b c");
+  const TfVector b = TfVector::FromText("a b b c c d");
+  const double sim = a.CosineSimilarity(b);
+  EXPECT_GE(sim, 0.0);
+  EXPECT_LE(sim, 1.0);
+}
+
+}  // namespace
+}  // namespace firehose

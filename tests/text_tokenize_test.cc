@@ -1,0 +1,68 @@
+#include "src/text/tokenize.h"
+
+#include <gtest/gtest.h>
+
+namespace firehose {
+namespace {
+
+TEST(TokenizeTest, SplitsOnWhitespace) {
+  const auto tokens = TokenizeWords("one two  three\tfour\nfive");
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"one", "two", "three", "four", "five"}));
+}
+
+TEST(TokenizeTest, EmptyInputs) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("   \t  ").empty());
+}
+
+TEST(TokenizeTest, ClassifiesHashtags) {
+  EXPECT_EQ(ClassifyToken("#news"), TokenKind::kHashtag);
+  EXPECT_EQ(ClassifyToken("#"), TokenKind::kWord);  // bare '#' is not a tag
+}
+
+TEST(TokenizeTest, ClassifiesMentions) {
+  EXPECT_EQ(ClassifyToken("@user"), TokenKind::kMention);
+  EXPECT_EQ(ClassifyToken("@"), TokenKind::kWord);
+}
+
+TEST(TokenizeTest, ClassifiesUrls) {
+  EXPECT_EQ(ClassifyToken("http://a.b/c"), TokenKind::kUrl);
+  EXPECT_EQ(ClassifyToken("https://t.co/xyz"), TokenKind::kUrl);
+  EXPECT_EQ(ClassifyToken("httpsfoo"), TokenKind::kWord);
+}
+
+TEST(TokenizeTest, ClassifiesNumbers) {
+  EXPECT_EQ(ClassifyToken("12345"), TokenKind::kNumber);
+  EXPECT_EQ(ClassifyToken("12a45"), TokenKind::kWord);
+}
+
+TEST(TokenizeTest, TokenStructCarriesKind) {
+  const auto tokens = Tokenize("read #breaking from @cnn https://t.co/x 42");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kWord);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kHashtag);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kMention);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kUrl);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kNumber);
+}
+
+TEST(DegeneratePostTest, ShortPostsAreDegenerate) {
+  EXPECT_TRUE(IsDegeneratePost(""));
+  EXPECT_TRUE(IsDegeneratePost("hello"));
+  EXPECT_TRUE(IsDegeneratePost("#tag #tag2 @user"));  // no word tokens
+  EXPECT_TRUE(IsDegeneratePost("a b c"));             // 1-char words
+}
+
+TEST(DegeneratePostTest, RealPostsAreNot) {
+  EXPECT_FALSE(IsDegeneratePost("hello world"));
+  EXPECT_FALSE(IsDegeneratePost("breaking news about markets"));
+}
+
+TEST(DegeneratePostTest, MinWordsParameter) {
+  EXPECT_FALSE(IsDegeneratePost("hello", 1));
+  EXPECT_TRUE(IsDegeneratePost("hello world", 3));
+}
+
+}  // namespace
+}  // namespace firehose

@@ -1,0 +1,61 @@
+#include "src/text/url.h"
+
+#include <gtest/gtest.h>
+
+namespace firehose {
+namespace {
+
+TEST(IsUrlTest, RecognizesSchemes) {
+  EXPECT_TRUE(IsUrl("http://example.com"));
+  EXPECT_TRUE(IsUrl("https://t.co/abc"));
+  EXPECT_FALSE(IsUrl("ftp://example.com"));
+  EXPECT_FALSE(IsUrl("example.com"));
+  EXPECT_FALSE(IsUrl(""));
+}
+
+TEST(UrlShortenerTest, ShortenAndExpandRoundTrip) {
+  UrlShortener shortener(1);
+  const std::string short_url = shortener.Shorten("https://example.com/story");
+  EXPECT_EQ(short_url.rfind("https://t.co/", 0), 0u);
+  EXPECT_EQ(shortener.Expand(short_url), "https://example.com/story");
+}
+
+TEST(UrlShortenerTest, SameLongUrlGetsFreshCodes) {
+  // This is the behavior that makes identical retweets hash differently
+  // (paper Table 1, distance-3 example).
+  UrlShortener shortener(2);
+  const std::string a = shortener.Shorten("https://example.com/x");
+  const std::string b = shortener.Shorten("https://example.com/x");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(shortener.Expand(a), shortener.Expand(b));
+  EXPECT_EQ(shortener.issued_count(), 2u);
+}
+
+TEST(UrlShortenerTest, ExpandUnknownReturnsEmpty) {
+  UrlShortener shortener(3);
+  EXPECT_EQ(shortener.Expand("https://t.co/neverIssued"), "");
+}
+
+TEST(UrlShortenerTest, DeterministicGivenSeed) {
+  UrlShortener a(42);
+  UrlShortener b(42);
+  EXPECT_EQ(a.Shorten("https://x.com/1"), b.Shorten("https://x.com/1"));
+}
+
+TEST(UrlShortenerTest, ExpandAllRewritesOnlyIssuedUrls) {
+  UrlShortener shortener(5);
+  const std::string short_url = shortener.Shorten("https://news.com/article");
+  const std::string text = "breaking story " + short_url + " via @cnn";
+  EXPECT_EQ(shortener.ExpandAll(text),
+            "breaking story https://news.com/article via @cnn");
+  EXPECT_EQ(shortener.ExpandAll("no urls here"), "no urls here");
+}
+
+TEST(UrlShortenerTest, CodesAreTenCharacters) {
+  UrlShortener shortener(7);
+  const std::string url = shortener.Shorten("https://a.b/c");
+  EXPECT_EQ(url.size(), std::string("https://t.co/").size() + 10);
+}
+
+}  // namespace
+}  // namespace firehose

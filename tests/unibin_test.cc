@@ -1,0 +1,118 @@
+#include "src/core/unibin.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace firehose {
+namespace {
+
+using testing_util::PaperExampleGraph;
+using testing_util::PaperExamplePosts;
+using testing_util::PaperExampleThresholds;
+
+Post MakePost(PostId id, AuthorId author, int64_t time_ms, uint64_t simhash) {
+  Post post;
+  post.id = id;
+  post.author = author;
+  post.time_ms = time_ms;
+  post.simhash = simhash;
+  return post;
+}
+
+TEST(UniBinTest, FirstPostAlwaysAdmitted) {
+  const AuthorGraph graph = PaperExampleGraph();
+  UniBinDiversifier diversifier(PaperExampleThresholds(), &graph);
+  EXPECT_TRUE(diversifier.Offer(MakePost(0, 0, 0, 42)));
+  EXPECT_EQ(diversifier.stats().posts_out, 1u);
+}
+
+TEST(UniBinTest, PaperFigure6aTrace) {
+  const AuthorGraph graph = PaperExampleGraph();
+  UniBinDiversifier diversifier(PaperExampleThresholds(), &graph);
+  std::vector<bool> admitted;
+  for (const Post& post : PaperExamplePosts()) {
+    admitted.push_back(diversifier.Offer(post));
+  }
+  // Z = {P1, P2, P4}: the exact outcome of Figure 6a.
+  EXPECT_EQ(admitted, (std::vector<bool>{true, true, false, true, false}));
+  // Comparison count from the §4.1 walk-through: 0+1+2+2+1.
+  EXPECT_EQ(diversifier.stats().comparisons, 6u);
+  EXPECT_EQ(diversifier.stats().insertions, 3u);
+  EXPECT_EQ(diversifier.stats().posts_in, 5u);
+  EXPECT_EQ(diversifier.stats().posts_out, 3u);
+}
+
+TEST(UniBinTest, ContentSimilarButAuthorFarIsNotCovered) {
+  const AuthorGraph graph = PaperExampleGraph();
+  UniBinDiversifier diversifier(PaperExampleThresholds(), &graph);
+  // Authors 1 and 3 are not neighbors: same content is still diverse.
+  EXPECT_TRUE(diversifier.Offer(MakePost(0, 1, 0, 0xAAAA)));
+  EXPECT_TRUE(diversifier.Offer(MakePost(1, 3, 1, 0xAAAA)));
+}
+
+TEST(UniBinTest, SameAuthorIsAlwaysAuthorSimilar) {
+  const AuthorGraph graph = PaperExampleGraph();
+  UniBinDiversifier diversifier(PaperExampleThresholds(), &graph);
+  EXPECT_TRUE(diversifier.Offer(MakePost(0, 3, 0, 0xAAAA)));
+  // Author 3 has only one neighbor (2), but covers its own posts.
+  EXPECT_FALSE(diversifier.Offer(MakePost(1, 3, 1, 0xAAAA)));
+}
+
+TEST(UniBinTest, TimeWindowExpiryReadmits) {
+  const AuthorGraph graph = PaperExampleGraph();
+  DiversityThresholds t = PaperExampleThresholds();
+  t.lambda_t_ms = 100;
+  UniBinDiversifier diversifier(t, &graph);
+  EXPECT_TRUE(diversifier.Offer(MakePost(0, 0, 0, 7)));
+  EXPECT_FALSE(diversifier.Offer(MakePost(1, 0, 50, 7)));   // within λt
+  EXPECT_TRUE(diversifier.Offer(MakePost(2, 0, 200, 7)));   // window passed
+}
+
+TEST(UniBinTest, TimeWindowBoundaryIsInclusive) {
+  const AuthorGraph graph = PaperExampleGraph();
+  DiversityThresholds t = PaperExampleThresholds();
+  t.lambda_t_ms = 100;
+  UniBinDiversifier diversifier(t, &graph);
+  EXPECT_TRUE(diversifier.Offer(MakePost(0, 0, 0, 7)));
+  // distt == λt still covers (Definition 1 uses <=).
+  EXPECT_FALSE(diversifier.Offer(MakePost(1, 0, 100, 7)));
+}
+
+TEST(UniBinTest, ContentDimensionDisabled) {
+  const AuthorGraph graph = PaperExampleGraph();
+  DiversityThresholds t = PaperExampleThresholds();
+  t.use_content = false;
+  UniBinDiversifier diversifier(t, &graph);
+  EXPECT_TRUE(diversifier.Offer(MakePost(0, 0, 0, 0)));
+  // Content-far post from a similar author is now covered.
+  EXPECT_FALSE(diversifier.Offer(MakePost(1, 1, 1, ~0ULL)));
+}
+
+TEST(UniBinTest, AuthorDimensionDisabled) {
+  const AuthorGraph graph = PaperExampleGraph();
+  DiversityThresholds t = PaperExampleThresholds();
+  t.use_author = false;
+  UniBinDiversifier diversifier(t, &graph);
+  EXPECT_TRUE(diversifier.Offer(MakePost(0, 1, 0, 0xAAAA)));
+  // Author-far (1 vs 3) but content-identical: covered without authors.
+  EXPECT_FALSE(diversifier.Offer(MakePost(1, 3, 1, 0xAAAA)));
+}
+
+TEST(UniBinTest, NullGraphMeansNoCrossAuthorCoverage) {
+  UniBinDiversifier diversifier(PaperExampleThresholds(), nullptr);
+  EXPECT_TRUE(diversifier.Offer(MakePost(0, 0, 0, 5)));
+  EXPECT_TRUE(diversifier.Offer(MakePost(1, 1, 1, 5)));   // different author
+  EXPECT_FALSE(diversifier.Offer(MakePost(2, 0, 2, 5)));  // same author
+}
+
+TEST(UniBinTest, StatsAndMemoryAccumulate) {
+  const AuthorGraph graph = PaperExampleGraph();
+  UniBinDiversifier diversifier(PaperExampleThresholds(), &graph);
+  for (const Post& post : PaperExamplePosts()) diversifier.Offer(post);
+  EXPECT_GT(diversifier.ApproxBytes(), 0u);
+  EXPECT_GE(diversifier.stats().peak_bytes, diversifier.ApproxBytes());
+}
+
+}  // namespace
+}  // namespace firehose

@@ -1,0 +1,52 @@
+#include "src/util/bitops.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace firehose {
+namespace {
+
+TEST(BitopsTest, PopcountBasics) {
+  EXPECT_EQ(Popcount64(0), 0);
+  EXPECT_EQ(Popcount64(1), 1);
+  EXPECT_EQ(Popcount64(0xFFFFFFFFFFFFFFFFULL), 64);
+  EXPECT_EQ(Popcount64(0xAAAAAAAAAAAAAAAAULL), 32);
+}
+
+TEST(BitopsTest, HammingDistanceBasics) {
+  EXPECT_EQ(HammingDistance64(0, 0), 0);
+  EXPECT_EQ(HammingDistance64(0, 1), 1);
+  EXPECT_EQ(HammingDistance64(0, 0xFFFFFFFFFFFFFFFFULL), 64);
+  EXPECT_EQ(HammingDistance64(0b1010, 0b0101), 4);
+}
+
+TEST(BitopsTest, HammingDistanceIsAMetric) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t a = rng.Next();
+    const uint64_t b = rng.Next();
+    const uint64_t c = rng.Next();
+    // Identity, symmetry, bounds, triangle inequality.
+    EXPECT_EQ(HammingDistance64(a, a), 0);
+    EXPECT_EQ(HammingDistance64(a, b), HammingDistance64(b, a));
+    EXPECT_GE(HammingDistance64(a, b), 0);
+    EXPECT_LE(HammingDistance64(a, b), 64);
+    EXPECT_LE(HammingDistance64(a, c),
+              HammingDistance64(a, b) + HammingDistance64(b, c));
+  }
+}
+
+TEST(BitopsTest, FlippingKBitsGivesDistanceK) {
+  Rng rng(13);
+  for (int k = 0; k <= 64; k += 8) {
+    uint64_t a = rng.Next();
+    uint64_t b = a;
+    // Flip exactly k distinct bit positions.
+    for (int bit = 0; bit < k; ++bit) b ^= 1ULL << bit;
+    EXPECT_EQ(HammingDistance64(a, b), k);
+  }
+}
+
+}  // namespace
+}  // namespace firehose

@@ -1,0 +1,83 @@
+#include "src/util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace firehose {
+namespace {
+
+Flags Make(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()),
+               const_cast<char**>(args.data()));
+}
+
+TEST(FlagsTest, ParsesKeyValue) {
+  const Flags flags = Make({"--name=value", "--count=42"});
+  EXPECT_TRUE(flags.Has("name"));
+  EXPECT_EQ(flags.GetString("name", ""), "value");
+  EXPECT_EQ(flags.GetInt("count", 0), 42);
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  const Flags flags = Make({"--verbose"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+}
+
+TEST(FlagsTest, MissingFlagsFallBack) {
+  const Flags flags = Make({});
+  EXPECT_FALSE(flags.Has("anything"));
+  EXPECT_EQ(flags.GetString("s", "fb"), "fb");
+  EXPECT_EQ(flags.GetInt("i", -7), -7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("d", 2.5), 2.5);
+  EXPECT_TRUE(flags.GetBool("b", true));
+}
+
+TEST(FlagsTest, ParsesDoubles) {
+  const Flags flags = Make({"--ratio=0.25", "--neg=-1.5"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio", 0), 0.25);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("neg", 0), -1.5);
+}
+
+TEST(FlagsTest, MalformedNumbersFallBack) {
+  const Flags flags = Make({"--count=abc"});
+  EXPECT_EQ(flags.GetInt("count", 9), 9);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("count", 1.5), 1.5);
+}
+
+TEST(FlagsTest, BoolVariants) {
+  const Flags flags = Make({"--a=true", "--b=1", "--c=yes", "--d=false",
+                            "--e=0", "--f=no"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_TRUE(flags.GetBool("b", false));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+  EXPECT_FALSE(flags.GetBool("e", true));
+  EXPECT_FALSE(flags.GetBool("f", true));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  const Flags flags = Make({"input.txt", "--opt=1", "output.txt"});
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"input.txt", "output.txt"}));
+}
+
+TEST(FlagsTest, UnknownFlagDetection) {
+  const Flags flags = Make({"--good=1", "--typo=2"});
+  const auto unknown = flags.UnknownFlags({"good", "other"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(FlagsTest, LastValueWins) {
+  const Flags flags = Make({"--x=1", "--x=2"});
+  EXPECT_EQ(flags.GetInt("x", 0), 2);
+}
+
+TEST(FlagsTest, EmptyValue) {
+  const Flags flags = Make({"--x="});
+  EXPECT_TRUE(flags.Has("x"));
+  EXPECT_EQ(flags.GetString("x", "fb"), "");
+}
+
+}  // namespace
+}  // namespace firehose

@@ -1,0 +1,89 @@
+#include "src/util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace firehose {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h(10);
+  EXPECT_EQ(h.Total(), 0u);
+  EXPECT_EQ(h.Count(3), 0u);
+  EXPECT_DOUBLE_EQ(h.Fraction(3), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionAtLeast(0), 0.0);
+  EXPECT_EQ(h.ToAscii(), "(empty)\n");
+}
+
+TEST(HistogramTest, CountsAndTotal) {
+  Histogram h(5);
+  h.Add(0);
+  h.Add(2);
+  h.Add(2);
+  h.Add(4);
+  EXPECT_EQ(h.Total(), 4u);
+  EXPECT_EQ(h.Count(0), 1u);
+  EXPECT_EQ(h.Count(1), 0u);
+  EXPECT_EQ(h.Count(2), 2u);
+  EXPECT_EQ(h.Count(4), 1u);
+}
+
+TEST(HistogramTest, OutOfRangeValuesClamp) {
+  Histogram h(4);
+  h.Add(-5);
+  h.Add(100);
+  EXPECT_EQ(h.Count(0), 1u);
+  EXPECT_EQ(h.Count(3), 1u);
+  EXPECT_EQ(h.Total(), 2u);
+}
+
+TEST(HistogramTest, OutOfRangeCountQueryIsZero) {
+  Histogram h(4);
+  h.Add(1);
+  EXPECT_EQ(h.Count(-1), 0u);
+  EXPECT_EQ(h.Count(4), 0u);
+}
+
+TEST(HistogramTest, MeanAndStddev) {
+  Histogram h(10);
+  // Values 2, 4, 4, 4, 5, 5, 7, 9: mean 5, stddev 2.
+  for (int v : {2, 4, 4, 4, 5, 5, 7, 9}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(h.Stddev(), 2.0);
+}
+
+TEST(HistogramTest, FractionAndCcdf) {
+  Histogram h(10);
+  for (int v : {1, 2, 2, 3}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.Fraction(2), 0.5);
+  EXPECT_DOUBLE_EQ(h.FractionAtLeast(2), 0.75);
+  EXPECT_DOUBLE_EQ(h.FractionAtLeast(3), 0.25);
+  EXPECT_DOUBLE_EQ(h.FractionAtLeast(4), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionAtLeast(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.FractionAtLeast(-2), 1.0);
+}
+
+TEST(HistogramTest, AsciiRendersNonEmptyBucketsOnly) {
+  Histogram h(20);
+  h.Add(5);
+  h.Add(5);
+  h.Add(7);
+  const std::string art = h.ToAscii(10);
+  EXPECT_NE(art.find(" 5 |"), std::string::npos);
+  EXPECT_NE(art.find(" 7 |"), std::string::npos);
+  EXPECT_EQ(art.find(" 3 |"), std::string::npos);   // before first nonzero
+  EXPECT_EQ(art.find(" 9 |"), std::string::npos);   // after last nonzero
+  EXPECT_NE(art.find("##########"), std::string::npos);  // max bar width
+}
+
+TEST(HistogramTest, SingleBucketDegenerateConstruction) {
+  Histogram h(0);  // clamps to 1 bucket
+  h.Add(0);
+  h.Add(42);
+  EXPECT_EQ(h.num_buckets(), 1);
+  EXPECT_EQ(h.Count(0), 2u);
+}
+
+}  // namespace
+}  // namespace firehose

@@ -1,0 +1,206 @@
+#include "src/util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace firehose {
+namespace {
+
+TEST(SplitMix64Test, DeterministicAndAdvancesState) {
+  uint64_t s1 = 12345;
+  uint64_t s2 = 12345;
+  EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+  EXPECT_EQ(s1, s2);
+  const uint64_t first = SplitMix64(&s1);
+  const uint64_t second = SplitMix64(&s1);
+  EXPECT_NE(first, second);
+}
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, CopyForksTheStream) {
+  Rng a(7);
+  a.Next();
+  Rng b = a;
+  EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformIntWithinBound) {
+  Rng rng(3);
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1000000007ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.UniformInt(bound), bound);
+  }
+}
+
+TEST(RngTest, UniformIntZeroBoundReturnsZero) {
+  Rng rng(3);
+  EXPECT_EQ(rng.UniformInt(0), 0u);
+}
+
+TEST(RngTest, UniformIntCoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(5);
+  bool hit_lo = false;
+  bool hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= v == -3;
+    hit_hi |= v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanTest, SampleMeanTracksParameter) {
+  const double mean = GetParam();
+  Rng rng(23);
+  double sum = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const int v = rng.Poisson(mean);
+    EXPECT_GE(v, 0);
+    sum += v;
+  }
+  const double sample_mean = sum / trials;
+  EXPECT_NEAR(sample_mean, mean, std::max(0.05, mean * 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, PoissonMeanTest,
+                         ::testing::Values(0.5, 2.0, 10.0, 64.0, 200.0));
+
+TEST(RngTest, PoissonZeroOrNegativeMeanIsZero) {
+  Rng rng(2);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+  EXPECT_EQ(rng.Poisson(-3.0), 0);
+}
+
+TEST(RngTest, ZipfWithinRangeAndSkewed) {
+  Rng rng(31);
+  const int n = 100;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const int v = rng.Zipf(n, 1.0);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, n);
+    ++counts[v];
+  }
+  // Rank 0 should dominate rank 50 heavily under s=1.
+  EXPECT_GT(counts[0], counts[50] * 5);
+}
+
+TEST(RngTest, ZipfHandlesCacheInvalidation) {
+  Rng rng(37);
+  // Interleave two (n, s) configurations; both must stay in range.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(rng.Zipf(10, 1.0), 10);
+    EXPECT_LT(rng.Zipf(50, 0.5), 50);
+  }
+}
+
+TEST(RngTest, ZipfDegenerateN) {
+  Rng rng(41);
+  EXPECT_EQ(rng.Zipf(1, 1.0), 0);
+  EXPECT_EQ(rng.Zipf(0, 1.0), 0);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(43);
+  double sum = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const double v = rng.Exponential(5.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / trials, 5.0, 0.25);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(47);
+  std::vector<int> items(50);
+  for (int i = 0; i < 50; ++i) items[static_cast<size_t>(i)] = i;
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, items);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(RngTest, SampleReturnsDistinctElements) {
+  Rng rng(53);
+  std::vector<int> items(100);
+  for (int i = 0; i < 100; ++i) items[static_cast<size_t>(i)] = i;
+  std::vector<int> sample = rng.Sample(items, 10);
+  ASSERT_EQ(sample.size(), 10u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, SampleLargerThanPopulationReturnsAll) {
+  Rng rng(59);
+  std::vector<int> items = {1, 2, 3};
+  std::vector<int> sample = rng.Sample(items, 10);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(sample, items);
+}
+
+}  // namespace
+}  // namespace firehose

@@ -1,0 +1,68 @@
+#include "src/util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace firehose {
+namespace {
+
+TEST(TableTest, HeaderAndRows) {
+  Table t({"algo", "time"});
+  t.AddRow({"UniBin", "12"});
+  t.AddRow({"CliqueBin", "7"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("algo"), std::string::npos);
+  EXPECT_NE(s.find("UniBin"), std::string::npos);
+  EXPECT_NE(s.find("CliqueBin"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, ColumnsAreAligned) {
+  Table t({"a", "b"});
+  t.AddRow({"xxxxxx", "1"});
+  t.AddRow({"y", "2"});
+  const std::string s = t.ToString();
+  // Column b starts at the same offset on both data rows.
+  size_t pos1 = s.find("1");
+  size_t pos2 = s.find("2");
+  size_t line1_start = s.rfind('\n', pos1);
+  size_t line2_start = s.rfind('\n', pos2);
+  EXPECT_EQ(pos1 - line1_start, pos2 - line2_start);
+}
+
+TEST(TableTest, MissingCellsRenderEmpty) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"only-a"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("only-a"), std::string::npos);
+}
+
+TEST(TableTest, ExtraCellsWidenTable) {
+  Table t({"a"});
+  t.AddRow({"1", "2", "3"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("3"), std::string::npos);
+}
+
+TEST(TableTest, FmtDouble) {
+  EXPECT_EQ(Table::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Fmt(3.14159, 0), "3");
+  EXPECT_EQ(Table::Fmt(0.5, 3), "0.500");
+}
+
+TEST(TableTest, FmtIntegersWithThousandsSeparators) {
+  EXPECT_EQ(Table::Fmt(0), "0");
+  EXPECT_EQ(Table::Fmt(999), "999");
+  EXPECT_EQ(Table::Fmt(1000), "1,000");
+  EXPECT_EQ(Table::Fmt(uint64_t{1234567}), "1,234,567");
+  EXPECT_EQ(Table::Fmt(int64_t{-1234567}), "-1,234,567");
+}
+
+TEST(TableTest, SeparatorUnderHeader) {
+  Table t({"col"});
+  t.AddRow({"x"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace firehose

@@ -1,0 +1,154 @@
+// firehose_diversify: the online phase. Loads the precomputed author
+// graph (and clique cover), streams a recorded post file through the
+// chosen algorithm and writes the diversified sub-stream. With --live it
+// replays the stream in (scaled) real time on the two-thread runtime and
+// reports queueing latency.
+//
+// Usage:
+//   firehose_diversify --graph=author_graph.bin --stream=stream.bin
+//       [--out=diversified.tsv]
+//       [--cover=/tmp/w/cover.bin] [--algorithm=cliquebin|unibin|neighborbin]
+//       [--lambda_c=18] [--lambda_t_min=30] [--live] [--speedup=100000]
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/firehose.h"
+#include "src/util/flags.h"
+
+using namespace firehose;
+
+namespace {
+
+bool ParseAlgorithm(const std::string& name, Algorithm* algorithm) {
+  if (name == "unibin") {
+    *algorithm = Algorithm::kUniBin;
+  } else if (name == "neighborbin") {
+    *algorithm = Algorithm::kNeighborBin;
+  } else if (name == "cliquebin") {
+    *algorithm = Algorithm::kCliqueBin;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto unknown = flags.UnknownFlags(
+      {"graph", "stream", "out", "cover", "algorithm", "lambda_c",
+       "lambda_t_min", "live", "speedup", "help"});
+  if (!unknown.empty() || flags.Has("help") || !flags.Has("graph") ||
+      !flags.Has("stream")) {
+    std::fprintf(
+        stderr,
+        "usage: firehose_diversify --graph=PATH --stream=PATH [--out=PATH]\n"
+        "    [--cover=PATH] [--algorithm=unibin|neighborbin|cliquebin]\n"
+        "    [--lambda_c=18] [--lambda_t_min=30] [--live] [--speedup=F]\n");
+    return flags.Has("help") ? 0 : 2;
+  }
+
+  AuthorGraph graph;
+  if (!LoadAuthorGraph(flags.GetString("graph", ""), &graph)) {
+    std::fprintf(stderr, "error: cannot load author graph\n");
+    return 1;
+  }
+  Algorithm algorithm = Algorithm::kCliqueBin;
+  if (!ParseAlgorithm(flags.GetString("algorithm", "cliquebin"), &algorithm)) {
+    std::fprintf(stderr, "error: unknown algorithm\n");
+    return 2;
+  }
+  CliqueCover cover;
+  bool have_cover = false;
+  if (flags.Has("cover")) {
+    if (!LoadCliqueCover(flags.GetString("cover", ""), &cover)) {
+      std::fprintf(stderr, "error: cannot load clique cover\n");
+      return 1;
+    }
+    if (!cover.IsValidFor(graph)) {
+      std::fprintf(stderr, "error: cover does not match graph\n");
+      return 1;
+    }
+    have_cover = true;
+  }
+
+  const std::string stream_path = flags.GetString("stream", "");
+  PostStream stream;
+  bool loaded = false;
+  if (stream_path.size() > 4 &&
+      stream_path.compare(stream_path.size() - 4, 4, ".tsv") == 0) {
+    loaded = LoadPostStreamTsv(stream_path, &stream);
+  } else {
+    loaded = LoadPostStream(stream_path, &stream);
+  }
+  if (!loaded) {
+    std::fprintf(stderr, "error: cannot load stream\n");
+    return 1;
+  }
+
+  DiversityThresholds thresholds;
+  thresholds.lambda_c = static_cast<int>(flags.GetInt("lambda_c", 18));
+  thresholds.lambda_t_ms = flags.GetInt("lambda_t_min", 30) * 60 * 1000;
+  auto diversifier = MakeDiversifier(algorithm, thresholds, &graph,
+                                     have_cover ? &cover : nullptr);
+
+  PostStream kept;
+  if (flags.GetBool("live", false)) {
+    LiveIngestOptions live_options;
+    live_options.speedup = flags.GetDouble("speedup", 100000.0);
+    const LiveIngestReport report =
+        RunLiveIngest(*diversifier, stream, live_options);
+    std::printf(
+        "live replay (%s, speedup %.0fx): %llu in / %llu out in %.1fms "
+        "(%.0f posts/s)\n",
+        std::string(diversifier->name()).c_str(), live_options.speedup,
+        static_cast<unsigned long long>(report.posts_in),
+        static_cast<unsigned long long>(report.posts_out), report.wall_ms,
+        report.achieved_posts_per_sec);
+    std::printf(
+        "queueing latency us: p50=%.1f p95=%.1f p99=%.1f max=%.1f; "
+        "backlog high-water %zu\n",
+        report.queueing_latency.p50_us, report.queueing_latency.p95_us,
+        report.queueing_latency.p99_us, report.queueing_latency.max_us,
+        report.queue_high_water);
+    // Re-run sequentially to materialize the kept stream for --out.
+    auto rerun = MakeDiversifier(algorithm, thresholds, &graph,
+                                 have_cover ? &cover : nullptr);
+    for (const Post& post : stream) {
+      if (rerun->Offer(post)) kept.push_back(post);
+    }
+  } else {
+    WallTimer timer;
+    for (const Post& post : stream) {
+      if (diversifier->Offer(post)) kept.push_back(post);
+    }
+    const IngestStats& stats = diversifier->stats();
+    std::printf(
+        "%s: %llu in / %zu out (%.1f%% pruned) in %.1fms; "
+        "%llu comparisons, %llu insertions, %.2f MiB bins\n",
+        std::string(diversifier->name()).c_str(),
+        static_cast<unsigned long long>(stats.posts_in), kept.size(),
+        100.0 * (1.0 - static_cast<double>(stats.posts_out) /
+                           static_cast<double>(stats.posts_in)),
+        timer.ElapsedMillis(),
+        static_cast<unsigned long long>(stats.comparisons),
+        static_cast<unsigned long long>(stats.insertions),
+        static_cast<double>(diversifier->ApproxBytes()) / (1 << 20));
+  }
+
+  if (flags.Has("out")) {
+    const std::string out = flags.GetString("out", "");
+    const bool tsv =
+        out.size() > 4 && out.compare(out.size() - 4, 4, ".tsv") == 0;
+    const bool ok = tsv ? SavePostStreamTsv(kept, out) : SavePostStream(kept, out);
+    if (!ok) {
+      std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu diversified posts to %s\n", kept.size(),
+                out.c_str());
+  }
+  return 0;
+}
