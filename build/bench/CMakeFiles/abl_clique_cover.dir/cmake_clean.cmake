@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_clique_cover.dir/abl_clique_cover.cc.o"
+  "CMakeFiles/abl_clique_cover.dir/abl_clique_cover.cc.o.d"
+  "abl_clique_cover"
+  "abl_clique_cover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_clique_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

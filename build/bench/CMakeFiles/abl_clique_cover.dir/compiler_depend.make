@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_clique_cover.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cosine_baseline.dir/abl_cosine_baseline.cc.o"
+  "CMakeFiles/abl_cosine_baseline.dir/abl_cosine_baseline.cc.o.d"
+  "abl_cosine_baseline"
+  "abl_cosine_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cosine_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

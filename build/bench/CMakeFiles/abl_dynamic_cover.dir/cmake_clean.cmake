@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dynamic_cover.dir/abl_dynamic_cover.cc.o"
+  "CMakeFiles/abl_dynamic_cover.dir/abl_dynamic_cover.cc.o.d"
+  "abl_dynamic_cover"
+  "abl_dynamic_cover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dynamic_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

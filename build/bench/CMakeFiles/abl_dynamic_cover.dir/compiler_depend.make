@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_dynamic_cover.
+# This may be replaced when dependencies are built.

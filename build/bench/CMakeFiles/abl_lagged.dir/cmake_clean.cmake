@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_lagged.dir/abl_lagged.cc.o"
+  "CMakeFiles/abl_lagged.dir/abl_lagged.cc.o.d"
+  "abl_lagged"
+  "abl_lagged.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lagged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_minhash.dir/abl_minhash.cc.o"
+  "CMakeFiles/abl_minhash.dir/abl_minhash.cc.o.d"
+  "abl_minhash"
+  "abl_minhash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_minhash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_preprocessing.dir/abl_preprocessing.cc.o"
+  "CMakeFiles/abl_preprocessing.dir/abl_preprocessing.cc.o.d"
+  "abl_preprocessing"
+  "abl_preprocessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

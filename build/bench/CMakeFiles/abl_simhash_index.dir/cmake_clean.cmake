@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_simhash_index.dir/abl_simhash_index.cc.o"
+  "CMakeFiles/abl_simhash_index.dir/abl_simhash_index.cc.o.d"
+  "abl_simhash_index"
+  "abl_simhash_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_simhash_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

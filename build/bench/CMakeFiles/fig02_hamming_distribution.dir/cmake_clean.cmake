@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_hamming_distribution.dir/fig02_hamming_distribution.cc.o"
+  "CMakeFiles/fig02_hamming_distribution.dir/fig02_hamming_distribution.cc.o.d"
+  "fig02_hamming_distribution"
+  "fig02_hamming_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_hamming_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

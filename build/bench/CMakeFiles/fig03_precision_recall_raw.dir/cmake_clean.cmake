@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_precision_recall_raw.dir/fig03_precision_recall_raw.cc.o"
+  "CMakeFiles/fig03_precision_recall_raw.dir/fig03_precision_recall_raw.cc.o.d"
+  "fig03_precision_recall_raw"
+  "fig03_precision_recall_raw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_precision_recall_raw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_precision_recall_normalized.dir/fig04_precision_recall_normalized.cc.o"
+  "CMakeFiles/fig04_precision_recall_normalized.dir/fig04_precision_recall_normalized.cc.o.d"
+  "fig04_precision_recall_normalized"
+  "fig04_precision_recall_normalized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_precision_recall_normalized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_author_similarity.dir/fig09_author_similarity.cc.o"
+  "CMakeFiles/fig09_author_similarity.dir/fig09_author_similarity.cc.o.d"
+  "fig09_author_similarity"
+  "fig09_author_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_author_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dimension_ablation.dir/fig10_dimension_ablation.cc.o"
+  "CMakeFiles/fig10_dimension_ablation.dir/fig10_dimension_ablation.cc.o.d"
+  "fig10_dimension_ablation"
+  "fig10_dimension_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dimension_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_vary_lambda_t.dir/fig11_vary_lambda_t.cc.o"
+  "CMakeFiles/fig11_vary_lambda_t.dir/fig11_vary_lambda_t.cc.o.d"
+  "fig11_vary_lambda_t"
+  "fig11_vary_lambda_t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_vary_lambda_t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

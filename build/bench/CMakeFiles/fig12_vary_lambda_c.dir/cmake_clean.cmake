@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_vary_lambda_c.dir/fig12_vary_lambda_c.cc.o"
+  "CMakeFiles/fig12_vary_lambda_c.dir/fig12_vary_lambda_c.cc.o.d"
+  "fig12_vary_lambda_c"
+  "fig12_vary_lambda_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_vary_lambda_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_vary_lambda_a.dir/fig13_vary_lambda_a.cc.o"
+  "CMakeFiles/fig13_vary_lambda_a.dir/fig13_vary_lambda_a.cc.o.d"
+  "fig13_vary_lambda_a"
+  "fig13_vary_lambda_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_vary_lambda_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

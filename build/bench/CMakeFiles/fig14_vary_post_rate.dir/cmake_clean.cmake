@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_vary_post_rate.dir/fig14_vary_post_rate.cc.o"
+  "CMakeFiles/fig14_vary_post_rate.dir/fig14_vary_post_rate.cc.o.d"
+  "fig14_vary_post_rate"
+  "fig14_vary_post_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_vary_post_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_vary_subscriptions.dir/fig15_vary_subscriptions.cc.o"
+  "CMakeFiles/fig15_vary_subscriptions.dir/fig15_vary_subscriptions.cc.o.d"
+  "fig15_vary_subscriptions"
+  "fig15_vary_subscriptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_vary_subscriptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_multiuser.dir/fig16_multiuser.cc.o"
+  "CMakeFiles/fig16_multiuser.dir/fig16_multiuser.cc.o.d"
+  "fig16_multiuser"
+  "fig16_multiuser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_multiuser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

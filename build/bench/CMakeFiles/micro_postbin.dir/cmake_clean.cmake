@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_postbin.dir/micro_postbin.cc.o"
+  "CMakeFiles/micro_postbin.dir/micro_postbin.cc.o.d"
+  "micro_postbin"
+  "micro_postbin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_postbin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

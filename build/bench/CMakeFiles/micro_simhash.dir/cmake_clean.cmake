@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_simhash.dir/micro_simhash.cc.o"
+  "CMakeFiles/micro_simhash.dir/micro_simhash.cc.o.d"
+  "micro_simhash"
+  "micro_simhash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_simhash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

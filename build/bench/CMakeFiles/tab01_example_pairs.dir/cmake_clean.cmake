@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_example_pairs.dir/tab01_example_pairs.cc.o"
+  "CMakeFiles/tab01_example_pairs.dir/tab01_example_pairs.cc.o.d"
+  "tab01_example_pairs"
+  "tab01_example_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_example_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

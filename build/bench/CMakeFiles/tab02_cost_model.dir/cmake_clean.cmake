@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_cost_model.dir/tab02_cost_model.cc.o"
+  "CMakeFiles/tab02_cost_model.dir/tab02_cost_model.cc.o.d"
+  "tab02_cost_model"
+  "tab02_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

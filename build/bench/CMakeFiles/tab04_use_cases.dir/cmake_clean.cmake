@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_use_cases.dir/tab04_use_cases.cc.o"
+  "CMakeFiles/tab04_use_cases.dir/tab04_use_cases.cc.o.d"
+  "tab04_use_cases"
+  "tab04_use_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_use_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_user_service.dir/multi_user_service.cpp.o"
+  "CMakeFiles/multi_user_service.dir/multi_user_service.cpp.o.d"
+  "multi_user_service"
+  "multi_user_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_user_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_rss.dir/news_rss.cpp.o"
+  "CMakeFiles/news_rss.dir/news_rss.cpp.o.d"
+  "news_rss"
+  "news_rss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_rss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

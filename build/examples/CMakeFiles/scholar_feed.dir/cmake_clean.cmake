@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scholar_feed.dir/scholar_feed.cpp.o"
+  "CMakeFiles/scholar_feed.dir/scholar_feed.cpp.o.d"
+  "scholar_feed"
+  "scholar_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scholar_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twitter_timeline.dir/twitter_timeline.cpp.o"
+  "CMakeFiles/twitter_timeline.dir/twitter_timeline.cpp.o.d"
+  "twitter_timeline"
+  "twitter_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twitter_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/author/clique_cover.cc" "src/CMakeFiles/firehose.dir/author/clique_cover.cc.o" "gcc" "src/CMakeFiles/firehose.dir/author/clique_cover.cc.o.d"
+  "/root/repo/src/author/dynamic_cover.cc" "src/CMakeFiles/firehose.dir/author/dynamic_cover.cc.o" "gcc" "src/CMakeFiles/firehose.dir/author/dynamic_cover.cc.o.d"
+  "/root/repo/src/author/follow_graph.cc" "src/CMakeFiles/firehose.dir/author/follow_graph.cc.o" "gcc" "src/CMakeFiles/firehose.dir/author/follow_graph.cc.o.d"
+  "/root/repo/src/author/similarity.cc" "src/CMakeFiles/firehose.dir/author/similarity.cc.o" "gcc" "src/CMakeFiles/firehose.dir/author/similarity.cc.o.d"
+  "/root/repo/src/author/similarity_graph.cc" "src/CMakeFiles/firehose.dir/author/similarity_graph.cc.o" "gcc" "src/CMakeFiles/firehose.dir/author/similarity_graph.cc.o.d"
+  "/root/repo/src/core/clique_bin.cc" "src/CMakeFiles/firehose.dir/core/clique_bin.cc.o" "gcc" "src/CMakeFiles/firehose.dir/core/clique_bin.cc.o.d"
+  "/root/repo/src/core/cosine_unibin.cc" "src/CMakeFiles/firehose.dir/core/cosine_unibin.cc.o" "gcc" "src/CMakeFiles/firehose.dir/core/cosine_unibin.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/firehose.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/firehose.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/firehose.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/firehose.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/lagged.cc" "src/CMakeFiles/firehose.dir/core/lagged.cc.o" "gcc" "src/CMakeFiles/firehose.dir/core/lagged.cc.o.d"
+  "/root/repo/src/core/multi_user.cc" "src/CMakeFiles/firehose.dir/core/multi_user.cc.o" "gcc" "src/CMakeFiles/firehose.dir/core/multi_user.cc.o.d"
+  "/root/repo/src/core/neighbor_bin.cc" "src/CMakeFiles/firehose.dir/core/neighbor_bin.cc.o" "gcc" "src/CMakeFiles/firehose.dir/core/neighbor_bin.cc.o.d"
+  "/root/repo/src/core/unibin.cc" "src/CMakeFiles/firehose.dir/core/unibin.cc.o" "gcc" "src/CMakeFiles/firehose.dir/core/unibin.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/firehose.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/firehose.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/precision_recall.cc" "src/CMakeFiles/firehose.dir/eval/precision_recall.cc.o" "gcc" "src/CMakeFiles/firehose.dir/eval/precision_recall.cc.o.d"
+  "/root/repo/src/gen/labeled_pairs.cc" "src/CMakeFiles/firehose.dir/gen/labeled_pairs.cc.o" "gcc" "src/CMakeFiles/firehose.dir/gen/labeled_pairs.cc.o.d"
+  "/root/repo/src/gen/social_graph_gen.cc" "src/CMakeFiles/firehose.dir/gen/social_graph_gen.cc.o" "gcc" "src/CMakeFiles/firehose.dir/gen/social_graph_gen.cc.o.d"
+  "/root/repo/src/gen/stream_gen.cc" "src/CMakeFiles/firehose.dir/gen/stream_gen.cc.o" "gcc" "src/CMakeFiles/firehose.dir/gen/stream_gen.cc.o.d"
+  "/root/repo/src/gen/text_gen.cc" "src/CMakeFiles/firehose.dir/gen/text_gen.cc.o" "gcc" "src/CMakeFiles/firehose.dir/gen/text_gen.cc.o.d"
+  "/root/repo/src/io/binary.cc" "src/CMakeFiles/firehose.dir/io/binary.cc.o" "gcc" "src/CMakeFiles/firehose.dir/io/binary.cc.o.d"
+  "/root/repo/src/io/persist.cc" "src/CMakeFiles/firehose.dir/io/persist.cc.o" "gcc" "src/CMakeFiles/firehose.dir/io/persist.cc.o.d"
+  "/root/repo/src/runtime/latency.cc" "src/CMakeFiles/firehose.dir/runtime/latency.cc.o" "gcc" "src/CMakeFiles/firehose.dir/runtime/latency.cc.o.d"
+  "/root/repo/src/runtime/live_ingest.cc" "src/CMakeFiles/firehose.dir/runtime/live_ingest.cc.o" "gcc" "src/CMakeFiles/firehose.dir/runtime/live_ingest.cc.o.d"
+  "/root/repo/src/runtime/pipeline.cc" "src/CMakeFiles/firehose.dir/runtime/pipeline.cc.o" "gcc" "src/CMakeFiles/firehose.dir/runtime/pipeline.cc.o.d"
+  "/root/repo/src/runtime/sharded.cc" "src/CMakeFiles/firehose.dir/runtime/sharded.cc.o" "gcc" "src/CMakeFiles/firehose.dir/runtime/sharded.cc.o.d"
+  "/root/repo/src/simhash/minhash.cc" "src/CMakeFiles/firehose.dir/simhash/minhash.cc.o" "gcc" "src/CMakeFiles/firehose.dir/simhash/minhash.cc.o.d"
+  "/root/repo/src/simhash/permuted_index.cc" "src/CMakeFiles/firehose.dir/simhash/permuted_index.cc.o" "gcc" "src/CMakeFiles/firehose.dir/simhash/permuted_index.cc.o.d"
+  "/root/repo/src/simhash/simhash.cc" "src/CMakeFiles/firehose.dir/simhash/simhash.cc.o" "gcc" "src/CMakeFiles/firehose.dir/simhash/simhash.cc.o.d"
+  "/root/repo/src/stream/post_bin.cc" "src/CMakeFiles/firehose.dir/stream/post_bin.cc.o" "gcc" "src/CMakeFiles/firehose.dir/stream/post_bin.cc.o.d"
+  "/root/repo/src/text/abbrev.cc" "src/CMakeFiles/firehose.dir/text/abbrev.cc.o" "gcc" "src/CMakeFiles/firehose.dir/text/abbrev.cc.o.d"
+  "/root/repo/src/text/normalize.cc" "src/CMakeFiles/firehose.dir/text/normalize.cc.o" "gcc" "src/CMakeFiles/firehose.dir/text/normalize.cc.o.d"
+  "/root/repo/src/text/tf_vector.cc" "src/CMakeFiles/firehose.dir/text/tf_vector.cc.o" "gcc" "src/CMakeFiles/firehose.dir/text/tf_vector.cc.o.d"
+  "/root/repo/src/text/tokenize.cc" "src/CMakeFiles/firehose.dir/text/tokenize.cc.o" "gcc" "src/CMakeFiles/firehose.dir/text/tokenize.cc.o.d"
+  "/root/repo/src/text/url.cc" "src/CMakeFiles/firehose.dir/text/url.cc.o" "gcc" "src/CMakeFiles/firehose.dir/text/url.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/firehose.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/firehose.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/firehose.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/firehose.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/firehose.dir/util/random.cc.o" "gcc" "src/CMakeFiles/firehose.dir/util/random.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/firehose.dir/util/table.cc.o" "gcc" "src/CMakeFiles/firehose.dir/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/author_similarity_test.dir/author_similarity_test.cc.o"
+  "CMakeFiles/author_similarity_test.dir/author_similarity_test.cc.o.d"
+  "author_similarity_test"
+  "author_similarity_test.pdb"
+  "author_similarity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/author_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

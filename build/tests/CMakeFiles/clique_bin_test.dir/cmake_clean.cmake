@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clique_bin_test.dir/clique_bin_test.cc.o"
+  "CMakeFiles/clique_bin_test.dir/clique_bin_test.cc.o.d"
+  "clique_bin_test"
+  "clique_bin_test.pdb"
+  "clique_bin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clique_bin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clique_cover_test.dir/clique_cover_test.cc.o"
+  "CMakeFiles/clique_cover_test.dir/clique_cover_test.cc.o.d"
+  "clique_cover_test"
+  "clique_cover_test.pdb"
+  "clique_cover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clique_cover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosine_unibin_test.dir/cosine_unibin_test.cc.o"
+  "CMakeFiles/cosine_unibin_test.dir/cosine_unibin_test.cc.o.d"
+  "cosine_unibin_test"
+  "cosine_unibin_test.pdb"
+  "cosine_unibin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosine_unibin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

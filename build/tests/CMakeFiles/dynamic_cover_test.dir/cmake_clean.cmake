@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_cover_test.dir/dynamic_cover_test.cc.o"
+  "CMakeFiles/dynamic_cover_test.dir/dynamic_cover_test.cc.o.d"
+  "dynamic_cover_test"
+  "dynamic_cover_test.pdb"
+  "dynamic_cover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_cover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/follow_graph_test.dir/follow_graph_test.cc.o"
+  "CMakeFiles/follow_graph_test.dir/follow_graph_test.cc.o.d"
+  "follow_graph_test"
+  "follow_graph_test.pdb"
+  "follow_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/follow_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_binary_test.dir/io_binary_test.cc.o"
+  "CMakeFiles/io_binary_test.dir/io_binary_test.cc.o.d"
+  "io_binary_test"
+  "io_binary_test.pdb"
+  "io_binary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_binary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

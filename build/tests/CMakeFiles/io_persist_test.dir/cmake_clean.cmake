@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_persist_test.dir/io_persist_test.cc.o"
+  "CMakeFiles/io_persist_test.dir/io_persist_test.cc.o.d"
+  "io_persist_test"
+  "io_persist_test.pdb"
+  "io_persist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_persist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

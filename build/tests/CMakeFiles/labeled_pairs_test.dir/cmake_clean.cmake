@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labeled_pairs_test.dir/labeled_pairs_test.cc.o"
+  "CMakeFiles/labeled_pairs_test.dir/labeled_pairs_test.cc.o.d"
+  "labeled_pairs_test"
+  "labeled_pairs_test.pdb"
+  "labeled_pairs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labeled_pairs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

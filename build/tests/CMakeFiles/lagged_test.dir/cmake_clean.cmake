@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lagged_test.dir/lagged_test.cc.o"
+  "CMakeFiles/lagged_test.dir/lagged_test.cc.o.d"
+  "lagged_test"
+  "lagged_test.pdb"
+  "lagged_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lagged_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neighbor_bin_test.dir/neighbor_bin_test.cc.o"
+  "CMakeFiles/neighbor_bin_test.dir/neighbor_bin_test.cc.o.d"
+  "neighbor_bin_test"
+  "neighbor_bin_test.pdb"
+  "neighbor_bin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neighbor_bin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/permuted_index_test.dir/permuted_index_test.cc.o"
+  "CMakeFiles/permuted_index_test.dir/permuted_index_test.cc.o.d"
+  "permuted_index_test"
+  "permuted_index_test.pdb"
+  "permuted_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/permuted_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

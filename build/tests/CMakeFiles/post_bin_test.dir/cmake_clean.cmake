@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/post_bin_test.dir/post_bin_test.cc.o"
+  "CMakeFiles/post_bin_test.dir/post_bin_test.cc.o.d"
+  "post_bin_test"
+  "post_bin_test.pdb"
+  "post_bin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/post_bin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

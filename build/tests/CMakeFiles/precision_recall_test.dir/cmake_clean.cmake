@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precision_recall_test.dir/precision_recall_test.cc.o"
+  "CMakeFiles/precision_recall_test.dir/precision_recall_test.cc.o.d"
+  "precision_recall_test"
+  "precision_recall_test.pdb"
+  "precision_recall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precision_recall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

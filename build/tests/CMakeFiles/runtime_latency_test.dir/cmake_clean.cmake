@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_latency_test.dir/runtime_latency_test.cc.o"
+  "CMakeFiles/runtime_latency_test.dir/runtime_latency_test.cc.o.d"
+  "runtime_latency_test"
+  "runtime_latency_test.pdb"
+  "runtime_latency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_latency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

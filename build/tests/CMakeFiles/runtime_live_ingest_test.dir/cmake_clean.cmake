@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_live_ingest_test.dir/runtime_live_ingest_test.cc.o"
+  "CMakeFiles/runtime_live_ingest_test.dir/runtime_live_ingest_test.cc.o.d"
+  "runtime_live_ingest_test"
+  "runtime_live_ingest_test.pdb"
+  "runtime_live_ingest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_live_ingest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_sharded_test.dir/runtime_sharded_test.cc.o"
+  "CMakeFiles/runtime_sharded_test.dir/runtime_sharded_test.cc.o.d"
+  "runtime_sharded_test"
+  "runtime_sharded_test.pdb"
+  "runtime_sharded_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_sharded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

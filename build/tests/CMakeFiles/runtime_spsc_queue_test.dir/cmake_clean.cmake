@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_spsc_queue_test.dir/runtime_spsc_queue_test.cc.o"
+  "CMakeFiles/runtime_spsc_queue_test.dir/runtime_spsc_queue_test.cc.o.d"
+  "runtime_spsc_queue_test"
+  "runtime_spsc_queue_test.pdb"
+  "runtime_spsc_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_spsc_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simhash_test.dir/simhash_test.cc.o"
+  "CMakeFiles/simhash_test.dir/simhash_test.cc.o.d"
+  "simhash_test"
+  "simhash_test.pdb"
+  "simhash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simhash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_snapshot_test.dir/state_snapshot_test.cc.o"
+  "CMakeFiles/state_snapshot_test.dir/state_snapshot_test.cc.o.d"
+  "state_snapshot_test"
+  "state_snapshot_test.pdb"
+  "state_snapshot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_gen_test.dir/stream_gen_test.cc.o"
+  "CMakeFiles/stream_gen_test.dir/stream_gen_test.cc.o.d"
+  "stream_gen_test"
+  "stream_gen_test.pdb"
+  "stream_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

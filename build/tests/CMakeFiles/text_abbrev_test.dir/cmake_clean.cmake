@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_abbrev_test.dir/text_abbrev_test.cc.o"
+  "CMakeFiles/text_abbrev_test.dir/text_abbrev_test.cc.o.d"
+  "text_abbrev_test"
+  "text_abbrev_test.pdb"
+  "text_abbrev_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_abbrev_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_gen_test.dir/text_gen_test.cc.o"
+  "CMakeFiles/text_gen_test.dir/text_gen_test.cc.o.d"
+  "text_gen_test"
+  "text_gen_test.pdb"
+  "text_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_tf_vector_test.dir/text_tf_vector_test.cc.o"
+  "CMakeFiles/text_tf_vector_test.dir/text_tf_vector_test.cc.o.d"
+  "text_tf_vector_test"
+  "text_tf_vector_test.pdb"
+  "text_tf_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_tf_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

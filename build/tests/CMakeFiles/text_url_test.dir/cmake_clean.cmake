@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_url_test.dir/text_url_test.cc.o"
+  "CMakeFiles/text_url_test.dir/text_url_test.cc.o.d"
+  "text_url_test"
+  "text_url_test.pdb"
+  "text_url_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_url_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unibin_test.dir/unibin_test.cc.o"
+  "CMakeFiles/unibin_test.dir/unibin_test.cc.o.d"
+  "unibin_test"
+  "unibin_test.pdb"
+  "unibin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unibin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

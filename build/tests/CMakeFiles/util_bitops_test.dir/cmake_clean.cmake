@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_bitops_test.dir/util_bitops_test.cc.o"
+  "CMakeFiles/util_bitops_test.dir/util_bitops_test.cc.o.d"
+  "util_bitops_test"
+  "util_bitops_test.pdb"
+  "util_bitops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_bitops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

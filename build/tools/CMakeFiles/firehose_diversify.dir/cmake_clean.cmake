@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firehose_diversify.dir/firehose_diversify.cc.o"
+  "CMakeFiles/firehose_diversify.dir/firehose_diversify.cc.o.d"
+  "firehose_diversify"
+  "firehose_diversify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firehose_diversify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for firehose_diversify.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firehose_generate.dir/firehose_generate.cc.o"
+  "CMakeFiles/firehose_generate.dir/firehose_generate.cc.o.d"
+  "firehose_generate"
+  "firehose_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firehose_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

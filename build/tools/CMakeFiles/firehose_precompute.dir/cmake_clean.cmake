@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firehose_precompute.dir/firehose_precompute.cc.o"
+  "CMakeFiles/firehose_precompute.dir/firehose_precompute.cc.o.d"
+  "firehose_precompute"
+  "firehose_precompute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firehose_precompute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
