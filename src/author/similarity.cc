@@ -107,6 +107,7 @@ std::vector<AuthorPairSimilarity> AllPairsSimilarity(
 
   std::vector<AuthorPairSimilarity> result;
   result.reserve(overlap.size() / 4);
+  // firehose-lint: allow(unordered-iteration) -- result is sorted below
   for (const auto& [key, count] : overlap) {
     const AuthorId a = static_cast<AuthorId>(key >> 32);
     const AuthorId b = static_cast<AuthorId>(key & 0xFFFFFFFFu);

@@ -49,9 +49,16 @@ bool CliqueBinDiversifier::Offer(const Post& post) {
 void CliqueBinDiversifier::SaveState(BinaryWriter* out) const {
   internal::SaveStats(stats_, out);
   out->PutVarint(bins_.size());
-  for (const auto& [clique, bin] : bins_) {
+  // Serialize in sorted key order: hash-map iteration order would make the
+  // snapshot bytes differ from run to run for identical state.
+  std::vector<CliqueId> keys;
+  keys.reserve(bins_.size());
+  // firehose-lint: allow(unordered-iteration) -- keys are sorted below
+  for (const auto& [clique, bin] : bins_) keys.push_back(clique);
+  std::sort(keys.begin(), keys.end());
+  for (CliqueId clique : keys) {
     out->PutVarint(clique);
-    bin.Save(out);
+    bins_.at(clique).Save(out);
   }
 }
 

@@ -54,9 +54,16 @@ bool NeighborBinDiversifier::Offer(const Post& post) {
 void NeighborBinDiversifier::SaveState(BinaryWriter* out) const {
   internal::SaveStats(stats_, out);
   out->PutVarint(bins_.size());
-  for (const auto& [author, bin] : bins_) {
+  // Serialize in sorted key order: hash-map iteration order would make the
+  // snapshot bytes differ from run to run for identical state.
+  std::vector<AuthorId> keys;
+  keys.reserve(bins_.size());
+  // firehose-lint: allow(unordered-iteration) -- keys are sorted below
+  for (const auto& [author, bin] : bins_) keys.push_back(author);
+  std::sort(keys.begin(), keys.end());
+  for (AuthorId author : keys) {
     out->PutVarint(author);
-    bin.Save(out);
+    bins_.at(author).Save(out);
   }
 }
 

@@ -1,5 +1,6 @@
 #include "src/util/flags.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace firehose {
@@ -56,6 +57,7 @@ bool Flags::GetBool(const std::string& name, bool fallback) const {
 std::vector<std::string> Flags::UnknownFlags(
     const std::vector<std::string>& known) const {
   std::vector<std::string> unknown;
+  // firehose-lint: allow(unordered-iteration) -- result is sorted below
   for (const auto& [name, value] : values_) {
     (void)value;
     bool found = false;
@@ -67,6 +69,9 @@ std::vector<std::string> Flags::UnknownFlags(
     }
     if (!found) unknown.push_back(name);
   }
+  // values_ is a hash map; sort so callers (usage errors, logs) print the
+  // unknown flags in a deterministic order.
+  std::sort(unknown.begin(), unknown.end());
   return unknown;
 }
 

@@ -1,5 +1,6 @@
 #include "src/runtime/spsc_queue.h"
 
+#include <cstdint>
 #include <thread>
 #include <vector>
 
@@ -9,10 +10,86 @@ namespace firehose {
 namespace {
 
 TEST(SpscQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscQueue<int>(0).capacity(), 2u);
   EXPECT_EQ(SpscQueue<int>(1).capacity(), 2u);
   EXPECT_EQ(SpscQueue<int>(2).capacity(), 2u);
   EXPECT_EQ(SpscQueue<int>(3).capacity(), 4u);
   EXPECT_EQ(SpscQueue<int>(1000).capacity(), 1024u);
+}
+
+TEST(SpscQueueTest, MinimumCapacityQueueStillTransfers) {
+  // capacity 0 and 1 both round to the 2-slot minimum and must behave
+  // like any other queue at the full/empty boundary.
+  for (const size_t requested : {size_t{0}, size_t{1}}) {
+    SpscQueue<int> queue(requested);
+    EXPECT_TRUE(queue.TryPush(7));
+    EXPECT_TRUE(queue.TryPush(8));
+    EXPECT_FALSE(queue.TryPush(9)) << "requested=" << requested;
+    int v = 0;
+    EXPECT_TRUE(queue.TryPop(&v));
+    EXPECT_EQ(v, 7);
+    EXPECT_TRUE(queue.TryPush(9));
+    EXPECT_TRUE(queue.TryPop(&v));
+    EXPECT_EQ(v, 8);
+    EXPECT_TRUE(queue.TryPop(&v));
+    EXPECT_EQ(v, 9);
+    EXPECT_FALSE(queue.TryPop(&v));
+  }
+}
+
+TEST(SpscQueueTest, FullEmptyBoundarySingleThread) {
+  SpscQueue<int> queue(4);
+  for (int round = 0; round < 3; ++round) {
+    // Fill to exactly capacity, confirm the next push is rejected without
+    // clobbering the oldest element.
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(queue.ApproxSize(), static_cast<size_t>(i));
+      EXPECT_TRUE(queue.TryPush(round * 10 + i));
+    }
+    EXPECT_EQ(queue.ApproxSize(), 4u);
+    EXPECT_FALSE(queue.TryPush(999));
+    // Drain to exactly empty, confirm the next pop is rejected and the
+    // size estimate never underflows.
+    int v = -1;
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_TRUE(queue.TryPop(&v));
+      EXPECT_EQ(v, round * 10 + i);
+    }
+    EXPECT_EQ(queue.ApproxSize(), 0u);
+    EXPECT_FALSE(queue.TryPop(&v));
+    EXPECT_EQ(queue.ApproxSize(), 0u);
+  }
+}
+
+TEST(SpscQueueTest, IndexArithmeticSurvivesWraparoundPastSizeMax) {
+  // Positions are monotonically increasing size_t values that wrap modulo
+  // 2^64; `head - tail` must stay correct across the wrap. Start the
+  // indices just below SIZE_MAX so every boundary case crosses it.
+  SpscQueue<int> queue(4);
+  queue.TESTONLY_SetStartIndex(SIZE_MAX - 1);
+  EXPECT_EQ(queue.ApproxSize(), 0u);
+  int v = -1;
+  EXPECT_FALSE(queue.TryPop(&v));
+
+  // Fill while head wraps from SIZE_MAX-1 to 2.
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.TryPush(i));
+  EXPECT_EQ(queue.ApproxSize(), 4u);
+  EXPECT_FALSE(queue.TryPush(4));
+
+  // Drain while tail wraps the same boundary; FIFO order must hold.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(queue.TryPop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(queue.TryPop(&v));
+  EXPECT_EQ(queue.ApproxSize(), 0u);
+
+  // Steady-state churn across the wrapped region.
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_TRUE(queue.TryPush(100 + i));
+    EXPECT_TRUE(queue.TryPop(&v));
+    EXPECT_EQ(v, 100 + i);
+  }
 }
 
 TEST(SpscQueueTest, PushPopSingleThread) {

@@ -1,0 +1,105 @@
+#ifndef FIREHOSE_TESTS_TSAN_ANNOTATIONS_H_
+#define FIREHOSE_TESTS_TSAN_ANNOTATIONS_H_
+
+// Sanitizer detection, happens-before annotations and stress-test pacing
+// shared by the concurrency tests (race_stress_test.cc). Build any of the
+// `asan`/`ubsan`/`tsan` CMake presets to run the suite instrumented; the
+// tests scale their iteration counts down under instrumentation so the
+// sanitized ctest wall time stays reasonable.
+
+#include <cstdint>
+#include <thread>
+
+#include "src/util/random.h"
+
+// FIREHOSE_TSAN / FIREHOSE_ASAN: 1 when the matching sanitizer is active.
+#if defined(__SANITIZE_THREAD__)
+#define FIREHOSE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define FIREHOSE_TSAN 1
+#endif
+#endif
+#ifndef FIREHOSE_TSAN
+#define FIREHOSE_TSAN 0
+#endif
+
+#if defined(__SANITIZE_ADDRESS__)
+#define FIREHOSE_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define FIREHOSE_ASAN 1
+#endif
+#endif
+#ifndef FIREHOSE_ASAN
+#define FIREHOSE_ASAN 0
+#endif
+
+// Happens-before annotations for synchronization TSan cannot see through
+// (none in the library today — the SPSC protocol is plain release/acquire
+// — but stress tests for intentionally-racy monitoring reads need them).
+// No-ops outside TSan builds; under TSan they map to the dynamic
+// annotations the runtime exports.
+#if FIREHOSE_TSAN
+extern "C" {
+void AnnotateHappensBefore(const char* file, int line,
+                           const volatile void* addr);
+void AnnotateHappensAfter(const char* file, int line,
+                          const volatile void* addr);
+}
+#define FIREHOSE_ANNOTATE_HAPPENS_BEFORE(addr) \
+  AnnotateHappensBefore(__FILE__, __LINE__, addr)
+#define FIREHOSE_ANNOTATE_HAPPENS_AFTER(addr) \
+  AnnotateHappensAfter(__FILE__, __LINE__, addr)
+#else
+#define FIREHOSE_ANNOTATE_HAPPENS_BEFORE(addr) ((void)(addr))
+#define FIREHOSE_ANNOTATE_HAPPENS_AFTER(addr) ((void)(addr))
+#endif
+
+namespace firehose {
+namespace testing_util {
+
+/// Instrumented builds run each memory access through the sanitizer
+/// runtime (5-20x slower); shrink iteration counts so the stress suite
+/// still explores many interleavings without blowing the ctest budget.
+constexpr int kStressScale = (FIREHOSE_TSAN || FIREHOSE_ASAN) ? 6 : 1;
+
+constexpr int ScaledIterations(int base) {
+  return base / kStressScale > 0 ? base / kStressScale : 1;
+}
+
+/// Deterministic randomized backoff: each call spins, yields or proceeds
+/// immediately with seed-derived probabilities. Injecting irregular timing
+/// into producer/consumer loops shakes out interleavings a uniform
+/// spin-loop never reaches (e.g. full-queue wraparound immediately
+/// followed by empty-queue drain).
+class RandomBackoff {
+ public:
+  explicit RandomBackoff(uint64_t seed) : rng_(seed) {}
+
+  void Pause() {
+    const uint64_t choice = rng_.UniformInt(8);
+    if (choice == 0) {
+      std::this_thread::yield();
+    } else if (choice < 3) {
+      Spin(static_cast<int>(rng_.UniformInt(64)));
+    }
+    // else: no pause — hammer the queue back-to-back.
+  }
+
+ private:
+  static void Spin(int laps) {
+    // volatile sink (not a volatile induction variable — deprecated in
+    // C++20) keeps the loop from being optimized away.
+    volatile int sink = 0;
+    for (int i = 0; i < laps; ++i) sink = i;
+    (void)sink;
+  }
+
+  Rng rng_;
+};
+
+}  // namespace testing_util
+}  // namespace firehose
+
+#endif  // FIREHOSE_TESTS_TSAN_ANNOTATIONS_H_

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Tier-1 correctness gate: determinism lint, then build + full ctest under
+# the AddressSanitizer and UndefinedBehaviorSanitizer presets. Run it from
+# anywhere inside the repo before sending a PR:
+#
+#   tools/check.sh            # lint + asan + ubsan (the CI gate)
+#   tools/check.sh tsan       # additionally build + test the tsan preset
+#   tools/check.sh all        # asan + ubsan + tsan + werror
+#
+# Every preset writes to its own build-<preset>/ directory, so repeated
+# runs are incremental.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+presets=(asan ubsan)
+case "${1:-}" in
+  "") ;;
+  tsan) presets+=(tsan) ;;
+  all) presets+=(tsan werror) ;;
+  *)
+    echo "usage: tools/check.sh [tsan|all]" >&2
+    exit 2
+    ;;
+esac
+
+# 1. Determinism/hygiene lint. Built tiny and standalone so the gate fails
+# fast on lint violations before any full preset build.
+lint_build="$repo/build-lint"
+cmake -S "$repo" -B "$lint_build" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$lint_build" --target firehose_lint -j "$jobs" >/dev/null
+echo "== firehose_lint src/"
+"$lint_build/tools/firehose_lint" "$repo/src"
+
+# 2. Sanitized builds + tests.
+for preset in "${presets[@]}"; do
+  echo "== preset $preset: configure + build"
+  cmake --preset "$preset" >/dev/null
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "== preset $preset: ctest"
+  ctest --preset "$preset"
+done
+
+echo "check.sh: all gates passed (${presets[*]})"

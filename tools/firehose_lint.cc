@@ -1,0 +1,398 @@
+// firehose_lint: determinism and hygiene lint for the firehose sources.
+//
+// The engine's promise is that a run is reproducible from its seed: the
+// same stream, graph and thresholds must produce byte-identical output on
+// every run. This lint enforces the coding rules that protect that
+// promise, plus a few hygiene rules. Checks:
+//
+//   banned-nondeterminism   rand()/srand()/time()/gettimeofday()/
+//                           std::random_device/system_clock anywhere
+//                           except src/util/random (all randomness must
+//                           flow through the seeded firehose::Rng).
+//   unordered-iteration     range-for over a std::unordered_map/set
+//                           whose body feeds an output or serialization
+//                           path (Put*/Save/Write/push_back/printf/<<):
+//                           hash iteration order is nondeterministic, so
+//                           such loops must iterate sorted keys instead.
+//   include-guard           every header must open with a classic
+//                           #ifndef/#define guard (and not #pragma once,
+//                           which is nonstandard) and close with #endif.
+//   raw-new-delete          raw `new`/`delete`; ownership must use
+//                           containers or smart pointers.
+//
+// A violation on line N can be suppressed with a comment containing
+// `firehose-lint: allow(<check>)` on line N or N-1. Usage:
+//
+//   firehose_lint <file-or-dir>...
+//
+// Prints one `path:line: [check] message` per violation and exits
+// nonzero if any were found. Registered as a ctest over src/.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string path;
+  int line = 0;
+  std::string check;
+  std::string message;
+};
+
+/// Replaces comments, string literals and char literals with spaces,
+/// preserving every newline so offsets still map to line numbers.
+std::string StripCommentsAndStrings(const std::string& text) {
+  std::string out = text;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+          out[i] = ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          out[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          out[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+int LineOfOffset(const std::string& text, size_t offset) {
+  return 1 + static_cast<int>(
+                 std::count(text.begin(), text.begin() + offset, '\n'));
+}
+
+/// Lines carrying a `firehose-lint: allow(<check>)` comment. A directive
+/// suppresses its check on that line and the following one.
+std::map<int, std::set<std::string>> CollectSuppressions(
+    const std::string& raw) {
+  std::map<int, std::set<std::string>> allowed;
+  static const std::regex kAllow(
+      "firehose-lint:\\s*allow\\(([a-z-]+)\\)");
+  std::istringstream in(raw);
+  std::string line;
+  int number = 0;
+  while (std::getline(in, line)) {
+    ++number;
+    auto begin = std::sregex_iterator(line.begin(), line.end(), kAllow);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      allowed[number].insert((*it)[1].str());
+      allowed[number + 1].insert((*it)[1].str());
+    }
+  }
+  return allowed;
+}
+
+bool IsSuppressed(const std::map<int, std::set<std::string>>& allowed,
+                  int line, const std::string& check) {
+  auto it = allowed.find(line);
+  return it != allowed.end() && it->second.count(check) > 0;
+}
+
+// --- banned-nondeterminism ---------------------------------------------------
+
+void CheckBannedNondeterminism(const std::string& path,
+                               const std::string& code,
+                               const std::map<int, std::set<std::string>>& ok,
+                               std::vector<Violation>* out) {
+  // src/util/random wraps the one sanctioned entropy-free generator.
+  if (path.find("util/random") != std::string::npos) return;
+  static const std::regex kBanned(
+      "\\b(s?rand|d?rand48|lrand48|time|gettimeofday)\\s*\\(|"
+      "std\\s*::\\s*random_device|"
+      "std\\s*::\\s*chrono\\s*::\\s*system_clock");
+  auto begin = std::sregex_iterator(code.begin(), code.end(), kBanned);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const int line = LineOfOffset(code, static_cast<size_t>(it->position()));
+    if (IsSuppressed(ok, line, "banned-nondeterminism")) continue;
+    std::string token = it->str();
+    token.erase(token.find_last_not_of(" \t(") + 1, std::string::npos);
+    out->push_back({path, line, "banned-nondeterminism",
+                    "'" + token +
+                        "' is nondeterministic; thread all randomness and "
+                        "wall-clock reads through firehose::Rng / WallTimer "
+                        "(src/util) so runs replay from a seed"});
+  }
+}
+
+// --- unordered-iteration -----------------------------------------------------
+
+/// Extent [begin, end) of the statement following a range-for header whose
+/// closing paren is at `after_paren`.
+size_t LoopBodyEnd(const std::string& code, size_t after_paren) {
+  size_t i = after_paren;
+  while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i]))) {
+    ++i;
+  }
+  if (i >= code.size()) return i;
+  if (code[i] != '{') {
+    while (i < code.size() && code[i] != ';') ++i;
+    return i;
+  }
+  int depth = 0;
+  for (; i < code.size(); ++i) {
+    if (code[i] == '{') ++depth;
+    if (code[i] == '}' && --depth == 0) return i;
+  }
+  return code.size();
+}
+
+void CheckUnorderedIteration(const std::string& path, const std::string& code,
+                             const std::set<std::string>& unordered_names,
+                             const std::map<int, std::set<std::string>>& ok,
+                             std::vector<Violation>* out) {
+  static const std::regex kRangeFor(
+      "for\\s*\\(([^;{}()]|\\([^()]*\\))*?:\\s*([A-Za-z_][A-Za-z0-9_]*)\\s*"
+      "\\)");
+  // `<<` counts only with a stream-shaped left operand so bit shifts like
+  // `x << 32` do not trip the check.
+  static const std::regex kOutputToken(
+      "\\bPut[A-Za-z0-9_]*\\s*\\(|\\.\\s*Save\\s*\\(|\\bWrite[A-Za-z0-9_]*"
+      "\\s*\\(|\\bpush_back\\s*\\(|\\bemplace_back\\s*\\(|\\bf?printf\\s*\\(|"
+      "\\b(?:cout|cerr|out|os|stream)\\s*<<|[A-Za-z0-9_]*(?:_out|_os|_stream)"
+      "\\s*<<");
+  auto begin = std::sregex_iterator(code.begin(), code.end(), kRangeFor);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::string range = (*it)[2].str();
+    if (unordered_names.count(range) == 0) continue;
+    const size_t header_end =
+        static_cast<size_t>(it->position() + it->length());
+    const std::string body =
+        code.substr(header_end, LoopBodyEnd(code, header_end) - header_end);
+    if (!std::regex_search(body, kOutputToken)) continue;
+    const int line = LineOfOffset(code, static_cast<size_t>(it->position()));
+    if (IsSuppressed(ok, line, "unordered-iteration")) continue;
+    out->push_back(
+        {path, line, "unordered-iteration",
+         "range-for over unordered container '" + range +
+             "' feeds an output/serialization path; hash iteration order "
+             "is nondeterministic — iterate sorted keys instead (or "
+             "annotate `firehose-lint: allow(unordered-iteration)` if the "
+             "result is re-sorted before it escapes)"});
+  }
+}
+
+/// Names of variables/members declared as std::unordered_map/set anywhere
+/// in the scanned tree. Collected globally because members are declared in
+/// headers but iterated in the matching .cc file.
+void CollectUnorderedNames(const std::string& code,
+                           std::set<std::string>* names) {
+  static const std::regex kDecl(
+      "\\bunordered_(?:map|set)\\b[^;()]*?>\\s*([A-Za-z_][A-Za-z0-9_]*)\\s*"
+      "[;={]");
+  auto begin = std::sregex_iterator(code.begin(), code.end(), kDecl);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    names->insert((*it)[1].str());
+  }
+}
+
+// --- include-guard -----------------------------------------------------------
+
+void CheckIncludeGuard(const std::string& path, const std::string& code,
+                       const std::map<int, std::set<std::string>>& ok,
+                       std::vector<Violation>* out) {
+  if (!(path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0)) {
+    return;
+  }
+  if (IsSuppressed(ok, 1, "include-guard")) return;
+  if (code.find("#pragma once") != std::string::npos) {
+    out->push_back({path, 1, "include-guard",
+                    "#pragma once is nonstandard; use an #ifndef/#define "
+                    "include guard"});
+    return;
+  }
+  static const std::regex kGuard(
+      "^\\s*#\\s*ifndef\\s+([A-Za-z_][A-Za-z0-9_]*)\\s*\\n\\s*#\\s*define\\s+"
+      "([A-Za-z_][A-Za-z0-9_]*)\\b");
+  std::smatch match;
+  if (!std::regex_search(code, match, kGuard) ||
+      match[1].str() != match[2].str()) {
+    out->push_back({path, 1, "include-guard",
+                    "header must open with a matching #ifndef/#define "
+                    "include guard"});
+    return;
+  }
+  const size_t endif = code.rfind("#endif");
+  if (endif == std::string::npos ||
+      code.find_first_not_of(" \t\n", code.find('\n', endif)) !=
+          std::string::npos) {
+    out->push_back({path, 1, "include-guard",
+                    "header must close with #endif as its last directive"});
+  }
+}
+
+// --- raw-new-delete ----------------------------------------------------------
+
+void CheckRawNewDelete(const std::string& path, const std::string& code,
+                       const std::map<int, std::set<std::string>>& ok,
+                       std::vector<Violation>* out) {
+  static const std::regex kNew("\\bnew\\b");
+  static const std::regex kDelete("(=\\s*)?\\bdelete\\b");
+  auto begin = std::sregex_iterator(code.begin(), code.end(), kNew);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const int line = LineOfOffset(code, static_cast<size_t>(it->position()));
+    if (IsSuppressed(ok, line, "raw-new-delete")) continue;
+    out->push_back({path, line, "raw-new-delete",
+                    "raw `new`; use std::make_unique/containers so ownership "
+                    "is explicit"});
+  }
+  begin = std::sregex_iterator(code.begin(), code.end(), kDelete);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    if ((*it)[1].matched) continue;  // `= delete` declarations are fine
+    const int line = LineOfOffset(code, static_cast<size_t>(it->position()));
+    if (IsSuppressed(ok, line, "raw-new-delete")) continue;
+    out->push_back({path, line, "raw-new-delete",
+                    "raw `delete`; use std::unique_ptr/containers so "
+                    "ownership is explicit"});
+  }
+}
+
+// --- driver ------------------------------------------------------------------
+
+bool IsSourceFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+std::vector<std::string> CollectFiles(int argc, char** argv) {
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path root(argv[i]);
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (auto it = fs::recursive_directory_iterator(root, ec);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file(ec) && IsSourceFile(it->path())) {
+          files.push_back(it->path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      files.push_back(root.generic_string());
+    } else {
+      std::cerr << "firehose_lint: no such file or directory: " << argv[i]
+                << "\n";
+      std::exit(2);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: firehose_lint <file-or-dir>...\n";
+    return 2;
+  }
+  const std::vector<std::string> files = CollectFiles(argc, argv);
+
+  struct FileText {
+    std::string path;
+    std::string raw;
+    std::string code;
+  };
+  std::vector<FileText> texts;
+  texts.reserve(files.size());
+  std::set<std::string> unordered_names;
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    FileText text{path, buffer.str(), ""};
+    text.code = StripCommentsAndStrings(text.raw);
+    CollectUnorderedNames(text.code, &unordered_names);
+    texts.push_back(std::move(text));
+  }
+
+  std::vector<Violation> violations;
+  for (const FileText& text : texts) {
+    const auto allowed = CollectSuppressions(text.raw);
+    CheckBannedNondeterminism(text.path, text.code, allowed, &violations);
+    CheckUnorderedIteration(text.path, text.code, unordered_names, allowed,
+                            &violations);
+    CheckIncludeGuard(text.path, text.code, allowed, &violations);
+    CheckRawNewDelete(text.path, text.code, allowed, &violations);
+  }
+
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.check < b.check;
+            });
+  for (const Violation& v : violations) {
+    std::cout << v.path << ":" << v.line << ": [" << v.check << "] "
+              << v.message << "\n";
+  }
+  std::cout << "firehose_lint: " << files.size() << " files, "
+            << violations.size() << " violation"
+            << (violations.size() == 1 ? "" : "s") << "\n";
+  return violations.empty() ? 0 : 1;
+}
