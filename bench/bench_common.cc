@@ -15,7 +15,51 @@ double EnvDouble(const char* name, double fallback) {
   return value == nullptr ? fallback : std::atof(value);
 }
 
+std::string g_bench_id;   // set by PrintBenchHeader
+size_t g_run_index = 0;   // RunOnce calls, for stable metric prefixes
+
+void WriteBenchArtifact() {
+  if (g_bench_id.empty() || BenchMetrics().empty()) return;
+  const std::string path = "BENCH_" + g_bench_id + ".json";
+  const std::string body = obs::ExportJson(BenchMetrics());
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(body.data(), 1, body.size(), file);
+  std::fclose(file);
+  std::printf("bench artifact: %s (%zu metrics)\n", path.c_str(),
+              BenchMetrics().size());
+}
+
 }  // namespace
+
+obs::MetricsRegistry& BenchMetrics() {
+  // firehose-lint: allow(raw-new-delete) -- intentionally leaked singleton
+  static obs::MetricsRegistry* registry = new obs::MetricsRegistry;
+  return *registry;
+}
+
+void RecordRunMetrics(const std::string& label, const RunResult& result) {
+  obs::MetricsRegistry& m = BenchMetrics();
+  m.GetCounter(label + ".posts_in")->Add(result.posts_in);
+  m.GetCounter(label + ".posts_out")->Add(result.posts_out);
+  m.GetCounter(label + ".comparisons")->Add(result.comparisons);
+  m.GetCounter(label + ".insertions")->Add(result.insertions);
+  m.GetGauge(label + ".peak_bytes")
+      ->Set(static_cast<int64_t>(result.peak_bytes));
+  m.GetGauge(label + ".wall_us", /*timing=*/true)
+      ->Set(static_cast<int64_t>(result.wall_ms * 1000.0));
+}
+
+void RecordMultiUserRunMetrics(const std::string& label,
+                               const MultiUserRunResult& result) {
+  RecordRunMetrics(label, result);
+  BenchMetrics()
+      .GetCounter(label + ".deliveries")
+      ->Add(result.deliveries);
+}
 
 WorkloadOptions WorkloadOptions::FromEnv() {
   WorkloadOptions options;
@@ -84,7 +128,12 @@ RunResult RunOnce(Algorithm algorithm, const DiversityThresholds& t,
                   const AuthorGraph& graph, const CliqueCover* cover,
                   const PostStream& stream) {
   auto diversifier = MakeDiversifier(algorithm, t, &graph, cover);
-  return RunDiversifier(*diversifier, stream);
+  const RunResult result = RunDiversifier(*diversifier, stream);
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "run%03zu.%s", g_run_index++,
+                std::string(AlgorithmName(algorithm)).c_str());
+  RecordRunMetrics(prefix, result);
+  return result;
 }
 
 std::string Mib(size_t bytes) {
@@ -98,6 +147,10 @@ void PrintBenchHeader(const std::string& id, const std::string& paper_ref,
                       const std::string& description) {
   std::printf("=== %s — %s ===\n%s\n\n", id.c_str(), paper_ref.c_str(),
               description.c_str());
+  if (g_bench_id.empty()) {
+    g_bench_id = id;
+    std::atexit(WriteBenchArtifact);
+  }
 }
 
 }  // namespace bench

@@ -50,14 +50,31 @@ Workload BuildWorkload(const WorkloadOptions& options);
 DiversityThresholds PaperThresholds();
 
 /// Runs one algorithm over `stream` and returns the measured quantities.
+/// Also records the run into BenchMetrics() under a `run<k>.<algo>.`
+/// prefix, so the bench's JSON artifact carries every data point.
 RunResult RunOnce(Algorithm algorithm, const DiversityThresholds& t,
                   const AuthorGraph& graph, const CliqueCover* cover,
                   const PostStream& stream);
 
+/// Registry every bench run's metrics land in. PrintBenchHeader arms an
+/// atexit hook that exports it as BENCH_<id>.json (firehose.metrics.v1,
+/// timing included) in the working directory, so every fig/abl binary
+/// drops a machine-readable artifact next to its table output.
+obs::MetricsRegistry& BenchMetrics();
+
+/// Records one single-user result under `<label>.` prefixed metrics.
+void RecordRunMetrics(const std::string& label, const RunResult& result);
+
+/// Records one multi-user result under `<label>.` prefixed metrics
+/// (for benches that drive RunMultiUser directly, e.g. fig16).
+void RecordMultiUserRunMetrics(const std::string& label,
+                               const MultiUserRunResult& result);
+
 /// Formats bytes as MiB with 2 decimals.
 std::string Mib(size_t bytes);
 
-/// Standard header printed by every figure bench.
+/// Standard header printed by every figure bench. Also registers the
+/// BENCH_<id>.json exit-time artifact writer (first call wins).
 void PrintBenchHeader(const std::string& id, const std::string& paper_ref,
                       const std::string& description);
 

@@ -48,6 +48,7 @@ void Run() {
           shared ? MakeSUserEngine(algorithm, t, w.graph, users)
                  : MakeMUserEngine(algorithm, t, w.graph, users);
       const MultiUserRunResult r = RunMultiUser(*engine, w.stream);
+      RecordMultiUserRunMetrics(std::string(engine->name()), r);
       table.AddRow({std::string(engine->name()),
                     Table::Fmt(static_cast<uint64_t>(engine->num_diversifiers())),
                     Table::Fmt(r.wall_ms, 1), Mib(r.peak_bytes),

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.h"
+
 namespace firehose {
 
 CliqueBinDiversifier::CliqueBinDiversifier(
@@ -17,9 +19,10 @@ bool CliqueBinDiversifier::Offer(const Post& post) {
   // it (clique members are pairwise neighbors), so only content is checked.
   auto author_similar = [](AuthorId) { return true; };
   bool covered = false;
+  size_t evicted = 0;
   for (CliqueId clique : cliques) {
     PostBin& bin = bins_[clique];
-    bin.EvictOlderThan(cutoff);
+    evicted += bin.EvictOlderThan(cutoff);
     for (size_t i = 0; i < bin.size() && !covered; ++i) {
       const BinEntry& entry = bin.FromNewest(i);
       ++stats_.comparisons;
@@ -28,8 +31,12 @@ bool CliqueBinDiversifier::Offer(const Post& post) {
     }
     if (covered) break;
   }
+  if (evicted > 0) {
+    stats_.evictions += evicted;
+    obs::GlobalTraceInstant("CliqueBin.evict", "bin");
+  }
   if (covered) {
-    stats_.peak_bytes = std::max(stats_.peak_bytes, ApproxBytes());
+    stats_.UpdatePeak(ApproxBytes());
     return false;
   }
 
@@ -42,8 +49,16 @@ bool CliqueBinDiversifier::Offer(const Post& post) {
     ++stats_.insertions;
   }
   ++stats_.posts_out;
-  stats_.peak_bytes = std::max(stats_.peak_bytes, ApproxBytes());
+  stats_.UpdatePeak(ApproxBytes());
   return true;
+}
+
+BinOccupancy CliqueBinDiversifier::bin_occupancy() const {
+  BinOccupancy occupancy;
+  occupancy.num_bins = bins_.size();
+  // firehose-lint: allow(unordered-iteration) -- order-independent sum
+  for (const auto& [clique, bin] : bins_) occupancy.binned_posts += bin.size();
+  return occupancy;
 }
 
 void CliqueBinDiversifier::SaveState(BinaryWriter* out) const {

@@ -26,6 +26,7 @@ class CliqueBinDiversifier final : public Diversifier {
   bool Offer(const Post& post) override;
   const IngestStats& stats() const override { return stats_; }
   size_t ApproxBytes() const override;
+  BinOccupancy bin_occupancy() const override;
   std::string_view name() const override { return "CliqueBin"; }
   void SaveState(BinaryWriter* out) const override;
   bool LoadState(BinaryReader& in) override;

@@ -19,6 +19,7 @@ bool CosineUniBinDiversifier::Offer(const Post& post) {
   while (!bin_.empty() && bin_.front().time_ms < cutoff) {
     bin_bytes_ -= bin_.front().bytes;
     bin_.pop_front();
+    ++stats_.evictions;
   }
 
   const TfVector vector = TfVector::FromText(Normalize(post.text));
@@ -33,7 +34,7 @@ bool CosineUniBinDiversifier::Offer(const Post& post) {
         (graph_ == nullptr || !graph_->IsNeighbor(post.author, it->author))) {
       continue;
     }
-    stats_.peak_bytes = std::max(stats_.peak_bytes, ApproxBytes());
+    stats_.UpdatePeak(ApproxBytes());
     return false;  // covered
   }
 
@@ -46,10 +47,14 @@ bool CosineUniBinDiversifier::Offer(const Post& post) {
   bin_.push_back(std::move(entry));
   ++stats_.insertions;
   ++stats_.posts_out;
-  stats_.peak_bytes = std::max(stats_.peak_bytes, ApproxBytes());
+  stats_.UpdatePeak(ApproxBytes());
   return true;
 }
 
 size_t CosineUniBinDiversifier::ApproxBytes() const { return bin_bytes_; }
+
+BinOccupancy CosineUniBinDiversifier::bin_occupancy() const {
+  return BinOccupancy{1, bin_.size()};
+}
 
 }  // namespace firehose

@@ -33,6 +33,7 @@ class CosineUniBinDiversifier final : public Diversifier {
   bool Offer(const Post& post) override;
   const IngestStats& stats() const override { return stats_; }
   size_t ApproxBytes() const override;
+  BinOccupancy bin_occupancy() const override;
   std::string_view name() const override { return "CosineUniBin"; }
 
  private:

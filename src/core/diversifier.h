@@ -21,6 +21,14 @@ namespace firehose {
 /// CliqueBinDiversifier. All three emit the identical sub-stream; they
 /// differ in indexing and therefore in RAM/comparison/insertion cost
 /// (paper Table 3).
+/// Snapshot of a diversifier's bin structure, for observability exports:
+/// how many bins the index currently holds and how many post entries live
+/// in them (copies count individually, mirroring IngestStats::insertions).
+struct BinOccupancy {
+  uint64_t num_bins = 0;
+  uint64_t binned_posts = 0;
+};
+
 class Diversifier {
  public:
   virtual ~Diversifier() = default;
@@ -36,6 +44,10 @@ class Diversifier {
 
   /// Current resident bytes of the algorithm's bins and indexes.
   virtual size_t ApproxBytes() const = 0;
+
+  /// Current bin count and occupancy. O(number of bins); meant for
+  /// export-time sampling, not the per-post hot path.
+  virtual BinOccupancy bin_occupancy() const { return {}; }
 
   /// Human-readable algorithm name ("UniBin", ...).
   virtual std::string_view name() const = 0;
@@ -63,16 +75,22 @@ inline void SaveStats(const IngestStats& stats, BinaryWriter* out) {
   out->PutVarint(stats.posts_out);
   out->PutVarint(stats.comparisons);
   out->PutVarint(stats.insertions);
+  out->PutVarint(stats.evictions);
   out->PutVarint(stats.peak_bytes);
+  out->PutVarint(stats.sum_peak_bytes);
 }
 
 inline bool LoadStats(BinaryReader& in, IngestStats* stats) {
   uint64_t peak = 0;
+  uint64_t sum_peak = 0;
   const bool ok = in.GetVarint(&stats->posts_in) &&
                   in.GetVarint(&stats->posts_out) &&
                   in.GetVarint(&stats->comparisons) &&
-                  in.GetVarint(&stats->insertions) && in.GetVarint(&peak);
+                  in.GetVarint(&stats->insertions) &&
+                  in.GetVarint(&stats->evictions) && in.GetVarint(&peak) &&
+                  in.GetVarint(&sum_peak);
   stats->peak_bytes = static_cast<size_t>(peak);
+  stats->sum_peak_bytes = static_cast<size_t>(sum_peak);
   return ok;
 }
 

@@ -5,6 +5,8 @@
 #include "src/core/clique_bin.h"
 #include "src/core/neighbor_bin.h"
 #include "src/core/unibin.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace firehose {
 
@@ -20,6 +22,7 @@ class OwningCliqueBin final : public Diversifier {
   bool Offer(const Post& post) override { return impl_.Offer(post); }
   const IngestStats& stats() const override { return impl_.stats(); }
   size_t ApproxBytes() const override { return impl_.ApproxBytes(); }
+  BinOccupancy bin_occupancy() const override { return impl_.bin_occupancy(); }
   std::string_view name() const override { return impl_.name(); }
   void SaveState(BinaryWriter* out) const override { impl_.SaveState(out); }
   bool LoadState(BinaryReader& in) override { return impl_.LoadState(in); }
@@ -56,9 +59,36 @@ std::unique_ptr<Diversifier> MakeDiversifier(Algorithm algorithm,
       if (cover != nullptr) {
         return std::make_unique<CliqueBinDiversifier>(t, cover);
       }
-      return std::make_unique<OwningCliqueBin>(t, CliqueCover::Greedy(*graph));
+      {
+        obs::TraceScope scope(obs::GlobalTrace(), "CliqueCover::Greedy",
+                              "cover");
+        return std::make_unique<OwningCliqueBin>(t,
+                                                 CliqueCover::Greedy(*graph));
+      }
   }
   return nullptr;
+}
+
+void ExportDiversifierMetrics(const Diversifier& diversifier,
+                              obs::MetricsRegistry* registry) {
+  const IngestStats& stats = diversifier.stats();
+  registry->GetCounter("engine.posts_in")->Add(stats.posts_in);
+  registry->GetCounter("engine.posts_out")->Add(stats.posts_out);
+  registry->GetCounter("engine.posts_pruned")
+      ->Add(stats.posts_in - stats.posts_out);
+  registry->GetCounter("engine.comparisons")->Add(stats.comparisons);
+  registry->GetCounter("engine.insertions")->Add(stats.insertions);
+  registry->GetCounter("engine.evictions")->Add(stats.evictions);
+  const BinOccupancy occupancy = diversifier.bin_occupancy();
+  registry->GetGauge("engine.bins")
+      ->Set(static_cast<int64_t>(occupancy.num_bins));
+  registry->GetGauge("engine.binned_posts")
+      ->Set(static_cast<int64_t>(occupancy.binned_posts));
+  // Set the peak first so the gauge's high-water records it even though
+  // the current residency is lower.
+  obs::Gauge* resident = registry->GetGauge("engine.resident_bytes");
+  resident->Set(static_cast<int64_t>(stats.peak_bytes));
+  resident->Set(static_cast<int64_t>(diversifier.ApproxBytes()));
 }
 
 }  // namespace firehose

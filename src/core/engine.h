@@ -7,6 +7,7 @@
 #include "src/author/clique_cover.h"
 #include "src/author/similarity_graph.h"
 #include "src/core/diversifier.h"
+#include "src/obs/metrics.h"
 
 namespace firehose {
 
@@ -37,6 +38,13 @@ std::unique_ptr<Diversifier> MakeDiversifier(Algorithm algorithm,
                                              const DiversityThresholds& t,
                                              const AuthorGraph* graph,
                                              const CliqueCover* cover = nullptr);
+
+/// Records a diversifier's counters and bin occupancy into `registry`
+/// under the `engine.` prefix (posts_in/out/pruned, comparisons,
+/// insertions, evictions, bins, binned_posts, resident_bytes with the
+/// peak as its high-water). Call once at end of run, before exporting.
+void ExportDiversifierMetrics(const Diversifier& diversifier,
+                              obs::MetricsRegistry* registry);
 
 }  // namespace firehose
 

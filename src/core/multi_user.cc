@@ -68,16 +68,30 @@ class MUserEngine final : public MultiUserEngine {
     delivered->clear();
     if (post.author >= subscribers_.size()) return;
     for (size_t u : subscribers_[post.author]) {
-      if (engines_[u]->diversifier->Offer(post)) {
+      Diversifier& diversifier = *engines_[u]->diversifier;
+      const size_t before = diversifier.ApproxBytes();
+      if (diversifier.Offer(post)) {
         delivered->push_back(user_ids_[u]);
       }
+      live_bin_bytes_ += static_cast<int64_t>(diversifier.ApproxBytes()) -
+                         static_cast<int64_t>(before);
     }
+    peak_live_bytes_ = std::max(peak_live_bytes_, live_bin_bytes_);
     std::sort(delivered->begin(), delivered->end());
   }
 
   IngestStats AggregateStats() const override {
     IngestStats total;
     for (const auto& e : engines_) total.MergeFrom(e->diversifier->stats());
+    // MergeFrom's max over per-user peaks undercounts memory that is
+    // resident at the same time in different users' bins; this engine
+    // tracks the combined bin footprint per offer. Graphs, covers and
+    // routing tables are fixed after construction, so the engine-wide
+    // high-water is today's total minus today's bins plus the bin peak
+    // (Figures 11-16 report RAM).
+    total.peak_bytes = static_cast<size_t>(
+        static_cast<int64_t>(ApproxBytes()) - live_bin_bytes_ +
+        peak_live_bytes_);
     return total;
   }
 
@@ -98,6 +112,10 @@ class MUserEngine final : public MultiUserEngine {
   std::vector<std::unique_ptr<OwnedDiversifier>> engines_;  // per users index
   std::vector<UserId> user_ids_;                            // per users index
   std::vector<std::vector<size_t>> subscribers_;            // author -> indices
+  // Combined resident bin bytes over all users, maintained by per-offer
+  // deltas (ApproxBytes is O(1) per diversifier), and its true peak.
+  int64_t live_bin_bytes_ = 0;
+  int64_t peak_live_bytes_ = 0;
 };
 
 uint64_t AuthorSetKey(const std::vector<AuthorId>& sorted_authors) {
@@ -150,10 +168,15 @@ class SUserEngine final : public MultiUserEngine {
     if (post.author >= author_components_.size()) return;
     for (size_t index : author_components_[post.author]) {
       Component& c = components_[index];
-      if (c.engine->diversifier->Offer(post)) {
+      Diversifier& diversifier = *c.engine->diversifier;
+      const size_t before = diversifier.ApproxBytes();
+      if (diversifier.Offer(post)) {
         delivered->insert(delivered->end(), c.users.begin(), c.users.end());
       }
+      live_bin_bytes_ += static_cast<int64_t>(diversifier.ApproxBytes()) -
+                         static_cast<int64_t>(before);
     }
+    peak_live_bytes_ = std::max(peak_live_bytes_, live_bin_bytes_);
     std::sort(delivered->begin(), delivered->end());
   }
 
@@ -162,6 +185,10 @@ class SUserEngine final : public MultiUserEngine {
     for (const Component& c : components_) {
       total.MergeFrom(c.engine->diversifier->stats());
     }
+    // True concurrent high-water of the whole engine (see MUserEngine).
+    total.peak_bytes = static_cast<size_t>(
+        static_cast<int64_t>(ApproxBytes()) - live_bin_bytes_ +
+        peak_live_bytes_);
     return total;
   }
 
@@ -192,6 +219,9 @@ class SUserEngine final : public MultiUserEngine {
   std::string name_;
   std::vector<Component> components_;
   std::vector<std::vector<size_t>> author_components_;  // index = author
+  // Combined resident bin bytes over all components and its true peak.
+  int64_t live_bin_bytes_ = 0;
+  int64_t peak_live_bytes_ = 0;
 };
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.h"
+
 namespace firehose {
 
 NeighborBinDiversifier::NeighborBinDiversifier(
@@ -17,7 +19,7 @@ bool NeighborBinDiversifier::Offer(const Post& post) {
   const int64_t cutoff = post.time_ms - thresholds_.lambda_t_ms;
 
   PostBin& own_bin = BinOf(post.author);
-  own_bin.EvictOlderThan(cutoff);
+  size_t evicted = own_bin.EvictOlderThan(cutoff);
 
   // Every post in bin(author) is from the author or a similar author, so
   // the author dimension holds by construction; only content is checked.
@@ -27,7 +29,11 @@ bool NeighborBinDiversifier::Offer(const Post& post) {
     ++stats_.comparisons;
     if (internal::CoversContentAndAuthor(entry, post.simhash, post.author,
                                          thresholds_, author_similar)) {
-      stats_.peak_bytes = std::max(stats_.peak_bytes, ApproxBytes());
+      if (evicted > 0) {
+        stats_.evictions += evicted;
+        obs::GlobalTraceInstant("NeighborBin.evict", "bin");
+      }
+      stats_.UpdatePeak(ApproxBytes());
       return false;
     }
   }
@@ -40,15 +46,27 @@ bool NeighborBinDiversifier::Offer(const Post& post) {
   ++stats_.insertions;
   for (AuthorId neighbor : graph_->Neighbors(post.author)) {
     PostBin& bin = BinOf(neighbor);
-    bin.EvictOlderThan(cutoff);
+    evicted += bin.EvictOlderThan(cutoff);
     before = bin.ApproxBytes();
     bin.Push(entry);
     bins_bytes_ += bin.ApproxBytes() - before;
     ++stats_.insertions;
   }
+  if (evicted > 0) {
+    stats_.evictions += evicted;
+    obs::GlobalTraceInstant("NeighborBin.evict", "bin");
+  }
   ++stats_.posts_out;
-  stats_.peak_bytes = std::max(stats_.peak_bytes, ApproxBytes());
+  stats_.UpdatePeak(ApproxBytes());
   return true;
+}
+
+BinOccupancy NeighborBinDiversifier::bin_occupancy() const {
+  BinOccupancy occupancy;
+  occupancy.num_bins = bins_.size();
+  // firehose-lint: allow(unordered-iteration) -- order-independent sum
+  for (const auto& [author, bin] : bins_) occupancy.binned_posts += bin.size();
+  return occupancy;
 }
 
 void NeighborBinDiversifier::SaveState(BinaryWriter* out) const {

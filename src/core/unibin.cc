@@ -1,6 +1,6 @@
 #include "src/core/unibin.h"
 
-#include <algorithm>
+#include "src/obs/trace.h"
 
 namespace firehose {
 
@@ -10,7 +10,12 @@ UniBinDiversifier::UniBinDiversifier(const DiversityThresholds& thresholds,
 
 bool UniBinDiversifier::Offer(const Post& post) {
   ++stats_.posts_in;
-  bin_.EvictOlderThan(post.time_ms - thresholds_.lambda_t_ms);
+  const size_t evicted =
+      bin_.EvictOlderThan(post.time_ms - thresholds_.lambda_t_ms);
+  if (evicted > 0) {
+    stats_.evictions += evicted;
+    obs::GlobalTraceInstant("UniBin.evict", "bin");
+  }
 
   auto author_similar = [&](AuthorId other) {
     return graph_ != nullptr && graph_->IsNeighbor(post.author, other);
@@ -20,7 +25,7 @@ bool UniBinDiversifier::Offer(const Post& post) {
     ++stats_.comparisons;
     if (internal::CoversContentAndAuthor(entry, post.simhash, post.author,
                                          thresholds_, author_similar)) {
-      stats_.peak_bytes = std::max(stats_.peak_bytes, ApproxBytes());
+      stats_.UpdatePeak(ApproxBytes());
       return false;  // covered: redundant
     }
   }
@@ -28,11 +33,15 @@ bool UniBinDiversifier::Offer(const Post& post) {
   bin_.Push(BinEntry{post.time_ms, post.simhash, post.author, post.id});
   ++stats_.insertions;
   ++stats_.posts_out;
-  stats_.peak_bytes = std::max(stats_.peak_bytes, ApproxBytes());
+  stats_.UpdatePeak(ApproxBytes());
   return true;
 }
 
 size_t UniBinDiversifier::ApproxBytes() const { return bin_.ApproxBytes(); }
+
+BinOccupancy UniBinDiversifier::bin_occupancy() const {
+  return BinOccupancy{1, bin_.size()};
+}
 
 void UniBinDiversifier::SaveState(BinaryWriter* out) const {
   internal::SaveStats(stats_, out);

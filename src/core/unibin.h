@@ -23,6 +23,7 @@ class UniBinDiversifier final : public Diversifier {
   bool Offer(const Post& post) override;
   const IngestStats& stats() const override { return stats_; }
   size_t ApproxBytes() const override;
+  BinOccupancy bin_occupancy() const override;
   std::string_view name() const override { return "UniBin"; }
   void SaveState(BinaryWriter* out) const override;
   bool LoadState(BinaryReader& in) override;

@@ -34,6 +34,11 @@
 #include "src/gen/labeled_pairs.h"
 #include "src/io/binary.h"
 #include "src/io/persist.h"
+#include "src/obs/clock.h"
+#include "src/obs/export.h"
+#include "src/obs/log_histogram.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/latency.h"
 #include "src/runtime/live_ingest.h"
 #include "src/runtime/pipeline.h"

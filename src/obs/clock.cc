@@ -1,0 +1,21 @@
+#include "src/obs/clock.h"
+
+#include <chrono>
+
+namespace firehose {
+namespace obs {
+
+uint64_t MonotonicClock::NowNanos() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const Clock* RealClock() {
+  static const MonotonicClock clock;
+  return &clock;
+}
+
+}  // namespace obs
+}  // namespace firehose

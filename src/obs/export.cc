@@ -1,0 +1,168 @@
+#include "src/obs/export.h"
+
+#include <cstdio>
+
+namespace firehose {
+namespace obs {
+
+namespace {
+
+/// Shortest representation that round-trips a double; deterministic for
+/// identical values.
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Prefer the shorter %g form when it round-trips exactly.
+  char short_buf[64];
+  std::snprintf(short_buf, sizeof(short_buf), "%g", value);
+  double reparsed = 0.0;
+  std::sscanf(short_buf, "%lf", &reparsed);
+  return reparsed == value ? short_buf : buf;
+}
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "firehose_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendU64(uint64_t value, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  out->append(buf);
+}
+
+void AppendI64(int64_t value, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string ExportPrometheus(const MetricsRegistry& registry,
+                             const ExportOptions& options) {
+  std::string out;
+  registry.VisitSorted([&](const MetricsRegistry::MetricView& m) {
+    if (m.timing && !options.include_timing) return;
+    const std::string name = PrometheusName(m.name);
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out.append("# TYPE ").append(name).append(" counter\n");
+        out.append(name).push_back(' ');
+        AppendU64(m.counter->value(), &out);
+        out.push_back('\n');
+        break;
+      case MetricKind::kGauge:
+        out.append("# TYPE ").append(name).append(" gauge\n");
+        out.append(name).push_back(' ');
+        AppendI64(m.gauge->value(), &out);
+        out.push_back('\n');
+        out.append("# TYPE ").append(name).append("_high_water gauge\n");
+        out.append(name).append("_high_water ");
+        AppendI64(m.gauge->high_water(), &out);
+        out.push_back('\n');
+        break;
+      case MetricKind::kHistogram: {
+        out.append("# TYPE ").append(name).append(" histogram\n");
+        const auto& buckets = m.histogram->buckets();
+        uint64_t cumulative = 0;
+        for (int i = 0; i < LogHistogram::kNumBuckets; ++i) {
+          const uint64_t count = buckets[static_cast<size_t>(i)];
+          if (count == 0) continue;  // sparse: only edges that gained mass
+          cumulative += count;
+          out.append(name).append("_bucket{le=\"");
+          out.append(FormatDouble(LogHistogram::BucketUpperValue(i)));
+          out.append("\"} ");
+          AppendU64(cumulative, &out);
+          out.push_back('\n');
+        }
+        out.append(name).append("_bucket{le=\"+Inf\"} ");
+        AppendU64(m.histogram->count(), &out);
+        out.push_back('\n');
+        out.append(name).append("_sum ");
+        out.append(FormatDouble(m.histogram->sum()));
+        out.push_back('\n');
+        out.append(name).append("_count ");
+        AppendU64(m.histogram->count(), &out);
+        out.push_back('\n');
+        break;
+      }
+    }
+  });
+  return out;
+}
+
+std::string ExportJson(const MetricsRegistry& registry,
+                       const ExportOptions& options) {
+  std::string counters, gauges, histograms;
+  registry.VisitSorted([&](const MetricsRegistry::MetricView& m) {
+    if (m.timing && !options.include_timing) return;
+    switch (m.kind) {
+      case MetricKind::kCounter: {
+        if (!counters.empty()) counters.append(",");
+        counters.append("\n  \"").append(m.name).append("\": ");
+        AppendU64(m.counter->value(), &counters);
+        break;
+      }
+      case MetricKind::kGauge: {
+        if (!gauges.empty()) gauges.append(",");
+        gauges.append("\n  \"").append(m.name).append("\": {\"value\": ");
+        AppendI64(m.gauge->value(), &gauges);
+        gauges.append(", \"high_water\": ");
+        AppendI64(m.gauge->high_water(), &gauges);
+        gauges.append("}");
+        break;
+      }
+      case MetricKind::kHistogram: {
+        if (!histograms.empty()) histograms.append(",");
+        const HistogramSummary summary = m.histogram->Summarize();
+        histograms.append("\n  \"").append(m.name).append("\": {");
+        histograms.append("\"count\": ");
+        AppendU64(summary.count, &histograms);
+        histograms.append(", \"sum\": ").append(FormatDouble(m.histogram->sum()));
+        histograms.append(", \"max\": ").append(FormatDouble(summary.max));
+        histograms.append(", \"mean\": ").append(FormatDouble(summary.mean));
+        histograms.append(", \"p50\": ").append(FormatDouble(summary.p50));
+        histograms.append(", \"p95\": ").append(FormatDouble(summary.p95));
+        histograms.append(", \"p99\": ").append(FormatDouble(summary.p99));
+        histograms.append(", \"buckets\": [");
+        const auto& buckets = m.histogram->buckets();
+        bool first = true;
+        for (int i = 0; i < LogHistogram::kNumBuckets; ++i) {
+          const uint64_t count = buckets[static_cast<size_t>(i)];
+          if (count == 0) continue;
+          if (!first) histograms.append(", ");
+          first = false;
+          histograms.append("[");
+          AppendI64(i, &histograms);
+          histograms.append(", ");
+          AppendU64(count, &histograms);
+          histograms.append("]");
+        }
+        histograms.append("]}");
+        break;
+      }
+    }
+  });
+
+  std::string out = "{\n\"schema\": \"firehose.metrics.v1\",\n\"counters\": {";
+  out.append(counters);
+  out.append(counters.empty() ? "},\n" : "\n},\n");
+  out.append("\"gauges\": {");
+  out.append(gauges);
+  out.append(gauges.empty() ? "},\n" : "\n},\n");
+  out.append("\"histograms\": {");
+  out.append(histograms);
+  out.append(histograms.empty() ? "}\n" : "\n}\n");
+  out.append("}\n");
+  return out;
+}
+
+}  // namespace obs
+}  // namespace firehose

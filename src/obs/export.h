@@ -1,0 +1,43 @@
+#ifndef FIREHOSE_OBS_EXPORT_H_
+#define FIREHOSE_OBS_EXPORT_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace firehose {
+namespace obs {
+
+/// Exporter knobs shared by both formats.
+struct ExportOptions {
+  /// When false, metrics registered with `timing = true` (wall-clock
+  /// latencies, elapsed times) are dropped, so repeated runs of the same
+  /// seed export byte-identical snapshots. Benchmark artifacts keep
+  /// timing; the firehose_diversify --metrics_out snapshot drops it.
+  bool include_timing = true;
+};
+
+/// Renders the registry in the Prometheus text exposition format
+/// (one `# TYPE` line per family, histograms as cumulative `_bucket`
+/// series with `le` labels plus `_sum`/`_count`). Metric names are
+/// sanitized (`.` -> `_`) and prefixed with `firehose_`. Output is sorted
+/// by metric name and fully deterministic for identical registry state.
+std::string ExportPrometheus(const MetricsRegistry& registry,
+                             const ExportOptions& options = {});
+
+/// Renders the registry as a stable JSON snapshot:
+///
+///   {"schema":"firehose.metrics.v1",
+///    "counters":{...}, "gauges":{...}, "histograms":{...}}
+///
+/// Keys are sorted; histogram buckets are emitted sparsely as
+/// [bucket_index, count] pairs. Byte-identical for identical registry
+/// state — this is the format written to BENCH_<run>.json artifacts and
+/// by firehose_diversify --metrics_out.
+std::string ExportJson(const MetricsRegistry& registry,
+                       const ExportOptions& options = {});
+
+}  // namespace obs
+}  // namespace firehose
+
+#endif  // FIREHOSE_OBS_EXPORT_H_

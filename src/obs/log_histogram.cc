@@ -1,0 +1,66 @@
+#include "src/obs/log_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace firehose {
+namespace obs {
+
+LogHistogram::LogHistogram()
+    : buckets_(static_cast<size_t>(kNumBuckets), 0) {}
+
+int LogHistogram::BucketFor(uint64_t value) {
+  if (value < 1) value = 1;
+  const double log2v = std::log2(static_cast<double>(value));
+  int bucket = static_cast<int>(log2v * kBucketsPerOctave);
+  if (bucket < 0) bucket = 0;
+  if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
+  return bucket;
+}
+
+double LogHistogram::BucketUpperValue(int bucket) {
+  return std::exp2(static_cast<double>(bucket + 1) / kBucketsPerOctave);
+}
+
+void LogHistogram::Record(uint64_t value) {
+  ++buckets_[static_cast<size_t>(BucketFor(value))];
+  ++count_;
+  sum_ += static_cast<double>(value);
+  if (value > max_) max_ = value;
+}
+
+void LogHistogram::MergeFrom(const LogHistogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[static_cast<size_t>(i)] +=
+        other.buckets_[static_cast<size_t>(i)];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+HistogramSummary LogHistogram::Summarize() const {
+  HistogramSummary summary;
+  summary.count = count_;
+  if (count_ == 0) return summary;
+  summary.mean = sum_ / static_cast<double>(count_);
+  summary.max = static_cast<double>(max_);
+
+  auto percentile = [this](double fraction) {
+    const uint64_t target =
+        static_cast<uint64_t>(fraction * static_cast<double>(count_));
+    uint64_t seen = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      seen += buckets_[static_cast<size_t>(i)];
+      if (seen > target) return BucketUpperValue(i);
+    }
+    return static_cast<double>(max_);
+  };
+  summary.p50 = percentile(0.50);
+  summary.p95 = percentile(0.95);
+  summary.p99 = percentile(0.99);
+  return summary;
+}
+
+}  // namespace obs
+}  // namespace firehose

@@ -1,0 +1,66 @@
+#ifndef FIREHOSE_OBS_LOG_HISTOGRAM_H_
+#define FIREHOSE_OBS_LOG_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace firehose {
+namespace obs {
+
+/// Percentile summary of a LogHistogram. Values are in the unit the
+/// histogram was recorded in (the histogram is unit-agnostic).
+struct HistogramSummary {
+  uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Log-bucketed histogram over uint64 values: buckets at ~8% resolution
+/// (9 per octave) covering 1 .. 2^36, constant memory, O(1) record.
+/// Mergeable, so per-shard histograms aggregate into one distribution.
+///
+/// This is the structure that previously lived inside LatencyRecorder
+/// (src/runtime/latency.h); LatencyRecorder now delegates here, and the
+/// same buckets serve any long-tailed quantity (latencies in nanoseconds,
+/// comparisons per post, queue depths).
+class LogHistogram {
+ public:
+  static constexpr int kBucketsPerOctave = 9;  // ~8% resolution
+  static constexpr int kNumBuckets = 36 * kBucketsPerOctave;
+
+  LogHistogram();
+
+  /// Records one observation. Zero clamps to the first bucket.
+  void Record(uint64_t value);
+
+  /// Adds every bucket, count, sum and max of `other` into this.
+  void MergeFrom(const LogHistogram& other);
+
+  /// Percentile read from bucket upper edges; exact for count/max/mean.
+  HistogramSummary Summarize() const;
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  uint64_t max() const { return max_; }
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+  /// Upper edge of bucket `bucket` (exclusive).
+  static double BucketUpperValue(int bucket);
+
+  /// Bucket index for `value`.
+  static int BucketFor(uint64_t value);
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace obs
+}  // namespace firehose
+
+#endif  // FIREHOSE_OBS_LOG_HISTOGRAM_H_

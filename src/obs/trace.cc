@@ -1,0 +1,147 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace firehose {
+namespace obs {
+
+namespace {
+
+std::atomic<TraceRecorder*> g_trace{nullptr};
+
+void AppendJsonEscaped(std::string_view text, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void TraceRecorder::AddComplete(std::string_view name, std::string_view cat,
+                                uint64_t start_nanos, uint64_t end_nanos,
+                                uint32_t tid, std::string_view args_json) {
+  TraceEvent event;
+  event.name.assign(name);
+  event.cat.assign(cat);
+  event.ph = 'X';
+  event.ts_nanos = start_nanos;
+  event.dur_nanos = end_nanos >= start_nanos ? end_nanos - start_nanos : 0;
+  event.tid = tid;
+  event.args_json.assign(args_json);
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::AddInstant(std::string_view name, std::string_view cat,
+                               uint32_t tid, std::string_view args_json) {
+  TraceEvent event;
+  event.name.assign(name);
+  event.cat.assign(cat);
+  event.ph = 'i';
+  event.ts_nanos = NowNanos();
+  event.tid = tid;
+  event.args_json.assign(args_json);
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+size_t TraceRecorder::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::vector<TraceEvent> events;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+  }
+  // Rebase to the earliest timestamp so traces start at t=0 and stay
+  // readable; stable-sort by time so the file is ordered for viewers.
+  uint64_t origin = 0;
+  if (!events.empty()) {
+    origin = events[0].ts_nanos;
+    for (const TraceEvent& e : events) origin = std::min(origin, e.ts_nanos);
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_nanos < b.ts_nanos;
+                   });
+
+  std::string out = "{\"traceEvents\":[";
+  char buf[128];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) out.push_back(',');
+    out.append("\n{\"name\":\"");
+    AppendJsonEscaped(e.name, &out);
+    out.append("\",\"cat\":\"");
+    AppendJsonEscaped(e.cat, &out);
+    out.append("\",\"ph\":\"");
+    out.push_back(e.ph);
+    out.append("\",\"pid\":0,\"tid\":");
+    std::snprintf(buf, sizeof(buf), "%u", e.tid);
+    out.append(buf);
+    // trace_event timestamps are microseconds; keep nanosecond precision
+    // with three decimals.
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%llu.%03llu",
+                  static_cast<unsigned long long>((e.ts_nanos - origin) / 1000),
+                  static_cast<unsigned long long>((e.ts_nanos - origin) % 1000));
+    out.append(buf);
+    if (e.ph == 'X') {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%llu.%03llu",
+                    static_cast<unsigned long long>(e.dur_nanos / 1000),
+                    static_cast<unsigned long long>(e.dur_nanos % 1000));
+      out.append(buf);
+    } else if (e.ph == 'i') {
+      out.append(",\"s\":\"t\"");
+    }
+    if (!e.args_json.empty()) {
+      out.append(",\"args\":");
+      out.append(e.args_json);
+    }
+    out.push_back('}');
+  }
+  out.append("\n]}\n");
+  return out;
+}
+
+TraceRecorder* GlobalTrace() {
+  return g_trace.load(std::memory_order_relaxed);
+}
+
+void SetGlobalTrace(TraceRecorder* recorder) {
+  g_trace.store(recorder, std::memory_order_release);
+}
+
+void GlobalTraceInstant(const char* name, const char* cat,
+                        std::string_view args_json) {
+  TraceRecorder* trace = GlobalTrace();
+  if (trace != nullptr) trace->AddInstant(name, cat, /*tid=*/0, args_json);
+}
+
+}  // namespace obs
+}  // namespace firehose

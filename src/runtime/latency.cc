@@ -1,53 +1,16 @@
 #include "src/runtime/latency.h"
 
-#include <cmath>
-
 namespace firehose {
 
-LatencyRecorder::LatencyRecorder()
-    : buckets_(static_cast<size_t>(kNumBuckets), 0) {}
-
-int LatencyRecorder::BucketFor(uint64_t nanos) const {
-  if (nanos < 1) nanos = 1;
-  // log2(nanos) * kBucketsPerOctave, clamped.
-  const double log2v = std::log2(static_cast<double>(nanos));
-  int bucket = static_cast<int>(log2v * kBucketsPerOctave);
-  if (bucket < 0) bucket = 0;
-  if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
-  return bucket;
-}
-
-double LatencyRecorder::BucketUpperNanos(int bucket) const {
-  return std::exp2(static_cast<double>(bucket + 1) / kBucketsPerOctave);
-}
-
-void LatencyRecorder::RecordNanos(uint64_t nanos) {
-  ++buckets_[static_cast<size_t>(BucketFor(nanos))];
-  ++count_;
-  sum_nanos_ += static_cast<double>(nanos);
-  if (nanos > max_nanos_) max_nanos_ = nanos;
-}
-
 LatencySummary LatencyRecorder::Summarize() const {
+  const obs::HistogramSummary s = histogram_.Summarize();
   LatencySummary summary;
-  summary.count = count_;
-  if (count_ == 0) return summary;
-  summary.mean_us = sum_nanos_ / static_cast<double>(count_) / 1000.0;
-  summary.max_us = static_cast<double>(max_nanos_) / 1000.0;
-
-  auto percentile = [this](double fraction) {
-    const uint64_t target = static_cast<uint64_t>(
-        fraction * static_cast<double>(count_));
-    uint64_t seen = 0;
-    for (int i = 0; i < kNumBuckets; ++i) {
-      seen += buckets_[static_cast<size_t>(i)];
-      if (seen > target) return BucketUpperNanos(i) / 1000.0;
-    }
-    return static_cast<double>(max_nanos_) / 1000.0;
-  };
-  summary.p50_us = percentile(0.50);
-  summary.p95_us = percentile(0.95);
-  summary.p99_us = percentile(0.99);
+  summary.count = s.count;
+  summary.mean_us = s.mean / 1000.0;
+  summary.p50_us = s.p50 / 1000.0;
+  summary.p95_us = s.p95 / 1000.0;
+  summary.p99_us = s.p99 / 1000.0;
+  summary.max_us = s.max / 1000.0;
   return summary;
 }
 

@@ -2,7 +2,8 @@
 #define FIREHOSE_RUNTIME_LATENCY_H_
 
 #include <cstdint>
-#include <vector>
+
+#include "src/obs/log_histogram.h"
 
 namespace firehose {
 
@@ -20,29 +21,31 @@ struct LatencySummary {
 /// ~70s, constant memory, O(1) record. The real-time claim of the paper
 /// ("immediately decide whether a post should be pushed") is quantified
 /// as the per-post decision latency distribution this recorder captures.
+///
+/// A thin nanosecond-unit wrapper over obs::LogHistogram; recorders
+/// merge, so per-shard and per-user distributions aggregate into one.
 class LatencyRecorder {
  public:
-  LatencyRecorder();
-
   /// Records one sample, in nanoseconds.
-  void RecordNanos(uint64_t nanos);
+  void RecordNanos(uint64_t nanos) { histogram_.Record(nanos); }
+
+  /// Adds every sample of `other` into this recorder. Bucket counts,
+  /// count, sum and max all combine exactly; merge order is irrelevant.
+  void MergeFrom(const LatencyRecorder& other) {
+    histogram_.MergeFrom(other.histogram_);
+  }
 
   /// Percentiles computed from bucket boundaries (upper edge).
   LatencySummary Summarize() const;
 
-  uint64_t count() const { return count_; }
+  uint64_t count() const { return histogram_.count(); }
+
+  /// The underlying unit-agnostic histogram (nanosecond samples), for
+  /// export through an obs::MetricsRegistry.
+  const obs::LogHistogram& histogram() const { return histogram_; }
 
  private:
-  static constexpr int kBucketsPerOctave = 9;  // ~8% resolution
-  static constexpr int kNumBuckets = 36 * kBucketsPerOctave;
-
-  int BucketFor(uint64_t nanos) const;
-  double BucketUpperNanos(int bucket) const;
-
-  std::vector<uint64_t> buckets_;
-  uint64_t count_ = 0;
-  double sum_nanos_ = 0.0;
-  uint64_t max_nanos_ = 0;
+  obs::LogHistogram histogram_;
 };
 
 }  // namespace firehose

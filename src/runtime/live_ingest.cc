@@ -17,13 +17,6 @@ struct QueuedPost {
   uint64_t enqueue_nanos = 0;
 };
 
-uint64_t NowNanos() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
 }  // namespace
 
 LiveIngestReport RunLiveIngest(Diversifier& diversifier,
@@ -32,54 +25,72 @@ LiveIngestReport RunLiveIngest(Diversifier& diversifier,
   LiveIngestReport report;
   if (stream.empty()) return report;
 
+  const obs::Clock& clock =
+      options.clock != nullptr ? *options.clock : *obs::RealClock();
   SpscQueue<QueuedPost> queue(options.queue_capacity);
   std::atomic<bool> producer_done{false};
   std::atomic<uint64_t> blocked{0};
 
   WallTimer timer;
-  const uint64_t start_nanos = NowNanos();
+  const uint64_t start_nanos = clock.NowNanos();
   const int64_t first_time_ms = stream.front().time_ms;
 
   std::thread producer([&] {
+    obs::TraceScope span(options.trace, "LiveIngest.produce", "ingest",
+                         /*tid=*/1);
     for (const Post& post : stream) {
       // Release the post at its scaled timestamp.
       const double offset_ms =
           static_cast<double>(post.time_ms - first_time_ms) / options.speedup;
       const uint64_t due =
           start_nanos + static_cast<uint64_t>(offset_ms * 1e6);
-      while (NowNanos() < due) {
+      while (clock.NowNanos() < due) {
         // Sub-millisecond gaps: spin; larger gaps: sleep.
-        if (due - NowNanos() > 2000000) {
+        if (due - clock.NowNanos() > 2000000) {
           std::this_thread::sleep_for(std::chrono::milliseconds(1));
         }
       }
-      QueuedPost item{&post, NowNanos()};
+      QueuedPost item{&post, clock.NowNanos()};
       while (!queue.TryPush(item)) {
         blocked.fetch_add(1, std::memory_order_relaxed);
         std::this_thread::yield();
-        item.enqueue_nanos = NowNanos();
+        item.enqueue_nanos = clock.NowNanos();
       }
     }
     producer_done.store(true, std::memory_order_release);
   });
 
+  // The consumer runs on the calling thread and is the only thread that
+  // touches `options.metrics` (the producer reports through atomics).
+  obs::Gauge* queue_depth =
+      options.metrics != nullptr
+          ? options.metrics->GetGauge("live.queue_depth")
+          : nullptr;
   LatencyRecorder latency;
   size_t high_water = 0;
   QueuedPost item;
-  for (;;) {
-    if (queue.TryPop(&item)) {
-      high_water = std::max(high_water, queue.ApproxSize() + 1);
-      ++report.posts_in;
-      if (diversifier.Offer(*item.post)) ++report.posts_out;
-      latency.RecordNanos(NowNanos() - item.enqueue_nanos);
-    } else if (producer_done.load(std::memory_order_acquire)) {
-      // Drain anything pushed between the last pop and the flag.
-      if (!queue.TryPop(&item)) break;
-      ++report.posts_in;
-      if (diversifier.Offer(*item.post)) ++report.posts_out;
-      latency.RecordNanos(NowNanos() - item.enqueue_nanos);
-    } else {
-      std::this_thread::yield();
+  {
+    obs::TraceScope span(options.trace, "LiveIngest.consume", "ingest",
+                         /*tid=*/0);
+    for (;;) {
+      if (queue.TryPop(&item)) {
+        const size_t depth = queue.ApproxSize() + 1;
+        high_water = std::max(high_water, depth);
+        if (queue_depth != nullptr) {
+          queue_depth->Set(static_cast<int64_t>(depth));
+        }
+        ++report.posts_in;
+        if (diversifier.Offer(*item.post)) ++report.posts_out;
+        latency.RecordNanos(clock.NowNanos() - item.enqueue_nanos);
+      } else if (producer_done.load(std::memory_order_acquire)) {
+        // Drain anything pushed between the last pop and the flag.
+        if (!queue.TryPop(&item)) break;
+        ++report.posts_in;
+        if (diversifier.Offer(*item.post)) ++report.posts_out;
+        latency.RecordNanos(clock.NowNanos() - item.enqueue_nanos);
+      } else {
+        std::this_thread::yield();
+      }
     }
   }
   producer.join();
@@ -92,6 +103,19 @@ LiveIngestReport RunLiveIngest(Diversifier& diversifier,
   report.queue_high_water = high_water;
   report.producer_blocked = blocked.load();
   report.queueing_latency = latency.Summarize();
+  if (options.metrics != nullptr) {
+    options.metrics->GetCounter("live.posts_in")->Add(report.posts_in);
+    options.metrics->GetCounter("live.posts_out")->Add(report.posts_out);
+    options.metrics->GetCounter("live.producer_blocked")
+        ->Add(report.producer_blocked);
+    if (queue_depth != nullptr) queue_depth->Set(0);  // drained
+    options.metrics
+        ->GetHistogram("live.queueing_latency_ns", /*timing=*/true)
+        ->MergeFrom(latency.histogram());
+    options.metrics->GetGauge("live.wall_ns", /*timing=*/true)
+        ->Set(static_cast<int64_t>(
+            clock.NowNanos() - start_nanos));
+  }
   return report;
 }
 

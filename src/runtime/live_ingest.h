@@ -4,6 +4,9 @@
 #include <cstdint>
 
 #include "src/core/diversifier.h"
+#include "src/obs/clock.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/latency.h"
 #include "src/stream/post.h"
 
@@ -17,6 +20,16 @@ struct LiveIngestOptions {
   /// Arrival queue depth; when full, the producer blocks (models TCP
   /// backpressure against the upstream feed).
   size_t queue_capacity = 4096;
+  /// Optional observability. `metrics` is touched from the consumer
+  /// (calling) thread only: `live.posts_in/out`, `live.producer_blocked`
+  /// counters, the `live.queue_depth` gauge (high-water = worst backlog)
+  /// and timing-flagged queueing-latency/wall metrics. `trace` (which is
+  /// thread-safe) gets producer (tid 1) and consumer (tid 0) spans.
+  /// `clock` null means the real monotonic clock; release deadlines and
+  /// latencies both flow through it.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
+  const obs::Clock* clock = nullptr;
 };
 
 /// Result of a live replay.

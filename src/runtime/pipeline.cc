@@ -1,60 +1,88 @@
 #include "src/runtime/pipeline.h"
 
-#include <chrono>
-
-#include "src/util/timer.h"
-
 namespace firehose {
 
 namespace {
 
-uint64_t NowNanos() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
+/// Folds the per-run counters and the latency histogram into `metrics`.
+void RecordRunMetrics(obs::MetricsRegistry* metrics,
+                      const PipelineReport& report,
+                      const LatencyRecorder& latency, uint64_t wall_nanos) {
+  metrics->GetCounter("pipeline.posts_in")->Add(report.posts_in);
+  metrics->GetCounter("pipeline.posts_out")->Add(report.posts_out);
+  metrics->GetCounter("pipeline.posts_suppressed")
+      ->Add(report.posts_in - report.posts_out);
+  metrics->GetHistogram("pipeline.decision_latency_ns", /*timing=*/true)
+      ->MergeFrom(latency.histogram());
+  metrics->GetGauge("pipeline.wall_ns", /*timing=*/true)
+      ->Set(static_cast<int64_t>(wall_nanos));
 }
 
 }  // namespace
 
-PipelineReport Pipeline::Run(PostSource& source) {
+PipelineReport Pipeline::Run(PostSource& source, const PipelineObs& o) {
+  const obs::Clock* clock = o.clock != nullptr ? o.clock : obs::RealClock();
+  obs::TraceScope run_span(o.trace, "Pipeline::Run", "pipeline");
+  obs::LogHistogram* comparisons =
+      o.metrics != nullptr
+          ? o.metrics->GetHistogram("pipeline.decision_comparisons")
+          : nullptr;
   PipelineReport report;
   LatencyRecorder latency;
-  WallTimer timer;
+  const uint64_t run_start = clock->NowNanos();
   Post post;
   while (source.Next(&post)) {
     ++report.posts_in;
-    const uint64_t start = NowNanos();
+    const uint64_t comparisons_before = diversifier_->stats().comparisons;
+    const uint64_t start = clock->NowNanos();
     const bool admitted = diversifier_->Offer(post);
-    latency.RecordNanos(NowNanos() - start);
+    latency.RecordNanos(clock->NowNanos() - start);
+    if (comparisons != nullptr) {
+      comparisons->Record(diversifier_->stats().comparisons -
+                          comparisons_before);
+    }
     if (admitted) {
       ++report.posts_out;
       sink_->Deliver(post);
     }
   }
-  report.wall_ms = timer.ElapsedMillis();
+  const uint64_t wall_nanos = clock->NowNanos() - run_start;
+  report.wall_ms = static_cast<double>(wall_nanos) / 1e6;
   report.decision_latency = latency.Summarize();
+  if (o.metrics != nullptr) {
+    RecordRunMetrics(o.metrics, report, latency, wall_nanos);
+  }
   return report;
 }
 
-PipelineReport MultiUserPipeline::Run(PostSource& source) {
+PipelineReport MultiUserPipeline::Run(PostSource& source,
+                                      const PipelineObs& o) {
+  const obs::Clock* clock = o.clock != nullptr ? o.clock : obs::RealClock();
+  obs::TraceScope run_span(o.trace, "MultiUserPipeline::Run", "pipeline");
   PipelineReport report;
   LatencyRecorder latency;
-  WallTimer timer;
+  uint64_t deliveries = 0;
+  const uint64_t run_start = clock->NowNanos();
   Post post;
   std::vector<UserId> delivered;
   while (source.Next(&post)) {
     ++report.posts_in;
-    const uint64_t start = NowNanos();
+    const uint64_t start = clock->NowNanos();
     engine_->Offer(post, &delivered);
-    latency.RecordNanos(NowNanos() - start);
+    latency.RecordNanos(clock->NowNanos() - start);
     if (!delivered.empty()) ++report.posts_out;
+    deliveries += delivered.size();
     if (on_delivery_) {
       for (UserId user : delivered) on_delivery_(post, user);
     }
   }
-  report.wall_ms = timer.ElapsedMillis();
+  const uint64_t wall_nanos = clock->NowNanos() - run_start;
+  report.wall_ms = static_cast<double>(wall_nanos) / 1e6;
   report.decision_latency = latency.Summarize();
+  if (o.metrics != nullptr) {
+    RecordRunMetrics(o.metrics, report, latency, wall_nanos);
+    o.metrics->GetCounter("pipeline.deliveries")->Add(deliveries);
+  }
   return report;
 }
 

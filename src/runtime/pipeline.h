@@ -8,10 +8,24 @@
 
 #include "src/core/diversifier.h"
 #include "src/core/multi_user.h"
+#include "src/obs/clock.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/latency.h"
 #include "src/stream/post.h"
 
 namespace firehose {
+
+/// Optional observability hooks for a pipeline run. All pointers may be
+/// null (the default), in which case the run is unobserved at close to
+/// zero cost; `clock` null means the real monotonic clock. The struct is
+/// plumbed rather than global so tests can inject a ManualClock and every
+/// run can own a private registry.
+struct PipelineObs {
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
+  const obs::Clock* clock = nullptr;
+};
 
 /// Pull-based post source feeding a pipeline. Sources deliver posts in
 /// non-decreasing timestamp order and return false when exhausted.
@@ -84,8 +98,12 @@ class Pipeline {
       : diversifier_(diversifier), sink_(sink) {}
 
   /// Drains `source` to completion, delivering admitted posts to the
-  /// sink. Latency histogram samples every post's decision time.
-  PipelineReport Run(PostSource& source);
+  /// sink. Latency histogram samples every post's decision time. When
+  /// `o.metrics` is set, records `pipeline.posts_in/out/suppressed`
+  /// counters, the deterministic `pipeline.decision_comparisons`
+  /// histogram (one sample per post), and timing-flagged latency/wall
+  /// metrics; `o.trace` gets a run span.
+  PipelineReport Run(PostSource& source, const PipelineObs& o = {});
 
  private:
   Diversifier* diversifier_;
@@ -101,7 +119,9 @@ class MultiUserPipeline {
   MultiUserPipeline(MultiUserEngine* engine, DeliveryFn on_delivery)
       : engine_(engine), on_delivery_(std::move(on_delivery)) {}
 
-  PipelineReport Run(PostSource& source);
+  /// As Pipeline::Run; `pipeline.deliveries` counts per-user fanout.
+  /// (No per-post comparisons histogram: AggregateStats is O(users).)
+  PipelineReport Run(PostSource& source, const PipelineObs& o = {});
 
  private:
   MultiUserEngine* engine_;

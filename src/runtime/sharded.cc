@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "src/author/clique_cover.h"
+#include "src/obs/clock.h"
 #include "src/util/timer.h"
 
 namespace firehose {
@@ -13,7 +14,8 @@ namespace firehose {
 namespace {
 
 /// One shard's share of the work: a subset of components with their own
-/// diversifiers, scanned over the whole stream.
+/// diversifiers, scanned over the whole stream. All observability state
+/// is shard-private; the main thread merges it after the join.
 struct Shard {
   // Heap-allocated and never moved after Init: `diversifier` keeps a
   // pointer into `graph`/`cover`, so the component's address must be
@@ -33,18 +35,35 @@ struct Shard {
   std::vector<std::vector<uint32_t>> author_components;
   std::vector<std::pair<PostId, UserId>> deliveries;
   uint64_t posts_in = 0;
+  obs::MetricsRegistry metrics;  // shard-private, merged in shard order
+  LatencyRecorder latency;
+  IngestStats stats;  // merged over this shard's components after Run
 
-  void Run(const PostStream& stream) {
+  void Run(const PostStream& stream, const obs::Clock& clock,
+           obs::TraceRecorder* trace, uint32_t shard_index) {
+    obs::TraceScope span(trace, "Shard.scan", "shard", shard_index);
     for (const Post& post : stream) {
       if (post.author >= author_components.size()) continue;
       for (uint32_t index : author_components[post.author]) {
         ShardComponent& c = *components[index];
         ++posts_in;
-        if (c.diversifier->Offer(post)) {
+        const uint64_t start = clock.NowNanos();
+        const bool admitted = c.diversifier->Offer(post);
+        latency.RecordNanos(clock.NowNanos() - start);
+        if (admitted) {
           for (UserId user : c.users) deliveries.emplace_back(post.id, user);
         }
       }
     }
+    for (const auto& c : components) {
+      stats.MergeFrom(c->diversifier->stats());
+    }
+    metrics.GetCounter("sharded.posts_in")->Add(posts_in);
+    metrics.GetCounter("sharded.comparisons")->Add(stats.comparisons);
+    metrics.GetCounter("sharded.insertions")->Add(stats.insertions);
+    metrics.GetCounter("sharded.evictions")->Add(stats.evictions);
+    metrics.GetHistogram("sharded.decision_latency_ns", /*timing=*/true)
+        ->MergeFrom(latency.histogram());
   }
 };
 
@@ -54,9 +73,12 @@ ShardedRunResult RunShardedSUser(
     Algorithm algorithm, const DiversityThresholds& thresholds,
     const AuthorGraph& graph, const std::vector<User>& users,
     const PostStream& stream, int num_shards,
-    std::vector<std::pair<PostId, UserId>>* deliveries) {
+    std::vector<std::pair<PostId, UserId>>* deliveries,
+    const PipelineObs& o) {
   ShardedRunResult result;
   result.num_shards = std::max(num_shards, 1);
+  const obs::Clock& clock =
+      o.clock != nullptr ? *o.clock : *obs::RealClock();
 
   // Partition the distinct components round-robin across shards.
   std::vector<Shard> shards(static_cast<size_t>(result.num_shards));
@@ -73,6 +95,7 @@ ShardedRunResult RunShardedSUser(
       c.users = std::move(shared.users);
       c.graph = graph.InducedSubgraph(c.authors);
       if (algorithm == Algorithm::kCliqueBin) {
+        obs::TraceScope cover_span(o.trace, "CliqueCover::Greedy", "cover");
         c.cover = std::make_unique<CliqueCover>(CliqueCover::Greedy(c.graph));
       }
       c.diversifier = MakeDiversifier(algorithm, shared.thresholds, &c.graph,
@@ -94,25 +117,42 @@ ShardedRunResult RunShardedSUser(
   // S_* deliveries.
   WallTimer timer;
   if (shards.size() == 1) {
-    shards[0].Run(stream);
+    shards[0].Run(stream, clock, o.trace, 0);
   } else {
     std::vector<std::thread> workers;
     workers.reserve(shards.size());
-    for (Shard& shard : shards) {
-      workers.emplace_back([&shard, &stream] { shard.Run(stream); });
+    for (uint32_t s = 0; s < shards.size(); ++s) {
+      Shard& shard = shards[s];
+      workers.emplace_back([&shard, &stream, &clock, &o, s] {
+        shard.Run(stream, clock, o.trace, s);
+      });
     }
     for (std::thread& worker : workers) worker.join();
   }
   result.wall_ms = timer.ElapsedMillis();
 
+  // Merge shard-private observability state in shard order, so repeated
+  // runs with the same shard count export identical counters.
+  LatencyRecorder merged_latency;
   std::vector<std::pair<PostId, UserId>> merged;
+  result.shard_stats.reserve(shards.size());
   for (Shard& shard : shards) {
     result.posts_in += shard.posts_in;
+    result.stats.MergeFrom(shard.stats);
+    result.shard_stats.push_back(shard.stats);
+    merged_latency.MergeFrom(shard.latency);
+    if (o.metrics != nullptr) o.metrics->MergeFrom(shard.metrics);
     merged.insert(merged.end(), shard.deliveries.begin(),
                   shard.deliveries.end());
   }
+  result.decision_latency = merged_latency.Summarize();
   std::sort(merged.begin(), merged.end());
   result.deliveries = merged.size();
+  if (o.metrics != nullptr) {
+    o.metrics->GetCounter("sharded.deliveries")->Add(result.deliveries);
+    o.metrics->GetGauge("sharded.num_shards")
+        ->Set(static_cast<int64_t>(result.num_shards));
+  }
   if (deliveries != nullptr) *deliveries = std::move(merged);
   return result;
 }

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "src/core/multi_user.h"
+#include "src/runtime/latency.h"
+#include "src/runtime/pipeline.h"
 #include "src/stream/post.h"
 
 namespace firehose {
@@ -16,6 +18,14 @@ struct ShardedRunResult {
   uint64_t posts_in = 0;       ///< offers summed over all shards
   uint64_t deliveries = 0;     ///< (post, user) deliveries
   int num_shards = 0;
+  /// Ingest counters merged over shards in shard order. Shards run
+  /// concurrently, so `stats.sum_peak_bytes` (not the max-of-peaks in
+  /// `stats.peak_bytes`) is the engine-wide resident high-water bound.
+  IngestStats stats;
+  std::vector<IngestStats> shard_stats;  ///< per shard, in shard order
+  /// Per-offer decision latency, merged from the per-shard recorders via
+  /// LatencyRecorder::MergeFrom in shard order (count == posts_in).
+  LatencySummary decision_latency;
 };
 
 /// Parallel S_* engine execution: the distinct connected components of
@@ -31,11 +41,19 @@ struct ShardedRunResult {
 /// engine's delivery multiset.
 ///
 /// `num_shards <= 1` degenerates to a sequential pass (no threads).
+///
+/// Observability: every shard owns a private obs::MetricsRegistry and
+/// LatencyRecorder (no cross-thread metric writes); after the join they
+/// merge into `o.metrics` in shard order, so counters are deterministic
+/// for a fixed shard count. `o.trace` (thread-safe) gets one scan span
+/// per shard with tid = shard index. `o.clock` must be thread-safe when
+/// `num_shards > 1` (the default monotonic clock is; ManualClock is not).
 ShardedRunResult RunShardedSUser(
     Algorithm algorithm, const DiversityThresholds& thresholds,
     const AuthorGraph& graph, const std::vector<User>& users,
     const PostStream& stream, int num_shards,
-    std::vector<std::pair<PostId, UserId>>* deliveries);
+    std::vector<std::pair<PostId, UserId>>* deliveries,
+    const PipelineObs& o = {});
 
 }  // namespace firehose
 

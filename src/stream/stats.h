@@ -1,6 +1,7 @@
 #ifndef FIREHOSE_STREAM_STATS_H_
 #define FIREHOSE_STREAM_STATS_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 
@@ -15,14 +16,36 @@ struct IngestStats {
   uint64_t posts_out = 0;     ///< posts admitted to the diversified stream Z
   uint64_t comparisons = 0;   ///< pairwise post comparisons performed
   uint64_t insertions = 0;    ///< bin insertions (copies count individually)
-  size_t peak_bytes = 0;      ///< high-water mark of bin memory
+  uint64_t evictions = 0;     ///< bin entries aged out of the λt window
+
+  /// High-water mark of *concurrently resident* bin memory. For a single
+  /// diversifier this is exact. MergeFrom combines it by max, which is a
+  /// lower bound for engines whose diversifiers grow at the same time;
+  /// aggregators that track the combined footprint per offer (the
+  /// multi-user engines do) overwrite it with the true concurrent peak.
+  size_t peak_bytes = 0;
+
+  /// Sum of the constituent per-diversifier peaks. Equal to `peak_bytes`
+  /// for a single diversifier; after MergeFrom it is an *upper bound* on
+  /// the true concurrent peak (each constituent peaking at a different
+  /// moment is counted at its own worst). Figures 11-16 report RAM, so
+  /// the two bounds are kept apart instead of conflated.
+  size_t sum_peak_bytes = 0;
+
+  /// Records the current resident bytes of one diversifier's bins.
+  void UpdatePeak(size_t current_bytes) {
+    peak_bytes = std::max(peak_bytes, current_bytes);
+    sum_peak_bytes = std::max(sum_peak_bytes, peak_bytes);
+  }
 
   void MergeFrom(const IngestStats& other) {
     posts_in += other.posts_in;
     posts_out += other.posts_out;
     comparisons += other.comparisons;
     insertions += other.insertions;
-    peak_bytes += other.peak_bytes;  // engines aggregate by summing
+    evictions += other.evictions;
+    peak_bytes = std::max(peak_bytes, other.peak_bytes);
+    sum_peak_bytes += other.sum_peak_bytes;
   }
 };
 

@@ -1,0 +1,97 @@
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/clock.h"
+
+namespace firehose {
+namespace obs {
+namespace {
+
+TEST(TraceRecorderTest, DeterministicJsonWithManualClock) {
+  ManualClock clock(5000);
+  TraceRecorder trace(&clock);
+  trace.AddComplete("stage", "pipeline", 5000, 1205000);
+  clock.SetNanos(2005000);
+  trace.AddInstant("evict", "bin", /*tid=*/1);
+  const std::string expected =
+      "{\"traceEvents\":[\n"
+      "{\"name\":\"stage\",\"cat\":\"pipeline\",\"ph\":\"X\",\"pid\":0,"
+      "\"tid\":0,\"ts\":0.000,\"dur\":1200.000},\n"
+      "{\"name\":\"evict\",\"cat\":\"bin\",\"ph\":\"i\",\"pid\":0,"
+      "\"tid\":1,\"ts\":2000.000,\"s\":\"t\"}\n"
+      "]}\n";
+  EXPECT_EQ(trace.ToJson(), expected);
+  // Identical state exports identical bytes.
+  EXPECT_EQ(trace.ToJson(), expected);
+}
+
+TEST(TraceRecorderTest, RebasesToEarliestEvent) {
+  ManualClock clock(0);
+  TraceRecorder trace(&clock);
+  trace.AddComplete("late", "t", 9000, 10000);
+  trace.AddComplete("early", "t", 1000, 2000);
+  const std::string json = trace.ToJson();
+  // Earliest event is at ts 0 and sorts first.
+  const size_t early = json.find("\"name\":\"early\"");
+  const size_t late = json.find("\"name\":\"late\"");
+  ASSERT_NE(early, std::string::npos);
+  ASSERT_NE(late, std::string::npos);
+  EXPECT_LT(early, late);
+  EXPECT_NE(json.find("\"ts\":0.000"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":8.000"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, EscapesNamesAndCarriesArgs) {
+  ManualClock clock(0);
+  TraceRecorder trace(&clock);
+  trace.AddComplete("quote\"back\\slash", "cat", 0, 10, /*tid=*/0,
+                    "{\"n\":3}");
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"n\":3}"), std::string::npos);
+}
+
+TEST(TraceScopeTest, NullRecorderIsNoOp) {
+  // Must not crash nor read any clock.
+  TraceScope scope(nullptr, "name", "cat");
+}
+
+TEST(TraceScopeTest, RecordsCompleteSpan) {
+  ManualClock clock(100, /*auto_advance_nanos=*/50);
+  TraceRecorder trace(&clock);
+  { TraceScope scope(&trace, "work", "test", /*tid=*/2); }
+  EXPECT_EQ(trace.size(), 1u);
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"name\":\"work\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":0.050"), std::string::npos);
+}
+
+TEST(GlobalTraceTest, InstantRoutesToInstalledRecorder) {
+  EXPECT_EQ(GlobalTrace(), nullptr);
+  GlobalTraceInstant("dropped", "test");  // disabled: no-op
+
+  ManualClock clock(0);
+  TraceRecorder trace(&clock);
+  SetGlobalTrace(&trace);
+  GlobalTraceInstant("kept", "test");
+  SetGlobalTrace(nullptr);
+  GlobalTraceInstant("dropped_again", "test");
+
+  EXPECT_EQ(trace.size(), 1u);
+  EXPECT_NE(trace.ToJson().find("\"name\":\"kept\""), std::string::npos);
+  EXPECT_EQ(GlobalTrace(), nullptr);
+}
+
+TEST(TraceRecorderTest, EmptyTraceIsValidJson) {
+  TraceRecorder trace;
+  EXPECT_EQ(trace.ToJson(), "{\"traceEvents\":[\n]}\n");
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace firehose

@@ -4,11 +4,19 @@
 // replays the stream in (scaled) real time on the two-thread runtime and
 // reports queueing latency.
 //
+// Observability: --metrics_out writes a machine-readable snapshot of the
+// run's metrics registry — Prometheus text format when the path ends in
+// .prom, otherwise the stable firehose.metrics.v1 JSON (timing-dependent
+// metrics dropped, so repeated runs of the same inputs are
+// byte-identical). --trace_out writes a Chrome trace_event JSON file
+// loadable in Perfetto / chrome://tracing.
+//
 // Usage:
 //   firehose_diversify --graph=author_graph.bin --stream=stream.bin
 //       [--out=diversified.tsv]
 //       [--cover=/tmp/w/cover.bin] [--algorithm=cliquebin|unibin|neighborbin]
 //       [--lambda_c=18] [--lambda_t_min=30] [--live] [--speedup=100000]
+//       [--metrics_out=metrics.json] [--trace_out=trace.json]
 
 #include <cstdio>
 #include <cstring>
@@ -33,20 +41,34 @@ bool ParseAlgorithm(const std::string& name, Algorithm* algorithm) {
   return true;
 }
 
+bool WriteStringToFile(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const size_t written = std::fwrite(content.data(), 1, content.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  return written == content.size() && closed;
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const auto unknown = flags.UnknownFlags(
       {"graph", "stream", "out", "cover", "algorithm", "lambda_c",
-       "lambda_t_min", "live", "speedup", "help"});
+       "lambda_t_min", "live", "speedup", "metrics_out", "trace_out", "help"});
   if (!unknown.empty() || flags.Has("help") || !flags.Has("graph") ||
       !flags.Has("stream")) {
     std::fprintf(
         stderr,
         "usage: firehose_diversify --graph=PATH --stream=PATH [--out=PATH]\n"
         "    [--cover=PATH] [--algorithm=unibin|neighborbin|cliquebin]\n"
-        "    [--lambda_c=18] [--lambda_t_min=30] [--live] [--speedup=F]\n");
+        "    [--lambda_c=18] [--lambda_t_min=30] [--live] [--speedup=F]\n"
+        "    [--metrics_out=PATH(.json|.prom)] [--trace_out=PATH]\n");
     return flags.Has("help") ? 0 : 2;
   }
 
@@ -77,8 +99,7 @@ int main(int argc, char** argv) {
   const std::string stream_path = flags.GetString("stream", "");
   PostStream stream;
   bool loaded = false;
-  if (stream_path.size() > 4 &&
-      stream_path.compare(stream_path.size() - 4, 4, ".tsv") == 0) {
+  if (EndsWith(stream_path, ".tsv")) {
     loaded = LoadPostStreamTsv(stream_path, &stream);
   } else {
     loaded = LoadPostStream(stream_path, &stream);
@@ -87,6 +108,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: cannot load stream\n");
     return 1;
   }
+
+  // Observability: both hooks stay null (near-zero overhead) unless
+  // requested. The trace recorder is also installed as the process
+  // global so engine-internal instants (evictions, cover rebuilds)
+  // land in the same file.
+  obs::MetricsRegistry metrics;
+  obs::TraceRecorder trace;
+  const bool want_metrics = flags.Has("metrics_out");
+  const bool want_trace = flags.Has("trace_out");
+  if (want_trace) obs::SetGlobalTrace(&trace);
+  PipelineObs pipeline_obs;
+  if (want_metrics) pipeline_obs.metrics = &metrics;
+  if (want_trace) pipeline_obs.trace = &trace;
 
   DiversityThresholds thresholds;
   thresholds.lambda_c = static_cast<int>(flags.GetInt("lambda_c", 18));
@@ -98,6 +132,8 @@ int main(int argc, char** argv) {
   if (flags.GetBool("live", false)) {
     LiveIngestOptions live_options;
     live_options.speedup = flags.GetDouble("speedup", 100000.0);
+    live_options.metrics = pipeline_obs.metrics;
+    live_options.trace = pipeline_obs.trace;
     const LiveIngestReport report =
         RunLiveIngest(*diversifier, stream, live_options);
     std::printf(
@@ -120,10 +156,10 @@ int main(int argc, char** argv) {
       if (rerun->Offer(post)) kept.push_back(post);
     }
   } else {
-    WallTimer timer;
-    for (const Post& post : stream) {
-      if (diversifier->Offer(post)) kept.push_back(post);
-    }
+    CollectSink sink(&kept);
+    VectorSource source(&stream);
+    Pipeline pipeline(diversifier.get(), &sink);
+    const PipelineReport report = pipeline.Run(source, pipeline_obs);
     const IngestStats& stats = diversifier->stats();
     std::printf(
         "%s: %llu in / %zu out (%.1f%% pruned) in %.1fms; "
@@ -132,17 +168,43 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.posts_in), kept.size(),
         100.0 * (1.0 - static_cast<double>(stats.posts_out) /
                            static_cast<double>(stats.posts_in)),
-        timer.ElapsedMillis(),
+        report.wall_ms,
         static_cast<unsigned long long>(stats.comparisons),
         static_cast<unsigned long long>(stats.insertions),
         static_cast<double>(diversifier->ApproxBytes()) / (1 << 20));
   }
 
+  if (want_trace) obs::SetGlobalTrace(nullptr);
+
+  if (want_metrics) {
+    ExportDiversifierMetrics(*diversifier, &metrics);
+    const std::string path = flags.GetString("metrics_out", "");
+    // Prometheus keeps timing series (it is for scraping/humans); the
+    // JSON snapshot drops them so identical inputs export identical
+    // bytes.
+    const std::string body =
+        EndsWith(path, ".prom")
+            ? obs::ExportPrometheus(metrics, {/*include_timing=*/true})
+            : obs::ExportJson(metrics, {/*include_timing=*/false});
+    if (!WriteStringToFile(path, body)) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu metrics to %s\n", metrics.size(), path.c_str());
+  }
+  if (want_trace) {
+    const std::string path = flags.GetString("trace_out", "");
+    if (!WriteStringToFile(path, trace.ToJson())) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace events to %s\n", trace.size(), path.c_str());
+  }
+
   if (flags.Has("out")) {
     const std::string out = flags.GetString("out", "");
-    const bool tsv =
-        out.size() > 4 && out.compare(out.size() - 4, 4, ".tsv") == 0;
-    const bool ok = tsv ? SavePostStreamTsv(kept, out) : SavePostStream(kept, out);
+    const bool ok = EndsWith(out, ".tsv") ? SavePostStreamTsv(kept, out)
+                                          : SavePostStream(kept, out);
     if (!ok) {
       std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
       return 1;

@@ -19,6 +19,14 @@
 //                           which is nonstandard) and close with #endif.
 //   raw-new-delete          raw `new`/`delete`; ownership must use
 //                           containers or smart pointers.
+//   obs-seam                direct timing (std::chrono) or file/console
+//                           IO inside src/obs/ outside obs/clock.*: the
+//                           observability layer must read time only
+//                           through the injectable obs::Clock seam and
+//                           return strings instead of writing files, so
+//                           tests can drive it with a ManualClock and
+//                           exports stay byte-stable. (String formatting
+//                           via snprintf/sscanf is fine.)
 //
 // A violation on line N can be suppressed with a comment containing
 // `firehose-lint: allow(<check>)` on line N or N-1. Usage:
@@ -313,6 +321,39 @@ void CheckRawNewDelete(const std::string& path, const std::string& code,
   }
 }
 
+// --- obs-seam ----------------------------------------------------------------
+
+void CheckObsSeam(const std::string& path, const std::string& code,
+                  const std::map<int, std::set<std::string>>& ok,
+                  std::vector<Violation>* out) {
+  const bool in_obs =
+      path.find("/obs/") != std::string::npos || path.rfind("obs/", 0) == 0;
+  if (!in_obs) return;
+  // obs/clock.* is the one sanctioned wrapper around the real clock.
+  if (path.find("obs/clock.") != std::string::npos) return;
+  // Word boundaries keep snprintf/sprintf/sscanf (string formatting, used
+  // by the trace and metrics exporters) out of the IO patterns.
+  static const std::regex kBanned(
+      "std\\s*::\\s*chrono|"
+      "\\b(?:fopen|fread|fwrite|fclose|fscanf|fgets|fputs|getline)\\s*\\(|"
+      "\\b[oi]?fstream\\b|"
+      "std\\s*::\\s*(?:cout|cerr|clog)\\b|"
+      "\\b[fv]?printf\\s*\\(");
+  auto begin = std::sregex_iterator(code.begin(), code.end(), kBanned);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const int line = LineOfOffset(code, static_cast<size_t>(it->position()));
+    if (IsSuppressed(ok, line, "obs-seam")) continue;
+    std::string token = it->str();
+    token.erase(token.find_last_not_of(" \t(") + 1, std::string::npos);
+    out->push_back({path, line, "obs-seam",
+                    "'" + token +
+                        "' in src/obs: read time only through the "
+                        "injectable obs::Clock (obs/clock.*) and return "
+                        "strings instead of doing IO; callers own files "
+                        "and clocks"});
+  }
+}
+
 // --- driver ------------------------------------------------------------------
 
 bool IsSourceFile(const fs::path& path) {
@@ -379,6 +420,7 @@ int main(int argc, char** argv) {
                             &violations);
     CheckIncludeGuard(text.path, text.code, allowed, &violations);
     CheckRawNewDelete(text.path, text.code, allowed, &violations);
+    CheckObsSeam(text.path, text.code, allowed, &violations);
   }
 
   std::sort(violations.begin(), violations.end(),
