@@ -62,8 +62,9 @@ BinOccupancy CliqueBinDiversifier::bin_occupancy() const {
 }
 
 void CliqueBinDiversifier::SaveState(BinaryWriter* out) const {
-  internal::SaveStats(stats_, out);
-  out->PutVarint(bins_.size());
+  BinaryWriter payload;
+  internal::SaveStats(stats_, &payload);
+  payload.PutVarint(bins_.size());
   // Serialize in sorted key order: hash-map iteration order would make the
   // snapshot bytes differ from run to run for identical state.
   std::vector<CliqueId> keys;
@@ -72,25 +73,39 @@ void CliqueBinDiversifier::SaveState(BinaryWriter* out) const {
   for (const auto& [clique, bin] : bins_) keys.push_back(clique);
   std::sort(keys.begin(), keys.end());
   for (CliqueId clique : keys) {
-    out->PutVarint(clique);
-    bins_.at(clique).Save(out);
+    payload.PutVarint(clique);
+    bins_.at(clique).Save(&payload);
   }
+  internal::WrapChecksummed(payload, out);
 }
 
 bool CliqueBinDiversifier::LoadState(BinaryReader& in) {
-  if (!internal::LoadStats(in, &stats_)) return false;
   bins_.clear();
   bins_bytes_ = 0;
+  std::string payload;
+  if (internal::UnwrapChecksummed(in, &payload)) {
+    BinaryReader state(payload);
+    if (LoadStatePayload(state)) return true;
+  }
+  // Malformed snapshot: reset to empty so the object stays usable.
+  stats_ = IngestStats{};
+  bins_.clear();
+  bins_bytes_ = 0;
+  return false;
+}
+
+bool CliqueBinDiversifier::LoadStatePayload(BinaryReader& in) {
+  if (!internal::LoadStats(in, &stats_)) return false;
   uint64_t count;
   if (!in.GetVarint(&count)) return false;
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t clique;
-    if (!in.GetVarint(&clique)) return false;
+    if (!in.GetVarint(&clique) || clique > 0xFFFFFFFFull) return false;
     PostBin& bin = bins_[static_cast<CliqueId>(clique)];
     if (!bin.Load(in)) return false;
     bins_bytes_ += bin.ApproxBytes();
   }
-  return true;
+  return in.AtEnd();
 }
 
 size_t CliqueBinDiversifier::ApproxBytes() const {

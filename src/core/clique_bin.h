@@ -32,6 +32,8 @@ class CliqueBinDiversifier final : public Diversifier {
   bool LoadState(BinaryReader& in) override;
 
  private:
+  bool LoadStatePayload(BinaryReader& in);
+
   const DiversityThresholds thresholds_;
   const CliqueCover* cover_;  // not owned
   std::unordered_map<CliqueId, PostBin> bins_;

@@ -53,6 +53,58 @@ bool CosineUniBinDiversifier::Offer(const Post& post) {
 
 size_t CosineUniBinDiversifier::ApproxBytes() const { return bin_bytes_; }
 
+void CosineUniBinDiversifier::SaveState(BinaryWriter* out) const {
+  BinaryWriter payload;
+  internal::SaveStats(stats_, &payload);
+  payload.PutVarint(bin_.size());
+  int64_t prev_time = 0;
+  for (const Entry& entry : bin_) {
+    payload.PutSignedVarint(entry.time_ms - prev_time);
+    prev_time = entry.time_ms;
+    payload.PutVarint(entry.author);
+    entry.vector.Save(&payload);
+  }
+  internal::WrapChecksummed(payload, out);
+}
+
+bool CosineUniBinDiversifier::LoadState(BinaryReader& in) {
+  bin_.clear();
+  bin_bytes_ = 0;
+  std::string payload;
+  if (internal::UnwrapChecksummed(in, &payload)) {
+    BinaryReader state(payload);
+    if (LoadStatePayload(state)) return true;
+  }
+  // Malformed snapshot: reset to empty so the object stays usable.
+  stats_ = IngestStats{};
+  bin_.clear();
+  bin_bytes_ = 0;
+  return false;
+}
+
+bool CosineUniBinDiversifier::LoadStatePayload(BinaryReader& in) {
+  if (!internal::LoadStats(in, &stats_)) return false;
+  uint64_t count = 0;
+  if (!in.GetVarint(&count)) return false;
+  int64_t prev_time = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    Entry entry;
+    int64_t delta = 0;
+    uint64_t author = 0;
+    if (!in.GetSignedVarint(&delta) || !in.GetVarint(&author) ||
+        author > 0xFFFFFFFFull || !entry.vector.Load(in)) {
+      return false;
+    }
+    prev_time += delta;
+    entry.time_ms = prev_time;
+    entry.author = static_cast<AuthorId>(author);
+    entry.bytes = sizeof(Entry) + entry.vector.size() * 12;  // as Offer does
+    bin_bytes_ += entry.bytes;
+    bin_.push_back(std::move(entry));
+  }
+  return in.AtEnd();
+}
+
 BinOccupancy CosineUniBinDiversifier::bin_occupancy() const {
   return BinOccupancy{1, bin_.size()};
 }

@@ -35,8 +35,11 @@ class CosineUniBinDiversifier final : public Diversifier {
   size_t ApproxBytes() const override;
   BinOccupancy bin_occupancy() const override;
   std::string_view name() const override { return "CosineUniBin"; }
+  void SaveState(BinaryWriter* out) const override;
+  bool LoadState(BinaryReader& in) override;
 
  private:
+  bool LoadStatePayload(BinaryReader& in);
   struct Entry {
     int64_t time_ms;
     AuthorId author;

@@ -4,12 +4,16 @@
 #include <cstddef>
 #include <string_view>
 
+#include <string>
+
 #include "src/core/thresholds.h"
 #include "src/io/binary.h"
 #include "src/stream/post.h"
 #include "src/stream/post_bin.h"
 #include "src/stream/stats.h"
 #include "src/util/bitops.h"
+#include "src/util/build_info.h"
+#include "src/util/crc32c.h"
 
 namespace firehose {
 
@@ -69,6 +73,35 @@ class Diversifier {
 };
 
 namespace internal {
+
+/// Envelope around every diversifier state snapshot:
+///
+///   varint state-format version | varint CRC32C(payload) | payload
+///
+/// The version token makes cross-build incompatibility an explicit error
+/// instead of a parse accident, and the checksum turns *any* bit flip or
+/// truncation of the payload into a clean LoadState failure — without it,
+/// a flipped varint byte can decode as a plausible alternative state.
+inline void WrapChecksummed(const BinaryWriter& payload, BinaryWriter* out) {
+  out->PutVarint(kStateFormatVersion);
+  out->PutVarint(Crc32c(payload.buffer()));
+  out->PutString(payload.buffer());
+}
+
+/// Peels the envelope; false on version mismatch, checksum mismatch or
+/// truncation. `payload` is untouched on failure.
+inline bool UnwrapChecksummed(BinaryReader& in, std::string* payload) {
+  uint64_t version = 0;
+  uint64_t crc = 0;
+  std::string bytes;
+  if (!in.GetVarint(&version) || version != kStateFormatVersion ||
+      !in.GetVarint(&crc) || !in.GetString(&bytes)) {
+    return false;
+  }
+  if (crc != Crc32c(bytes)) return false;
+  *payload = std::move(bytes);
+  return true;
+}
 
 inline void SaveStats(const IngestStats& stats, BinaryWriter* out) {
   out->PutVarint(stats.posts_in);

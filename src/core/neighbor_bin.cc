@@ -70,8 +70,9 @@ BinOccupancy NeighborBinDiversifier::bin_occupancy() const {
 }
 
 void NeighborBinDiversifier::SaveState(BinaryWriter* out) const {
-  internal::SaveStats(stats_, out);
-  out->PutVarint(bins_.size());
+  BinaryWriter payload;
+  internal::SaveStats(stats_, &payload);
+  payload.PutVarint(bins_.size());
   // Serialize in sorted key order: hash-map iteration order would make the
   // snapshot bytes differ from run to run for identical state.
   std::vector<AuthorId> keys;
@@ -80,25 +81,39 @@ void NeighborBinDiversifier::SaveState(BinaryWriter* out) const {
   for (const auto& [author, bin] : bins_) keys.push_back(author);
   std::sort(keys.begin(), keys.end());
   for (AuthorId author : keys) {
-    out->PutVarint(author);
-    bins_.at(author).Save(out);
+    payload.PutVarint(author);
+    bins_.at(author).Save(&payload);
   }
+  internal::WrapChecksummed(payload, out);
 }
 
 bool NeighborBinDiversifier::LoadState(BinaryReader& in) {
-  if (!internal::LoadStats(in, &stats_)) return false;
   bins_.clear();
   bins_bytes_ = 0;
+  std::string payload;
+  if (internal::UnwrapChecksummed(in, &payload)) {
+    BinaryReader state(payload);
+    if (LoadStatePayload(state)) return true;
+  }
+  // Malformed snapshot: reset to empty so the object stays usable.
+  stats_ = IngestStats{};
+  bins_.clear();
+  bins_bytes_ = 0;
+  return false;
+}
+
+bool NeighborBinDiversifier::LoadStatePayload(BinaryReader& in) {
+  if (!internal::LoadStats(in, &stats_)) return false;
   uint64_t count;
   if (!in.GetVarint(&count)) return false;
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t author;
-    if (!in.GetVarint(&author)) return false;
+    if (!in.GetVarint(&author) || author > 0xFFFFFFFFull) return false;
     PostBin& bin = bins_[static_cast<AuthorId>(author)];
     if (!bin.Load(in)) return false;
     bins_bytes_ += bin.ApproxBytes();
   }
-  return true;
+  return in.AtEnd();
 }
 
 size_t NeighborBinDiversifier::ApproxBytes() const {

@@ -33,6 +33,7 @@ class NeighborBinDiversifier final : public Diversifier {
 
  private:
   PostBin& BinOf(AuthorId author);
+  bool LoadStatePayload(BinaryReader& in);
 
   const DiversityThresholds thresholds_;
   const AuthorGraph* graph_;  // not owned

@@ -44,12 +44,25 @@ BinOccupancy UniBinDiversifier::bin_occupancy() const {
 }
 
 void UniBinDiversifier::SaveState(BinaryWriter* out) const {
-  internal::SaveStats(stats_, out);
-  bin_.Save(out);
+  BinaryWriter payload;
+  internal::SaveStats(stats_, &payload);
+  bin_.Save(&payload);
+  internal::WrapChecksummed(payload, out);
 }
 
 bool UniBinDiversifier::LoadState(BinaryReader& in) {
-  return internal::LoadStats(in, &stats_) && bin_.Load(in);
+  std::string payload;
+  if (internal::UnwrapChecksummed(in, &payload)) {
+    BinaryReader state(payload);
+    if (internal::LoadStats(state, &stats_) && bin_.Load(state) &&
+        state.AtEnd()) {
+      return true;
+    }
+  }
+  // Malformed snapshot: reset to empty so the object stays usable.
+  stats_ = IngestStats{};
+  bin_ = PostBin{};
+  return false;
 }
 
 }  // namespace firehose

@@ -1,0 +1,186 @@
+#include "src/dur/checkpoint.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/dur/framing.h"
+#include "src/io/binary.h"
+#include "src/util/build_info.h"
+
+namespace firehose {
+namespace dur {
+
+namespace {
+
+constexpr std::string_view kCheckpointMagic = "FHCKP";
+constexpr std::string_view kTempName = "ckpt.tmp";
+
+bool IsCheckpointName(const std::string& name) {
+  if (name.size() != 5 + 16 + 5 || name.rfind("ckpt-", 0) != 0 ||
+      name.compare(name.size() - 5, 5, ".ckpt") != 0) {
+    return false;
+  }
+  for (size_t i = 5; i < 5 + 16; ++i) {
+    const char c = name[i];
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ParseCheckpointName(const std::string& name, uint64_t* next_seq) {
+  if (!IsCheckpointName(name)) return false;
+  uint64_t value = 0;
+  for (size_t i = 5; i < 5 + 16; ++i) {
+    const char c = name[i];
+    const uint64_t digit = c <= '9' ? static_cast<uint64_t>(c - '0')
+                                    : static_cast<uint64_t>(c - 'a') + 10;
+    value = (value << 4) | digit;
+  }
+  *next_seq = value;
+  return true;
+}
+
+uint64_t OldestCheckpointSeq(const CheckpointOptions& options,
+                             uint64_t fallback) {
+  FileOps* ops = options.ops != nullptr ? options.ops : RealFileOps();
+  uint64_t oldest = fallback;
+  bool found = false;
+  for (const std::string& name : ops->List(options.dir)) {
+    uint64_t seq = 0;
+    if (!ParseCheckpointName(name, &seq)) continue;
+    if (!found || seq < oldest) oldest = seq;
+    found = true;
+  }
+  return oldest;
+}
+
+std::string CheckpointName(uint64_t next_seq) {
+  char buffer[5 + 16 + 5 + 1];
+  std::snprintf(buffer, sizeof(buffer), "ckpt-%016" PRIx64 ".ckpt", next_seq);
+  return buffer;
+}
+
+bool WriteCheckpoint(const CheckpointOptions& options,
+                     const CheckpointData& data) {
+  FileOps* ops = options.ops != nullptr ? options.ops : RealFileOps();
+  if (!ops->CreateDir(options.dir)) return false;
+
+  BinaryWriter payload;
+  payload.PutString(kCheckpointMagic);
+  payload.PutVarint(kStateFormatVersion);
+  payload.PutString(kBuildVersion);
+  payload.PutString(data.algorithm);
+  payload.PutVarint(data.next_seq);
+  payload.PutVarint(data.output_bytes);
+  payload.PutString(data.engine_state);
+
+  std::string frame;
+  AppendFrame(&frame, payload.buffer());
+
+  const std::string temp_path = options.dir + "/" + std::string(kTempName);
+  const std::string final_path =
+      options.dir + "/" + CheckpointName(data.next_seq);
+  {
+    std::unique_ptr<WritableFile> file = ops->Create(temp_path);
+    if (file == nullptr) return false;
+    if (!file->Append(frame) || !file->Sync() || !file->Close()) {
+      ops->Remove(temp_path);
+      return false;
+    }
+  }
+  if (!ops->Rename(temp_path, final_path) || !ops->SyncDir(options.dir)) {
+    ops->Remove(temp_path);
+    return false;
+  }
+
+  // Retention: keep the newest `keep` checkpoints (sorted names ==
+  // sequence order for the fixed-width hex).
+  std::vector<std::string> checkpoints;
+  for (const std::string& name : ops->List(options.dir)) {
+    if (IsCheckpointName(name)) checkpoints.push_back(name);
+  }
+  const size_t keep = options.keep == 0 ? 1 : options.keep;
+  if (checkpoints.size() > keep) {
+    for (size_t i = 0; i < checkpoints.size() - keep; ++i) {
+      ops->Remove(options.dir + "/" + checkpoints[i]);
+    }
+  }
+  return true;
+}
+
+CheckpointLoadResult LoadNewestCheckpoint(const CheckpointOptions& options,
+                                          std::string_view expected_algorithm) {
+  FileOps* ops = options.ops != nullptr ? options.ops : RealFileOps();
+  CheckpointLoadResult result;
+
+  std::vector<std::string> checkpoints;
+  for (const std::string& name : ops->List(options.dir)) {
+    if (IsCheckpointName(name)) checkpoints.push_back(name);
+  }
+
+  // Newest first; fall back across corrupt files.
+  for (size_t i = checkpoints.size(); i-- > 0;) {
+    const std::string& name = checkpoints[i];
+    std::string data;
+    if (!ops->Read(options.dir + "/" + name, &data)) {
+      result.corruption_detected = true;
+      continue;
+    }
+    std::string_view payload;
+    size_t next_offset = 0;
+    if (ParseFrame(data, 0, &payload, &next_offset) != FrameStatus::kOk ||
+        next_offset != data.size()) {
+      result.corruption_detected = true;
+      continue;
+    }
+
+    BinaryReader reader(payload);
+    std::string magic;
+    uint64_t format_version = 0;
+    std::string build;
+    CheckpointData loaded;
+    const bool parsed =
+        reader.GetString(&magic) && magic == kCheckpointMagic &&
+        reader.GetVarint(&format_version) && reader.GetString(&build) &&
+        reader.GetString(&loaded.algorithm) &&
+        reader.GetVarint(&loaded.next_seq) &&
+        reader.GetVarint(&loaded.output_bytes) &&
+        reader.GetString(&loaded.engine_state) && reader.AtEnd();
+    if (!parsed) {
+      // Checksum passed but the payload is not a checkpoint we understand
+      // and carries no readable version stamp: treat as corruption.
+      result.corruption_detected = true;
+      continue;
+    }
+    if (format_version != kStateFormatVersion) {
+      result.ok = false;
+      result.error = "checkpoint " + name +
+                     " was written by an incompatible build: " + build +
+                     " (state format " + std::to_string(format_version) +
+                     "); this binary is " + BuildInfoString();
+      return result;
+    }
+    if (loaded.algorithm != expected_algorithm) {
+      result.ok = false;
+      result.error = "checkpoint " + name + " holds " + loaded.algorithm +
+                     " state but this run is configured for " +
+                     std::string(expected_algorithm);
+      return result;
+    }
+    result.ok = true;
+    result.found = true;
+    result.data = std::move(loaded);
+    return result;
+  }
+
+  result.ok = true;  // no checkpoint (or only corrupt ones): start fresh
+  return result;
+}
+
+}  // namespace dur
+}  // namespace firehose

@@ -1,0 +1,84 @@
+#ifndef FIREHOSE_DUR_CHECKPOINT_H_
+#define FIREHOSE_DUR_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/dur/file_ops.h"
+
+namespace firehose {
+namespace dur {
+
+/// Checkpoint files capture the full engine state so recovery replays only
+/// the WAL tail written after them. Each checkpoint is a single CRC32C
+/// frame (framing.h) in `ckpt-<next_seq as 16 hex digits>.ckpt`, written
+/// to a temp name, fsynced, atomically renamed into place, and the
+/// directory fsynced — a crash leaves either the old set of checkpoints or
+/// the old set plus a complete new one, never a half-written file that
+/// passes its checksum.
+
+/// The state a checkpoint carries.
+struct CheckpointData {
+  /// Engine name ("UniBin", ...) — recovery refuses to load a snapshot
+  /// into a differently-configured engine.
+  std::string algorithm;
+  /// First WAL sequence number NOT folded into `engine_state`; replay
+  /// starts here.
+  uint64_t next_seq = 0;
+  /// Flushed-and-synced size of the durable output stream at checkpoint
+  /// time. Recovery truncates the output file to this offset before
+  /// replay regenerates the tail.
+  uint64_t output_bytes = 0;
+  /// Diversifier::SaveState bytes (themselves CRC-framed).
+  std::string engine_state;
+};
+
+struct CheckpointOptions {
+  std::string dir;
+  FileOps* ops = nullptr;     ///< nullptr => RealFileOps()
+  size_t keep = 2;            ///< retained checkpoints (newest-first)
+};
+
+/// Writes a checkpoint and prunes old ones down to `options.keep`.
+/// False on any I/O failure (the previous checkpoints remain usable).
+bool WriteCheckpoint(const CheckpointOptions& options,
+                     const CheckpointData& data);
+
+struct CheckpointLoadResult {
+  /// False on a hard error: an intact checkpoint from an incompatible
+  /// build or mismatched algorithm (see `error`). Corrupt files alone
+  /// never fail the load — older checkpoints are tried instead.
+  bool ok = false;
+  std::string error;
+  /// True when a valid checkpoint was found and `data` is filled.
+  bool found = false;
+  /// True when at least one checkpoint file failed its checksum.
+  bool corruption_detected = false;
+  CheckpointData data;
+};
+
+/// Loads the newest checkpoint that passes its checksum, falling back to
+/// older ones past corruption. `expected_algorithm` guards against
+/// resuming with a different engine configuration.
+CheckpointLoadResult LoadNewestCheckpoint(const CheckpointOptions& options,
+                                          std::string_view expected_algorithm);
+
+/// Checkpoint file name for a next-sequence number ("ckpt-%016x.ckpt").
+std::string CheckpointName(uint64_t next_seq);
+
+/// Inverse of CheckpointName; false for unrelated files in the directory.
+bool ParseCheckpointName(const std::string& name, uint64_t* next_seq);
+
+/// Smallest next_seq among the checkpoint files in `options.dir`, or
+/// `fallback` when none exist. This is the WAL prune floor: segments below
+/// it are unreachable from every retained checkpoint, while segments above
+/// it must stay so that recovery can fall back to an older checkpoint and
+/// still replay forward.
+uint64_t OldestCheckpointSeq(const CheckpointOptions& options,
+                             uint64_t fallback);
+
+}  // namespace dur
+}  // namespace firehose
+
+#endif  // FIREHOSE_DUR_CHECKPOINT_H_

@@ -1,0 +1,113 @@
+#include "src/dur/fault.h"
+
+#include <algorithm>
+
+namespace firehose {
+namespace dur {
+
+/// Wraps a real WritableFile; consults the owning FaultFileOps' plan and
+/// global byte cursor on every append.
+class FaultWritableFile final : public WritableFile {
+ public:
+  FaultWritableFile(std::unique_ptr<WritableFile> base, FaultFileOps* ops)
+      : base_(std::move(base)), ops_(ops) {}
+
+  bool Append(std::string_view data) override {
+    const FaultPlan& plan = ops_->plan_;
+    uint64_t& cursor = ops_->bytes_appended_;
+    std::string mutated;
+    // Bit rot: flip one byte if the flip offset lands inside this append.
+    if (plan.flip_byte_at != FaultPlan::kNever && plan.flip_byte_at >= cursor &&
+        plan.flip_byte_at < cursor + data.size()) {
+      mutated.assign(data);
+      mutated[static_cast<size_t>(plan.flip_byte_at - cursor)] ^=
+          static_cast<char>(plan.flip_mask);
+      data = mutated;
+    }
+    // Torn write: persist only the prefix below the failure point, then
+    // report failure.
+    if (plan.fail_after_bytes != FaultPlan::kNever &&
+        cursor + data.size() > plan.fail_after_bytes) {
+      const uint64_t room =
+          plan.fail_after_bytes > cursor ? plan.fail_after_bytes - cursor : 0;
+      base_->Append(data.substr(0, static_cast<size_t>(room)));
+      cursor += room;
+      return false;
+    }
+    // Lost buffered write: swallow bytes past the drop point but lie that
+    // the append succeeded (the crash hides the loss until recovery).
+    if (plan.drop_after_bytes != FaultPlan::kNever &&
+        cursor + data.size() > plan.drop_after_bytes) {
+      const uint64_t room =
+          plan.drop_after_bytes > cursor ? plan.drop_after_bytes - cursor : 0;
+      base_->Append(data.substr(0, static_cast<size_t>(room)));
+      cursor += data.size();
+      return true;
+    }
+    cursor += data.size();
+    return base_->Append(data);
+  }
+
+  bool Sync() override {
+    ++ops_->syncs_;
+    if (ops_->plan_.fail_sync) return false;
+    if (ops_->plan_.drop_after_bytes != FaultPlan::kNever &&
+        ops_->bytes_appended_ > ops_->plan_.drop_after_bytes) {
+      return true;  // pretend-sync of bytes that were never written
+    }
+    return base_->Sync();
+  }
+
+  bool Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultFileOps* ops_;
+};
+
+std::unique_ptr<WritableFile> FaultFileOps::Create(const std::string& path) {
+  auto base = base_->Create(path);
+  if (base == nullptr) return nullptr;
+  return std::make_unique<FaultWritableFile>(std::move(base), this);
+}
+
+std::unique_ptr<WritableFile> FaultFileOps::OpenAppend(
+    const std::string& path) {
+  auto base = base_->OpenAppend(path);
+  if (base == nullptr) return nullptr;
+  return std::make_unique<FaultWritableFile>(std::move(base), this);
+}
+
+bool FaultFileOps::Read(const std::string& path, std::string* data) {
+  return base_->Read(path, data);
+}
+
+bool FaultFileOps::Rename(const std::string& from, const std::string& to) {
+  ++renames_;
+  if (plan_.fail_rename) return false;
+  return base_->Rename(from, to);
+}
+
+bool FaultFileOps::Remove(const std::string& path) {
+  return base_->Remove(path);
+}
+
+std::vector<std::string> FaultFileOps::List(const std::string& dir) {
+  return base_->List(dir);
+}
+
+bool FaultFileOps::CreateDir(const std::string& dir) {
+  return base_->CreateDir(dir);
+}
+
+bool FaultFileOps::SyncDir(const std::string& dir) {
+  if (plan_.fail_sync) return false;
+  return base_->SyncDir(dir);
+}
+
+bool FaultFileOps::Truncate(const std::string& path, uint64_t size) {
+  return base_->Truncate(path, size);
+}
+
+}  // namespace dur
+}  // namespace firehose

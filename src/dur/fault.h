@@ -1,0 +1,79 @@
+#ifndef FIREHOSE_DUR_FAULT_H_
+#define FIREHOSE_DUR_FAULT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/dur/file_ops.h"
+
+namespace firehose {
+namespace dur {
+
+/// Fault plan for FaultFileOps. Byte offsets are *global* across every
+/// file created/appended through the ops, in append order, which lets a
+/// test sweep "crash after byte K" over an entire WAL + checkpoint run
+/// with a single counter.
+struct FaultPlan {
+  static constexpr uint64_t kNever = ~0ull;
+
+  /// After this many appended bytes, writes start failing: the append
+  /// that crosses the limit persists only the prefix that fits (a torn
+  /// write) and returns false; every later append fails outright.
+  uint64_t fail_after_bytes = kNever;
+
+  /// After this many appended bytes, further bytes are silently DROPPED
+  /// while Append still reports success — modeling buffered writes that
+  /// never reached the disk before a crash. Sync also (silently) stops
+  /// syncing once past the limit.
+  uint64_t drop_after_bytes = kNever;
+
+  /// XOR the byte at this global offset with `flip_mask` (bit rot).
+  uint64_t flip_byte_at = kNever;
+  uint8_t flip_mask = 0x01;
+
+  /// Fail every Sync / Rename call.
+  bool fail_sync = false;
+  bool fail_rename = false;
+};
+
+/// FileOps decorator that injects the faults described by a FaultPlan
+/// while delegating real I/O to a base implementation. Also counts
+/// appends, syncs and renames so tests can assert durability discipline
+/// ("the WAL fsynced once per record under SyncEveryRecord").
+class FaultFileOps final : public FileOps {
+ public:
+  /// `base` must outlive this object; pass RealFileOps() in tests.
+  FaultFileOps(FileOps* base, const FaultPlan& plan)
+      : base_(base), plan_(plan) {}
+
+  std::unique_ptr<WritableFile> Create(const std::string& path) override;
+  std::unique_ptr<WritableFile> OpenAppend(const std::string& path) override;
+  bool Read(const std::string& path, std::string* data) override;
+  bool Rename(const std::string& from, const std::string& to) override;
+  bool Remove(const std::string& path) override;
+  std::vector<std::string> List(const std::string& dir) override;
+  bool CreateDir(const std::string& dir) override;
+  bool SyncDir(const std::string& dir) override;
+  bool Truncate(const std::string& path, uint64_t size) override;
+
+  uint64_t bytes_appended() const { return bytes_appended_; }
+  uint64_t syncs() const { return syncs_; }
+  uint64_t renames() const { return renames_; }
+
+ private:
+  friend class FaultWritableFile;
+
+  FileOps* base_;
+  FaultPlan plan_;
+  uint64_t bytes_appended_ = 0;
+  uint64_t syncs_ = 0;
+  uint64_t renames_ = 0;
+};
+
+}  // namespace dur
+}  // namespace firehose
+
+#endif  // FIREHOSE_DUR_FAULT_H_

@@ -1,0 +1,122 @@
+#include "src/dur/file_ops.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "src/io/binary.h"
+
+namespace firehose {
+namespace dur {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  explicit PosixWritableFile(std::FILE* file) : file_(file) {}
+  ~PosixWritableFile() override { Close(); }
+
+  bool Append(std::string_view data) override {
+    if (file_ == nullptr || failed_) return false;
+    if (data.empty()) return true;
+    if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  bool Sync() override {
+    if (file_ == nullptr || failed_) return false;
+    if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  bool Close() override {
+    if (file_ == nullptr) return !failed_;
+    const bool ok = std::fclose(file_) == 0 && !failed_;
+    file_ = nullptr;
+    return ok;
+  }
+
+ private:
+  std::FILE* file_;
+  bool failed_ = false;
+};
+
+class PosixFileOps final : public FileOps {
+ public:
+  std::unique_ptr<WritableFile> Create(const std::string& path) override {
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr) return nullptr;
+    return std::make_unique<PosixWritableFile>(file);
+  }
+
+  std::unique_ptr<WritableFile> OpenAppend(const std::string& path) override {
+    std::FILE* file = std::fopen(path.c_str(), "ab");
+    if (file == nullptr) return nullptr;
+    return std::make_unique<PosixWritableFile>(file);
+  }
+
+  bool Read(const std::string& path, std::string* data) override {
+    return ReadFileToString(path, data);
+  }
+
+  bool Rename(const std::string& from, const std::string& to) override {
+    return std::rename(from.c_str(), to.c_str()) == 0;
+  }
+
+  bool Remove(const std::string& path) override {
+    return std::remove(path.c_str()) == 0;
+  }
+
+  std::vector<std::string> List(const std::string& dir) override {
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      if (it->is_regular_file(ec)) {
+        names.push_back(it->path().filename().string());
+      }
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  bool CreateDir(const std::string& dir) override {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    return fs::is_directory(dir, ec);
+  }
+
+  bool SyncDir(const std::string& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+  }
+
+  bool Truncate(const std::string& path, uint64_t size) override {
+    return ::truncate(path.c_str(), static_cast<off_t>(size)) == 0;
+  }
+};
+
+}  // namespace
+
+FileOps* RealFileOps() {
+  static PosixFileOps ops;
+  return &ops;
+}
+
+}  // namespace dur
+}  // namespace firehose

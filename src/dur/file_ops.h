@@ -1,0 +1,76 @@
+#ifndef FIREHOSE_DUR_FILE_OPS_H_
+#define FIREHOSE_DUR_FILE_OPS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace firehose {
+namespace dur {
+
+/// The durability layer's file seam, mirroring the obs::Clock seam: every
+/// byte the WAL and checkpointer persist flows through a FileOps so tests
+/// can substitute a fault-injecting implementation (see fault.h) and prove
+/// that torn writes, short writes, bit flips and mid-write failures are
+/// detected on recovery. `src/dur` and `src/io` are the only directories
+/// allowed to touch files — firehose_lint's dur-seam check enforces that.
+
+/// An open file being appended to. Append buffers; Sync flushes the
+/// buffer and fsyncs to stable storage. All methods return false on the
+/// first IO failure and keep failing afterwards.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual bool Append(std::string_view data) = 0;
+  /// Flush + fsync: on return (true) everything appended so far is on
+  /// stable storage.
+  virtual bool Sync() = 0;
+  /// Flushes and closes; does NOT fsync. Idempotent.
+  virtual bool Close() = 0;
+};
+
+class FileOps {
+ public:
+  virtual ~FileOps() = default;
+
+  /// Creates (or truncates) `path` for appending.
+  virtual std::unique_ptr<WritableFile> Create(const std::string& path) = 0;
+
+  /// Opens `path` for appending, creating it when missing and keeping
+  /// existing contents. Used for the durable output stream, which recovery
+  /// truncates to the last checkpointed offset and then extends.
+  virtual std::unique_ptr<WritableFile> OpenAppend(const std::string& path) = 0;
+
+  /// Reads the whole file; false when it cannot be opened/read.
+  virtual bool Read(const std::string& path, std::string* data) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual bool Rename(const std::string& from, const std::string& to) = 0;
+
+  virtual bool Remove(const std::string& path) = 0;
+
+  /// File names (not paths) in `dir`, sorted lexicographically; empty on
+  /// a missing directory.
+  virtual std::vector<std::string> List(const std::string& dir) = 0;
+
+  /// Creates `dir` (and parents). True if it exists afterwards.
+  virtual bool CreateDir(const std::string& dir) = 0;
+
+  /// fsyncs the directory itself so entries created/renamed into it
+  /// survive a crash (POSIX requires this separately from file fsync).
+  virtual bool SyncDir(const std::string& dir) = 0;
+
+  /// Truncates `path` to `size` bytes. Used by recovery to discard a
+  /// torn output tail beyond the last checkpoint.
+  virtual bool Truncate(const std::string& path, uint64_t size) = 0;
+};
+
+/// The process-wide POSIX implementation.
+FileOps* RealFileOps();
+
+}  // namespace dur
+}  // namespace firehose
+
+#endif  // FIREHOSE_DUR_FILE_OPS_H_

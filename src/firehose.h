@@ -29,6 +29,12 @@
 #include "src/core/lagged.h"
 #include "src/core/multi_user.h"
 #include "src/core/thresholds.h"
+#include "src/dur/checkpoint.h"
+#include "src/dur/durable.h"
+#include "src/dur/fault.h"
+#include "src/dur/file_ops.h"
+#include "src/dur/framing.h"
+#include "src/dur/wal.h"
 #include "src/eval/experiment.h"
 #include "src/eval/precision_recall.h"
 #include "src/gen/labeled_pairs.h"
@@ -59,6 +65,8 @@
 #include "src/text/tokenize.h"
 #include "src/text/url.h"
 #include "src/util/bitops.h"
+#include "src/util/build_info.h"
+#include "src/util/crc32c.h"
 #include "src/util/hash.h"
 #include "src/util/histogram.h"
 #include "src/util/random.h"

@@ -56,7 +56,11 @@ bool LoadFollowGraph(const std::string& path, FollowGraph* graph) {
   BinaryReader reader(data);
   if (!CheckHeader(reader, kFollowGraphMagic)) return false;
   uint64_t num_authors;
-  if (!reader.GetVarint(&num_authors) || num_authors > (1ULL << 32)) {
+  // Every author contributes at least one byte (its followee count), so a
+  // declared author count beyond the remaining bytes is corrupt — reject
+  // it before sizing the graph's per-author vectors.
+  if (!reader.GetVarint(&num_authors) || num_authors > (1ULL << 32) ||
+      num_authors > reader.remaining()) {
     return false;
   }
   FollowGraph result(static_cast<AuthorId>(num_authors));
@@ -99,7 +103,11 @@ bool LoadSimilarities(const std::string& path,
   BinaryReader reader(data);
   if (!CheckHeader(reader, kSimilarityMagic)) return false;
   uint64_t count;
-  if (!reader.GetVarint(&count)) return false;
+  // Each pair takes at least three bytes on the wire; don't let a corrupt
+  // count reserve absurd memory for a tiny file.
+  if (!reader.GetVarint(&count) || count > reader.remaining() / 3) {
+    return false;
+  }
   std::vector<AuthorPairSimilarity> result;
   result.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
@@ -144,7 +152,10 @@ bool LoadAuthorGraph(const std::string& path, AuthorGraph* graph) {
   BinaryReader reader(data);
   if (!CheckHeader(reader, kAuthorGraphMagic)) return false;
   uint64_t num_vertices;
-  if (!reader.GetVarint(&num_vertices)) return false;
+  // Each vertex delta takes at least one byte; bound the reserve.
+  if (!reader.GetVarint(&num_vertices) || num_vertices > reader.remaining()) {
+    return false;
+  }
   std::vector<AuthorId> vertices;
   vertices.reserve(num_vertices);
   AuthorId prev = 0;
@@ -155,7 +166,10 @@ bool LoadAuthorGraph(const std::string& path, AuthorGraph* graph) {
     vertices.push_back(prev);
   }
   uint64_t num_edges;
-  if (!reader.GetVarint(&num_edges)) return false;
+  // Each edge takes at least two bytes (two varints); bound the reserve.
+  if (!reader.GetVarint(&num_edges) || num_edges > reader.remaining() / 2) {
+    return false;
+  }
   std::vector<std::pair<AuthorId, AuthorId>> edges;
   edges.reserve(num_edges);
   for (uint64_t i = 0; i < num_edges; ++i) {
@@ -191,14 +205,20 @@ bool LoadCliqueCover(const std::string& path, CliqueCover* cover) {
   BinaryReader reader(data);
   if (!CheckHeader(reader, kCliqueCoverMagic)) return false;
   uint64_t num_authors, num_cliques;
-  if (!reader.GetVarint(&num_authors) || !reader.GetVarint(&num_cliques)) {
+  // Each clique takes at least one byte (its size varint); bound the
+  // reserve against a corrupt clique count.
+  if (!reader.GetVarint(&num_authors) || !reader.GetVarint(&num_cliques) ||
+      num_cliques > reader.remaining()) {
     return false;
   }
   std::vector<std::vector<AuthorId>> cliques;
   cliques.reserve(num_cliques);
   for (uint64_t i = 0; i < num_cliques; ++i) {
     uint64_t size;
-    if (!reader.GetVarint(&size) || size > (1ULL << 24)) return false;
+    if (!reader.GetVarint(&size) || size > (1ULL << 24) ||
+        size > reader.remaining()) {
+      return false;
+    }
     std::vector<AuthorId> clique;
     clique.reserve(size);
     AuthorId prev = 0;
@@ -238,7 +258,9 @@ bool LoadPostStream(const std::string& path, PostStream* stream) {
   BinaryReader reader(data);
   if (!CheckHeader(reader, kPostStreamMagic)) return false;
   uint64_t count;
-  if (!reader.GetVarint(&count)) return false;
+  // Every post takes at least a dozen bytes; one byte is a safe floor for
+  // bounding the reserve against a corrupt count.
+  if (!reader.GetVarint(&count) || count > reader.remaining()) return false;
   PostStream result;
   result.reserve(count);
   int64_t prev_time = 0;
@@ -274,17 +296,24 @@ std::string SanitizeTsvField(const std::string& text) {
 
 }  // namespace
 
+std::string PostStreamTsvHeader() { return "id\tauthor\ttime_ms\tsimhash\ttext\n"; }
+
+void AppendPostTsvLine(const Post& post, std::string* out) {
+  char prefix[96];
+  std::snprintf(prefix, sizeof(prefix), "%llu\t%llu\t%lld\t%016llx\t",
+                static_cast<unsigned long long>(post.id),
+                static_cast<unsigned long long>(post.author),
+                static_cast<long long>(post.time_ms),
+                static_cast<unsigned long long>(post.simhash));
+  out->append(prefix);
+  out->append(SanitizeTsvField(post.text));
+  out->push_back('\n');
+}
+
 bool SavePostStreamTsv(const PostStream& stream, const std::string& path) {
-  std::ostringstream out;
-  out << "id\tauthor\ttime_ms\tsimhash\ttext\n";
-  for (const Post& post : stream) {
-    char hex[17];
-    std::snprintf(hex, sizeof(hex), "%016llx",
-                  static_cast<unsigned long long>(post.simhash));
-    out << post.id << '\t' << post.author << '\t' << post.time_ms << '\t'
-        << hex << '\t' << SanitizeTsvField(post.text) << '\n';
-  }
-  return WriteFileAtomic(path, out.str());
+  std::string out = PostStreamTsvHeader();
+  for (const Post& post : stream) AppendPostTsvLine(post, &out);
+  return WriteFileAtomic(path, out);
 }
 
 bool LoadPostStreamTsv(const std::string& path, PostStream* stream) {

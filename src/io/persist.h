@@ -48,6 +48,14 @@ bool LoadPostStream(const std::string& path, PostStream* stream);
 bool SavePostStreamTsv(const PostStream& stream, const std::string& path);
 bool LoadPostStreamTsv(const std::string& path, PostStream* stream);
 
+/// The TSV header line (trailing newline included). Exposed so the
+/// durable runner can build the output file incrementally, one line per
+/// admitted post, byte-identical to SavePostStreamTsv of the full stream.
+std::string PostStreamTsvHeader();
+
+/// Appends one post as a TSV line (trailing newline included) to `*out`.
+void AppendPostTsvLine(const Post& post, std::string* out);
+
 }  // namespace firehose
 
 #endif  // FIREHOSE_IO_PERSIST_H_

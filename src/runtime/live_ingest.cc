@@ -23,22 +23,25 @@ LiveIngestReport RunLiveIngest(Diversifier& diversifier,
                                const PostStream& stream,
                                const LiveIngestOptions& options) {
   LiveIngestReport report;
-  if (stream.empty()) return report;
+  if (options.start_index >= stream.size()) return report;
 
   const obs::Clock& clock =
       options.clock != nullptr ? *options.clock : *obs::RealClock();
   SpscQueue<QueuedPost> queue(options.queue_capacity);
   std::atomic<bool> producer_done{false};
+  std::atomic<bool> consumer_abort{false};
   std::atomic<uint64_t> blocked{0};
 
   WallTimer timer;
   const uint64_t start_nanos = clock.NowNanos();
-  const int64_t first_time_ms = stream.front().time_ms;
+  const int64_t first_time_ms = stream[options.start_index].time_ms;
 
   std::thread producer([&] {
     obs::TraceScope span(options.trace, "LiveIngest.produce", "ingest",
                          /*tid=*/1);
-    for (const Post& post : stream) {
+    for (size_t index = options.start_index; index < stream.size(); ++index) {
+      const Post& post = stream[index];
+      if (consumer_abort.load(std::memory_order_acquire)) break;
       // Release the post at its scaled timestamp.
       const double offset_ms =
           static_cast<double>(post.time_ms - first_time_ms) / options.speedup;
@@ -52,6 +55,7 @@ LiveIngestReport RunLiveIngest(Diversifier& diversifier,
       }
       QueuedPost item{&post, clock.NowNanos()};
       while (!queue.TryPush(item)) {
+        if (consumer_abort.load(std::memory_order_acquire)) break;
         blocked.fetch_add(1, std::memory_order_relaxed);
         std::this_thread::yield();
         item.enqueue_nanos = clock.NowNanos();
@@ -69,6 +73,23 @@ LiveIngestReport RunLiveIngest(Diversifier& diversifier,
   LatencyRecorder latency;
   size_t high_water = 0;
   QueuedPost item;
+  // Decide one post, through the durability layer when configured. A WAL
+  // failure flips `io_error` and tells the producer to stop feeding.
+  auto decide = [&](const Post& post) {
+    ++report.posts_in;
+    bool admitted = false;
+    if (options.dur != nullptr) {
+      if (!options.dur->Process(post, &admitted)) {
+        report.io_error = true;
+        consumer_abort.store(true, std::memory_order_release);
+        return false;
+      }
+    } else {
+      admitted = diversifier.Offer(post);
+    }
+    if (admitted) ++report.posts_out;
+    return true;
+  };
   {
     obs::TraceScope span(options.trace, "LiveIngest.consume", "ingest",
                          /*tid=*/0);
@@ -79,14 +100,12 @@ LiveIngestReport RunLiveIngest(Diversifier& diversifier,
         if (queue_depth != nullptr) {
           queue_depth->Set(static_cast<int64_t>(depth));
         }
-        ++report.posts_in;
-        if (diversifier.Offer(*item.post)) ++report.posts_out;
+        if (!decide(*item.post)) break;
         latency.RecordNanos(clock.NowNanos() - item.enqueue_nanos);
       } else if (producer_done.load(std::memory_order_acquire)) {
         // Drain anything pushed between the last pop and the flag.
         if (!queue.TryPop(&item)) break;
-        ++report.posts_in;
-        if (diversifier.Offer(*item.post)) ++report.posts_out;
+        if (!decide(*item.post)) break;
         latency.RecordNanos(clock.NowNanos() - item.enqueue_nanos);
       } else {
         std::this_thread::yield();

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "src/core/diversifier.h"
+#include "src/dur/durable.h"
 #include "src/obs/clock.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -30,6 +31,16 @@ struct LiveIngestOptions {
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRecorder* trace = nullptr;
   const obs::Clock* clock = nullptr;
+  /// Optional durability: when set, the consumer thread routes every post
+  /// through DurableSession::Process (WAL append before the decision)
+  /// instead of a bare Offer. Like `metrics`, the session is touched from
+  /// the consumer thread only. A WAL failure stops consumption (the
+  /// producer drains into a closed door; `io_error` reports it).
+  dur::DurableSession* dur = nullptr;
+  /// Skip the first `start_index` posts of the stream — the resume point
+  /// of a recovered run (those posts are already in the engine via
+  /// checkpoint + replay).
+  size_t start_index = 0;
 };
 
 /// Result of a live replay.
@@ -41,6 +52,7 @@ struct LiveIngestReport {
   size_t queue_high_water = 0;       ///< worst backlog observed
   uint64_t producer_blocked = 0;     ///< pushes that had to retry
   LatencySummary queueing_latency;   ///< enqueue -> decision, per post
+  bool io_error = false;             ///< durable WAL append failed
 };
 
 /// Two-thread live replay: a producer thread releases each post of

@@ -20,7 +20,8 @@ void RecordRunMetrics(obs::MetricsRegistry* metrics,
 
 }  // namespace
 
-PipelineReport Pipeline::Run(PostSource& source, const PipelineObs& o) {
+PipelineReport Pipeline::Run(PostSource& source, const PipelineObs& o,
+                             const PipelineDur& d) {
   const obs::Clock* clock = o.clock != nullptr ? o.clock : obs::RealClock();
   obs::TraceScope run_span(o.trace, "Pipeline::Run", "pipeline");
   obs::LogHistogram* comparisons =
@@ -35,7 +36,17 @@ PipelineReport Pipeline::Run(PostSource& source, const PipelineObs& o) {
     ++report.posts_in;
     const uint64_t comparisons_before = diversifier_->stats().comparisons;
     const uint64_t start = clock->NowNanos();
-    const bool admitted = diversifier_->Offer(post);
+    bool admitted = false;
+    if (d.session != nullptr) {
+      // Durable path: WAL append before the decision; a failed append
+      // stops the run (an unlogged decision could never be replayed).
+      if (!d.session->Process(post, &admitted)) {
+        report.io_error = true;
+        break;
+      }
+    } else {
+      admitted = diversifier_->Offer(post);
+    }
     latency.RecordNanos(clock->NowNanos() - start);
     if (comparisons != nullptr) {
       comparisons->Record(diversifier_->stats().comparisons -
@@ -44,6 +55,13 @@ PipelineReport Pipeline::Run(PostSource& source, const PipelineObs& o) {
     if (admitted) {
       ++report.posts_out;
       sink_->Deliver(post);
+    }
+    if (d.session != nullptr) {
+      if (d.after_post) d.after_post();
+      if (d.checkpoint && d.session->ShouldCheckpoint() && !d.checkpoint()) {
+        report.io_error = true;
+        break;
+      }
     }
   }
   const uint64_t wall_nanos = clock->NowNanos() - run_start;

@@ -8,6 +8,7 @@
 
 #include "src/core/diversifier.h"
 #include "src/core/multi_user.h"
+#include "src/dur/durable.h"
 #include "src/obs/clock.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -27,6 +28,24 @@ struct PipelineObs {
   const obs::Clock* clock = nullptr;
 };
 
+/// Optional durability hooks for a pipeline run. When `session` is set,
+/// every post is routed through DurableSession::Process (WAL append, then
+/// engine decision) instead of a bare Offer, and the checkpoint cadence is
+/// honored between posts. All members may stay default for the ordinary
+/// in-memory pipeline.
+struct PipelineDur {
+  dur::DurableSession* session = nullptr;
+
+  /// Invoked after each processed (logged + decided) post — the seam the
+  /// crash-recovery harness uses to kill the process at exact post counts.
+  std::function<void()> after_post;
+
+  /// Invoked when the session says a checkpoint is due. The callee must
+  /// flush + fsync the output stream and call session->Checkpoint() with
+  /// its durable size. Returning false aborts the run with io_error.
+  std::function<bool()> checkpoint;
+};
+
 /// Pull-based post source feeding a pipeline. Sources deliver posts in
 /// non-decreasing timestamp order and return false when exhausted.
 class PostSource {
@@ -39,8 +58,11 @@ class PostSource {
 /// Source over an in-memory stream (replay of a recorded day).
 class VectorSource final : public PostSource {
  public:
-  /// `stream` must outlive the source.
-  explicit VectorSource(const PostStream* stream) : stream_(stream) {}
+  /// `stream` must outlive the source. `start_index` lets a recovered run
+  /// resume feeding at its replay point (posts before it are already in
+  /// the engine via checkpoint + WAL replay).
+  explicit VectorSource(const PostStream* stream, size_t start_index = 0)
+      : stream_(stream), index_(start_index) {}
   bool Next(Post* post) override {
     if (index_ >= stream_->size()) return false;
     *post = (*stream_)[index_++];
@@ -85,6 +107,9 @@ struct PipelineReport {
   uint64_t posts_out = 0;
   double wall_ms = 0.0;
   LatencySummary decision_latency;  ///< per-post Offer latency
+  /// True when a durability hook failed (WAL append or checkpoint); the
+  /// run stopped at that post and the remaining source is undrained.
+  bool io_error = false;
 };
 
 /// Single-user real-time pipeline (the SPSD deployment of Figure 1a):
@@ -102,8 +127,10 @@ class Pipeline {
   /// `o.metrics` is set, records `pipeline.posts_in/out/suppressed`
   /// counters, the deterministic `pipeline.decision_comparisons`
   /// histogram (one sample per post), and timing-flagged latency/wall
-  /// metrics; `o.trace` gets a run span.
-  PipelineReport Run(PostSource& source, const PipelineObs& o = {});
+  /// metrics; `o.trace` gets a run span. With `d.session`, decisions run
+  /// through the durability layer (see PipelineDur).
+  PipelineReport Run(PostSource& source, const PipelineObs& o = {},
+                     const PipelineDur& d = {});
 
  private:
   Diversifier* diversifier_;

@@ -18,6 +18,11 @@ void PostBin::Push(const BinEntry& entry) {
 }
 
 void PostBin::Save(BinaryWriter* out) const {
+  // The ring slot count is part of the snapshot: ApproxBytes() reports
+  // capacity (what the process holds resident), so a restored bin must
+  // keep the original ring or recovered memory metrics would drift from
+  // an uninterrupted run's.
+  out->PutVarint(slots_.size());
   out->PutVarint(size_);
   int64_t prev_time = 0;
   for (size_t i = 0; i < size_; ++i) {
@@ -31,12 +36,26 @@ void PostBin::Save(BinaryWriter* out) const {
 }
 
 bool PostBin::Load(BinaryReader& in) {
-  slots_.clear();
+  slots_ = std::vector<BinEntry>();
   head_ = 0;
   size_ = 0;
   mask_ = 0;
+  uint64_t capacity;
   uint64_t count;
-  if (!in.GetVarint(&count)) return false;
+  if (!in.GetVarint(&capacity) || !in.GetVarint(&count)) return false;
+  // The ring is always a power of two (possibly empty), never absurdly
+  // large relative to what one bin can hold, and big enough for its
+  // entries. Anything else is a corrupt snapshot — reject it before
+  // trusting it with an allocation.
+  constexpr uint64_t kMaxSnapshotSlots = 1ull << 24;
+  if (capacity > kMaxSnapshotSlots || count > capacity ||
+      (capacity & (capacity - 1)) != 0) {
+    return false;
+  }
+  if (capacity > 0) {
+    slots_ = std::vector<BinEntry>(static_cast<size_t>(capacity));
+    mask_ = static_cast<size_t>(capacity) - 1;
+  }
   int64_t prev_time = 0;
   for (uint64_t i = 0; i < count; ++i) {
     BinEntry entry;
@@ -44,7 +63,7 @@ bool PostBin::Load(BinaryReader& in) {
     uint64_t author, post_id;
     if (!in.GetSignedVarint(&delta) || !in.GetFixed64(&entry.simhash) ||
         !in.GetVarint(&author) || !in.GetVarint(&post_id)) {
-      slots_.clear();
+      slots_ = std::vector<BinEntry>();
       head_ = size_ = mask_ = 0;
       return false;
     }
@@ -52,7 +71,7 @@ bool PostBin::Load(BinaryReader& in) {
     entry.time_ms = prev_time;
     entry.author = static_cast<AuthorId>(author);
     entry.post_id = static_cast<PostId>(post_id);
-    Push(entry);
+    slots_[size_++] = entry;
   }
   return true;
 }

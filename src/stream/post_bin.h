@@ -54,8 +54,10 @@ class PostBin {
   /// actually holds resident).
   size_t ApproxBytes() const { return slots_.capacity() * sizeof(BinEntry); }
 
-  /// Serializes the live entries (oldest to newest, delta-encoded) for
-  /// diversifier failover snapshots.
+  /// Serializes the ring capacity plus the live entries (oldest to
+  /// newest, delta-encoded) for diversifier failover snapshots. Capacity
+  /// is included so a restored bin reports the same ApproxBytes() as the
+  /// original.
   void Save(BinaryWriter* out) const;
 
   /// Replaces the contents from a Save()d snapshot; false (contents

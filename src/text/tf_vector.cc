@@ -24,6 +24,39 @@ TfVector TfVector::FromText(std::string_view text) {
   return v;
 }
 
+void TfVector::Save(BinaryWriter* out) const {
+  out->PutVarint(entries_.size());
+  uint64_t prev_hash = 0;
+  for (const Entry& e : entries_) {
+    out->PutVarint(e.term_hash - prev_hash);  // strictly increasing hashes
+    prev_hash = e.term_hash;
+    out->PutVarint(e.count);
+  }
+}
+
+bool TfVector::Load(BinaryReader& in) {
+  entries_.clear();
+  uint64_t count = 0;
+  if (!in.GetVarint(&count)) return false;
+  // Each entry costs at least two bytes on the wire; a declared count
+  // beyond that is corrupt, not worth allocating for.
+  if (count > in.remaining()) return false;
+  uint64_t prev_hash = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t delta = 0;
+    uint64_t term_count = 0;
+    if (!in.GetVarint(&delta) || !in.GetVarint(&term_count) ||
+        term_count == 0 || term_count > 0xFFFFFFFFull ||
+        (i > 0 && delta == 0)) {
+      entries_.clear();
+      return false;
+    }
+    prev_hash += delta;
+    entries_.push_back(Entry{prev_hash, static_cast<uint32_t>(term_count)});
+  }
+  return true;
+}
+
 double TfVector::Norm() const {
   double sq = 0.0;
   for (const Entry& e : entries_) {

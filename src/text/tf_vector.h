@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "src/io/binary.h"
+
 namespace firehose {
 
 /// Sparse term-frequency vector over hashed tokens. This is the exact
@@ -34,6 +36,15 @@ class TfVector {
 
   /// L2 norm of the frequency vector.
   double Norm() const;
+
+  /// Serializes the entries (delta-encoded term hashes + counts) for
+  /// diversifier failover snapshots.
+  void Save(BinaryWriter* out) const;
+
+  /// Replaces the contents from a Save()d snapshot; false (vector left
+  /// empty) on malformed input — including hashes out of order or zero
+  /// counts, which a well-formed Save never produces.
+  bool Load(BinaryReader& in);
 
  private:
   struct Entry {

@@ -1,0 +1,35 @@
+#ifndef FIREHOSE_UTIL_BUILD_INFO_H_
+#define FIREHOSE_UTIL_BUILD_INFO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace firehose {
+
+/// Build identity, stamped into every durable artifact the durability
+/// layer writes (WAL segment headers, checkpoint files) and printed by
+/// `firehose_diversify --version`. Two distinct notions:
+///
+/// - `kBuildVersion` is the human-readable release string. It is recorded
+///   so a recovery failure can name the writer ("checkpoint written by
+///   firehose 0.2.0") instead of surfacing a bare parse error.
+/// - `kStateFormatVersion` is the compatibility token: recovery refuses
+///   state whose format version differs from this binary's. Bump it on
+///   ANY change to the serialized engine-state, WAL, or checkpoint byte
+///   layout. History:
+///     1  initial SaveState layout (stats + raw bins)
+///     2  CRC32C-framed state payloads; PostBin snapshots carry the ring
+///        capacity; CosineUniBin gains snapshots
+inline constexpr std::string_view kBuildVersion = "firehose 0.3.0";
+inline constexpr uint32_t kStateFormatVersion = 2;
+
+/// "firehose 0.3.0 (state format 2)" — the one-line identity string.
+inline std::string BuildInfoString() {
+  return std::string(kBuildVersion) + " (state format " +
+         std::to_string(kStateFormatVersion) + ")";
+}
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_UTIL_BUILD_INFO_H_

@@ -1,0 +1,121 @@
+#include "src/util/crc32c.h"
+
+#include <array>
+#include <cstring>
+
+namespace firehose {
+
+namespace {
+
+// --- Portable slice-by-8 ----------------------------------------------------
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+
+struct Tables {
+  // table[k][b]: CRC of byte b followed by k zero bytes.
+  std::array<std::array<uint32_t, 256>, 8> t;
+};
+
+Tables BuildTables() {
+  Tables tables;
+  for (uint32_t b = 0; b < 256; ++b) {
+    uint32_t crc = b;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    tables.t[0][b] = crc;
+  }
+  for (int k = 1; k < 8; ++k) {
+    for (uint32_t b = 0; b < 256; ++b) {
+      const uint32_t prev = tables.t[k - 1][b];
+      tables.t[k][b] = (prev >> 8) ^ tables.t[0][prev & 0xFF];
+    }
+  }
+  return tables;
+}
+
+const Tables& GetTables() {
+  static const Tables tables = BuildTables();
+  return tables;
+}
+
+uint32_t ExtendPortable(uint32_t crc, const unsigned char* p, size_t n) {
+  const Tables& tb = GetTables();
+  crc = ~crc;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    // Little-endian lanes; on a big-endian target the per-byte tail below
+    // would still be correct, so only this block assumes LE byte order.
+    word ^= crc;
+    crc = tb.t[7][word & 0xFF] ^ tb.t[6][(word >> 8) & 0xFF] ^
+          tb.t[5][(word >> 16) & 0xFF] ^ tb.t[4][(word >> 24) & 0xFF] ^
+          tb.t[3][(word >> 32) & 0xFF] ^ tb.t[2][(word >> 40) & 0xFF] ^
+          tb.t[1][(word >> 48) & 0xFF] ^ tb.t[0][(word >> 56) & 0xFF];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xFF];
+  }
+  return ~crc;
+}
+
+// --- Hardware path (x86-64 SSE4.2 crc32 instruction) ------------------------
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define FIREHOSE_CRC32C_HW 1
+
+__attribute__((target("sse4.2"))) uint32_t ExtendHardware(
+    uint32_t crc, const unsigned char* p, size_t n) {
+  crc = ~crc;
+  uint64_t crc64 = crc;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc64 = __builtin_ia32_crc32di(crc64, word);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  while (n-- > 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+  }
+  return ~crc;
+}
+
+bool DetectHardware() { return __builtin_cpu_supports("sse4.2") != 0; }
+
+#else
+#define FIREHOSE_CRC32C_HW 0
+
+bool DetectHardware() { return false; }
+
+#endif
+
+bool HardwareAvailable() {
+  static const bool available = DetectHardware();
+  return available;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+#if FIREHOSE_CRC32C_HW
+  if (HardwareAvailable()) return ExtendHardware(crc, p, n);
+#endif
+  return ExtendPortable(crc, p, n);
+}
+
+namespace internal {
+
+uint32_t Crc32cPortable(uint32_t crc, const void* data, size_t n) {
+  return ExtendPortable(crc, static_cast<const unsigned char*>(data), n);
+}
+
+}  // namespace internal
+
+bool Crc32cHardwareAvailable() { return HardwareAvailable(); }
+
+}  // namespace firehose

@@ -1,0 +1,333 @@
+// Hostile-input hardening for the binary persistence layer: zero-byte
+// files, truncation at every byte offset, cross-format magic confusion,
+// version bumps and absurd declared counts must all make Load* return
+// false — quickly, without oversized allocations (the bounded-reserve
+// guards in persist.cc), and without mutating the output object. Runs
+// under ASan in the sanitizer presets.
+
+#include "src/io/persist.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/io/binary.h"
+#include "tests/test_util.h"
+
+namespace firehose {
+namespace {
+
+// On-disk header constants, mirrored from persist.cc: these pin the file
+// format, so the test is allowed to know them.
+constexpr uint64_t kFollowGraphMagic = 0x464847;
+constexpr uint64_t kSimilarityMagic = 0x464853;
+constexpr uint64_t kAuthorGraphMagic = 0x464841;
+constexpr uint64_t kCliqueCoverMagic = 0x464843;
+constexpr uint64_t kPostStreamMagic = 0x464850;
+constexpr uint64_t kHuge = 1ull << 62;
+
+/// One persisted format under test: its valid bytes, a loader targeting a
+/// long-lived output object, and a snapshot of that object (via re-save)
+/// to prove failed loads left it untouched.
+struct Format {
+  std::string name;
+  uint64_t magic = 0;
+  std::string valid;
+  std::function<bool(const std::string& path)> load;
+  std::function<std::string()> snapshot;
+};
+
+class PersistHardeningTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::string("persist_hardening_tmp_") +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directory(dir_);
+
+    Rng rng(20260806);
+    author_graph_ = testing_util::RandomAuthorGraph(8, 0.4, rng);
+    cover_ = CliqueCover::Greedy(author_graph_);
+    stream_ = testing_util::RandomStream(12, 8, 50, rng);
+    follow_ = FollowGraph(6);
+    follow_.AddFollow(0, 1);
+    follow_.AddFollow(0, 3);
+    follow_.AddFollow(2, 5);
+    follow_.AddFollow(4, 1);
+    follow_.Finalize();
+    pairs_ = {{0, 1, 0.5}, {1, 2, 0.25}, {2, 3, 0.875}};
+    BuildFormats();
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void BuildFormats() {
+    const std::string snap = dir_ + "/snap.bin";
+    auto slurp = [](const std::string& path) {
+      std::string bytes;
+      EXPECT_TRUE(ReadFileToString(path, &bytes)) << path;
+      return bytes;
+    };
+
+    Format follow;
+    follow.name = "FollowGraph";
+    follow.magic = kFollowGraphMagic;
+    ASSERT_TRUE(SaveFollowGraph(follow_, dir_ + "/follow.bin"));
+    follow.valid = slurp(dir_ + "/follow.bin");
+    follow.load = [this](const std::string& p) {
+      return LoadFollowGraph(p, &loaded_follow_);
+    };
+    follow.snapshot = [this, snap, slurp] {
+      EXPECT_TRUE(SaveFollowGraph(loaded_follow_, snap));
+      return slurp(snap);
+    };
+    formats_.push_back(std::move(follow));
+
+    Format sims;
+    sims.name = "Similarities";
+    sims.magic = kSimilarityMagic;
+    ASSERT_TRUE(SaveSimilarities(pairs_, dir_ + "/sims.bin"));
+    sims.valid = slurp(dir_ + "/sims.bin");
+    sims.load = [this](const std::string& p) {
+      return LoadSimilarities(p, &loaded_pairs_);
+    };
+    sims.snapshot = [this, snap, slurp] {
+      EXPECT_TRUE(SaveSimilarities(loaded_pairs_, snap));
+      return slurp(snap);
+    };
+    formats_.push_back(std::move(sims));
+
+    Format author;
+    author.name = "AuthorGraph";
+    author.magic = kAuthorGraphMagic;
+    ASSERT_TRUE(SaveAuthorGraph(author_graph_, dir_ + "/author.bin"));
+    author.valid = slurp(dir_ + "/author.bin");
+    author.load = [this](const std::string& p) {
+      return LoadAuthorGraph(p, &loaded_author_graph_);
+    };
+    author.snapshot = [this, snap, slurp] {
+      EXPECT_TRUE(SaveAuthorGraph(loaded_author_graph_, snap));
+      return slurp(snap);
+    };
+    formats_.push_back(std::move(author));
+
+    Format clique;
+    clique.name = "CliqueCover";
+    clique.magic = kCliqueCoverMagic;
+    ASSERT_TRUE(SaveCliqueCover(cover_, 8, dir_ + "/cover.bin"));
+    clique.valid = slurp(dir_ + "/cover.bin");
+    clique.load = [this](const std::string& p) {
+      return LoadCliqueCover(p, &loaded_cover_);
+    };
+    clique.snapshot = [this, snap, slurp] {
+      EXPECT_TRUE(SaveCliqueCover(loaded_cover_, 8, snap));
+      return slurp(snap);
+    };
+    formats_.push_back(std::move(clique));
+
+    Format posts;
+    posts.name = "PostStream";
+    posts.magic = kPostStreamMagic;
+    ASSERT_TRUE(SavePostStream(stream_, dir_ + "/posts.bin"));
+    posts.valid = slurp(dir_ + "/posts.bin");
+    posts.load = [this](const std::string& p) {
+      return LoadPostStream(p, &loaded_stream_);
+    };
+    posts.snapshot = [this, snap, slurp] {
+      EXPECT_TRUE(SavePostStream(loaded_stream_, snap));
+      return slurp(snap);
+    };
+    formats_.push_back(std::move(posts));
+  }
+
+  /// Header + a run of varints: the shape of every crafted attack file.
+  static std::string Craft(uint64_t magic,
+                           std::initializer_list<uint64_t> varints) {
+    BinaryWriter writer;
+    writer.PutVarint(magic);
+    writer.PutU8(1);  // kVersion
+    for (uint64_t v : varints) writer.PutVarint(v);
+    return writer.Release();
+  }
+
+  static size_t HeaderSize(uint64_t magic) {
+    BinaryWriter writer;
+    writer.PutVarint(magic);
+    writer.PutU8(1);
+    return writer.size();
+  }
+
+  std::string dir_;
+  std::vector<Format> formats_;
+
+  FollowGraph follow_;
+  std::vector<AuthorPairSimilarity> pairs_;
+  AuthorGraph author_graph_;
+  CliqueCover cover_;
+  PostStream stream_;
+
+  FollowGraph loaded_follow_;
+  std::vector<AuthorPairSimilarity> loaded_pairs_;
+  AuthorGraph loaded_author_graph_;
+  CliqueCover loaded_cover_;
+  PostStream loaded_stream_;
+};
+
+TEST_F(PersistHardeningTest, MissingFileIsRejected) {
+  for (Format& f : formats_) {
+    EXPECT_FALSE(f.load(dir_ + "/does_not_exist.bin")) << f.name;
+  }
+}
+
+TEST_F(PersistHardeningTest, ZeroByteFileIsRejected) {
+  const std::string path = dir_ + "/zero.bin";
+  ASSERT_TRUE(WriteFileAtomic(path, ""));
+  for (Format& f : formats_) {
+    EXPECT_FALSE(f.load(path)) << f.name;
+  }
+}
+
+TEST_F(PersistHardeningTest, TruncationAtEveryByteIsRejected) {
+  const std::string path = dir_ + "/truncated.bin";
+  for (Format& f : formats_) {
+    ASSERT_TRUE(f.load(dir_ + "/does_not_exist.bin") == false);
+    // Start from a known-good loaded state so mutation would be visible.
+    const std::string valid_path = dir_ + "/valid.bin";
+    ASSERT_TRUE(WriteFileAtomic(valid_path, f.valid));
+    ASSERT_TRUE(f.load(valid_path)) << f.name;
+    const std::string pristine = f.snapshot();
+
+    for (size_t cut = 0; cut < f.valid.size(); ++cut) {
+      ASSERT_TRUE(
+          WriteFileAtomic(path, std::string_view(f.valid).substr(0, cut)));
+      EXPECT_FALSE(f.load(path))
+          << f.name << ": truncation to " << cut << " bytes accepted";
+    }
+    EXPECT_EQ(f.snapshot(), pristine)
+        << f.name << " was mutated by a failed load";
+  }
+}
+
+TEST_F(PersistHardeningTest, CrossFormatMagicIsRejected) {
+  const std::string path = dir_ + "/cross.bin";
+  for (Format& source : formats_) {
+    ASSERT_TRUE(WriteFileAtomic(path, source.valid));
+    for (Format& loader : formats_) {
+      if (loader.name == source.name) continue;
+      EXPECT_FALSE(loader.load(path))
+          << loader.name << " accepted a " << source.name << " file";
+    }
+  }
+}
+
+TEST_F(PersistHardeningTest, WrongVersionIsRejected) {
+  const std::string path = dir_ + "/version.bin";
+  for (Format& f : formats_) {
+    std::string bumped = f.valid;
+    const size_t version_at = HeaderSize(f.magic) - 1;
+    ASSERT_LT(version_at, bumped.size()) << f.name;
+    ASSERT_EQ(bumped[version_at], 1) << f.name;
+    bumped[version_at] = 2;
+    ASSERT_TRUE(WriteFileAtomic(path, bumped));
+    EXPECT_FALSE(f.load(path)) << f.name << " accepted a future version";
+  }
+}
+
+TEST_F(PersistHardeningTest, OversizedDeclaredCountsAreRejected) {
+  // Every crafted file is a handful of bytes that *declares* ~4.6e18
+  // elements; the loaders must refuse before reserving for them. (Under
+  // a failed guard this test would OOM or time out rather than fail an
+  // assertion — either way the regression is loud.)
+  struct Case {
+    std::string what;
+    std::string bytes;
+    std::function<bool(const std::string&)> load;
+  };
+  FollowGraph fg;
+  std::vector<AuthorPairSimilarity> sims;
+  AuthorGraph ag;
+  CliqueCover cc;
+  PostStream ps;
+  std::vector<Case> cases;
+  cases.push_back({"FollowGraph author count",
+                   Craft(kFollowGraphMagic, {kHuge}),
+                   [&](const std::string& p) { return LoadFollowGraph(p, &fg); }});
+  cases.push_back({"FollowGraph followee count",
+                   Craft(kFollowGraphMagic, {1, kHuge}),
+                   [&](const std::string& p) { return LoadFollowGraph(p, &fg); }});
+  cases.push_back({"Similarity pair count",
+                   Craft(kSimilarityMagic, {kHuge}),
+                   [&](const std::string& p) { return LoadSimilarities(p, &sims); }});
+  cases.push_back({"AuthorGraph vertex count",
+                   Craft(kAuthorGraphMagic, {kHuge}),
+                   [&](const std::string& p) { return LoadAuthorGraph(p, &ag); }});
+  cases.push_back({"AuthorGraph edge count",
+                   Craft(kAuthorGraphMagic, {0, kHuge}),
+                   [&](const std::string& p) { return LoadAuthorGraph(p, &ag); }});
+  cases.push_back({"CliqueCover clique count",
+                   Craft(kCliqueCoverMagic, {4, kHuge}),
+                   [&](const std::string& p) { return LoadCliqueCover(p, &cc); }});
+  cases.push_back({"CliqueCover clique size",
+                   Craft(kCliqueCoverMagic, {4, 1, kHuge}),
+                   [&](const std::string& p) { return LoadCliqueCover(p, &cc); }});
+  cases.push_back({"PostStream post count",
+                   Craft(kPostStreamMagic, {kHuge}),
+                   [&](const std::string& p) { return LoadPostStream(p, &ps); }});
+  {
+    // A single post whose declared text length exceeds the file.
+    BinaryWriter writer;
+    writer.PutVarint(kPostStreamMagic);
+    writer.PutU8(1);
+    writer.PutVarint(1);        // count
+    writer.PutVarint(7);        // id
+    writer.PutVarint(3);        // author
+    writer.PutSignedVarint(1000);
+    writer.PutFixed64(0x1234);
+    writer.PutVarint(kHuge);    // declared text length
+    cases.push_back({"PostStream text length", writer.Release(),
+                     [&](const std::string& p) { return LoadPostStream(p, &ps); }});
+  }
+
+  const std::string path = dir_ + "/oversized.bin";
+  for (Case& c : cases) {
+    ASSERT_TRUE(WriteFileAtomic(path, c.bytes)) << c.what;
+    EXPECT_FALSE(c.load(path)) << c.what << " was accepted";
+  }
+}
+
+TEST_F(PersistHardeningTest, TsvTruncationKeepsOnlyCompleteLines) {
+  PostStream loaded;
+  EXPECT_FALSE(LoadPostStreamTsv(dir_ + "/missing.tsv", &loaded));
+
+  const std::string path = dir_ + "/stream.tsv";
+  ASSERT_TRUE(SavePostStreamTsv(stream_, path));
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(path, &bytes));
+
+  // Cut one byte into the last data line: the partial line has no tabs,
+  // so the tolerant TSV loader must skip it and keep every earlier post.
+  const size_t last_line = bytes.rfind('\n', bytes.size() - 2);
+  ASSERT_NE(last_line, std::string::npos);
+  ASSERT_TRUE(WriteFileAtomic(path, std::string_view(bytes)
+                                        .substr(0, last_line + 2)));
+  ASSERT_TRUE(LoadPostStreamTsv(path, &loaded));
+  ASSERT_EQ(loaded.size(), stream_.size() - 1);
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, stream_[i].id);
+    EXPECT_EQ(loaded[i].text, stream_[i].text);
+  }
+
+  // Zero-byte TSV: tolerated by design (no header, no lines) — the loader
+  // only hard-fails on a missing file.
+  ASSERT_TRUE(WriteFileAtomic(path, ""));
+  EXPECT_TRUE(LoadPostStreamTsv(path, &loaded));
+  EXPECT_TRUE(loaded.empty());
+}
+
+}  // namespace
+}  // namespace firehose

@@ -102,16 +102,62 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(StateSnapshotTest, BaseClassDefaultsToUnsupported) {
-  // CosineUniBin does not (yet) implement snapshots; the default must be
-  // a safe no-op.
-  const AuthorGraph graph = testing_util::PaperExampleGraph();
-  CosineUniBinDiversifier diversifier(testing_util::PaperExampleThresholds(),
-                                      0.7, &graph);
+  // A diversifier that overrides nothing must get the safe no-op
+  // defaults: SaveState writes nothing, LoadState refuses.
+  class NoSnapshotDiversifier final : public Diversifier {
+   public:
+    bool Offer(const Post&) override { return true; }
+    const IngestStats& stats() const override { return stats_; }
+    size_t ApproxBytes() const override { return 0; }
+    std::string_view name() const override { return "NoSnapshot"; }
+
+   private:
+    IngestStats stats_;
+  };
+  NoSnapshotDiversifier diversifier;
   BinaryWriter out;
   diversifier.SaveState(&out);
   EXPECT_EQ(out.size(), 0u);
   BinaryReader in(out.buffer());
   EXPECT_FALSE(diversifier.LoadState(in));
+}
+
+TEST(StateSnapshotTest, CosineUniBinResumedRunMatchesUninterrupted) {
+  // CosineUniBin is not part of kAllAlgorithms (it is the §3 baseline,
+  // not an engine), so its snapshot support is exercised directly.
+  Rng rng(47);
+  const AuthorGraph graph = testing_util::RandomAuthorGraph(12, 0.3, rng);
+  const PostStream stream = testing_util::RandomStream(400, 12, 20, rng);
+  DiversityThresholds t;
+  t.lambda_t_ms = 600;
+
+  std::vector<PostId> expected;
+  {
+    CosineUniBinDiversifier reference(t, 0.7, &graph);
+    for (const Post& post : stream) {
+      if (reference.Offer(post)) expected.push_back(post.id);
+    }
+  }
+
+  std::vector<PostId> resumed;
+  BinaryWriter snapshot;
+  const size_t half = stream.size() / 2;
+  {
+    CosineUniBinDiversifier first(t, 0.7, &graph);
+    for (size_t i = 0; i < half; ++i) {
+      if (first.Offer(stream[i])) resumed.push_back(stream[i].id);
+    }
+    first.SaveState(&snapshot);
+  }
+  CosineUniBinDiversifier second(t, 0.7, &graph);
+  BinaryReader reader(snapshot.buffer());
+  ASSERT_TRUE(second.LoadState(reader));
+  EXPECT_TRUE(reader.AtEnd());
+  for (size_t i = half; i < stream.size(); ++i) {
+    if (second.Offer(stream[i])) resumed.push_back(stream[i].id);
+  }
+  EXPECT_EQ(resumed, expected);
+  EXPECT_EQ(second.stats().posts_in, stream.size());
 }
 
 }  // namespace

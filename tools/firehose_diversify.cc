@@ -11,15 +11,30 @@
 // byte-identical). --trace_out writes a Chrome trace_event JSON file
 // loadable in Perfetto / chrome://tracing.
 //
+// Durability: --wal_dir enables the crash-safe runtime (DESIGN.md §4d).
+// Every post is appended to a write-ahead log before the engine decides,
+// the engine state is checkpointed every --checkpoint_every posts, and on
+// startup the tool recovers from the newest checkpoint + WAL tail, so a
+// SIGKILL at any instant loses no durable work: re-running the identical
+// command line resumes and produces the byte-identical --out stream and
+// metrics snapshot of an uninterrupted run. FIREHOSE_CRASH_AFTER=N in the
+// environment makes the process SIGKILL itself after N posts (the
+// crash-recovery harness's deterministic kill switch).
+//
 // Usage:
 //   firehose_diversify --graph=author_graph.bin --stream=stream.bin
 //       [--out=diversified.tsv]
 //       [--cover=/tmp/w/cover.bin] [--algorithm=cliquebin|unibin|neighborbin]
 //       [--lambda_c=18] [--lambda_t_min=30] [--live] [--speedup=100000]
 //       [--metrics_out=metrics.json] [--trace_out=trace.json]
+//       [--wal_dir=DIR --checkpoint_every=1000 --wal_sync=none|always|every=N]
+//   firehose_diversify --version
 
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 
 #include "src/firehose.h"
 #include "src/util/flags.h"
@@ -54,13 +69,46 @@ bool EndsWith(const std::string& s, const char* suffix) {
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
+/// Sink of the durable pipeline: appends each admitted post as one TSV
+/// line to the already-open output file, tracking the byte offset the
+/// next checkpoint will claim. Byte-identical to SavePostStreamTsv of
+/// the same kept stream.
+class TsvFileSink final : public PostSink {
+ public:
+  TsvFileSink(dur::WritableFile* file, uint64_t* bytes)
+      : file_(file), bytes_(bytes) {}
+
+  void Deliver(const Post& post) override {
+    ++count_;
+    if (file_ == nullptr) return;
+    std::string line;
+    AppendPostTsvLine(post, &line);
+    if (!file_->Append(line)) ok_ = false;
+    *bytes_ += line.size();
+  }
+
+  uint64_t count() const { return count_; }
+  bool ok() const { return ok_; }
+
+ private:
+  dur::WritableFile* file_;
+  uint64_t* bytes_;
+  uint64_t count_ = 0;
+  bool ok_ = true;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const auto unknown = flags.UnknownFlags(
       {"graph", "stream", "out", "cover", "algorithm", "lambda_c",
-       "lambda_t_min", "live", "speedup", "metrics_out", "trace_out", "help"});
+       "lambda_t_min", "live", "speedup", "metrics_out", "trace_out",
+       "wal_dir", "checkpoint_every", "wal_sync", "version", "help"});
+  if (flags.Has("version")) {
+    std::printf("%s\n", BuildInfoString().c_str());
+    return 0;
+  }
   if (!unknown.empty() || flags.Has("help") || !flags.Has("graph") ||
       !flags.Has("stream")) {
     std::fprintf(
@@ -68,7 +116,9 @@ int main(int argc, char** argv) {
         "usage: firehose_diversify --graph=PATH --stream=PATH [--out=PATH]\n"
         "    [--cover=PATH] [--algorithm=unibin|neighborbin|cliquebin]\n"
         "    [--lambda_c=18] [--lambda_t_min=30] [--live] [--speedup=F]\n"
-        "    [--metrics_out=PATH(.json|.prom)] [--trace_out=PATH]\n");
+        "    [--metrics_out=PATH(.json|.prom)] [--trace_out=PATH]\n"
+        "    [--wal_dir=DIR] [--checkpoint_every=N]\n"
+        "    [--wal_sync=none|always|every=N] [--version]\n");
     return flags.Has("help") ? 0 : 2;
   }
 
@@ -129,7 +179,163 @@ int main(int argc, char** argv) {
                                      have_cover ? &cover : nullptr);
 
   PostStream kept;
-  if (flags.GetBool("live", false)) {
+  const bool durable = flags.Has("wal_dir");
+  if (durable) {
+    if (flags.GetBool("live", false)) {
+      std::fprintf(stderr,
+                   "error: --wal_dir does not combine with --live (the "
+                   "durable path is exercised by the sequential pipeline; "
+                   "LiveIngestOptions::dur covers the two-thread runtime)\n");
+      return 2;
+    }
+    const std::string out_path = flags.GetString("out", "");
+    if (!out_path.empty() && !EndsWith(out_path, ".tsv")) {
+      std::fprintf(stderr,
+                   "error: durable runs write --out incrementally and only "
+                   "support the .tsv format\n");
+      return 2;
+    }
+
+    dur::DurableOptions dur_options;
+    dur_options.dir = flags.GetString("wal_dir", "");
+    dur_options.checkpoint_every =
+        static_cast<uint64_t>(flags.GetInt("checkpoint_every", 1000));
+    dur_options.sync_spec = flags.GetString("wal_sync", "none");
+    if (want_metrics) dur_options.metrics = &metrics;
+    dur::DurableSession session(dur_options, diversifier.get());
+
+    // Replay-accepted posts become output lines, but the output file can
+    // only be positioned once recovery reports the checkpoint's durable
+    // offset — so buffer the lines and append them right after truncation.
+    std::string replayed_lines;
+    dur::RecoveryReport recovery;
+    std::string error;
+    if (!session.Recover(
+            &recovery,
+            [&](const Post& post) { AppendPostTsvLine(post, &replayed_lines); },
+            &error)) {
+      std::fprintf(stderr, "error: recovery failed: %s\n", error.c_str());
+      return 1;
+    }
+    if (recovery.next_seq > stream.size()) {
+      std::fprintf(stderr,
+                   "error: durable state in %s is ahead of --stream "
+                   "(%llu posts logged, %zu in the file); wrong stream?\n",
+                   dur_options.dir.c_str(),
+                   static_cast<unsigned long long>(recovery.next_seq),
+                   stream.size());
+      return 1;
+    }
+    if (recovery.found_checkpoint || recovery.replayed_posts > 0) {
+      std::printf(
+          "recovered from %s: checkpoint=%s, replayed %llu WAL posts, "
+          "resuming at post %llu%s\n",
+          dur_options.dir.c_str(), recovery.found_checkpoint ? "yes" : "no",
+          static_cast<unsigned long long>(recovery.replayed_posts),
+          static_cast<unsigned long long>(recovery.next_seq),
+          recovery.corruption_detected ? " (torn tail truncated)" : "");
+    }
+
+    // Position the durable output: a recovered run truncates to the last
+    // checkpoint's fsynced offset and extends; a fresh run starts over.
+    dur::FileOps* ops = dur::RealFileOps();
+    std::unique_ptr<dur::WritableFile> out_file;
+    uint64_t out_bytes = 0;
+    if (!out_path.empty()) {
+      if (recovery.found_checkpoint) {
+        if (!ops->Truncate(out_path, recovery.output_bytes)) {
+          std::fprintf(stderr, "error: cannot truncate %s to %llu bytes\n",
+                       out_path.c_str(),
+                       static_cast<unsigned long long>(recovery.output_bytes));
+          return 1;
+        }
+        out_file = ops->OpenAppend(out_path);
+        out_bytes = recovery.output_bytes;
+      } else {
+        out_file = ops->Create(out_path);
+        if (out_file != nullptr) {
+          const std::string header = PostStreamTsvHeader();
+          if (!out_file->Append(header)) out_file = nullptr;
+          out_bytes = header.size();
+        }
+      }
+      if (out_file == nullptr) {
+        std::fprintf(stderr, "error: cannot open %s\n", out_path.c_str());
+        return 1;
+      }
+      if (!replayed_lines.empty() && !out_file->Append(replayed_lines)) {
+        std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+        return 1;
+      }
+      out_bytes += replayed_lines.size();
+    }
+
+    uint64_t crash_after = 0;
+    if (const char* env = std::getenv("FIREHOSE_CRASH_AFTER")) {
+      crash_after = std::strtoull(env, nullptr, 10);
+    }
+    uint64_t processed_here = 0;
+
+    TsvFileSink sink(out_file.get(), &out_bytes);
+    VectorSource source(&stream, recovery.next_seq);
+    Pipeline pipeline(diversifier.get(), &sink);
+    PipelineDur pipeline_dur;
+    pipeline_dur.session = &session;
+    pipeline_dur.after_post = [&] {
+      // The kill-loop harness dies at exact per-incarnation post counts;
+      // SIGKILL so no destructor or flush can soften the crash.
+      if (crash_after > 0 && ++processed_here >= crash_after) {
+        std::raise(SIGKILL);
+      }
+    };
+    pipeline_dur.checkpoint = [&] {
+      // Output must be durable to `out_bytes` before a checkpoint may
+      // claim that offset.
+      if (out_file != nullptr && !out_file->Sync()) return false;
+      return session.Checkpoint(out_bytes);
+    };
+    // pipeline.* totals are per-process (a recovered run sees fewer posts
+    // than an uninterrupted one), so the durable path keeps them out of
+    // the registry; engine.* counters live in the checkpointed state and
+    // stay exact across crashes.
+    PipelineObs durable_obs = pipeline_obs;
+    durable_obs.metrics = nullptr;
+    const PipelineReport report =
+        pipeline.Run(source, durable_obs, pipeline_dur);
+    if (report.io_error || !sink.ok()) {
+      std::fprintf(stderr, "error: durable run failed (WAL/checkpoint/output "
+                           "write error)\n");
+      return 1;
+    }
+    if (out_file != nullptr && !out_file->Sync()) {
+      std::fprintf(stderr, "error: cannot sync %s\n", out_path.c_str());
+      return 1;
+    }
+    if (!session.Close(out_bytes)) {
+      std::fprintf(stderr, "error: final checkpoint failed\n");
+      return 1;
+    }
+    if (out_file != nullptr) out_file->Close();
+
+    const IngestStats& stats = diversifier->stats();
+    std::printf(
+        "%s (durable): %llu in / %llu out (%.1f%% pruned) in %.1fms; "
+        "%llu comparisons, %.2f MiB bins\n",
+        std::string(diversifier->name()).c_str(),
+        static_cast<unsigned long long>(stats.posts_in),
+        static_cast<unsigned long long>(stats.posts_out),
+        stats.posts_in > 0
+            ? 100.0 * (1.0 - static_cast<double>(stats.posts_out) /
+                                 static_cast<double>(stats.posts_in))
+            : 0.0,
+        report.wall_ms, static_cast<unsigned long long>(stats.comparisons),
+        static_cast<double>(diversifier->ApproxBytes()) / (1 << 20));
+    if (!out_path.empty()) {
+      std::printf("wrote %llu diversified posts to %s (durable)\n",
+                  static_cast<unsigned long long>(stats.posts_out),
+                  out_path.c_str());
+    }
+  } else if (flags.GetBool("live", false)) {
     LiveIngestOptions live_options;
     live_options.speedup = flags.GetDouble("speedup", 100000.0);
     live_options.metrics = pipeline_obs.metrics;
@@ -201,7 +407,7 @@ int main(int argc, char** argv) {
     std::printf("wrote %zu trace events to %s\n", trace.size(), path.c_str());
   }
 
-  if (flags.Has("out")) {
+  if (flags.Has("out") && !durable) {
     const std::string out = flags.GetString("out", "");
     const bool ok = EndsWith(out, ".tsv") ? SavePostStreamTsv(kept, out)
                                           : SavePostStream(kept, out);

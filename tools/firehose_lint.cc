@@ -27,6 +27,13 @@
 //                           tests can drive it with a ManualClock and
 //                           exports stay byte-stable. (String formatting
 //                           via snprintf/sscanf is fine.)
+//   dur-seam                file mutation (fopen/fwrite/fsync/fdatasync/
+//                           ftruncate/rename, ofstream) outside src/io
+//                           and src/dur: every byte the library persists
+//                           must flow through those two directories so
+//                           the fault-injecting FileOps (src/dur/fault.h)
+//                           can intercept it and crash-recovery tests
+//                           cover every write path.
 //
 // A violation on line N can be suppressed with a comment containing
 // `firehose-lint: allow(<check>)` on line N or N-1. Usage:
@@ -354,6 +361,38 @@ void CheckObsSeam(const std::string& path, const std::string& code,
   }
 }
 
+// --- dur-seam ----------------------------------------------------------------
+
+void CheckDurSeam(const std::string& path, const std::string& code,
+                  const std::map<int, std::set<std::string>>& ok,
+                  std::vector<Violation>* out) {
+  // src/io (artifact persistence) and src/dur (WAL/checkpoints) are the
+  // two sanctioned file-writing directories.
+  const bool exempt =
+      path.find("/io/") != std::string::npos || path.rfind("io/", 0) == 0 ||
+      path.find("/dur/") != std::string::npos || path.rfind("dur/", 0) == 0;
+  if (exempt) return;
+  // Deliberately narrow: mutation primitives only. `std::remove` the
+  // algorithm and Truncate/Rename methods on FileOps are fine anywhere;
+  // what must stay behind the seam is opening and writing real files.
+  static const std::regex kBanned(
+      "\\b(?:fopen|fwrite|fsync|fdatasync|ftruncate|rename)\\s*\\(|"
+      "\\bo?fstream\\b");
+  auto begin = std::sregex_iterator(code.begin(), code.end(), kBanned);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const int line = LineOfOffset(code, static_cast<size_t>(it->position()));
+    if (IsSuppressed(ok, line, "dur-seam")) continue;
+    std::string token = it->str();
+    token.erase(token.find_last_not_of(" \t(") + 1, std::string::npos);
+    out->push_back({path, line, "dur-seam",
+                    "'" + token +
+                        "' outside src/io and src/dur: all file writes must "
+                        "flow through those directories (dur::FileOps for "
+                        "durable state) so fault injection and crash-recovery "
+                        "tests cover every persisted byte"});
+  }
+}
+
 // --- driver ------------------------------------------------------------------
 
 bool IsSourceFile(const fs::path& path) {
@@ -421,6 +460,7 @@ int main(int argc, char** argv) {
     CheckIncludeGuard(text.path, text.code, allowed, &violations);
     CheckRawNewDelete(text.path, text.code, allowed, &violations);
     CheckObsSeam(text.path, text.code, allowed, &violations);
+    CheckDurSeam(text.path, text.code, allowed, &violations);
   }
 
   std::sort(violations.begin(), violations.end(),
