@@ -1,0 +1,211 @@
+#include "src/analysis/analyzer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/analysis/passes.h"
+
+namespace firehose {
+namespace analysis {
+
+std::string FormatFinding(const Finding& finding) {
+  return finding.path + ":" + std::to_string(finding.line) + ": [" +
+         finding.check + "] " + finding.message;
+}
+
+const std::vector<CheckInfo>& AllChecks() {
+  static const std::vector<CheckInfo> kChecks = {
+      {"layering",
+       "cross-module include edge not allowed by the tools/layers.txt DAG"},
+      {"include-cycle", "files that include each other, possibly transitively"},
+      {"unused-include",
+       "internal include none of whose declared names the file references"},
+      {"unchecked-error",
+       "silently discarded [[nodiscard]] bool/Status result from a "
+       "src/io, src/dur or src/runtime API"},
+      {"banned-nondeterminism",
+       "raw entropy or wall-clock source outside src/util/random"},
+      {"unordered-iteration",
+       "range-for over an unordered container feeding an output path"},
+      {"include-guard", "missing or malformed #ifndef include guard"},
+      {"raw-new-delete", "raw new/delete instead of owning containers"},
+      {"obs-seam", "direct time/IO in src/obs instead of obs::Clock"},
+      {"dur-seam", "file mutation outside src/io and src/dur"},
+  };
+  return kChecks;
+}
+
+std::map<int, std::set<std::string>> CollectSuppressions(
+    const std::vector<Token>& tokens) {
+  std::map<int, std::set<std::string>> out;
+  static const std::string kTag = "firehose-lint:";
+  for (const Token& token : tokens) {
+    if (token.kind != TokenKind::kComment) continue;
+    const std::string& text = token.text;
+    size_t pos = 0;
+    while ((pos = text.find(kTag, pos)) != std::string::npos) {
+      // Line of the directive inside a multi-line block comment.
+      const int line =
+          token.line +
+          static_cast<int>(std::count(text.begin(), text.begin() + pos, '\n'));
+      size_t p = pos + kTag.size();
+      while (p < text.size() && (text[p] == ' ' || text[p] == '\t')) ++p;
+      if (text.compare(p, 6, "allow(") == 0) {
+        const size_t name_begin = p + 6;
+        const size_t name_end = text.find(')', name_begin);
+        if (name_end != std::string::npos && name_end > name_begin) {
+          const std::string check = text.substr(name_begin, name_end - name_begin);
+          // A directive covers its own line and the next one, so it works
+          // both as a trailing comment and on the line above the code.
+          out[line].insert(check);
+          out[line + 1].insert(check);
+        }
+      }
+      pos = p;
+    }
+  }
+  return out;
+}
+
+AnalysisResult Analyze(const std::vector<SourceFile>& files,
+                       const AnalysisOptions& options) {
+  AnalysisResult result;
+  for (const std::string& check : options.checks) {
+    const bool known =
+        std::any_of(AllChecks().begin(), AllChecks().end(),
+                    [&check](const CheckInfo& info) { return info.name == check; });
+    if (!known) {
+      result.error = "unknown check '" + check + "'";
+      return result;
+    }
+  }
+
+  LayerConfig layers;
+  bool have_layers = false;
+  if (!options.layers_text.empty()) {
+    if (!ParseLayerConfig(options.layers_text, &layers, &result.error)) {
+      return result;
+    }
+    have_layers = true;
+  }
+
+  const IncludeGraph graph = BuildIncludeGraph(files);
+  AnalysisContext context;
+  context.graph = &graph;
+  context.layers = have_layers ? &layers : nullptr;
+
+  const auto enabled = [&options](std::string_view name) {
+    return options.checks.empty() ||
+           options.checks.count(std::string(name)) > 0;
+  };
+
+  std::vector<Finding> findings;
+  if (enabled("layering")) CheckLayering(context, &findings);
+  if (enabled("include-cycle")) CheckIncludeCycles(context, &findings);
+  if (enabled("unused-include")) CheckUnusedIncludes(context, &findings);
+  if (enabled("unchecked-error")) CheckUncheckedErrors(context, &findings);
+  if (enabled("banned-nondeterminism")) {
+    CheckBannedNondeterminism(context, &findings);
+  }
+  if (enabled("unordered-iteration")) {
+    CheckUnorderedIteration(context, &findings);
+  }
+  if (enabled("include-guard")) CheckIncludeGuards(context, &findings);
+  if (enabled("raw-new-delete")) CheckRawNewDelete(context, &findings);
+  if (enabled("obs-seam")) CheckObsSeam(context, &findings);
+  if (enabled("dur-seam")) CheckDurSeam(context, &findings);
+
+  // Apply `firehose-lint: allow(...)` suppressions, computed lazily per
+  // file the first time one of its findings is examined.
+  std::map<std::string, std::map<int, std::set<std::string>>> suppressions;
+  findings.erase(
+      std::remove_if(
+          findings.begin(), findings.end(),
+          [&](const Finding& finding) {
+            auto it = suppressions.find(finding.path);
+            if (it == suppressions.end()) {
+              const int index = graph.Find(finding.path);
+              it = suppressions
+                       .emplace(finding.path,
+                                index < 0 ? std::map<int, std::set<std::string>>{}
+                                          : CollectSuppressions(
+                                                graph.files[index].tokens))
+                       .first;
+            }
+            auto line_it = it->second.find(finding.line);
+            return line_it != it->second.end() &&
+                   line_it->second.count(finding.check) > 0;
+          }),
+      findings.end());
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.path, a.line, a.check, a.message) <
+                     std::tie(b.path, b.line, b.check, b.message);
+            });
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return a.path == b.path && a.line == b.line &&
+                                      a.check == b.check &&
+                                      a.message == b.message;
+                             }),
+                 findings.end());
+
+  result.ok = true;
+  result.findings = std::move(findings);
+  result.file_count = files.size();
+  return result;
+}
+
+// --- Baseline ----------------------------------------------------------------
+
+std::string BaselineKey(const Finding& finding) {
+  return finding.check + "\t" + finding.path + "\t" + finding.message;
+}
+
+std::set<std::string> ParseBaseline(std::string_view text) {
+  std::set<std::string> keys;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    keys.insert(line);
+  }
+  return keys;
+}
+
+std::string FormatBaseline(const std::vector<Finding>& findings) {
+  std::set<std::string> keys;
+  for (const Finding& finding : findings) keys.insert(BaselineKey(finding));
+  std::string out =
+      "# firehose_analyze baseline — known findings exempt from failing "
+      "the build.\n"
+      "# One `<check>\\t<path>\\t<message>` per line (no line numbers, so\n"
+      "# unrelated edits don't invalidate entries). Regenerate with\n"
+      "#   firehose_analyze --write-baseline ...\n"
+      "# and keep this list shrinking.\n";
+  for (const std::string& key : keys) {
+    out += key;
+    out += '\n';
+  }
+  return out;
+}
+
+void ApplyBaseline(const std::set<std::string>& baseline,
+                   std::vector<Finding>* findings,
+                   std::vector<Finding>* baselined) {
+  std::vector<Finding> kept;
+  kept.reserve(findings->size());
+  for (Finding& finding : *findings) {
+    if (baseline.count(BaselineKey(finding)) > 0) {
+      baselined->push_back(std::move(finding));
+    } else {
+      kept.push_back(std::move(finding));
+    }
+  }
+  *findings = std::move(kept);
+}
+
+}  // namespace analysis
+}  // namespace firehose

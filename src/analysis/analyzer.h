@@ -1,0 +1,91 @@
+#ifndef FIREHOSE_ANALYSIS_ANALYZER_H_
+#define FIREHOSE_ANALYSIS_ANALYZER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/analysis/include_graph.h"
+
+namespace firehose {
+namespace analysis {
+
+/// One diagnostic. `check` is the stable pass name used by suppression
+/// comments (`firehose-lint: allow(<check>)`), the baseline file and the
+/// SARIF ruleId.
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string check;
+  std::string message;
+};
+
+/// `path:line: [check] message` — the human output format, shared with
+/// the old firehose_lint so editors keep parsing it.
+std::string FormatFinding(const Finding& finding);
+
+/// A registered pass. Every pass emits findings under exactly one check
+/// name, so enabling/disabling and suppressing stay one-to-one.
+struct CheckInfo {
+  std::string name;
+  std::string description;
+};
+
+/// All passes in execution order: layering, include-cycle,
+/// unused-include, unchecked-error, then the ported firehose_lint
+/// checks (banned-nondeterminism, unordered-iteration, include-guard,
+/// raw-new-delete, obs-seam, dur-seam).
+const std::vector<CheckInfo>& AllChecks();
+
+struct AnalysisOptions {
+  /// Contents of tools/layers.txt. Empty disables the layering pass.
+  std::string layers_text;
+  /// Check names to run; empty means all. Unknown names are an error.
+  std::set<std::string> checks;
+};
+
+struct AnalysisResult {
+  /// False on a configuration error (bad layers file or unknown check
+  /// name) — findings are then meaningless.
+  bool ok = false;
+  std::string error;
+  /// Sorted by (path, line, check); `firehose-lint: allow(...)`
+  /// suppressions already applied.
+  std::vector<Finding> findings;
+  size_t file_count = 0;
+};
+
+/// Lexes the files, builds the include graph and runs every selected
+/// pass. Paths must be repo-relative ('/'-separated) for module
+/// assignment and include resolution to work.
+AnalysisResult Analyze(const std::vector<SourceFile>& files,
+                       const AnalysisOptions& options);
+
+/// `firehose-lint: allow(<check>)` comment directives per file, keyed by
+/// line; a directive on line N suppresses its check on lines N and N+1.
+std::map<int, std::set<std::string>> CollectSuppressions(
+    const std::vector<Token>& tokens);
+
+// --- Baseline ---------------------------------------------------------------
+//
+// The baseline file freezes known findings so new code is held to a
+// clean bar while legacy findings burn down incrementally. Keys omit
+// line numbers — a baseline survives unrelated edits shifting code.
+// One finding per line: `<check>\t<path>\t<message>`.
+
+std::string BaselineKey(const Finding& finding);
+std::set<std::string> ParseBaseline(std::string_view text);
+std::string FormatBaseline(const std::vector<Finding>& findings);
+
+/// Moves findings whose key is in `baseline` out of `findings` and into
+/// `baselined` (order preserved).
+void ApplyBaseline(const std::set<std::string>& baseline,
+                   std::vector<Finding>* findings,
+                   std::vector<Finding>* baselined);
+
+}  // namespace analysis
+}  // namespace firehose
+
+#endif  // FIREHOSE_ANALYSIS_ANALYZER_H_

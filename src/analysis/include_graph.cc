@@ -1,0 +1,146 @@
+#include "src/analysis/include_graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace firehose {
+namespace analysis {
+
+int IncludeGraph::Find(std::string_view path) const {
+  auto it = std::lower_bound(
+      files.begin(), files.end(), path,
+      [](const FileNode& node, std::string_view p) { return node.path < p; });
+  if (it == files.end() || it->path != path) return -1;
+  return static_cast<int>(it - files.begin());
+}
+
+std::string ModuleOf(std::string_view path) {
+  const size_t slash = path.find('/');
+  if (slash == std::string_view::npos) return std::string(path);
+  const std::string_view top = path.substr(0, slash);
+  if (top != "src") return std::string(top);
+  const std::string_view rest = path.substr(slash + 1);
+  const size_t slash2 = rest.find('/');
+  // Files directly under src/ (the firehose.h umbrella) form the "api"
+  // module, which may include everything.
+  if (slash2 == std::string_view::npos) return "api";
+  return std::string(rest.substr(0, slash2));
+}
+
+IncludeGraph BuildIncludeGraph(const std::vector<SourceFile>& files) {
+  IncludeGraph graph;
+  graph.files.reserve(files.size());
+  for (const SourceFile& file : files) {
+    FileNode node;
+    node.path = file.path;
+    node.module = ModuleOf(file.path);
+    node.tokens = Lex(file.text);
+    graph.files.push_back(std::move(node));
+  }
+  std::sort(graph.files.begin(), graph.files.end(),
+            [](const FileNode& a, const FileNode& b) { return a.path < b.path; });
+
+  for (FileNode& node : graph.files) {
+    const std::vector<Token>& tokens = node.tokens;
+    for (size_t i = 0; i + 2 < tokens.size(); ++i) {
+      if (!(IsPunct(tokens[i], "#") && tokens[i].at_line_start &&
+            IsIdent(tokens[i + 1], "include"))) {
+        continue;
+      }
+      const Token& name = tokens[i + 2];
+      IncludeRef ref;
+      ref.line = tokens[i].line;
+      if (name.kind == TokenKind::kHeaderName) {
+        ref.target = name.text;
+        ref.system = true;
+      } else if (name.kind == TokenKind::kString && name.text.size() >= 2) {
+        ref.target = name.text.substr(1, name.text.size() - 2);
+        ref.resolved = graph.Find(ref.target);
+      } else {
+        continue;  // computed include (macro) — out of scope
+      }
+      node.includes.push_back(std::move(ref));
+    }
+  }
+
+  for (const FileNode& node : graph.files) {
+    for (const IncludeRef& ref : node.includes) {
+      if (ref.resolved < 0) continue;
+      const std::string& to = graph.files[ref.resolved].module;
+      if (to != node.module) graph.module_edges[node.module].insert(to);
+    }
+  }
+  return graph;
+}
+
+bool ParseLayerConfig(std::string_view text, LayerConfig* config,
+                      std::string* error) {
+  *config = LayerConfig();
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int number = 0;
+  while (std::getline(in, line)) {
+    ++number;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string module;
+    if (!(fields >> module)) continue;
+    if (module.back() != ':') {
+      *error = "layers line " + std::to_string(number) +
+               ": expected 'module: deps...', got '" + line + "'";
+      return false;
+    }
+    module.pop_back();
+    if (module.empty()) {
+      *error = "layers line " + std::to_string(number) + ": empty module name";
+      return false;
+    }
+    if (config->rules.count(module) > 0) {
+      *error = "layers line " + std::to_string(number) + ": module '" +
+               module + "' declared twice";
+      return false;
+    }
+    LayerConfig::Rule rule;
+    rule.line = number;
+    std::string dep;
+    while (fields >> dep) {
+      if (dep == "*") {
+        rule.any = true;
+      } else {
+        rule.allowed.insert(dep);
+      }
+    }
+    config->order.push_back(module);
+    config->rules[module] = std::move(rule);
+  }
+
+  // Every named dep must itself be declared (catches typos), and the
+  // declared edges must form a DAG: modules may only depend on modules
+  // declared on EARLIER lines, which makes acyclicity a one-pass check
+  // and forces the file to read lowest-layer-first.
+  std::set<std::string> declared;
+  for (const std::string& module : config->order) {
+    const LayerConfig::Rule& rule = config->rules[module];
+    for (const std::string& dep : rule.allowed) {
+      if (config->rules.count(dep) == 0) {
+        *error = "layers line " + std::to_string(rule.line) + ": module '" +
+                 module + "' depends on undeclared module '" + dep + "'";
+        return false;
+      }
+      if (dep == module) continue;
+      if (declared.count(dep) == 0) {
+        *error = "layers line " + std::to_string(rule.line) + ": module '" +
+                 module + "' depends on '" + dep +
+                 "' which is declared later — the declared layer graph "
+                 "must be a DAG, listed lowest layer first";
+        return false;
+      }
+    }
+    declared.insert(module);
+  }
+  return true;
+}
+
+}  // namespace analysis
+}  // namespace firehose

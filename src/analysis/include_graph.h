@@ -1,0 +1,92 @@
+#ifndef FIREHOSE_ANALYSIS_INCLUDE_GRAPH_H_
+#define FIREHOSE_ANALYSIS_INCLUDE_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/analysis/lexer.h"
+
+namespace firehose {
+namespace analysis {
+
+/// One include directive found in a file.
+struct IncludeRef {
+  /// Include text as written: "src/core/engine.h" or "<vector>".
+  std::string target;
+  int line = 0;
+  /// True for `<...>` includes (never internal).
+  bool system = false;
+  /// Index into IncludeGraph::files of the included file, or -1 when the
+  /// target is not part of the analyzed set (system and external
+  /// headers).
+  int resolved = -1;
+};
+
+/// A file plus everything the passes need: its token stream, module
+/// assignment and outgoing includes.
+struct FileNode {
+  std::string path;    ///< repo-relative, '/'-separated
+  std::string module;  ///< see ModuleOf
+  std::vector<Token> tokens;
+  std::vector<IncludeRef> includes;
+};
+
+/// The include graph over every analyzed file. Internal includes are
+/// resolved by exact repo-relative path match — the tree's convention is
+/// `#include "src/<module>/<header>.h"` rooted at the repo.
+struct IncludeGraph {
+  std::vector<FileNode> files;  ///< sorted by path
+  /// module -> set of modules its files include (self-edges omitted).
+  std::map<std::string, std::set<std::string>> module_edges;
+
+  /// Index of `path` in `files`, or -1.
+  int Find(std::string_view path) const;
+};
+
+/// Module of a repo-relative path: "src/core/engine.h" -> "core",
+/// "src/firehose.h" -> "api" (the umbrella header), "tools/..." ->
+/// "tools", likewise tests/bench/examples; anything else -> its first
+/// path component.
+std::string ModuleOf(std::string_view path);
+
+/// Lexes every file and builds the graph.
+struct SourceFile {
+  std::string path;  ///< repo-relative, '/'-separated
+  std::string text;
+};
+IncludeGraph BuildIncludeGraph(const std::vector<SourceFile>& files);
+
+/// The declared layer DAG, parsed from tools/layers.txt. Syntax: one
+/// module per line, lowest layers first —
+///
+///   # comment
+///   util:
+///   core: util text author stream obs
+///   tools: *
+///
+/// naming the modules a module's files may include (self-includes are
+/// always legal; `*` allows everything). The declared edges must form a
+/// DAG — a cycle is a configuration error.
+struct LayerConfig {
+  struct Rule {
+    std::set<std::string> allowed;
+    bool any = false;
+    int line = 0;
+  };
+  std::map<std::string, Rule> rules;
+  /// Declaration order, for readable messages.
+  std::vector<std::string> order;
+};
+
+/// False on malformed syntax, duplicate modules, deps on undeclared
+/// modules, or a cycle in the declared DAG; `*error` names the problem.
+bool ParseLayerConfig(std::string_view text, LayerConfig* config,
+                      std::string* error);
+
+}  // namespace analysis
+}  // namespace firehose
+
+#endif  // FIREHOSE_ANALYSIS_INCLUDE_GRAPH_H_

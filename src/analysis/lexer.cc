@@ -1,0 +1,301 @@
+#include "src/analysis/lexer.h"
+
+#include <cctype>
+
+namespace firehose {
+namespace analysis {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Character reader over the original text. `Get`/`Peek` transparently
+/// skip line splices (backslash-newline, with an optional \r) so callers
+/// see the logical character stream; the *Raw variants read physical
+/// characters for raw string literals, where the standard reverses
+/// splicing. Lines are counted as newlines are consumed either way.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  /// Consumes any splices sitting at the cursor so `line()` reports the
+  /// line of the next logical character.
+  void SkipSplices() {
+    size_t pos = pos_;
+    while (IsSpliceAt(pos)) {
+      pos += SpliceLengthAt(pos);
+      ++line_;
+    }
+    pos_ = pos;
+  }
+
+  bool AtEnd() {
+    SkipSplices();
+    return pos_ >= text_.size();
+  }
+
+  /// The nth logical character ahead, '\0' past the end.
+  char Peek(size_t n = 0) const {
+    size_t pos = pos_;
+    for (;;) {
+      while (IsSpliceAt(pos)) pos += SpliceLengthAt(pos);
+      if (pos >= text_.size()) return '\0';
+      if (n == 0) return text_[pos];
+      --n;
+      ++pos;
+    }
+  }
+
+  char Get() {
+    SkipSplices();
+    return GetRaw();
+  }
+
+  char PeekRaw(size_t n = 0) const {
+    return pos_ + n < text_.size() ? text_[pos_ + n] : '\0';
+  }
+
+  char GetRaw() {
+    if (pos_ >= text_.size()) return '\0';
+    const char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  bool AtEndRaw() const { return pos_ >= text_.size(); }
+
+  int line() const { return line_; }
+
+ private:
+  bool IsSpliceAt(size_t pos) const {
+    if (pos >= text_.size() || text_[pos] != '\\') return false;
+    if (pos + 1 < text_.size() && text_[pos + 1] == '\n') return true;
+    return pos + 2 < text_.size() && text_[pos + 1] == '\r' &&
+           text_[pos + 2] == '\n';
+  }
+
+  size_t SpliceLengthAt(size_t pos) const {
+    return text_[pos + 1] == '\r' ? 3 : 2;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+/// Multi-character punctuators, longest first for maximal munch.
+constexpr std::string_view kPuncts[] = {
+    "...", "<<=", ">>=", "->*", "<=>", "::", "->", "++", "--", "<<",
+    ">>",  "<=",  ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=",
+    "/=",  "%=",  "&=",  "|=",  "^=",  "##", ".*",
+};
+
+/// A string or character literal body after the opening quote; closes at
+/// the matching quote, or (error tolerance) at an unescaped newline or
+/// end of input.
+void LexQuoted(Cursor* cur, char quote, std::string* text) {
+  while (!cur->AtEnd()) {
+    if (cur->Peek() == '\n') return;  // unterminated: close at newline
+    const char c = cur->Get();
+    text->push_back(c);
+    if (c == quote) return;
+    if (c == '\\' && !cur->AtEnd() && cur->Peek() != '\n') {
+      text->push_back(cur->Get());
+    }
+  }
+}
+
+/// A raw string literal body after the opening quote: `delim( ... )delim"`.
+/// Reads physical characters — splices are not processed in raw strings.
+void LexRawString(Cursor* cur, std::string* text) {
+  std::string delim;
+  while (!cur->AtEndRaw()) {
+    const char c = cur->PeekRaw();
+    if (c == '(' || c == ')' || c == '\\' || c == '"' ||
+        std::isspace(static_cast<unsigned char>(c))) {
+      break;
+    }
+    delim.push_back(cur->GetRaw());
+    text->push_back(delim.back());
+  }
+  if (cur->PeekRaw() != '(') return;  // malformed; stop at the delimiter
+  text->push_back(cur->GetRaw());
+  const std::string close = ")" + delim + "\"";
+  size_t matched = 0;
+  while (!cur->AtEndRaw()) {
+    const char c = cur->GetRaw();
+    text->push_back(c);
+    matched = c == close[matched]          ? matched + 1
+              : c == close[0] ? 1 : 0;
+    if (matched == close.size()) return;
+  }
+}
+
+bool IsRawStringPrefix(std::string_view ident) {
+  return ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+         ident == "LR";
+}
+
+bool IsEncodingPrefix(std::string_view ident) {
+  return ident == "u8" || ident == "u" || ident == "U" || ident == "L";
+}
+
+}  // namespace
+
+std::vector<Token> Lex(std::string_view text) {
+  std::vector<Token> out;
+  Cursor cur(text);
+  bool at_line_start = true;
+  while (!cur.AtEnd()) {
+    const char c = cur.Peek();
+    if (c == '\n') {
+      cur.Get();
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.Get();
+      continue;
+    }
+
+    cur.SkipSplices();
+    Token token;
+    token.line = cur.line();
+    token.at_line_start = at_line_start;
+
+    if (c == '/' && cur.Peek(1) == '/') {
+      // A splice inside a line comment continues it onto the next
+      // physical line; Peek/Get already see through splices.
+      token.kind = TokenKind::kComment;
+      while (!cur.AtEnd() && cur.Peek() != '\n') token.text.push_back(cur.Get());
+      out.push_back(std::move(token));
+      continue;  // comments do not clear at_line_start
+    }
+    if (c == '/' && cur.Peek(1) == '*') {
+      token.kind = TokenKind::kComment;
+      token.text.push_back(cur.Get());
+      token.text.push_back(cur.Get());
+      while (!cur.AtEnd()) {
+        if (cur.Peek() == '*' && cur.Peek(1) == '/') {
+          token.text.push_back(cur.Get());
+          token.text.push_back(cur.Get());
+          break;
+        }
+        token.text.push_back(cur.Get());
+      }
+      out.push_back(std::move(token));
+      continue;
+    }
+
+    // `<header>` directly after `#include` would otherwise lex as a run
+    // of comparison operators.
+    const bool after_include =
+        out.size() >= 2 && IsIdent(out.back(), "include") &&
+        IsPunct(out[out.size() - 2], "#") && out[out.size() - 2].at_line_start;
+    if (c == '<' && after_include) {
+      token.kind = TokenKind::kHeaderName;
+      token.text.push_back(cur.Get());
+      while (!cur.AtEnd() && cur.Peek() != '\n') {
+        const char h = cur.Get();
+        token.text.push_back(h);
+        if (h == '>') break;
+      }
+      at_line_start = false;
+      out.push_back(std::move(token));
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      while (!cur.AtEnd() && IsIdentChar(cur.Peek())) {
+        token.text.push_back(cur.Get());
+      }
+      if (cur.Peek() == '"' && IsRawStringPrefix(token.text)) {
+        token.kind = TokenKind::kRawString;
+        token.text.push_back(cur.Get());
+        LexRawString(&cur, &token.text);
+      } else if (cur.Peek() == '"' && IsEncodingPrefix(token.text)) {
+        token.kind = TokenKind::kString;
+        token.text.push_back(cur.Get());
+        LexQuoted(&cur, '"', &token.text);
+      } else if (cur.Peek() == '\'' && IsEncodingPrefix(token.text)) {
+        token.kind = TokenKind::kCharacter;
+        token.text.push_back(cur.Get());
+        LexQuoted(&cur, '\'', &token.text);
+      } else {
+        token.kind = TokenKind::kIdentifier;
+      }
+      at_line_start = false;
+      out.push_back(std::move(token));
+      continue;
+    }
+
+    if (c == '"') {
+      token.kind = TokenKind::kString;
+      token.text.push_back(cur.Get());
+      LexQuoted(&cur, '"', &token.text);
+      at_line_start = false;
+      out.push_back(std::move(token));
+      continue;
+    }
+    if (c == '\'') {
+      token.kind = TokenKind::kCharacter;
+      token.text.push_back(cur.Get());
+      LexQuoted(&cur, '\'', &token.text);
+      at_line_start = false;
+      out.push_back(std::move(token));
+      continue;
+    }
+
+    if (IsDigit(c) || (c == '.' && IsDigit(cur.Peek(1)))) {
+      // pp-number: digits, identifier chars, '.', digit separators and
+      // signed exponents.
+      token.kind = TokenKind::kNumber;
+      token.text.push_back(cur.Get());
+      while (!cur.AtEnd()) {
+        const char n = cur.Peek();
+        if ((n == '+' || n == '-') && !token.text.empty() &&
+            (token.text.back() == 'e' || token.text.back() == 'E' ||
+             token.text.back() == 'p' || token.text.back() == 'P')) {
+          token.text.push_back(cur.Get());
+        } else if (IsIdentChar(n) || n == '.' ||
+                   (n == '\'' && IsIdentChar(cur.Peek(1)))) {
+          token.text.push_back(cur.Get());
+        } else {
+          break;
+        }
+      }
+      at_line_start = false;
+      out.push_back(std::move(token));
+      continue;
+    }
+
+    token.kind = TokenKind::kPunct;
+    for (std::string_view punct : kPuncts) {
+      bool matches = true;
+      for (size_t i = 0; i < punct.size(); ++i) {
+        if (cur.Peek(i) != punct[i]) {
+          matches = false;
+          break;
+        }
+      }
+      if (matches) {
+        for (size_t i = 0; i < punct.size(); ++i) token.text.push_back(cur.Get());
+        break;
+      }
+    }
+    if (token.text.empty()) token.text.push_back(cur.Get());
+    at_line_start = false;
+    out.push_back(std::move(token));
+  }
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace firehose

@@ -1,0 +1,66 @@
+#ifndef FIREHOSE_ANALYSIS_LEXER_H_
+#define FIREHOSE_ANALYSIS_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace firehose {
+namespace analysis {
+
+/// A comment/string/raw-string-aware C++ lexer. It is not a compiler
+/// front end: it produces a flat token stream good enough for the
+/// analyzer's passes — layering, seam and unchecked-error checks — with
+/// none of the false positives a per-line regex gets from `rand` inside
+/// a string literal or `fopen` inside a comment.
+///
+/// Faithfully handled: line splicing (backslash-newline, including
+/// inside `//` comments), `//` and `/* */` comments, string and char
+/// literals with escapes and encoding prefixes (u8 u U L), raw string
+/// literals `R"delim(...)delim"` (in which splices are NOT processed,
+/// per the standard), pp-numbers, maximal-munch punctuation, and
+/// `<header>` names after `#include`.
+
+enum class TokenKind {
+  kIdentifier,  ///< identifiers and keywords alike
+  kNumber,      ///< pp-number (1e3, 0x1F, 1'000'000, .5f, ...)
+  kString,      ///< "..." with optional encoding prefix
+  kRawString,   ///< R"delim(...)delim" with optional encoding prefix
+  kCharacter,   ///< '...' with optional encoding prefix
+  kPunct,       ///< one operator or punctuator, maximal munch
+  kComment,     ///< one whole // or /* */ comment, text included
+  kHeaderName,  ///< <...> following #include
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  /// The token's spelling with line splices removed (so a spliced
+  /// identifier compares equal to its unspliced form).
+  std::string text;
+  /// 1-based line of the token's first character in the original file.
+  int line = 0;
+  /// True when only whitespace/comments precede it on its line — the
+  /// position in which a `#` starts a preprocessor directive.
+  bool at_line_start = false;
+};
+
+/// Lexes a whole translation unit. Malformed input (unterminated
+/// literals or comments) never fails: the lexer closes the construct at
+/// end of input, because an analyzer must keep going where a compiler
+/// would stop.
+std::vector<Token> Lex(std::string_view text);
+
+/// True if `token` is an identifier spelled `spelling`.
+inline bool IsIdent(const Token& token, std::string_view spelling) {
+  return token.kind == TokenKind::kIdentifier && token.text == spelling;
+}
+
+/// True if `token` is a punctuator spelled `spelling`.
+inline bool IsPunct(const Token& token, std::string_view spelling) {
+  return token.kind == TokenKind::kPunct && token.text == spelling;
+}
+
+}  // namespace analysis
+}  // namespace firehose
+
+#endif  // FIREHOSE_ANALYSIS_LEXER_H_

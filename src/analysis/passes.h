@@ -1,0 +1,64 @@
+#ifndef FIREHOSE_ANALYSIS_PASSES_H_
+#define FIREHOSE_ANALYSIS_PASSES_H_
+
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+#include "src/analysis/include_graph.h"
+
+namespace firehose {
+namespace analysis {
+
+/// Everything a pass may look at. Passes are pure: graph in, findings
+/// out, no IO — which is what lets the unit tests drive them on
+/// synthetic in-memory file sets.
+struct AnalysisContext {
+  const IncludeGraph* graph = nullptr;
+  /// Null disables the layering pass.
+  const LayerConfig* layers = nullptr;
+};
+
+// Graph-level passes (run on every analyzed file).
+
+/// Enforces the declared module DAG: each cross-module include edge must
+/// be allowed by layers.txt. One named finding per illegal edge.
+void CheckLayering(const AnalysisContext& context,
+                   std::vector<Finding>* findings);
+
+/// File-level include cycle detection (headers including each other,
+/// possibly through a chain).
+void CheckIncludeCycles(const AnalysisContext& context,
+                        std::vector<Finding>* findings);
+
+/// IWYU-lite: flags an internal include none of whose declared names is
+/// referenced by any token of the including file. src/ only; the
+/// src/firehose.h umbrella is exempt.
+void CheckUnusedIncludes(const AnalysisContext& context,
+                         std::vector<Finding>* findings);
+
+/// Flags statement-position calls that silently discard the result of a
+/// `[[nodiscard]]` bool/Status API declared in src/io, src/dur or
+/// src/runtime headers. Runs on src/ and tools/.
+void CheckUncheckedErrors(const AnalysisContext& context,
+                          std::vector<Finding>* findings);
+
+// Token-level ports of the firehose_lint checks (src/ only; same check
+// names, so existing `firehose-lint: allow(...)` comments keep working).
+
+void CheckBannedNondeterminism(const AnalysisContext& context,
+                               std::vector<Finding>* findings);
+void CheckUnorderedIteration(const AnalysisContext& context,
+                             std::vector<Finding>* findings);
+void CheckIncludeGuards(const AnalysisContext& context,
+                        std::vector<Finding>* findings);
+void CheckRawNewDelete(const AnalysisContext& context,
+                       std::vector<Finding>* findings);
+void CheckObsSeam(const AnalysisContext& context,
+                  std::vector<Finding>* findings);
+void CheckDurSeam(const AnalysisContext& context,
+                  std::vector<Finding>* findings);
+
+}  // namespace analysis
+}  // namespace firehose
+
+#endif  // FIREHOSE_ANALYSIS_PASSES_H_

@@ -1,0 +1,93 @@
+#include "src/analysis/sarif.h"
+
+namespace firehose {
+namespace analysis {
+namespace {
+
+void AppendJsonEscaped(std::string_view text, std::string* out) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char kHex[] = "0123456789abcdef";
+          *out += "\\u00";
+          *out += kHex[(c >> 4) & 0xF];
+          *out += kHex[c & 0xF];
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+std::string Quoted(std::string_view text) {
+  std::string out = "\"";
+  AppendJsonEscaped(text, &out);
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string ToSarif(const std::vector<Finding>& findings) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+      "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"firehose_analyze\",\n"
+      "          \"rules\": [\n";
+  const std::vector<CheckInfo>& checks = AllChecks();
+  for (size_t i = 0; i < checks.size(); ++i) {
+    out += "            {\"id\": " + Quoted(checks[i].name) +
+           ", \"shortDescription\": {\"text\": " +
+           Quoted(checks[i].description) + "}}";
+    out += (i + 1 < checks.size()) ? ",\n" : "\n";
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& finding = findings[i];
+    const int line = finding.line > 0 ? finding.line : 1;
+    out += "        {\"ruleId\": " + Quoted(finding.check) +
+           ", \"level\": \"error\", \"message\": {\"text\": " +
+           Quoted(finding.message) +
+           "}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+           "{\"uri\": " +
+           Quoted(finding.path) + "}, \"region\": {\"startLine\": " +
+           std::to_string(line) + "}}}]}";
+    out += (i + 1 < findings.size()) ? ",\n" : "\n";
+  }
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace firehose

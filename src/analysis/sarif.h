@@ -1,0 +1,22 @@
+#ifndef FIREHOSE_ANALYSIS_SARIF_H_
+#define FIREHOSE_ANALYSIS_SARIF_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+
+namespace firehose {
+namespace analysis {
+
+/// Serializes findings as a SARIF 2.1.0 log (one run, driver
+/// "firehose_analyze", one rule per registered check, one result per
+/// finding) — the format CI code-scanning uploads consume. Output is
+/// deterministic: rules follow AllChecks() order and results keep the
+/// analyzer's (path, line, check) order.
+std::string ToSarif(const std::vector<Finding>& findings);
+
+}  // namespace analysis
+}  // namespace firehose
+
+#endif  // FIREHOSE_ANALYSIS_SARIF_H_

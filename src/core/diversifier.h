@@ -7,7 +7,7 @@
 #include <string>
 
 #include "src/core/thresholds.h"
-#include "src/io/binary.h"
+#include "src/util/binary.h"
 #include "src/stream/post.h"
 #include "src/stream/post_bin.h"
 #include "src/stream/stats.h"

@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "src/dur/framing.h"
-#include "src/io/binary.h"
+#include "src/util/binary.h"
 #include "src/util/build_info.h"
 
 namespace firehose {
@@ -89,12 +89,14 @@ bool WriteCheckpoint(const CheckpointOptions& options,
     std::unique_ptr<WritableFile> file = ops->Create(temp_path);
     if (file == nullptr) return false;
     if (!file->Append(frame) || !file->Sync() || !file->Close()) {
-      ops->Remove(temp_path);
+      // Best-effort cleanup: a stale temp file is invisible to recovery
+      // (it never matches IsCheckpointName) and the next write truncates.
+      (void)ops->Remove(temp_path);
       return false;
     }
   }
   if (!ops->Rename(temp_path, final_path) || !ops->SyncDir(options.dir)) {
-    ops->Remove(temp_path);
+    (void)ops->Remove(temp_path);  // best-effort, as above
     return false;
   }
 
@@ -107,7 +109,9 @@ bool WriteCheckpoint(const CheckpointOptions& options,
   const size_t keep = options.keep == 0 ? 1 : options.keep;
   if (checkpoints.size() > keep) {
     for (size_t i = 0; i < checkpoints.size() - keep; ++i) {
-      ops->Remove(options.dir + "/" + checkpoints[i]);
+      // Retention is advisory: an un-removable old checkpoint only costs
+      // disk, and the next successful write retries the prune.
+      (void)ops->Remove(options.dir + "/" + checkpoints[i]);
     }
   }
   return true;

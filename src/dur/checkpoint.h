@@ -42,8 +42,8 @@ struct CheckpointOptions {
 
 /// Writes a checkpoint and prunes old ones down to `options.keep`.
 /// False on any I/O failure (the previous checkpoints remain usable).
-bool WriteCheckpoint(const CheckpointOptions& options,
-                     const CheckpointData& data);
+[[nodiscard]] bool WriteCheckpoint(const CheckpointOptions& options,
+                                   const CheckpointData& data);
 
 struct CheckpointLoadResult {
   /// False on a hard error: an intact checkpoint from an incompatible
@@ -61,14 +61,15 @@ struct CheckpointLoadResult {
 /// Loads the newest checkpoint that passes its checksum, falling back to
 /// older ones past corruption. `expected_algorithm` guards against
 /// resuming with a different engine configuration.
-CheckpointLoadResult LoadNewestCheckpoint(const CheckpointOptions& options,
-                                          std::string_view expected_algorithm);
+[[nodiscard]] CheckpointLoadResult LoadNewestCheckpoint(
+    const CheckpointOptions& options, std::string_view expected_algorithm);
 
 /// Checkpoint file name for a next-sequence number ("ckpt-%016x.ckpt").
 std::string CheckpointName(uint64_t next_seq);
 
 /// Inverse of CheckpointName; false for unrelated files in the directory.
-bool ParseCheckpointName(const std::string& name, uint64_t* next_seq);
+[[nodiscard]] bool ParseCheckpointName(const std::string& name,
+                                       uint64_t* next_seq);
 
 /// Smallest next_seq among the checkpoint files in `options.dir`, or
 /// `fallback` when none exist. This is the WAL prune floor: segments below

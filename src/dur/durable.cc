@@ -2,7 +2,7 @@
 
 #include <utility>
 
-#include "src/io/binary.h"
+#include "src/util/binary.h"
 
 namespace firehose {
 namespace dur {
@@ -51,7 +51,9 @@ DurableSession::DurableSession(const DurableOptions& options,
 }
 
 DurableSession::~DurableSession() {
-  if (wal_ != nullptr) wal_->Close();
+  // A destructor cannot surface the failure; callers that need the final
+  // flush acknowledged must Close(output_bytes) explicitly first.
+  if (wal_ != nullptr) (void)wal_->Close();
 }
 
 bool DurableSession::Recover(

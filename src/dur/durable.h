@@ -60,7 +60,7 @@ struct RecoveryReport {
 /// Serialization of one post into a WAL record payload (exposed for
 /// tests and the fault harness).
 std::string EncodePostRecord(const Post& post);
-bool DecodePostRecord(std::string_view payload, Post* post);
+[[nodiscard]] bool DecodePostRecord(std::string_view payload, Post* post);
 
 /// Ties WAL + checkpointer + recovery around a Diversifier. Lifecycle:
 ///
@@ -92,15 +92,16 @@ class DurableSession {
   /// engine accepts, in order), truncates torn tails, and opens a fresh
   /// WAL segment at the resume point. False on hard errors (incompatible
   /// build/algorithm state, unwritable directory) with `*error` set.
-  bool Recover(RecoveryReport* report,
-               const std::function<void(const Post&)>& on_replayed_accept,
-               std::string* error);
+  [[nodiscard]] bool Recover(
+      RecoveryReport* report,
+      const std::function<void(const Post&)>& on_replayed_accept,
+      std::string* error);
 
   /// WAL-appends the post, then offers it to the engine. `*accepted` is
   /// the engine's decision. False on an I/O failure (the decision is then
   /// not made — the caller must stop, because an unlogged decision could
   /// not be replayed).
-  bool Process(const Post& post, bool* accepted);
+  [[nodiscard]] bool Process(const Post& post, bool* accepted);
 
   /// True when the configured post-count or wall-clock checkpoint cadence
   /// says a checkpoint is due.
@@ -110,10 +111,10 @@ class DurableSession {
   /// stream is durable up to `output_bytes`. The caller MUST have flushed
   /// and fsynced the output to that size first. Prunes WAL segments the
   /// checkpoint made redundant.
-  bool Checkpoint(uint64_t output_bytes);
+  [[nodiscard]] bool Checkpoint(uint64_t output_bytes);
 
   /// Final checkpoint + WAL close.
-  bool Close(uint64_t output_bytes);
+  [[nodiscard]] bool Close(uint64_t output_bytes);
 
   /// Next WAL sequence number == id of the next post to feed.
   uint64_t next_seq() const { return wal_ != nullptr ? wal_->next_seq() : 0; }

@@ -30,7 +30,9 @@ class FaultWritableFile final : public WritableFile {
         cursor + data.size() > plan.fail_after_bytes) {
       const uint64_t room =
           plan.fail_after_bytes > cursor ? plan.fail_after_bytes - cursor : 0;
-      base_->Append(data.substr(0, static_cast<size_t>(room)));
+      // Result moot: this path reports failure regardless — the partial
+      // prefix on disk is exactly the torn write being simulated.
+      (void)base_->Append(data.substr(0, static_cast<size_t>(room)));
       cursor += room;
       return false;
     }
@@ -40,7 +42,9 @@ class FaultWritableFile final : public WritableFile {
         cursor + data.size() > plan.drop_after_bytes) {
       const uint64_t room =
           plan.drop_after_bytes > cursor ? plan.drop_after_bytes - cursor : 0;
-      base_->Append(data.substr(0, static_cast<size_t>(room)));
+      // Result moot: this path lies that the append succeeded — losing
+      // the suffix is exactly the dropped write being simulated.
+      (void)base_->Append(data.substr(0, static_cast<size_t>(room)));
       cursor += data.size();
       return true;
     }

@@ -20,7 +20,9 @@ namespace fs = std::filesystem;
 class PosixWritableFile final : public WritableFile {
  public:
   explicit PosixWritableFile(std::FILE* file) : file_(file) {}
-  ~PosixWritableFile() override { Close(); }
+  // A destructor cannot surface the failure; callers needing the flush
+  // acknowledged must Close() (or Sync()) explicitly first.
+  ~PosixWritableFile() override { (void)Close(); }
 
   bool Append(std::string_view data) override {
     if (file_ == nullptr || failed_) return false;

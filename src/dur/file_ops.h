@@ -15,7 +15,7 @@ namespace dur {
 /// can substitute a fault-injecting implementation (see fault.h) and prove
 /// that torn writes, short writes, bit flips and mid-write failures are
 /// detected on recovery. `src/dur` and `src/io` are the only directories
-/// allowed to touch files — firehose_lint's dur-seam check enforces that.
+/// allowed to touch files — firehose_analyze's dur-seam check enforces that.
 
 /// An open file being appended to. Append buffers; Sync flushes the
 /// buffer and fsyncs to stable storage. All methods return false on the
@@ -23,12 +23,12 @@ namespace dur {
 class WritableFile {
  public:
   virtual ~WritableFile() = default;
-  virtual bool Append(std::string_view data) = 0;
+  [[nodiscard]] virtual bool Append(std::string_view data) = 0;
   /// Flush + fsync: on return (true) everything appended so far is on
   /// stable storage.
-  virtual bool Sync() = 0;
+  [[nodiscard]] virtual bool Sync() = 0;
   /// Flushes and closes; does NOT fsync. Idempotent.
-  virtual bool Close() = 0;
+  [[nodiscard]] virtual bool Close() = 0;
 };
 
 class FileOps {
@@ -44,27 +44,30 @@ class FileOps {
   virtual std::unique_ptr<WritableFile> OpenAppend(const std::string& path) = 0;
 
   /// Reads the whole file; false when it cannot be opened/read.
-  virtual bool Read(const std::string& path, std::string* data) = 0;
+  [[nodiscard]] virtual bool Read(const std::string& path,
+                                  std::string* data) = 0;
 
   /// Atomically replaces `to` with `from` (POSIX rename semantics).
-  virtual bool Rename(const std::string& from, const std::string& to) = 0;
+  [[nodiscard]] virtual bool Rename(const std::string& from,
+                                    const std::string& to) = 0;
 
-  virtual bool Remove(const std::string& path) = 0;
+  [[nodiscard]] virtual bool Remove(const std::string& path) = 0;
 
   /// File names (not paths) in `dir`, sorted lexicographically; empty on
   /// a missing directory.
   virtual std::vector<std::string> List(const std::string& dir) = 0;
 
   /// Creates `dir` (and parents). True if it exists afterwards.
-  virtual bool CreateDir(const std::string& dir) = 0;
+  [[nodiscard]] virtual bool CreateDir(const std::string& dir) = 0;
 
   /// fsyncs the directory itself so entries created/renamed into it
   /// survive a crash (POSIX requires this separately from file fsync).
-  virtual bool SyncDir(const std::string& dir) = 0;
+  [[nodiscard]] virtual bool SyncDir(const std::string& dir) = 0;
 
   /// Truncates `path` to `size` bytes. Used by recovery to discard a
   /// torn output tail beyond the last checkpoint.
-  virtual bool Truncate(const std::string& path, uint64_t size) = 0;
+  [[nodiscard]] virtual bool Truncate(const std::string& path,
+                                      uint64_t size) = 0;
 };
 
 /// The process-wide POSIX implementation.

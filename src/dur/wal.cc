@@ -4,7 +4,7 @@
 #include <cstdio>
 
 #include "src/dur/framing.h"
-#include "src/io/binary.h"
+#include "src/util/binary.h"
 #include "src/util/build_info.h"
 
 namespace firehose {
@@ -90,7 +90,9 @@ WalWriter::WalWriter(const WalOptions& options) : options_(options) {
   if (options_.ops == nullptr) options_.ops = RealFileOps();
 }
 
-WalWriter::~WalWriter() { Close(); }
+// A destructor cannot surface the failure; recovery treats whatever made
+// it to disk as the truth regardless.
+WalWriter::~WalWriter() { (void)Close(); }
 
 bool WalWriter::Open(uint64_t next_seq) {
   if (!options_.ops->CreateDir(options_.dir)) return false;
@@ -170,7 +172,9 @@ void WalWriter::PruneSegmentsBelow(uint64_t seq) {
   // segments[i + 1].first is the first seq *not* in segments[i].
   for (size_t i = 0; i + 1 < segments.size(); ++i) {
     if (segments[i + 1].first <= seq && segments[i].second != active) {
-      options_.ops->Remove(options_.dir + "/" + segments[i].second);
+      // Pruning is advisory: a leftover segment only costs disk, and its
+      // records are below every retained checkpoint so replay skips them.
+      (void)options_.ops->Remove(options_.dir + "/" + segments[i].second);
     }
   }
 }
@@ -221,7 +225,9 @@ WalReadResult ReadWal(const WalOptions& options, uint64_t start_seq,
       // ends here.
       result.truncated_bytes += data.size();
       if (status != FrameStatus::kTruncated) result.corruption_detected = true;
-      if (truncate_tail) opts.ops->Remove(path);
+      // Tail cleanup is best-effort: a segment that survives removal is
+      // re-truncated (and re-reported) by the next recovery.
+      if (truncate_tail) (void)opts.ops->Remove(path);
       orphans_from = i + 1;
       break;
     }
@@ -239,7 +245,7 @@ WalReadResult ReadWal(const WalOptions& options, uint64_t start_seq,
       // have no valid predecessors, so they are unusable.
       result.corruption_detected = true;
       result.truncated_bytes += data.size();
-      if (truncate_tail) opts.ops->Remove(path);
+      if (truncate_tail) (void)opts.ops->Remove(path);  // best-effort
       orphans_from = i + 1;
       break;
     }
@@ -260,7 +266,7 @@ WalReadResult ReadWal(const WalOptions& options, uint64_t start_seq,
       if (!record_ok) {
         result.truncated_bytes += data.size() - offset;
         if (status != FrameStatus::kTruncated) result.corruption_detected = true;
-        if (truncate_tail) opts.ops->Truncate(path, offset);
+        if (truncate_tail) (void)opts.ops->Truncate(path, offset);  // best-effort
         stop = true;
         break;
       }
@@ -284,7 +290,7 @@ WalReadResult ReadWal(const WalOptions& options, uint64_t start_seq,
     const std::string path = opts.dir + "/" + segments[i];
     std::string data;
     if (opts.ops->Read(path, &data)) result.truncated_bytes += data.size();
-    if (truncate_tail) opts.ops->Remove(path);
+    if (truncate_tail) (void)opts.ops->Remove(path);  // best-effort
     result.corruption_detected = true;
   }
 

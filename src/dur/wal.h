@@ -98,16 +98,16 @@ class WalWriter {
 
   /// Creates the directory if needed and opens a fresh segment whose
   /// first record will carry `next_seq`. False on I/O failure.
-  bool Open(uint64_t next_seq);
+  [[nodiscard]] bool Open(uint64_t next_seq);
 
   /// Appends one record, assigning it the next sequence number (returned
   /// through `seq` when non-null). Rotates segments and applies the sync
   /// policy. False on I/O failure — the record may then be torn on disk;
   /// recovery will discard it.
-  bool Append(std::string_view payload, uint64_t* seq = nullptr);
+  [[nodiscard]] bool Append(std::string_view payload, uint64_t* seq = nullptr);
 
   /// Forces an fsync of the active segment.
-  bool Sync();
+  [[nodiscard]] bool Sync();
 
   /// Deletes closed segments whose records all precede `seq` (i.e. the
   /// checkpoint at `seq` made them redundant). Never touches the active
@@ -115,7 +115,7 @@ class WalWriter {
   void PruneSegmentsBelow(uint64_t seq);
 
   /// Flushes and closes the active segment. Idempotent.
-  bool Close();
+  [[nodiscard]] bool Close();
 
   uint64_t next_seq() const { return next_seq_; }
 
@@ -159,8 +159,8 @@ struct WalReadResult {
 /// Stops at the first torn or corrupt frame; everything after it in the
 /// chain is dead tail. When `truncate_tail` is set, the segment holding
 /// the tear is physically truncated to its valid prefix.
-WalReadResult ReadWal(const WalOptions& options, uint64_t start_seq,
-                      bool truncate_tail);
+[[nodiscard]] WalReadResult ReadWal(const WalOptions& options,
+                                    uint64_t start_seq, bool truncate_tail);
 
 /// Segment file name for a first sequence number ("wal-%016x.log").
 std::string WalSegmentName(uint64_t first_seq);

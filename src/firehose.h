@@ -64,6 +64,7 @@
 #include "src/text/tf_vector.h"
 #include "src/text/tokenize.h"
 #include "src/text/url.h"
+#include "src/util/binary.h"
 #include "src/util/bitops.h"
 #include "src/util/build_info.h"
 #include "src/util/crc32c.h"

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/io/binary.h"
+#include "src/util/binary.h"
 
 namespace firehose {
 

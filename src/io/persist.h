@@ -21,32 +21,37 @@ namespace firehose {
 /// returns false (leaving the output untouched) on missing files,
 /// truncation, wrong magic or wrong version.
 
-bool SaveFollowGraph(const FollowGraph& graph, const std::string& path);
-bool LoadFollowGraph(const std::string& path, FollowGraph* graph);
+[[nodiscard]] bool SaveFollowGraph(const FollowGraph& graph,
+                                   const std::string& path);
+[[nodiscard]] bool LoadFollowGraph(const std::string& path, FollowGraph* graph);
 
-bool SaveSimilarities(const std::vector<AuthorPairSimilarity>& pairs,
-                      const std::string& path);
-bool LoadSimilarities(const std::string& path,
-                      std::vector<AuthorPairSimilarity>* pairs);
+[[nodiscard]] bool SaveSimilarities(
+    const std::vector<AuthorPairSimilarity>& pairs, const std::string& path);
+[[nodiscard]] bool LoadSimilarities(
+    const std::string& path, std::vector<AuthorPairSimilarity>* pairs);
 
-bool SaveAuthorGraph(const AuthorGraph& graph, const std::string& path);
-bool LoadAuthorGraph(const std::string& path, AuthorGraph* graph);
+[[nodiscard]] bool SaveAuthorGraph(const AuthorGraph& graph,
+                                   const std::string& path);
+[[nodiscard]] bool LoadAuthorGraph(const std::string& path, AuthorGraph* graph);
 
-bool SaveCliqueCover(const CliqueCover& cover, size_t num_authors,
-                     const std::string& path);
-bool LoadCliqueCover(const std::string& path, CliqueCover* cover);
+[[nodiscard]] bool SaveCliqueCover(const CliqueCover& cover, size_t num_authors,
+                                   const std::string& path);
+[[nodiscard]] bool LoadCliqueCover(const std::string& path, CliqueCover* cover);
 
 /// Binary post stream (compact: delta-encoded timestamps).
-bool SavePostStream(const PostStream& stream, const std::string& path);
-bool LoadPostStream(const std::string& path, PostStream* stream);
+[[nodiscard]] bool SavePostStream(const PostStream& stream,
+                                  const std::string& path);
+[[nodiscard]] bool LoadPostStream(const std::string& path, PostStream* stream);
 
 /// Human-editable TSV post stream: `id \t author \t time_ms \t simhash_hex
 /// \t text` with a header row. Tabs/newlines inside text are replaced by
 /// spaces on save. Lines that fail to parse are skipped on load (the
 /// return value is still true if the header parsed); a missing file
 /// returns false.
-bool SavePostStreamTsv(const PostStream& stream, const std::string& path);
-bool LoadPostStreamTsv(const std::string& path, PostStream* stream);
+[[nodiscard]] bool SavePostStreamTsv(const PostStream& stream,
+                                     const std::string& path);
+[[nodiscard]] bool LoadPostStreamTsv(const std::string& path,
+                                     PostStream* stream);
 
 /// The TSV header line (trailing newline included). Exposed so the
 /// durable runner can build the output file incrementally, one line per

@@ -11,7 +11,7 @@ namespace obs {
 /// clocks of pipeline runs — flows through a Clock so tests substitute a
 /// ManualClock and metric snapshots stay byte-deterministic. This header
 /// (with clock.cc) is the only place in src/obs allowed to touch
-/// std::chrono; firehose_lint's obs-seam check enforces that.
+/// std::chrono; firehose_analyze's obs-seam check enforces that.
 class Clock {
  public:
   virtual ~Clock() = default;

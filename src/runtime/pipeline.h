@@ -52,7 +52,7 @@ class PostSource {
  public:
   virtual ~PostSource() = default;
   /// Fills `*post` with the next post; false at end of stream.
-  virtual bool Next(Post* post) = 0;
+  [[nodiscard]] virtual bool Next(Post* post) = 0;
 };
 
 /// Source over an in-memory stream (replay of a recorded day).

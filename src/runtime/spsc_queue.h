@@ -37,7 +37,7 @@ class SpscQueue {
   SpscQueue& operator=(const SpscQueue&) = delete;
 
   /// False when the queue is full (producer should back off or drop).
-  bool TryPush(const T& item) {
+  [[nodiscard]] bool TryPush(const T& item) {
     const size_t head = head_.load(std::memory_order_relaxed);
     const size_t tail = tail_.load(std::memory_order_acquire);
     if (head - tail > mask_) return false;
@@ -47,7 +47,7 @@ class SpscQueue {
   }
 
   /// False when the queue is empty.
-  bool TryPop(T* item) {
+  [[nodiscard]] bool TryPop(T* item) {
     const size_t tail = tail_.load(std::memory_order_relaxed);
     const size_t head = head_.load(std::memory_order_acquire);
     if (tail == head) return false;

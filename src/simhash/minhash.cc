@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/text/normalize.h"
 #include "src/text/tokenize.h"
 #include "src/util/hash.h"
 #include "src/util/random.h"

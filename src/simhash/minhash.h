@@ -5,8 +5,6 @@
 #include <string_view>
 #include <vector>
 
-#include "src/text/normalize.h"
-
 namespace firehose {
 
 /// A k-permutation MinHash signature; element i is the minimum of hash_i

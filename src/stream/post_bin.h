@@ -5,7 +5,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "src/io/binary.h"
+#include "src/util/binary.h"
 #include "src/stream/post.h"
 
 namespace firehose {

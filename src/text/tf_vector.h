@@ -5,7 +5,7 @@
 #include <string_view>
 #include <vector>
 
-#include "src/io/binary.h"
+#include "src/util/binary.h"
 
 namespace firehose {
 

@@ -1,0 +1,241 @@
+// Baseline round-trip and SARIF output tests: the baseline file must
+// survive format -> parse -> apply unchanged, and the SARIF log must be
+// well-formed JSON with the 2.1.0 structure the CI upload consumes.
+
+#include <cctype>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/analysis/analyzer.h"
+#include "src/analysis/sarif.h"
+
+namespace firehose {
+namespace analysis {
+namespace {
+
+const std::vector<Finding> kFindings = {
+    {"src/core/a.cc", 10, "raw-new-delete", "raw `new`; use containers"},
+    {"src/dur/wal.cc", 20, "unchecked-error",
+     "result of 'Sync' is silently discarded"},
+    {"src/util/b.h", 1, "include-guard", "header with \"quotes\"\tand tabs"},
+};
+
+// --- FormatFinding -----------------------------------------------------------
+
+TEST(FormatFindingTest, MatchesLegacyLintFormat) {
+  EXPECT_EQ(FormatFinding(kFindings[0]),
+            "src/core/a.cc:10: [raw-new-delete] raw `new`; use containers");
+}
+
+// --- baseline round-trip -----------------------------------------------------
+
+TEST(BaselineTest, RoundTripsThroughFormatAndParse) {
+  const std::string text = FormatBaseline(kFindings);
+  const std::set<std::string> keys = ParseBaseline(text);
+  ASSERT_EQ(keys.size(), kFindings.size());
+  for (const Finding& finding : kFindings) {
+    EXPECT_EQ(keys.count(BaselineKey(finding)), 1u) << BaselineKey(finding);
+  }
+}
+
+TEST(BaselineTest, KeysOmitLineNumbers) {
+  Finding moved = kFindings[0];
+  moved.line = 999;  // unrelated edits shift lines; the key must not care
+  EXPECT_EQ(BaselineKey(moved), BaselineKey(kFindings[0]));
+}
+
+TEST(BaselineTest, ParserSkipsCommentsBlanksAndCrlf) {
+  const std::set<std::string> keys = ParseBaseline(
+      "# a comment\n"
+      "\n"
+      "check\tsrc/a.cc\tmessage one\r\n"
+      "# another\n"
+      "check\tsrc/b.cc\tmessage two\n");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys.count("check\tsrc/a.cc\tmessage one"), 1u);
+  EXPECT_EQ(keys.count("check\tsrc/b.cc\tmessage two"), 1u);
+}
+
+TEST(BaselineTest, ApplyPartitionsFindings) {
+  std::set<std::string> baseline = {BaselineKey(kFindings[1])};
+  std::vector<Finding> findings = kFindings;
+  std::vector<Finding> baselined;
+  ApplyBaseline(baseline, &findings, &baselined);
+  ASSERT_EQ(findings.size(), 2u);
+  ASSERT_EQ(baselined.size(), 1u);
+  EXPECT_EQ(findings[0].path, "src/core/a.cc");
+  EXPECT_EQ(findings[1].path, "src/util/b.h");
+  EXPECT_EQ(baselined[0].path, "src/dur/wal.cc");
+}
+
+TEST(BaselineTest, EmptyBaselineKeepsEverything) {
+  std::vector<Finding> findings = kFindings;
+  std::vector<Finding> baselined;
+  ApplyBaseline({}, &findings, &baselined);
+  EXPECT_EQ(findings.size(), kFindings.size());
+  EXPECT_TRUE(baselined.empty());
+}
+
+// --- SARIF -------------------------------------------------------------------
+
+// Minimal recursive-descent JSON well-formedness checker. Enough to
+// guarantee the CI uploader's parser will not reject the artifact.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool Valid() {
+    SkipSpace();
+    if (!Value()) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Literal(std::string_view word) {
+    if (text_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+  bool String() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;  // skip the escaped character
+      if (text_[pos_] == '\n') return false;  // raw newline is invalid
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Value() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return Object();
+    if (c == '[') return Array();
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') return ++pos_, true;
+    while (true) {
+      SkipSpace();
+      if (!String()) return false;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      if (!Value()) return false;
+      SkipSpace();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') return ++pos_, true;
+      return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') return ++pos_, true;
+    while (true) {
+      if (!Value()) return false;
+      SkipSpace();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') return ++pos_, true;
+      return false;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+size_t CountOccurrences(const std::string& text, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(SarifTest, OutputIsWellFormedJson) {
+  EXPECT_TRUE(JsonChecker(ToSarif(kFindings)).Valid());
+  EXPECT_TRUE(JsonChecker(ToSarif({})).Valid());
+}
+
+TEST(SarifTest, CarriesSchemaVersionAndDriver) {
+  const std::string sarif = ToSarif(kFindings);
+  EXPECT_NE(sarif.find("sarif-schema-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"firehose_analyze\""), std::string::npos);
+}
+
+TEST(SarifTest, DeclaresOneRulePerRegisteredCheck) {
+  const std::string sarif = ToSarif({});
+  EXPECT_EQ(CountOccurrences(sarif, "\"id\": "), AllChecks().size());
+  for (const CheckInfo& check : AllChecks()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + check.name + "\""), std::string::npos)
+        << check.name;
+  }
+}
+
+TEST(SarifTest, EmitsOneResultPerFinding) {
+  const std::string sarif = ToSarif(kFindings);
+  EXPECT_EQ(CountOccurrences(sarif, "\"ruleId\": "), kFindings.size());
+  EXPECT_EQ(CountOccurrences(sarif, "\"physicalLocation\""), kFindings.size());
+  EXPECT_NE(sarif.find("\"uri\": \"src/dur/wal.cc\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 20"), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"error\""), std::string::npos);
+}
+
+TEST(SarifTest, EscapesMessageText) {
+  // kFindings[2] holds a quote and a tab; both must arrive escaped.
+  const std::string sarif = ToSarif(kFindings);
+  EXPECT_NE(sarif.find("header with \\\"quotes\\\"\\tand tabs"),
+            std::string::npos);
+  EXPECT_TRUE(JsonChecker(sarif).Valid());
+}
+
+TEST(SarifTest, ClampsNonPositiveLinesToOne) {
+  const std::string sarif =
+      ToSarif({{"src/core/a.cc", 0, "layering", "module-level finding"}});
+  EXPECT_NE(sarif.find("\"startLine\": 1"), std::string::npos);
+  EXPECT_TRUE(JsonChecker(sarif).Valid());
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace firehose

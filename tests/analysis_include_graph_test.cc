@@ -1,0 +1,215 @@
+// Include-graph, layer-config and layering/cycle-pass tests over
+// synthetic file sets — including the acceptance case: a deliberate
+// util -> core include must be rejected by the layering pass.
+
+#include "src/analysis/include_graph.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/analysis/analyzer.h"
+
+namespace firehose {
+namespace analysis {
+namespace {
+
+// The production DAG prefix, small enough to reason about in tests.
+constexpr const char* kLayers =
+    "# test DAG\n"
+    "util:\n"
+    "obs:\n"
+    "text: util\n"
+    "core: text util obs\n"
+    "tools: *\n";
+
+AnalysisResult RunAnalysis(const std::vector<SourceFile>& files,
+                   const std::string& layers,
+                   const std::set<std::string>& checks = {}) {
+  AnalysisOptions options;
+  options.layers_text = layers;
+  options.checks = checks;
+  return Analyze(files, options);
+}
+
+TEST(ModuleOfTest, AssignsModules) {
+  EXPECT_EQ(ModuleOf("src/core/engine.h"), "core");
+  EXPECT_EQ(ModuleOf("src/util/random.cc"), "util");
+  EXPECT_EQ(ModuleOf("src/firehose.h"), "api");
+  EXPECT_EQ(ModuleOf("tools/firehose_analyze.cc"), "tools");
+  EXPECT_EQ(ModuleOf("tests/foo_test.cc"), "tests");
+  EXPECT_EQ(ModuleOf("bench/micro.cc"), "bench");
+}
+
+TEST(IncludeGraphTest, ResolvesInternalIncludesOnly) {
+  const std::vector<SourceFile> files = {
+      {"src/util/a.h", "#ifndef A\n#define A\n#endif\n"},
+      {"src/text/b.h",
+       "#ifndef B\n#define B\n#include <vector>\n#include \"src/util/a.h\"\n"
+       "#include \"src/missing.h\"\n#endif\n"},
+  };
+  const IncludeGraph graph = BuildIncludeGraph(files);
+  ASSERT_EQ(graph.files.size(), 2u);
+  const int b = graph.Find("src/text/b.h");
+  ASSERT_GE(b, 0);
+  const FileNode& node = graph.files[b];
+  ASSERT_EQ(node.includes.size(), 3u);
+  EXPECT_TRUE(node.includes[0].system);
+  EXPECT_EQ(node.includes[0].resolved, -1);
+  EXPECT_FALSE(node.includes[1].system);
+  EXPECT_EQ(node.includes[1].target, "src/util/a.h");
+  ASSERT_GE(node.includes[1].resolved, 0);
+  EXPECT_EQ(graph.files[node.includes[1].resolved].path, "src/util/a.h");
+  EXPECT_EQ(node.includes[2].resolved, -1);  // not part of the analyzed set
+  EXPECT_EQ(graph.Find("src/nope.h"), -1);
+}
+
+TEST(IncludeGraphTest, ModuleEdgesSkipSelf) {
+  const std::vector<SourceFile> files = {
+      {"src/util/a.h", ""},
+      {"src/util/b.h", "#include \"src/util/a.h\"\n"},
+      {"src/text/c.h", "#include \"src/util/a.h\"\n"},
+  };
+  const IncludeGraph graph = BuildIncludeGraph(files);
+  EXPECT_EQ(graph.module_edges.count("util"), 0u);  // self-edge omitted
+  ASSERT_EQ(graph.module_edges.count("text"), 1u);
+  EXPECT_EQ(graph.module_edges.at("text"), std::set<std::string>{"util"});
+}
+
+TEST(LayerConfigTest, ParsesDagAndWildcard) {
+  LayerConfig config;
+  std::string error;
+  ASSERT_TRUE(ParseLayerConfig(kLayers, &config, &error)) << error;
+  EXPECT_EQ(config.order,
+            (std::vector<std::string>{"util", "obs", "text", "core", "tools"}));
+  EXPECT_TRUE(config.rules.at("util").allowed.empty());
+  EXPECT_FALSE(config.rules.at("util").any);
+  EXPECT_EQ(config.rules.at("core").allowed,
+            (std::set<std::string>{"text", "util", "obs"}));
+  EXPECT_TRUE(config.rules.at("tools").any);
+}
+
+TEST(LayerConfigTest, RejectsDuplicateModule) {
+  LayerConfig config;
+  std::string error;
+  EXPECT_FALSE(ParseLayerConfig("util:\nutil:\n", &config, &error));
+  EXPECT_NE(error.find("util"), std::string::npos);
+}
+
+TEST(LayerConfigTest, RejectsUndeclaredDep) {
+  LayerConfig config;
+  std::string error;
+  EXPECT_FALSE(ParseLayerConfig("text: util\n", &config, &error));
+  EXPECT_NE(error.find("util"), std::string::npos);
+}
+
+TEST(LayerConfigTest, RejectsForwardDepSoDeclaredGraphStaysADag) {
+  // `util: text` before text is declared would let the file express a
+  // cycle (util -> text -> util); the earlier-lines-only rule forbids it.
+  LayerConfig config;
+  std::string error;
+  EXPECT_FALSE(ParseLayerConfig("util: text\ntext: util\n", &config, &error));
+}
+
+// --- the acceptance case -----------------------------------------------------
+
+TEST(LayeringPassTest, RejectsDeliberateUtilToCoreInclude) {
+  const std::vector<SourceFile> files = {
+      {"src/core/engine.h", "#ifndef E\n#define E\nint Engine();\n#endif\n"},
+      {"src/util/bad.h",
+       "#ifndef B\n#define B\n#include \"src/core/engine.h\"\n#endif\n"},
+  };
+  const AnalysisResult result = RunAnalysis(files, kLayers, {"layering"});
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.findings.size(), 1u);
+  const Finding& finding = result.findings[0];
+  EXPECT_EQ(finding.check, "layering");
+  EXPECT_EQ(finding.path, "src/util/bad.h");
+  EXPECT_EQ(finding.line, 3);
+  EXPECT_NE(finding.message.find("util -> core"), std::string::npos);
+}
+
+TEST(LayeringPassTest, AllowsDeclaredEdgesAndWildcard) {
+  const std::vector<SourceFile> files = {
+      {"src/util/a.h", ""},
+      {"src/core/engine.h", "#include \"src/util/a.h\"\n"},
+      {"tools/tool.cc", "#include \"src/core/engine.h\"\n"},
+  };
+  const AnalysisResult result = RunAnalysis(files, kLayers, {"layering"});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(LayeringPassTest, FlagsModuleMissingFromLayersFile) {
+  const std::vector<SourceFile> files = {
+      {"src/mystery/x.h", ""},
+  };
+  const AnalysisResult result = RunAnalysis(files, kLayers, {"layering"});
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].check, "layering");
+  EXPECT_NE(result.findings[0].message.find("mystery"), std::string::npos);
+  EXPECT_NE(result.findings[0].message.find("no entry"), std::string::npos);
+}
+
+TEST(LayeringPassTest, EmptyLayersTextDisablesPass) {
+  const std::vector<SourceFile> files = {
+      {"src/core/engine.h", ""},
+      {"src/util/bad.h", "#include \"src/core/engine.h\"\n"},
+  };
+  const AnalysisResult result = RunAnalysis(files, "", {"layering"});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(LayeringPassTest, BadLayersFileIsConfigurationError) {
+  const std::vector<SourceFile> files = {{"src/util/a.h", ""}};
+  const AnalysisResult result = RunAnalysis(files, "util: nope\n", {"layering"});
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+}
+
+// --- include cycles ----------------------------------------------------------
+
+TEST(IncludeCycleTest, ReportsTwoFileCycleOnce) {
+  const std::vector<SourceFile> files = {
+      {"src/util/a.h", "#include \"src/util/b.h\"\n"},
+      {"src/util/b.h", "#include \"src/util/a.h\"\n"},
+  };
+  const AnalysisResult result = RunAnalysis(files, "", {"include-cycle"});
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].check, "include-cycle");
+  EXPECT_NE(result.findings[0].message.find("src/util/a.h"),
+            std::string::npos);
+  EXPECT_NE(result.findings[0].message.find("src/util/b.h"),
+            std::string::npos);
+}
+
+TEST(IncludeCycleTest, ReportsTransitiveCycle) {
+  const std::vector<SourceFile> files = {
+      {"src/util/a.h", "#include \"src/util/b.h\"\n"},
+      {"src/util/b.h", "#include \"src/util/c.h\"\n"},
+      {"src/util/c.h", "#include \"src/util/a.h\"\n"},
+  };
+  const AnalysisResult result = RunAnalysis(files, "", {"include-cycle"});
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_NE(result.findings[0].message.find("src/util/c.h"),
+            std::string::npos);
+}
+
+TEST(IncludeCycleTest, AcyclicChainIsClean) {
+  const std::vector<SourceFile> files = {
+      {"src/util/a.h", ""},
+      {"src/util/b.h", "#include \"src/util/a.h\"\n"},
+      {"src/util/c.h", "#include \"src/util/a.h\"\n#include \"src/util/b.h\"\n"},
+  };
+  const AnalysisResult result = RunAnalysis(files, "", {"include-cycle"});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.findings.empty());
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace firehose

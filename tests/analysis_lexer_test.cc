@@ -1,0 +1,229 @@
+// Golden tests for the analysis lexer: the constructs that break
+// per-line regex linting — raw strings, spliced comments, char literals
+// holding comment openers — must come out as single, correctly-classified
+// tokens.
+
+#include "src/analysis/lexer.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace firehose {
+namespace analysis {
+namespace {
+
+std::vector<Token> NonComment(const std::vector<Token>& tokens) {
+  std::vector<Token> out;
+  for (const Token& token : tokens) {
+    if (token.kind != TokenKind::kComment) out.push_back(token);
+  }
+  return out;
+}
+
+TEST(LexerTest, ClassifiesBasicTokens) {
+  const std::vector<Token> tokens = Lex("int x = 42;\n");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "int");
+  EXPECT_TRUE(tokens[0].at_line_start);
+  EXPECT_EQ(tokens[1].text, "x");
+  EXPECT_FALSE(tokens[1].at_line_start);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kPunct);
+  EXPECT_EQ(tokens[2].text, "=");
+  EXPECT_EQ(tokens[3].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[3].text, "42");
+  EXPECT_EQ(tokens[4].text, ";");
+  for (const Token& token : tokens) EXPECT_EQ(token.line, 1);
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  const std::vector<Token> tokens = Lex("a\nb\n\nc\n");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[2].line, 4);
+}
+
+TEST(LexerTest, LineCommentIsOneToken) {
+  const std::vector<Token> tokens = Lex("x; // rand() fopen(\ny;\n");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[2].text, "// rand() fopen(");
+  // The banned names live inside the comment token, not as identifiers.
+  EXPECT_EQ(tokens[3].text, "y");
+  EXPECT_EQ(tokens[3].line, 2);
+}
+
+TEST(LexerTest, BlockCommentSpansLines) {
+  const std::vector<Token> tokens = Lex("a /* one\ntwo */ b\n");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[1].text, "/* one\ntwo */");
+  EXPECT_EQ(tokens[1].line, 1);
+  EXPECT_EQ(tokens[2].text, "b");
+  EXPECT_EQ(tokens[2].line, 2);
+}
+
+TEST(LexerTest, LineSplicedCommentSwallowsNextLine) {
+  // The backslash-newline splices the second physical line into the `//`
+  // comment — `fopen(x);` must NOT surface as code tokens.
+  const std::vector<Token> tokens = Lex("a; // spliced \\\nfopen(x);\nb;\n");
+  const std::vector<Token> code = NonComment(tokens);
+  ASSERT_EQ(code.size(), 4u);
+  EXPECT_EQ(code[0].text, "a");
+  EXPECT_EQ(code[2].text, "b");
+  EXPECT_EQ(code[2].line, 3);
+}
+
+TEST(LexerTest, SplicedIdentifierComparesUnspliced) {
+  const std::vector<Token> tokens = Lex("fo\\\no;\n");
+  ASSERT_GE(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "foo");
+  EXPECT_EQ(tokens[0].line, 1);
+}
+
+TEST(LexerTest, StringLiteralHidesCode) {
+  const std::vector<Token> tokens = Lex("s = \"rand() // not a comment\";\n");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[2].text, "\"rand() // not a comment\"");
+}
+
+TEST(LexerTest, StringEscapesDoNotEndLiteral) {
+  const std::vector<Token> tokens = Lex(R"(s = "a\"b";)");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[2].text, "\"a\\\"b\"");
+}
+
+TEST(LexerTest, CharLiteralWithSlashes) {
+  // '/' twice must not open a comment; '"' must not open a string.
+  const std::vector<Token> tokens = Lex("a = '/'; b = '/'; c = '\"'; d;\n");
+  const std::vector<Token> code = NonComment(tokens);
+  ASSERT_EQ(code.size(), 14u);
+  EXPECT_EQ(code[2].kind, TokenKind::kCharacter);
+  EXPECT_EQ(code[2].text, "'/'");
+  EXPECT_EQ(code[10].kind, TokenKind::kCharacter);
+  EXPECT_EQ(code[10].text, "'\"'");
+  EXPECT_EQ(code[12].text, "d");
+}
+
+TEST(LexerTest, RawStringPlain) {
+  const std::vector<Token> tokens = Lex("s = R\"(no \\escape \" here)\";\n");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kRawString);
+  EXPECT_EQ(tokens[2].text, "R\"(no \\escape \" here)\"");
+}
+
+TEST(LexerTest, RawStringCustomDelimiter) {
+  // The `)"` inside must not close the literal — only `)xy"` does.
+  const std::vector<Token> tokens = Lex("s = R\"xy(inner )\" still)xy\";\n");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kRawString);
+  EXPECT_EQ(tokens[2].text, "R\"xy(inner )\" still)xy\"");
+}
+
+TEST(LexerTest, RawStringKeepsSplices) {
+  // Backslash-newline is literal inside a raw string (the standard
+  // reverses splicing there); the token must keep both characters.
+  const std::vector<Token> tokens = Lex("s = R\"(a\\\nb)\";\nnext;\n");
+  ASSERT_GE(tokens.size(), 5u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kRawString);
+  EXPECT_NE(tokens[2].text.find("\\\n"), std::string::npos);
+  EXPECT_EQ(tokens[4].text, "next");
+  EXPECT_EQ(tokens[4].line, 3);
+}
+
+TEST(LexerTest, RawStringWithCommentAndDirectiveText) {
+  const std::vector<Token> tokens =
+      Lex("s = R\"(// #include \"evil.h\" rand())\";\nok;\n");
+  const std::vector<Token> code = NonComment(tokens);
+  ASSERT_EQ(code.size(), 6u);
+  EXPECT_EQ(code[2].kind, TokenKind::kRawString);
+  EXPECT_EQ(code[4].text, "ok");
+}
+
+TEST(LexerTest, EncodingPrefixes) {
+  const std::vector<Token> tokens = Lex("a = u8\"x\"; b = L'y'; c = U\"z\";\n");
+  const std::vector<Token> code = NonComment(tokens);
+  ASSERT_EQ(code.size(), 12u);
+  EXPECT_EQ(code[2].kind, TokenKind::kString);
+  EXPECT_EQ(code[2].text, "u8\"x\"");
+  EXPECT_EQ(code[6].kind, TokenKind::kCharacter);
+  EXPECT_EQ(code[6].text, "L'y'");
+  EXPECT_EQ(code[10].kind, TokenKind::kString);
+  EXPECT_EQ(code[10].text, "U\"z\"");
+}
+
+TEST(LexerTest, HeaderNameAfterInclude) {
+  const std::vector<Token> tokens =
+      Lex("#include <vector>\n#include \"src/x.h\"\n");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].text, "#");
+  EXPECT_TRUE(tokens[0].at_line_start);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kHeaderName);
+  EXPECT_EQ(tokens[2].text, "<vector>");
+  EXPECT_EQ(tokens[5].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[5].text, "\"src/x.h\"");
+}
+
+TEST(LexerTest, LessThanIsNotHeaderNameOutsideInclude) {
+  const std::vector<Token> tokens = Lex("a < b > c;\n");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kPunct);
+  EXPECT_EQ(tokens[1].text, "<");
+}
+
+TEST(LexerTest, MaximalMunchPunctuation) {
+  const std::vector<Token> tokens = Lex("a <<= b; p ->* q; x <=> y; f(...);\n");
+  std::vector<std::string> puncts;
+  for (const Token& token : tokens) {
+    if (token.kind == TokenKind::kPunct) puncts.push_back(token.text);
+  }
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "<<="), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "->*"), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "<=>"), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "..."), puncts.end());
+}
+
+TEST(LexerTest, PpNumbers) {
+  const std::vector<Token> tokens = Lex("x = 1e+3; y = 0x1F; z = 1'000'000;\n");
+  std::vector<std::string> numbers;
+  for (const Token& token : tokens) {
+    if (token.kind == TokenKind::kNumber) numbers.push_back(token.text);
+  }
+  ASSERT_EQ(numbers.size(), 3u);
+  EXPECT_EQ(numbers[0], "1e+3");
+  EXPECT_EQ(numbers[1], "0x1F");
+  EXPECT_EQ(numbers[2], "1'000'000");
+}
+
+TEST(LexerTest, UnterminatedConstructsCloseAtEof) {
+  // An analyzer keeps going where a compiler stops: none of these crash,
+  // and each yields a single token of the right kind.
+  EXPECT_EQ(Lex("/* never closed").size(), 1u);
+  EXPECT_EQ(Lex("/* never closed")[0].kind, TokenKind::kComment);
+  EXPECT_EQ(Lex("R\"(open forever").size(), 1u);
+  EXPECT_EQ(Lex("R\"(open forever")[0].kind, TokenKind::kRawString);
+  const std::vector<Token> str = Lex("\"open");
+  ASSERT_EQ(str.size(), 1u);
+  EXPECT_EQ(str[0].kind, TokenKind::kString);
+}
+
+TEST(LexerTest, IsIdentIsPunctHelpers) {
+  const std::vector<Token> tokens = Lex("foo;\n");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_TRUE(IsIdent(tokens[0], "foo"));
+  EXPECT_FALSE(IsIdent(tokens[0], "bar"));
+  EXPECT_FALSE(IsIdent(tokens[1], ";"));
+  EXPECT_TRUE(IsPunct(tokens[1], ";"));
+  EXPECT_FALSE(IsPunct(tokens[0], "foo"));
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace firehose

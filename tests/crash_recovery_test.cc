@@ -18,7 +18,7 @@
 #include "src/core/engine.h"
 #include "src/dur/fault.h"
 #include "src/dur/framing.h"
-#include "src/io/binary.h"
+#include "src/util/binary.h"
 #include "src/io/persist.h"
 #include "src/util/build_info.h"
 #include "tests/test_util.h"

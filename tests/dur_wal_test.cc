@@ -15,7 +15,7 @@
 
 #include "src/dur/fault.h"
 #include "src/dur/framing.h"
-#include "src/io/binary.h"
+#include "src/util/binary.h"
 #include "src/util/build_info.h"
 
 namespace firehose {
@@ -187,7 +187,7 @@ TEST_F(DurWalTest, TornWriteAtEveryByteLeavesReplayableCleanPrefix) {
       failed = !writer.Append(Payload(i));
     }
     EXPECT_TRUE(failed) << "fail_after_bytes=" << k;
-    writer.Close();
+    (void)writer.Close();  // the injected fault makes Close fail by design
 
     const WalReadResult result = ReadWal(Options(), 0, /*truncate_tail=*/true);
     ASSERT_TRUE(result.ok) << "fail_after_bytes=" << k;

@@ -1,4 +1,5 @@
 #include "src/io/binary.h"
+#include "src/util/binary.h"
 
 #include <cstdio>
 #include <limits>

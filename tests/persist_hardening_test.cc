@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/io/binary.h"
+#include "src/util/binary.h"
 #include "tests/test_util.h"
 
 namespace firehose {

@@ -127,11 +127,11 @@ TEST(SpscQueueTest, WrapsAroundRepeatedly) {
 TEST(SpscQueueTest, ApproxSizeTracksOccupancy) {
   SpscQueue<int> queue(8);
   EXPECT_EQ(queue.ApproxSize(), 0u);
-  queue.TryPush(1);
-  queue.TryPush(2);
+  ASSERT_TRUE(queue.TryPush(1));
+  ASSERT_TRUE(queue.TryPush(2));
   EXPECT_EQ(queue.ApproxSize(), 2u);
   int v;
-  queue.TryPop(&v);
+  ASSERT_TRUE(queue.TryPop(&v));
   EXPECT_EQ(queue.ApproxSize(), 1u);
 }
 

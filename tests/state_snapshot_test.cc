@@ -8,7 +8,7 @@
 
 #include "src/core/cosine_unibin.h"
 #include "src/core/engine.h"
-#include "src/io/binary.h"
+#include "src/util/binary.h"
 #include "tests/test_util.h"
 
 namespace firehose {

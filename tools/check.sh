@@ -27,13 +27,25 @@ case "${1:-}" in
     ;;
 esac
 
-# 1. Determinism/hygiene lint. Built tiny and standalone so the gate fails
-# fast on lint violations before any full preset build.
+# 1. Static analysis (layering, unchecked errors, determinism/hygiene).
+# Built tiny and standalone so the gate fails fast before any full preset
+# build.
 lint_build="$repo/build-lint"
 cmake -S "$repo" -B "$lint_build" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$lint_build" --target firehose_lint -j "$jobs" >/dev/null
-echo "== firehose_lint src/"
-"$lint_build/tools/firehose_lint" "$repo/src"
+cmake --build "$lint_build" --target firehose_analyze -j "$jobs" >/dev/null
+echo "== firehose_analyze src/ tools/ tests/"
+"$lint_build/tools/firehose_analyze" --root="$repo" src tools tests
+
+# 1b. clang-tidy over compile_commands.json, when installed. Optional:
+# the build exports compile_commands.json either way, and CI treats a
+# missing clang-tidy the same as a clean run.
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy src/"
+  mapfile -t tidy_sources < <(find "$repo/src" -name '*.cc' | sort)
+  clang-tidy -p "$lint_build" --quiet "${tidy_sources[@]}"
+else
+  echo "== clang-tidy not installed; skipping (analyzer gate above still ran)"
+fi
 
 # 2. Sanitized builds + tests.
 for preset in "${presets[@]}"; do
