@@ -20,16 +20,23 @@ bool CliqueBinDiversifier::Offer(const Post& post) {
   auto author_similar = [](AuthorId) { return true; };
   bool covered = false;
   size_t evicted = 0;
+  const bool use_index =
+      kernel_options_.index_min_bin_size != static_cast<size_t>(-1);
   for (CliqueId clique : cliques) {
     PostBin& bin = bins_[clique];
     evicted += bin.EvictOlderThan(cutoff);
-    for (size_t i = 0; i < bin.size() && !covered; ++i) {
-      const BinEntry& entry = bin.FromNewest(i);
-      ++stats_.comparisons;
-      covered = internal::CoversContentAndAuthor(
-          entry, post.simhash, post.author, thresholds_, author_similar);
+    const CoverageScanResult scan =
+        use_index ? index_caches_[clique].Scan(bin, cutoff, post.simhash,
+                                               post.author, thresholds_,
+                                               author_similar, kernel_options_)
+                  : ScanCoveredSimHash(bin, cutoff, post.simhash, post.author,
+                                       thresholds_, author_similar);
+    stats_.comparisons += scan.comparisons;
+    stats_.pruned += scan.pruned;
+    if (scan.covered) {
+      covered = true;
+      break;
     }
-    if (covered) break;
   }
   if (evicted > 0) {
     stats_.evictions += evicted;
@@ -82,6 +89,7 @@ void CliqueBinDiversifier::SaveState(BinaryWriter* out) const {
 bool CliqueBinDiversifier::LoadState(BinaryReader& in) {
   bins_.clear();
   bins_bytes_ = 0;
+  index_caches_.clear();  // stale push sequences: rebuild lazily
   std::string payload;
   if (internal::UnwrapChecksummed(in, &payload)) {
     BinaryReader state(payload);
@@ -109,8 +117,14 @@ bool CliqueBinDiversifier::LoadStatePayload(BinaryReader& in) {
 }
 
 size_t CliqueBinDiversifier::ApproxBytes() const {
-  return bins_bytes_ +
-         bins_.size() * (sizeof(PostBin) + sizeof(CliqueId) + 2 * sizeof(void*));
+  size_t bytes =
+      bins_bytes_ +
+      bins_.size() * (sizeof(PostBin) + sizeof(CliqueId) + 2 * sizeof(void*));
+  // firehose-lint: allow(unordered-iteration) -- order-independent sum
+  for (const auto& [clique, cache] : index_caches_) {
+    bytes += cache.ApproxBytes();
+  }
+  return bytes;
 }
 
 }  // namespace firehose

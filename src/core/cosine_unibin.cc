@@ -16,60 +16,63 @@ CosineUniBinDiversifier::CosineUniBinDiversifier(
 bool CosineUniBinDiversifier::Offer(const Post& post) {
   ++stats_.posts_in;
   const int64_t cutoff = post.time_ms - thresholds_.lambda_t_ms;
-  while (!bin_.empty() && bin_.front().time_ms < cutoff) {
-    bin_bytes_ -= bin_.front().bytes;
-    bin_.pop_front();
-    ++stats_.evictions;
+  const size_t evicted = bin_.EvictOlderThan(cutoff);
+  for (size_t i = 0; i < evicted; ++i) {
+    vectors_bytes_ -= VectorBytes(vectors_.front());
+    vectors_.pop_front();
   }
+  stats_.evictions += evicted;
 
   const TfVector vector = TfVector::FromText(Normalize(post.text));
 
-  for (auto it = bin_.rbegin(); it != bin_.rend(); ++it) {
-    ++stats_.comparisons;
+  // The generic kernel path: the cover lambda addresses the parallel term
+  // vectors by the bin's logical from-oldest index.
+  auto covers = [&](size_t from_oldest, int64_t /*time_ms*/,
+                    uint64_t /*simhash*/, AuthorId author) {
     if (thresholds_.use_content &&
-        vector.CosineSimilarity(it->vector) < min_cosine_similarity_) {
-      continue;
+        vector.CosineSimilarity(vectors_[from_oldest]) <
+            min_cosine_similarity_) {
+      return false;
     }
-    if (thresholds_.use_author && it->author != post.author &&
-        (graph_ == nullptr || !graph_->IsNeighbor(post.author, it->author))) {
-      continue;
+    if (thresholds_.use_author && author != post.author &&
+        (graph_ == nullptr || !graph_->IsNeighbor(post.author, author))) {
+      return false;
     }
+    return true;
+  };
+  const CoverageScanResult scan = ScanCovered(bin_, cutoff, covers);
+  stats_.comparisons += scan.comparisons;
+  stats_.pruned += scan.pruned;
+  if (scan.covered) {
     stats_.UpdatePeak(ApproxBytes());
-    return false;  // covered
+    return false;
   }
 
-  Entry entry;
-  entry.time_ms = post.time_ms;
-  entry.author = post.author;
-  entry.bytes = sizeof(Entry) + vector.size() * 12;  // hash + count approx
-  entry.vector = std::move(vector);
-  bin_bytes_ += entry.bytes;
-  bin_.push_back(std::move(entry));
+  bin_.Push(BinEntry{post.time_ms, /*simhash=*/0, post.author, post.id});
+  vectors_bytes_ += VectorBytes(vector);
+  vectors_.push_back(std::move(vector));
   ++stats_.insertions;
   ++stats_.posts_out;
   stats_.UpdatePeak(ApproxBytes());
   return true;
 }
 
-size_t CosineUniBinDiversifier::ApproxBytes() const { return bin_bytes_; }
+size_t CosineUniBinDiversifier::ApproxBytes() const {
+  return bin_.ApproxBytes() + vectors_bytes_;
+}
 
 void CosineUniBinDiversifier::SaveState(BinaryWriter* out) const {
   BinaryWriter payload;
   internal::SaveStats(stats_, &payload);
-  payload.PutVarint(bin_.size());
-  int64_t prev_time = 0;
-  for (const Entry& entry : bin_) {
-    payload.PutSignedVarint(entry.time_ms - prev_time);
-    prev_time = entry.time_ms;
-    payload.PutVarint(entry.author);
-    entry.vector.Save(&payload);
-  }
+  bin_.Save(&payload);
+  for (const TfVector& vector : vectors_) vector.Save(&payload);
   internal::WrapChecksummed(payload, out);
 }
 
 bool CosineUniBinDiversifier::LoadState(BinaryReader& in) {
-  bin_.clear();
-  bin_bytes_ = 0;
+  bin_ = PostBin{};
+  vectors_.clear();
+  vectors_bytes_ = 0;
   std::string payload;
   if (internal::UnwrapChecksummed(in, &payload)) {
     BinaryReader state(payload);
@@ -77,30 +80,20 @@ bool CosineUniBinDiversifier::LoadState(BinaryReader& in) {
   }
   // Malformed snapshot: reset to empty so the object stays usable.
   stats_ = IngestStats{};
-  bin_.clear();
-  bin_bytes_ = 0;
+  bin_ = PostBin{};
+  vectors_.clear();
+  vectors_bytes_ = 0;
   return false;
 }
 
 bool CosineUniBinDiversifier::LoadStatePayload(BinaryReader& in) {
   if (!internal::LoadStats(in, &stats_)) return false;
-  uint64_t count = 0;
-  if (!in.GetVarint(&count)) return false;
-  int64_t prev_time = 0;
-  for (uint64_t i = 0; i < count; ++i) {
-    Entry entry;
-    int64_t delta = 0;
-    uint64_t author = 0;
-    if (!in.GetSignedVarint(&delta) || !in.GetVarint(&author) ||
-        author > 0xFFFFFFFFull || !entry.vector.Load(in)) {
-      return false;
-    }
-    prev_time += delta;
-    entry.time_ms = prev_time;
-    entry.author = static_cast<AuthorId>(author);
-    entry.bytes = sizeof(Entry) + entry.vector.size() * 12;  // as Offer does
-    bin_bytes_ += entry.bytes;
-    bin_.push_back(std::move(entry));
+  if (!bin_.Load(in)) return false;
+  for (size_t i = 0; i < bin_.size(); ++i) {
+    TfVector vector;
+    if (!vector.Load(in)) return false;
+    vectors_bytes_ += VectorBytes(vector);
+    vectors_.push_back(std::move(vector));
   }
   return in.AtEnd();
 }

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "src/author/similarity_graph.h"
+#include "src/core/coverage_kernel.h"
 #include "src/core/diversifier.h"
 #include "src/text/tf_vector.h"
 
@@ -20,6 +21,12 @@ namespace firehose {
 /// vector dot product over the stored *full vectors*, so both CPU per
 /// comparison and bytes per stored post are an order of magnitude worse.
 /// The abl_cosine_baseline bench quantifies that.
+///
+/// Storage is a PostBin (time/author/post-id lanes; the simhash lane is
+/// zero — this baseline has no fingerprints) plus a parallel deque of term
+/// vectors addressed by the bin's logical from-oldest index, so the λt
+/// boundary search and scan bookkeeping run through the same coverage
+/// kernel as the SimHash bins.
 class CosineUniBinDiversifier final : public Diversifier {
  public:
   /// `min_cosine_similarity` plays the role of λc. Time and author
@@ -40,18 +47,16 @@ class CosineUniBinDiversifier final : public Diversifier {
 
  private:
   bool LoadStatePayload(BinaryReader& in);
-  struct Entry {
-    int64_t time_ms;
-    AuthorId author;
-    TfVector vector;
-    size_t bytes;  // cached ApproxBytes contribution
-  };
+  static size_t VectorBytes(const TfVector& vector) {
+    return sizeof(TfVector) + vector.size() * 12;  // hash + count approx
+  }
 
   const DiversityThresholds thresholds_;
   const double min_cosine_similarity_;
   const AuthorGraph* graph_;  // not owned
-  std::deque<Entry> bin_;     // oldest front, newest back
-  size_t bin_bytes_ = 0;
+  PostBin bin_;               // simhash lane all-zero
+  std::deque<TfVector> vectors_;  // parallel to bin_, from-oldest order
+  size_t vectors_bytes_ = 0;      // incrementally tracked Σ VectorBytes
   IngestStats stats_;
 };
 

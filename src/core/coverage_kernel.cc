@@ -1,0 +1,87 @@
+#include "src/core/coverage_kernel.h"
+
+namespace firehose {
+
+namespace {
+
+/// Largest block count B in (k, 64] whose table count C(B, k) stays
+/// within `max_tables`, or -1 when even B = k+1 exceeds the cap. For a
+/// fixed distance k, growing B buys exponentially more exact-match prefix
+/// bits per table (64·(B-k)/B) at the price of more tables, and C(B, k)
+/// is monotone in B — so the largest affordable B is the most selective.
+int AutoBlocks(int max_distance, int max_tables) {
+  int best = -1;
+  for (int blocks = max_distance + 1; blocks <= 64; ++blocks) {
+    const int64_t tables =
+        PermutedSimHashIndex::TableCountFor(blocks, max_distance);
+    if (tables < 0 || tables > max_tables) break;
+    best = blocks;
+  }
+  return best;
+}
+
+}  // namespace
+
+void BinIndexCache::MaybeRebuild(const PostBin& bin,
+                                 const DiversityThresholds& thresholds,
+                                 const CoverageKernelOptions& options) {
+  // An index answers "Hamming distance <= max_distance" for max_distance
+  // in [1, 63]; λc = 0 still needs a distance-1 index (re-verified down to
+  // exact match at scan time) and λc >= 64 covers everything no index can
+  // prune.
+  const int max_distance =
+      thresholds.lambda_c < 1 ? 1 : thresholds.lambda_c;
+  if (max_distance > 63) {
+    infeasible_ = true;
+    return;
+  }
+  const uint64_t oldest_seq = bin.pushes() - bin.size();
+  const size_t indexed_live =
+      end_seq_ > oldest_seq ? static_cast<size_t>(end_seq_ - oldest_seq) : 0;
+  const size_t tail = bin.size() - indexed_live;
+  const bool stale =
+      index_ == nullptr || built_lambda_c_ != thresholds.lambda_c ||
+      static_cast<double>(tail) >
+          options.index_rebuild_slack * static_cast<double>(bin.size());
+  if (!stale) return;
+
+  const int blocks = options.index_blocks > 0
+                         ? options.index_blocks
+                         : AutoBlocks(max_distance, options.index_max_tables);
+  if (blocks <= max_distance || blocks > 64) {
+    infeasible_ = true;
+    index_.reset();
+    return;
+  }
+  auto index = std::make_unique<PermutedSimHashIndex>(blocks, max_distance,
+                                                      options.index_max_tables);
+  // Reject configurations that cannot prune: with T tables of p prefix
+  // bits, a uniform probe examines ~T·n/2^p candidates — T/2^p >= 1 means
+  // the "index" walks at least the whole bin (the paper's §3 argument for
+  // why λc = 18 defeats the Manku structure).
+  if (!index->valid() ||
+      (index->PrefixBits() < 63 &&
+       static_cast<uint64_t>(index->NumTables()) >=
+           (1ull << index->PrefixBits()))) {
+    infeasible_ = true;
+    index_.reset();
+    return;
+  }
+  PostBin::LaneSpan segments[2];
+  const size_t num_segments = bin.Segments(segments);
+  uint64_t seq = oldest_seq;
+  for (size_t s = 0; s < num_segments; ++s) {
+    const PostBin::LaneSpan& seg = segments[s];
+    for (size_t j = 0; j < seg.size; ++j) index->Insert(seg.simhash[j], seq++);
+  }
+  index->Build();
+  index_ = std::move(index);
+  end_seq_ = bin.pushes();
+  built_lambda_c_ = thresholds.lambda_c;
+}
+
+size_t BinIndexCache::ApproxBytes() const {
+  return index_ == nullptr ? 0 : index_->ApproxBytes();
+}
+
+}  // namespace firehose

@@ -1,0 +1,272 @@
+#ifndef FIREHOSE_CORE_COVERAGE_KERNEL_H_
+#define FIREHOSE_CORE_COVERAGE_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "src/core/thresholds.h"
+#include "src/simhash/permuted_index.h"
+#include "src/stream/post.h"
+#include "src/stream/post_bin.h"
+#include "src/util/bitops.h"
+
+namespace firehose {
+
+/// Batched coverage kernel: the one inner loop every diversifier spends
+/// its time in — scanning a time-windowed PostBin newest-first and
+/// testing the three-way cover predicate of Definition 1 against each
+/// candidate. The kernel walks the bin's structure-of-arrays lane spans
+/// (at most two contiguous ring segments) instead of performing a masked
+/// ring-index computation and a full-entry gather per candidate, prunes
+/// the expired prefix with one binary search over the time lane, and can
+/// optionally route the content dimension of large bins through the
+/// Manku-style PermutedSimHashIndex (§3) via BinIndexCache.
+///
+/// Accounting contract (differential-oracle tested): `comparisons` counts
+/// candidates actually subjected to a pairwise content/author test —
+/// exactly the entries the pre-kernel scalar loop would have counted —
+/// and `pruned` counts in-window candidates disposed of without such a
+/// test (index-filtered, or behind a skipped expired prefix). On the
+/// scalar path against a pre-evicted bin, comparisons matches the legacy
+/// per-entry loop bit for bit and pruned is zero.
+
+/// Outcome of one coverage scan.
+struct CoverageScanResult {
+  bool covered = false;       ///< some candidate covers the probe post
+  uint64_t comparisons = 0;   ///< pairwise tests performed
+  uint64_t pruned = 0;        ///< candidates skipped without a pairwise test
+};
+
+/// Scans entries with time_ms >= cutoff_ms, newest first, stopping at the
+/// first candidate for which `covers` returns true. `covers` is invoked as
+/// covers(index_from_oldest, time_ms, simhash, author) so callers that
+/// keep per-entry side data (e.g. CosineUniBin's term vectors) can address
+/// it by the bin's logical index. Entries older than cutoff_ms are never
+/// touched: the λt boundary is binary-searched in the time lane and
+/// reported as `pruned`.
+template <typename CoverFn>
+CoverageScanResult ScanCovered(const PostBin& bin, int64_t cutoff_ms,
+                               CoverFn&& covers) {
+  CoverageScanResult result;
+  if (bin.empty()) return result;
+  const size_t boundary = bin.CountOlderThan(cutoff_ms);
+  result.pruned = boundary;
+  PostBin::LaneSpan segments[2];
+  const size_t num_segments = bin.Segments(segments);
+  size_t base = bin.size();  // logical index of each segment's end
+  for (size_t s = num_segments; s-- > 0;) {
+    const PostBin::LaneSpan& seg = segments[s];
+    base -= seg.size;
+    // Segment-local scan range [lo, hi): logical indices >= boundary.
+    const size_t lo = boundary > base ? boundary - base : 0;
+    if (lo >= seg.size) break;  // everything older is expired
+    for (size_t j = seg.size; j-- > lo;) {
+      ++result.comparisons;
+      if (covers(base + j, seg.time_ms[j], seg.simhash[j], seg.author[j])) {
+        result.covered = true;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+/// The SimHash fast path: a tight XOR+popcount loop over the fingerprint
+/// lane, touching the author lane only on a content hit (the paper's
+/// cheap-dimension-first pruning). Semantics match
+/// internal::CoversContentAndAuthor applied newest-first with early exit.
+template <typename AuthorSimilarFn>
+CoverageScanResult ScanCoveredSimHash(const PostBin& bin, int64_t cutoff_ms,
+                                      uint64_t simhash, AuthorId author,
+                                      const DiversityThresholds& thresholds,
+                                      AuthorSimilarFn&& author_similar) {
+  CoverageScanResult result;
+  if (bin.empty()) return result;
+  const size_t boundary = bin.CountOlderThan(cutoff_ms);
+  result.pruned = boundary;
+  PostBin::LaneSpan segments[2];
+  const size_t num_segments = bin.Segments(segments);
+  const bool use_author = thresholds.use_author;
+  // Signed on purpose: λc = -1 is the "nothing is ever content-similar"
+  // convention (any distance exceeds it). use_content = false reads as
+  // "everything is content-similar": 64 >= any possible distance.
+  const int lambda_c = thresholds.use_content ? thresholds.lambda_c : 64;
+  size_t base = bin.size();
+  for (size_t s = num_segments; s-- > 0;) {
+    const PostBin::LaneSpan& seg = segments[s];
+    base -= seg.size;
+    const size_t lo = boundary > base ? boundary - base : 0;
+    if (lo >= seg.size) break;
+    const uint64_t* hashes = seg.simhash;
+    size_t j = seg.size;
+    // 4-wide front: four independent XOR+popcount chains per iteration
+    // and a single combined not-taken branch, so the dominant all-miss
+    // scan retires ~1 candidate/cycle instead of serializing on a
+    // per-entry branch. A group hit falls through to the per-entry loop
+    // below, which resolves newest-first (and keeps scanning past a
+    // content hit whose author dimension misses).
+    while (j - lo >= 4) {
+      const bool any_hit =
+          (Popcount64(hashes[j - 1] ^ simhash) <= lambda_c) |
+          (Popcount64(hashes[j - 2] ^ simhash) <= lambda_c) |
+          (Popcount64(hashes[j - 3] ^ simhash) <= lambda_c) |
+          (Popcount64(hashes[j - 4] ^ simhash) <= lambda_c);
+      if (any_hit) break;
+      j -= 4;
+    }
+    for (; j-- > lo;) {
+      if (Popcount64(hashes[j] ^ simhash) > lambda_c) {
+        continue;
+      }
+      if (use_author && seg.author[j] != author &&
+          !author_similar(seg.author[j])) {
+        continue;
+      }
+      // Covered at logical index base + j: comparisons counts the entries
+      // examined so far — everything newer than (and including) the hit.
+      result.comparisons += (bin.size() - (base + j));
+      result.covered = true;
+      return result;
+    }
+  }
+  result.comparisons += bin.size() - boundary;  // full in-window scan
+  return result;
+}
+
+/// Per-scan tuning of the coverage kernel. Defaults keep every bin on the
+/// scalar SoA loop; the permuted index engages only when a caller lowers
+/// `index_min_bin_size` (DESIGN.md §4f records the measured crossover).
+struct CoverageKernelOptions {
+  /// Bins smaller than this are always scanned scalar. SIZE_MAX = the
+  /// index is never consulted. The micro_coverage_kernel bench measures
+  /// the crossover size; at the paper's λc = 18 the index never wins
+  /// (the table count explodes — the paper's §3 argument), so the scalar
+  /// kernel stays the production default.
+  size_t index_min_bin_size = static_cast<size_t>(-1);
+
+  /// Blocks B for PermutedSimHashIndex(B, λc). 0 = auto: the largest
+  /// B > λc whose table count C(B, λc) stays within `index_max_tables`
+  /// (more blocks = more exact-prefix bits per table = fewer candidates).
+  int index_blocks = 0;
+
+  /// Tables cap, bounding probes per query. Configurations needing more
+  /// tables — or whose tables/2^prefix ratio cannot prune (λc = 18 for
+  /// any reasonable B) — are deemed infeasible and the scan stays scalar.
+  int index_max_tables = 64;
+
+  /// Entries pushed after the last index build are scanned scalar (the
+  /// recent tail). When the tail outgrows this fraction of the bin, the
+  /// index is rebuilt — amortizing the O(n log n) rebuild over Ω(n)
+  /// pushes.
+  double index_rebuild_slack = 0.25;
+};
+
+/// Lazily-built permuted-index accelerator for one PostBin. Entries are
+/// keyed by the bin's monotone push sequence, so evictions invalidate
+/// stale index rows implicitly (their sequence falls below the bin's
+/// oldest live sequence). Decisions are identical to the scalar kernel —
+/// the index is exact for Hamming distance <= max_distance and every
+/// candidate is re-verified — only the comparisons/pruned split differs.
+class BinIndexCache {
+ public:
+  /// Scalar scan below the size threshold or when the λc configuration is
+  /// infeasible; index-routed otherwise. `bin` must already be evicted to
+  /// cutoff_ms (the eager-eviction discipline all bins follow).
+  template <typename AuthorSimilarFn>
+  CoverageScanResult Scan(const PostBin& bin, int64_t cutoff_ms,
+                          uint64_t simhash, AuthorId author,
+                          const DiversityThresholds& thresholds,
+                          AuthorSimilarFn&& author_similar,
+                          const CoverageKernelOptions& options) {
+    if (!thresholds.use_content || bin.size() < options.index_min_bin_size ||
+        infeasible_) {
+      return ScanCoveredSimHash(bin, cutoff_ms, simhash, author, thresholds,
+                                std::forward<AuthorSimilarFn>(author_similar));
+    }
+    MaybeRebuild(bin, thresholds, options);
+    if (infeasible_) {
+      return ScanCoveredSimHash(bin, cutoff_ms, simhash, author, thresholds,
+                                std::forward<AuthorSimilarFn>(author_similar));
+    }
+    return ScanIndexed(bin, cutoff_ms, simhash, author, thresholds,
+                       std::forward<AuthorSimilarFn>(author_similar));
+  }
+
+  /// Resident bytes of the permuted tables (0 while scalar).
+  size_t ApproxBytes() const;
+
+  /// True once the λc configuration was rejected (scans stay scalar).
+  bool infeasible() const { return infeasible_; }
+
+  /// True while an index is built and consulted.
+  bool active() const { return index_ != nullptr; }
+
+ private:
+  void MaybeRebuild(const PostBin& bin, const DiversityThresholds& thresholds,
+                    const CoverageKernelOptions& options);
+
+  template <typename AuthorSimilarFn>
+  CoverageScanResult ScanIndexed(const PostBin& bin, int64_t cutoff_ms,
+                                 uint64_t simhash, AuthorId author,
+                                 const DiversityThresholds& thresholds,
+                                 AuthorSimilarFn&& author_similar) {
+    CoverageScanResult result;
+    const uint64_t oldest_seq = bin.pushes() - bin.size();
+    // 1. Scalar scan of the un-indexed tail, newest first. Tail entries
+    // are the newest — exactly the ones most likely to cover — so the
+    // common covered case usually resolves here without a probe.
+    const size_t indexed_live =
+        end_seq_ > oldest_seq ? static_cast<size_t>(end_seq_ - oldest_seq) : 0;
+    const size_t tail_start = indexed_live;  // logical index of first tail entry
+    for (size_t i = bin.size(); i-- > tail_start;) {
+      const BinEntry entry = bin.FromNewest(bin.size() - 1 - i);
+      ++result.comparisons;
+      if (entry.time_ms < cutoff_ms) continue;  // defensive; bins pre-evict
+      if (Popcount64(entry.simhash ^ simhash) > thresholds.lambda_c) {
+        continue;
+      }
+      if (thresholds.use_author && entry.author != author &&
+          !author_similar(entry.author)) {
+        continue;
+      }
+      result.covered = true;
+      return result;
+    }
+    // 2. One probe answers the indexed bulk: every live indexed entry
+    // within λc comes back as a candidate; the rest are pruned unseen.
+    uint64_t candidates_verified = 0;
+    for (uint64_t seq : index_->Query(simhash)) {
+      if (seq < oldest_seq) continue;  // evicted since the build
+      const size_t logical = static_cast<size_t>(seq - oldest_seq);
+      const BinEntry entry = bin.FromOldest(logical);
+      ++candidates_verified;
+      ++result.comparisons;
+      if (entry.time_ms < cutoff_ms) continue;
+      // Re-verify content: the index guarantees distance <= its
+      // max_distance, which may exceed λc (λc = 0 builds a distance-1
+      // index).
+      if (Popcount64(entry.simhash ^ simhash) > thresholds.lambda_c) {
+        continue;
+      }
+      if (thresholds.use_author && entry.author != author &&
+          !author_similar(entry.author)) {
+        continue;
+      }
+      result.covered = true;
+      break;
+    }
+    result.pruned += indexed_live - candidates_verified;
+    return result;
+  }
+
+  std::unique_ptr<PermutedSimHashIndex> index_;
+  uint64_t end_seq_ = 0;  // one past the newest indexed sequence
+  int built_lambda_c_ = -1;
+  bool infeasible_ = false;
+};
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_CORE_COVERAGE_KERNEL_H_

@@ -109,6 +109,7 @@ inline void SaveStats(const IngestStats& stats, BinaryWriter* out) {
   out->PutVarint(stats.comparisons);
   out->PutVarint(stats.insertions);
   out->PutVarint(stats.evictions);
+  out->PutVarint(stats.pruned);
   out->PutVarint(stats.peak_bytes);
   out->PutVarint(stats.sum_peak_bytes);
 }
@@ -120,7 +121,8 @@ inline bool LoadStats(BinaryReader& in, IngestStats* stats) {
                   in.GetVarint(&stats->posts_out) &&
                   in.GetVarint(&stats->comparisons) &&
                   in.GetVarint(&stats->insertions) &&
-                  in.GetVarint(&stats->evictions) && in.GetVarint(&peak) &&
+                  in.GetVarint(&stats->evictions) &&
+                  in.GetVarint(&stats->pruned) && in.GetVarint(&peak) &&
                   in.GetVarint(&sum_peak);
   stats->peak_bytes = static_cast<size_t>(peak);
   stats->sum_peak_bytes = static_cast<size_t>(sum_peak);

@@ -77,6 +77,7 @@ void ExportDiversifierMetrics(const Diversifier& diversifier,
   registry->GetCounter("engine.posts_pruned")
       ->Add(stats.posts_in - stats.posts_out);
   registry->GetCounter("engine.comparisons")->Add(stats.comparisons);
+  registry->GetCounter("engine.candidates_pruned")->Add(stats.pruned);
   registry->GetCounter("engine.insertions")->Add(stats.insertions);
   registry->GetCounter("engine.evictions")->Add(stats.evictions);
   const BinOccupancy occupancy = diversifier.bin_occupancy();

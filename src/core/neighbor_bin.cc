@@ -24,18 +24,22 @@ bool NeighborBinDiversifier::Offer(const Post& post) {
   // Every post in bin(author) is from the author or a similar author, so
   // the author dimension holds by construction; only content is checked.
   auto author_similar = [](AuthorId) { return true; };
-  for (size_t i = 0; i < own_bin.size(); ++i) {
-    const BinEntry& entry = own_bin.FromNewest(i);
-    ++stats_.comparisons;
-    if (internal::CoversContentAndAuthor(entry, post.simhash, post.author,
-                                         thresholds_, author_similar)) {
-      if (evicted > 0) {
-        stats_.evictions += evicted;
-        obs::GlobalTraceInstant("NeighborBin.evict", "bin");
-      }
-      stats_.UpdatePeak(ApproxBytes());
-      return false;
+  const CoverageScanResult scan =
+      kernel_options_.index_min_bin_size == static_cast<size_t>(-1)
+          ? ScanCoveredSimHash(own_bin, cutoff, post.simhash, post.author,
+                               thresholds_, author_similar)
+          : index_caches_[post.author].Scan(own_bin, cutoff, post.simhash,
+                                            post.author, thresholds_,
+                                            author_similar, kernel_options_);
+  stats_.comparisons += scan.comparisons;
+  stats_.pruned += scan.pruned;
+  if (scan.covered) {
+    if (evicted > 0) {
+      stats_.evictions += evicted;
+      obs::GlobalTraceInstant("NeighborBin.evict", "bin");
     }
+    stats_.UpdatePeak(ApproxBytes());
+    return false;
   }
 
   // Non-redundant: insert into the author's bin and each neighbor's bin.
@@ -90,6 +94,7 @@ void NeighborBinDiversifier::SaveState(BinaryWriter* out) const {
 bool NeighborBinDiversifier::LoadState(BinaryReader& in) {
   bins_.clear();
   bins_bytes_ = 0;
+  index_caches_.clear();  // stale push sequences: rebuild lazily
   std::string payload;
   if (internal::UnwrapChecksummed(in, &payload)) {
     BinaryReader state(payload);
@@ -118,8 +123,14 @@ bool NeighborBinDiversifier::LoadStatePayload(BinaryReader& in) {
 
 size_t NeighborBinDiversifier::ApproxBytes() const {
   // Ring capacities plus hash-map node overhead per bin.
-  return bins_bytes_ +
-         bins_.size() * (sizeof(PostBin) + sizeof(AuthorId) + 2 * sizeof(void*));
+  size_t bytes =
+      bins_bytes_ +
+      bins_.size() * (sizeof(PostBin) + sizeof(AuthorId) + 2 * sizeof(void*));
+  // firehose-lint: allow(unordered-iteration) -- order-independent sum
+  for (const auto& [author, cache] : index_caches_) {
+    bytes += cache.ApproxBytes();
+  }
+  return bytes;
 }
 
 }  // namespace firehose

@@ -20,14 +20,14 @@ bool UniBinDiversifier::Offer(const Post& post) {
   auto author_similar = [&](AuthorId other) {
     return graph_ != nullptr && graph_->IsNeighbor(post.author, other);
   };
-  for (size_t i = 0; i < bin_.size(); ++i) {
-    const BinEntry& entry = bin_.FromNewest(i);
-    ++stats_.comparisons;
-    if (internal::CoversContentAndAuthor(entry, post.simhash, post.author,
-                                         thresholds_, author_similar)) {
-      stats_.UpdatePeak(ApproxBytes());
-      return false;  // covered: redundant
-    }
+  const CoverageScanResult scan = index_cache_.Scan(
+      bin_, post.time_ms - thresholds_.lambda_t_ms, post.simhash, post.author,
+      thresholds_, author_similar, kernel_options_);
+  stats_.comparisons += scan.comparisons;
+  stats_.pruned += scan.pruned;
+  if (scan.covered) {
+    stats_.UpdatePeak(ApproxBytes());
+    return false;  // covered: redundant
   }
 
   bin_.Push(BinEntry{post.time_ms, post.simhash, post.author, post.id});
@@ -37,7 +37,9 @@ bool UniBinDiversifier::Offer(const Post& post) {
   return true;
 }
 
-size_t UniBinDiversifier::ApproxBytes() const { return bin_.ApproxBytes(); }
+size_t UniBinDiversifier::ApproxBytes() const {
+  return bin_.ApproxBytes() + index_cache_.ApproxBytes();
+}
 
 BinOccupancy UniBinDiversifier::bin_occupancy() const {
   return BinOccupancy{1, bin_.size()};
@@ -56,12 +58,14 @@ bool UniBinDiversifier::LoadState(BinaryReader& in) {
     BinaryReader state(payload);
     if (internal::LoadStats(state, &stats_) && bin_.Load(state) &&
         state.AtEnd()) {
+      index_cache_ = BinIndexCache{};  // stale sequences: rebuild lazily
       return true;
     }
   }
   // Malformed snapshot: reset to empty so the object stays usable.
   stats_ = IngestStats{};
   bin_ = PostBin{};
+  index_cache_ = BinIndexCache{};
   return false;
 }
 

@@ -2,13 +2,15 @@
 #define FIREHOSE_CORE_UNIBIN_H_
 
 #include "src/author/similarity_graph.h"
+#include "src/core/coverage_kernel.h"
 #include "src/core/diversifier.h"
 
 namespace firehose {
 
 /// UniBin (paper §4.1): one time-windowed bin holds every post of Z from
 /// the last λt. Each new post is compared, newest first, against every
-/// binned post; the author-similarity check consults the author graph.
+/// binned post via the batched coverage kernel; the author-similarity
+/// check consults the author graph.
 ///
 /// Lowest RAM of the three algorithms, highest comparison count — the
 /// right choice for low-throughput streams, dense author graphs, small λt
@@ -28,10 +30,18 @@ class UniBinDiversifier final : public Diversifier {
   void SaveState(BinaryWriter* out) const override;
   bool LoadState(BinaryReader& in) override;
 
+  /// Tunes the coverage kernel (permuted-index routing). Call before the
+  /// first Offer; the default never consults the index.
+  void set_kernel_options(const CoverageKernelOptions& options) {
+    kernel_options_ = options;
+  }
+
  private:
   const DiversityThresholds thresholds_;
   const AuthorGraph* graph_;  // not owned
   PostBin bin_;
+  CoverageKernelOptions kernel_options_;
+  BinIndexCache index_cache_;
   IngestStats stats_;
 };
 

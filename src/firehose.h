@@ -24,6 +24,7 @@
 #include "src/author/similarity_graph.h"
 #include "src/core/cosine_unibin.h"
 #include "src/core/cost_model.h"
+#include "src/core/coverage_kernel.h"
 #include "src/core/diversifier.h"
 #include "src/core/engine.h"
 #include "src/core/lagged.h"

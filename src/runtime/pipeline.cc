@@ -30,6 +30,7 @@ PipelineReport Pipeline::Run(PostSource& source, const PipelineObs& o,
           : nullptr;
   PipelineReport report;
   LatencyRecorder latency;
+  const uint64_t pruned_at_start = diversifier_->stats().pruned;
   const uint64_t run_start = clock->NowNanos();
   Post post;
   while (source.Next(&post)) {
@@ -69,6 +70,8 @@ PipelineReport Pipeline::Run(PostSource& source, const PipelineObs& o,
   report.decision_latency = latency.Summarize();
   if (o.metrics != nullptr) {
     RecordRunMetrics(o.metrics, report, latency, wall_nanos);
+    o.metrics->GetCounter("pipeline.candidates_pruned")
+        ->Add(diversifier_->stats().pruned - pruned_at_start);
   }
   return report;
 }
@@ -100,6 +103,8 @@ PipelineReport MultiUserPipeline::Run(PostSource& source,
   if (o.metrics != nullptr) {
     RecordRunMetrics(o.metrics, report, latency, wall_nanos);
     o.metrics->GetCounter("pipeline.deliveries")->Add(deliveries);
+    o.metrics->GetCounter("pipeline.candidates_pruned")
+        ->Add(engine_->AggregateStats().pruned);
   }
   return report;
 }

@@ -60,6 +60,7 @@ struct Shard {
     }
     metrics.GetCounter("sharded.posts_in")->Add(posts_in);
     metrics.GetCounter("sharded.comparisons")->Add(stats.comparisons);
+    metrics.GetCounter("sharded.candidates_pruned")->Add(stats.pruned);
     metrics.GetCounter("sharded.insertions")->Add(stats.insertions);
     metrics.GetCounter("sharded.evictions")->Add(stats.evictions);
     metrics.GetHistogram("sharded.decision_latency_ns", /*timing=*/true)

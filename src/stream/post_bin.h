@@ -19,40 +19,82 @@ struct BinEntry {
   PostId post_id;
 };
 
+/// Bytes one logical entry occupies across the bin's four lanes. Kept as
+/// an explicit constant (rather than sizeof(BinEntry)) so ApproxBytes()
+/// reports the lanes' true footprint independent of struct padding.
+inline constexpr size_t kBinEntryLaneBytes =
+    sizeof(int64_t) + sizeof(uint64_t) + sizeof(AuthorId) + sizeof(PostId);
+
 /// Time-windowed post bin: the circular array of §4 ("Handling Time
 /// Diversity"). Entries are pushed in non-decreasing time order; entries
 /// older than the λt window are evicted from the front. The buffer is a
 /// growable ring, so both insertion and eviction are amortized O(1), and
 /// iteration from newest to oldest is cache-friendly.
+///
+/// Storage is structure-of-arrays: four parallel ring lanes (time,
+/// fingerprint, author, post id) sharing one head/size/mask. The coverage
+/// kernel (src/core/coverage_kernel.h) scans the fingerprint lane as raw
+/// contiguous spans — a ring has at most two contiguous segments — so the
+/// hot XOR+popcount loop never performs per-entry masked indexing and
+/// never loads the lanes the current test does not need.
 class PostBin {
  public:
   PostBin() = default;
+
+  /// One contiguous stretch of the ring, exposed as parallel lane
+  /// pointers: element `i` of every lane describes the same entry.
+  struct LaneSpan {
+    const int64_t* time_ms = nullptr;
+    const uint64_t* simhash = nullptr;
+    const AuthorId* author = nullptr;
+    const PostId* post_id = nullptr;
+    size_t size = 0;
+  };
 
   /// Appends an entry. Entries must arrive in non-decreasing `time_ms`
   /// order (streams are time-ordered); violating this breaks eviction.
   void Push(const BinEntry& entry);
 
   /// Removes all entries with time_ms < cutoff_ms. Returns the number of
-  /// evicted entries.
+  /// evicted entries. O(log size): the λt boundary is binary-searched in
+  /// the time lane and the head advances past the whole expired prefix.
   size_t EvictOlderThan(int64_t cutoff_ms);
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
-  /// Entry `i` positions from the newest (FromNewest(0) is the most recent).
-  /// Precondition: i < size().
-  const BinEntry& FromNewest(size_t i) const {
-    return slots_[(head_ + size_ - 1 - i) & mask_];
+  /// Entry `i` positions from the newest (FromNewest(0) is the most
+  /// recent). Precondition: i < size(). Gathers the four lanes into a
+  /// BinEntry; hot loops should iterate Segments() instead.
+  BinEntry FromNewest(size_t i) const {
+    return At((head_ + size_ - 1 - i) & mask_);
   }
 
   /// Entry `i` positions from the oldest. Precondition: i < size().
-  const BinEntry& FromOldest(size_t i) const {
-    return slots_[(head_ + i) & mask_];
-  }
+  BinEntry FromOldest(size_t i) const { return At((head_ + i) & mask_); }
+
+  /// Fills `out[0..1]` with the ring's contiguous segments in oldest→
+  /// newest order and returns the segment count (0, 1 or 2). Logical
+  /// entry `i` from the oldest lives in out[0] while i < out[0].size and
+  /// in out[1] at offset i - out[0].size otherwise. The spans stay valid
+  /// until the next Push / EvictOlderThan / Load.
+  size_t Segments(LaneSpan out[2]) const;
+
+  /// Number of entries with time_ms < cutoff_ms — the index (from the
+  /// oldest) of the λt boundary, found by binary search over the
+  /// time-ordered ring. Scans can skip this prefix without touching it.
+  size_t CountOlderThan(int64_t cutoff_ms) const;
+
+  /// Monotone count of entries ever pushed (never decremented by
+  /// eviction). The oldest live entry has sequence `pushes() - size()`,
+  /// the newest `pushes() - 1`; index accelerators key entries by
+  /// sequence so evictions invalidate them implicitly. Reset by Load to
+  /// the restored size (restoring invalidates any external accelerator).
+  uint64_t pushes() const { return pushes_; }
 
   /// Bytes of the backing ring (capacity, not size — what the process
   /// actually holds resident).
-  size_t ApproxBytes() const { return slots_.capacity() * sizeof(BinEntry); }
+  size_t ApproxBytes() const { return time_.size() * kBinEntryLaneBytes; }
 
   /// Serializes the ring capacity plus the live entries (oldest to
   /// newest, delta-encoded) for diversifier failover snapshots. Capacity
@@ -67,10 +109,19 @@ class PostBin {
  private:
   void Grow();
 
-  std::vector<BinEntry> slots_;  // power-of-two ring; empty until first Push
-  size_t head_ = 0;              // index of the oldest entry
+  BinEntry At(size_t slot) const {
+    return BinEntry{time_[slot], hash_[slot], author_[slot], id_[slot]};
+  }
+
+  // Parallel power-of-two ring lanes; all empty until the first Push.
+  std::vector<int64_t> time_;
+  std::vector<uint64_t> hash_;
+  std::vector<AuthorId> author_;
+  std::vector<PostId> id_;
+  size_t head_ = 0;  // index of the oldest entry
   size_t size_ = 0;
-  size_t mask_ = 0;              // slots_.size() - 1
+  size_t mask_ = 0;  // time_.size() - 1
+  uint64_t pushes_ = 0;
 };
 
 }  // namespace firehose

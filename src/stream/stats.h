@@ -18,6 +18,16 @@ struct IngestStats {
   uint64_t insertions = 0;    ///< bin insertions (copies count individually)
   uint64_t evictions = 0;     ///< bin entries aged out of the λt window
 
+  /// Candidate entries disposed of *without* a pairwise comparison —
+  /// comparisons the coverage kernel saved. Zero on the plain scalar scan
+  /// (bins are evicted to the λt window before scanning, so every
+  /// candidate is tested); positive when a scan is routed through the
+  /// permuted SimHash index (in-window entries the index filtered out) or
+  /// skipped past a not-yet-evicted expired prefix. Together with
+  /// `comparisons` this is the kernel's full candidate ledger:
+  /// comparisons + pruned == candidates considered.
+  uint64_t pruned = 0;
+
   /// High-water mark of *concurrently resident* bin memory. For a single
   /// diversifier this is exact. MergeFrom combines it by max, which is a
   /// lower bound for engines whose diversifiers grow at the same time;
@@ -44,6 +54,7 @@ struct IngestStats {
     comparisons += other.comparisons;
     insertions += other.insertions;
     evictions += other.evictions;
+    pruned += other.pruned;
     peak_bytes = std::max(peak_bytes, other.peak_bytes);
     sum_peak_bytes += other.sum_peak_bytes;
   }

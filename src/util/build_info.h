@@ -21,10 +21,12 @@ namespace firehose {
 ///     1  initial SaveState layout (stats + raw bins)
 ///     2  CRC32C-framed state payloads; PostBin snapshots carry the ring
 ///        capacity; CosineUniBin gains snapshots
-inline constexpr std::string_view kBuildVersion = "firehose 0.3.0";
-inline constexpr uint32_t kStateFormatVersion = 2;
+///     3  IngestStats gains the pruned counter; CosineUniBin stores
+///        PostBin-backed snapshots (term vectors serialized alongside)
+inline constexpr std::string_view kBuildVersion = "firehose 0.4.0";
+inline constexpr uint32_t kStateFormatVersion = 3;
 
-/// "firehose 0.3.0 (state format 2)" — the one-line identity string.
+/// "firehose 0.4.0 (state format 3)" — the one-line identity string.
 inline std::string BuildInfoString() {
   return std::string(kBuildVersion) + " (state format " +
          std::to_string(kStateFormatVersion) + ")";

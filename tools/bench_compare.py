@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Compare firehose bench artifacts (BENCH_*.json) against committed baselines.
+
+The exporter (src/obs/export.cc, schema firehose.metrics.v1) writes three
+sections: counters (flat ints), gauges ({value, high_water}) and histograms
+({count, sum, max, mean, p50/p95/p99, buckets}). Deterministic work metrics
+(comparisons, insertions, evictions, peak_bytes, ...) are byte-stable across
+runs and machines, so any drift is a real behavior change and is compared
+EXACTLY. Wall-clock metrics are machine-dependent noise and carry no marker
+in the JSON, so this script classifies keys by name:
+
+  exact   - default: counters, histograms, and non-timing gauges. Must match
+            the baseline bit for bit; a mismatch means the algorithm did
+            different work and the baseline (or the code) is wrong.
+  ratio   - names containing "speedup" or "per_sec": same-machine ratios,
+            meaningful across machines but noisy. Compared one-sided (only a
+            DROP below baseline*(1-tolerance) fails; improvements pass).
+  skip    - names containing "wall", "latency", "_ns", "_us", "_ms", or
+            "crossover": raw timing (or a timing-derived tipping point).
+            Reported informationally; compared one-sided only when
+            --check-timing is given (for same-machine A/B runs).
+
+Hard floors independent of any baseline are expressed as
+  --require KEY>=VALUE   (also <=, ==) evaluated on the FRESH artifact,
+e.g. the CI gate --require scan.speedup_pct>=150.
+
+Usage:
+  tools/bench_compare.py BASELINE.json FRESH.json [options]
+  tools/bench_compare.py bench/baseline/ run_dir/ [options]
+
+Directory mode pairs every BENCH_*.json in the baseline directory with the
+same file name in the fresh directory; a missing fresh artifact fails.
+Exit status: 0 all good, 1 regression/mismatch, 2 usage error.
+
+Re-baselining (after an intentional perf or accounting change):
+  cd bench/baseline && for b in ../../build/bench/<bench>; do \
+      FIREHOSE_BENCH_AUTHORS=1000 "$b"; done   # artifacts land in cwd
+then commit the refreshed JSON together with the change that explains it.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+RATIO_PAT = re.compile(r"speedup|per_sec")
+SKIP_PAT = re.compile(r"wall|latency|_ns(_|$)|_us(_|$)|_ms(_|$)|crossover")
+REQUIRE_PAT = re.compile(r"^([\w.]+)(>=|<=|==)(-?\d+)$")
+
+
+def classify(key: str) -> str:
+    if SKIP_PAT.search(key):
+        return "skip"
+    if RATIO_PAT.search(key):
+        return "ratio"
+    return "exact"
+
+
+def flatten(doc: dict) -> dict:
+    """Flattens an artifact to {key: comparable-value}.
+
+    Gauges compare by current value (high_water tracks the same quantity),
+    histograms by their full deterministic shape.
+    """
+    flat = {}
+    for key, value in doc.get("counters", {}).items():
+        flat[key] = value
+    for key, gauge in doc.get("gauges", {}).items():
+        flat[key] = gauge["value"]
+    for key, hist in doc.get("histograms", {}).items():
+        flat[key] = {"count": hist["count"], "buckets": hist["buckets"]}
+    return flat
+
+
+class Comparison:
+    def __init__(self, tolerance: float, check_timing: bool):
+        self.tolerance = tolerance
+        self.check_timing = check_timing
+        self.failures = []
+        self.notes = []
+
+    def compare(self, name: str, baseline: dict, fresh: dict) -> None:
+        base_flat, fresh_flat = flatten(baseline), flatten(fresh)
+        for key in sorted(base_flat.keys() | fresh_flat.keys()):
+            label = f"{name}: {key}"
+            if key not in fresh_flat:
+                self.failures.append(f"{label}: missing from fresh run")
+                continue
+            if key not in base_flat:
+                self.failures.append(
+                    f"{label}: not in baseline (new metric? re-baseline)")
+                continue
+            base, new = base_flat[key], fresh_flat[key]
+            kind = classify(key)
+            if kind == "exact":
+                if base != new:
+                    self.failures.append(
+                        f"{label}: {base} -> {new} (deterministic metric "
+                        f"drifted; behavior change or stale baseline)")
+            elif kind == "ratio":
+                floor = base * (1.0 - self.tolerance)
+                if new < floor:
+                    self.failures.append(
+                        f"{label}: {base} -> {new} (below {floor:.0f} = "
+                        f"baseline - {self.tolerance:.0%})")
+                else:
+                    self.notes.append(f"{label}: {base} -> {new} (ratio ok)")
+            else:  # skip / timing
+                if self.check_timing and isinstance(base, (int, float)) \
+                        and base > 0 and new > base * (1.0 + self.tolerance):
+                    self.failures.append(
+                        f"{label}: {base} -> {new} (timing regressed "
+                        f">{self.tolerance:.0%}; --check-timing is on)")
+                else:
+                    self.notes.append(f"{label}: {base} -> {new} (timing)")
+
+
+def check_requirement(spec: str, artifacts: dict) -> str | None:
+    """Returns an error string if `spec` (KEY>=N etc.) fails, else None."""
+    match = REQUIRE_PAT.match(spec)
+    if not match:
+        raise ValueError(f"bad --require spec: {spec!r}")
+    key, op, want = match.group(1), match.group(2), int(match.group(3))
+    for name, doc in artifacts.items():
+        flat = flatten(doc)
+        if key in flat:
+            have = flat[key]
+            ok = {"<=": have <= want, ">=": have >= want,
+                  "==": have == want}[op]
+            if ok:
+                return None
+            return f"--require {spec}: {name} has {key} = {have}"
+    return f"--require {spec}: key {key!r} not found in any fresh artifact"
+
+
+def load_pairs(baseline: Path, fresh: Path):
+    """Yields (name, baseline_doc, fresh_doc_or_None) pairs."""
+    if baseline.is_dir() != fresh.is_dir():
+        raise ValueError("baseline and fresh must both be files or both dirs")
+    if baseline.is_dir():
+        names = sorted(p.name for p in baseline.glob("BENCH_*.json"))
+        if not names:
+            raise ValueError(f"no BENCH_*.json under {baseline}")
+        for name in names:
+            fresh_path = fresh / name
+            yield (name, json.loads((baseline / name).read_text()),
+                   json.loads(fresh_path.read_text())
+                   if fresh_path.exists() else None)
+    else:
+        yield (baseline.name, json.loads(baseline.read_text()),
+               json.loads(fresh.read_text()))
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", type=Path,
+                        help="baseline artifact or directory (bench/baseline)")
+    parser.add_argument("fresh", type=Path,
+                        help="fresh artifact or directory to validate")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed one-sided drop for ratio metrics "
+                             "(default 0.25)")
+    parser.add_argument("--check-timing", action="store_true",
+                        help="also flag raw timing keys that regress beyond "
+                             "the tolerance (same-machine A/B runs only)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="KEY>=N",
+                        help="hard floor on the fresh artifact, e.g. "
+                             "scan.speedup_pct>=150 (repeatable)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print informational (timing/ratio) lines too")
+    args = parser.parse_args(argv)
+
+    comparison = Comparison(args.tolerance, args.check_timing)
+    fresh_docs = {}
+    try:
+        for name, base_doc, fresh_doc in load_pairs(args.baseline, args.fresh):
+            if fresh_doc is None:
+                comparison.failures.append(
+                    f"{name}: fresh artifact not found (bench not run?)")
+                continue
+            fresh_docs[name] = fresh_doc
+            comparison.compare(name, base_doc, fresh_doc)
+        for spec in args.require:
+            error = check_requirement(spec, fresh_docs)
+            if error:
+                comparison.failures.append(error)
+    except (ValueError, OSError, KeyError, json.JSONDecodeError) as err:
+        print(f"bench_compare: {err}", file=sys.stderr)
+        return 2
+
+    if args.verbose:
+        for note in comparison.notes:
+            print(f"  note: {note}")
+    for failure in comparison.failures:
+        print(f"FAIL: {failure}")
+    compared = len(fresh_docs)
+    if comparison.failures:
+        print(f"bench_compare: {len(comparison.failures)} failure(s) across "
+              f"{compared} artifact(s)")
+        return 1
+    print(f"bench_compare: OK ({compared} artifact(s), "
+          f"{len(comparison.notes)} timing/ratio keys informational)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
