@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "src/analysis/passes.h"
+#include "src/analysis/sema/functions.h"
+#include "src/analysis/sema/passes.h"
 
 namespace firehose {
 namespace analysis {
@@ -13,25 +15,62 @@ std::string FormatFinding(const Finding& finding) {
          finding.check + "] " + finding.message;
 }
 
-const std::vector<CheckInfo>& AllChecks() {
-  static const std::vector<CheckInfo> kChecks = {
-      {"layering",
-       "cross-module include edge not allowed by the tools/layers.txt DAG"},
-      {"include-cycle", "files that include each other, possibly transitively"},
-      {"unused-include",
-       "internal include none of whose declared names the file references"},
-      {"unchecked-error",
-       "silently discarded [[nodiscard]] bool/Status result from a "
-       "src/io, src/dur or src/runtime API"},
-      {"banned-nondeterminism",
-       "raw entropy or wall-clock source outside src/util/random"},
-      {"unordered-iteration",
-       "range-for over an unordered container feeding an output path"},
-      {"include-guard", "missing or malformed #ifndef include guard"},
-      {"raw-new-delete", "raw new/delete instead of owning containers"},
-      {"obs-seam", "direct time/IO in src/obs instead of obs::Clock"},
-      {"dur-seam", "file mutation outside src/io and src/dur"},
+const std::vector<RegisteredPass>& PassRegistry() {
+  static const std::vector<RegisteredPass> kPasses = {
+      {{"layering",
+        "cross-module include edge not allowed by the tools/layers.txt DAG"},
+       CheckLayering, false},
+      {{"include-cycle",
+        "files that include each other, possibly transitively"},
+       CheckIncludeCycles, false},
+      {{"unused-include",
+        "internal include none of whose declared names the file references"},
+       CheckUnusedIncludes, false},
+      {{"unchecked-error",
+        "silently discarded [[nodiscard]] bool/Status result from a "
+        "src/io, src/dur or src/runtime API"},
+       CheckUncheckedErrors, false},
+      {{"banned-nondeterminism",
+        "raw entropy or wall-clock source outside src/util/random"},
+       CheckBannedNondeterminism, false},
+      {{"unordered-iteration",
+        "range-for over an unordered container feeding an output path"},
+       CheckUnorderedIteration, false},
+      {{"include-guard", "missing or malformed #ifndef include guard"},
+       CheckIncludeGuards, false},
+      {{"raw-new-delete", "raw new/delete instead of owning containers"},
+       CheckRawNewDelete, false},
+      {{"obs-seam", "direct time/IO in src/obs instead of obs::Clock"},
+       CheckObsSeam, false},
+      {{"dur-seam", "file mutation outside src/io and src/dur"},
+       CheckDurSeam, false},
+      {{"view-invalidation",
+        "SoA ring view (PostBin::LaneSpan) read after a mutating call "
+        "invalidated it"},
+       sema::CheckViewInvalidation, true},
+      {{"lock-discipline",
+        "FIREHOSE_GUARDED_BY/FIREHOSE_REQUIRES violation: guarded state "
+        "touched without the mutex held"},
+       sema::CheckLockDiscipline, true},
+      {{"atomic-ordering",
+        "raw memory_order_relaxed outside allowlisted seams, or "
+        "seq_cst-default operation on an atomic"},
+       sema::CheckAtomicOrdering, true},
+      {{"blocking-in-hot-path",
+        "IO or sleep call reachable from the per-post Offer decide path"},
+       sema::CheckBlockingInHotPath, true},
   };
+  return kPasses;
+}
+
+const std::vector<CheckInfo>& AllChecks() {
+  static const std::vector<CheckInfo> kChecks = [] {
+    std::vector<CheckInfo> checks;
+    for (const RegisteredPass& pass : PassRegistry()) {
+      checks.push_back(pass.check);
+    }
+    return checks;
+  }();
   return kChecks;
 }
 
@@ -99,21 +138,21 @@ AnalysisResult Analyze(const std::vector<SourceFile>& files,
            options.checks.count(std::string(name)) > 0;
   };
 
+  // The semantic model is only built when a pass that reads it runs.
+  bool needs_sema = false;
+  for (const RegisteredPass& pass : PassRegistry()) {
+    if (pass.needs_sema && enabled(pass.check.name)) needs_sema = true;
+  }
+  sema::SemaModel model;
+  if (needs_sema) {
+    model = sema::BuildSemaModel(graph);
+    context.sema = &model;
+  }
+
   std::vector<Finding> findings;
-  if (enabled("layering")) CheckLayering(context, &findings);
-  if (enabled("include-cycle")) CheckIncludeCycles(context, &findings);
-  if (enabled("unused-include")) CheckUnusedIncludes(context, &findings);
-  if (enabled("unchecked-error")) CheckUncheckedErrors(context, &findings);
-  if (enabled("banned-nondeterminism")) {
-    CheckBannedNondeterminism(context, &findings);
+  for (const RegisteredPass& pass : PassRegistry()) {
+    if (enabled(pass.check.name)) pass.run(context, &findings);
   }
-  if (enabled("unordered-iteration")) {
-    CheckUnorderedIteration(context, &findings);
-  }
-  if (enabled("include-guard")) CheckIncludeGuards(context, &findings);
-  if (enabled("raw-new-delete")) CheckRawNewDelete(context, &findings);
-  if (enabled("obs-seam")) CheckObsSeam(context, &findings);
-  if (enabled("dur-seam")) CheckDurSeam(context, &findings);
 
   // Apply `firehose-lint: allow(...)` suppressions, computed lazily per
   // file the first time one of its findings is examined.
@@ -175,9 +214,7 @@ std::set<std::string> ParseBaseline(std::string_view text) {
   return keys;
 }
 
-std::string FormatBaseline(const std::vector<Finding>& findings) {
-  std::set<std::string> keys;
-  for (const Finding& finding : findings) keys.insert(BaselineKey(finding));
+std::string FormatBaselineKeys(const std::set<std::string>& keys) {
   std::string out =
       "# firehose_analyze baseline — known findings exempt from failing "
       "the build.\n"
@@ -190,6 +227,23 @@ std::string FormatBaseline(const std::vector<Finding>& findings) {
     out += '\n';
   }
   return out;
+}
+
+std::string FormatBaseline(const std::vector<Finding>& findings) {
+  std::set<std::string> keys;
+  for (const Finding& finding : findings) keys.insert(BaselineKey(finding));
+  return FormatBaselineKeys(keys);
+}
+
+std::set<std::string> StaleBaselineKeys(const std::set<std::string>& baseline,
+                                        const std::vector<Finding>& findings) {
+  std::set<std::string> live;
+  for (const Finding& finding : findings) live.insert(BaselineKey(finding));
+  std::set<std::string> stale;
+  for (const std::string& key : baseline) {
+    if (live.count(key) == 0) stale.insert(key);
+  }
+  return stale;
 }
 
 void ApplyBaseline(const std::set<std::string>& baseline,

@@ -33,10 +33,40 @@ struct CheckInfo {
   std::string description;
 };
 
-/// All passes in execution order: layering, include-cycle,
-/// unused-include, unchecked-error, then the ported firehose_lint
-/// checks (banned-nondeterminism, unordered-iteration, include-guard,
-/// raw-new-delete, obs-seam, dur-seam).
+namespace sema {
+struct SemaModel;
+}  // namespace sema
+
+/// Everything a pass may look at. Passes are pure: context in, findings
+/// out, no IO — which is what lets the unit tests drive them on
+/// synthetic in-memory file sets.
+struct AnalysisContext {
+  const IncludeGraph* graph = nullptr;
+  /// Null disables the layering pass.
+  const LayerConfig* layers = nullptr;
+  /// Semantic model (functions, types, annotations). Built only when a
+  /// sema pass is enabled; null otherwise — sema passes no-op on null.
+  const sema::SemaModel* sema = nullptr;
+};
+
+using PassFn = void (*)(const AnalysisContext&, std::vector<Finding>*);
+
+struct RegisteredPass {
+  CheckInfo check;
+  PassFn run = nullptr;
+  /// True when the pass reads context.sema; Analyze builds the model on
+  /// demand when any such pass is enabled.
+  bool needs_sema = false;
+};
+
+/// The pass registry; execution order is registration order: the graph
+/// passes (layering, include-cycle, unused-include, unchecked-error),
+/// the ported firehose_lint token checks, then the semantic passes
+/// (view-invalidation, lock-discipline, atomic-ordering,
+/// blocking-in-hot-path).
+const std::vector<RegisteredPass>& PassRegistry();
+
+/// CheckInfo of every registered pass, in execution order.
 const std::vector<CheckInfo>& AllChecks();
 
 struct AnalysisOptions {
@@ -78,6 +108,16 @@ std::map<int, std::set<std::string>> CollectSuppressions(
 std::string BaselineKey(const Finding& finding);
 std::set<std::string> ParseBaseline(std::string_view text);
 std::string FormatBaseline(const std::vector<Finding>& findings);
+
+/// Serializes explicit keys with the standard baseline header — what
+/// `--prune-baseline` writes back after dropping stale entries.
+std::string FormatBaselineKeys(const std::set<std::string>& keys);
+
+/// Keys in `baseline` that no current finding matches: stale
+/// suppressions that should be pruned so the baseline only ever
+/// shrinks for real reasons.
+std::set<std::string> StaleBaselineKeys(const std::set<std::string>& baseline,
+                                        const std::vector<Finding>& findings);
 
 /// Moves findings whose key is in `baseline` out of `findings` and into
 /// `baselined` (order preserved).

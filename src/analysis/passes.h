@@ -4,19 +4,13 @@
 #include <vector>
 
 #include "src/analysis/analyzer.h"
-#include "src/analysis/include_graph.h"
 
 namespace firehose {
 namespace analysis {
 
-/// Everything a pass may look at. Passes are pure: graph in, findings
-/// out, no IO — which is what lets the unit tests drive them on
-/// synthetic in-memory file sets.
-struct AnalysisContext {
-  const IncludeGraph* graph = nullptr;
-  /// Null disables the layering pass.
-  const LayerConfig* layers = nullptr;
-};
+// Token- and graph-level passes. AnalysisContext (what a pass may look
+// at) lives in analyzer.h next to the pass registry; the semantic
+// passes live in src/analysis/sema/passes.h.
 
 // Graph-level passes (run on every analyzed file).
 

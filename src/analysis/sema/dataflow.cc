@@ -1,0 +1,188 @@
+#include "src/analysis/sema/dataflow.h"
+
+#include <algorithm>
+
+namespace firehose {
+namespace analysis {
+namespace sema {
+
+namespace {
+
+Stmt ParseBlockRange(const TokenView& code, size_t begin, size_t end);
+
+// Consumes a simple statement (or `case x:` label) starting at `i`:
+// everything up to the `;` that closes it at paren/bracket depth zero.
+// Braces inside (lambdas, braced initializers) are matched and skipped
+// wholesale, so a `;` inside a lambda body does not end the statement.
+Stmt ParseSimple(const TokenView& code, size_t i, size_t end, StmtKind kind,
+                 size_t* next) {
+  Stmt stmt;
+  stmt.kind = kind;
+  stmt.begin = i;
+  stmt.line = code[i]->line;
+  int depth = 0;
+  size_t j = i;
+  while (j < end) {
+    const Token& t = *code[j];
+    if (t.kind == TokenKind::kPunct) {
+      if (t.text == "(" || t.text == "[") {
+        ++depth;
+      } else if (t.text == ")" || t.text == "]") {
+        --depth;
+      } else if (t.text == "{") {
+        j = MatchForward(code, j, "{", "}");
+        continue;
+      } else if (t.text == ";" && depth <= 0) {
+        ++j;
+        break;
+      } else if (t.text == ":" && depth <= 0 && j > i &&
+                 (IsIdent(*code[i], "case") || IsIdent(*code[i], "default"))) {
+        ++j;
+        break;  // a case label ends at its colon
+      }
+    }
+    ++j;
+  }
+  stmt.end = std::min(j, end);
+  *next = stmt.end;
+  return stmt;
+}
+
+// Parses one statement at `i`; `*next` receives the index just past it.
+Stmt ParseStmt(const TokenView& code, size_t i, size_t end, size_t* next) {
+  const Token& t = *code[i];
+  if (IsPunct(t, "{")) {
+    const size_t close = MatchForward(code, i, "{", "}");  // one past '}'
+    Stmt block = ParseBlockRange(code, i + 1, std::min(close - 1, end));
+    block.line = t.line;
+    *next = std::min(close, end);
+    return block;
+  }
+  if (IsPunct(t, ";")) {
+    Stmt stmt;
+    stmt.kind = StmtKind::kSimple;
+    stmt.begin = i;
+    stmt.end = i + 1;
+    stmt.line = t.line;
+    *next = i + 1;
+    return stmt;
+  }
+  if (t.kind == TokenKind::kIdentifier) {
+    if (t.text == "if") {
+      Stmt stmt;
+      stmt.kind = StmtKind::kIf;
+      stmt.line = t.line;
+      size_t p = i + 1;
+      if (IsIdentAt(code, p, "constexpr")) ++p;
+      const size_t close =
+          IsPunctAt(code, p, "(") ? MatchForward(code, p, "(", ")") : p;
+      stmt.begin = p;
+      stmt.end = std::min(close, end);
+      size_t cursor = stmt.end;
+      if (cursor < end) {
+        stmt.children.push_back(ParseStmt(code, cursor, end, &cursor));
+        if (cursor < end && IsIdentAt(code, cursor, "else")) {
+          ++cursor;
+          if (cursor < end) {
+            stmt.children.push_back(ParseStmt(code, cursor, end, &cursor));
+          }
+        }
+      }
+      *next = std::max(cursor, i + 1);
+      return stmt;
+    }
+    if (t.text == "while" || t.text == "for") {
+      Stmt stmt;
+      stmt.kind = StmtKind::kLoop;
+      stmt.line = t.line;
+      const size_t p = i + 1;
+      const size_t close =
+          IsPunctAt(code, p, "(") ? MatchForward(code, p, "(", ")") : p;
+      stmt.begin = p;
+      stmt.end = std::min(close, end);
+      size_t cursor = stmt.end;
+      if (cursor < end) {
+        stmt.children.push_back(ParseStmt(code, cursor, end, &cursor));
+      }
+      *next = std::max(cursor, i + 1);
+      return stmt;
+    }
+    if (t.text == "do") {
+      Stmt stmt;
+      stmt.kind = StmtKind::kLoop;
+      stmt.line = t.line;
+      size_t cursor = i + 1;
+      if (cursor < end) {
+        stmt.children.push_back(ParseStmt(code, cursor, end, &cursor));
+      }
+      // while (...) ;
+      stmt.begin = cursor;
+      stmt.end = cursor;
+      if (cursor < end && IsIdentAt(code, cursor, "while")) {
+        const size_t p = cursor + 1;
+        const size_t close =
+            IsPunctAt(code, p, "(") ? MatchForward(code, p, "(", ")") : p;
+        stmt.begin = p;
+        stmt.end = std::min(close, end);
+        cursor = stmt.end;
+        if (cursor < end && IsPunct(*code[cursor], ";")) ++cursor;
+      }
+      *next = std::max(cursor, i + 1);
+      return stmt;
+    }
+    if (t.text == "switch") {
+      Stmt stmt;
+      stmt.kind = StmtKind::kSwitch;
+      stmt.line = t.line;
+      const size_t p = i + 1;
+      const size_t close =
+          IsPunctAt(code, p, "(") ? MatchForward(code, p, "(", ")") : p;
+      stmt.begin = p;
+      stmt.end = std::min(close, end);
+      size_t cursor = stmt.end;
+      if (cursor < end) {
+        stmt.children.push_back(ParseStmt(code, cursor, end, &cursor));
+      }
+      *next = std::max(cursor, i + 1);
+      return stmt;
+    }
+    if (t.text == "return") {
+      return ParseSimple(code, i, end, StmtKind::kReturn, next);
+    }
+    if (t.text == "break") {
+      Stmt stmt = ParseSimple(code, i, end, StmtKind::kBreak, next);
+      return stmt;
+    }
+    if (t.text == "continue") {
+      return ParseSimple(code, i, end, StmtKind::kContinue, next);
+    }
+  }
+  return ParseSimple(code, i, end, StmtKind::kSimple, next);
+}
+
+Stmt ParseBlockRange(const TokenView& code, size_t begin, size_t end) {
+  Stmt block;
+  block.kind = StmtKind::kBlock;
+  block.begin = begin;
+  block.end = end;
+  block.line = begin < end && begin < code.size() ? code[begin]->line : 0;
+  size_t i = begin;
+  while (i < end && i < code.size()) {
+    size_t next = i;
+    Stmt stmt = ParseStmt(code, i, end, &next);
+    if (next <= i) next = i + 1;  // guarantee progress on malformed input
+    i = next;
+    block.children.push_back(std::move(stmt));
+  }
+  return block;
+}
+
+}  // namespace
+
+Stmt BuildStmtTree(const TokenView& code, size_t begin, size_t end) {
+  return ParseBlockRange(code, begin, std::min(end, code.size()));
+}
+
+}  // namespace sema
+}  // namespace analysis
+}  // namespace firehose

@@ -1,0 +1,258 @@
+#ifndef FIREHOSE_ANALYSIS_SEMA_DATAFLOW_H_
+#define FIREHOSE_ANALYSIS_SEMA_DATAFLOW_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/sema/token_util.h"
+
+namespace firehose {
+namespace analysis {
+namespace sema {
+
+/// CFG-lite intra-procedural dataflow at statement/block granularity.
+/// BuildStmtTree turns a function body's token range into a statement
+/// tree (no full C++ parse — lambdas and braced initializers are treated
+/// as opaque parts of their enclosing simple statement), and RunDataflow
+/// walks it forward with a client-supplied transfer function, merging
+/// branches, iterating loops to a bounded fixpoint and collecting
+/// break/continue/return edges.
+
+enum class StmtKind {
+  kSimple,    ///< expression/declaration statement (includes `case x:`)
+  kBlock,     ///< `{ ... }` — children are the statements
+  kIf,        ///< [begin,end) = condition; children = then[, else]
+  kLoop,      ///< while/for/do — [begin,end) = condition; children = body
+  kSwitch,    ///< [begin,end) = condition; children = body
+  kReturn,    ///< return statement, including its expression
+  kBreak,
+  kContinue,
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kSimple;
+  /// Token range in the TokenView the tree was built over. For
+  /// kSimple/kReturn: the whole statement including `;`. For
+  /// kIf/kLoop/kSwitch: the parenthesized condition. For kBlock: the
+  /// enclosed statements.
+  size_t begin = 0;
+  size_t end = 0;
+  int line = 0;
+  std::vector<Stmt> children;
+};
+
+/// Parses [begin, end) — a function body without its braces — into a
+/// kBlock root. Never fails: unrecognized constructs degrade to kSimple
+/// statements, and progress is guaranteed on malformed input.
+Stmt BuildStmtTree(const TokenView& code, size_t begin, size_t end);
+
+/// Flow state leaving a statement subtree.
+template <typename State>
+struct FlowResult {
+  /// False when every path ends in return/break/continue.
+  bool falls_through = false;
+  State next{};
+  std::vector<State> breaks;
+  std::vector<State> continues;
+};
+
+/// The client contract:
+///
+///   struct Client {
+///     using State = ...;  // copyable value
+///     // Applied to kSimple/kReturn statements and to the conditions of
+///     // kIf/kLoop/kSwitch (as a synthesized kSimple over the cond
+///     // range). `depth` is the lexical block depth (0 = function).
+///     void Transfer(const Stmt& stmt, int depth, State* state);
+///     State Merge(const State& a, const State& b);
+///     bool Equal(const State& a, const State& b);
+///     // Drop facts established in blocks deeper than `depth` — how
+///     // lock_guard scopes release at the closing brace.
+///     void ExitScopesTo(int depth, State* state);
+///   };
+
+inline constexpr int kMaxLoopIterations = 4;
+
+template <typename Client>
+FlowResult<typename Client::State> ExecStmt(const Stmt& stmt,
+                                            typename Client::State in,
+                                            int depth, Client* client) {
+  using State = typename Client::State;
+  FlowResult<State> result;
+  const auto cond_stmt = [&stmt] {
+    Stmt cond;
+    cond.kind = StmtKind::kSimple;
+    cond.begin = stmt.begin;
+    cond.end = stmt.end;
+    cond.line = stmt.line;
+    return cond;
+  };
+  switch (stmt.kind) {
+    case StmtKind::kSimple: {
+      client->Transfer(stmt, depth, &in);
+      result.falls_through = true;
+      result.next = std::move(in);
+      return result;
+    }
+    case StmtKind::kReturn: {
+      client->Transfer(stmt, depth, &in);
+      return result;  // no fallthrough
+    }
+    case StmtKind::kBreak: {
+      result.breaks.push_back(std::move(in));
+      return result;
+    }
+    case StmtKind::kContinue: {
+      result.continues.push_back(std::move(in));
+      return result;
+    }
+    case StmtKind::kBlock: {
+      State current = std::move(in);
+      bool live = true;
+      for (const Stmt& child : stmt.children) {
+        if (!live) break;  // statements after return/break are unreachable
+        FlowResult<State> child_result =
+            ExecStmt(child, std::move(current), depth + 1, client);
+        for (State& s : child_result.breaks) {
+          result.breaks.push_back(std::move(s));
+        }
+        for (State& s : child_result.continues) {
+          result.continues.push_back(std::move(s));
+        }
+        live = child_result.falls_through;
+        if (live) current = std::move(child_result.next);
+      }
+      if (live) {
+        client->ExitScopesTo(depth, &current);
+        result.falls_through = true;
+        result.next = std::move(current);
+      }
+      return result;
+    }
+    case StmtKind::kIf: {
+      const Stmt cond = cond_stmt();
+      client->Transfer(cond, depth, &in);
+      FlowResult<State> then_result;
+      if (!stmt.children.empty()) {
+        then_result = ExecStmt(stmt.children[0], in, depth, client);
+      } else {
+        then_result.falls_through = true;
+        then_result.next = in;
+      }
+      FlowResult<State> else_result;
+      if (stmt.children.size() > 1) {
+        else_result = ExecStmt(stmt.children[1], in, depth, client);
+      } else {
+        else_result.falls_through = true;  // condition-false skips the body
+        else_result.next = std::move(in);
+      }
+      for (State& s : then_result.breaks) result.breaks.push_back(std::move(s));
+      for (State& s : else_result.breaks) result.breaks.push_back(std::move(s));
+      for (State& s : then_result.continues) {
+        result.continues.push_back(std::move(s));
+      }
+      for (State& s : else_result.continues) {
+        result.continues.push_back(std::move(s));
+      }
+      if (then_result.falls_through && else_result.falls_through) {
+        result.falls_through = true;
+        result.next = client->Merge(then_result.next, else_result.next);
+      } else if (then_result.falls_through) {
+        result.falls_through = true;
+        result.next = std::move(then_result.next);
+      } else if (else_result.falls_through) {
+        result.falls_through = true;
+        result.next = std::move(else_result.next);
+      }
+      return result;
+    }
+    case StmtKind::kLoop: {
+      const Stmt cond = cond_stmt();
+      State entry = std::move(in);
+      for (int iter = 0;; ++iter) {
+        State after_cond = entry;
+        client->Transfer(cond, depth, &after_cond);
+        FlowResult<State> body_result;
+        if (!stmt.children.empty()) {
+          body_result = ExecStmt(stmt.children[0], after_cond, depth, client);
+        } else {
+          body_result.falls_through = true;
+          body_result.next = after_cond;
+        }
+        bool has_back_edge = false;
+        State back_edge{};
+        if (body_result.falls_through) {
+          client->ExitScopesTo(depth, &body_result.next);
+          back_edge = std::move(body_result.next);
+          has_back_edge = true;
+        }
+        for (State& s : body_result.continues) {
+          client->ExitScopesTo(depth, &s);
+          back_edge = has_back_edge ? client->Merge(back_edge, s) : std::move(s);
+          has_back_edge = true;
+        }
+        State new_entry =
+            has_back_edge ? client->Merge(entry, back_edge) : entry;
+        if (iter >= kMaxLoopIterations || client->Equal(new_entry, entry)) {
+          // Loop exit: condition-false after 0+ iterations, plus breaks.
+          State exit_state = std::move(after_cond);
+          for (State& s : body_result.breaks) {
+            client->ExitScopesTo(depth, &s);
+            exit_state = client->Merge(exit_state, s);
+          }
+          result.falls_through = true;
+          result.next = std::move(exit_state);
+          return result;
+        }
+        entry = std::move(new_entry);
+      }
+    }
+    case StmtKind::kSwitch: {
+      const Stmt cond = cond_stmt();
+      client->Transfer(cond, depth, &in);
+      FlowResult<State> body_result;
+      if (!stmt.children.empty()) {
+        body_result = ExecStmt(stmt.children[0], in, depth, client);
+      } else {
+        body_result.falls_through = true;
+        body_result.next = in;
+      }
+      // Exit is the no-case-taken path merged with body fallthrough and
+      // every break. continue escapes to the enclosing loop.
+      State exit_state = std::move(in);
+      if (body_result.falls_through) {
+        exit_state = client->Merge(exit_state, body_result.next);
+      }
+      for (State& s : body_result.breaks) {
+        client->ExitScopesTo(depth, &s);
+        exit_state = client->Merge(exit_state, s);
+      }
+      for (State& s : body_result.continues) {
+        result.continues.push_back(std::move(s));
+      }
+      result.falls_through = true;
+      result.next = std::move(exit_state);
+      return result;
+    }
+  }
+  result.falls_through = true;
+  result.next = std::move(in);
+  return result;
+}
+
+/// Runs the client over a statement tree from `entry`. The returned
+/// FlowResult's `breaks`/`continues` are nonempty only on malformed
+/// input (break outside a loop).
+template <typename Client>
+FlowResult<typename Client::State> RunDataflow(const Stmt& root,
+                                               typename Client::State entry,
+                                               Client* client) {
+  return ExecStmt(root, std::move(entry), 0, client);
+}
+
+}  // namespace sema
+}  // namespace analysis
+}  // namespace firehose
+
+#endif  // FIREHOSE_ANALYSIS_SEMA_DATAFLOW_H_

@@ -1,0 +1,422 @@
+#include "src/analysis/sema/functions.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace firehose {
+namespace analysis {
+namespace sema {
+
+namespace {
+
+// Keywords that look like `name(` but are never function names or calls.
+const std::set<std::string>& ControlLikeKeywords() {
+  static const std::set<std::string> kWords = {
+      "if",       "for",           "while",    "switch",
+      "return",   "catch",         "sizeof",   "alignof",
+      "decltype", "static_assert", "noexcept", "defined",
+      "assert",   "new",           "delete",   "throw",
+      "else",     "do",            "case",     "alignas",
+      "FIREHOSE_GUARDED_BY",       "FIREHOSE_REQUIRES",
+      "FIREHOSE_THREAD_OWNED"};
+  return kWords;
+}
+
+class Extractor {
+ public:
+  Extractor(const TokenView& code, int file,
+            std::vector<FunctionDef>* functions,
+            std::map<std::string, TypeInfo>* types)
+      : code_(code), file_(file), functions_(functions), types_(types) {}
+
+  void Run() { Region(0, code_.size(), ""); }
+
+ private:
+  // Linear walk over [begin, end) at one nesting level: namespaces and
+  // class bodies recurse, recognized function bodies are consumed
+  // wholesale, anything else advances token by token.
+  void Region(size_t begin, size_t end, const std::string& class_name) {
+    size_t i = begin;
+    while (i < end) {
+      const Token& t = *code_[i];
+      // Preprocessor directive: skip the rest of its line.
+      if (IsPunct(t, "#") && t.at_line_start) {
+        const int line = t.line;
+        while (i < end && code_[i]->line == line) ++i;
+        continue;
+      }
+      if (t.kind == TokenKind::kIdentifier) {
+        if (t.text == "namespace") {
+          i = ParseNamespace(i, end);
+          continue;
+        }
+        if (t.text == "class" || t.text == "struct" || t.text == "union") {
+          i = ParseClass(i, end);
+          continue;
+        }
+        if (t.text == "enum") {
+          i = SkipToSemicolon(i + 1, end);
+          continue;
+        }
+        if (t.text == "template") {
+          size_t j = i + 1;
+          if (IsPunctAt(code_, j, "<")) j = SkipAngles(code_, j);
+          i = j;
+          continue;
+        }
+        if (t.text == "using" || t.text == "typedef" ||
+            t.text == "static_assert" || t.text == "friend") {
+          i = SkipToSemicolon(i + 1, end);
+          continue;
+        }
+        if (t.text == "extern" && i + 2 < end &&
+            code_[i + 1]->kind == TokenKind::kString &&
+            IsPunct(*code_[i + 2], "{")) {
+          const size_t close = MatchForward(code_, i + 2, "{", "}");
+          Region(i + 3, std::min(close - 1, end), class_name);
+          i = std::min(close, end);
+          continue;
+        }
+        if (t.text == "FIREHOSE_GUARDED_BY" && !class_name.empty() &&
+            i > begin && code_[i - 1]->kind == TokenKind::kIdentifier &&
+            IsPunctAt(code_, i + 1, "(")) {
+          const size_t close = MatchForward(code_, i + 1, "(", ")");
+          std::string mutex_name;
+          for (size_t k = i + 2; k + 1 < close; ++k) {
+            if (code_[k]->kind == TokenKind::kIdentifier) {
+              mutex_name = code_[k]->text;  // last identifier wins
+            }
+          }
+          if (!mutex_name.empty()) {
+            TypeInfo& info = (*types_)[class_name];
+            info.name = class_name;
+            info.guarded_members[code_[i - 1]->text] = mutex_name;
+          }
+          i = std::min(close, end);
+          continue;
+        }
+        if (t.text == "FIREHOSE_THREAD_OWNED" && IsPunctAt(code_, i + 1, "(")) {
+          i = std::min(MatchForward(code_, i + 1, "(", ")"), end);
+          continue;
+        }
+        if (t.text == "operator") {
+          const size_t next = ParseOperator(i, end, class_name);
+          if (next > i) {
+            i = next;
+            continue;
+          }
+        }
+        if (IsPunctAt(code_, i + 1, "(") &&
+            ControlLikeKeywords().count(t.text) == 0) {
+          const size_t next = ParseCallable(i, end, class_name);
+          if (next > i) {
+            i = next;
+            continue;
+          }
+        }
+      }
+      if (IsPunct(t, "{")) {
+        // Bare brace at declaration level: aggregate initializer or
+        // unrecognized construct — skip it whole.
+        i = std::min(MatchForward(code_, i, "{", "}"), end);
+        continue;
+      }
+      ++i;
+    }
+  }
+
+  size_t ParseNamespace(size_t i, size_t end) {
+    size_t j = i + 1;
+    while (j < end && (code_[j]->kind == TokenKind::kIdentifier ||
+                       IsPunct(*code_[j], "::"))) {
+      ++j;
+    }
+    if (j < end && IsPunct(*code_[j], "{")) {
+      const size_t close = MatchForward(code_, j, "{", "}");
+      Region(j + 1, std::min(close - 1, end), "");
+      return std::min(close, end);
+    }
+    return j + 1;  // namespace alias or malformed
+  }
+
+  size_t ParseClass(size_t i, size_t end) {
+    size_t j = i + 1;
+    while (j < end && IsIdentAt(code_, j, "alignas")) {
+      ++j;
+      if (IsPunctAt(code_, j, "(")) j = MatchForward(code_, j, "(", ")");
+    }
+    std::string name;
+    if (j < end && code_[j]->kind == TokenKind::kIdentifier) {
+      name = code_[j]->text;
+    }
+    // Find the body brace, skipping base-class lists and their template
+    // arguments; `;`, `=` or `(` first means declaration/variable, not a
+    // class definition.
+    size_t k = j;
+    while (k < end) {
+      const Token& u = *code_[k];
+      if (IsPunct(u, "<")) {
+        k = SkipAngles(code_, k);
+        continue;
+      }
+      if (IsPunct(u, "{")) break;
+      if (IsPunct(u, ";") || IsPunct(u, "=") || IsPunct(u, "(")) {
+        return k + 1;
+      }
+      ++k;
+    }
+    if (k >= end) return end;
+    const size_t close = MatchForward(code_, k, "{", "}");
+    if (!name.empty()) {
+      TypeInfo& info = (*types_)[name];
+      info.name = name;
+      Region(k + 1, std::min(close - 1, end), name);
+    } else {
+      Region(k + 1, std::min(close - 1, end), "");
+    }
+    return std::min(close, end);
+  }
+
+  size_t SkipToSemicolon(size_t i, size_t end) {
+    while (i < end) {
+      if (IsPunct(*code_[i], "{")) {
+        i = MatchForward(code_, i, "{", "}");
+        continue;
+      }
+      if (IsPunct(*code_[i], ";")) return i + 1;
+      ++i;
+    }
+    return end;
+  }
+
+  // `operator` at `i`: accumulate the operator spelling up to the
+  // parameter list, then hand off to the common suffix logic. Returns 0
+  // when this is not an operator function after all.
+  size_t ParseOperator(size_t i, size_t end, const std::string& class_name) {
+    std::string name = "operator";
+    size_t j = i + 1;
+    if (IsPunctAt(code_, j, "(") && IsPunctAt(code_, j + 1, ")")) {
+      name += "()";
+      j += 2;
+    } else if (IsPunctAt(code_, j, "[") && IsPunctAt(code_, j + 1, "]")) {
+      name += "[]";
+      j += 2;
+    } else {
+      while (j < end && code_[j]->kind == TokenKind::kPunct &&
+             code_[j]->text != "(") {
+        name += code_[j]->text;
+        ++j;
+      }
+      if (j < end && code_[j]->kind == TokenKind::kIdentifier) {
+        // Conversion operator: operator bool(), operator T*().
+        while (j < end && !IsPunct(*code_[j], "(")) {
+          name += code_[j]->text;
+          ++j;
+        }
+      }
+    }
+    if (!IsPunctAt(code_, j, "(")) return 0;
+    return ParseSuffix(i, j, name, "", end, class_name);
+  }
+
+  // Identifier-followed-by-( at `i`: decide whether it is a function
+  // declaration or definition, record it, and return the index to resume
+  // from (0 to fall back to plain advancement).
+  size_t ParseCallable(size_t i, size_t end, const std::string& class_name) {
+    std::string name = code_[i]->text;
+    std::string owner;
+    if (i >= 1 && IsPunct(*code_[i - 1], "~")) name = "~" + name;
+    if (i >= 2 && IsPunct(*code_[i - 1], "::") &&
+        code_[i - 2]->kind == TokenKind::kIdentifier) {
+      owner = code_[i - 2]->text;
+    }
+    return ParseSuffix(i, i + 1, name, owner, end, class_name);
+  }
+
+  // Common tail: `paren` points at the parameter list's `(`. Walks the
+  // suffix (const, noexcept, override, FIREHOSE_REQUIRES, ctor
+  // initializers, trailing return types) until `{` (definition) or `;`
+  // (declaration). Returns 0 when the shape is not a function.
+  size_t ParseSuffix(size_t name_index, size_t paren, const std::string& name,
+                     const std::string& owner, size_t end,
+                     const std::string& class_name) {
+    const size_t params_end = MatchForward(code_, paren, "(", ")");
+    if (params_end > end) return 0;
+    size_t j = params_end;
+    bool is_const = false;
+    std::vector<std::string> requires_caps;
+    size_t body_open = 0;
+    bool is_def = false;
+    bool is_decl = false;
+    size_t guard = 0;
+    while (j < end && guard++ < 96) {
+      const Token& u = *code_[j];
+      if (IsPunct(u, "{")) {
+        is_def = true;
+        body_open = j;
+        break;
+      }
+      if (IsPunct(u, ";")) {
+        is_decl = true;
+        break;
+      }
+      if (IsIdent(u, "const")) {
+        is_const = true;
+        ++j;
+        continue;
+      }
+      if (IsIdent(u, "FIREHOSE_REQUIRES") && IsPunctAt(code_, j + 1, "(")) {
+        const size_t close = MatchForward(code_, j + 1, "(", ")");
+        for (size_t k = j + 2; k + 1 < close; ++k) {
+          if (code_[k]->kind == TokenKind::kIdentifier) {
+            requires_caps.push_back(code_[k]->text);
+          }
+        }
+        j = close;
+        continue;
+      }
+      if (IsPunct(u, "(")) {  // noexcept(...), attribute-like suffixes
+        j = MatchForward(code_, j, "(", ")");
+        continue;
+      }
+      if (IsPunct(u, ":")) {
+        // Constructor initializer list: name (args)|{args} [, ...] then
+        // the body brace.
+        ++j;
+        bool well_formed = true;
+        while (j < end) {
+          if (code_[j]->kind != TokenKind::kIdentifier) {
+            well_formed = false;
+            break;
+          }
+          ++j;
+          while (j + 1 < end && IsPunct(*code_[j], "::") &&
+                 code_[j + 1]->kind == TokenKind::kIdentifier) {
+            j += 2;
+          }
+          if (j < end && IsPunct(*code_[j], "<")) j = SkipAngles(code_, j);
+          if (j < end && IsPunct(*code_[j], "(")) {
+            j = MatchForward(code_, j, "(", ")");
+          } else if (j < end && IsPunct(*code_[j], "{")) {
+            j = MatchForward(code_, j, "{", "}");
+          } else {
+            well_formed = false;
+            break;
+          }
+          if (j < end && IsPunct(*code_[j], ",")) {
+            ++j;
+            continue;
+          }
+          break;
+        }
+        if (!well_formed) return 0;
+        continue;
+      }
+      if (IsPunct(u, "=")) {
+        // = default / = delete / = 0 — a declaration either way.
+        while (j < end && !IsPunct(*code_[j], ";")) ++j;
+        continue;
+      }
+      if (IsPunct(u, "<")) {
+        j = SkipAngles(code_, j);
+        continue;
+      }
+      if (u.kind == TokenKind::kIdentifier || IsPunct(u, "&") ||
+          IsPunct(u, "&&") || IsPunct(u, "*") || IsPunct(u, "->") ||
+          IsPunct(u, "::") || IsPunct(u, "[") || IsPunct(u, "]")) {
+        ++j;  // noexcept/override/final/trailing return type pieces
+        continue;
+      }
+      return 0;  // not a function shape (expression context)
+    }
+    const std::string effective_class = owner.empty() ? class_name : owner;
+    if (is_def) {
+      size_t body_close = MatchForward(code_, body_open, "{", "}");
+      FunctionDef def;
+      def.name = name;
+      def.class_name = effective_class;
+      def.file = file_;
+      def.line = code_[name_index]->line;
+      def.body_begin = body_open + 1;
+      def.body_end = std::min(body_close == 0 ? body_open : body_close - 1,
+                              end);
+      def.is_const = is_const;
+      def.requires_caps = requires_caps;
+      for (size_t k = def.body_begin; k < def.body_end; ++k) {
+        if (code_[k]->kind == TokenKind::kIdentifier &&
+            IsPunctAt(code_, k + 1, "(") &&
+            ControlLikeKeywords().count(code_[k]->text) == 0) {
+          def.calls.insert(code_[k]->text);
+        }
+      }
+      RecordMethod(effective_class, name, is_const, requires_caps);
+      functions_->push_back(std::move(def));
+      return std::min(body_close, end);
+    }
+    if (is_decl) {
+      RecordMethod(effective_class, name, is_const, requires_caps);
+      return j + 1;
+    }
+    return 0;
+  }
+
+  void RecordMethod(const std::string& class_name, const std::string& name,
+                    bool is_const,
+                    const std::vector<std::string>& requires_caps) {
+    if (class_name.empty()) return;
+    TypeInfo& info = (*types_)[class_name];
+    info.name = class_name;
+    auto it = info.method_is_const.find(name);
+    if (it == info.method_is_const.end()) {
+      info.method_is_const[name] = is_const;
+    } else {
+      it->second = it->second && is_const;  // any non-const overload wins
+    }
+    if (!requires_caps.empty()) info.method_requires[name] = requires_caps;
+  }
+
+  const TokenView& code_;
+  const int file_;
+  std::vector<FunctionDef>* functions_;
+  std::map<std::string, TypeInfo>* types_;
+};
+
+}  // namespace
+
+SemaModel BuildSemaModel(const IncludeGraph& graph) {
+  SemaModel model;
+  model.graph = &graph;
+  model.files.resize(graph.files.size());
+  for (size_t i = 0; i < graph.files.size(); ++i) {
+    FileSema& fs = model.files[i];
+    fs.file = static_cast<int>(i);
+    fs.code = CodeTokens(graph.files[i].tokens);
+    Extractor(fs.code, fs.file, &fs.functions, &model.types).Run();
+  }
+  for (size_t i = 0; i < model.files.size(); ++i) {
+    for (size_t j = 0; j < model.files[i].functions.size(); ++j) {
+      model.functions_by_name[model.files[i].functions[j].name].push_back(
+          {static_cast<int>(i), static_cast<int>(j)});
+    }
+  }
+  model.reachable_includes.resize(graph.files.size());
+  for (size_t i = 0; i < graph.files.size(); ++i) {
+    std::set<int>& closure = model.reachable_includes[i];
+    std::deque<int> queue{static_cast<int>(i)};
+    closure.insert(static_cast<int>(i));
+    while (!queue.empty()) {
+      const int at = queue.front();
+      queue.pop_front();
+      for (const IncludeRef& ref : graph.files[at].includes) {
+        if (ref.resolved >= 0 && closure.insert(ref.resolved).second) {
+          queue.push_back(ref.resolved);
+        }
+      }
+    }
+  }
+  return model;
+}
+
+}  // namespace sema
+}  // namespace analysis
+}  // namespace firehose

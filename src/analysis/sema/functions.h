@@ -1,0 +1,92 @@
+#ifndef FIREHOSE_ANALYSIS_SEMA_FUNCTIONS_H_
+#define FIREHOSE_ANALYSIS_SEMA_FUNCTIONS_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/include_graph.h"
+#include "src/analysis/sema/token_util.h"
+
+namespace firehose {
+namespace analysis {
+namespace sema {
+
+/// One function definition recovered from the token stream.
+struct FunctionDef {
+  /// "Offer", "operator()", "~TraceRecorder".
+  std::string name;
+  /// Enclosing class, or the `Foo::` qualifier of an out-of-line
+  /// definition; empty for free functions.
+  std::string class_name;
+  /// Index into SemaModel::files / IncludeGraph::files.
+  int file = -1;
+  int line = 0;
+  /// Body token range (inside the braces) in FileSema::code.
+  size_t body_begin = 0;
+  size_t body_end = 0;
+  bool is_const = false;
+  /// Mutexes named by a FIREHOSE_REQUIRES(...) suffix annotation.
+  std::vector<std::string> requires_caps;
+  /// Names called from the body (identifier directly followed by `(`,
+  /// control keywords excluded). Name-based, so overloads collapse —
+  /// reachability over this table is deliberately over-approximate.
+  std::set<std::string> calls;
+};
+
+/// Per-class facts aggregated across every analyzed file (a class's
+/// declaration in the header and out-of-line definitions in the .cc
+/// merge into one entry).
+struct TypeInfo {
+  std::string name;
+  /// method -> declared const on every seen overload. Methods absent
+  /// here are unknown, not non-const.
+  std::map<std::string, bool> method_is_const;
+  /// member -> mutex, from FIREHOSE_GUARDED_BY annotations.
+  std::map<std::string, std::string> guarded_members;
+  /// method -> mutexes, from FIREHOSE_REQUIRES annotations.
+  std::map<std::string, std::vector<std::string>> method_requires;
+};
+
+struct FileSema {
+  int file = -1;
+  /// Comment-stripped tokens of graph.files[file]; all FunctionDef body
+  /// ranges index into this.
+  TokenView code;
+  std::vector<FunctionDef> functions;
+};
+
+/// The semantic model the sema passes run over. Built once per analysis
+/// when any sema pass is enabled.
+struct SemaModel {
+  const IncludeGraph* graph = nullptr;
+  /// Parallel to graph->files.
+  std::vector<FileSema> files;
+  std::map<std::string, TypeInfo> types;
+  /// name -> (file index, index into files[file].functions).
+  std::map<std::string, std::vector<std::pair<int, int>>> functions_by_name;
+  /// Per-file transitive include closure over resolved edges, including
+  /// the file itself — the gate for cross-file call resolution.
+  std::vector<std::set<int>> reachable_includes;
+
+  /// TypeInfo for `name`, or null.
+  const TypeInfo* FindType(const std::string& name) const {
+    auto it = types.find(name);
+    return it == types.end() ? nullptr : &it->second;
+  }
+};
+
+/// Extracts functions, classes and annotations from every file of the
+/// graph. Heuristic by design (no preprocessing, no template
+/// instantiation): good enough to anchor intra-procedural dataflow and
+/// name-based reachability, not a compiler symbol table.
+SemaModel BuildSemaModel(const IncludeGraph& graph);
+
+}  // namespace sema
+}  // namespace analysis
+}  // namespace firehose
+
+#endif  // FIREHOSE_ANALYSIS_SEMA_FUNCTIONS_H_

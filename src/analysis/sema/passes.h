@@ -1,0 +1,45 @@
+#ifndef FIREHOSE_ANALYSIS_SEMA_PASSES_H_
+#define FIREHOSE_ANALYSIS_SEMA_PASSES_H_
+
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+
+namespace firehose {
+namespace analysis {
+namespace sema {
+
+// Semantic passes. All four need context.sema (the SemaModel built by
+// BuildSemaModel) and quietly do nothing when it is null.
+
+/// view-invalidation: a PostBin::LaneSpan (or other registered ring
+/// view) local that is read after a mutating call — Push/EvictOlderThan/
+/// Load or any non-const method of the viewed object — invalidated it,
+/// without an intervening re-acquire. Flow-sensitive: re-binding through
+/// the producer on every path clears the hazard.
+void CheckViewInvalidation(const AnalysisContext& context,
+                           std::vector<Finding>* findings);
+
+/// lock-discipline: enforcement of FIREHOSE_GUARDED_BY /
+/// FIREHOSE_REQUIRES annotations by dataflow over lock_guard /
+/// scoped_lock / unique_lock scopes. Unannotated code is never flagged.
+void CheckLockDiscipline(const AnalysisContext& context,
+                         std::vector<Finding>* findings);
+
+/// atomic-ordering: raw std::memory_order_relaxed outside the
+/// allowlisted lock-free seam files, and seq_cst-default operations
+/// (argless load/store/fetch_*, ++/--/+=) on declared atomics in src/.
+void CheckAtomicOrdering(const AnalysisContext& context,
+                         std::vector<Finding>* findings);
+
+/// blocking-in-hot-path: IO and sleep calls inside functions reachable
+/// from the per-post decide path (Offer in src/core), via the call table
+/// gated by the include closure.
+void CheckBlockingInHotPath(const AnalysisContext& context,
+                            std::vector<Finding>* findings);
+
+}  // namespace sema
+}  // namespace analysis
+}  // namespace firehose
+
+#endif  // FIREHOSE_ANALYSIS_SEMA_PASSES_H_

@@ -1,0 +1,198 @@
+#include "src/analysis/sema/scope.h"
+
+#include <set>
+
+namespace firehose {
+namespace analysis {
+namespace sema {
+
+ScopeTracker::ScopeTracker() { scopes_.emplace_back(); }
+
+void ScopeTracker::EnterScope() { scopes_.emplace_back(); }
+
+void ScopeTracker::ExitScope() {
+  if (scopes_.size() > 1) scopes_.pop_back();
+}
+
+void ScopeTracker::Declare(Decl decl) {
+  scopes_.back().push_back(std::move(decl));
+}
+
+const Decl* ScopeTracker::Lookup(std::string_view name) const {
+  for (auto scope = scopes_.rbegin(); scope != scopes_.rend(); ++scope) {
+    for (auto decl = scope->rbegin(); decl != scope->rend(); ++decl) {
+      if (decl->name == name) return &*decl;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Keywords that can never open or name a declaration. Seeing one first
+// means "this statement is not a declaration"; seeing one in declarator
+// position means the heuristic mis-fired and must bail.
+const std::set<std::string>& StmtKeywords() {
+  static const std::set<std::string> kWords = {
+      "return",   "if",       "else",     "for",       "while",
+      "do",       "switch",   "case",     "default",   "break",
+      "continue", "goto",     "delete",   "new",       "throw",
+      "try",      "catch",    "using",    "typedef",   "namespace",
+      "template", "class",    "struct",   "enum",      "union",
+      "public",   "private",  "protected", "friend",   "operator",
+      "extern",   "sizeof",   "alignof",  "decltype",  "static_assert",
+      "this",     "co_return", "co_await", "co_yield"};
+  return kWords;
+}
+
+const std::set<std::string>& Qualifiers() {
+  static const std::set<std::string> kWords = {
+      "static", "const",    "constexpr",    "inline",
+      "mutable", "volatile", "thread_local"};
+  return kWords;
+}
+
+const std::set<std::string>& BuiltinTypeWords() {
+  static const std::set<std::string> kWords = {
+      "unsigned", "signed",  "long",     "short",    "int",
+      "char",     "bool",    "float",    "double",   "void",
+      "wchar_t",  "char8_t", "char16_t", "char32_t"};
+  return kWords;
+}
+
+// Skips an initializer after `=`: everything up to the next top-level
+// `,` or `;` (or `end`), tracking (), {}, [] nesting. Returns the index
+// of the stopping token.
+size_t SkipInitializer(const TokenView& code, size_t i, size_t end) {
+  int depth = 0;
+  for (; i < end; ++i) {
+    const Token& t = *code[i];
+    if (t.kind != TokenKind::kPunct) continue;
+    if (t.text == "(" || t.text == "[" || t.text == "{") {
+      ++depth;
+    } else if (t.text == ")" || t.text == "]" || t.text == "}") {
+      --depth;
+    } else if (depth <= 0 && (t.text == "," || t.text == ";")) {
+      return i;
+    }
+  }
+  return end;
+}
+
+}  // namespace
+
+std::vector<Decl> ExtractDecls(const TokenView& code, size_t begin,
+                               size_t end) {
+  std::vector<Decl> decls;
+  end = std::min(end, code.size());
+  size_t i = begin;
+
+  while (i < end && code[i]->kind == TokenKind::kIdentifier &&
+         Qualifiers().count(code[i]->text) > 0) {
+    ++i;
+  }
+  if (i >= end || code[i]->kind != TokenKind::kIdentifier) return decls;
+  if (StmtKeywords().count(code[i]->text) > 0) return decls;
+
+  // The type: either a run of builtin type words ("unsigned long") or a
+  // qualified identifier with optional template arguments.
+  std::string type;
+  std::string type_base;
+  if (BuiltinTypeWords().count(code[i]->text) > 0) {
+    while (i < end && code[i]->kind == TokenKind::kIdentifier &&
+           BuiltinTypeWords().count(code[i]->text) > 0) {
+      if (!type.empty()) type += ' ';
+      type += code[i]->text;
+      ++i;
+    }
+    type_base = type;
+  } else {
+    for (;;) {
+      if (i >= end || code[i]->kind != TokenKind::kIdentifier) return decls;
+      if (StmtKeywords().count(code[i]->text) > 0) return decls;
+      type += code[i]->text;
+      type_base = code[i]->text;
+      ++i;
+      if (i < end && IsPunct(*code[i], "<")) {
+        const size_t after = SkipAngles(code, i);
+        if (after == i + 1) return decls;  // stray less-than: expression
+        type += "<>";
+        i = after;
+      }
+      if (i + 1 < end && IsPunct(*code[i], "::") &&
+          code[i + 1]->kind == TokenKind::kIdentifier) {
+        type += "::";
+        ++i;
+        continue;
+      }
+      break;
+    }
+  }
+
+  // Declarators.
+  bool first = true;
+  for (;;) {
+    while (i < end && code[i]->kind == TokenKind::kPunct &&
+           (code[i]->text == "*" || code[i]->text == "&" ||
+            code[i]->text == "&&")) {
+      ++i;
+    }
+    while (i < end && IsIdent(*code[i], "const")) ++i;
+    if (i >= end || code[i]->kind != TokenKind::kIdentifier ||
+        StmtKeywords().count(code[i]->text) > 0) {
+      return first ? std::vector<Decl>{} : decls;
+    }
+    Decl decl;
+    decl.name = code[i]->text;
+    decl.type = type;
+    decl.type_base = type_base;
+    decl.line = code[i]->line;
+    decl.name_index = i;
+    ++i;
+
+    if (i < end && IsPunct(*code[i], "[")) {
+      decl.is_array = true;
+      i = MatchForward(code, i, "[", "]");
+    }
+    if (i >= end || IsPunct(*code[i], ";")) {
+      decls.push_back(std::move(decl));
+      return decls;
+    }
+    const Token& next = *code[i];
+    if (IsPunct(next, ",")) {
+      decls.push_back(std::move(decl));
+      first = false;
+      ++i;
+      continue;
+    }
+    if (IsPunct(next, "=")) {
+      decls.push_back(std::move(decl));
+      first = false;
+      i = SkipInitializer(code, i + 1, end);
+      if (i < end && IsPunct(*code[i], ",")) {
+        ++i;
+        continue;
+      }
+      return decls;
+    }
+    if (IsPunct(next, "{") || IsPunct(next, "(")) {
+      // Constructor-style initializer.
+      decls.push_back(std::move(decl));
+      first = false;
+      i = IsPunct(next, "{") ? MatchForward(code, i, "{", "}")
+                             : MatchForward(code, i, "(", ")");
+      if (i < end && IsPunct(*code[i], ",")) {
+        ++i;
+        continue;
+      }
+      return decls;
+    }
+    // Anything else (`.`, a call, an operator): this was an expression,
+    // not a declaration. Keep declarators already parsed, if any.
+    return first ? std::vector<Decl>{} : decls;
+  }
+}
+
+}  // namespace sema
+}  // namespace analysis
+}  // namespace firehose

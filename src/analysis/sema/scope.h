@@ -1,0 +1,63 @@
+#ifndef FIREHOSE_ANALYSIS_SEMA_SCOPE_H_
+#define FIREHOSE_ANALYSIS_SEMA_SCOPE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/analysis/sema/token_util.h"
+
+namespace firehose {
+namespace analysis {
+namespace sema {
+
+/// One local declaration recovered from the token stream.
+struct Decl {
+  std::string name;
+  /// Type as written, with qualifiers joined and template arguments
+  /// collapsed: "PostBin::LaneSpan", "std::lock_guard<>", "unsigned long".
+  std::string type;
+  /// Last `::` component of `type` — what the passes match rules against:
+  /// "LaneSpan", "lock_guard".
+  std::string type_base;
+  int line = 0;
+  bool is_array = false;
+  /// Index of the name token in the TokenView the decl was extracted
+  /// from, so clients can tell the declaration site from later reads.
+  size_t name_index = 0;
+};
+
+/// Lexical scope stack with shadowing: Lookup returns the innermost
+/// declaration of a name. The tracker starts with one open scope (the
+/// function scope).
+class ScopeTracker {
+ public:
+  ScopeTracker();
+  void EnterScope();
+  /// Popping the outermost scope is ignored — the function scope always
+  /// stays open.
+  void ExitScope();
+  void Declare(Decl decl);
+  const Decl* Lookup(std::string_view name) const;
+  /// Number of open scopes (>= 1).
+  size_t depth() const { return scopes_.size(); }
+
+ private:
+  std::vector<std::vector<Decl>> scopes_;
+};
+
+/// Heuristic declaration extraction from one statement's token range
+/// [begin, end): recognizes `[qualifiers] Type[::Type...][<...>] [*&]
+/// name (= init | {init} | (init) | [n] | , more | ;)`. Statements that
+/// do not open with that shape (calls, assignments, control keywords)
+/// yield nothing — deliberately: a linter would rather miss a weird
+/// declaration than invent one out of an expression.
+std::vector<Decl> ExtractDecls(const TokenView& code, size_t begin,
+                               size_t end);
+
+}  // namespace sema
+}  // namespace analysis
+}  // namespace firehose
+
+#endif  // FIREHOSE_ANALYSIS_SEMA_SCOPE_H_

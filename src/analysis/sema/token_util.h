@@ -1,0 +1,86 @@
+#ifndef FIREHOSE_ANALYSIS_SEMA_TOKEN_UTIL_H_
+#define FIREHOSE_ANALYSIS_SEMA_TOKEN_UTIL_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "src/analysis/lexer.h"
+
+namespace firehose {
+namespace analysis {
+namespace sema {
+
+/// Comment-stripped view of a file's token stream. Every sema structure
+/// (declarations, statement trees, function body ranges) indexes into
+/// one of these, so positions stay comparable across layers.
+using TokenView = std::vector<const Token*>;
+
+inline TokenView CodeTokens(const std::vector<Token>& tokens) {
+  TokenView code;
+  code.reserve(tokens.size());
+  for (const Token& token : tokens) {
+    if (token.kind != TokenKind::kComment) code.push_back(&token);
+  }
+  return code;
+}
+
+inline bool IsIdentAt(const TokenView& code, size_t i,
+                      std::string_view spelling) {
+  return i < code.size() && IsIdent(*code[i], spelling);
+}
+
+inline bool IsPunctAt(const TokenView& code, size_t i,
+                      std::string_view spelling) {
+  return i < code.size() && IsPunct(*code[i], spelling);
+}
+
+inline bool IsAnyIdentAt(const TokenView& code, size_t i) {
+  return i < code.size() && code[i]->kind == TokenKind::kIdentifier;
+}
+
+/// One past the matching closer for the opener at `i` (which must spell
+/// `open`), or code.size() when unbalanced.
+inline size_t MatchForward(const TokenView& code, size_t i,
+                           std::string_view open, std::string_view close) {
+  int depth = 0;
+  for (; i < code.size(); ++i) {
+    if (IsPunct(*code[i], open)) {
+      ++depth;
+    } else if (IsPunct(*code[i], close) && --depth == 0) {
+      return i + 1;
+    }
+  }
+  return code.size();
+}
+
+/// Template-argument skip: `i` points at `<`; returns one past the
+/// matching `>`, counting `>>` as two closers. When the angle run does
+/// not look like a template list (hits `;`/`{` or runs too long), the
+/// `<` is treated as less-than and `i + 1` comes back.
+inline size_t SkipAngles(const TokenView& code, size_t i) {
+  int depth = 0;
+  const size_t limit = std::min(code.size(), i + 64);
+  for (size_t j = i; j < limit; ++j) {
+    const Token& t = *code[j];
+    if (t.kind != TokenKind::kPunct) continue;
+    if (t.text == "<") {
+      ++depth;
+    } else if (t.text == ">") {
+      if (--depth == 0) return j + 1;
+    } else if (t.text == ">>") {
+      depth -= 2;
+      if (depth <= 0) return j + 1;
+    } else if (t.text == ";" || t.text == "{") {
+      break;
+    }
+  }
+  return i + 1;
+}
+
+}  // namespace sema
+}  // namespace analysis
+}  // namespace firehose
+
+#endif  // FIREHOSE_ANALYSIS_SEMA_TOKEN_UTIL_H_

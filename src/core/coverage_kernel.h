@@ -45,7 +45,9 @@ struct CoverageScanResult {
 /// keep per-entry side data (e.g. CosineUniBin's term vectors) can address
 /// it by the bin's logical index. Entries older than cutoff_ms are never
 /// touched: the λt boundary is binary-searched in the time lane and
-/// reported as `pruned`.
+/// reported as `pruned`. The LaneSpan views acquired here must not
+/// outlive a mutating call on `bin` — the `view-invalidation` analyzer
+/// pass enforces that pattern repo-wide (DESIGN.md §4g).
 template <typename CoverFn>
 CoverageScanResult ScanCovered(const PostBin& bin, int64_t cutoff_ms,
                                CoverFn&& covers) {

@@ -52,7 +52,7 @@ void TraceRecorder::AddComplete(std::string_view name, std::string_view cat,
   event.tid = tid;
   event.args_json.assign(args_json);
   const std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(std::move(event));
+  AppendLocked(std::move(event));
 }
 
 void TraceRecorder::AddInstant(std::string_view name, std::string_view cat,
@@ -65,6 +65,10 @@ void TraceRecorder::AddInstant(std::string_view name, std::string_view cat,
   event.tid = tid;
   event.args_json.assign(args_json);
   const std::lock_guard<std::mutex> lock(mu_);
+  AppendLocked(std::move(event));
+}
+
+void TraceRecorder::AppendLocked(TraceEvent event) {
   events_.push_back(std::move(event));
 }
 

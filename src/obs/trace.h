@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/obs/clock.h"
+#include "src/util/thread_annotations.h"
 
 namespace firehose {
 namespace obs {
@@ -60,9 +61,13 @@ class TraceRecorder {
   size_t size() const;
 
  private:
+  /// Appends one finished event; callers hold mu_ (enforced by the
+  /// lock-discipline pass via the annotation).
+  void AppendLocked(TraceEvent event) FIREHOSE_REQUIRES(mu_);
+
   const Clock* clock_;
   mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  std::vector<TraceEvent> events_ FIREHOSE_GUARDED_BY(mu_);
 };
 
 /// RAII complete-span guard. With a null recorder every member is a no-op

@@ -120,7 +120,9 @@ LiveIngestReport RunLiveIngest(Diversifier& diversifier,
           ? static_cast<double>(report.posts_in) / (report.wall_ms / 1000.0)
           : 0.0;
   report.queue_high_water = high_water;
-  report.producer_blocked = blocked.load();
+  // Relaxed: the producer thread has been joined, so this is the only
+  // thread touching the counter; no ordering to establish.
+  report.producer_blocked = blocked.load(std::memory_order_relaxed);
   report.queueing_latency = latency.Summarize();
   if (options.metrics != nullptr) {
     options.metrics->GetCounter("live.posts_in")->Add(report.posts_in);

@@ -10,6 +10,7 @@
 #include "src/obs/trace.h"
 #include "src/runtime/latency.h"
 #include "src/stream/post.h"
+#include "src/util/thread_annotations.h"
 
 namespace firehose {
 
@@ -28,15 +29,15 @@ struct LiveIngestOptions {
   /// thread-safe) gets producer (tid 1) and consumer (tid 0) spans.
   /// `clock` null means the real monotonic clock; release deadlines and
   /// latencies both flow through it.
-  obs::MetricsRegistry* metrics = nullptr;
-  obs::TraceRecorder* trace = nullptr;
+  obs::MetricsRegistry* metrics FIREHOSE_THREAD_OWNED(consumer) = nullptr;
+  obs::TraceRecorder* trace = nullptr;  // thread-safe, shared
   const obs::Clock* clock = nullptr;
   /// Optional durability: when set, the consumer thread routes every post
   /// through DurableSession::Process (WAL append before the decision)
   /// instead of a bare Offer. Like `metrics`, the session is touched from
   /// the consumer thread only. A WAL failure stops consumption (the
   /// producer drains into a closed door; `io_error` reports it).
-  dur::DurableSession* dur = nullptr;
+  dur::DurableSession* dur FIREHOSE_THREAD_OWNED(consumer) = nullptr;
   /// Skip the first `start_index` posts of the stream — the resume point
   /// of a recovered run (those posts are already in the engine via
   /// checkpoint + replay).

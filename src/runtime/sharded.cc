@@ -7,6 +7,7 @@
 
 #include "src/author/clique_cover.h"
 #include "src/obs/clock.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/timer.h"
 
 namespace firehose {
@@ -33,11 +34,18 @@ struct Shard {
   std::vector<std::unique_ptr<ShardComponent>> components;
   // author -> indices into `components` (only this shard's).
   std::vector<std::vector<uint32_t>> author_components;
-  std::vector<std::pair<PostId, UserId>> deliveries;
-  uint64_t posts_in = 0;
-  obs::MetricsRegistry metrics;  // shard-private, merged in shard order
-  LatencyRecorder latency;
-  IngestStats stats;  // merged over this shard's components after Run
+  // Everything below is written only by this shard's worker thread
+  // between spawn and join; the main thread merges after the join. No
+  // locks by design — the annotations record the confinement contract
+  // (checked dynamically by the tsan preset, not statically).
+  std::vector<std::pair<PostId, UserId>> deliveries
+      FIREHOSE_THREAD_OWNED(shard_worker);
+  uint64_t posts_in FIREHOSE_THREAD_OWNED(shard_worker) = 0;
+  obs::MetricsRegistry metrics
+      FIREHOSE_THREAD_OWNED(shard_worker);  // merged in shard order
+  LatencyRecorder latency FIREHOSE_THREAD_OWNED(shard_worker);
+  IngestStats stats
+      FIREHOSE_THREAD_OWNED(shard_worker);  // merged after Run
 
   void Run(const PostStream& stream, const obs::Clock& clock,
            obs::TraceRecorder* trace, uint32_t shard_index) {

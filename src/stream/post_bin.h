@@ -77,7 +77,9 @@ class PostBin {
   /// newest order and returns the segment count (0, 1 or 2). Logical
   /// entry `i` from the oldest lives in out[0] while i < out[0].size and
   /// in out[1] at offset i - out[0].size otherwise. The spans stay valid
-  /// until the next Push / EvictOlderThan / Load.
+  /// until the next Push / EvictOlderThan / Load — reading one after a
+  /// mutating call is flagged statically by firehose_analyze's
+  /// `view-invalidation` pass (DESIGN.md §4g); re-acquire instead.
   size_t Segments(LaneSpan out[2]) const;
 
   /// Number of entries with time_ms < cutoff_ms — the index (from the

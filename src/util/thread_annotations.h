@@ -1,0 +1,34 @@
+#ifndef FIREHOSE_UTIL_THREAD_ANNOTATIONS_H_
+#define FIREHOSE_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Lock-discipline annotations, statically enforced by firehose_analyze's
+/// `lock-discipline` pass (src/analysis/sema). All three expand to
+/// nothing: the compiler never sees them, the analyzer reads them straight
+/// from the token stream, so they work on every toolchain (unlike clang's
+/// -Wthread-safety attributes, which we cannot require).
+///
+///   class TraceRecorder {
+///     void AppendLocked(TraceEvent e) FIREHOSE_REQUIRES(mu_);
+///     std::mutex mu_;
+///     std::vector<TraceEvent> events_ FIREHOSE_GUARDED_BY(mu_);
+///   };
+///
+/// The pass then checks, by dataflow over lock_guard/scoped_lock/
+/// unique_lock scopes, that every use of `events_` and every call to
+/// `AppendLocked` happens with `mu_` held.
+
+/// Member `m` may only be read or written while the named mutex is held.
+#define FIREHOSE_GUARDED_BY(mutex)
+
+/// The annotated function may only be called while the named mutex is
+/// held (it touches guarded state without taking the lock itself).
+#define FIREHOSE_REQUIRES(mutex)
+
+/// Documentation-grade: the member is confined to the named logical
+/// thread (consumer, producer, shard_worker, ...) and needs no lock.
+/// Not enforced by the analyzer — thread confinement is checked
+/// dynamically by the TSan preset — but it keeps the ownership story
+/// greppable next to the enforced annotations.
+#define FIREHOSE_THREAD_OWNED(role)
+
+#endif  // FIREHOSE_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,26 @@
+// Deliberately broken fixture for the atomic-ordering pass. Presented
+// with a src/ path that is NOT on the relaxed allowlist, so all three
+// patterns must fire: a seq_cst-default member op, a raw
+// memory_order_relaxed, and an operator-form read-modify-write.
+
+#include <atomic>
+#include <cstdint>
+
+namespace firehose {
+
+class HitCounter {
+ public:
+  void Record() {
+    hits_.fetch_add(1);  // BAD: seq_cst-default member op
+    ++hits_;             // BAD: seq_cst-default RMW operator
+  }
+
+  uint64_t Peek() const {
+    return hits_.load(std::memory_order_relaxed);  // BAD: relaxed off-seam
+  }
+
+ private:
+  std::atomic<uint64_t> hits_{0};
+};
+
+}  // namespace firehose

@@ -1,0 +1,24 @@
+// Clean counterpart to atomic_ordering_bad.cc: every atomic operation
+// spells a non-relaxed memory order explicitly, so the pass must stay
+// silent.
+
+#include <atomic>
+#include <cstdint>
+
+namespace firehose {
+
+class HitCounter {
+ public:
+  void Record() {
+    hits_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  void Reset() { hits_.store(0, std::memory_order_release); }
+
+  uint64_t Peek() const { return hits_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<uint64_t> hits_{0};
+};
+
+}  // namespace firehose

@@ -1,0 +1,24 @@
+// Deliberately broken fixture for the blocking-in-hot-path pass.
+// Presented with an src/core/ path so `Offer` is a decide-path root;
+// the fprintf sits one call deep to exercise the transitive walk, and
+// the finding's chain must read "Offer -> LogDecision".
+
+#include <cstdio>
+
+namespace firehose {
+
+namespace {
+
+void LogDecision(int post_id) {
+  std::fprintf(stderr, "post %d admitted\n", post_id);  // BAD: IO in hot path
+}
+
+}  // namespace
+
+bool Offer(int post_id) {
+  if (post_id < 0) return false;
+  LogDecision(post_id);
+  return true;
+}
+
+}  // namespace firehose

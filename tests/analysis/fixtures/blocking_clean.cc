@@ -1,0 +1,24 @@
+// Clean counterpart to blocking_bad.cc: the file DOES contain a
+// blocking call, but it is only reachable from DumpDebug, never from
+// the Offer root — the reachability gate must keep the pass silent.
+
+#include <cstdio>
+
+namespace firehose {
+
+namespace {
+
+int Score(int post_id) { return post_id % 7; }
+
+}  // namespace
+
+bool Offer(int post_id) {
+  if (post_id < 0) return false;
+  return Score(post_id) > 2;
+}
+
+void DumpDebug(int post_id) {
+  std::fprintf(stderr, "post %d scored %d\n", post_id, Score(post_id));
+}
+
+}  // namespace firehose

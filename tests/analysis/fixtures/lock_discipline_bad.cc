@@ -1,0 +1,27 @@
+// Deliberately broken fixture for the lock-discipline pass.
+//
+// `total_` is FIREHOSE_GUARDED_BY(mu_) and `AppendLocked` is
+// FIREHOSE_REQUIRES(mu_); `Add` touches both without acquiring the
+// mutex, so the pass must report the member access and the call.
+
+#include <mutex>
+
+#include "src/util/thread_annotations.h"
+
+namespace firehose {
+
+class EventLog {
+ public:
+  void Add(int value) {
+    total_ += value;      // BAD: guarded member without mu_ held
+    AppendLocked(value);  // BAD: REQUIRES(mu_) callee without mu_ held
+  }
+
+ private:
+  void AppendLocked(int value) FIREHOSE_REQUIRES(mu_) { total_ += value; }
+
+  std::mutex mu_;
+  int total_ FIREHOSE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace firehose

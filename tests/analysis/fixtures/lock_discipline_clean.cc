@@ -1,0 +1,34 @@
+// Clean counterpart to lock_discipline_bad.cc: every guarded access
+// happens under a lock_guard (or inside a REQUIRES'd method, where the
+// caller supplies the capability), so the pass must stay silent.
+
+#include <mutex>
+
+#include "src/util/thread_annotations.h"
+
+namespace firehose {
+
+class EventLog {
+ public:
+  void Add(int value) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    total_ += value;
+    AppendLocked(value);
+  }
+
+  int Drain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    const int out = total_;
+    total_ = 0;
+    lock.unlock();
+    return out;
+  }
+
+ private:
+  void AppendLocked(int value) FIREHOSE_REQUIRES(mu_) { total_ += value; }
+
+  std::mutex mu_;
+  int total_ FIREHOSE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace firehose

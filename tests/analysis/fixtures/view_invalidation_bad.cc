@@ -1,0 +1,26 @@
+// Deliberately broken fixture for the view-invalidation pass.
+//
+// Models the real coverage-kernel pattern: PostBin::Segments() hands out
+// LaneSpan views into the ring's SoA storage, and any mutating call on
+// the bin (Push here) may reallocate or rotate that storage, leaving the
+// spans dangling. Reading `segments` after the Push must fire.
+//
+// Presented to the analyzer by analysis_fixture_test with a synthetic
+// src/ path; never compiled.
+
+#include "src/stream/post_bin.h"
+
+namespace firehose {
+
+int SumStaleSegments(PostBin& bin, const Post& post) {
+  PostBin::LaneSpan segments[2];
+  const size_t lanes = bin.Segments(segments);
+  bin.Push(post);  // invalidates every outstanding LaneSpan
+  int total = 0;
+  for (size_t i = 0; i < lanes; ++i) {
+    total += static_cast<int>(segments[i].size);  // BAD: stale view read
+  }
+  return total;
+}
+
+}  // namespace firehose

@@ -1,0 +1,25 @@
+// Clean counterpart to view_invalidation_bad.cc: the spans are
+// re-acquired after the mutating call, so every read sees live storage
+// and the pass must stay silent.
+
+#include "src/stream/post_bin.h"
+
+namespace firehose {
+
+int SumFreshSegments(PostBin& bin, const Post& post) {
+  PostBin::LaneSpan segments[2];
+  size_t lanes = bin.Segments(segments);
+  int before = 0;
+  for (size_t i = 0; i < lanes; ++i) {
+    before += static_cast<int>(segments[i].size);
+  }
+  bin.Push(post);
+  lanes = bin.Segments(segments);  // re-acquire: views are valid again
+  int after = 0;
+  for (size_t i = 0; i < lanes; ++i) {
+    after += static_cast<int>(segments[i].size);
+  }
+  return after - before;
+}
+
+}  // namespace firehose

@@ -78,6 +78,45 @@ TEST(BaselineTest, EmptyBaselineKeepsEverything) {
   EXPECT_TRUE(baselined.empty());
 }
 
+// --- stale-entry pruning -----------------------------------------------------
+
+TEST(BaselineTest, StaleKeysAreThoseNoFindingMatches) {
+  const std::set<std::string> baseline = {
+      BaselineKey(kFindings[0]),
+      BaselineKey(kFindings[1]),
+      "gone-check\tsrc/deleted.cc\tfinding that was fixed",
+  };
+  const std::set<std::string> stale = StaleBaselineKeys(baseline, kFindings);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(*stale.begin(), "gone-check\tsrc/deleted.cc\tfinding that was fixed");
+}
+
+TEST(BaselineTest, NothingIsStaleWhenEveryKeyStillMatches) {
+  std::set<std::string> baseline;
+  for (const Finding& finding : kFindings) {
+    baseline.insert(BaselineKey(finding));
+  }
+  EXPECT_TRUE(StaleBaselineKeys(baseline, kFindings).empty());
+}
+
+TEST(BaselineTest, EverythingIsStaleAgainstACleanTree) {
+  const std::set<std::string> baseline = {BaselineKey(kFindings[0])};
+  EXPECT_EQ(StaleBaselineKeys(baseline, {}).size(), 1u);
+}
+
+TEST(BaselineTest, FormatKeysRoundTripsThroughParse) {
+  // What --prune-baseline writes back must parse to exactly the kept
+  // keys, and keep the explanatory header.
+  const std::set<std::string> kept = {
+      BaselineKey(kFindings[0]),
+      BaselineKey(kFindings[2]),
+  };
+  const std::string text = FormatBaselineKeys(kept);
+  EXPECT_EQ(text[0], '#');
+  EXPECT_EQ(ParseBaseline(text), kept);
+  EXPECT_TRUE(ParseBaseline(FormatBaselineKeys({})).empty());
+}
+
 // --- SARIF -------------------------------------------------------------------
 
 // Minimal recursive-descent JSON well-formedness checker. Enough to

@@ -1,0 +1,279 @@
+// Unit tests for the CFG-lite statement-tree parser and the dataflow
+// engine: tree shapes for the control constructs, branch merging under
+// must (intersection) and may (union) semantics, bounded loop fixpoints,
+// early return/break/continue edges, and the scope-exit hook that kills
+// block-local facts at the closing brace.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/analysis/lexer.h"
+#include "src/analysis/sema/dataflow.h"
+#include "src/analysis/sema/token_util.h"
+
+namespace firehose {
+namespace analysis {
+namespace sema {
+namespace {
+
+// Keeps the lexed tokens alive alongside the tree built over them.
+struct ParsedBody {
+  std::vector<Token> tokens;
+  TokenView code;
+  Stmt root;
+};
+
+ParsedBody Parse(const std::string& text) {
+  ParsedBody body;
+  body.tokens = Lex(text);
+  body.code = CodeTokens(body.tokens);
+  body.root = BuildStmtTree(body.code, 0, body.code.size());
+  return body;
+}
+
+bool RangeMentions(const TokenView& code, const Stmt& stmt,
+                   const std::string& ident) {
+  for (size_t i = stmt.begin; i < stmt.end && i < code.size(); ++i) {
+    if (IsIdent(*code[i], ident)) return true;
+  }
+  return false;
+}
+
+// --- BuildStmtTree -----------------------------------------------------------
+
+TEST(StmtTreeTest, SequenceIfAndReturn) {
+  const ParsedBody body =
+      Parse("a = 1; if (cond) { b = 2; } else { c = 3; } return a;");
+  ASSERT_EQ(body.root.kind, StmtKind::kBlock);
+  ASSERT_EQ(body.root.children.size(), 3u);
+  EXPECT_EQ(body.root.children[0].kind, StmtKind::kSimple);
+  EXPECT_EQ(body.root.children[1].kind, StmtKind::kIf);
+  EXPECT_EQ(body.root.children[2].kind, StmtKind::kReturn);
+
+  const Stmt& branch = body.root.children[1];
+  EXPECT_TRUE(RangeMentions(body.code, branch, "cond"));
+  ASSERT_EQ(branch.children.size(), 2u);  // then + else
+  EXPECT_EQ(branch.children[0].kind, StmtKind::kBlock);
+  EXPECT_EQ(branch.children[1].kind, StmtKind::kBlock);
+}
+
+TEST(StmtTreeTest, LoopForms) {
+  EXPECT_EQ(Parse("while (i < n) { ++i; }").root.children[0].kind,
+            StmtKind::kLoop);
+  EXPECT_EQ(Parse("for (int i = 0; i < n; ++i) sum += i;")
+                .root.children[0].kind,
+            StmtKind::kLoop);
+  EXPECT_EQ(Parse("do { Step(); } while (Pending());").root.children[0].kind,
+            StmtKind::kLoop);
+}
+
+TEST(StmtTreeTest, SwitchWithBreaks) {
+  const ParsedBody body =
+      Parse("switch (mode) { case 1: A(); break; default: B(); }");
+  ASSERT_EQ(body.root.children.size(), 1u);
+  const Stmt& sw = body.root.children[0];
+  EXPECT_EQ(sw.kind, StmtKind::kSwitch);
+  EXPECT_TRUE(RangeMentions(body.code, sw, "mode"));
+  ASSERT_EQ(sw.children.size(), 1u);
+  EXPECT_EQ(sw.children[0].kind, StmtKind::kBlock);
+}
+
+TEST(StmtTreeTest, LambdaBodyStaysOpaque) {
+  // The braces of a lambda belong to its enclosing simple statement;
+  // control flow inside it must not leak into the tree.
+  const ParsedBody body =
+      Parse("auto f = [&] { if (x) return 1; return 0; };");
+  ASSERT_EQ(body.root.children.size(), 1u);
+  EXPECT_EQ(body.root.children[0].kind, StmtKind::kSimple);
+}
+
+TEST(StmtTreeTest, MalformedInputDegradesWithoutLooping) {
+  // Unbalanced braces and stray keywords must still terminate.
+  const ParsedBody body = Parse("if ( { while } ; ) {");
+  EXPECT_EQ(body.root.kind, StmtKind::kBlock);
+}
+
+// --- dataflow engine ---------------------------------------------------------
+
+// Toy gen/kill client: an identifier `set_X` adds fact X, `clr_X`
+// removes it. `must` selects intersection (all paths) vs union (any
+// path) merges. Facts are depth-less: ExitScopesTo is a no-op.
+class FactClient {
+ public:
+  using State = std::set<std::string>;
+
+  FactClient(const TokenView& code, bool must) : code_(code), must_(must) {}
+
+  void Transfer(const Stmt& stmt, int /*depth*/, State* state) {
+    for (size_t i = stmt.begin; i < stmt.end && i < code_.size(); ++i) {
+      const std::string& text = code_[i]->text;
+      if (code_[i]->kind != TokenKind::kIdentifier) continue;
+      if (text.rfind("set_", 0) == 0) state->insert(text.substr(4));
+      if (text.rfind("clr_", 0) == 0) state->erase(text.substr(4));
+    }
+  }
+
+  State Merge(const State& a, const State& b) {
+    State out;
+    for (const std::string& fact : a) {
+      if (!must_ || b.count(fact) > 0) out.insert(fact);
+    }
+    if (!must_) out.insert(b.begin(), b.end());
+    return out;
+  }
+
+  bool Equal(const State& a, const State& b) { return a == b; }
+  void ExitScopesTo(int /*depth*/, State* /*state*/) {}
+
+ private:
+  const TokenView& code_;
+  const bool must_;
+};
+
+std::set<std::string> FactsAfter(const std::string& text, bool must,
+                                 std::set<std::string> entry = {}) {
+  const ParsedBody body = Parse(text);
+  FactClient client(body.code, must);
+  const FlowResult<FactClient::State> result =
+      RunDataflow(body.root, std::move(entry), &client);
+  EXPECT_TRUE(result.falls_through);
+  return result.next;
+}
+
+TEST(DataflowTest, SequentialAccumulation) {
+  EXPECT_EQ(FactsAfter("set_a; set_b; clr_a;", /*must=*/true),
+            (std::set<std::string>{"b"}));
+}
+
+TEST(DataflowTest, OneArmedIfMergesAgainstSkipPath) {
+  // Must: the fact only holds on the taken branch. May: it might hold.
+  EXPECT_EQ(FactsAfter("set_a; if (c) { set_b; }", /*must=*/true),
+            (std::set<std::string>{"a"}));
+  EXPECT_EQ(FactsAfter("set_a; if (c) { set_b; }", /*must=*/false),
+            (std::set<std::string>{"a", "b"}));
+}
+
+TEST(DataflowTest, FactOnBothBranchesSurvivesMustMerge) {
+  EXPECT_EQ(
+      FactsAfter("if (c) { set_b; } else { set_b; set_d; }", /*must=*/true),
+      (std::set<std::string>{"b"}));
+}
+
+TEST(DataflowTest, ReturningBranchDropsOutOfTheMerge) {
+  // The then-arm never reaches the join, so its kill must not poison
+  // the surviving path.
+  EXPECT_EQ(FactsAfter("set_a; if (c) { clr_a; return; } set_b;",
+                       /*must=*/true),
+            (std::set<std::string>{"a", "b"}));
+}
+
+TEST(DataflowTest, LoopBodyMayRunZeroTimes) {
+  // Must-facts set inside the body do not hold after the loop; under
+  // may-semantics the fixpoint carries them out.
+  EXPECT_EQ(FactsAfter("while (c) { set_b; }", /*must=*/true),
+            (std::set<std::string>{}));
+  EXPECT_EQ(FactsAfter("while (c) { set_b; }", /*must=*/false),
+            (std::set<std::string>{"b"}));
+}
+
+TEST(DataflowTest, LoopFixpointReachesCrossIterationFacts) {
+  // `b` is set from `a` only on the second iteration; a single body
+  // pass would miss it, the fixpoint must not.
+  const std::set<std::string> facts = FactsAfter(
+      "while (c) { if (a_is_set) { set_b; } set_a; }", /*must=*/false,
+      /*entry=*/{});
+  EXPECT_EQ(facts, (std::set<std::string>{"a", "b"}));
+}
+
+TEST(DataflowTest, BreakStatesJoinTheLoopExit) {
+  EXPECT_EQ(FactsAfter("while (c) { set_b; break; }", /*must=*/false),
+            (std::set<std::string>{"b"}));
+}
+
+TEST(DataflowTest, ContinueFeedsTheBackEdge) {
+  EXPECT_EQ(
+      FactsAfter("while (c) { if (d) { set_e; continue; } set_b; }",
+                 /*must=*/false),
+      (std::set<std::string>{"b", "e"}));
+}
+
+TEST(DataflowTest, SwitchExitIncludesNoCaseAndBreakPaths) {
+  // Must: a fact set in one case does not hold after the switch.
+  EXPECT_EQ(FactsAfter("set_a; switch (m) { case 1: set_b; break; }",
+                       /*must=*/true),
+            (std::set<std::string>{"a"}));
+  EXPECT_EQ(FactsAfter("set_a; switch (m) { case 1: set_b; break; }",
+                       /*must=*/false),
+            (std::set<std::string>{"a", "b"}));
+}
+
+// Scoped client: `acq_X` records fact X at the current block depth, and
+// ExitScopesTo drops facts from closed blocks — the lock_guard model.
+class ScopedClient {
+ public:
+  using State = std::map<std::string, int>;
+
+  ScopedClient(const TokenView& code, std::vector<bool>* observations)
+      : code_(code), observations_(observations) {}
+
+  void Transfer(const Stmt& stmt, int depth, State* state) {
+    for (size_t i = stmt.begin; i < stmt.end && i < code_.size(); ++i) {
+      if (code_[i]->kind != TokenKind::kIdentifier) continue;
+      const std::string& text = code_[i]->text;
+      if (text.rfind("acq_", 0) == 0) (*state)[text.substr(4)] = depth;
+      if (text.rfind("use_", 0) == 0) {
+        observations_->push_back(state->count(text.substr(4)) > 0);
+      }
+    }
+  }
+
+  State Merge(const State& a, const State& b) {
+    State out;
+    for (const auto& [fact, depth] : a) {
+      auto it = b.find(fact);
+      if (it != b.end()) out[fact] = std::max(depth, it->second);
+    }
+    return out;
+  }
+
+  bool Equal(const State& a, const State& b) { return a == b; }
+
+  void ExitScopesTo(int depth, State* state) {
+    for (auto it = state->begin(); it != state->end();) {
+      it = it->second > depth ? state->erase(it) : std::next(it);
+    }
+  }
+
+ private:
+  const TokenView& code_;
+  std::vector<bool>* observations_;
+};
+
+TEST(DataflowTest, BlockScopedFactsDieAtTheClosingBrace) {
+  const ParsedBody body = Parse("{ acq_m; use_m; } use_m;");
+  std::vector<bool> observations;
+  ScopedClient client(body.code, &observations);
+  RunDataflow(body.root, ScopedClient::State{}, &client);
+  // Held inside the block, released after it.
+  ASSERT_EQ(observations.size(), 2u);
+  EXPECT_TRUE(observations[0]);
+  EXPECT_FALSE(observations[1]);
+}
+
+TEST(DataflowTest, FunctionScopedFactsSurviveNestedBlocks) {
+  const ParsedBody body = Parse("acq_m; { use_m; } use_m;");
+  std::vector<bool> observations;
+  ScopedClient client(body.code, &observations);
+  RunDataflow(body.root, ScopedClient::State{}, &client);
+  ASSERT_EQ(observations.size(), 2u);
+  EXPECT_TRUE(observations[0]);
+  EXPECT_TRUE(observations[1]);
+}
+
+}  // namespace
+}  // namespace sema
+}  // namespace analysis
+}  // namespace firehose

@@ -1,0 +1,146 @@
+// Runs the analyzer over the deliberately-broken fixture files under
+// tests/analysis/fixtures/ — the proof that each semantic pass fires on
+// its seeded hazard and stays silent on the clean twin. Fixtures are
+// read from disk (FIREHOSE_ANALYSIS_FIXTURE_DIR, injected by CMake) and
+// presented with synthetic src/ paths so module- and allowlist-gated
+// passes see them as production code. The driver itself skips
+// directories named `fixtures`, so these files never taint a real run.
+//
+// Also freezes the SARIF shape of one semantic finding against a golden
+// file; regenerate with FIREHOSE_UPDATE_GOLDEN=1 after an intentional
+// format change.
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/analysis/analyzer.h"
+#include "src/analysis/sarif.h"
+
+namespace firehose {
+namespace analysis {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(FIREHOSE_ANALYSIS_FIXTURE_DIR) + "/" + name;
+}
+
+std::string ReadFixture(const std::string& name) {
+  std::ifstream in(FixturePath(name), std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Loads a fixture from disk and presents it to Analyze under a
+// synthetic repo path, running only `check`.
+AnalysisResult RunFixture(const std::string& fixture,
+                          const std::string& presented_path,
+                          const std::string& check) {
+  AnalysisOptions options;
+  options.checks = {check};
+  return Analyze({{presented_path, ReadFixture(fixture)}}, options);
+}
+
+TEST(FixtureTest, ViewInvalidationFiresOnStaleSpanRead) {
+  const AnalysisResult result =
+      RunFixture("view_invalidation_bad.cc", "src/core/view_fixture.cc",
+                 "view-invalidation");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].check, "view-invalidation");
+  EXPECT_NE(result.findings[0].message.find("'segments'"), std::string::npos);
+  EXPECT_NE(result.findings[0].message.find("bin.Push()"), std::string::npos);
+}
+
+TEST(FixtureTest, ViewInvalidationSilentAfterReacquire) {
+  const AnalysisResult result =
+      RunFixture("view_invalidation_clean.cc", "src/core/view_fixture.cc",
+                 "view-invalidation");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(FixtureTest, LockDisciplineFiresOnUnlockedAccessAndCall) {
+  const AnalysisResult result = RunFixture(
+      "lock_discipline_bad.cc", "src/obs/lock_fixture.cc", "lock-discipline");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.findings.size(), 2u);
+  for (const Finding& finding : result.findings) {
+    EXPECT_EQ(finding.check, "lock-discipline");
+    EXPECT_NE(finding.message.find("mu_"), std::string::npos);
+  }
+}
+
+TEST(FixtureTest, LockDisciplineSilentUnderGuards) {
+  const AnalysisResult result = RunFixture(
+      "lock_discipline_clean.cc", "src/obs/lock_fixture.cc",
+      "lock-discipline");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(FixtureTest, AtomicOrderingFiresOnDefaultsAndOffSeamRelaxed) {
+  const AnalysisResult result = RunFixture(
+      "atomic_ordering_bad.cc", "src/eval/atomic_fixture.cc",
+      "atomic-ordering");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.findings.size(), 3u);
+  for (const Finding& finding : result.findings) {
+    EXPECT_EQ(finding.check, "atomic-ordering");
+  }
+}
+
+TEST(FixtureTest, AtomicOrderingSilentWithExplicitOrders) {
+  const AnalysisResult result = RunFixture(
+      "atomic_ordering_clean.cc", "src/eval/atomic_fixture.cc",
+      "atomic-ordering");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(FixtureTest, BlockingFiresOneCallDeepFromOffer) {
+  const AnalysisResult result = RunFixture(
+      "blocking_bad.cc", "src/core/blocking_fixture.cc",
+      "blocking-in-hot-path");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_NE(result.findings[0].message.find("fprintf"), std::string::npos);
+  EXPECT_NE(result.findings[0].message.find("Offer -> LogDecision"),
+            std::string::npos);
+}
+
+TEST(FixtureTest, BlockingSilentWhenIoIsNotReachableFromOffer) {
+  const AnalysisResult result = RunFixture(
+      "blocking_clean.cc", "src/core/blocking_fixture.cc",
+      "blocking-in-hot-path");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(FixtureTest, SemanticFindingSarifMatchesGolden) {
+  const AnalysisResult result =
+      RunFixture("view_invalidation_bad.cc", "src/core/view_fixture.cc",
+                 "view-invalidation");
+  ASSERT_TRUE(result.ok) << result.error;
+  const std::string sarif = ToSarif(result.findings);
+
+  const std::string golden_path = FixturePath("view_invalidation.sarif");
+  if (std::getenv("FIREHOSE_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    out << sarif;
+    GTEST_SKIP() << "golden regenerated at " << golden_path;
+  }
+  EXPECT_EQ(sarif, ReadFixture("view_invalidation.sarif"))
+      << "SARIF output drifted; rerun with FIREHOSE_UPDATE_GOLDEN=1 if "
+         "intentional";
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace firehose

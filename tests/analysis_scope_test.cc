@@ -1,0 +1,166 @@
+// Unit tests for the sema layer's declaration extraction and scope
+// tracker: the heuristics must recover real declaration shapes from raw
+// token streams and must refuse to invent declarations out of
+// expressions, and lookup must honor shadowing.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/analysis/lexer.h"
+#include "src/analysis/sema/scope.h"
+#include "src/analysis/sema/token_util.h"
+
+namespace firehose {
+namespace analysis {
+namespace sema {
+namespace {
+
+std::vector<Decl> DeclsOf(const std::string& text) {
+  const std::vector<Token> tokens = Lex(text);
+  const TokenView code = CodeTokens(tokens);
+  return ExtractDecls(code, 0, code.size());
+}
+
+// --- ExtractDecls ------------------------------------------------------------
+
+TEST(ExtractDeclsTest, SimpleBuiltin) {
+  const std::vector<Decl> decls = DeclsOf("int x = 1;");
+  ASSERT_EQ(decls.size(), 1u);
+  EXPECT_EQ(decls[0].name, "x");
+  EXPECT_EQ(decls[0].type, "int");
+  EXPECT_EQ(decls[0].type_base, "int");
+  EXPECT_FALSE(decls[0].is_array);
+  EXPECT_EQ(decls[0].name_index, 1u);
+}
+
+TEST(ExtractDeclsTest, MultiWordBuiltinType) {
+  const std::vector<Decl> decls = DeclsOf("unsigned long count = 0;");
+  ASSERT_EQ(decls.size(), 1u);
+  EXPECT_EQ(decls[0].name, "count");
+  EXPECT_EQ(decls[0].type, "unsigned long");
+}
+
+TEST(ExtractDeclsTest, QualifiedTemplatedTypeWithCtorInit) {
+  const std::vector<Decl> decls =
+      DeclsOf("const std::lock_guard<std::mutex> lock(mu_);");
+  ASSERT_EQ(decls.size(), 1u);
+  EXPECT_EQ(decls[0].name, "lock");
+  EXPECT_EQ(decls[0].type, "std::lock_guard<>");
+  EXPECT_EQ(decls[0].type_base, "lock_guard");
+}
+
+TEST(ExtractDeclsTest, NestedTypeArray) {
+  const std::vector<Decl> decls = DeclsOf("PostBin::LaneSpan spans[4];");
+  ASSERT_EQ(decls.size(), 1u);
+  EXPECT_EQ(decls[0].name, "spans");
+  EXPECT_EQ(decls[0].type, "PostBin::LaneSpan");
+  EXPECT_EQ(decls[0].type_base, "LaneSpan");
+  EXPECT_TRUE(decls[0].is_array);
+}
+
+TEST(ExtractDeclsTest, PointerAndReferenceDeclarators) {
+  const std::vector<Decl> pointer = DeclsOf("const Post* post = nullptr;");
+  ASSERT_EQ(pointer.size(), 1u);
+  EXPECT_EQ(pointer[0].name, "post");
+  EXPECT_EQ(pointer[0].type_base, "Post");
+
+  const std::vector<Decl> reference = DeclsOf("Post& ref = other;");
+  ASSERT_EQ(reference.size(), 1u);
+  EXPECT_EQ(reference[0].name, "ref");
+}
+
+TEST(ExtractDeclsTest, CommaSeparatedDeclaratorList) {
+  const std::vector<Decl> decls = DeclsOf("size_t i = 0, limit = n + 1, j;");
+  ASSERT_EQ(decls.size(), 3u);
+  EXPECT_EQ(decls[0].name, "i");
+  EXPECT_EQ(decls[1].name, "limit");
+  EXPECT_EQ(decls[2].name, "j");
+}
+
+TEST(ExtractDeclsTest, BracedInitializer) {
+  const std::vector<Decl> decls = DeclsOf("std::atomic<int> hits{0};");
+  ASSERT_EQ(decls.size(), 1u);
+  EXPECT_EQ(decls[0].name, "hits");
+  EXPECT_EQ(decls[0].type_base, "atomic");
+}
+
+TEST(ExtractDeclsTest, RejectsNonDeclarations) {
+  EXPECT_TRUE(DeclsOf("bin.Push(post);").empty());
+  EXPECT_TRUE(DeclsOf("return x;").empty());
+  EXPECT_TRUE(DeclsOf("x = y;").empty());
+  EXPECT_TRUE(DeclsOf("total += value;").empty());
+  EXPECT_TRUE(DeclsOf("if (x) {").empty());
+  // A stray less-than is a comparison, not a template list.
+  EXPECT_TRUE(DeclsOf("a < b;").empty());
+}
+
+TEST(ExtractDeclsTest, InitializerCommasDoNotSplitDeclarators) {
+  // The comma inside Min(a, b) is part of the initializer, not a second
+  // declarator.
+  const std::vector<Decl> decls = DeclsOf("int lo = Min(a, b);");
+  ASSERT_EQ(decls.size(), 1u);
+  EXPECT_EQ(decls[0].name, "lo");
+}
+
+// --- ScopeTracker ------------------------------------------------------------
+
+Decl MakeDecl(const std::string& name, const std::string& type) {
+  Decl decl;
+  decl.name = name;
+  decl.type = type;
+  decl.type_base = type;
+  return decl;
+}
+
+TEST(ScopeTrackerTest, StartsWithOpenFunctionScope) {
+  ScopeTracker tracker;
+  EXPECT_EQ(tracker.depth(), 1u);
+  tracker.Declare(MakeDecl("x", "int"));
+  ASSERT_NE(tracker.Lookup("x"), nullptr);
+}
+
+TEST(ScopeTrackerTest, InnermostDeclarationShadows) {
+  ScopeTracker tracker;
+  tracker.Declare(MakeDecl("x", "int"));
+  tracker.EnterScope();
+  tracker.Declare(MakeDecl("x", "Post"));
+  ASSERT_NE(tracker.Lookup("x"), nullptr);
+  EXPECT_EQ(tracker.Lookup("x")->type, "Post");
+  tracker.ExitScope();
+  ASSERT_NE(tracker.Lookup("x"), nullptr);
+  EXPECT_EQ(tracker.Lookup("x")->type, "int");
+}
+
+TEST(ScopeTrackerTest, OuterDeclarationsVisibleInNestedBlocks) {
+  ScopeTracker tracker;
+  tracker.Declare(MakeDecl("outer", "int"));
+  tracker.EnterScope();
+  tracker.EnterScope();
+  EXPECT_EQ(tracker.depth(), 3u);
+  ASSERT_NE(tracker.Lookup("outer"), nullptr);
+  EXPECT_EQ(tracker.Lookup("missing"), nullptr);
+}
+
+TEST(ScopeTrackerTest, BlockLocalsDieAtExit) {
+  ScopeTracker tracker;
+  tracker.EnterScope();
+  tracker.Declare(MakeDecl("tmp", "int"));
+  ASSERT_NE(tracker.Lookup("tmp"), nullptr);
+  tracker.ExitScope();
+  EXPECT_EQ(tracker.Lookup("tmp"), nullptr);
+}
+
+TEST(ScopeTrackerTest, FunctionScopeNeverPops) {
+  ScopeTracker tracker;
+  tracker.Declare(MakeDecl("x", "int"));
+  tracker.ExitScope();  // ignored: the outermost scope stays open
+  tracker.ExitScope();
+  EXPECT_EQ(tracker.depth(), 1u);
+  EXPECT_NE(tracker.Lookup("x"), nullptr);
+}
+
+}  // namespace
+}  // namespace sema
+}  // namespace analysis
+}  // namespace firehose

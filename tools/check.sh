@@ -27,14 +27,18 @@ case "${1:-}" in
     ;;
 esac
 
-# 1. Static analysis (layering, unchecked errors, determinism/hygiene).
-# Built tiny and standalone so the gate fails fast before any full preset
-# build.
+# 1. Static analysis (layering, unchecked errors, determinism/hygiene,
+# and the sema passes: view-invalidation, lock-discipline,
+# atomic-ordering, blocking-in-hot-path). Built tiny and standalone so
+# the gate fails fast before any full preset build. Stale baseline
+# entries fail too — run `firehose_analyze --prune-baseline` to drop
+# them.
 lint_build="$repo/build-lint"
 cmake -S "$repo" -B "$lint_build" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$lint_build" --target firehose_analyze -j "$jobs" >/dev/null
 echo "== firehose_analyze src/ tools/ tests/"
-"$lint_build/tools/firehose_analyze" --root="$repo" src tools tests
+"$lint_build/tools/firehose_analyze" --root="$repo" \
+  --fail-on-stale-baseline src tools tests
 
 # 1b. clang-tidy over compile_commands.json, when installed. Optional:
 # the build exports compile_commands.json either way, and CI treats a

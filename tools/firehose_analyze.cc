@@ -4,9 +4,11 @@
 // source file (comment/string/raw-string aware), builds the include
 // graph, and runs the registered passes: layering enforcement against
 // tools/layers.txt, include-cycle detection, IWYU-lite unused includes,
-// unchecked-error analysis of [[nodiscard]] APIs, and the ported
-// hygiene checks (banned-nondeterminism, unordered-iteration,
-// include-guard, raw-new-delete, obs-seam, dur-seam).
+// unchecked-error analysis of [[nodiscard]] APIs, the ported hygiene
+// checks (banned-nondeterminism, unordered-iteration, include-guard,
+// raw-new-delete, obs-seam, dur-seam), and the semantic passes built on
+// the sema layer (view-invalidation, lock-discipline, atomic-ordering,
+// blocking-in-hot-path).
 //
 // Usage:
 //   firehose_analyze [options] <file-or-dir>...
@@ -16,7 +18,12 @@
 //     --sarif=FILE      also write findings as SARIF 2.1.0
 //     --check=a,b       run only the named checks
 //     --write-baseline  rewrite the baseline from current findings and exit
+//     --prune-baseline  drop baseline entries no finding matches and exit
+//     --fail-on-stale-baseline  exit 1 when the baseline has prunable entries
 //     --list-checks     print registered checks and exit
+//
+// Directories named `fixtures` are skipped: they hold deliberately
+// broken inputs for the analyzer's own tests.
 //
 // Exit status: 0 when every finding is baselined or suppressed, 1
 // otherwise, 2 on usage/configuration errors. Suppress a single line
@@ -60,7 +67,8 @@ void CollectFiles(const fs::path& path, std::vector<fs::path>* out) {
     for (fs::recursive_directory_iterator it(path), end; it != end; ++it) {
       const std::string name = it->path().filename().string();
       if (it->is_directory() &&
-          (name == "build" || (!name.empty() && name[0] == '.'))) {
+          (name == "build" || name == "fixtures" ||
+           (!name.empty() && name[0] == '.'))) {
         it.disable_recursion_pending();
         continue;
       }
@@ -81,6 +89,8 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   std::string sarif_path;
   bool write_baseline = false;
+  bool prune_baseline = false;
+  bool fail_on_stale = false;
   AnalysisOptions options;
   std::vector<std::string> inputs;
 
@@ -105,6 +115,10 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--write-baseline") {
       write_baseline = true;
+    } else if (arg == "--prune-baseline") {
+      prune_baseline = true;
+    } else if (arg == "--fail-on-stale-baseline") {
+      fail_on_stale = true;
     } else if (arg == "--list-checks") {
       for (const auto& check : firehose::analysis::AllChecks()) {
         std::cout << check.name << "\t" << check.description << "\n";
@@ -195,6 +209,35 @@ int main(int argc, char** argv) {
   if (ReadFile(baseline_path, &baseline_text)) {
     baseline = firehose::analysis::ParseBaseline(baseline_text);
   }
+
+  // Stale-entry accounting is only meaningful on a full run: a --check
+  // filter would make every other check's entries look unmatched.
+  const bool full_run = options.checks.empty();
+  std::set<std::string> stale;
+  if (full_run) {
+    stale = firehose::analysis::StaleBaselineKeys(baseline, result.findings);
+  }
+
+  if (prune_baseline) {
+    if (!full_run) {
+      std::cerr << "firehose_analyze: --prune-baseline needs a full run "
+                   "(drop --check=)\n";
+      return 2;
+    }
+    std::set<std::string> kept = baseline;
+    for (const std::string& key : stale) kept.erase(key);
+    std::ofstream out(baseline_path, std::ios::binary);
+    out << firehose::analysis::FormatBaselineKeys(kept);
+    if (!out) {
+      std::cerr << "firehose_analyze: cannot write " << baseline_path << "\n";
+      return 2;
+    }
+    std::cout << "firehose_analyze: pruned " << stale.size()
+              << " stale baseline entr" << (stale.size() == 1 ? "y" : "ies")
+              << ", kept " << kept.size() << " in " << baseline_path << "\n";
+    return 0;
+  }
+
   std::vector<Finding> findings = result.findings;
   std::vector<Finding> baselined;
   firehose::analysis::ApplyBaseline(baseline, &findings, &baselined);
@@ -216,6 +259,19 @@ int main(int argc, char** argv) {
   if (!baselined.empty()) {
     std::cout << " (" << baselined.size() << " baselined)";
   }
+  if (!stale.empty()) {
+    std::cout << ", " << stale.size() << " stale baseline entr"
+              << (stale.size() == 1 ? "y" : "ies");
+  }
   std::cout << "\n";
+  if (fail_on_stale && !stale.empty()) {
+    for (const std::string& key : stale) {
+      std::cerr << "stale baseline entry (no finding matches): " << key
+                << "\n";
+    }
+    std::cerr << "firehose_analyze: run --prune-baseline and commit the "
+                 "result\n";
+    return 1;
+  }
   return findings.empty() ? 0 : 1;
 }
