@@ -5,14 +5,36 @@
 // (M_* engines).
 //
 // Build & run:  ./build/examples/multi_user_service
+//
+// Set FIREHOSE_DEBUG_PORT=0 (or a fixed port) to serve the live
+// introspection endpoints (/metricsz /varz /statusz /tracez) on
+// 127.0.0.1 while the engines run; the example self-scrapes /statusz at
+// the end to show the round trip.
 
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 
 #include "src/firehose.h"
 
 using namespace firehose;
 
 int main() {
+  std::unique_ptr<obs::DebugServer> debug_server;
+  obs::FlightRecorder flight;
+  if (const char* env = std::getenv("FIREHOSE_DEBUG_PORT")) {
+    obs::SetGlobalFlightRecorder(&flight);
+    obs::DebugServer::Options server_options;
+    server_options.flight = &flight;
+    debug_server = std::make_unique<obs::DebugServer>(server_options);
+    if (debug_server->Start(std::atoi(env))) {
+      std::printf("debug server listening on http://127.0.0.1:%d\n",
+                  debug_server->port());
+    } else {
+      std::fprintf(stderr, "cannot bind FIREHOSE_DEBUG_PORT=%s\n", env);
+      debug_server.reset();
+    }
+  }
   // Offline: a 800-author graph.
   SocialGraphOptions graph_options;
   graph_options.num_authors = 800;
@@ -51,11 +73,16 @@ int main() {
               stream.size());
   std::printf("%-14s %12s %10s %9s %14s %14s\n", "engine", "diversifiers",
               "time ms", "RAM MiB", "comparisons", "insertions");
+  obs::MetricsRegistry metrics;
+  uint64_t engines_run = 0;
   for (Algorithm algorithm : kAllAlgorithms) {
     for (bool shared : {false, true}) {
       auto engine = shared
                         ? MakeSUserEngine(algorithm, thresholds, graph, users)
                         : MakeMUserEngine(algorithm, thresholds, graph, users);
+      if (debug_server != nullptr) {
+        flight.RecordInstant(0, "engine.start", "service");
+      }
       const MultiUserRunResult result = RunMultiUser(*engine, stream);
       std::printf("%-14s %12zu %10.1f %9.2f %14llu %14llu\n",
                   std::string(engine->name()).c_str(),
@@ -63,7 +90,33 @@ int main() {
                   static_cast<double>(result.peak_bytes) / (1 << 20),
                   static_cast<unsigned long long>(result.comparisons),
                   static_cast<unsigned long long>(result.insertions));
+      ++engines_run;
+      if (debug_server != nullptr) {
+        // Publish a consistent snapshot after each engine so a scraper
+        // watching /varz sees the service make progress.
+        metrics.GetCounter("service.engines_run")->Increment();
+        metrics.GetCounter("service.comparisons")->Add(result.comparisons);
+        obs::ExportOptions export_options;
+        std::string status = "{\"engines_run\": ";
+        status.append(std::to_string(engines_run));
+        status.push_back('}');
+        debug_server->state()->PublishMetrics(
+            obs::ExportPrometheus(metrics, export_options),
+            obs::ExportJson(metrics, export_options));
+        debug_server->state()->PublishStatus(std::move(status));
+      }
     }
+  }
+  if (debug_server != nullptr) {
+    // Round-trip demo: scrape our own /statusz the way an operator would.
+    int status = 0;
+    std::string body;
+    if (HttpGet(debug_server->port(), "/statusz", &status, &body)) {
+      std::printf("\nself-scrape GET /statusz -> %d\n%s", status,
+                  body.c_str());
+    }
+    debug_server->Stop();
+    obs::SetGlobalFlightRecorder(nullptr);
   }
   std::printf(
       "\nS_* engines key shared connected components by author set: each "

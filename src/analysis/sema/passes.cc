@@ -408,11 +408,15 @@ class LockClient {
 const std::set<std::string>& RelaxedAllowlist() {
   // The documented lock-free seams, where relaxed ordering is part of a
   // reviewed protocol (SPSC index protocol, trace registration, ingest
-  // counters). Everywhere else relaxed needs promotion to one of these
-  // files or a stronger order.
+  // counters, the flight recorder's seqlock slots, the GCRA log rate
+  // limiter, and the watchdog's progress slots). Everywhere else relaxed
+  // needs promotion to one of these files or a stronger order.
   static const std::set<std::string> kFiles = {
-      "src/runtime/spsc_queue.h", "src/runtime/live_ingest.cc",
-      "src/obs/trace.h", "src/obs/trace.cc"};
+      "src/runtime/spsc_queue.h",    "src/runtime/live_ingest.cc",
+      "src/obs/trace.h",             "src/obs/trace.cc",
+      "src/obs/flight_recorder.h",   "src/obs/flight_recorder.cc",
+      "src/obs/log.h",               "src/obs/log.cc",
+      "src/obs/watchdog.h",          "src/obs/watchdog.cc"};
   return kFiles;
 }
 
@@ -585,8 +589,9 @@ void CheckAtomicOrdering(const AnalysisContext& context,
       if (t.text == "memory_order_relaxed" && !relaxed_allowed) {
         report(t.line, t.text,
                "std::memory_order_relaxed outside the allowlisted lock-free "
-               "seams (spsc_queue.h, live_ingest.cc, trace.{h,cc}); move the "
-               "protocol there or use a stronger ordering");
+               "seams (spsc_queue.h, live_ingest.cc, trace.{h,cc}, "
+               "flight_recorder.{h,cc}, log.{h,cc}, watchdog.{h,cc}); move "
+               "the protocol there or use a stronger ordering");
         continue;
       }
       if (atomics.count(t.text) == 0) continue;

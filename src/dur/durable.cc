@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/obs/log.h"
 #include "src/util/binary.h"
 
 namespace firehose {
@@ -144,6 +145,13 @@ bool DurableSession::Recover(
   last_checkpoint_nanos_ = options_.clock->NowNanos();
   posts_since_checkpoint_ = 0;
   recovered_ = true;
+  FIREHOSE_LOG(kInfo, "durable recovery complete")
+      .Kv("dir", options_.dir)
+      .Kv("found_checkpoint", report->found_checkpoint)
+      .Kv("replayed_posts", report->replayed_posts)
+      .Kv("truncated_bytes", report->truncated_bytes)
+      .Kv("corruption", report->corruption_detected)
+      .Kv("next_seq", report->next_seq);
   return true;
 }
 
@@ -206,6 +214,10 @@ bool DurableSession::Checkpoint(uint64_t output_bytes) {
   if (checkpoint_ms_ != nullptr) {
     checkpoint_ms_->Record((last_checkpoint_nanos_ - start_nanos) / 1000000ull);
   }
+  FIREHOSE_LOG(kDebug, "checkpoint written")
+      .Kv("next_seq", data.next_seq)
+      .Kv("state_bytes", static_cast<uint64_t>(data.engine_state.size()))
+      .Kv("elapsed_ms", (last_checkpoint_nanos_ - start_nanos) / 1000000ull);
   return true;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "src/dur/framing.h"
+#include "src/obs/log.h"
 #include "src/util/binary.h"
 #include "src/util/build_info.h"
 
@@ -225,6 +226,10 @@ WalReadResult ReadWal(const WalOptions& options, uint64_t start_seq,
       // ends here.
       result.truncated_bytes += data.size();
       if (status != FrameStatus::kTruncated) result.corruption_detected = true;
+      FIREHOSE_LOG(kWarn, "wal segment header unreadable, chain ends here")
+          .Kv("segment", segments[i])
+          .Kv("bytes", static_cast<uint64_t>(data.size()))
+          .Kv("torn", status == FrameStatus::kTruncated);
       // Tail cleanup is best-effort: a segment that survives removal is
       // re-truncated (and re-reported) by the next recovery.
       if (truncate_tail) (void)opts.ops->Remove(path);
@@ -266,6 +271,11 @@ WalReadResult ReadWal(const WalOptions& options, uint64_t start_seq,
       if (!record_ok) {
         result.truncated_bytes += data.size() - offset;
         if (status != FrameStatus::kTruncated) result.corruption_detected = true;
+        FIREHOSE_LOG(kWarn, "wal torn tail truncated")
+            .Kv("segment", segments[i])
+            .Kv("offset", static_cast<uint64_t>(offset))
+            .Kv("bytes", static_cast<uint64_t>(data.size() - offset))
+            .Kv("torn", status == FrameStatus::kTruncated);
         if (truncate_tail) (void)opts.ops->Truncate(path, offset);  // best-effort
         stop = true;
         break;
@@ -290,6 +300,9 @@ WalReadResult ReadWal(const WalOptions& options, uint64_t start_seq,
     const std::string path = opts.dir + "/" + segments[i];
     std::string data;
     if (opts.ops->Read(path, &data)) result.truncated_bytes += data.size();
+    FIREHOSE_LOG(kWarn, "wal orphan segment past tear dropped")
+        .Kv("segment", segments[i])
+        .Kv("bytes", static_cast<uint64_t>(data.size()));
     if (truncate_tail) (void)opts.ops->Remove(path);  // best-effort
     result.corruption_detected = true;
   }

@@ -40,12 +40,18 @@
 #include "src/eval/precision_recall.h"
 #include "src/gen/labeled_pairs.h"
 #include "src/io/binary.h"
+#include "src/io/http.h"
 #include "src/io/persist.h"
 #include "src/obs/clock.h"
+#include "src/obs/debug_server.h"
 #include "src/obs/export.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/log.h"
 #include "src/obs/log_histogram.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/obs/watchdog.h"
+#include "src/runtime/introspect.h"
 #include "src/runtime/latency.h"
 #include "src/runtime/live_ingest.h"
 #include "src/runtime/pipeline.h"

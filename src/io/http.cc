@@ -1,0 +1,214 @@
+#include "src/io/http.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+namespace firehose {
+
+namespace {
+
+/// Reads from `fd` until the header terminator or `limit` bytes; returns
+/// what was read (possibly truncated). The debug endpoints never need a
+/// request body, so everything past the blank line is ignored.
+std::string ReadRequestHead(int fd, size_t limit) {
+  std::string head;
+  char buf[1024];
+  while (head.size() < limit) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    head.append(buf, static_cast<size_t>(n));
+    if (head.find("\r\n\r\n") != std::string::npos ||
+        head.find("\n\n") != std::string::npos) {
+      break;
+    }
+  }
+  return head;
+}
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    default: return "Internal Server Error";
+  }
+}
+
+}  // namespace
+
+bool HttpServer::Start(int port, Handler handler) {
+  if (thread_.joinable()) return false;  // already started
+  handler_ = std::move(handler);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 8) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = static_cast<int>(ntohs(addr.sin_port));
+  }
+
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return true;
+}
+
+void HttpServer::Stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpServer::Serve() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stop flag
+
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+
+    // A stalled client must not wedge the accept loop forever.
+    timeval tv;
+    tv.tv_sec = 2;
+    tv.tv_usec = 0;
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+    const std::string head = ReadRequestHead(conn, /*limit=*/16 * 1024);
+
+    HttpRequest request;
+    const size_t line_end = head.find_first_of("\r\n");
+    const std::string line =
+        line_end == std::string::npos ? head : head.substr(0, line_end);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
+
+    HttpResponse response;
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      response.status = 400;
+      response.body = "malformed request line\n";
+    } else {
+      request.method = line.substr(0, sp1);
+      std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const size_t qmark = target.find('?');
+      if (qmark != std::string::npos) {
+        request.query = target.substr(qmark + 1);
+        target.resize(qmark);
+      }
+      request.path = std::move(target);
+      response = handler_ ? handler_(request)
+                          : HttpResponse{404, "text/plain", "no handler\n"};
+    }
+
+    std::string wire = "HTTP/1.0 ";
+    wire.append(std::to_string(response.status));
+    wire.push_back(' ');
+    wire.append(StatusText(response.status));
+    wire.append("\r\nContent-Type: ");
+    wire.append(response.content_type);
+    wire.append("\r\nContent-Length: ");
+    wire.append(std::to_string(response.body.size()));
+    wire.append("\r\nConnection: close\r\n\r\n");
+    if (request.method != "HEAD") wire.append(response.body);
+    WriteAll(conn, wire);
+    ::close(conn);
+  }
+}
+
+bool HttpGet(int port, const std::string& path, int* status,
+             std::string* body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+
+  timeval tv;
+  tv.tv_sec = 5;
+  tv.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return false;
+  }
+
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+  if (!WriteAll(fd, request)) {
+    ::close(fd);
+    return false;
+  }
+
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.0 200 OK\r\n..." — the status code sits after the first space.
+  const size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) return false;
+  *status = std::atoi(raw.c_str() + sp + 1);
+
+  const size_t body_at = raw.find("\r\n\r\n");
+  if (body_at == std::string::npos) return false;
+  body->assign(raw, body_at + 4, std::string::npos);
+  return true;
+}
+
+}  // namespace firehose

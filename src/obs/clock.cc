@@ -1,9 +1,14 @@
 #include "src/obs/clock.h"
 
 #include <chrono>
+#include <thread>
 
 namespace firehose {
 namespace obs {
+
+void Clock::SleepNanos(uint64_t nanos) const {
+  std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+}
 
 uint64_t MonotonicClock::NowNanos() const {
   return static_cast<uint64_t>(

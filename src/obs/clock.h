@@ -19,6 +19,12 @@ class Clock {
   /// Nanoseconds on a monotonic, process-local timeline. Only differences
   /// are meaningful; the epoch is unspecified.
   virtual uint64_t NowNanos() const = 0;
+
+  /// Blocks the calling thread for `nanos` (the watchdog poller's pace).
+  /// The default really sleeps; ManualClock instead advances its manual
+  /// time, so pollers driven by a test clock spin deterministically
+  /// instead of stalling the test.
+  virtual void SleepNanos(uint64_t nanos) const;
 };
 
 /// Real monotonic clock (std::chrono::steady_clock). Stateless and
@@ -49,6 +55,10 @@ class ManualClock final : public Clock {
     now_nanos_ += auto_advance_nanos_;
     return now;
   }
+
+  /// Advances manual time instead of blocking, keeping watchdog/poller
+  /// loops deterministic under test.
+  void SleepNanos(uint64_t nanos) const override { now_nanos_ += nanos; }
 
   void AdvanceNanos(uint64_t nanos) { now_nanos_ += nanos; }
   void SetNanos(uint64_t nanos) { now_nanos_ = nanos; }

@@ -45,12 +45,56 @@ void AppendI64(int64_t value, std::string* out) {
 
 }  // namespace
 
+std::string PrometheusEscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string PrometheusEscapeHelp(std::string_view help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    switch (c) {
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
 std::string ExportPrometheus(const MetricsRegistry& registry,
                              const ExportOptions& options) {
   std::string out;
   registry.VisitSorted([&](const MetricsRegistry::MetricView& m) {
     if (m.timing && !options.include_timing) return;
     const std::string name = PrometheusName(m.name);
+    if (!m.help.empty()) {
+      out.append("# HELP ").append(name).append(" ");
+      out.append(PrometheusEscapeHelp(m.help));
+      out.push_back('\n');
+    }
     switch (m.kind) {
       case MetricKind::kCounter:
         out.append("# TYPE ").append(name).append(" counter\n");
@@ -77,7 +121,11 @@ std::string ExportPrometheus(const MetricsRegistry& registry,
           if (count == 0) continue;  // sparse: only edges that gained mass
           cumulative += count;
           out.append(name).append("_bucket{le=\"");
-          out.append(FormatDouble(LogHistogram::BucketUpperValue(i)));
+          // Edges are plain numbers today, but hostile label values must
+          // never break the exposition framing, so everything between
+          // label quotes flows through the escaper.
+          out.append(PrometheusEscapeLabelValue(
+              FormatDouble(LogHistogram::BucketUpperValue(i))));
           out.append("\"} ");
           AppendU64(cumulative, &out);
           out.push_back('\n');

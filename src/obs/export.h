@@ -18,12 +18,23 @@ struct ExportOptions {
 };
 
 /// Renders the registry in the Prometheus text exposition format
-/// (one `# TYPE` line per family, histograms as cumulative `_bucket`
-/// series with `le` labels plus `_sum`/`_count`). Metric names are
-/// sanitized (`.` -> `_`) and prefixed with `firehose_`. Output is sorted
-/// by metric name and fully deterministic for identical registry state.
+/// (a `# HELP` line when help text is registered, one `# TYPE` line per
+/// family, histograms as cumulative `_bucket` series with `le` labels
+/// plus `_sum`/`_count`). Metric names are sanitized (`.` -> `_`) and
+/// prefixed with `firehose_`; label values and help strings are escaped
+/// per the exposition format. Output is sorted by metric name and fully
+/// deterministic for identical registry state.
 std::string ExportPrometheus(const MetricsRegistry& registry,
                              const ExportOptions& options = {});
+
+/// Escapes a label value per the Prometheus text exposition format:
+/// `\` -> `\\`, `"` -> `\"`, newline -> `\n`. The result is safe to
+/// place between the quotes of `name{label="..."}`.
+std::string PrometheusEscapeLabelValue(std::string_view value);
+
+/// Escapes `# HELP` text per the exposition format: `\` -> `\\` and
+/// newline -> `\n` (double quotes are NOT escaped on help lines).
+std::string PrometheusEscapeHelp(std::string_view help);
 
 /// Renders the registry as a stable JSON snapshot:
 ///

@@ -1,0 +1,139 @@
+#ifndef FIREHOSE_OBS_FLIGHT_RECORDER_H_
+#define FIREHOSE_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/obs/clock.h"
+
+namespace firehose {
+namespace obs {
+
+/// Always-on, fixed-footprint recorder of the last few thousand trace
+/// events per thread. Unlike TraceRecorder (unbounded vector, mutex,
+/// std::string names — a per-run artifact you opt into), the flight
+/// recorder is meant to run for the whole process lifetime at near-zero
+/// cost and answer "what was happening just now?" after the fact: on a
+/// /tracez scrape, a watchdog trip, or a fatal signal.
+///
+/// Design constraints, in order:
+///  - Recording must be wait-free and lock-free for the owning thread:
+///    each small integer tid owns one ring, written by exactly one
+///    thread (the same caller-assigned tids TraceRecorder uses:
+///    0 = consumer/main, 1 = producer, shard index for shard workers).
+///  - Dumping must be safe from *other* threads while writers keep
+///    going: every slot is a seqlock (odd sequence = mid-write) over
+///    all-atomic fields, so readers detect torn slots and skip them.
+///  - The fatal-signal dump must be async-signal-safe: event names are
+///    `const char*` with static storage duration (string literals), the
+///    rings live in fixed arrays (no allocation after construction),
+///    and DumpToFd() formats with hand-rolled integer printing straight
+///    into write(2).
+class FlightRecorder {
+ public:
+  static constexpr int kMaxThreads = 64;
+  static constexpr int kSlotsPerThread = 2048;
+
+  /// `clock` may be null for the real monotonic clock.
+  explicit FlightRecorder(const Clock* clock = nullptr)
+      : clock_(clock != nullptr ? clock : RealClock()) {}
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  uint64_t NowNanos() const { return clock_->NowNanos(); }
+
+  /// Records a complete span on `tid`'s ring. `name` and `cat` MUST
+  /// point at static-storage strings (literals); the recorder keeps the
+  /// pointers, never copies. Events on tids >= kMaxThreads are dropped.
+  void RecordComplete(uint32_t tid, const char* name, const char* cat,
+                      uint64_t start_nanos, uint64_t end_nanos);
+
+  /// Zero-duration instant stamped now on `tid`'s ring.
+  void RecordInstant(uint32_t tid, const char* name, const char* cat);
+
+  /// Renders retained events as Chrome trace JSON ({"traceEvents":[...]},
+  /// timestamps rebased to the earliest retained event, microseconds).
+  /// `window_nanos` > 0 keeps only events that ended within that long of
+  /// the newest retained event. Safe to call from any thread while
+  /// writers continue; torn slots are skipped.
+  std::string DumpJson(uint64_t window_nanos = 0) const;
+
+  /// Async-signal-safe dump of every readable slot as Chrome trace JSON
+  /// (raw microsecond timestamps, no rebase). Only write(2) and stack
+  /// buffers — callable from a SIGSEGV handler.
+  void DumpToFd(int fd) const;
+
+  /// Total events ever recorded (relaxed sum across rings).
+  uint64_t TotalRecorded() const;
+
+ private:
+  struct Slot {
+    std::atomic<uint32_t> seq{0};  // odd while the writer is mid-update
+    std::atomic<const char*> name{nullptr};
+    std::atomic<const char*> cat{nullptr};
+    std::atomic<uint64_t> ts_nanos{0};
+    std::atomic<uint64_t> dur_nanos{0};
+    std::atomic<char> ph{'X'};
+  };
+
+  struct Ring {
+    std::atomic<uint64_t> head{0};  // next write position; doubles as count
+    Slot slots[kSlotsPerThread];
+  };
+
+  void Record(uint32_t tid, const char* name, const char* cat, char ph,
+              uint64_t ts_nanos, uint64_t dur_nanos);
+
+  const Clock* clock_;
+  Ring rings_[kMaxThreads];
+};
+
+/// Process-global flight recorder, mirroring GlobalTrace(): null by
+/// default, installed by the CLIs for the process lifetime. Atomic so
+/// worker threads and signal handlers may read it while it stays set.
+FlightRecorder* GlobalFlightRecorder();
+void SetGlobalFlightRecorder(FlightRecorder* recorder);
+
+/// Installs SIGSEGV/SIGABRT/SIGBUS handlers that dump the global flight
+/// recorder to `path` (truncating) and then re-raise with the default
+/// disposition, so exit status still reflects the crash. `path` is
+/// copied into static storage; calling again replaces it. No-op dumps
+/// when no global recorder is installed at crash time.
+void InstallCrashDumpHandler(const char* path);
+
+/// RAII complete-span guard against a FlightRecorder; with a null
+/// recorder every member is a no-op and no clock is read.
+class FlightScope {
+ public:
+  FlightScope(FlightRecorder* recorder, uint32_t tid, const char* name,
+              const char* cat)
+      : recorder_(recorder),
+        name_(name),
+        cat_(cat),
+        tid_(tid),
+        start_nanos_(recorder != nullptr ? recorder->NowNanos() : 0) {}
+
+  FlightScope(const FlightScope&) = delete;
+  FlightScope& operator=(const FlightScope&) = delete;
+
+  ~FlightScope() {
+    if (recorder_ != nullptr) {
+      recorder_->RecordComplete(tid_, name_, cat_, start_nanos_,
+                                recorder_->NowNanos());
+    }
+  }
+
+ private:
+  FlightRecorder* recorder_;
+  const char* name_;
+  const char* cat_;
+  uint32_t tid_;
+  uint64_t start_nanos_;
+};
+
+}  // namespace obs
+}  // namespace firehose
+
+#endif  // FIREHOSE_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,163 @@
+#include "src/obs/log.h"
+
+#include <cstdio>
+
+namespace firehose {
+namespace obs {
+
+namespace {
+
+/// Default sink: one fwrite per line keeps concurrent lines whole (stdio
+/// locks the stream per call). This file is the obs module's sanctioned
+/// stderr seam; the obs-seam analysis pass allowlists it by path.
+void StderrSink(void* /*ctx*/, std::string_view line) {
+  std::string with_newline(line);
+  with_newline.push_back('\n');
+  std::fwrite(with_newline.data(), 1, with_newline.size(), stderr);
+}
+
+std::atomic<LogSinkFn> g_sink{&StderrSink};
+std::atomic<void*> g_sink_ctx{nullptr};
+std::atomic<const Clock*> g_clock{nullptr};
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+bool NeedsQuoting(std::string_view value) {
+  if (value.empty()) return true;
+  for (char c : value) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' || c == '\n') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendValue(std::string_view value, std::string* out) {
+  if (!NeedsQuoting(value)) {
+    out->append(value);
+    return;
+  }
+  out->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      default: out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "unknown";
+}
+
+void SetLogSink(LogSinkFn fn, void* ctx) {
+  g_sink_ctx.store(ctx, std::memory_order_release);
+  g_sink.store(fn != nullptr ? fn : &StderrSink, std::memory_order_release);
+}
+
+void SetLogClock(const Clock* clock) {
+  g_clock.store(clock, std::memory_order_release);
+}
+
+void SetLogMinLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_release);
+}
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         g_min_level.load(std::memory_order_relaxed);
+}
+
+uint64_t LogNowNanos() {
+  const Clock* clock = g_clock.load(std::memory_order_acquire);
+  return (clock != nullptr ? clock : RealClock())->NowNanos();
+}
+
+int64_t LogSite::Admit(uint64_t now_nanos) {
+  if (interval_nanos_ == 0) {
+    return static_cast<int64_t>(
+        suppressed_.exchange(0, std::memory_order_relaxed));
+  }
+  uint64_t tat = tat_nanos_.load(std::memory_order_relaxed);
+  for (;;) {
+    const uint64_t effective = tat > now_nanos ? tat : now_nanos;
+    if (effective - now_nanos > tau_nanos_) {
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      suppressed_total_.fetch_add(1, std::memory_order_relaxed);
+      return -1;
+    }
+    if (tat_nanos_.compare_exchange_weak(tat, effective + interval_nanos_,
+                                         std::memory_order_relaxed)) {
+      return static_cast<int64_t>(
+          suppressed_.exchange(0, std::memory_order_relaxed));
+    }
+    // tat reloaded by the failed CAS; re-evaluate.
+  }
+}
+
+LogEvent::LogEvent(LogLevel level, std::string_view message,
+                   uint64_t suppressed) {
+  line_.reserve(96);
+  line_.append("ts=");
+  line_.append(std::to_string(LogNowNanos()));
+  line_.append(" level=");
+  line_.append(LogLevelName(level));
+  line_.append(" msg=");
+  AppendValue(message, &line_);
+  if (suppressed > 0) {
+    line_.append(" suppressed=");
+    line_.append(std::to_string(suppressed));
+  }
+}
+
+LogEvent::~LogEvent() {
+  const LogSinkFn sink = g_sink.load(std::memory_order_acquire);
+  sink(g_sink_ctx.load(std::memory_order_acquire), line_);
+}
+
+LogEvent& LogEvent::Kv(std::string_view key, std::string_view value) {
+  line_.push_back(' ');
+  line_.append(key);
+  line_.push_back('=');
+  AppendValue(value, &line_);
+  return *this;
+}
+
+LogEvent& LogEvent::KvUnsigned(std::string_view key, uint64_t value) {
+  line_.push_back(' ');
+  line_.append(key);
+  line_.push_back('=');
+  line_.append(std::to_string(value));
+  return *this;
+}
+
+LogEvent& LogEvent::KvSigned(std::string_view key, int64_t value) {
+  line_.push_back(' ');
+  line_.append(key);
+  line_.push_back('=');
+  line_.append(std::to_string(value));
+  return *this;
+}
+
+LogEvent& LogEvent::Kv(std::string_view key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  line_.push_back(' ');
+  line_.append(key);
+  line_.push_back('=');
+  line_.append(buf);
+  return *this;
+}
+
+}  // namespace obs
+}  // namespace firehose

@@ -1,0 +1,144 @@
+#ifndef FIREHOSE_OBS_LOG_H_
+#define FIREHOSE_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+#include "src/obs/clock.h"
+
+namespace firehose {
+namespace obs {
+
+/// Leveled, structured (key=value) logging for the runtime and
+/// durability layers. Design goals, in order:
+///
+///  - One sanctioned seam: every log line leaves the process through a
+///    single injectable sink (default: stderr), so tests capture lines
+///    verbatim and the obs-seam analysis pass can keep banning ad-hoc
+///    fprintf elsewhere.
+///  - Deterministic under test: timestamps come from an injectable
+///    Clock, like every other time read in the codebase.
+///  - Safe in hot paths: each FIREHOSE_LOG call site carries its own
+///    lock-free token bucket (GCRA over one 64-bit CAS), so a
+///    misbehaving loop degrades to a counted "suppressed=N" on the next
+///    admitted line instead of a log flood.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* LogLevelName(LogLevel level);
+
+/// Sink: receives one fully formatted line (no trailing newline). The
+/// `ctx` pointer is passed back verbatim; pass nullptr fn to restore the
+/// default stderr sink.
+using LogSinkFn = void (*)(void* ctx, std::string_view line);
+void SetLogSink(LogSinkFn fn, void* ctx);
+
+/// Injects the clock used for `ts=` stamps; null restores the real
+/// monotonic clock.
+void SetLogClock(const Clock* clock);
+
+/// Lines below `level` are dropped before the rate limiter runs.
+void SetLogMinLevel(LogLevel level);
+
+bool LogEnabled(LogLevel level);
+uint64_t LogNowNanos();
+
+/// Per-call-site rate limiter: virtual scheduling (GCRA) with the whole
+/// state in one 64-bit theoretical-arrival-time, advanced by CAS, so
+/// concurrent call sites stay lock-free. `per_second` admissions refill
+/// continuously; `burst` may be admitted back-to-back from idle.
+class LogSite {
+ public:
+  constexpr LogSite(double per_second, uint32_t burst)
+      : interval_nanos_(per_second > 0.0
+                            ? static_cast<uint64_t>(1e9 / per_second)
+                            : 0),
+        tau_nanos_(burst > 0 ? (burst - 1) * (per_second > 0.0
+                                                  ? static_cast<uint64_t>(
+                                                        1e9 / per_second)
+                                                  : 0)
+                             : 0) {}
+
+  /// Returns the number of lines suppressed since the last admission
+  /// (>= 0) when this call is admitted, or -1 when it is suppressed.
+  int64_t Admit(uint64_t now_nanos);
+
+  uint64_t suppressed_total() const {
+    return suppressed_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const uint64_t interval_nanos_;  // 0 = unlimited
+  const uint64_t tau_nanos_;
+  std::atomic<uint64_t> tat_nanos_{0};  // theoretical arrival time
+  std::atomic<uint64_t> suppressed_{0};
+  std::atomic<uint64_t> suppressed_total_{0};
+};
+
+/// One log line under construction. Built by FIREHOSE_LOG; the
+/// destructor stamps, formats, and hands the line to the sink. Values
+/// that contain spaces, quotes, or '=' are double-quoted with escaping,
+/// so lines stay machine-splittable on spaces.
+class LogEvent {
+ public:
+  LogEvent(LogLevel level, std::string_view message, uint64_t suppressed);
+  ~LogEvent();
+
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+
+  LogEvent& Kv(std::string_view key, std::string_view value);
+  LogEvent& Kv(std::string_view key, const char* value) {
+    return Kv(key, std::string_view(value));
+  }
+  // One template for every integer width/signedness so call sites never
+  // hit overload ambiguity between e.g. uint64_t and unsigned long long.
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T> &&
+                                        !std::is_same_v<T, bool>>>
+  LogEvent& Kv(std::string_view key, T value) {
+    if constexpr (std::is_signed_v<T>) {
+      return KvSigned(key, static_cast<int64_t>(value));
+    } else {
+      return KvUnsigned(key, static_cast<uint64_t>(value));
+    }
+  }
+  LogEvent& Kv(std::string_view key, double value);
+  LogEvent& Kv(std::string_view key, bool value) {
+    return Kv(key, std::string_view(value ? "true" : "false"));
+  }
+
+ private:
+  LogEvent& KvUnsigned(std::string_view key, uint64_t value);
+  LogEvent& KvSigned(std::string_view key, int64_t value);
+
+  std::string line_;
+};
+
+}  // namespace obs
+}  // namespace firehose
+
+/// Emits one structured line: FIREHOSE_LOG(kWarn, "wal torn tail")
+///     .Kv("offset", off).Kv("path", path);
+/// Each expansion owns a static LogSite (default 50/s, burst 10): when
+/// the site is over budget the whole statement is skipped (arguments to
+/// .Kv() are not evaluated); the next admitted line carries
+/// suppressed=N. The level name is unqualified (kWarn) on purpose.
+#define FIREHOSE_LOG(level, message)                                        \
+  if (int64_t firehose_log_suppressed =                                     \
+          ::firehose::obs::LogEnabled(::firehose::obs::LogLevel::level)     \
+              ? ([]() -> ::firehose::obs::LogSite& {                        \
+                  static ::firehose::obs::LogSite site(50.0, 10);           \
+                  return site;                                              \
+                }())                                                        \
+                    .Admit(::firehose::obs::LogNowNanos())                  \
+              : -1;                                                         \
+      firehose_log_suppressed < 0) {                                        \
+  } else                                                                    \
+    ::firehose::obs::LogEvent(                                              \
+        ::firehose::obs::LogLevel::level, message,                          \
+        static_cast<uint64_t>(firehose_log_suppressed))
+
+#endif  // FIREHOSE_OBS_LOG_H_

@@ -22,11 +22,51 @@ double LogHistogram::BucketUpperValue(int bucket) {
   return std::exp2(static_cast<double>(bucket + 1) / kBucketsPerOctave);
 }
 
+double LogHistogram::BucketLowerValue(int bucket) {
+  return std::exp2(static_cast<double>(bucket) / kBucketsPerOctave);
+}
+
+double LogHistogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // The continuous rank the quantile asks for: rank r means "r of the
+  // count_ observations lie at or below the returned value". Walking the
+  // buckets and interpolating linearly inside the one the rank lands in
+  // keeps the result monotone in q: the interpolant is increasing within
+  // a bucket, and a bucket's upper edge never exceeds the next occupied
+  // bucket's lower edge.
+  const double rank = q * static_cast<double>(count_);
+  double seen = 0.0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t in_bucket = buckets_[static_cast<size_t>(i)];
+    if (in_bucket == 0) continue;
+    const double next_seen = seen + static_cast<double>(in_bucket);
+    if (rank <= next_seen) {
+      const double lower = BucketLowerValue(i);
+      const double upper = BucketUpperValue(i);
+      const double fraction = (rank - seen) / static_cast<double>(in_bucket);
+      const double value = lower + fraction * (upper - lower);
+      // The true extremes are tracked exactly; no interpolated value may
+      // leave [min, max] (clamping preserves monotonicity in q).
+      return std::min(std::max(value, static_cast<double>(min_)),
+                      static_cast<double>(max_));
+    }
+    seen = next_seen;
+  }
+  return static_cast<double>(max_);
+}
+
 void LogHistogram::Record(uint64_t value) {
   ++buckets_[static_cast<size_t>(BucketFor(value))];
   ++count_;
   sum_ += static_cast<double>(value);
-  if (value > max_) max_ = value;
+  // The histogram's domain starts at 1 (BucketFor floors to 1), so the
+  // tracked extremes do too; otherwise a recorded 0 would drag every
+  // quantile to 0 through the [min, max] clamp.
+  const uint64_t floored = value < 1 ? 1 : value;
+  if (floored > max_) max_ = floored;
+  if (floored < min_) min_ = floored;
 }
 
 void LogHistogram::MergeFrom(const LogHistogram& other) {
@@ -37,6 +77,7 @@ void LogHistogram::MergeFrom(const LogHistogram& other) {
   count_ += other.count_;
   sum_ += other.sum_;
   max_ = std::max(max_, other.max_);
+  if (other.count_ > 0) min_ = std::min(min_, other.min_);
 }
 
 HistogramSummary LogHistogram::Summarize() const {
@@ -46,19 +87,9 @@ HistogramSummary LogHistogram::Summarize() const {
   summary.mean = sum_ / static_cast<double>(count_);
   summary.max = static_cast<double>(max_);
 
-  auto percentile = [this](double fraction) {
-    const uint64_t target =
-        static_cast<uint64_t>(fraction * static_cast<double>(count_));
-    uint64_t seen = 0;
-    for (int i = 0; i < kNumBuckets; ++i) {
-      seen += buckets_[static_cast<size_t>(i)];
-      if (seen > target) return BucketUpperValue(i);
-    }
-    return static_cast<double>(max_);
-  };
-  summary.p50 = percentile(0.50);
-  summary.p95 = percentile(0.95);
-  summary.p99 = percentile(0.99);
+  summary.p50 = ValueAtQuantile(0.50);
+  summary.p95 = ValueAtQuantile(0.95);
+  summary.p99 = ValueAtQuantile(0.99);
   return summary;
 }
 

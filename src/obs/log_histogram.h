@@ -39,16 +39,33 @@ class LogHistogram {
   /// Adds every bucket, count, sum and max of `other` into this.
   void MergeFrom(const LogHistogram& other);
 
-  /// Percentile read from bucket upper edges; exact for count/max/mean.
+  /// Value at quantile `q` in [0, 1], interpolated linearly inside the
+  /// bucket the quantile lands in (and clamped to the observed max).
+  /// Monotone non-decreasing in `q`: bucket upper edges never exceed the
+  /// next occupied bucket's lower edge, so interpolation cannot step
+  /// backwards across a bucket boundary. Empty histogram returns 0.
+  double ValueAtQuantile(double q) const;
+
+  /// Percentiles via ValueAtQuantile; exact for count/max/mean.
   HistogramSummary Summarize() const;
 
   uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   uint64_t max() const { return max_; }
+  /// Smallest recorded value after clamping into the histogram's domain
+  /// (values below 1 record as 1; 0 when empty). Together with max() it
+  /// bounds every interpolated quantile: no estimate may leave the
+  /// observed range.
+  uint64_t min() const { return count_ > 0 ? min_ : 0; }
   const std::vector<uint64_t>& buckets() const { return buckets_; }
 
   /// Upper edge of bucket `bucket` (exclusive).
   static double BucketUpperValue(int bucket);
+
+  /// Lower edge of bucket `bucket` (inclusive); equals
+  /// BucketUpperValue(bucket - 1), with bucket 0 starting at 1 (values
+  /// below 1 clamp into bucket 0 on Record).
+  static double BucketLowerValue(int bucket);
 
   /// Bucket index for `value`.
   static int BucketFor(uint64_t value);
@@ -58,6 +75,7 @@ class LogHistogram {
   uint64_t count_ = 0;
   double sum_ = 0.0;
   uint64_t max_ = 0;
+  uint64_t min_ = ~0ULL;  // meaningful only when count_ > 0
 };
 
 }  // namespace obs

@@ -28,9 +28,15 @@ LogHistogram* MetricsRegistry::GetHistogram(std::string_view name,
   return &GetOrCreate(name, MetricKind::kHistogram, timing).histogram;
 }
 
+void MetricsRegistry::SetHelp(std::string_view name, std::string_view help) {
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) it->second.help.assign(help);
+}
+
 void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
   for (const auto& [name, metric] : other.metrics_) {
     Metric& mine = GetOrCreate(name, metric.kind, metric.timing);
+    if (mine.help.empty()) mine.help = metric.help;
     switch (metric.kind) {
       case MetricKind::kCounter:
         mine.counter.Add(metric.counter.value());
@@ -50,7 +56,7 @@ void MetricsRegistry::VisitSorted(
     const std::function<void(const MetricView&)>& fn) const {
   for (const auto& [name, metric] : metrics_) {
     fn(MetricView{name, metric.kind, metric.timing, &metric.counter,
-                  &metric.gauge, &metric.histogram});
+                  &metric.gauge, &metric.histogram, metric.help});
   }
 }
 

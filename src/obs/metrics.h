@@ -66,6 +66,12 @@ class MetricsRegistry {
   Gauge* GetGauge(std::string_view name, bool timing = false);
   LogHistogram* GetHistogram(std::string_view name, bool timing = false);
 
+  /// Attaches a human-readable description to an existing metric (no-op
+  /// on unknown names). The Prometheus exporter renders it as a `# HELP`
+  /// line with exposition-format escaping; the JSON snapshot ignores it,
+  /// so help text never perturbs byte-stable artifacts.
+  void SetHelp(std::string_view name, std::string_view help);
+
   /// Merges another registry into this one: counters add, gauges add
   /// value and high-water (a *sum* of high-waters is an upper bound on the
   /// concurrent peak — see IngestStats::sum_peak_bytes for the same
@@ -81,6 +87,7 @@ class MetricsRegistry {
     const Counter* counter;        // kind == kCounter
     const Gauge* gauge;            // kind == kGauge
     const LogHistogram* histogram; // kind == kHistogram
+    const std::string& help;       // empty when never SetHelp'd
   };
 
   /// Visits every metric in lexicographic name order.
@@ -99,6 +106,7 @@ class MetricsRegistry {
     Counter counter;
     Gauge gauge;
     LogHistogram histogram;
+    std::string help;
   };
 
   Metric& GetOrCreate(std::string_view name, MetricKind kind, bool timing);

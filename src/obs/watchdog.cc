@@ -1,0 +1,104 @@
+#include "src/obs/watchdog.h"
+
+#include <algorithm>
+
+namespace firehose {
+namespace obs {
+
+int Watchdog::RegisterTask(const char* name) {
+  const int id = task_count_.fetch_add(1, std::memory_order_acq_rel);
+  if (id >= kMaxTasks) {
+    task_count_.store(kMaxTasks, std::memory_order_release);
+    return -1;
+  }
+  TaskSlot& slot = tasks_[id];
+  slot.last_change_nanos = clock_->NowNanos();
+  slot.name.store(name, std::memory_order_release);
+  return id;
+}
+
+void Watchdog::ReportProgress(int task, uint64_t progress) {
+  if (task < 0 || task >= kMaxTasks) return;
+  tasks_[task].progress.store(progress, std::memory_order_relaxed);
+}
+
+void Watchdog::SetQueueDepth(int task, int64_t depth) {
+  if (task < 0 || task >= kMaxTasks) return;
+  tasks_[task].depth.store(depth, std::memory_order_relaxed);
+}
+
+int Watchdog::Poll() {
+  const uint64_t now = clock_->NowNanos();
+  const int count =
+      std::min(task_count_.load(std::memory_order_acquire), kMaxTasks);
+  int stalled = 0;
+  for (int i = 0; i < count; ++i) {
+    TaskSlot& slot = tasks_[i];
+    const char* name = slot.name.load(std::memory_order_acquire);
+    if (name == nullptr) continue;  // registration still in flight
+
+    const uint64_t progress = slot.progress.load(std::memory_order_relaxed);
+    const int64_t depth = slot.depth.load(std::memory_order_relaxed);
+
+    if (progress != slot.last_progress) {
+      // Moving again: restart the stall clock and re-arm the alarm.
+      slot.last_progress = progress;
+      slot.last_change_nanos = now;
+      slot.tripped.store(false, std::memory_order_relaxed);
+      continue;
+    }
+    if (depth <= 0) {
+      // Idle, not stuck — nothing is queued for it to be stuck on.
+      slot.last_change_nanos = now;
+      slot.tripped.store(false, std::memory_order_relaxed);
+      continue;
+    }
+    if (now - slot.last_change_nanos < stall_nanos_) continue;
+
+    ++stalled;
+    if (!slot.tripped.load(std::memory_order_relaxed)) {
+      slot.tripped.store(true, std::memory_order_relaxed);
+      trip_count_.fetch_add(1, std::memory_order_relaxed);
+      if (on_trip_) on_trip_(i, name, progress, depth);
+    }
+  }
+  return stalled;
+}
+
+int Watchdog::SnapshotTasks(TaskInfo* out, int max_tasks) const {
+  const int count =
+      std::min(task_count_.load(std::memory_order_acquire), kMaxTasks);
+  int written = 0;
+  for (int i = 0; i < count && written < max_tasks; ++i) {
+    const TaskSlot& slot = tasks_[i];
+    const char* name = slot.name.load(std::memory_order_acquire);
+    if (name == nullptr) continue;
+    out[written].name = name;
+    out[written].progress = slot.progress.load(std::memory_order_relaxed);
+    out[written].depth = slot.depth.load(std::memory_order_relaxed);
+    out[written].tripped = slot.tripped.load(std::memory_order_relaxed);
+    ++written;
+  }
+  return written;
+}
+
+void Watchdog::StartPolling(uint64_t poll_interval_nanos) {
+  if (poller_.joinable()) return;
+  stop_polling_.store(false, std::memory_order_release);
+  poller_ = std::thread([this, poll_interval_nanos] {
+    while (!stop_polling_.load(std::memory_order_acquire)) {
+      clock_->SleepNanos(poll_interval_nanos);
+      if (stop_polling_.load(std::memory_order_acquire)) break;
+      Poll();
+    }
+  });
+}
+
+void Watchdog::StopPolling() {
+  if (!poller_.joinable()) return;
+  stop_polling_.store(true, std::memory_order_release);
+  poller_.join();
+}
+
+}  // namespace obs
+}  // namespace firehose

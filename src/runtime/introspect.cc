@@ -1,0 +1,48 @@
+#include "src/runtime/introspect.h"
+
+#include <utility>
+
+#include "src/core/engine.h"
+#include "src/obs/export.h"
+
+namespace firehose {
+
+void DebugPublisher::Publish(
+    uint64_t now_nanos, const obs::MetricsRegistry* run_metrics,
+    const Diversifier* engine,
+    const std::function<void(obs::MetricsRegistry*)>& augment,
+    std::string status_json) {
+  if (debug_ == nullptr) return;
+  last_publish_nanos_ = now_nanos;
+
+  obs::MetricsRegistry snapshot;
+  if (run_metrics != nullptr) snapshot.MergeFrom(*run_metrics);
+  if (engine != nullptr) ExportDiversifierMetrics(*engine, &snapshot);
+  if (augment) augment(&snapshot);
+
+  obs::ExportOptions options;
+  options.include_timing = true;  // scrapes are live views, not artifacts
+  debug_->PublishMetrics(obs::ExportPrometheus(snapshot, options),
+                         obs::ExportJson(snapshot, options));
+  debug_->PublishStatus(std::move(status_json));
+}
+
+void AppendStatusField(std::string* json, const char* key, uint64_t value) {
+  if (json->size() > 1) json->append(", ");
+  json->push_back('"');
+  json->append(key);
+  json->append("\": ");
+  json->append(std::to_string(value));
+}
+
+void AppendStatusField(std::string* json, const char* key,
+                       const char* value) {
+  if (json->size() > 1) json->append(", ");
+  json->push_back('"');
+  json->append(key);
+  json->append("\": \"");
+  json->append(value);
+  json->push_back('"');
+}
+
+}  // namespace firehose

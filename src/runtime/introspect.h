@@ -1,0 +1,64 @@
+#ifndef FIREHOSE_RUNTIME_INTROSPECT_H_
+#define FIREHOSE_RUNTIME_INTROSPECT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/core/diversifier.h"
+#include "src/obs/debug_server.h"
+#include "src/obs/metrics.h"
+
+namespace firehose {
+
+/// Paces and renders the mid-run snapshots a runtime publishes into a
+/// DebugState mailbox.
+///
+/// The central constraint: run registries are single-threaded and their
+/// exporters Add (ExportDiversifierMetrics is "call once at end of
+/// run"), so a live publisher must never write into the run registry.
+/// Publish() instead renders into a fresh temporary registry each time —
+/// MergeFrom(run registry), fold in the engine's current stats, let the
+/// caller augment with in-flight values the registry doesn't have yet —
+/// and hands the finished strings to the mailbox. The run registry and
+/// the final --metrics_out snapshot stay byte-identical to an
+/// unobserved run; every scraped counter is <= its final value.
+class DebugPublisher {
+ public:
+  /// Inert when `debug` is null: Due() is always false.
+  DebugPublisher(obs::DebugState* debug, uint64_t interval_nanos)
+      : debug_(debug), interval_nanos_(interval_nanos) {}
+
+  bool enabled() const { return debug_ != nullptr; }
+
+  /// True when a publish is owed at `now_nanos` (first call is always
+  /// due, so a scrape racing a short run still sees one snapshot).
+  bool Due(uint64_t now_nanos) const {
+    return debug_ != nullptr &&
+           (last_publish_nanos_ == 0 ||
+            now_nanos - last_publish_nanos_ >= interval_nanos_);
+  }
+
+  /// Renders and publishes one snapshot. `run_metrics` and `engine` may
+  /// be null; `augment` (may be empty) adds in-flight counters the run
+  /// registry only receives at end of run. `status_json` becomes the
+  /// /statusz runtime block.
+  void Publish(uint64_t now_nanos, const obs::MetricsRegistry* run_metrics,
+               const Diversifier* engine,
+               const std::function<void(obs::MetricsRegistry*)>& augment,
+               std::string status_json);
+
+ private:
+  obs::DebugState* debug_;
+  const uint64_t interval_nanos_;
+  uint64_t last_publish_nanos_ = 0;
+};
+
+/// Appends `"key": value` (with leading comma when needed) — tiny helper
+/// for hand-built status JSON objects.
+void AppendStatusField(std::string* json, const char* key, uint64_t value);
+void AppendStatusField(std::string* json, const char* key, const char* value);
+
+}  // namespace firehose
+
+#endif  // FIREHOSE_RUNTIME_INTROSPECT_H_

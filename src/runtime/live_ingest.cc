@@ -5,6 +5,8 @@
 #include <chrono>
 #include <thread>
 
+#include "src/obs/log.h"
+#include "src/runtime/introspect.h"
 #include "src/runtime/spsc_queue.h"
 #include "src/util/timer.h"
 
@@ -36,6 +38,15 @@ LiveIngestReport RunLiveIngest(Diversifier& diversifier,
   const uint64_t start_nanos = clock.NowNanos();
   const int64_t first_time_ms = stream[options.start_index].time_ms;
 
+  // Register the stall-detector slot before the producer spawns so both
+  // threads report into it: the consumer its progress, the producer the
+  // queue depth — a fully wedged consumer stops reporting, but the
+  // producer keeps the depth fresh and the watchdog still trips.
+  const int watchdog_task =
+      options.watchdog != nullptr
+          ? options.watchdog->RegisterTask("live.consumer")
+          : -1;
+
   std::thread producer([&] {
     obs::TraceScope span(options.trace, "LiveIngest.produce", "ingest",
                          /*tid=*/1);
@@ -60,6 +71,14 @@ LiveIngestReport RunLiveIngest(Diversifier& diversifier,
         std::this_thread::yield();
         item.enqueue_nanos = clock.NowNanos();
       }
+      if (options.flight != nullptr) {
+        options.flight->RecordComplete(/*tid=*/1, "release", "live", due,
+                                       item.enqueue_nanos);
+      }
+      if (watchdog_task >= 0) {
+        options.watchdog->SetQueueDepth(
+            watchdog_task, static_cast<int64_t>(queue.ApproxSize()));
+      }
     }
     producer_done.store(true, std::memory_order_release);
   });
@@ -73,6 +92,33 @@ LiveIngestReport RunLiveIngest(Diversifier& diversifier,
   LatencyRecorder latency;
   size_t high_water = 0;
   QueuedPost item;
+  DebugPublisher publisher(options.debug, options.publish_interval_nanos);
+  // Renders the consumer's in-flight view of the run for the publisher:
+  // live.* counters the run registry only receives after the drain.
+  auto augment = [&](obs::MetricsRegistry* snapshot) {
+    snapshot->GetCounter("live.posts_in")->Add(report.posts_in);
+    snapshot->GetCounter("live.posts_out")->Add(report.posts_out);
+    snapshot->GetCounter("live.producer_blocked")
+        ->Add(blocked.load(std::memory_order_relaxed));
+  };
+  auto publish = [&](uint64_t now) {
+    std::string status = "{";
+    AppendStatusField(&status, "mode", "live");
+    AppendStatusField(&status, "posts_in", report.posts_in);
+    AppendStatusField(&status, "posts_out", report.posts_out);
+    AppendStatusField(&status, "queue_depth",
+                      static_cast<uint64_t>(queue.ApproxSize()));
+    AppendStatusField(&status, "queue_high_water",
+                      static_cast<uint64_t>(high_water));
+    AppendStatusField(&status, "producer_blocked",
+                      blocked.load(std::memory_order_relaxed));
+    if (options.dur != nullptr) {
+      AppendStatusField(&status, "wal_next_seq", options.dur->next_seq());
+    }
+    status.push_back('}');
+    publisher.Publish(now, options.metrics, &diversifier, augment,
+                      std::move(status));
+  };
   // Decide one post, through the durability layer when configured. A WAL
   // failure flips `io_error` and tells the producer to stop feeding.
   auto decide = [&](const Post& post) {
@@ -82,12 +128,17 @@ LiveIngestReport RunLiveIngest(Diversifier& diversifier,
       if (!options.dur->Process(post, &admitted)) {
         report.io_error = true;
         consumer_abort.store(true, std::memory_order_release);
+        FIREHOSE_LOG(kError, "wal append failed, live ingest aborting")
+            .Kv("posts_in", report.posts_in);
         return false;
       }
     } else {
       admitted = diversifier.Offer(post);
     }
     if (admitted) ++report.posts_out;
+    if (watchdog_task >= 0) {
+      options.watchdog->ReportProgress(watchdog_task, report.posts_in);
+    }
     return true;
   };
   {
@@ -100,19 +151,34 @@ LiveIngestReport RunLiveIngest(Diversifier& diversifier,
         if (queue_depth != nullptr) {
           queue_depth->Set(static_cast<int64_t>(depth));
         }
+        if (watchdog_task >= 0) {
+          options.watchdog->SetQueueDepth(watchdog_task,
+                                          static_cast<int64_t>(depth) - 1);
+        }
         if (!decide(*item.post)) break;
-        latency.RecordNanos(clock.NowNanos() - item.enqueue_nanos);
+        const uint64_t now = clock.NowNanos();
+        latency.RecordNanos(now - item.enqueue_nanos);
+        if (options.flight != nullptr) {
+          options.flight->RecordComplete(/*tid=*/0, "decide", "live",
+                                         item.enqueue_nanos, now);
+        }
+        if (publisher.Due(now)) publish(now);
       } else if (producer_done.load(std::memory_order_acquire)) {
         // Drain anything pushed between the last pop and the flag.
         if (!queue.TryPop(&item)) break;
         if (!decide(*item.post)) break;
         latency.RecordNanos(clock.NowNanos() - item.enqueue_nanos);
       } else {
+        if (publisher.enabled()) {
+          const uint64_t now = clock.NowNanos();
+          if (publisher.Due(now)) publish(now);
+        }
         std::this_thread::yield();
       }
     }
   }
   producer.join();
+  if (watchdog_task >= 0) options.watchdog->SetQueueDepth(watchdog_task, 0);
 
   report.wall_ms = timer.ElapsedMillis();
   report.achieved_posts_per_sec =
@@ -136,6 +202,19 @@ LiveIngestReport RunLiveIngest(Diversifier& diversifier,
     options.metrics->GetGauge("live.wall_ns", /*timing=*/true)
         ->Set(static_cast<int64_t>(
             clock.NowNanos() - start_nanos));
+  }
+  if (publisher.enabled()) {
+    // Final snapshot after the run registry absorbed the live.* totals:
+    // the augment lambda must not run again or the counters would double.
+    std::string status = "{";
+    AppendStatusField(&status, "mode", "drained");
+    AppendStatusField(&status, "posts_in", report.posts_in);
+    AppendStatusField(&status, "posts_out", report.posts_out);
+    AppendStatusField(&status, "queue_high_water",
+                      static_cast<uint64_t>(high_water));
+    status.push_back('}');
+    publisher.Publish(clock.NowNanos(), options.metrics, &diversifier, {},
+                      std::move(status));
   }
   return report;
 }

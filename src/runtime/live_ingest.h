@@ -6,8 +6,11 @@
 #include "src/core/diversifier.h"
 #include "src/dur/durable.h"
 #include "src/obs/clock.h"
+#include "src/obs/debug_server.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/obs/watchdog.h"
 #include "src/runtime/latency.h"
 #include "src/stream/post.h"
 #include "src/util/thread_annotations.h"
@@ -42,6 +45,18 @@ struct LiveIngestOptions {
   /// of a recovered run (those posts are already in the engine via
   /// checkpoint + replay).
   size_t start_index = 0;
+  /// Live-introspection hooks (all optional). `debug` receives rendered
+  /// snapshots from the consumer thread every `publish_interval_nanos`
+  /// (the run registry itself is untouched, so final artifacts stay
+  /// byte-identical to an unobserved run). `flight` records per-post
+  /// decision spans (tid 0) and producer release instants (tid 1) into
+  /// its lock-free rings. `watchdog` gets a "live.consumer" task; the
+  /// producer co-publishes queue depth into the same slot, so a wedged
+  /// consumer still trips the stall rule.
+  obs::DebugState* debug = nullptr;
+  obs::FlightRecorder* flight = nullptr;
+  obs::Watchdog* watchdog = nullptr;
+  uint64_t publish_interval_nanos = 50'000'000;  // 50 ms
 };
 
 /// Result of a live replay.

@@ -1,5 +1,8 @@
 #include "src/runtime/pipeline.h"
 
+#include "src/obs/log.h"
+#include "src/runtime/introspect.h"
+
 namespace firehose {
 
 namespace {
@@ -32,6 +35,9 @@ PipelineReport Pipeline::Run(PostSource& source, const PipelineObs& o,
   LatencyRecorder latency;
   const uint64_t pruned_at_start = diversifier_->stats().pruned;
   const uint64_t run_start = clock->NowNanos();
+  DebugPublisher publisher(o.debug, o.publish_interval_nanos);
+  const int watchdog_task =
+      o.watchdog != nullptr ? o.watchdog->RegisterTask("pipeline") : -1;
   Post post;
   while (source.Next(&post)) {
     ++report.posts_in;
@@ -43,12 +49,18 @@ PipelineReport Pipeline::Run(PostSource& source, const PipelineObs& o,
       // stops the run (an unlogged decision could never be replayed).
       if (!d.session->Process(post, &admitted)) {
         report.io_error = true;
+        FIREHOSE_LOG(kError, "wal append failed, pipeline run aborted")
+            .Kv("posts_in", report.posts_in);
         break;
       }
     } else {
       admitted = diversifier_->Offer(post);
     }
-    latency.RecordNanos(clock->NowNanos() - start);
+    const uint64_t end = clock->NowNanos();
+    latency.RecordNanos(end - start);
+    if (o.flight != nullptr) {
+      o.flight->RecordComplete(/*tid=*/0, "decide", "pipeline", start, end);
+    }
     if (comparisons != nullptr) {
       comparisons->Record(diversifier_->stats().comparisons -
                           comparisons_before);
@@ -64,7 +76,28 @@ PipelineReport Pipeline::Run(PostSource& source, const PipelineObs& o,
         break;
       }
     }
+    if (watchdog_task >= 0) {
+      o.watchdog->ReportProgress(watchdog_task, report.posts_in);
+      // The pull loop has no arrival queue; "depth 1" while draining
+      // keeps the stall rule armed, and end-of-source resets it below.
+      o.watchdog->SetQueueDepth(watchdog_task, 1);
+    }
+    if (publisher.Due(end)) {
+      const IngestStats& stats = diversifier_->stats();
+      std::string status = "{";
+      AppendStatusField(&status, "mode",
+                        d.session != nullptr ? "durable" : "batch");
+      AppendStatusField(&status, "posts_in", report.posts_in);
+      AppendStatusField(&status, "posts_out", report.posts_out);
+      AppendStatusField(&status, "comparisons", stats.comparisons);
+      if (d.session != nullptr) {
+        AppendStatusField(&status, "wal_next_seq", d.session->next_seq());
+      }
+      status.push_back('}');
+      publisher.Publish(end, o.metrics, diversifier_, {}, std::move(status));
+    }
   }
+  if (watchdog_task >= 0) o.watchdog->SetQueueDepth(watchdog_task, 0);
   const uint64_t wall_nanos = clock->NowNanos() - run_start;
   report.wall_ms = static_cast<double>(wall_nanos) / 1e6;
   report.decision_latency = latency.Summarize();
@@ -72,6 +105,17 @@ PipelineReport Pipeline::Run(PostSource& source, const PipelineObs& o,
     RecordRunMetrics(o.metrics, report, latency, wall_nanos);
     o.metrics->GetCounter("pipeline.candidates_pruned")
         ->Add(diversifier_->stats().pruned - pruned_at_start);
+  }
+  if (publisher.enabled()) {
+    // Final snapshot: a post-drain scrape now matches the end-of-run
+    // registry exactly.
+    std::string status = "{";
+    AppendStatusField(&status, "mode", "drained");
+    AppendStatusField(&status, "posts_in", report.posts_in);
+    AppendStatusField(&status, "posts_out", report.posts_out);
+    status.push_back('}');
+    publisher.Publish(clock->NowNanos(), o.metrics, diversifier_, {},
+                      std::move(status));
   }
   return report;
 }

@@ -10,8 +10,11 @@
 #include "src/core/multi_user.h"
 #include "src/dur/durable.h"
 #include "src/obs/clock.h"
+#include "src/obs/debug_server.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/obs/watchdog.h"
 #include "src/runtime/latency.h"
 #include "src/stream/post.h"
 
@@ -26,6 +29,17 @@ struct PipelineObs {
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRecorder* trace = nullptr;
   const obs::Clock* clock = nullptr;
+  /// Live-introspection hooks (all optional, all null by default):
+  /// `debug` receives rendered metric/status snapshots every
+  /// `publish_interval_nanos` of run time — the run registry itself is
+  /// never touched, so final artifacts stay byte-identical. `flight`
+  /// gets always-on ring events on the same caller-assigned tids the
+  /// tracer uses. `watchdog` gets a registered task with per-post
+  /// progress reports and queue/backlog depth.
+  obs::DebugState* debug = nullptr;
+  obs::FlightRecorder* flight = nullptr;
+  obs::Watchdog* watchdog = nullptr;
+  uint64_t publish_interval_nanos = 50'000'000;  // 50 ms
 };
 
 /// Optional durability hooks for a pipeline run. When `session` is set,

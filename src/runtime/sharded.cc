@@ -48,21 +48,37 @@ struct Shard {
       FIREHOSE_THREAD_OWNED(shard_worker);  // merged after Run
 
   void Run(const PostStream& stream, const obs::Clock& clock,
-           obs::TraceRecorder* trace, uint32_t shard_index) {
-    obs::TraceScope span(trace, "Shard.scan", "shard", shard_index);
+           const PipelineObs& o, uint32_t shard_index) {
+    obs::TraceScope span(o.trace, "Shard.scan", "shard", shard_index);
+    // The shard's "queue" is the undrained suffix of the shared stream:
+    // depth > 0 with a frozen scan position is exactly a wedged worker.
+    const int watchdog_task =
+        o.watchdog != nullptr ? o.watchdog->RegisterTask("shard") : -1;
+    size_t scanned = 0;
     for (const Post& post : stream) {
+      ++scanned;
+      if (watchdog_task >= 0) {
+        o.watchdog->ReportProgress(watchdog_task, scanned);
+        o.watchdog->SetQueueDepth(
+            watchdog_task, static_cast<int64_t>(stream.size() - scanned));
+      }
       if (post.author >= author_components.size()) continue;
       for (uint32_t index : author_components[post.author]) {
         ShardComponent& c = *components[index];
         ++posts_in;
         const uint64_t start = clock.NowNanos();
         const bool admitted = c.diversifier->Offer(post);
-        latency.RecordNanos(clock.NowNanos() - start);
+        const uint64_t end = clock.NowNanos();
+        latency.RecordNanos(end - start);
+        if (o.flight != nullptr) {
+          o.flight->RecordComplete(shard_index, "offer", "shard", start, end);
+        }
         if (admitted) {
           for (UserId user : c.users) deliveries.emplace_back(post.id, user);
         }
       }
     }
+    if (watchdog_task >= 0) o.watchdog->SetQueueDepth(watchdog_task, 0);
     for (const auto& c : components) {
       stats.MergeFrom(c->diversifier->stats());
     }
@@ -126,14 +142,14 @@ ShardedRunResult RunShardedSUser(
   // S_* deliveries.
   WallTimer timer;
   if (shards.size() == 1) {
-    shards[0].Run(stream, clock, o.trace, 0);
+    shards[0].Run(stream, clock, o, 0);
   } else {
     std::vector<std::thread> workers;
     workers.reserve(shards.size());
     for (uint32_t s = 0; s < shards.size(); ++s) {
       Shard& shard = shards[s];
       workers.emplace_back([&shard, &stream, &clock, &o, s] {
-        shard.Run(stream, clock, o.trace, s);
+        shard.Run(stream, clock, o, s);
       });
     }
     for (std::thread& worker : workers) worker.join();

@@ -34,6 +34,10 @@ struct ShardedRunResult {
 /// per-component diversifiers shard across threads with exact,
 /// deterministic equivalence to the sequential S_* engine.
 ///
+/// When `o.watchdog` is set each worker registers a "shard" task and
+/// reports scan progress plus the undrained stream suffix as its queue
+/// depth; `o.flight` records per-offer spans with tid = shard index.
+///
 /// Each shard owns a subset of the distinct components (round-robin by
 /// component discovery order) and scans the shared read-only stream,
 /// offering each post to its own components only. Deliveries are merged

@@ -23,10 +23,10 @@ namespace firehose {
 ///        capacity; CosineUniBin gains snapshots
 ///     3  IngestStats gains the pruned counter; CosineUniBin stores
 ///        PostBin-backed snapshots (term vectors serialized alongside)
-inline constexpr std::string_view kBuildVersion = "firehose 0.4.0";
+inline constexpr std::string_view kBuildVersion = "firehose 0.5.0";
 inline constexpr uint32_t kStateFormatVersion = 3;
 
-/// "firehose 0.4.0 (state format 3)" — the one-line identity string.
+/// "firehose 0.5.0 (state format 3)" — the one-line identity string.
 inline std::string BuildInfoString() {
   return std::string(kBuildVersion) + " (state format " +
          std::to_string(kStateFormatVersion) + ")";

@@ -191,9 +191,13 @@ TEST(DurSeamTest, FlagsFileMutationOutsideIoAndDur) {
   EXPECT_EQ(bad.findings[0].check, "dur-seam");
   EXPECT_EQ(bad.findings[0].line, 3);
 
-  // The same bytes are sanctioned inside the two file-owning modules.
+  // The same bytes are sanctioned inside the two file-owning modules,
+  // and in the logger's stderr sink (a terminal stream, not durable
+  // state).
   EXPECT_TRUE(RunAnalysis({{"src/io/x.cc", body}}, {"dur-seam"}).findings.empty());
   EXPECT_TRUE(RunAnalysis({{"src/dur/x.cc", body}}, {"dur-seam"}).findings.empty());
+  EXPECT_TRUE(
+      RunAnalysis({{"src/obs/log.cc", body}}, {"dur-seam"}).findings.empty());
 }
 
 TEST(ObsSeamTest, FlagsTimeOutsideClockSeam) {
@@ -206,6 +210,19 @@ TEST(ObsSeamTest, FlagsTimeOutsideClockSeam) {
   // obs/clock.* is the sanctioned wrapper; other modules are out of scope.
   EXPECT_TRUE(RunAnalysis({{"src/obs/clock.cc", body}}, {"obs-seam"}).findings.empty());
   EXPECT_TRUE(RunAnalysis({{"src/core/x.cc", body}}, {"obs-seam"}).findings.empty());
+}
+
+TEST(ObsSeamTest, LogSinkOwnsTheStderrSeam) {
+  // The default log sink is the one sanctioned fwrite in src/obs; any
+  // other obs file doing stdio is still a violation.
+  const std::string body =
+      "void Sink(const char* p, size_t n) { std::fwrite(p, 1, n, stderr); }\n";
+  EXPECT_TRUE(
+      RunAnalysis({{"src/obs/log.cc", body}}, {"obs-seam"}).findings.empty());
+  const AnalysisResult bad =
+      RunAnalysis({{"src/obs/metrics_extra.cc", body}}, {"obs-seam"});
+  ASSERT_EQ(bad.findings.size(), 1u);
+  EXPECT_EQ(bad.findings[0].check, "obs-seam");
 }
 
 TEST(IncludeGuardTest, EnforcesIfndefGuards) {

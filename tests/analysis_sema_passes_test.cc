@@ -297,13 +297,19 @@ TEST(AtomicOrderingTest, ExplicitNonRelaxedOrdersAreClean) {
 }
 
 TEST(AtomicOrderingTest, RelaxedIsLegalOnTheAllowlistedSeams) {
-  const AnalysisResult result = RunAnalysis(
-      {{"src/runtime/spsc_queue.h",
-        "std::atomic<size_t> head{0};\n"
-        "size_t Peek() { return head.load(std::memory_order_relaxed); }\n"}},
-      {"atomic-ordering"});
-  ASSERT_TRUE(result.ok) << result.error;
-  EXPECT_TRUE(result.findings.empty());
+  const std::string body =
+      "std::atomic<size_t> head{0};\n"
+      "size_t Peek() { return head.load(std::memory_order_relaxed); }\n";
+  // SPSC queue plus the observability seams that carry reviewed
+  // protocols: seqlock slots, GCRA limiter, watchdog progress slots.
+  for (const char* path :
+       {"src/runtime/spsc_queue.h", "src/obs/flight_recorder.cc",
+        "src/obs/log.cc", "src/obs/watchdog.cc"}) {
+    const AnalysisResult result =
+        RunAnalysis({{path, body}}, {"atomic-ordering"});
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_TRUE(result.findings.empty()) << path;
+  }
 }
 
 TEST(AtomicOrderingTest, HeaderAtomicsAreKnownInTheIncludingSource) {

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_compare.py over the committed fixture pair.
+
+Fixtures live in tests/fixtures/bench_compare/: one baseline artifact plus
+a behavior-identical fresh run (timing moved, ratio improved) and a drifted
+fresh run (deterministic counter changed, ratio dropped below the floor).
+"""
+
+import contextlib
+import importlib.util
+import io
+import json
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "bench_compare"
+
+spec = importlib.util.spec_from_file_location(
+    "bench_compare", REPO_ROOT / "tools" / "bench_compare.py")
+bench_compare = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_compare)
+
+
+def run(argv):
+    """Runs bench_compare.main and captures (exit_code, stdout)."""
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = bench_compare.main(argv)
+    return code, out.getvalue()
+
+
+class ClassifyTest(unittest.TestCase):
+    def test_timing_names_are_skipped(self):
+        for key in ("scan.kernel_ns_x1000", "ingest.wall_ms",
+                    "decide.latency.p99_us", "index.crossover_size"):
+            self.assertEqual(bench_compare.classify(key), "skip", key)
+
+    def test_ratio_and_exact(self):
+        self.assertEqual(bench_compare.classify("scan.speedup_pct"), "ratio")
+        self.assertEqual(bench_compare.classify("posts.per_sec"), "ratio")
+        self.assertEqual(bench_compare.classify("scan.comparisons"), "exact")
+
+
+class CompareTest(unittest.TestCase):
+    def test_identical_behavior_passes_and_reports_timing(self):
+        code, out = run([str(FIXTURES / "baseline"),
+                         str(FIXTURES / "fresh_ok")])
+        self.assertEqual(code, 0, out)
+        # Timing keys surface in the default human-readable report.
+        self.assertIn("timing: BENCH_demo.json: scan.kernel_ns_x1000: "
+                      "500 -> 750", out)
+        self.assertIn("bench_compare: OK", out)
+
+    def test_counter_drift_and_ratio_drop_fail(self):
+        code, out = run([str(FIXTURES / "baseline"),
+                         str(FIXTURES / "fresh_drift")])
+        self.assertEqual(code, 1, out)
+        self.assertIn("scan.comparisons: 1000 -> 999", out)
+        self.assertIn("scan.speedup_pct: 200 -> 120", out)
+
+    def test_check_timing_flags_regression(self):
+        code, out = run([str(FIXTURES / "baseline"),
+                         str(FIXTURES / "fresh_ok"), "--check-timing"])
+        # 500 -> 750 is a 50% slowdown, beyond the default 25% tolerance.
+        self.assertEqual(code, 1, out)
+        self.assertIn("timing regressed", out)
+
+    def test_require_floor(self):
+        code, out = run([str(FIXTURES / "baseline"),
+                         str(FIXTURES / "fresh_ok"),
+                         "--require", "scan.speedup_pct>=150"])
+        self.assertEqual(code, 0, out)
+        code, out = run([str(FIXTURES / "baseline"),
+                         str(FIXTURES / "fresh_ok"),
+                         "--require", "scan.speedup_pct>=500"])
+        self.assertEqual(code, 1, out)
+
+
+class JsonOutTest(unittest.TestCase):
+    def test_summary_schema_and_contents(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            summary_path = Path(tmp) / "summary.json"
+            code, _ = run([str(FIXTURES / "baseline"),
+                           str(FIXTURES / "fresh_ok"),
+                           "--json-out", str(summary_path)])
+            self.assertEqual(code, 0)
+            summary = json.loads(summary_path.read_text())
+        self.assertEqual(summary["schema"], "firehose.bench_compare.v1")
+        self.assertEqual(summary["status"], "ok")
+        self.assertEqual(summary["artifacts"], ["BENCH_demo.json"])
+        self.assertEqual(summary["failures"], [])
+        timing_keys = {entry["key"] for entry in summary["timing"]}
+        self.assertIn("scan.kernel_ns_x1000", timing_keys)
+        entry = next(e for e in summary["timing"]
+                     if e["key"] == "scan.kernel_ns_x1000")
+        self.assertEqual(entry["baseline"], 500)
+        self.assertEqual(entry["fresh"], 750)
+
+    def test_summary_written_even_on_failure(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            summary_path = Path(tmp) / "summary.json"
+            code, _ = run([str(FIXTURES / "baseline"),
+                           str(FIXTURES / "fresh_drift"),
+                           "--json-out", str(summary_path)])
+            self.assertEqual(code, 1)
+            summary = json.loads(summary_path.read_text())
+        self.assertEqual(summary["status"], "fail")
+        self.assertTrue(any("scan.comparisons" in failure
+                            for failure in summary["failures"]))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,112 @@
+#include "src/io/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace firehose {
+namespace {
+
+TEST(HttpServerTest, ServesGetOnEphemeralPort) {
+  HttpServer server;
+  ASSERT_TRUE(server.Start(0, [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = "hello " + request.path + "\n";
+    return response;
+  }));
+  ASSERT_GT(server.port(), 0);
+  EXPECT_TRUE(server.running());
+
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpGet(server.port(), "/greet", &status, &body));
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "hello /greet\n");
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServerTest, SplitsQueryFromPath) {
+  HttpServer server;
+  std::string seen_path;
+  std::string seen_query;
+  ASSERT_TRUE(server.Start(0, [&](const HttpRequest& request) {
+    seen_path = request.path;
+    seen_query = request.query;
+    return HttpResponse{};
+  }));
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpGet(server.port(), "/tracez?window_s=5", &status, &body));
+  EXPECT_EQ(seen_path, "/tracez");
+  EXPECT_EQ(seen_query, "window_s=5");
+  server.Stop();
+}
+
+TEST(HttpServerTest, PropagatesHandlerStatus) {
+  HttpServer server;
+  ASSERT_TRUE(server.Start(0, [](const HttpRequest&) {
+    HttpResponse response;
+    response.status = 404;
+    response.body = "nope\n";
+    return response;
+  }));
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpGet(server.port(), "/missing", &status, &body));
+  EXPECT_EQ(status, 404);
+  EXPECT_EQ(body, "nope\n");
+  server.Stop();
+}
+
+TEST(HttpServerTest, HandlesSequentialConnections) {
+  HttpServer server;
+  int hits = 0;
+  ASSERT_TRUE(server.Start(0, [&](const HttpRequest&) {
+    ++hits;
+    HttpResponse response;
+    response.body = std::to_string(hits);
+    return response;
+  }));
+  for (int i = 1; i <= 5; ++i) {
+    int status = 0;
+    std::string body;
+    ASSERT_TRUE(HttpGet(server.port(), "/", &status, &body));
+    EXPECT_EQ(body, std::to_string(i));
+  }
+  server.Stop();
+}
+
+TEST(HttpServerTest, RebindAfterStopWorks) {
+  HttpServer server;
+  ASSERT_TRUE(server.Start(0, [](const HttpRequest&) {
+    return HttpResponse{};
+  }));
+  const int first_port = server.port();
+  server.Stop();
+
+  HttpServer second;
+  ASSERT_TRUE(second.Start(0, [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "second";
+    return response;
+  }));
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpGet(second.port(), "/", &status, &body));
+  EXPECT_EQ(body, "second");
+  second.Stop();
+  (void)first_port;
+}
+
+TEST(HttpGetTest, FailsCleanlyWhenNothingListens) {
+  int status = 0;
+  std::string body;
+  // Port 1 is privileged and almost certainly closed; the client must
+  // return false, not hang or crash.
+  EXPECT_FALSE(HttpGet(1, "/", &status, &body));
+}
+
+}  // namespace
+}  // namespace firehose

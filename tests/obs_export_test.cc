@@ -59,6 +59,45 @@ TEST(ExportPrometheusTest, DropsTimingMetricsOnRequest) {
   EXPECT_NE(without.find("firehose_stable 1"), std::string::npos);
 }
 
+TEST(ExportPrometheusTest, HelpLineIsEmittedAndEscaped) {
+  MetricsRegistry registry;
+  registry.GetCounter("posts.in")->Add(1);
+  registry.SetHelp("posts.in", "posts accepted\nby the \"ingest\" \\ stage");
+  const std::string expected =
+      "# HELP firehose_posts_in posts accepted\\nby the \"ingest\" \\\\ "
+      "stage\n"
+      "# TYPE firehose_posts_in counter\n"
+      "firehose_posts_in 1\n";
+  EXPECT_EQ(ExportPrometheus(registry), expected);
+}
+
+TEST(ExportPrometheusTest, NoHelpMeansNoHelpLine) {
+  MetricsRegistry registry;
+  registry.GetCounter("posts.in")->Add(1);
+  EXPECT_EQ(ExportPrometheus(registry),
+            "# TYPE firehose_posts_in counter\nfirehose_posts_in 1\n");
+}
+
+TEST(PrometheusEscapingTest, HostileLabelValues) {
+  // Exposition format: label values escape backslash, double quote, and
+  // newline; everything else passes through byte-for-byte.
+  EXPECT_EQ(PrometheusEscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(PrometheusEscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(PrometheusEscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(PrometheusEscapeLabelValue("a\nb"), "a\\nb");
+  EXPECT_EQ(PrometheusEscapeLabelValue("\\\"\n"), "\\\\\\\"\\n");
+  EXPECT_EQ(PrometheusEscapeLabelValue(""), "");
+}
+
+TEST(PrometheusEscapingTest, HostileHelpStrings) {
+  // HELP lines escape backslash and newline but NOT double quotes.
+  EXPECT_EQ(PrometheusEscapeHelp("plain help"), "plain help");
+  EXPECT_EQ(PrometheusEscapeHelp("a\"b"), "a\"b");
+  EXPECT_EQ(PrometheusEscapeHelp("a\\b"), "a\\\\b");
+  EXPECT_EQ(PrometheusEscapeHelp("line one\nline two"),
+            "line one\\nline two");
+}
+
 // --- JSON snapshot -----------------------------------------------------------
 
 TEST(ExportJsonTest, RoundTripsRecordedValues) {

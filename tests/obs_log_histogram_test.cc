@@ -1,0 +1,122 @@
+#include "src/obs/log_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace firehose {
+namespace obs {
+namespace {
+
+TEST(LogHistogramQuantileTest, EmptyHistogramIsZeroEverywhere) {
+  LogHistogram histogram;
+  EXPECT_EQ(histogram.ValueAtQuantile(0.0), 0.0);
+  EXPECT_EQ(histogram.ValueAtQuantile(0.5), 0.0);
+  EXPECT_EQ(histogram.ValueAtQuantile(1.0), 0.0);
+}
+
+TEST(LogHistogramQuantileTest, SingleValueCollapsesEveryQuantile) {
+  LogHistogram histogram;
+  histogram.Record(1000);
+  // One observation: every quantile is that observation (the clamp to
+  // [min, max] collapses the bucket interpolation).
+  for (double q : {0.0, 0.01, 0.5, 0.95, 1.0}) {
+    EXPECT_EQ(histogram.ValueAtQuantile(q), 1000.0) << q;
+  }
+}
+
+TEST(LogHistogramQuantileTest, InterpolatesInsideABucket) {
+  LogHistogram histogram;
+  // 1024 is an exact bucket lower edge (2^10); fill that one bucket.
+  for (int i = 0; i < 100; ++i) histogram.Record(1024);
+  const int bucket = LogHistogram::BucketFor(1024);
+  const double lower = LogHistogram::BucketLowerValue(bucket);
+  const double upper = LogHistogram::BucketUpperValue(bucket);
+  const double p50 = histogram.ValueAtQuantile(0.5);
+  // Within the bucket's edges before clamping; the exact-extreme clamp
+  // then pins it to the single recorded value's range.
+  EXPECT_GE(p50, lower - 1e-9);
+  EXPECT_LE(p50, upper + 1e-9);
+  EXPECT_EQ(p50, 1024.0);  // min == max == 1024 forces exactness
+}
+
+TEST(LogHistogramQuantileTest, QuantilesAreClampedToObservedRange) {
+  LogHistogram histogram;
+  histogram.Record(100);
+  histogram.Record(200);
+  histogram.Record(400);
+  EXPECT_GE(histogram.ValueAtQuantile(0.0), 100.0);
+  EXPECT_LE(histogram.ValueAtQuantile(1.0), 400.0);
+}
+
+TEST(LogHistogramQuantileTest, ZeroRecordsClampIntoDomain) {
+  LogHistogram histogram;
+  histogram.Record(0);
+  EXPECT_EQ(histogram.count(), 1u);
+  EXPECT_EQ(histogram.min(), 1u);
+  // The quantile stays in the histogram's [1, 2^(1/9)) first bucket
+  // instead of being dragged to 0 by the raw recorded value.
+  EXPECT_GT(histogram.ValueAtQuantile(0.5), 0.0);
+}
+
+// The property the interpolation must never violate: for any data set
+// and any q1 <= q2, ValueAtQuantile(q1) <= ValueAtQuantile(q2) — even
+// across bucket boundaries, where naive interpolation schemes step
+// backwards.
+TEST(LogHistogramQuantilePropertyTest, MonotoneOverRandomizedInserts) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 50; ++trial) {
+    LogHistogram histogram;
+    const int inserts = 1 + static_cast<int>(rng.Next() % 2000);
+    for (int i = 0; i < inserts; ++i) {
+      // Mix of magnitudes: uniform in a random octave span, so some
+      // trials are tight clusters and others span many buckets.
+      const int shift = static_cast<int>(rng.Next() % 30);
+      histogram.Record(rng.Next() % (1ull << (shift + 4)));
+    }
+    double previous = -1.0;
+    for (int step = 0; step <= 1000; ++step) {
+      const double q = static_cast<double>(step) / 1000.0;
+      const double value = histogram.ValueAtQuantile(q);
+      ASSERT_GE(value, previous)
+          << "quantile regression at q=" << q << " on trial " << trial;
+      previous = value;
+    }
+    // End points respect the exact tracked extremes.
+    EXPECT_GE(histogram.ValueAtQuantile(0.0),
+              static_cast<double>(histogram.min()));
+    EXPECT_LE(histogram.ValueAtQuantile(1.0),
+              static_cast<double>(histogram.max()));
+  }
+}
+
+TEST(LogHistogramQuantilePropertyTest, MergePreservesMonotonicity) {
+  Rng rng(777);
+  LogHistogram a;
+  LogHistogram b;
+  for (int i = 0; i < 500; ++i) {
+    a.Record(rng.Next() % 100000);
+    b.Record(1 + rng.Next() % 100);
+  }
+  LogHistogram merged;
+  merged.MergeFrom(a);
+  merged.MergeFrom(b);
+  EXPECT_EQ(merged.count(), a.count() + b.count());
+  EXPECT_EQ(merged.min(), std::min(a.min(), b.min()));
+  EXPECT_EQ(merged.max(), std::max(a.max(), b.max()));
+  double previous = -1.0;
+  for (int step = 0; step <= 200; ++step) {
+    const double value =
+        merged.ValueAtQuantile(static_cast<double>(step) / 200.0);
+    ASSERT_GE(value, previous);
+    previous = value;
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace firehose

@@ -1,0 +1,168 @@
+#include "src/obs/log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/obs/clock.h"
+
+namespace firehose {
+namespace obs {
+namespace {
+
+/// Captures every emitted line; installed/removed per test.
+class CapturedLog {
+ public:
+  CapturedLog() {
+    SetLogSink(&CapturedLog::Sink, this);
+    SetLogMinLevel(LogLevel::kDebug);
+  }
+  ~CapturedLog() {
+    SetLogSink(nullptr, nullptr);
+    SetLogClock(nullptr);
+    SetLogMinLevel(LogLevel::kInfo);
+  }
+
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  static void Sink(void* ctx, std::string_view line) {
+    static_cast<CapturedLog*>(ctx)->lines_.emplace_back(line);
+  }
+  std::vector<std::string> lines_;
+};
+
+TEST(LogEventTest, FormatsLevelMessageAndPairs) {
+  CapturedLog log;
+  ManualClock clock(1234);
+  SetLogClock(&clock);
+  FIREHOSE_LOG(kWarn, "wal torn tail")
+      .Kv("segment", static_cast<uint64_t>(7))
+      .Kv("offset", 4096)
+      .Kv("torn", true);
+  ASSERT_EQ(log.lines().size(), 1u);
+  EXPECT_EQ(log.lines()[0],
+            "ts=1234 level=warn msg=\"wal torn tail\" segment=7 offset=4096 "
+            "torn=true");
+}
+
+TEST(LogEventTest, QuotesAndEscapesHostileValues) {
+  CapturedLog log;
+  ManualClock clock(1);
+  SetLogClock(&clock);
+  FIREHOSE_LOG(kInfo, "x")
+      .Kv("path", "/tmp/a b")
+      .Kv("quote", "say \"hi\"")
+      .Kv("slash", "a\\b")
+      .Kv("newline", "a\nb")
+      .Kv("equals", "k=v")
+      .Kv("empty", "");
+  ASSERT_EQ(log.lines().size(), 1u);
+  const std::string& line = log.lines()[0];
+  EXPECT_NE(line.find("path=\"/tmp/a b\""), std::string::npos);
+  EXPECT_NE(line.find("quote=\"say \\\"hi\\\"\""), std::string::npos);
+  EXPECT_NE(line.find("slash=\"a\\\\b\""), std::string::npos);
+  EXPECT_NE(line.find("newline=\"a\\nb\""), std::string::npos);
+  EXPECT_NE(line.find("equals=\"k=v\""), std::string::npos);
+  EXPECT_NE(line.find("empty=\"\""), std::string::npos);
+  // Escaped, so the line itself never spans two lines.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(LogEventTest, SignedAndFloatValues) {
+  CapturedLog log;
+  ManualClock clock(1);
+  SetLogClock(&clock);
+  FIREHOSE_LOG(kInfo, "nums")
+      .Kv("neg", -42)
+      .Kv("big", 1ull << 40)
+      .Kv("ratio", 0.25);
+  ASSERT_EQ(log.lines().size(), 1u);
+  const std::string& line = log.lines()[0];
+  EXPECT_NE(line.find("neg=-42"), std::string::npos);
+  EXPECT_NE(line.find("big=1099511627776"), std::string::npos);
+  EXPECT_NE(line.find("ratio=0.25"), std::string::npos);
+}
+
+TEST(LogLevelTest, MinLevelDropsBelow) {
+  CapturedLog log;
+  SetLogMinLevel(LogLevel::kWarn);
+  FIREHOSE_LOG(kDebug, "dropped debug");
+  FIREHOSE_LOG(kInfo, "dropped info");
+  FIREHOSE_LOG(kWarn, "kept warn");
+  FIREHOSE_LOG(kError, "kept error");
+  ASSERT_EQ(log.lines().size(), 2u);
+  EXPECT_NE(log.lines()[0].find("kept warn"), std::string::npos);
+  EXPECT_NE(log.lines()[1].find("kept error"), std::string::npos);
+}
+
+TEST(LogSiteTest, AdmitsBurstThenSuppresses) {
+  // 10/s with burst 3 from idle: 3 admitted back-to-back, the rest of
+  // the same instant suppressed.
+  LogSite site(10.0, 3);
+  EXPECT_EQ(site.Admit(0), 0);
+  EXPECT_EQ(site.Admit(0), 0);
+  EXPECT_EQ(site.Admit(0), 0);
+  EXPECT_EQ(site.Admit(0), -1);
+  EXPECT_EQ(site.Admit(0), -1);
+  EXPECT_EQ(site.suppressed_total(), 2u);
+}
+
+TEST(LogSiteTest, RefillsOverTimeAndReportsSuppressedCount) {
+  LogSite site(10.0, 1);  // one admission per 100ms, no burst headroom
+  EXPECT_EQ(site.Admit(0), 0);
+  EXPECT_EQ(site.Admit(1'000'000), -1);
+  EXPECT_EQ(site.Admit(2'000'000), -1);
+  // 100ms later the bucket refilled; the admitted call reports how many
+  // lines were dropped since the last admission.
+  EXPECT_EQ(site.Admit(100'000'000), 2);
+  // The counter reset after being reported.
+  EXPECT_EQ(site.Admit(200'000'000), 0);
+}
+
+TEST(LogSiteTest, UnlimitedSiteAlwaysAdmits) {
+  LogSite site(0.0, 0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(site.Admit(0), 0);
+}
+
+TEST(LogRateLimitTest, SuppressedCountSurfacesOnNextAdmittedLine) {
+  CapturedLog log;
+  ManualClock clock(0);
+  SetLogClock(&clock);
+  // The macro's built-in site is 50/s burst 10, and each expansion owns
+  // its own site — so the whole scenario must run through ONE expansion:
+  // 20 calls at t=0 (10 land, 10 suppressed), then one more a second
+  // later once the bucket refilled.
+  for (int i = 0; i < 21; ++i) {
+    if (i == 20) {
+      EXPECT_EQ(log.lines().size(), 10u);
+      clock.AdvanceNanos(1'000'000'000);
+    }
+    FIREHOSE_LOG(kInfo, "flood");
+  }
+  ASSERT_EQ(log.lines().size(), 11u);
+  // The refilled line carries the count of what was dropped meanwhile.
+  EXPECT_NE(log.lines()[10].find("suppressed=10"), std::string::npos);
+}
+
+TEST(LogRateLimitTest, SuppressedStatementSkipsArgumentEvaluation) {
+  CapturedLog log;
+  ManualClock clock(0);
+  SetLogClock(&clock);
+  int evaluations = 0;
+  const auto expensive = [&evaluations]() {
+    ++evaluations;
+    return 1;
+  };
+  for (int i = 0; i < 20; ++i) {
+    FIREHOSE_LOG(kInfo, "flood2").Kv("cost", expensive());
+  }
+  // Only the 10 admitted lines paid for their arguments.
+  EXPECT_EQ(log.lines().size(), 10u);
+  EXPECT_EQ(evaluations, 10);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace firehose

@@ -1,0 +1,152 @@
+#include "src/obs/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/obs/clock.h"
+
+namespace firehose {
+namespace obs {
+namespace {
+
+constexpr uint64_t kSecond = 1'000'000'000ull;
+
+TEST(WatchdogTest, SlowButProgressingNeverTrips) {
+  ManualClock clock(0);
+  Watchdog watchdog(/*stall_nanos=*/2 * kSecond, &clock);
+  const int task = watchdog.RegisterTask("consumer");
+  ASSERT_GE(task, 0);
+  watchdog.SetQueueDepth(task, 100);
+
+  // One post every 1.5s: slower than the poll cadence but always moving
+  // before the 2s stall budget runs out.
+  uint64_t progress = 0;
+  for (int i = 0; i < 10; ++i) {
+    clock.AdvanceNanos(3 * kSecond / 2);
+    watchdog.ReportProgress(task, ++progress);
+    EXPECT_EQ(watchdog.Poll(), 0);
+  }
+  EXPECT_EQ(watchdog.trip_count(), 0u);
+}
+
+TEST(WatchdogTest, WedgedConsumerWithQueuedWorkTripsOnce) {
+  ManualClock clock(0);
+  Watchdog watchdog(2 * kSecond, &clock);
+  const int task = watchdog.RegisterTask("consumer");
+  std::vector<std::string> trips;
+  watchdog.SetTripCallback(
+      [&](int id, const char* name, uint64_t progress, int64_t depth) {
+        trips.push_back(std::string(name) + ":" + std::to_string(id) + ":" +
+                        std::to_string(progress) + ":" +
+                        std::to_string(depth));
+      });
+
+  watchdog.ReportProgress(task, 5);
+  clock.AdvanceNanos(kSecond);
+  EXPECT_EQ(watchdog.Poll(), 0);  // absorbs progress=5 as the baseline
+
+  // The producer keeps publishing depth, the consumer stops reporting.
+  watchdog.SetQueueDepth(task, 42);
+  clock.AdvanceNanos(kSecond);
+  EXPECT_EQ(watchdog.Poll(), 0);  // only 1s frozen so far
+  clock.AdvanceNanos(kSecond + 1);
+  EXPECT_EQ(watchdog.Poll(), 1);  // 2s+ frozen with work queued: trip
+  EXPECT_EQ(watchdog.Poll(), 1);  // still stalled...
+  EXPECT_EQ(watchdog.trip_count(), 1u);  // ...but the callback fired once
+  ASSERT_EQ(trips.size(), 1u);
+  EXPECT_EQ(trips[0], "consumer:0:5:42");
+}
+
+TEST(WatchdogTest, IdleTaskNeverTrips) {
+  ManualClock clock(0);
+  Watchdog watchdog(kSecond, &clock);
+  const int task = watchdog.RegisterTask("drained");
+  watchdog.SetQueueDepth(task, 0);
+  for (int i = 0; i < 100; ++i) {
+    clock.AdvanceNanos(10 * kSecond);
+    EXPECT_EQ(watchdog.Poll(), 0);
+  }
+  EXPECT_EQ(watchdog.trip_count(), 0u);
+}
+
+TEST(WatchdogTest, ProgressAfterTripReArmsTheAlarm) {
+  ManualClock clock(0);
+  Watchdog watchdog(kSecond, &clock);
+  const int task = watchdog.RegisterTask("consumer");
+  watchdog.SetQueueDepth(task, 10);
+  clock.AdvanceNanos(kSecond + 1);
+  EXPECT_EQ(watchdog.Poll(), 1);
+  EXPECT_EQ(watchdog.trip_count(), 1u);
+
+  // It recovers, drains a bit, then wedges again: a second distinct trip.
+  watchdog.ReportProgress(task, 1);
+  EXPECT_EQ(watchdog.Poll(), 0);
+  clock.AdvanceNanos(kSecond + 1);
+  EXPECT_EQ(watchdog.Poll(), 1);
+  EXPECT_EQ(watchdog.trip_count(), 2u);
+}
+
+TEST(WatchdogTest, SnapshotReportsRegisteredSlots) {
+  ManualClock clock(0);
+  Watchdog watchdog(kSecond, &clock);
+  const int a = watchdog.RegisterTask("consumer");
+  const int b = watchdog.RegisterTask("shard");
+  watchdog.ReportProgress(a, 7);
+  watchdog.SetQueueDepth(a, 3);
+  watchdog.ReportProgress(b, 9);
+
+  Watchdog::TaskInfo info[Watchdog::kMaxTasks];
+  const int written = watchdog.SnapshotTasks(info, Watchdog::kMaxTasks);
+  ASSERT_EQ(written, 2);
+  EXPECT_STREQ(info[0].name, "consumer");
+  EXPECT_EQ(info[0].progress, 7u);
+  EXPECT_EQ(info[0].depth, 3);
+  EXPECT_FALSE(info[0].tripped);
+  EXPECT_STREQ(info[1].name, "shard");
+  EXPECT_EQ(info[1].progress, 9u);
+}
+
+TEST(WatchdogTest, SnapshotMarksTrippedSlots) {
+  ManualClock clock(0);
+  Watchdog watchdog(kSecond, &clock);
+  const int task = watchdog.RegisterTask("stuck");
+  watchdog.SetQueueDepth(task, 1);
+  clock.AdvanceNanos(kSecond + 1);
+  watchdog.Poll();
+  Watchdog::TaskInfo info[1];
+  ASSERT_EQ(watchdog.SnapshotTasks(info, 1), 1);
+  EXPECT_TRUE(info[0].tripped);
+}
+
+TEST(WatchdogTest, RegistrationBeyondCapacityIsRejected) {
+  ManualClock clock(0);
+  Watchdog watchdog(kSecond, &clock);
+  for (int i = 0; i < Watchdog::kMaxTasks; ++i) {
+    EXPECT_GE(watchdog.RegisterTask("t"), 0);
+  }
+  EXPECT_EQ(watchdog.RegisterTask("overflow"), -1);
+  // Reports against the rejected id must be safely ignored.
+  watchdog.ReportProgress(-1, 1);
+  watchdog.SetQueueDepth(-1, 1);
+  EXPECT_GE(watchdog.Poll(), 0);
+}
+
+TEST(WatchdogTest, BackgroundPollerRunsAndStops) {
+  // Real clock, tiny intervals: just proves the poller thread starts,
+  // polls, and joins cleanly. Trip logic is covered deterministically
+  // above with the ManualClock.
+  Watchdog watchdog(1, nullptr);
+  const int task = watchdog.RegisterTask("bg");
+  watchdog.SetQueueDepth(task, 1);
+  watchdog.StartPolling(/*poll_interval_nanos=*/100'000);
+  while (watchdog.trip_count() == 0) {
+  }
+  watchdog.StopPolling();
+  EXPECT_GE(watchdog.trip_count(), 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace firehose

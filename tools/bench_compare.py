@@ -17,8 +17,14 @@ in the JSON, so this script classifies keys by name:
             DROP below baseline*(1-tolerance) fails; improvements pass).
   skip    - names containing "wall", "latency", "_ns", "_us", "_ms", or
             "crossover": raw timing (or a timing-derived tipping point).
-            Reported informationally; compared one-sided only when
-            --check-timing is given (for same-machine A/B runs).
+            Always reported informationally in the human-readable output;
+            compared one-sided only when --check-timing is given (for
+            same-machine A/B runs).
+
+--json-out PATH writes a machine-readable summary (schema
+firehose.bench_compare.v1) with the pass/fail status, every failure
+line, and the baseline->fresh value of each timing key, so CI can
+archive timing trends without parsing the human report.
 
 Hard floors independent of any baseline are expressed as
   --require KEY>=VALUE   (also <=, ==) evaluated on the FRESH artifact,
@@ -79,6 +85,7 @@ class Comparison:
         self.check_timing = check_timing
         self.failures = []
         self.notes = []
+        self.timing = []  # [{artifact, key, baseline, fresh}]
 
     def compare(self, name: str, baseline: dict, fresh: dict) -> None:
         base_flat, fresh_flat = flatten(baseline), flatten(fresh)
@@ -107,13 +114,13 @@ class Comparison:
                 else:
                     self.notes.append(f"{label}: {base} -> {new} (ratio ok)")
             else:  # skip / timing
+                self.timing.append({"artifact": name, "key": key,
+                                    "baseline": base, "fresh": new})
                 if self.check_timing and isinstance(base, (int, float)) \
                         and base > 0 and new > base * (1.0 + self.tolerance):
                     self.failures.append(
                         f"{label}: {base} -> {new} (timing regressed "
                         f">{self.tolerance:.0%}; --check-timing is on)")
-                else:
-                    self.notes.append(f"{label}: {base} -> {new} (timing)")
 
 
 def check_requirement(spec: str, artifacts: dict) -> str | None:
@@ -170,7 +177,11 @@ def main(argv) -> int:
                         help="hard floor on the fresh artifact, e.g. "
                              "scan.speedup_pct>=150 (repeatable)")
     parser.add_argument("--verbose", action="store_true",
-                        help="print informational (timing/ratio) lines too")
+                        help="print informational ratio lines too")
+    parser.add_argument("--json-out", type=Path, default=None,
+                        metavar="PATH",
+                        help="write a machine-readable summary "
+                             "(firehose.bench_compare.v1) to PATH")
     args = parser.parse_args(argv)
 
     comparison = Comparison(args.tolerance, args.check_timing)
@@ -194,16 +205,31 @@ def main(argv) -> int:
     if args.verbose:
         for note in comparison.notes:
             print(f"  note: {note}")
+    for entry in comparison.timing:
+        print(f"  timing: {entry['artifact']}: {entry['key']}: "
+              f"{entry['baseline']} -> {entry['fresh']}")
     for failure in comparison.failures:
         print(f"FAIL: {failure}")
     compared = len(fresh_docs)
+    status = 1 if comparison.failures else 0
+    if args.json_out is not None:
+        summary = {
+            "schema": "firehose.bench_compare.v1",
+            "status": "fail" if comparison.failures else "ok",
+            "tolerance": args.tolerance,
+            "check_timing": args.check_timing,
+            "artifacts": sorted(fresh_docs),
+            "failures": comparison.failures,
+            "timing": comparison.timing,
+        }
+        args.json_out.write_text(json.dumps(summary, indent=1) + "\n")
     if comparison.failures:
         print(f"bench_compare: {len(comparison.failures)} failure(s) across "
               f"{compared} artifact(s)")
-        return 1
+        return status
     print(f"bench_compare: OK ({compared} artifact(s), "
-          f"{len(comparison.notes)} timing/ratio keys informational)")
-    return 0
+          f"{len(comparison.timing)} timing keys informational)")
+    return status
 
 
 if __name__ == "__main__":

@@ -104,7 +104,8 @@ int main(int argc, char** argv) {
   const auto unknown = flags.UnknownFlags(
       {"graph", "stream", "out", "cover", "algorithm", "lambda_c",
        "lambda_t_min", "live", "speedup", "metrics_out", "trace_out",
-       "wal_dir", "checkpoint_every", "wal_sync", "version", "help"});
+       "wal_dir", "checkpoint_every", "wal_sync", "debug_port",
+       "crash_trace_out", "version", "help"});
   if (flags.Has("version")) {
     std::printf("%s\n", BuildInfoString().c_str());
     return 0;
@@ -118,7 +119,9 @@ int main(int argc, char** argv) {
         "    [--lambda_c=18] [--lambda_t_min=30] [--live] [--speedup=F]\n"
         "    [--metrics_out=PATH(.json|.prom)] [--trace_out=PATH]\n"
         "    [--wal_dir=DIR] [--checkpoint_every=N]\n"
-        "    [--wal_sync=none|always|every=N] [--version]\n");
+        "    [--wal_sync=none|always|every=N]\n"
+        "    [--debug_port=N (0 = ephemeral)] [--crash_trace_out=PATH]\n"
+        "    [--version]\n");
     return flags.Has("help") ? 0 : 2;
   }
 
@@ -171,6 +174,58 @@ int main(int argc, char** argv) {
   PipelineObs pipeline_obs;
   if (want_metrics) pipeline_obs.metrics = &metrics;
   if (want_trace) pipeline_obs.trace = &trace;
+
+  // Live introspection (DESIGN.md §4h): --debug_port serves /metricsz,
+  // /varz, /statusz and /tracez on 127.0.0.1 while the run is in flight;
+  // --crash_trace_out arms the fatal-signal flight dump (and receives the
+  // flight trace on a watchdog trip). Both install the process-global
+  // flight recorder, so engine-adjacent events land in the same rings.
+  obs::FlightRecorder flight;
+  obs::Watchdog watchdog(/*stall_nanos=*/2ull * 1000 * 1000 * 1000);
+  std::unique_ptr<obs::DebugServer> debug_server;
+  const bool want_debug = flags.Has("debug_port");
+  const std::string crash_trace_path = flags.GetString("crash_trace_out", "");
+  if (want_debug || !crash_trace_path.empty()) {
+    obs::SetGlobalFlightRecorder(&flight);
+    pipeline_obs.flight = &flight;
+  }
+  if (!crash_trace_path.empty()) {
+    obs::InstallCrashDumpHandler(crash_trace_path.c_str());
+    watchdog.SetTripCallback([&](int, const char* name, uint64_t progress,
+                                 int64_t depth) {
+      FIREHOSE_LOG(kError, "watchdog stall detected, dumping flight trace")
+          .Kv("task", name)
+          .Kv("progress", progress)
+          .Kv("depth", depth)
+          .Kv("trace", crash_trace_path);
+      (void)WriteStringToFile(crash_trace_path,
+                              flight.DumpJson(30ull * 1000 * 1000 * 1000));
+    });
+  } else {
+    watchdog.SetTripCallback([](int, const char* name, uint64_t progress,
+                                int64_t depth) {
+      FIREHOSE_LOG(kError, "watchdog stall detected")
+          .Kv("task", name)
+          .Kv("progress", progress)
+          .Kv("depth", depth);
+    });
+  }
+  if (want_debug) {
+    obs::DebugServer::Options server_options;
+    server_options.flight = &flight;
+    server_options.watchdog = &watchdog;
+    debug_server = std::make_unique<obs::DebugServer>(server_options);
+    if (!debug_server->Start(static_cast<int>(flags.GetInt("debug_port", 0)))) {
+      std::fprintf(stderr, "error: cannot bind debug port\n");
+      return 1;
+    }
+    std::printf("debug server listening on http://127.0.0.1:%d\n",
+                debug_server->port());
+    std::fflush(stdout);
+    pipeline_obs.debug = debug_server->state();
+    pipeline_obs.watchdog = &watchdog;
+    watchdog.StartPolling(/*poll_interval_nanos=*/500ull * 1000 * 1000);
+  }
 
   DiversityThresholds thresholds;
   thresholds.lambda_c = static_cast<int>(flags.GetInt("lambda_c", 18));
@@ -342,6 +397,9 @@ int main(int argc, char** argv) {
     live_options.speedup = flags.GetDouble("speedup", 100000.0);
     live_options.metrics = pipeline_obs.metrics;
     live_options.trace = pipeline_obs.trace;
+    live_options.debug = pipeline_obs.debug;
+    live_options.flight = pipeline_obs.flight;
+    live_options.watchdog = pipeline_obs.watchdog;
     const LiveIngestReport report =
         RunLiveIngest(*diversifier, stream, live_options);
     std::printf(
@@ -383,6 +441,15 @@ int main(int argc, char** argv) {
   }
 
   if (want_trace) obs::SetGlobalTrace(nullptr);
+
+  // Graceful debug shutdown on drain: one last publish so a scrape after
+  // the run sees final totals, then stop accepting before the registry
+  // and flight recorder leave scope.
+  if (debug_server != nullptr) {
+    watchdog.StopPolling();
+    debug_server->Stop();
+  }
+  obs::SetGlobalFlightRecorder(nullptr);
 
   if (want_metrics) {
     ExportDiversifierMetrics(*diversifier, &metrics);
