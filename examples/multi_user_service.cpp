@@ -71,10 +71,12 @@ int main() {
 
   std::printf("service: %zu users, %zu posts over 6h\n\n", users.size(),
               stream.size());
-  std::printf("%-14s %12s %10s %9s %14s %14s\n", "engine", "diversifiers",
-              "time ms", "RAM MiB", "comparisons", "insertions");
+  std::printf("%-14s %12s %10s %9s %14s %14s %12s\n", "engine",
+              "diversifiers", "time ms", "RAM MiB", "comparisons",
+              "insertions", "deliveries");
   obs::MetricsRegistry metrics;
   uint64_t engines_run = 0;
+  uint64_t total_deliveries = 0;
   for (Algorithm algorithm : kAllAlgorithms) {
     for (bool shared : {false, true}) {
       auto engine = shared
@@ -84,21 +86,27 @@ int main() {
         flight.RecordInstant(0, "engine.start", "service");
       }
       const MultiUserRunResult result = RunMultiUser(*engine, stream);
-      std::printf("%-14s %12zu %10.1f %9.2f %14llu %14llu\n",
+      std::printf("%-14s %12zu %10.1f %9.2f %14llu %14llu %12llu\n",
                   std::string(engine->name()).c_str(),
                   engine->num_diversifiers(), result.wall_ms,
                   static_cast<double>(result.peak_bytes) / (1 << 20),
                   static_cast<unsigned long long>(result.comparisons),
-                  static_cast<unsigned long long>(result.insertions));
+                  static_cast<unsigned long long>(result.insertions),
+                  static_cast<unsigned long long>(result.deliveries));
       ++engines_run;
+      total_deliveries += result.deliveries;
       if (debug_server != nullptr) {
         // Publish a consistent snapshot after each engine so a scraper
-        // watching /varz sees the service make progress.
+        // watching /varz sees the service make progress — the DELIVERY
+        // side (timeline appends), not just ingest-side work counters.
         metrics.GetCounter("service.engines_run")->Increment();
         metrics.GetCounter("service.comparisons")->Add(result.comparisons);
+        metrics.GetCounter("service.deliveries")->Add(result.deliveries);
         obs::ExportOptions export_options;
         std::string status = "{\"engines_run\": ";
         status.append(std::to_string(engines_run));
+        status.append(", \"deliveries\": ");
+        status.append(std::to_string(total_deliveries));
         status.push_back('}');
         debug_server->state()->PublishMetrics(
             obs::ExportPrometheus(metrics, export_options),
@@ -108,12 +116,23 @@ int main() {
     }
   }
   if (debug_server != nullptr) {
-    // Round-trip demo: scrape our own /statusz the way an operator would.
+    // Round-trip demo: scrape our own /statusz and /varz the way an
+    // operator would, and reconcile the published delivery counter
+    // against the local total — a mismatch would mean the publication
+    // path dropped a snapshot.
     int status = 0;
     std::string body;
     if (HttpGet(debug_server->port(), "/statusz", &status, &body)) {
       std::printf("\nself-scrape GET /statusz -> %d\n%s", status,
                   body.c_str());
+    }
+    if (HttpGet(debug_server->port(), "/varz", &status, &body)) {
+      const std::string want =
+          "\"service.deliveries\": " + std::to_string(total_deliveries);
+      std::printf("self-scrape GET /varz -> %d (%s: %s)\n", status,
+                  want.c_str(),
+                  body.find(want) != std::string::npos ? "reconciled"
+                                                       : "MISMATCH");
     }
     debug_server->Stop();
     obs::SetGlobalFlightRecorder(nullptr);

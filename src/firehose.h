@@ -42,6 +42,11 @@
 #include "src/io/binary.h"
 #include "src/io/http.h"
 #include "src/io/persist.h"
+#include "src/io/socket.h"
+#include "src/net/client.h"
+#include "src/net/placement.h"
+#include "src/net/proto.h"
+#include "src/net/server.h"
 #include "src/obs/clock.h"
 #include "src/obs/debug_server.h"
 #include "src/obs/export.h"

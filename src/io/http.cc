@@ -1,50 +1,44 @@
 #include "src/io/http.h"
 
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+
+#include "src/io/socket.h"
 
 namespace firehose {
 
 namespace {
 
-/// Reads from `fd` until the header terminator or `limit` bytes; returns
-/// what was read (possibly truncated). The debug endpoints never need a
-/// request body, so everything past the blank line is ignored.
-std::string ReadRequestHead(int fd, size_t limit) {
+/// Total wall-time budget for reading one request head. This is an
+/// overall deadline, not a per-recv timeout: a slow-loris client
+/// dribbling one byte at a time is cut off here instead of resetting a
+/// per-call timer on every byte.
+constexpr int kRequestReadDeadlineMs = 5000;
+
+/// Reads from `fd` until the header terminator, `limit` bytes, peer
+/// close, or the deadline; returns what was read (possibly truncated).
+/// The debug endpoints never need a request body, so everything past the
+/// blank line is ignored.
+std::string ReadRequestHead(int fd, size_t limit, int deadline_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(deadline_ms);
   std::string head;
   char buf[1024];
   while (head.size() < limit) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    head.append(buf, static_cast<size_t>(n));
     if (head.find("\r\n\r\n") != std::string::npos ||
         head.find("\n\n") != std::string::npos) {
       break;
     }
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) break;  // whole-request budget exhausted
+    const long n = ReadSomeDeadline(fd, buf, sizeof(buf),
+                                    static_cast<int>(remaining.count()));
+    if (n <= 0) break;  // close, deadline, or error
+    head.append(buf, static_cast<size_t>(n));
   }
   return head;
-}
-
-bool WriteAll(int fd, const std::string& data) {
-  size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
-#ifdef MSG_NOSIGNAL
-                             MSG_NOSIGNAL
-#else
-                             0
-#endif
-    );
-    if (n <= 0) return false;
-    off += static_cast<size_t>(n);
-  }
-  return true;
 }
 
 const char* StatusText(int status) {
@@ -62,29 +56,9 @@ bool HttpServer::Start(int port, Handler handler) {
   if (thread_.joinable()) return false;  // already started
   handler_ = std::move(handler);
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return false;
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-          0 ||
-      ::listen(listen_fd_, 8) < 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return false;
-  }
-
-  socklen_t len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
-      0) {
-    port_ = static_cast<int>(ntohs(addr.sin_port));
-  }
+  OwnedFd listener = ListenLoopback(port, /*backlog=*/8, &port_);
+  if (!listener.valid()) return false;
+  listen_fd_ = listener.Release();
 
   stop_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
@@ -97,7 +71,7 @@ void HttpServer::Stop() {
   stop_.store(true, std::memory_order_release);
   thread_.join();
   if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
+    OwnedFd(listen_fd_).Reset();
     listen_fd_ = -1;
   }
   running_.store(false, std::memory_order_release);
@@ -105,24 +79,18 @@ void HttpServer::Stop() {
 
 void HttpServer::Serve() {
   while (!stop_.load(std::memory_order_acquire)) {
-    pollfd pfd;
-    pfd.fd = listen_fd_;
-    pfd.events = POLLIN;
-    pfd.revents = 0;
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    if (ready <= 0) continue;  // timeout or EINTR: re-check stop flag
+    // Short accept timeout so Stop() is prompt; EINTR inside is retried
+    // by the socket layer rather than surfacing as a spurious miss.
+    OwnedFd conn = AcceptWithTimeout(listen_fd_, /*timeout_ms=*/100);
+    if (!conn.valid()) continue;
 
-    const int conn = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) continue;
+    // Belt and braces alongside the ReadRequestHead deadline: kernel
+    // timeouts for the response write path.
+    SetIoTimeouts(conn.get(), /*send_timeout_ms=*/2000,
+                  /*recv_timeout_ms=*/2000);
 
-    // A stalled client must not wedge the accept loop forever.
-    timeval tv;
-    tv.tv_sec = 2;
-    tv.tv_usec = 0;
-    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-
-    const std::string head = ReadRequestHead(conn, /*limit=*/16 * 1024);
+    const std::string head = ReadRequestHead(
+        conn.get(), /*limit=*/16 * 1024, kRequestReadDeadlineMs);
 
     HttpRequest request;
     const size_t line_end = head.find_first_of("\r\n");
@@ -158,47 +126,27 @@ void HttpServer::Serve() {
     wire.append(std::to_string(response.body.size()));
     wire.append("\r\nConnection: close\r\n\r\n");
     if (request.method != "HEAD") wire.append(response.body);
-    WriteAll(conn, wire);
-    ::close(conn);
+    (void)WriteAllFd(conn.get(), wire);
   }
 }
 
 bool HttpGet(int port, const std::string& path, int* status,
              std::string* body) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return false;
-
-  timeval tv;
-  tv.tv_sec = 5;
-  tv.tv_usec = 0;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
-    return false;
-  }
+  OwnedFd fd = ConnectLoopback(port, /*io_timeout_ms=*/5000);
+  if (!fd.valid()) return false;
 
   const std::string request =
       "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
-  if (!WriteAll(fd, request)) {
-    ::close(fd);
-    return false;
-  }
+  if (!WriteAllFd(fd.get(), request)) return false;
 
   std::string raw;
   char buf[4096];
   for (;;) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    const long n = ReadSomeDeadline(fd.get(), buf, sizeof(buf),
+                                    /*timeout_ms=*/5000);
     if (n <= 0) break;
     raw.append(buf, static_cast<size_t>(n));
   }
-  ::close(fd);
 
   // "HTTP/1.0 200 OK\r\n..." — the status code sits after the first space.
   const size_t sp = raw.find(' ');

@@ -25,7 +25,9 @@ struct HttpResponse {
   std::string body;
 };
 
-/// Minimal blocking-socket HTTP/1.0 responder for debug endpoints.
+/// Minimal blocking-socket HTTP/1.0 responder for debug endpoints,
+/// built on the shared src/io/socket layer (SO_REUSEADDR, EINTR-safe
+/// accept, whole-request read deadline).
 ///
 /// One background thread accepts connections serially (poll() with a
 /// short timeout so Stop() is prompt) and runs the handler inline; this

@@ -1,0 +1,90 @@
+#ifndef FIREHOSE_NET_CLIENT_H_
+#define FIREHOSE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/multi_user.h"
+#include "src/io/socket.h"
+#include "src/net/proto.h"
+
+namespace firehose {
+namespace net {
+
+/// Client side of the serving protocol: connects, negotiates a version,
+/// streams follows/posts and issues poll/flush barriers. Used by the
+/// replay loadgen and the serving tests.
+///
+/// Ingest calls (Follow/SendPost) are *buffered*: frames accumulate in a
+/// local buffer flushed to the socket once it passes a threshold or
+/// before any request that expects a response. The post path therefore
+/// costs one write(2) per few hundred posts, not one per post — the
+/// server never acks individual posts, so there is nothing to wait for.
+///
+/// Not thread-safe; one connection per thread.
+class ServeClient {
+ public:
+  struct ConnectInfo {
+    uint32_t num_shards = 0;
+    bool sealed = false;             ///< server recovered past its seal
+    uint64_t posts_ingested = 0;     ///< durable posts at connect time
+  };
+
+  explicit ServeClient(std::string client_name = "firehose-client");
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Hello/Assign handshake against 127.0.0.1:`port`.
+  [[nodiscard]] bool Connect(int port, ConnectInfo* info = nullptr);
+
+  /// Buffered subscription event. Only valid before Seal.
+  [[nodiscard]] bool Follow(UserId user, AuthorId author);
+
+  /// Declares the subscription set complete. Users are 0..num_users-1.
+  [[nodiscard]] bool Seal(uint64_t num_users);
+
+  /// Buffered post ingest (no per-post ack; see Flush).
+  [[nodiscard]] bool SendPost(const Post& post);
+
+  /// Barrier: flushes the local buffer, waits until every shard has
+  /// drained and synced its WAL. Totals are returned when non-null.
+  [[nodiscard]] bool Flush(uint64_t* ingested = nullptr,
+                           uint64_t* duplicates = nullptr);
+
+  /// Fetches `user`'s timeline from index `since` onward.
+  [[nodiscard]] bool Poll(UserId user, uint32_t since,
+                          std::vector<PostId>* post_ids);
+
+  /// Requests a graceful server stop; waits for the final ack.
+  [[nodiscard]] bool Shutdown();
+
+  void Disconnect();
+
+  bool connected() const { return fd_.valid(); }
+  /// Human-readable cause of the last failed call.
+  const std::string& last_error() const { return last_error_; }
+
+ private:
+  [[nodiscard]] bool Buffer(const NetMessage& message);
+  [[nodiscard]] bool FlushSocket();
+  /// Flushes, then waits for one message of `expected` type (kError and
+  /// timeouts fail with last_error_ set).
+  [[nodiscard]] bool Expect(MsgType expected, NetMessage* response);
+  bool Fail(const std::string& why);
+
+  std::string client_name_;
+  OwnedFd fd_;
+  std::unique_ptr<FrameReader> reader_;
+  std::string send_buffer_;
+  std::string last_error_;
+  int response_timeout_ms_ = 60000;
+};
+
+}  // namespace net
+}  // namespace firehose
+
+#endif  // FIREHOSE_NET_CLIENT_H_

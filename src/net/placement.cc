@@ -1,0 +1,50 @@
+#include "src/net/placement.h"
+
+#include <algorithm>
+
+#include "src/util/hash.h"
+
+namespace firehose {
+namespace net {
+
+PlacementRing::PlacementRing(uint32_t num_shards, uint32_t vnodes_per_shard)
+    : num_shards_(num_shards == 0 ? 1 : num_shards) {
+  points_.reserve(static_cast<size_t>(num_shards_) * vnodes_per_shard);
+  for (uint32_t shard = 0; shard < num_shards_; ++shard) {
+    for (uint32_t vnode = 0; vnode < vnodes_per_shard; ++vnode) {
+      // Fmix64 over the (shard, vnode) pair scatters each shard's vnodes
+      // around the ring; the mix is fixed, so placement is a pure
+      // function of (num_shards, vnodes_per_shard, key).
+      const uint64_t h = Fmix64(
+          HashCombine(Fmix64(static_cast<uint64_t>(shard) + 1), vnode));
+      points_.push_back(Point{h, shard});
+    }
+  }
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    // Tie-break on shard id so equal hashes (vanishingly rare but
+    // possible) still yield one deterministic ring order.
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  });
+}
+
+uint32_t PlacementRing::ShardFor(uint64_t key_hash) const {
+  // First point at or clockwise of the key; wrap to the start when the
+  // key lies past the last point.
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), key_hash,
+      [](const Point& p, uint64_t h) { return p.hash < h; });
+  return it == points_.end() ? points_.front().shard : it->shard;
+}
+
+uint64_t ComponentKey(const std::vector<AuthorId>& authors) {
+  std::vector<AuthorId> sorted = authors;
+  std::sort(sorted.begin(), sorted.end());
+  uint64_t key = Fmix64(sorted.size() + 1);
+  for (AuthorId author : sorted) {
+    key = HashCombine(key, Fmix64(static_cast<uint64_t>(author) + 1));
+  }
+  return Fmix64(key);
+}
+
+}  // namespace net
+}  // namespace firehose

@@ -1,0 +1,747 @@
+#include "src/net/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <mutex>
+
+#include "src/author/clique_cover.h"
+#include "src/core/engine.h"
+#include "src/dur/durable.h"
+#include "src/io/socket.h"
+#include "src/obs/clock.h"
+#include "src/obs/export.h"
+#include "src/runtime/spsc_queue.h"
+#include "src/util/binary.h"
+
+namespace firehose {
+namespace net {
+
+namespace {
+
+constexpr uint8_t kControlFollow = 1;
+constexpr uint8_t kControlSeal = 2;
+
+constexpr size_t kShardQueueCapacity = 4096;
+
+/// How long the dispatcher waits in accept/read before re-checking the
+/// stop flag and republishing introspection snapshots.
+constexpr int kDispatchPollMs = 100;
+
+std::string ShardWalDir(const std::string& data_dir, uint32_t shard) {
+  return data_dir + "/shard-" + std::to_string(shard);
+}
+
+}  // namespace
+
+// ShardCmd/Barrier live in internal (not the anonymous namespace):
+// internal::ShardWorker is declared in the header, and giving an
+// external-linkage class members of internal-linkage types trips GCC's
+// -Wsubobject-linkage under the werror preset.
+namespace internal {
+
+/// Rendezvous for poll/flush barriers: the dispatcher broadcasts one
+/// command per shard, then sleeps here until every worker arrived.
+struct Barrier {
+  explicit Barrier(uint32_t shards)
+      : pending(shards), per_shard(shards) {}
+
+  std::mutex mu;
+  std::condition_variable cv;
+  uint32_t pending;
+  std::vector<std::vector<PostId>> per_shard;  ///< poll results
+  uint64_t ingested = 0;    ///< flush totals
+  uint64_t duplicates = 0;  ///< flush totals
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return pending == 0; });
+  }
+};
+
+struct ShardCmd {
+  enum class Kind : uint8_t { kStop, kPost, kPoll, kFlush };
+  Kind kind = Kind::kStop;
+  Post post;            // kPost
+  UserId user = 0;      // kPoll
+  Barrier* barrier = nullptr;  // kPoll / kFlush
+};
+
+/// One shard: a consumer thread exclusively owning a subset of the
+/// shared components, their diversifiers, the timelines of every user
+/// (populated only for posts this shard admits) and the shard's WAL.
+/// Structure mirrors runtime/sharded.cc's Shard; lifetime is the server,
+/// not one batch run.
+class ShardWorker {
+ public:
+  ShardWorker(uint32_t index, const ServeOptions& options)
+      : index_(index), options_(options), queue_(kShardQueueCapacity) {}
+
+  ShardWorker(const ShardWorker&) = delete;
+  ShardWorker& operator=(const ShardWorker&) = delete;
+
+  /// Build phase (single-threaded, before Spawn) -----------------------
+
+  void AddComponent(SharedComponent&& shared, const AuthorGraph& graph) {
+    components_.push_back(std::make_unique<Component>());
+    Component& c = *components_.back();
+    c.authors = std::move(shared.authors);
+    c.users = std::move(shared.users);
+    c.graph = graph.InducedSubgraph(c.authors);
+    if (options_.algorithm == Algorithm::kCliqueBin) {
+      c.cover = std::make_unique<CliqueCover>(CliqueCover::Greedy(c.graph));
+    }
+    c.diversifier = MakeDiversifier(options_.algorithm, shared.thresholds,
+                                    &c.graph, c.cover.get());
+  }
+
+  void Finalize(uint64_t num_users, AuthorId max_author) {
+    author_components_.assign(static_cast<size_t>(max_author) + 1, {});
+    for (uint32_t i = 0; i < components_.size(); ++i) {
+      for (AuthorId a : components_[i]->authors) {
+        author_components_[a].push_back(i);
+      }
+    }
+    timelines_.assign(static_cast<size_t>(num_users), {});
+  }
+
+  /// Replays this shard's WAL (rebuilding diversifier + timeline state
+  /// and the dedupe watermark) and opens the writer at the resume seq.
+  /// Without a data_dir this only marks the shard ready.
+  [[nodiscard]] bool RecoverDurability(std::string* error) {
+    if (options_.data_dir.empty()) return true;
+    sync_ = dur::MakeSyncPolicy(options_.wal_sync);
+    if (sync_ == nullptr) {
+      *error = "unrecognized --wal_sync spec: " + options_.wal_sync;
+      return false;
+    }
+    dur::WalOptions wal_options;
+    wal_options.dir = ShardWalDir(options_.data_dir, index_);
+    wal_options.sync = sync_.get();
+    const dur::WalReadResult read =
+        dur::ReadWal(wal_options, /*start_seq=*/0, /*truncate_tail=*/true);
+    if (!read.ok) {
+      *error = "shard " + std::to_string(index_) + " WAL: " + read.error;
+      return false;
+    }
+    for (const dur::WalRecord& record : read.records) {
+      Post post;
+      if (!dur::DecodePostRecord(record.payload, &post)) {
+        // An intact frame that fails the post codec is cross-build
+        // state, not a torn tail — refuse to guess.
+        *error = "shard " + std::to_string(index_) +
+                 " WAL record " + std::to_string(record.seq) +
+                 " does not decode as a post";
+        return false;
+      }
+      Ingest(post);
+    }
+    wal_ = std::make_unique<dur::WalWriter>(wal_options);
+    if (!wal_->Open(read.next_seq)) {
+      *error = "shard " + std::to_string(index_) + ": cannot open WAL in " +
+               wal_options.dir;
+      return false;
+    }
+    return true;
+  }
+
+  void Spawn() {
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  /// Dispatcher-side handle (single producer) --------------------------
+
+  void PushBlocking(const ShardCmd& cmd) {
+    while (!queue_.TryPush(cmd)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+
+  void Join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  /// Owner-side teardown, after Join.
+  [[nodiscard]] bool CloseWal() {
+    return wal_ == nullptr || wal_->Close();
+  }
+
+  uint64_t ingested() const {
+    return ingested_.load(std::memory_order_seq_cst);
+  }
+  uint64_t duplicates() const {
+    return duplicates_.load(std::memory_order_seq_cst);
+  }
+  uint64_t deliveries() const {
+    return deliveries_.load(std::memory_order_seq_cst);
+  }
+  size_t queue_depth() const { return queue_.ApproxSize(); }
+
+ private:
+  // Address-stable for the same reason as sharded.cc's ShardComponent:
+  // the diversifier holds pointers into graph/cover.
+  struct Component {
+    std::vector<AuthorId> authors;
+    std::vector<UserId> users;
+    AuthorGraph graph;
+    std::unique_ptr<CliqueCover> cover;
+    std::unique_ptr<Diversifier> diversifier;
+
+    Component() = default;
+    Component(Component&&) = delete;
+  };
+
+  /// WAL-append (when durable) + offer + timeline append + watermark.
+  /// Runs on the worker thread in steady state and on the recovery
+  /// thread during replay (before the worker exists).
+  void Ingest(const Post& post) {
+    if (wal_ != nullptr) {
+      if (!wal_->Append(dur::EncodePostRecord(post))) {
+        // An unlogged decision cannot be replayed; freeze durability by
+        // dropping the writer rather than diverging from the WAL.
+        wal_failures_.fetch_add(1, std::memory_order_seq_cst);
+        wal_.reset();
+      }
+    }
+    const obs::Clock* clock =
+        options_.flight != nullptr ? obs::RealClock() : nullptr;
+    if (post.author < author_components_.size()) {
+      for (uint32_t i : author_components_[post.author]) {
+        Component& c = *components_[i];
+        const uint64_t start = clock != nullptr ? clock->NowNanos() : 0;
+        const bool admitted = c.diversifier->Offer(post);
+        if (clock != nullptr) {
+          options_.flight->RecordComplete(index_, "offer", "serve", start,
+                                          clock->NowNanos());
+        }
+        if (admitted) {
+          for (UserId user : c.users) {
+            if (user < timelines_.size()) timelines_[user].push_back(post.id);
+          }
+          deliveries_.fetch_add(c.users.size(), std::memory_order_seq_cst);
+        }
+      }
+    }
+    watermark_ = static_cast<int64_t>(post.id);
+    ingested_.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  void Loop() {
+    const int watchdog_task =
+        options_.watchdog != nullptr
+            ? options_.watchdog->RegisterTask("serve-shard")
+            : -1;
+    uint64_t processed = 0;
+    for (;;) {
+      ShardCmd cmd;
+      if (!queue_.TryPop(&cmd)) {
+        if (watchdog_task >= 0) {
+          options_.watchdog->SetQueueDepth(watchdog_task, 0);
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        continue;
+      }
+      ++processed;
+      if (watchdog_task >= 0) {
+        options_.watchdog->ReportProgress(watchdog_task, processed);
+        options_.watchdog->SetQueueDepth(
+            watchdog_task, static_cast<int64_t>(queue_.ApproxSize()));
+      }
+      switch (cmd.kind) {
+        case ShardCmd::Kind::kStop:
+          return;
+        case ShardCmd::Kind::kPost:
+          // Watermark dedupe: the dispatcher routes posts in id order,
+          // so a post at or below the watermark is a client resend of
+          // work this shard already ingested (possibly pre-crash).
+          if (static_cast<int64_t>(cmd.post.id) <= watermark_) {
+            duplicates_.fetch_add(1, std::memory_order_seq_cst);
+          } else {
+            Ingest(cmd.post);
+          }
+          break;
+        case ShardCmd::Kind::kPoll: {
+          std::vector<PostId> timeline;
+          if (cmd.user < timelines_.size()) timeline = timelines_[cmd.user];
+          std::lock_guard<std::mutex> lock(cmd.barrier->mu);
+          cmd.barrier->per_shard[index_] = std::move(timeline);
+          if (--cmd.barrier->pending == 0) cmd.barrier->cv.notify_all();
+          break;
+        }
+        case ShardCmd::Kind::kFlush: {
+          if (wal_ != nullptr && !wal_->Sync()) {
+            wal_failures_.fetch_add(1, std::memory_order_seq_cst);
+            wal_.reset();
+          }
+          std::lock_guard<std::mutex> lock(cmd.barrier->mu);
+          cmd.barrier->ingested += ingested_.load(std::memory_order_seq_cst);
+          cmd.barrier->duplicates +=
+              duplicates_.load(std::memory_order_seq_cst);
+          if (--cmd.barrier->pending == 0) cmd.barrier->cv.notify_all();
+          break;
+        }
+      }
+    }
+  }
+
+  const uint32_t index_;
+  const ServeOptions& options_;
+
+  std::vector<std::unique_ptr<Component>> components_;
+  std::vector<std::vector<uint32_t>> author_components_;
+  std::vector<std::vector<PostId>> timelines_;
+
+  std::unique_ptr<dur::SyncPolicy> sync_;
+  std::unique_ptr<dur::WalWriter> wal_;
+  /// Highest post id ingested (WAL'd + offered); -1 = none yet.
+  int64_t watermark_ = -1;
+
+  SpscQueue<ShardCmd> queue_;
+  std::thread thread_;
+
+  std::atomic<uint64_t> ingested_{0};
+  std::atomic<uint64_t> duplicates_{0};
+  std::atomic<uint64_t> deliveries_{0};
+  std::atomic<uint64_t> wal_failures_{0};
+};
+
+}  // namespace internal
+
+std::string EncodeFollowRecord(UserId user, AuthorId author) {
+  BinaryWriter out;
+  out.PutU8(kControlFollow);
+  out.PutVarint(user);
+  out.PutVarint(author);
+  return out.Release();
+}
+
+std::string EncodeSealRecord(uint64_t num_users) {
+  BinaryWriter out;
+  out.PutU8(kControlSeal);
+  out.PutVarint(num_users);
+  return out.Release();
+}
+
+Server::Server(ServeOptions options, const AuthorGraph* graph)
+    : options_(std::move(options)), graph_(graph) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
+}
+
+Server::~Server() { Stop(); }
+
+bool Server::Start(std::string* error) {
+  if (started_) {
+    *error = "already started";
+    return false;
+  }
+
+  if (!options_.data_dir.empty()) {
+    control_sync_ = dur::MakeSyncPolicy(options_.wal_sync);
+    if (control_sync_ == nullptr) {
+      *error = "unrecognized --wal_sync spec: " + options_.wal_sync;
+      return false;
+    }
+    dur::WalOptions control_options;
+    control_options.dir = options_.data_dir + "/control";
+    control_options.sync = control_sync_.get();
+    const dur::WalReadResult read =
+        dur::ReadWal(control_options, /*start_seq=*/0, /*truncate_tail=*/true);
+    if (!read.ok) {
+      *error = "control WAL: " + read.error;
+      return false;
+    }
+    for (const dur::WalRecord& record : read.records) {
+      BinaryReader reader(record.payload);
+      uint8_t type = 0;
+      uint64_t a = 0;
+      uint64_t b = 0;
+      if (!reader.GetU8(&type)) type = 0;
+      if (type == kControlFollow && reader.GetVarint(&a) &&
+          reader.GetVarint(&b) && reader.AtEnd()) {
+        follows_.emplace_back(static_cast<UserId>(a),
+                              static_cast<AuthorId>(b));
+      } else if (type == kControlSeal && reader.GetVarint(&a) &&
+                 reader.AtEnd()) {
+        num_users_ = a;
+        sealed_.store(true, std::memory_order_release);
+      } else {
+        *error = "control WAL record " + std::to_string(record.seq) +
+                 " is not a follow/seal event";
+        return false;
+      }
+    }
+    control_wal_ = std::make_unique<dur::WalWriter>(control_options);
+    if (!control_wal_->Open(read.next_seq)) {
+      *error = "cannot open control WAL in " + control_options.dir;
+      return false;
+    }
+  }
+
+  if (sealed()) {
+    // Recovered past the seal: rebuild every shard (components + WAL
+    // replay) before accepting a single byte.
+    if (!BuildShards(error)) return false;
+  }
+
+  OwnedFd listener = ListenLoopback(options_.port, /*backlog=*/8, &port_);
+  if (!listener.valid()) {
+    *error = "cannot bind 127.0.0.1:" + std::to_string(options_.port);
+    return false;
+  }
+  listen_fd_ = listener.Release();
+
+  started_ = true;
+  stop_.store(false, std::memory_order_release);
+  dispatcher_ = std::thread([this] { Dispatch(); });
+  return true;
+}
+
+void Server::Stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // The dispatcher is joined, so this thread is now the single producer.
+  internal::ShardCmd stop_cmd;
+  stop_cmd.kind = internal::ShardCmd::Kind::kStop;
+  for (auto& shard : shards_) shard->PushBlocking(stop_cmd);
+  for (auto& shard : shards_) shard->Join();
+  for (auto& shard : shards_) {
+    // Close failures are tolerable at shutdown: recovery re-reads the
+    // segment and truncates any torn tail.
+    (void)shard->CloseWal();
+  }
+  if (control_wal_ != nullptr) {
+    (void)control_wal_->Close();  // read-back recovery tolerates torn tails
+  }
+  if (listen_fd_ >= 0) {
+    OwnedFd(listen_fd_).Reset();
+    listen_fd_ = -1;
+  }
+  started_ = false;
+}
+
+ServeStats Server::stats() const {
+  ServeStats s;
+  s.connections = connections_.load(std::memory_order_seq_cst);
+  s.posts_received = posts_received_.load(std::memory_order_seq_cst);
+  s.polls = polls_.load(std::memory_order_seq_cst);
+  s.malformed = malformed_.load(std::memory_order_seq_cst);
+  for (const auto& shard : shards_) {
+    s.posts_ingested += shard->ingested();
+    s.duplicates += shard->duplicates();
+    s.deliveries += shard->deliveries();
+  }
+  return s;
+}
+
+bool Server::BuildShards(std::string* error) {
+  // Users are dense 0..num_users-1; subscriptions deduped + sorted so
+  // replayed follow streams with repeats build the same components.
+  std::vector<std::vector<AuthorId>> subscriptions(
+      static_cast<size_t>(num_users_));
+  for (const auto& [user, author] : follows_) {
+    if (user < subscriptions.size()) subscriptions[user].push_back(author);
+  }
+  std::vector<User> users;
+  users.reserve(subscriptions.size());
+  for (UserId id = 0; id < subscriptions.size(); ++id) {
+    std::vector<AuthorId>& subs = subscriptions[id];
+    std::sort(subs.begin(), subs.end());
+    subs.erase(std::unique(subs.begin(), subs.end()), subs.end());
+    users.emplace_back(id, std::move(subs));
+  }
+
+  shards_.clear();
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(
+        std::make_unique<internal::ShardWorker>(s, options_));
+  }
+
+  const PlacementRing ring(options_.num_shards, options_.vnodes_per_shard);
+  AuthorId max_author = 0;
+  std::vector<std::vector<uint32_t>> shard_authors(shards_.size());
+  for (SharedComponent& component :
+       ComputeSharedComponents(options_.thresholds, *graph_, users)) {
+    const uint32_t shard = ring.ShardFor(ComponentKey(component.authors));
+    for (AuthorId a : component.authors) {
+      max_author = std::max(max_author, a);
+      shard_authors[shard].push_back(a);
+    }
+    shards_[shard]->AddComponent(std::move(component), *graph_);
+  }
+
+  author_shards_.assign(static_cast<size_t>(max_author) + 1, {});
+  for (uint32_t s = 0; s < shard_authors.size(); ++s) {
+    for (AuthorId a : shard_authors[s]) {
+      std::vector<uint32_t>& owners = author_shards_[a];
+      if (owners.empty() || owners.back() != s) owners.push_back(s);
+    }
+  }
+  // An author can appear in several components of one shard; the guard
+  // above only collapses adjacent repeats, so dedupe properly.
+  for (std::vector<uint32_t>& owners : author_shards_) {
+    std::sort(owners.begin(), owners.end());
+    owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
+  }
+
+  for (auto& shard : shards_) {
+    shard->Finalize(num_users_, max_author);
+  }
+  for (auto& shard : shards_) {
+    if (!shard->RecoverDurability(error)) return false;
+  }
+  for (auto& shard : shards_) shard->Spawn();
+  return true;
+}
+
+bool Server::AppendControlRecord(const std::string& payload, bool sync) {
+  if (control_wal_ == nullptr) return true;
+  if (!control_wal_->Append(payload)) return false;
+  return !sync || control_wal_->Sync();
+}
+
+void Server::Dispatch() {
+  const int watchdog_task =
+      options_.watchdog != nullptr
+          ? options_.watchdog->RegisterTask("serve-dispatch")
+          : -1;
+  uint64_t accepts = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    PublishIntrospection();
+    OwnedFd conn = AcceptWithTimeout(listen_fd_, kDispatchPollMs);
+    if (watchdog_task >= 0) {
+      options_.watchdog->ReportProgress(watchdog_task, ++accepts);
+    }
+    if (!conn.valid()) continue;
+    connections_.fetch_add(1, std::memory_order_seq_cst);
+    SetIoTimeouts(conn.get(), /*send_timeout_ms=*/5000,
+                  /*recv_timeout_ms=*/5000);
+    HandleConnection(conn.get());
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  FrameReader reader(fd);
+  NetMessage message;
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire)) return;
+    switch (reader.Next(&message, kDispatchPollMs)) {
+      case FrameReader::Result::kTimeout:
+        PublishIntrospection();
+        continue;
+      case FrameReader::Result::kClosed:
+        return;
+      case FrameReader::Result::kError:
+        return;
+      case FrameReader::Result::kMalformed:
+        malformed_.fetch_add(1, std::memory_order_seq_cst);
+        (void)SendError(fd, "malformed frame");  // peer may already be gone
+        return;
+      case FrameReader::Result::kMessage:
+        break;
+    }
+    if (!HandleMessage(fd, message)) return;
+  }
+}
+
+bool Server::HandleMessage(int fd, const NetMessage& message) {
+  switch (message.type) {
+    case MsgType::kHello: {
+      // A wrong kHelloMagic never reaches this point: DecodeBody rejects
+      // it as malformed, poisoning the connection.
+      if (message.min_version > kWireVersion ||
+          message.max_version < kWireVersion) {
+        malformed_.fetch_add(1, std::memory_order_seq_cst);
+        (void)SendError(fd, "unsupported wire version");
+        return false;
+      }
+      NetMessage assign;
+      assign.type = MsgType::kAssign;
+      assign.version = kWireVersion;
+      assign.num_shards = options_.num_shards;
+      assign.sealed = sealed();
+      for (const auto& shard : shards_) {
+        assign.posts_ingested += shard->ingested();
+      }
+      return SendMessage(fd, assign);
+    }
+    case MsgType::kFollow: {
+      if (sealed()) {
+        malformed_.fetch_add(1, std::memory_order_seq_cst);
+        (void)SendError(fd, "subscriptions are sealed");
+        return false;
+      }
+      if (!AppendControlRecord(
+              EncodeFollowRecord(message.user, message.author),
+              /*sync=*/false)) {
+        (void)SendError(fd, "control WAL append failed");
+        return false;
+      }
+      follows_.emplace_back(message.user, message.author);
+      return true;
+    }
+    case MsgType::kSeal: {
+      if (sealed()) {
+        malformed_.fetch_add(1, std::memory_order_seq_cst);
+        (void)SendError(fd, "already sealed");
+        return false;
+      }
+      num_users_ = message.num_users;
+      for (const auto& [user, author] : follows_) {
+        (void)author;
+        num_users_ = std::max<uint64_t>(num_users_, user + 1ull);
+      }
+      // The seal is the one control event whose loss changes recovery's
+      // shape entirely, so it is always synced regardless of policy.
+      if (!AppendControlRecord(EncodeSealRecord(num_users_), /*sync=*/true)) {
+        (void)SendError(fd, "control WAL append failed");
+        return false;
+      }
+      std::string error;
+      if (!BuildShards(&error)) {
+        (void)SendError(fd, "seal failed: " + error);
+        return false;
+      }
+      sealed_.store(true, std::memory_order_release);
+      return true;
+    }
+    case MsgType::kPost: {
+      if (!sealed()) {
+        malformed_.fetch_add(1, std::memory_order_seq_cst);
+        (void)SendError(fd, "post before seal");
+        return false;
+      }
+      const uint64_t received =
+          posts_received_.fetch_add(1, std::memory_order_seq_cst) + 1;
+      if (options_.crash_after_posts != 0 &&
+          received >= options_.crash_after_posts) {
+        // Crash-test hook: die as abruptly as a power cut. SIGKILL skips
+        // every destructor and flush, which is the point.
+        (void)::raise(SIGKILL);
+      }
+      RouteToShards(message);
+      return true;
+    }
+    case MsgType::kPoll: {
+      if (!sealed()) {
+        malformed_.fetch_add(1, std::memory_order_seq_cst);
+        (void)SendError(fd, "poll before seal");
+        return false;
+      }
+      if (message.user >= num_users_) {
+        malformed_.fetch_add(1, std::memory_order_seq_cst);
+        (void)SendError(fd, "unknown user " + std::to_string(message.user) +
+                                " (sealed with " +
+                                std::to_string(num_users_) + ")");
+        return false;
+      }
+      polls_.fetch_add(1, std::memory_order_seq_cst);
+      NetMessage timeline;
+      timeline.type = MsgType::kTimeline;
+      timeline.user = message.user;
+      timeline.since = message.since;
+      internal::Barrier barrier(static_cast<uint32_t>(shards_.size()));
+      internal::ShardCmd cmd;
+      cmd.kind = internal::ShardCmd::Kind::kPoll;
+      cmd.user = message.user;
+      cmd.barrier = &barrier;
+      for (auto& shard : shards_) shard->PushBlocking(cmd);
+      barrier.Wait();
+      // A user's components have disjoint author sets, so the shard
+      // lists are disjoint; the sorted merge is the exact timeline.
+      std::vector<PostId>& merged = timeline.post_ids;
+      for (std::vector<PostId>& part : barrier.per_shard) {
+        merged.insert(merged.end(), part.begin(), part.end());
+      }
+      std::sort(merged.begin(), merged.end());
+      if (message.since < merged.size()) {
+        merged.erase(merged.begin(),
+                     merged.begin() + static_cast<long>(message.since));
+      } else {
+        merged.clear();
+      }
+      return SendMessage(fd, timeline);
+    }
+    case MsgType::kFlush:
+    case MsgType::kShutdown: {
+      NetMessage ack;
+      ack.type = MsgType::kFlushAck;
+      if (sealed() && !shards_.empty()) {
+        internal::Barrier barrier(static_cast<uint32_t>(shards_.size()));
+        internal::ShardCmd cmd;
+        cmd.kind = internal::ShardCmd::Kind::kFlush;
+        cmd.barrier = &barrier;
+        for (auto& shard : shards_) shard->PushBlocking(cmd);
+        barrier.Wait();
+        ack.ingested = barrier.ingested;
+        ack.duplicates = barrier.duplicates;
+      }
+      const bool sent = SendMessage(fd, ack);
+      if (message.type == MsgType::kShutdown) {
+        stop_requested_.store(true, std::memory_order_release);
+        return false;
+      }
+      return sent;
+    }
+    case MsgType::kAssign:
+    case MsgType::kTimeline:
+    case MsgType::kFlushAck:
+    case MsgType::kError:
+      // Server-to-client messages arriving at the server.
+      malformed_.fetch_add(1, std::memory_order_seq_cst);
+      (void)SendError(fd, "unexpected message direction");
+      return false;
+  }
+  return false;
+}
+
+void Server::RouteToShards(const NetMessage& message) {
+  const AuthorId author = message.post.author;
+  if (author >= author_shards_.size()) return;  // followed by no one
+  internal::ShardCmd cmd;
+  cmd.kind = internal::ShardCmd::Kind::kPost;
+  cmd.post = message.post;
+  for (uint32_t shard : author_shards_[author]) {
+    shards_[shard]->PushBlocking(cmd);
+  }
+}
+
+void Server::PublishIntrospection() {
+  if (options_.debug == nullptr) return;
+  const ServeStats s = stats();
+
+  obs::MetricsRegistry registry;
+  registry.GetCounter("serve.connections")->Add(s.connections);
+  registry.GetCounter("serve.posts_received")->Add(s.posts_received);
+  registry.GetCounter("serve.posts_ingested")->Add(s.posts_ingested);
+  registry.GetCounter("serve.duplicates")->Add(s.duplicates);
+  registry.GetCounter("serve.deliveries")->Add(s.deliveries);
+  registry.GetCounter("serve.polls")->Add(s.polls);
+  registry.GetCounter("serve.malformed")->Add(s.malformed);
+  registry.GetGauge("serve.num_shards")
+      ->Set(static_cast<int64_t>(options_.num_shards));
+  registry.GetGauge("serve.sealed")->Set(sealed() ? 1 : 0);
+
+  std::string status = "{\"sealed\":";
+  status += sealed() ? "true" : "false";
+  status += ",\"num_shards\":" + std::to_string(options_.num_shards);
+  status += ",\"posts_received\":" + std::to_string(s.posts_received);
+  status += ",\"posts_ingested\":" + std::to_string(s.posts_ingested);
+  status += ",\"duplicates\":" + std::to_string(s.duplicates);
+  status += ",\"deliveries\":" + std::to_string(s.deliveries);
+  status += ",\"polls\":" + std::to_string(s.polls);
+  status += ",\"queue_depths\":[";
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (i > 0) status += ",";
+    status += std::to_string(shards_[i]->queue_depth());
+  }
+  status += "]}";
+
+  options_.debug->PublishMetrics(obs::ExportPrometheus(registry),
+                                 obs::ExportJson(registry));
+  options_.debug->PublishStatus(std::move(status));
+}
+
+}  // namespace net
+}  // namespace firehose

@@ -1,0 +1,368 @@
+// In-process serving-layer tests (src/net/server + src/net/client): a
+// real Server on an ephemeral loopback port, driven by ServeClient.
+// The core property is exactness — for any shard count, the timelines
+// served over the socket equal the sequential S_* engine's per-user
+// deliveries byte for byte — plus durability (graceful stop, restart,
+// resend, dedupe) and protocol error handling.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/firehose.h"
+
+namespace firehose {
+namespace net {
+namespace {
+
+struct Workload {
+  AuthorGraph graph;
+  PostStream stream;
+  std::vector<User> users;
+};
+
+/// Small but structurally rich workload: community-clustered authors so
+/// components are shared, §6.3 user population (every author with a
+/// nonempty followee set subscribes to it).
+Workload MakeWorkload() {
+  Workload w;
+  SocialGraphOptions social_options;
+  social_options.num_authors = 120;
+  social_options.num_communities = 5;
+  social_options.avg_followees = 12.0;
+  social_options.seed = 20260808;
+  const FollowGraph social = GenerateSocialGraph(social_options);
+
+  std::vector<AuthorId> authors;
+  for (AuthorId a = 0; a < social.num_authors(); ++a) authors.push_back(a);
+  const auto similarities = AllPairsSimilarity(social, authors, 0.05);
+  w.graph = AuthorGraph::FromSimilarities(authors, similarities, 0.7);
+
+  StreamGenOptions stream_options;
+  stream_options.posts_per_author = 6.0;
+  stream_options.seed = 11;
+  const SimHasher hasher;
+  w.stream = GenerateStream(w.graph, hasher, stream_options);
+
+  for (AuthorId a = 0; a < social.num_authors(); ++a) {
+    const auto& followees = social.Followees(a);
+    if (followees.empty()) continue;
+    w.users.emplace_back(static_cast<UserId>(w.users.size()), followees);
+  }
+  return w;
+}
+
+/// Per-user expected timelines from the sequential S_* engine.
+std::vector<std::vector<PostId>> ExpectedTimelines(const Workload& w,
+                                                   Algorithm algorithm,
+                                                   DiversityThresholds t) {
+  auto engine = MakeSUserEngine(algorithm, t, w.graph, w.users);
+  std::vector<std::pair<PostId, UserId>> deliveries;
+  (void)RunMultiUser(*engine, w.stream, &deliveries);
+  std::vector<std::vector<PostId>> timelines(w.users.size());
+  for (const auto& [post, user] : deliveries) timelines[user].push_back(post);
+  return timelines;
+}
+
+class NetServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload_ = MakeWorkload();
+    ASSERT_GT(workload_.users.size(), 50u);
+    ASSERT_GT(workload_.stream.size(), 300u);
+    std::filesystem::remove_all(kDataDir);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(kDataDir); }
+
+  /// Follows + seals the §6.3 population through `client`.
+  void SealUsers(ServeClient& client) {
+    for (const User& user : workload_.users) {
+      for (const AuthorId author : user.subscriptions) {
+        ASSERT_TRUE(client.Follow(user.id, author)) << client.last_error();
+      }
+    }
+    ASSERT_TRUE(client.Seal(workload_.users.size())) << client.last_error();
+  }
+
+  void SendStream(ServeClient& client) {
+    for (const Post& post : workload_.stream) {
+      ASSERT_TRUE(client.SendPost(post)) << client.last_error();
+    }
+    ASSERT_TRUE(client.Flush()) << client.last_error();
+  }
+
+  void ExpectServedTimelinesMatch(ServeClient& client,
+                                  const std::vector<std::vector<PostId>>&
+                                      expected) {
+    for (const User& user : workload_.users) {
+      std::vector<PostId> served;
+      ASSERT_TRUE(client.Poll(user.id, 0, &served)) << client.last_error();
+      EXPECT_EQ(served, expected[user.id]) << "user " << user.id;
+    }
+  }
+
+  ServeOptions Options(uint32_t num_shards, const std::string& data_dir = "") {
+    ServeOptions options;
+    options.num_shards = num_shards;
+    options.algorithm = Algorithm::kCliqueBin;
+    options.data_dir = data_dir;
+    options.wal_sync = "none";  // graceful Stop closes cleanly regardless
+    return options;
+  }
+
+  static constexpr const char* kDataDir = "net_serve_test_data";
+  Workload workload_;
+};
+
+TEST_F(NetServeTest, ServedTimelinesEqualSequentialEngineOneShard) {
+  Server server(Options(1), &workload_.graph);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  ServeClient client;
+  ServeClient::ConnectInfo info;
+  ASSERT_TRUE(client.Connect(server.port(), &info)) << client.last_error();
+  EXPECT_EQ(info.num_shards, 1u);
+  EXPECT_FALSE(info.sealed);
+
+  SealUsers(client);
+  SendStream(client);
+  const auto expected =
+      ExpectedTimelines(workload_, Algorithm::kCliqueBin, DiversityThresholds{});
+  ExpectServedTimelinesMatch(client, expected);
+  client.Disconnect();
+  server.Stop();
+}
+
+TEST_F(NetServeTest, ServedTimelinesEqualSequentialEngineThreeShards) {
+  Server server(Options(3), &workload_.graph);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  ServeClient client;
+  ServeClient::ConnectInfo info;
+  ASSERT_TRUE(client.Connect(server.port(), &info)) << client.last_error();
+  EXPECT_EQ(info.num_shards, 3u);
+
+  SealUsers(client);
+  SendStream(client);
+  const auto expected =
+      ExpectedTimelines(workload_, Algorithm::kCliqueBin, DiversityThresholds{});
+  ExpectServedTimelinesMatch(client, expected);
+  client.Disconnect();
+  server.Stop();
+
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.posts_received, workload_.stream.size());
+  EXPECT_EQ(stats.duplicates, 0u);
+  EXPECT_GT(stats.deliveries, 0u);
+}
+
+TEST_F(NetServeTest, GracefulRestartRecoversAndResendDedupes) {
+  uint64_t first_ingested = 0;
+  {
+    Server server(Options(2, kDataDir), &workload_.graph);
+    std::string error;
+    ASSERT_TRUE(server.Start(&error)) << error;
+    ServeClient client;
+    ASSERT_TRUE(client.Connect(server.port())) << client.last_error();
+    SealUsers(client);
+    SendStream(client);
+    uint64_t duplicates = 0;
+    ASSERT_TRUE(client.Flush(&first_ingested, &duplicates))
+        << client.last_error();
+    EXPECT_GT(first_ingested, 0u);
+    EXPECT_EQ(duplicates, 0u);
+    client.Disconnect();
+    server.Stop();
+  }
+
+  // Second incarnation over the same data_dir: recovers the sealed
+  // subscription state and every durable post, so the full resend is
+  // entirely duplicates and the timelines don't change.
+  Server server(Options(2, kDataDir), &workload_.graph);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  EXPECT_TRUE(server.sealed()) << "seal record not recovered";
+
+  ServeClient client;
+  ServeClient::ConnectInfo info;
+  ASSERT_TRUE(client.Connect(server.port(), &info)) << client.last_error();
+  EXPECT_TRUE(info.sealed);
+  EXPECT_EQ(info.posts_ingested, first_ingested);
+
+  for (const Post& post : workload_.stream) {
+    ASSERT_TRUE(client.SendPost(post)) << client.last_error();
+  }
+  uint64_t ingested = 0;
+  uint64_t duplicates = 0;
+  ASSERT_TRUE(client.Flush(&ingested, &duplicates)) << client.last_error();
+  EXPECT_EQ(ingested, first_ingested) << "resend ingested new posts";
+  EXPECT_EQ(duplicates, first_ingested);
+
+  const auto expected =
+      ExpectedTimelines(workload_, Algorithm::kCliqueBin, DiversityThresholds{});
+  ExpectServedTimelinesMatch(client, expected);
+  client.Disconnect();
+  server.Stop();
+}
+
+TEST_F(NetServeTest, PollSinceReturnsTheSuffix) {
+  Server server(Options(2), &workload_.graph);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(server.port())) << client.last_error();
+  SealUsers(client);
+  SendStream(client);
+
+  // Find a user with a few deliveries and page through their timeline.
+  const auto expected =
+      ExpectedTimelines(workload_, Algorithm::kCliqueBin, DiversityThresholds{});
+  for (const User& user : workload_.users) {
+    if (expected[user.id].size() < 3) continue;
+    const auto& want = expected[user.id];
+    std::vector<PostId> suffix;
+    ASSERT_TRUE(client.Poll(user.id, 2, &suffix)) << client.last_error();
+    EXPECT_EQ(suffix, std::vector<PostId>(want.begin() + 2, want.end()));
+
+    std::vector<PostId> past_end;
+    ASSERT_TRUE(client.Poll(user.id,
+                            static_cast<uint32_t>(want.size()) + 10,
+                            &past_end));
+    EXPECT_TRUE(past_end.empty());
+    break;
+  }
+  client.Disconnect();
+  server.Stop();
+}
+
+TEST_F(NetServeTest, ProtocolErrorsAreReportedNotFatalToTheServer) {
+  Server server(Options(1), &workload_.graph);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  {
+    // Posting before seal is a protocol error that poisons only this
+    // connection.
+    ServeClient early;
+    ASSERT_TRUE(early.Connect(server.port())) << early.last_error();
+    ASSERT_TRUE(early.SendPost(workload_.stream.front()));
+    EXPECT_FALSE(early.Flush());
+    EXPECT_NE(early.last_error().find("server error"), std::string::npos)
+        << early.last_error();
+  }
+
+  // The dispatcher serves one connection at a time, so each client
+  // below closes before the next connects.
+  {
+    ServeClient client;
+    ASSERT_TRUE(client.Connect(server.port())) << client.last_error();
+    SealUsers(client);
+    client.Disconnect();
+  }
+
+  {
+    // Follow after seal on a fresh connection: rejected.
+    ServeClient late;
+    ASSERT_TRUE(late.Connect(server.port())) << late.last_error();
+    ASSERT_TRUE(late.Follow(0, 0));
+    EXPECT_FALSE(late.Flush());
+  }
+
+  // Unknown user: the error names the bound.
+  std::vector<PostId> timeline;
+  ServeClient poller;
+  ASSERT_TRUE(poller.Connect(server.port())) << poller.last_error();
+  EXPECT_FALSE(poller.Poll(static_cast<UserId>(workload_.users.size() + 5), 0,
+                           &timeline));
+  EXPECT_NE(poller.last_error().find("server error"), std::string::npos);
+
+  // The server survived all of the above.
+  ServeClient fine;
+  ASSERT_TRUE(fine.Connect(server.port())) << fine.last_error();
+  ASSERT_TRUE(fine.Flush());
+  fine.Disconnect();
+  server.Stop();
+}
+
+TEST_F(NetServeTest, MalformedBytesPoisonTheConnection) {
+  Server server(Options(1), &workload_.graph);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // Raw socket client speaking garbage: the server must answer kError
+  // (or close), never crash, and keep serving the next connection.
+  {
+    OwnedFd fd = ConnectLoopback(server.port(), 2000);
+    ASSERT_TRUE(fd.valid());
+    ASSERT_TRUE(WriteAllFd(fd.get(), "GET / HTTP/1.1\r\n\r\n"));
+    FrameReader reader(fd.get());
+    NetMessage response;
+    const FrameReader::Result result = reader.Next(&response, 2000);
+    if (result == FrameReader::Result::kMessage) {
+      EXPECT_EQ(response.type, MsgType::kError);
+    } else {
+      EXPECT_EQ(result, FrameReader::Result::kClosed);
+    }
+  }
+
+  ServeClient client;
+  EXPECT_TRUE(client.Connect(server.port())) << client.last_error();
+  EXPECT_GE(server.stats().malformed, 1u);
+  client.Disconnect();
+  server.Stop();
+}
+
+TEST_F(NetServeTest, HelloWithWrongMagicIsRejected) {
+  Server server(Options(1), &workload_.graph);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  OwnedFd fd = ConnectLoopback(server.port(), 2000);
+  ASSERT_TRUE(fd.valid());
+  NetMessage hello;
+  hello.type = MsgType::kHello;
+  hello.magic = 0x12345678;  // not kHelloMagic
+  hello.min_version = kWireVersion;
+  hello.max_version = kWireVersion;
+  hello.client_name = "imposter";
+  ASSERT_TRUE(SendMessage(fd.get(), hello));
+
+  FrameReader reader(fd.get());
+  NetMessage response;
+  ASSERT_EQ(reader.Next(&response, 2000), FrameReader::Result::kMessage);
+  EXPECT_EQ(response.type, MsgType::kError);
+  server.Stop();
+}
+
+TEST_F(NetServeTest, ControlRecordCodecsRoundTripThroughTheWal) {
+  // The control-WAL payloads are tiny; pin their exact shape so a
+  // recovery of today's records keeps working after future edits.
+  const std::string follow = EncodeFollowRecord(7, 99);
+  const std::string seal = EncodeSealRecord(298);
+  EXPECT_EQ(follow[0], 1);
+  EXPECT_EQ(seal[0], 2);
+  BinaryReader follow_reader(std::string_view(follow).substr(1));
+  uint64_t user = 0;
+  uint64_t author = 0;
+  ASSERT_TRUE(follow_reader.GetVarint(&user));
+  ASSERT_TRUE(follow_reader.GetVarint(&author));
+  EXPECT_EQ(user, 7u);
+  EXPECT_EQ(author, 99u);
+  EXPECT_TRUE(follow_reader.AtEnd());
+  BinaryReader seal_reader(std::string_view(seal).substr(1));
+  uint64_t num_users = 0;
+  ASSERT_TRUE(seal_reader.GetVarint(&num_users));
+  EXPECT_EQ(num_users, 298u);
+  EXPECT_TRUE(seal_reader.AtEnd());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace firehose

@@ -1,0 +1,216 @@
+// End-to-end serving smoke: drives the REAL firehose_serve and
+// firehose_loadgen binaries (paths injected by CMake) over a loopback
+// socket. The clean path must verify byte-identical against the
+// in-process S_* engine, and the kill-loop path SIGKILLs the server
+// mid-stream — twice, at different points, via FIREHOSE_CRASH_AFTER —
+// restarts it over the same data_dir, resends the stream from the
+// start, and requires the recovered timelines to be byte-identical
+// (loadgen --verify) with the resent prefix deduped, not re-ingested.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "src/firehose.h"
+
+#ifndef FIREHOSE_SERVE_BIN
+#error "FIREHOSE_SERVE_BIN must point at the firehose_serve binary"
+#endif
+#ifndef FIREHOSE_LOADGEN_BIN
+#error "FIREHOSE_LOADGEN_BIN must point at the firehose_loadgen binary"
+#endif
+
+namespace firehose {
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class ServingSmokeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CleanArtifacts();
+
+    SocialGraphOptions social_options;
+    social_options.num_authors = 120;
+    social_options.num_communities = 5;
+    social_options.avg_followees = 12.0;
+    social_options.seed = 20260808;
+    const FollowGraph social = GenerateSocialGraph(social_options);
+    std::vector<AuthorId> authors;
+    for (AuthorId a = 0; a < social.num_authors(); ++a) authors.push_back(a);
+    const auto similarities = AllPairsSimilarity(social, authors, 0.05);
+    const AuthorGraph graph =
+        AuthorGraph::FromSimilarities(authors, similarities, 0.7);
+
+    StreamGenOptions stream_options;
+    stream_options.posts_per_author = 6.0;
+    stream_options.seed = 13;
+    const SimHasher hasher;
+    const PostStream stream = GenerateStream(graph, hasher, stream_options);
+    ASSERT_GT(stream.size(), 400u);
+    stream_size_ = stream.size();
+
+    ASSERT_TRUE(SaveFollowGraph(social, kSocialPath));
+    ASSERT_TRUE(SaveAuthorGraph(graph, kGraphPath));
+    ASSERT_TRUE(SavePostStream(stream, kStreamPath));
+  }
+
+  void TearDown() override {
+    KillServerIfRunning();
+    CleanArtifacts();
+  }
+
+  void CleanArtifacts() {
+    std::filesystem::remove_all(kDataDir);
+    for (const char* path :
+         {kSocialPath, kGraphPath, kStreamPath, kPortFile, kPidFile,
+          "serving_smoke_serve.log", "serving_smoke_loadgen.log",
+          "serving_smoke_bench.json"}) {
+      std::remove(path);
+    }
+  }
+
+  /// Spawns the server in the background (shell `&`), recording its pid.
+  /// `env` is a NAME=value prefix reaching only the server process.
+  void StartServer(const std::string& env, const std::string& extra_flags) {
+    std::remove(kPortFile);
+    const std::string command =
+        env + (env.empty() ? "" : " ") + "\"" + FIREHOSE_SERVE_BIN +
+        "\" --graph=" + kGraphPath + " --port=0 --port_file=" + kPortFile +
+        " " + extra_flags + " >> serving_smoke_serve.log 2>&1 & echo $! > " +
+        kPidFile;
+    ASSERT_EQ(std::system(command.c_str()), 0);
+    // --port_file is written after a successful bind, so its appearance
+    // doubles as the readiness signal.
+    for (int i = 0; i < 500; ++i) {
+      if (std::filesystem::exists(kPortFile)) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    FAIL() << "server never wrote " << kPortFile << ":\n"
+           << Slurp("serving_smoke_serve.log");
+  }
+
+  /// True while the background server process is alive.
+  bool ServerAlive() {
+    const std::string probe =
+        "kill -0 $(cat " + std::string(kPidFile) + ") 2> /dev/null";
+    return std::system(probe.c_str()) == 0;
+  }
+
+  void KillServerIfRunning() {
+    if (!std::filesystem::exists(kPidFile)) return;
+    const std::string kill_cmd =
+        "kill -9 $(cat " + std::string(kPidFile) + ") 2> /dev/null";
+    (void)std::system(kill_cmd.c_str());
+  }
+
+  /// Blocks until the server process exits (SIGKILLed itself or was
+  /// shut down by the loadgen).
+  void AwaitServerExit() {
+    for (int i = 0; i < 500; ++i) {
+      if (!ServerAlive()) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    FAIL() << "server did not exit";
+  }
+
+  int RunLoadgen(const std::string& extra_flags) {
+    const std::string command =
+        std::string("\"") + FIREHOSE_LOADGEN_BIN + "\" --port_file=" +
+        kPortFile + " --social=" + kSocialPath + " --stream=" + kStreamPath +
+        " " + extra_flags + " > serving_smoke_loadgen.log 2>&1";
+    return std::system(command.c_str());
+  }
+
+  static constexpr const char* kSocialPath = "serving_smoke_social.bin";
+  static constexpr const char* kGraphPath = "serving_smoke_graph.bin";
+  static constexpr const char* kStreamPath = "serving_smoke_stream.bin";
+  static constexpr const char* kPortFile = "serving_smoke_port";
+  static constexpr const char* kPidFile = "serving_smoke_pid";
+  static constexpr const char* kDataDir = "serving_smoke_data";
+  size_t stream_size_ = 0;
+};
+
+TEST_F(ServingSmokeTest, CleanServeVerifiesAgainstInProcessEngine) {
+  StartServer("", "--shards=2");
+  const int exit_code = RunLoadgen(
+      "--graph=" + std::string(kGraphPath) +
+      " --verify --bench_out=serving_smoke_bench.json --shutdown");
+  ASSERT_EQ(exit_code, 0) << Slurp("serving_smoke_loadgen.log");
+  AwaitServerExit();
+
+  const std::string log = Slurp("serving_smoke_loadgen.log");
+  EXPECT_NE(log.find("verify: PASS"), std::string::npos) << log;
+
+  // The bench artifact carries the serving metrics the CI job uploads.
+  const std::string bench = Slurp("serving_smoke_bench.json");
+  EXPECT_NE(bench.find("serve.posts_sent"), std::string::npos) << bench;
+  EXPECT_NE(bench.find("serve.timeline_hash"), std::string::npos) << bench;
+  EXPECT_NE(bench.find("serve.verify_ok"), std::string::npos) << bench;
+}
+
+TEST_F(ServingSmokeTest, KillLoopRecoversToByteIdenticalTimelines) {
+  // Incarnation 1: dies a third of the way into the stream. The loadgen
+  // sees the socket drop and fails; --flush_every=50 guarantees durable
+  // progress before the kill.
+  StartServer("FIREHOSE_CRASH_AFTER=" + std::to_string(stream_size_ / 3),
+              "--shards=2 --data_dir=" + std::string(kDataDir) +
+                  " --wal_sync=always");
+  EXPECT_NE(RunLoadgen("--flush_every=50"), 0)
+      << "loadgen survived an incarnation that SIGKILLed itself";
+  AwaitServerExit();
+
+  // Incarnation 2: recovers, then dies again — two thirds in, counted
+  // across the full resend (duplicates included), so the kill lands at
+  // a different stream position than the first.
+  StartServer("FIREHOSE_CRASH_AFTER=" + std::to_string(2 * stream_size_ / 3),
+              "--shards=2 --data_dir=" + std::string(kDataDir) +
+                  " --wal_sync=always");
+  EXPECT_NE(RunLoadgen("--flush_every=50"), 0);
+  AwaitServerExit();
+
+  // Final incarnation: recovers everything durable, takes the full
+  // resend (dedupes the durable prefix), and must verify byte-identical
+  // against the in-process engine.
+  StartServer("", "--shards=2 --data_dir=" + std::string(kDataDir) +
+                      " --wal_sync=always");
+  const int exit_code = RunLoadgen("--graph=" + std::string(kGraphPath) +
+                                   " --verify --shutdown");
+  ASSERT_EQ(exit_code, 0) << Slurp("serving_smoke_loadgen.log");
+  AwaitServerExit();
+
+  const std::string log = Slurp("serving_smoke_loadgen.log");
+  EXPECT_NE(log.find("verify: PASS"), std::string::npos) << log;
+  // The final connect must have found durable posts from the first two
+  // incarnations (printed as "N durable" by the loadgen) and the final
+  // replay must have deduped them.
+  EXPECT_EQ(log.find(" 0 durable"), std::string::npos)
+      << "no durable progress survived the kills:\n"
+      << log;
+  EXPECT_EQ(log.find(" 0 duplicates"), std::string::npos)
+      << "the durable prefix was not deduped on resend:\n"
+      << log;
+}
+
+TEST_F(ServingSmokeTest, ServeVersionFlagPrintsBuildInfo) {
+  const std::string command = std::string("\"") + FIREHOSE_SERVE_BIN +
+                              "\" --version > serving_smoke_serve.log 2>&1";
+  ASSERT_EQ(std::system(command.c_str()), 0);
+  EXPECT_NE(Slurp("serving_smoke_serve.log").find("firehose"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace firehose
