@@ -1,8 +1,11 @@
 #include "src/analysis/analyzer.h"
 
 #include <algorithm>
+#include <chrono>
+#include <deque>
 #include <sstream>
 
+#include "src/analysis/cache.h"
 #include "src/analysis/passes.h"
 #include "src/analysis/sema/functions.h"
 #include "src/analysis/sema/passes.h"
@@ -19,48 +22,81 @@ const std::vector<RegisteredPass>& PassRegistry() {
   static const std::vector<RegisteredPass> kPasses = {
       {{"layering",
         "cross-module include edge not allowed by the tools/layers.txt DAG"},
-       CheckLayering, false},
+       CheckLayering, false, true},
       {{"include-cycle",
         "files that include each other, possibly transitively"},
-       CheckIncludeCycles, false},
+       CheckIncludeCycles, false, false},
       {{"unused-include",
         "internal include none of whose declared names the file references"},
-       CheckUnusedIncludes, false},
+       CheckUnusedIncludes, false, true},
       {{"unchecked-error",
         "silently discarded [[nodiscard]] bool/Status result from a "
         "src/io, src/dur or src/runtime API"},
-       CheckUncheckedErrors, false},
+       CheckUncheckedErrors, false, true},
       {{"banned-nondeterminism",
         "raw entropy or wall-clock source outside src/util/random"},
-       CheckBannedNondeterminism, false},
+       CheckBannedNondeterminism, false, true},
       {{"unordered-iteration",
         "range-for over an unordered container feeding an output path"},
-       CheckUnorderedIteration, false},
+       CheckUnorderedIteration, false, true},
       {{"include-guard", "missing or malformed #ifndef include guard"},
-       CheckIncludeGuards, false},
+       CheckIncludeGuards, false, true},
       {{"raw-new-delete", "raw new/delete instead of owning containers"},
-       CheckRawNewDelete, false},
+       CheckRawNewDelete, false, true},
       {{"obs-seam", "direct time/IO in src/obs instead of obs::Clock"},
-       CheckObsSeam, false},
+       CheckObsSeam, false, true},
       {{"dur-seam", "file mutation outside src/io and src/dur"},
-       CheckDurSeam, false},
+       CheckDurSeam, false, true},
       {{"view-invalidation",
         "SoA ring view (PostBin::LaneSpan) read after a mutating call "
         "invalidated it"},
-       sema::CheckViewInvalidation, true},
+       sema::CheckViewInvalidation, true, true},
       {{"lock-discipline",
         "FIREHOSE_GUARDED_BY/FIREHOSE_REQUIRES violation: guarded state "
         "touched without the mutex held"},
-       sema::CheckLockDiscipline, true},
+       sema::CheckLockDiscipline, true, false},
       {{"atomic-ordering",
         "raw memory_order_relaxed outside allowlisted seams, or "
         "seq_cst-default operation on an atomic"},
-       sema::CheckAtomicOrdering, true},
+       sema::CheckAtomicOrdering, true, true},
       {{"blocking-in-hot-path",
         "IO or sleep call reachable from the per-post Offer decide path"},
-       sema::CheckBlockingInHotPath, true},
+       sema::CheckBlockingInHotPath, true, false},
+      {{"thread-confinement",
+        "FIREHOSE_THREAD_OWNED/PRODUCER_ONLY/CONSUMER_ONLY state touched "
+        "from a function reachable on the wrong FIREHOSE_RUNS_ON thread"},
+       sema::CheckThreadConfinement, true, false},
+      {{"untrusted-input",
+        "tainted bytes from a FIREHOSE_TAINT_SOURCE or frame payload used "
+        "as an allocation size, resize argument or index without a bound "
+        "check"},
+       sema::CheckUntrustedInput, true, false},
+      {{"ordering-discipline",
+        "condvar wait outside a predicate loop, or a decide-path call "
+        "preceding the WAL append in the same function"},
+       sema::CheckOrderingDiscipline, true, false},
   };
   return kPasses;
+}
+
+bool IsFileScopedCheck(const std::string& check) {
+  for (const RegisteredPass& pass : PassRegistry()) {
+    if (pass.check.name == check) return pass.file_scoped;
+  }
+  return false;
+}
+
+uint64_t RuleTableHash() {
+  // Bump when pass semantics change without a registry text edit, so
+  // stale caches from older binaries are discarded.
+  constexpr uint64_t kAnalyzerCacheEpoch = 1;
+  uint64_t hash = HashBytes(std::to_string(kAnalyzerCacheEpoch));
+  for (const RegisteredPass& pass : PassRegistry()) {
+    hash = HashBytes(pass.check.name, hash);
+    hash = HashBytes(pass.check.description, hash);
+    hash = HashBytes(pass.file_scoped ? "F" : "G", hash);
+  }
+  return hash;
 }
 
 const std::vector<CheckInfo>& AllChecks() {
@@ -133,6 +169,53 @@ AnalysisResult Analyze(const std::vector<SourceFile>& files,
   context.graph = &graph;
   context.layers = have_layers ? &layers : nullptr;
 
+  // Per-file content and include-closure hashes, for the result cache.
+  // The closure hash folds in every transitively included analyzed file,
+  // so editing a header invalidates all its includers.
+  std::map<std::string, uint64_t> content_hashes;
+  std::vector<uint64_t> closure_hashes;
+  std::set<std::string> skip;
+  if (options.cache != nullptr) {
+    for (const SourceFile& file : files) {
+      content_hashes[file.path] = HashBytes(file.text);
+    }
+    closure_hashes.resize(graph.files.size(), 0);
+    for (size_t i = 0; i < graph.files.size(); ++i) {
+      std::set<int> closure;
+      std::deque<int> queue;
+      closure.insert(static_cast<int>(i));
+      queue.push_back(static_cast<int>(i));
+      while (!queue.empty()) {
+        const int at = queue.front();
+        queue.pop_front();
+        for (const IncludeRef& ref : graph.files[at].includes) {
+          if (ref.resolved >= 0 && closure.insert(ref.resolved).second) {
+            queue.push_back(ref.resolved);
+          }
+        }
+      }
+      uint64_t hash = kFnvOffset;
+      for (const int index : closure) {  // sorted — files sorted by path
+        const FileNode& node = graph.files[index];
+        hash = HashBytes(node.path, hash);
+        hash = HashBytes(std::to_string(content_hashes[node.path]), hash);
+      }
+      closure_hashes[i] = hash;
+    }
+    for (size_t i = 0; i < graph.files.size(); ++i) {
+      const FileNode& node = graph.files[i];
+      auto it = options.cache->files.find(node.path);
+      if (it != options.cache->files.end() &&
+          it->second.content_hash == content_hashes[node.path] &&
+          it->second.closure_hash == closure_hashes[i]) {
+        skip.insert(node.path);
+      }
+    }
+    context.skip_paths = &skip;
+    result.cache_hits = skip.size();
+    result.cache_misses = files.size() - skip.size();
+  }
+
   const auto enabled = [&options](std::string_view name) {
     return options.checks.empty() ||
            options.checks.count(std::string(name)) > 0;
@@ -151,7 +234,13 @@ AnalysisResult Analyze(const std::vector<SourceFile>& files,
 
   std::vector<Finding> findings;
   for (const RegisteredPass& pass : PassRegistry()) {
-    if (enabled(pass.check.name)) pass.run(context, &findings);
+    if (!enabled(pass.check.name)) continue;
+    const auto start = std::chrono::steady_clock::now();
+    pass.run(context, &findings);
+    const auto stop = std::chrono::steady_clock::now();
+    result.pass_ms.emplace_back(
+        pass.check.name,
+        std::chrono::duration<double, std::milli>(stop - start).count());
   }
 
   // Apply `firehose-lint: allow(...)` suppressions, computed lazily per
@@ -177,6 +266,45 @@ AnalysisResult Analyze(const std::vector<SourceFile>& files,
           }),
       findings.end());
 
+  // Replay cached file-scoped findings for skipped files (already
+  // suppression-filtered when they were cached).
+  if (options.cache != nullptr) {
+    for (const std::string& path : skip) {
+      const CacheEntry& entry = options.cache->files[path];
+      findings.insert(findings.end(), entry.findings.begin(),
+                      entry.findings.end());
+    }
+  }
+
+  // Collapse findings carrying the same (check, path, token) — one
+  // violation reachable via several call chains — keeping the shortest
+  // message (shortest chain; ties to the smallest line).
+  {
+    std::map<std::string, size_t> best;
+    std::vector<Finding> deduped;
+    deduped.reserve(findings.size());
+    for (Finding& finding : findings) {
+      if (finding.token.empty()) {
+        deduped.push_back(std::move(finding));
+        continue;
+      }
+      const std::string key =
+          finding.check + "\t" + finding.path + "\t" + finding.token;
+      const auto [it, inserted] = best.emplace(key, deduped.size());
+      if (inserted) {
+        deduped.push_back(std::move(finding));
+        continue;
+      }
+      Finding& kept = deduped[it->second];
+      if (finding.message.size() < kept.message.size() ||
+          (finding.message.size() == kept.message.size() &&
+           finding.line < kept.line)) {
+        kept = std::move(finding);
+      }
+    }
+    findings = std::move(deduped);
+  }
+
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.path, a.line, a.check, a.message) <
@@ -189,6 +317,26 @@ AnalysisResult Analyze(const std::vector<SourceFile>& files,
                                       a.message == b.message;
                              }),
                  findings.end());
+
+  // Refresh the cache: entries for exactly the current file set, with
+  // the final (post-suppression, post-dedupe) file-scoped findings.
+  if (options.cache != nullptr) {
+    std::map<std::string, CacheEntry> fresh;
+    for (size_t i = 0; i < graph.files.size(); ++i) {
+      CacheEntry& entry = fresh[graph.files[i].path];
+      entry.content_hash = content_hashes[graph.files[i].path];
+      entry.closure_hash = closure_hashes[i];
+    }
+    for (const Finding& finding : findings) {
+      auto it = fresh.find(finding.path);
+      if (it != fresh.end() && IsFileScopedCheck(finding.check)) {
+        it->second.findings.push_back(finding);
+      }
+    }
+    options.cache->files = std::move(fresh);
+    options.cache->all_findings = findings;
+    options.cache->file_count = files.size();
+  }
 
   result.ok = true;
   result.findings = std::move(findings);

@@ -1,0 +1,180 @@
+#include "src/analysis/cache.h"
+
+#include <sstream>
+
+namespace firehose {
+namespace analysis {
+
+namespace {
+
+constexpr const char* kMagic = "firehose-analyze-cache v1";
+
+std::string Escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string Unescape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\' || i + 1 >= text.size()) {
+      out += text[i];
+      continue;
+    }
+    ++i;
+    if (text[i] == 't') {
+      out += '\t';
+    } else if (text[i] == 'n') {
+      out += '\n';
+    } else {
+      out += text[i];
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+bool ParseU64(const std::string& text, uint64_t* value) {
+  if (text.empty()) return false;
+  uint64_t out = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    out = out * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *value = out;
+  return true;
+}
+
+bool ParseFinding(const std::vector<std::string>& fields, size_t offset,
+                  Finding* finding) {
+  if (fields.size() != offset + 5) return false;
+  uint64_t line = 0;
+  if (!ParseU64(fields[offset + 1], &line)) return false;
+  finding->path = Unescape(fields[offset]);
+  finding->line = static_cast<int>(line);
+  finding->check = Unescape(fields[offset + 2]);
+  finding->message = Unescape(fields[offset + 3]);
+  finding->token = Unescape(fields[offset + 4]);
+  return true;
+}
+
+void AppendFinding(std::string* out, const char* tag, const Finding& f) {
+  *out += tag;
+  *out += '\t';
+  *out += Escape(f.path);
+  *out += '\t';
+  *out += std::to_string(f.line);
+  *out += '\t';
+  *out += Escape(f.check);
+  *out += '\t';
+  *out += Escape(f.message);
+  *out += '\t';
+  *out += Escape(f.token);
+  *out += '\n';
+}
+
+}  // namespace
+
+uint64_t HashBytes(std::string_view data, uint64_t seed) {
+  uint64_t hash = seed;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string FormatCache(const AnalysisCache& cache) {
+  std::string out = kMagic;
+  out += '\n';
+  out += "config\t" + std::to_string(cache.config_hash) + '\n';
+  out += "filecount\t" + std::to_string(cache.file_count) + '\n';
+  for (const auto& [path, entry] : cache.files) {
+    out += "file\t" + Escape(path) + '\t' +
+           std::to_string(entry.content_hash) + '\t' +
+           std::to_string(entry.closure_hash) + '\n';
+    for (const Finding& f : entry.findings) AppendFinding(&out, "finding", f);
+  }
+  for (const Finding& f : cache.all_findings) AppendFinding(&out, "all", f);
+  return out;
+}
+
+bool ParseCache(std::string_view text, AnalysisCache* cache) {
+  *cache = AnalysisCache{};
+  std::istringstream in{std::string(text)};
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) return false;
+  CacheEntry* current = nullptr;
+  bool seen_config = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitTabs(line);
+    const std::string& tag = fields[0];
+    if (tag == "config") {
+      if (fields.size() != 2 || !ParseU64(fields[1], &cache->config_hash)) {
+        break;
+      }
+      seen_config = true;
+    } else if (tag == "filecount") {
+      uint64_t count = 0;
+      if (fields.size() != 2 || !ParseU64(fields[1], &count)) break;
+      cache->file_count = static_cast<size_t>(count);
+    } else if (tag == "file") {
+      if (fields.size() != 4) break;
+      CacheEntry entry;
+      if (!ParseU64(fields[2], &entry.content_hash) ||
+          !ParseU64(fields[3], &entry.closure_hash)) {
+        break;
+      }
+      current = &cache->files[Unescape(fields[1])];
+      *current = entry;
+    } else if (tag == "finding") {
+      Finding f;
+      if (current == nullptr || !ParseFinding(fields, 1, &f)) break;
+      current->findings.push_back(std::move(f));
+    } else if (tag == "all") {
+      Finding f;
+      if (!ParseFinding(fields, 1, &f)) break;
+      cache->all_findings.push_back(std::move(f));
+    } else {
+      break;
+    }
+    line.clear();
+    continue;
+  }
+  // A break above left an unconsumed line — malformed input.
+  if (!line.empty() || !seen_config) {
+    *cache = AnalysisCache{};
+    return false;
+  }
+  return true;
+}
+
+}  // namespace analysis
+}  // namespace firehose

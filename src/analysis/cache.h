@@ -1,0 +1,60 @@
+#ifndef FIREHOSE_ANALYSIS_CACHE_H_
+#define FIREHOSE_ANALYSIS_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+
+namespace firehose {
+namespace analysis {
+
+/// Content-hash keyed result cache for firehose_analyze.
+///
+/// Two layers of reuse:
+///  - Full hit (driver level): the config hash and every file's content
+///    hash match the previous run — the final findings are replayed
+///    without lexing a single file.
+///  - Partial hit (Analyze level): a file whose content hash AND
+///    include-closure hash match keeps its file-scoped findings from
+///    the cache; file-scoped passes skip it. Global (interprocedural)
+///    passes always rerun.
+///
+/// The cache is invalidated wholesale when the config hash changes:
+/// rule tables (RuleTableHash), the enabled check set, or the layers
+/// file.
+
+/// FNV-1a over `data`, chainable via `seed`.
+inline constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+uint64_t HashBytes(std::string_view data, uint64_t seed = kFnvOffset);
+
+struct CacheEntry {
+  uint64_t content_hash = 0;
+  /// Hash over the content hashes of the file's transitive include
+  /// closure — a header edit invalidates every includer.
+  uint64_t closure_hash = 0;
+  /// File-scoped findings for this file from the last analysis,
+  /// suppressions already applied.
+  std::vector<Finding> findings;
+};
+
+struct AnalysisCache {
+  uint64_t config_hash = 0;
+  std::map<std::string, CacheEntry> files;
+  /// The complete finding list of the last run, for the full-hit replay.
+  std::vector<Finding> all_findings;
+  size_t file_count = 0;
+};
+
+/// Parses the text cache format; returns false (and leaves `cache`
+/// empty) on any malformed line — a corrupt cache is simply a cold one.
+bool ParseCache(std::string_view text, AnalysisCache* cache);
+std::string FormatCache(const AnalysisCache& cache);
+
+}  // namespace analysis
+}  // namespace firehose
+
+#endif  // FIREHOSE_ANALYSIS_CACHE_H_

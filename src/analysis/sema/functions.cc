@@ -18,16 +18,29 @@ const std::set<std::string>& ControlLikeKeywords() {
       "assert",   "new",           "delete",   "throw",
       "else",     "do",            "case",     "alignas",
       "FIREHOSE_GUARDED_BY",       "FIREHOSE_REQUIRES",
-      "FIREHOSE_THREAD_OWNED"};
+      "FIREHOSE_THREAD_OWNED",     "FIREHOSE_PRODUCER_ONLY",
+      "FIREHOSE_CONSUMER_ONLY",    "FIREHOSE_RUNS_ON",
+      "FIREHOSE_TAINT_SOURCE"};
   return kWords;
+}
+
+// Member annotation macros that bind to the preceding member identifier.
+bool IsMemberAnnotation(const std::string& text) {
+  return text == "FIREHOSE_GUARDED_BY" || text == "FIREHOSE_THREAD_OWNED" ||
+         text == "FIREHOSE_PRODUCER_ONLY" || text == "FIREHOSE_CONSUMER_ONLY";
 }
 
 class Extractor {
  public:
   Extractor(const TokenView& code, int file,
             std::vector<FunctionDef>* functions,
-            std::map<std::string, TypeInfo>* types)
-      : code_(code), file_(file), functions_(functions), types_(types) {}
+            std::map<std::string, TypeInfo>* types,
+            std::map<std::string, std::set<size_t>>* taint_sources)
+      : code_(code),
+        file_(file),
+        functions_(functions),
+        types_(types),
+        taint_sources_(taint_sources) {}
 
   void Run() { Region(0, code_.size(), ""); }
 
@@ -77,26 +90,31 @@ class Extractor {
           i = std::min(close, end);
           continue;
         }
-        if (t.text == "FIREHOSE_GUARDED_BY" && !class_name.empty() &&
-            i > begin && code_[i - 1]->kind == TokenKind::kIdentifier &&
-            IsPunctAt(code_, i + 1, "(")) {
+        if (IsMemberAnnotation(t.text) && IsPunctAt(code_, i + 1, "(")) {
           const size_t close = MatchForward(code_, i + 1, "(", ")");
-          std::string mutex_name;
-          for (size_t k = i + 2; k + 1 < close; ++k) {
-            if (code_[k]->kind == TokenKind::kIdentifier) {
-              mutex_name = code_[k]->text;  // last identifier wins
+          if (!class_name.empty()) {
+            std::string arg;
+            for (size_t k = i + 2; k + 1 < close; ++k) {
+              if (code_[k]->kind == TokenKind::kIdentifier) {
+                arg = code_[k]->text;  // last identifier wins
+              }
+            }
+            const std::string member = MemberBefore(begin, i);
+            if (!arg.empty() && !member.empty()) {
+              TypeInfo& info = (*types_)[class_name];
+              info.name = class_name;
+              if (t.text == "FIREHOSE_GUARDED_BY") {
+                info.guarded_members[member] = arg;
+              } else if (t.text == "FIREHOSE_THREAD_OWNED") {
+                info.owned_members[member] = arg;
+              } else if (t.text == "FIREHOSE_PRODUCER_ONLY") {
+                info.producer_only_members[member] = arg;
+              } else {
+                info.consumer_only_members[member] = arg;
+              }
             }
           }
-          if (!mutex_name.empty()) {
-            TypeInfo& info = (*types_)[class_name];
-            info.name = class_name;
-            info.guarded_members[code_[i - 1]->text] = mutex_name;
-          }
           i = std::min(close, end);
-          continue;
-        }
-        if (t.text == "FIREHOSE_THREAD_OWNED" && IsPunctAt(code_, i + 1, "(")) {
-          i = std::min(MatchForward(code_, i + 1, "(", ")"), end);
           continue;
         }
         if (t.text == "operator") {
@@ -123,6 +141,44 @@ class Extractor {
       }
       ++i;
     }
+  }
+
+  // Walks left from the annotation keyword at `i` to the member
+  // identifier it annotates, stepping over earlier chained
+  // `FIREHOSE_*(...)` annotations — in
+  // `queue_ FIREHOSE_PRODUCER_ONLY(a) FIREHOSE_CONSUMER_ONLY(b)` the
+  // second macro is preceded by `)`, not the member. Returns "" when the
+  // shape does not look like an annotated member.
+  std::string MemberBefore(size_t begin, size_t i) {
+    size_t k = i;
+    while (k > begin) {
+      const Token& p = *code_[k - 1];
+      if (p.kind == TokenKind::kIdentifier) {
+        if (ControlLikeKeywords().count(p.text) != 0) return "";
+        return p.text;
+      }
+      if (IsPunct(p, ")")) {
+        // Step back over one `FIREHOSE_XXX( ... )` link of the chain.
+        int depth = 0;
+        size_t j = k - 1;
+        while (true) {
+          if (IsPunct(*code_[j], ")")) ++depth;
+          if (IsPunct(*code_[j], "(") && --depth == 0) break;
+          if (j == begin) return "";
+          --j;
+        }
+        if (j <= begin) return "";
+        const Token& kw = *code_[j - 1];
+        if (kw.kind != TokenKind::kIdentifier ||
+            kw.text.rfind("FIREHOSE_", 0) != 0) {
+          return "";
+        }
+        k = j - 1;
+        continue;
+      }
+      return "";
+    }
+    return "";
   }
 
   size_t ParseNamespace(size_t i, size_t end) {
@@ -245,6 +301,8 @@ class Extractor {
     size_t j = params_end;
     bool is_const = false;
     std::vector<std::string> requires_caps;
+    std::string runs_on;
+    bool taint_source = false;
     size_t body_open = 0;
     bool is_def = false;
     bool is_decl = false;
@@ -273,6 +331,21 @@ class Extractor {
           }
         }
         j = close;
+        continue;
+      }
+      if (IsIdent(u, "FIREHOSE_RUNS_ON") && IsPunctAt(code_, j + 1, "(")) {
+        const size_t close = MatchForward(code_, j + 1, "(", ")");
+        for (size_t k = j + 2; k + 1 < close; ++k) {
+          if (code_[k]->kind == TokenKind::kIdentifier) {
+            runs_on = code_[k]->text;
+          }
+        }
+        j = close;
+        continue;
+      }
+      if (IsIdent(u, "FIREHOSE_TAINT_SOURCE")) {
+        taint_source = true;
+        ++j;
         continue;
       }
       if (IsPunct(u, "(")) {  // noexcept(...), attribute-like suffixes
@@ -342,6 +415,11 @@ class Extractor {
                               end);
       def.is_const = is_const;
       def.requires_caps = requires_caps;
+      def.runs_on = runs_on;
+      def.taint_source = taint_source;
+      size_t defaults = 0;
+      def.params = ExtractParams(paren, params_end, &defaults);
+      if (taint_source) RecordSource(name, def.params.size(), defaults);
       for (size_t k = def.body_begin; k < def.body_end; ++k) {
         if (code_[k]->kind == TokenKind::kIdentifier &&
             IsPunctAt(code_, k + 1, "(") &&
@@ -349,20 +427,87 @@ class Extractor {
           def.calls.insert(code_[k]->text);
         }
       }
-      RecordMethod(effective_class, name, is_const, requires_caps);
+      RecordMethod(effective_class, name, is_const, requires_caps, runs_on);
       functions_->push_back(std::move(def));
       return std::min(body_close, end);
     }
     if (is_decl) {
-      RecordMethod(effective_class, name, is_const, requires_caps);
+      RecordMethod(effective_class, name, is_const, requires_caps, runs_on);
+      if (taint_source) {
+        size_t defaults = 0;
+        const size_t arity = ExtractParams(paren, params_end, &defaults).size();
+        RecordSource(name, arity, defaults);
+      }
       return j + 1;
     }
     return 0;
   }
 
+  // Parameter names from the list between `paren` and `params_end` (one
+  // past the `)`): the last identifier of each top-level argument,
+  // skipping default-value expressions and template argument lists.
+  std::vector<std::string> ExtractParams(size_t paren, size_t params_end,
+                                         size_t* num_defaults = nullptr) {
+    std::vector<std::string> params;
+    size_t k = paren + 1;
+    std::string current;
+    bool in_default = false;
+    bool any = false;
+    size_t defaults = 0;
+    while (k + 1 < params_end) {
+      const Token& u = *code_[k];
+      any = true;
+      if (IsPunct(u, "(")) {
+        k = MatchForward(code_, k, "(", ")");
+        continue;
+      }
+      if (IsPunct(u, "[")) {
+        k = MatchForward(code_, k, "[", "]");
+        continue;
+      }
+      if (IsPunct(u, "{")) {
+        k = MatchForward(code_, k, "{", "}");
+        continue;
+      }
+      if (IsPunct(u, "<")) {
+        k = SkipAngles(code_, k);
+        continue;
+      }
+      if (IsPunct(u, ",")) {
+        params.push_back(current);
+        current.clear();
+        in_default = false;
+        ++k;
+        continue;
+      }
+      if (IsPunct(u, "=")) {
+        if (!in_default) ++defaults;
+        in_default = true;
+        ++k;
+        continue;
+      }
+      if (!in_default && u.kind == TokenKind::kIdentifier &&
+          u.text != "const" && u.text != "void") {
+        current = u.text;
+      }
+      ++k;
+    }
+    if (any) params.push_back(current);
+    if (num_defaults != nullptr) *num_defaults = defaults;
+    return params;
+  }
+
+  void RecordSource(const std::string& name, size_t arity, size_t defaults) {
+    std::set<size_t>& arities = (*taint_sources_)[name];
+    for (size_t a = arity - std::min(defaults, arity); a <= arity; ++a) {
+      arities.insert(a);
+    }
+  }
+
   void RecordMethod(const std::string& class_name, const std::string& name,
                     bool is_const,
-                    const std::vector<std::string>& requires_caps) {
+                    const std::vector<std::string>& requires_caps,
+                    const std::string& runs_on) {
     if (class_name.empty()) return;
     TypeInfo& info = (*types_)[class_name];
     info.name = class_name;
@@ -373,12 +518,14 @@ class Extractor {
       it->second = it->second && is_const;  // any non-const overload wins
     }
     if (!requires_caps.empty()) info.method_requires[name] = requires_caps;
+    if (!runs_on.empty()) info.method_runs_on[name] = runs_on;
   }
 
   const TokenView& code_;
   const int file_;
   std::vector<FunctionDef>* functions_;
   std::map<std::string, TypeInfo>* types_;
+  std::map<std::string, std::set<size_t>>* taint_sources_;
 };
 
 }  // namespace
@@ -391,7 +538,9 @@ SemaModel BuildSemaModel(const IncludeGraph& graph) {
     FileSema& fs = model.files[i];
     fs.file = static_cast<int>(i);
     fs.code = CodeTokens(graph.files[i].tokens);
-    Extractor(fs.code, fs.file, &fs.functions, &model.types).Run();
+    Extractor(fs.code, fs.file, &fs.functions, &model.types,
+              &model.taint_sources)
+        .Run();
   }
   for (size_t i = 0; i < model.files.size(); ++i) {
     for (size_t j = 0; j < model.files[i].functions.size(); ++j) {

@@ -31,6 +31,14 @@ struct FunctionDef {
   bool is_const = false;
   /// Mutexes named by a FIREHOSE_REQUIRES(...) suffix annotation.
   std::vector<std::string> requires_caps;
+  /// Role named by a FIREHOSE_RUNS_ON(...) suffix annotation; empty
+  /// when unconstrained.
+  std::string runs_on;
+  /// Marked FIREHOSE_TAINT_SOURCE: outputs carry untrusted bytes.
+  bool taint_source = false;
+  /// Parameter names in declaration order (last identifier of each
+  /// top-level comma-separated argument). Unnamed parameters yield "".
+  std::vector<std::string> params;
   /// Names called from the body (identifier directly followed by `(`,
   /// control keywords excluded). Name-based, so overloads collapse —
   /// reachability over this table is deliberately over-approximate.
@@ -49,6 +57,15 @@ struct TypeInfo {
   std::map<std::string, std::string> guarded_members;
   /// method -> mutexes, from FIREHOSE_REQUIRES annotations.
   std::map<std::string, std::vector<std::string>> method_requires;
+  /// member -> role, from FIREHOSE_THREAD_OWNED annotations.
+  std::map<std::string, std::string> owned_members;
+  /// member -> role, from FIREHOSE_PRODUCER_ONLY annotations.
+  std::map<std::string, std::string> producer_only_members;
+  /// member -> role, from FIREHOSE_CONSUMER_ONLY annotations.
+  std::map<std::string, std::string> consumer_only_members;
+  /// method -> role, from FIREHOSE_RUNS_ON annotations (declarations
+  /// included, so a header annotation covers the .cc definition).
+  std::map<std::string, std::string> method_runs_on;
 };
 
 struct FileSema {
@@ -71,6 +88,13 @@ struct SemaModel {
   /// Per-file transitive include closure over resolved edges, including
   /// the file itself — the gate for cross-file call resolution.
   std::vector<std::set<int>> reachable_includes;
+  /// Function names (free or method) carrying FIREHOSE_TAINT_SOURCE on
+  /// any declaration or definition, mapped to the call arities the
+  /// annotated signature accepts (parameter count down to parameter
+  /// count minus defaulted parameters). Matching call sites by name AND
+  /// arity keeps unrelated same-named methods (Rng::Next vs
+  /// FrameReader::Next) from becoming sources.
+  std::map<std::string, std::set<size_t>> taint_sources;
 
   /// TypeInfo for `name`, or null.
   const TypeInfo* FindType(const std::string& name) const {

@@ -10,6 +10,7 @@
 #include "src/analysis/sema/dataflow.h"
 #include "src/analysis/sema/functions.h"
 #include "src/analysis/sema/scope.h"
+#include "src/analysis/sema/summaries.h"
 #include "src/analysis/sema/token_util.h"
 
 namespace firehose {
@@ -152,7 +153,8 @@ class ViewClient {
                it->second.invalidator + "' on line " +
                std::to_string(it->second.invalidated_line) +
                " invalidated it; re-acquire with '" + it->second.object + "." +
-               *rule.producers.begin() + "(...)' before reading"});
+               *rule.producers.begin() + "(...)' before reading",
+           ""});
     }
   }
 
@@ -391,7 +393,7 @@ class LockClient {
 
   void Report(int line, const std::string& name, const std::string& message) {
     if (!reported_.insert({line, name}).second) return;
-    findings_->push_back({path_, line, "lock-discipline", message});
+    findings_->push_back({path_, line, "lock-discipline", message, ""});
   }
 
   const TypeInfo* type_;
@@ -469,6 +471,7 @@ void CheckViewInvalidation(const AnalysisContext& context,
   if (model == nullptr || context.graph == nullptr) return;
   for (const FileSema& fs : model->files) {
     const FileNode& node = context.graph->files[fs.file];
+    if (context.Skipped(node.path)) continue;
     bool mentions_view = false;
     for (const Token* token : fs.code) {
       if (token->kind != TokenKind::kIdentifier) continue;
@@ -566,7 +569,7 @@ void CheckAtomicOrdering(const AnalysisContext& context,
 
   for (size_t i = 0; i < model->files.size(); ++i) {
     const FileNode& node = context.graph->files[i];
-    if (!InSrc(node.path)) continue;
+    if (context.Skipped(node.path) || !InSrc(node.path)) continue;
     const TokenView& code = model->files[i].code;
 
     std::set<std::string> atomics = per_file[i];
@@ -579,7 +582,7 @@ void CheckAtomicOrdering(const AnalysisContext& context,
     const auto report = [&](int line, const std::string& key,
                             const std::string& message) {
       if (!reported.insert({line, key}).second) return;
-      findings->push_back({node.path, line, "atomic-ordering", message});
+      findings->push_back({node.path, line, "atomic-ordering", message, ""});
     };
 
     for (size_t k = 0; k < code.size(); ++k) {
@@ -642,78 +645,30 @@ void CheckBlockingInHotPath(const AnalysisContext& context,
   const SemaModel* model = context.sema;
   if (model == nullptr || context.graph == nullptr) return;
 
-  using DefId = std::pair<int, int>;  // (file, function index)
-  const auto def_at = [model](const DefId& id) -> const FunctionDef& {
-    return model->files[id.first].functions[id.second];
-  };
-  const auto name_of = [&](const DefId& id) {
-    const FunctionDef& def = def_at(id);
-    return def.class_name.empty() ? def.name
-                                  : def.class_name + "::" + def.name;
-  };
-
-  // Header a .cc's definitions are published through, for the include
-  // gate: caller reaches callee when it (transitively) includes the
-  // callee's file or the callee's primary header.
-  const auto interface_of = [&](int file) {
-    const std::string& path = context.graph->files[file].path;
-    if (path.size() > 3 && path.compare(path.size() - 3, 3, ".cc") == 0) {
-      return context.graph->Find(path.substr(0, path.size() - 3) + ".h");
-    }
-    return -1;
-  };
-
   // Roots: the per-post decide path.
-  std::deque<DefId> queue;
-  std::map<DefId, DefId> parent;
-  std::set<DefId> reachable;
+  std::vector<DefId> roots;
   for (size_t i = 0; i < model->files.size(); ++i) {
     if (context.graph->files[i].module != "core") continue;
     for (size_t j = 0; j < model->files[i].functions.size(); ++j) {
       const FunctionDef& def = model->files[i].functions[j];
       if (def.name == "Offer" || def.name == "OfferBatch") {
-        const DefId id{static_cast<int>(i), static_cast<int>(j)};
-        if (reachable.insert(id).second) queue.push_back(id);
+        roots.push_back({static_cast<int>(i), static_cast<int>(j)});
       }
     }
   }
 
-  while (!queue.empty()) {
-    const DefId at = queue.front();
-    queue.pop_front();
-    const std::set<int>& closure = model->reachable_includes[at.first];
-    for (const std::string& callee : def_at(at).calls) {
-      auto defs = model->functions_by_name.find(callee);
-      if (defs == model->functions_by_name.end()) continue;
-      for (const DefId& target : defs->second) {
-        if (!InSrc(context.graph->files[target.first].path)) continue;
-        if (closure.count(target.first) == 0) {
-          const int header = interface_of(target.first);
-          if (header < 0 || closure.count(header) == 0) continue;
-        }
-        if (reachable.insert(target).second) {
-          parent[target] = at;
-          queue.push_back(target);
-        }
-      }
-    }
-  }
-
-  const auto chain_of = [&](DefId id) {
-    std::string chain = name_of(id);
-    size_t hops = 0;
-    while (hops++ < 16) {
-      auto it = parent.find(id);
-      if (it == parent.end()) break;
-      id = it->second;
-      chain = name_of(id) + " -> " + chain;
-    }
-    return chain;
-  };
+  const CallGraph call_graph = BuildCallGraph(*model);
+  std::map<DefId, DefId> parent;
+  const std::set<DefId> reachable = ReachableFrom(
+      call_graph, roots,
+      [&](const DefId& target) {
+        return InSrc(context.graph->files[target.first].path);
+      },
+      &parent);
 
   std::set<std::pair<std::string, int>> reported;
   for (const DefId& id : reachable) {
-    const FunctionDef& def = def_at(id);
+    const FunctionDef& def = DefAt(*model, id);
     const FileSema& fs = model->files[id.first];
     const std::string& path = context.graph->files[id.first].path;
     for (size_t k = def.body_begin; k < def.body_end && k < fs.code.size();
@@ -728,9 +683,338 @@ void CheckBlockingInHotPath(const AnalysisContext& context,
       findings->push_back(
           {path, t.line, "blocking-in-hot-path",
            std::string(banned_call ? "blocking call '" : "file stream '") +
-               t.text + "' inside '" + name_of(id) +
+               t.text + "' inside '" + QualifiedName(*model, id) +
                "', which is reachable from the per-post decide path (" +
-               chain_of(id) + "); hot-path code must not sleep or do IO"});
+               ChainOf(*model, parent, id) +
+               "); hot-path code must not sleep or do IO",
+           ""});
+    }
+  }
+}
+
+// --- thread-confinement ------------------------------------------------------
+
+namespace {
+
+// Reserved role for single-threaded phases (setup, recovery): never a
+// reachability root, constrains nothing, but still cuts walks arriving
+// from real roles.
+constexpr const char* kExclusiveRole = "exclusive";
+
+std::string EffectiveRole(const SemaModel& model, const DefId& id) {
+  const FunctionDef& def = DefAt(model, id);
+  if (!def.runs_on.empty()) return def.runs_on;
+  if (!def.class_name.empty()) {
+    const TypeInfo* type = model.FindType(def.class_name);
+    if (type != nullptr) {
+      auto it = type->method_runs_on.find(def.name);
+      if (it != type->method_runs_on.end()) return it->second;
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+void CheckThreadConfinement(const AnalysisContext& context,
+                            std::vector<Finding>* findings) {
+  const SemaModel* model = context.sema;
+  if (model == nullptr || context.graph == nullptr) return;
+
+  // Roots per role, in file/function registration order so BFS chains
+  // are deterministic.
+  std::map<std::string, std::vector<DefId>> roots;
+  for (size_t i = 0; i < model->files.size(); ++i) {
+    for (size_t j = 0; j < model->files[i].functions.size(); ++j) {
+      const DefId id{static_cast<int>(i), static_cast<int>(j)};
+      const std::string role = EffectiveRole(*model, id);
+      if (!role.empty() && role != kExclusiveRole) roots[role].push_back(id);
+    }
+  }
+  if (roots.empty()) return;
+
+  const CallGraph call_graph = BuildCallGraph(*model);
+  for (const auto& [role, role_roots] : roots) {
+    std::map<DefId, DefId> parent;
+    const std::set<DefId> reachable = ReachableFrom(
+        call_graph, role_roots,
+        [&](const DefId& target) {
+          if (!InSrc(context.graph->files[target.first].path)) return false;
+          const std::string target_role = EffectiveRole(*model, target);
+          // A callee asserting its own role cuts the walk there: the
+          // assertion is trusted, not re-derived.
+          return target_role.empty() || target_role == role;
+        },
+        &parent);
+
+    std::set<std::pair<std::string, int>> reported;
+    for (const DefId& id : reachable) {
+      const FunctionDef& def = DefAt(*model, id);
+      const FileSema& fs = model->files[id.first];
+      const std::string& path = context.graph->files[id.first].path;
+      if (!InSrc(path)) continue;
+      const TypeInfo* type =
+          def.class_name.empty() ? nullptr : model->FindType(def.class_name);
+      if (type == nullptr) continue;
+      for (size_t k = def.body_begin; k < def.body_end && k < fs.code.size();
+           ++k) {
+        const Token& t = *fs.code[k];
+        if (t.kind != TokenKind::kIdentifier) continue;
+        // Accesses through another object (`other.x_`) are a different
+        // instance's state; `this->x_` still counts.
+        const bool through_other =
+            k > 0 &&
+            (IsPunctAt(fs.code, k - 1, ".") ||
+             IsPunctAt(fs.code, k - 1, "->")) &&
+            !(k >= 2 && IsIdentAt(fs.code, k - 2, "this"));
+        if (through_other) continue;
+
+        auto owned = type->owned_members.find(t.text);
+        if (owned != type->owned_members.end() && owned->second != role) {
+          if (reported.insert({t.text, t.line}).second) {
+            findings->push_back(
+                {path, t.line, "thread-confinement",
+                 "'" + t.text + "' is FIREHOSE_THREAD_OWNED(" + owned->second +
+                     ") but touched from '" + QualifiedName(*model, id) +
+                     "', which runs on '" + role + "' (" +
+                     ChainOf(*model, parent, id) + ")",
+                 t.text + "@" + role});
+          }
+          continue;
+        }
+
+        // queue_.Push(...) / queue_->TryPush(...) against producer and
+        // consumer role annotations.
+        if (k + 3 < fs.code.size() &&
+            (IsPunctAt(fs.code, k + 1, ".") ||
+             IsPunctAt(fs.code, k + 1, "->")) &&
+            fs.code[k + 2]->kind == TokenKind::kIdentifier &&
+            IsPunctAt(fs.code, k + 3, "(")) {
+          const std::string& method = fs.code[k + 2]->text;
+          const bool is_push = method == "Push" || method == "TryPush";
+          const bool is_pop = method == "Pop" || method == "TryPop";
+          if (!is_push && !is_pop) continue;
+          const auto& table = is_push ? type->producer_only_members
+                                      : type->consumer_only_members;
+          auto it = table.find(t.text);
+          if (it == table.end() || it->second == role) continue;
+          if (!reported.insert({t.text + "." + method, t.line}).second) {
+            continue;
+          }
+          findings->push_back(
+              {path, t.line, "thread-confinement",
+               "'" + t.text + "." + method + "()' but '" + t.text + "' is " +
+                   (is_push ? "FIREHOSE_PRODUCER_ONLY("
+                            : "FIREHOSE_CONSUMER_ONLY(") +
+                   it->second + ") and '" + QualifiedName(*model, id) +
+                   "' runs on '" + role + "' (" +
+                   ChainOf(*model, parent, id) + ")",
+               t.text + "." + method + "@" + role});
+        }
+      }
+    }
+  }
+}
+
+// --- untrusted-input ---------------------------------------------------------
+
+namespace {
+
+std::string SinkPhrase(const std::string& sink) {
+  if (sink == "resize" || sink == "reserve") {
+    return "a '" + sink + "' argument";
+  }
+  if (sink == "index") return "an array index";
+  if (sink == "new[]") return "an array-new size";
+  if (sink == "malloc" || sink == "calloc" || sink == "realloc") {
+    return "an allocation size ('" + sink + "')";
+  }
+  if (sink == "memcpy" || sink == "memmove" || sink == "memset") {
+    return "the byte count of '" + sink + "'";
+  }
+  return sink;  // "arg N of 'Callee'"
+}
+
+std::string JoinOrigins(const std::set<std::string>& origins) {
+  std::string out;
+  for (const std::string& origin : origins) {
+    if (!out.empty()) out += ", ";
+    out += origin;
+  }
+  return out;
+}
+
+}  // namespace
+
+void CheckUntrustedInput(const AnalysisContext& context,
+                         std::vector<Finding>* findings) {
+  const SemaModel* model = context.sema;
+  if (model == nullptr || context.graph == nullptr) return;
+  if (model->taint_sources.empty()) return;
+
+  const CallGraph call_graph = BuildCallGraph(*model);
+  const SummaryTable table = BuildSummaries(*model, call_graph);
+  for (const auto& [id, summary] : table.summaries) {
+    const std::string& path = context.graph->files[id.first].path;
+    if (!InSrc(path)) continue;
+    for (const TaintHit& hit : summary.hits) {
+      findings->push_back(
+          {path, hit.line, "untrusted-input",
+           "tainted value '" + hit.var + "' (from " +
+               JoinOrigins(hit.origins) + ") used as " + SinkPhrase(hit.sink) +
+               " in '" + QualifiedName(*model, id) +
+               "' without a sanctioning bound check",
+           ""});
+    }
+  }
+}
+
+// --- ordering-discipline -----------------------------------------------------
+
+namespace {
+
+/// WAL handles whose Append anchors the append-before-decide rule, the
+/// same shape of seeded table the view-invalidation pass uses.
+const std::set<std::string>& WalHandles() {
+  static const std::set<std::string> kHandles = {"wal_", "control_wal_",
+                                                 "wal"};
+  return kHandles;
+}
+
+size_t SubtreeEnd(const Stmt& stmt) {
+  size_t end = stmt.end;
+  for (const Stmt& child : stmt.children) {
+    end = std::max(end, SubtreeEnd(child));
+  }
+  return end;
+}
+
+void CollectLoopRanges(const Stmt& stmt,
+                       std::vector<std::pair<size_t, size_t>>* out) {
+  if (stmt.kind == StmtKind::kLoop) {
+    out->push_back({stmt.begin, SubtreeEnd(stmt)});
+    return;  // nested loops are covered by the outer range
+  }
+  for (const Stmt& child : stmt.children) CollectLoopRanges(child, out);
+}
+
+// Number of top-level arguments of the call whose `(` is at `open`.
+size_t TopLevelArgCount(const TokenView& code, size_t open, size_t close) {
+  if (open + 1 >= close) return 0;  // `()` — close is the `)` index + 1
+  size_t count = 1;
+  int depth = 0;
+  for (size_t k = open + 1; k + 1 < close; ++k) {
+    const Token& t = *code[k];
+    if (t.kind != TokenKind::kPunct) continue;
+    if (t.text == "(" || t.text == "[" || t.text == "{") {
+      ++depth;
+    } else if (t.text == ")" || t.text == "]" || t.text == "}") {
+      --depth;
+    } else if (t.text == "," && depth == 0) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+void CheckOrderingDiscipline(const AnalysisContext& context,
+                             std::vector<Finding>* findings) {
+  const SemaModel* model = context.sema;
+  if (model == nullptr || context.graph == nullptr) return;
+
+  const CallGraph call_graph = BuildCallGraph(*model);
+  std::set<std::string> deciding_names = {"Offer", "OfferBatch"};
+  for (const DefId& id : DecidingDefs(*model, call_graph)) {
+    deciding_names.insert(DefAt(*model, id).name);
+  }
+
+  for (size_t i = 0; i < model->files.size(); ++i) {
+    const std::string& path = context.graph->files[i].path;
+    if (!InSrc(path)) continue;
+    const FileSema& fs = model->files[i];
+    for (const FunctionDef& def : fs.functions) {
+      // (a) one-argument condvar waits must sit in a predicate loop.
+      // wait(lock, pred) re-checks internally and future.wait() has no
+      // lock to re-check; only the bare wait(lock) form can wake
+      // spuriously with no predicate.
+      std::vector<std::pair<size_t, size_t>> loops;
+      bool loops_built = false;
+      for (size_t k = def.body_begin;
+           k + 3 < fs.code.size() && k < def.body_end; ++k) {
+        if (fs.code[k]->kind != TokenKind::kIdentifier) continue;
+        if (!(IsPunctAt(fs.code, k + 1, ".") ||
+              IsPunctAt(fs.code, k + 1, "->")) ||
+            !IsIdentAt(fs.code, k + 2, "wait") ||
+            !IsPunctAt(fs.code, k + 3, "(")) {
+          continue;
+        }
+        const size_t close = MatchForward(fs.code, k + 3, "(", ")");
+        if (TopLevelArgCount(fs.code, k + 3, close) != 1) continue;
+        if (!loops_built) {
+          const Stmt root =
+              BuildStmtTree(fs.code, def.body_begin, def.body_end);
+          CollectLoopRanges(root, &loops);
+          loops_built = true;
+        }
+        bool in_loop = false;
+        for (const auto& range : loops) {
+          if (k + 2 >= range.first && k + 2 < range.second) {
+            in_loop = true;
+            break;
+          }
+        }
+        if (in_loop) continue;
+        findings->push_back(
+            {path, fs.code[k]->line, "ordering-discipline",
+             "'" + fs.code[k]->text +
+                 ".wait(lock)' outside a predicate loop in '" +
+                 (def.class_name.empty() ? def.name
+                                         : def.class_name + "::" + def.name) +
+                 "'; spurious wakeups require `while (!pred) cv.wait(lock)` "
+                 "or the two-argument predicate form",
+             ""});
+      }
+
+      // (b) append-before-decide: in a function with a direct WAL
+      // append, no decide-path call may precede it.
+      size_t first_append = 0;
+      std::string append_expr;
+      size_t first_decide = 0;
+      std::string decide_name;
+      for (size_t k = def.body_begin;
+           k < def.body_end && k < fs.code.size(); ++k) {
+        const Token& t = *fs.code[k];
+        if (t.kind != TokenKind::kIdentifier) continue;
+        if (first_append == 0 && WalHandles().count(t.text) > 0 &&
+            k + 3 < fs.code.size() &&
+            (IsPunctAt(fs.code, k + 1, ".") ||
+             IsPunctAt(fs.code, k + 1, "->")) &&
+            IsIdentAt(fs.code, k + 2, "Append") &&
+            IsPunctAt(fs.code, k + 3, "(")) {
+          first_append = k;
+          append_expr = t.text + (IsPunctAt(fs.code, k + 1, ".") ? "." : "->") +
+                        "Append";
+        }
+        if (first_decide == 0 && deciding_names.count(t.text) > 0 &&
+            IsPunctAt(fs.code, k + 1, "(")) {
+          first_decide = k;
+          decide_name = t.text;
+        }
+      }
+      if (first_append == 0 || first_decide == 0) continue;
+      if (first_decide < first_append) {
+        findings->push_back(
+            {path, fs.code[first_decide]->line, "ordering-discipline",
+             "decide-path call '" + decide_name + "' precedes '" +
+                 append_expr + "(...)' in '" +
+                 (def.class_name.empty() ? def.name
+                                         : def.class_name + "::" + def.name) +
+                 "'; durability requires the WAL append before the decide "
+                 "path runs",
+             ""});
+      }
     }
   }
 }

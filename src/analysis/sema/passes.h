@@ -9,8 +9,8 @@ namespace firehose {
 namespace analysis {
 namespace sema {
 
-// Semantic passes. All four need context.sema (the SemaModel built by
-// BuildSemaModel) and quietly do nothing when it is null.
+// Semantic passes. All of them need context.sema (the SemaModel built
+// by BuildSemaModel) and quietly do nothing when it is null.
 
 /// view-invalidation: a PostBin::LaneSpan (or other registered ring
 /// view) local that is read after a mutating call — Push/EvictOlderThan/
@@ -37,6 +37,27 @@ void CheckAtomicOrdering(const AnalysisContext& context,
 /// gated by the include closure.
 void CheckBlockingInHotPath(const AnalysisContext& context,
                             std::vector<Finding>* findings);
+
+/// thread-confinement: interprocedural enforcement of
+/// FIREHOSE_THREAD_OWNED / FIREHOSE_PRODUCER_ONLY /
+/// FIREHOSE_CONSUMER_ONLY against the FIREHOSE_RUNS_ON reachability
+/// roots — a worker-reachable function touching a dispatcher-owned
+/// member, or pushing into a queue whose producer role does not match,
+/// is a violation.
+void CheckThreadConfinement(const AnalysisContext& context,
+                            std::vector<Finding>* findings);
+
+/// untrusted-input: interprocedural taint from FIREHOSE_TAINT_SOURCE
+/// functions and frame/WAL payload reads to allocation-size, resize/
+/// reserve and index sinks, sanctioned only by a bound comparison.
+void CheckUntrustedInput(const AnalysisContext& context,
+                         std::vector<Finding>* findings);
+
+/// ordering-discipline: one-argument condvar waits must sit in a
+/// predicate loop, and in any function appending to a WAL the append
+/// must lexically precede the first decide-path call.
+void CheckOrderingDiscipline(const AnalysisContext& context,
+                             std::vector<Finding>* findings);
 
 }  // namespace sema
 }  // namespace analysis

@@ -1,0 +1,666 @@
+#include "src/analysis/sema/summaries.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/analysis/sema/dataflow.h"
+#include "src/analysis/sema/scope.h"
+#include "src/analysis/sema/token_util.h"
+
+namespace firehose {
+namespace analysis {
+namespace sema {
+
+namespace {
+
+bool InSrc(const std::string& path) { return path.rfind("src/", 0) == 0; }
+
+// Header a .cc's definitions are published through, for the include
+// gate: caller reaches callee when it (transitively) includes the
+// callee's file or the callee's primary header.
+int InterfaceOf(const SemaModel& model, int file) {
+  const std::string& path = model.graph->files[file].path;
+  if (path.size() > 3 && path.compare(path.size() - 3, 3, ".cc") == 0) {
+    return model.graph->Find(path.substr(0, path.size() - 3) + ".h");
+  }
+  return -1;
+}
+
+bool ClosureAdmits(const SemaModel& model, int caller_file, int callee_file) {
+  const std::set<int>& closure = model.reachable_includes[caller_file];
+  if (closure.count(callee_file) > 0) return true;
+  const int header = InterfaceOf(model, callee_file);
+  return header >= 0 && closure.count(header) > 0;
+}
+
+}  // namespace
+
+const FunctionDef& DefAt(const SemaModel& model, const DefId& id) {
+  return model.files[id.first].functions[id.second];
+}
+
+std::string QualifiedName(const SemaModel& model, const DefId& id) {
+  const FunctionDef& def = DefAt(model, id);
+  return def.class_name.empty() ? def.name : def.class_name + "::" + def.name;
+}
+
+CallGraph BuildCallGraph(const SemaModel& model) {
+  CallGraph graph;
+  for (size_t i = 0; i < model.files.size(); ++i) {
+    for (size_t j = 0; j < model.files[i].functions.size(); ++j) {
+      const DefId caller{static_cast<int>(i), static_cast<int>(j)};
+      std::vector<DefId>& out = graph.edges[caller];
+      for (const std::string& callee : DefAt(model, caller).calls) {
+        auto defs = model.functions_by_name.find(callee);
+        if (defs == model.functions_by_name.end()) continue;
+        for (const DefId& target : defs->second) {
+          if (!ClosureAdmits(model, caller.first, target.first)) continue;
+          out.push_back(target);
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+std::set<DefId> ReachableFrom(const CallGraph& graph,
+                              const std::vector<DefId>& roots,
+                              const std::function<bool(const DefId&)>& enter,
+                              std::map<DefId, DefId>* parent) {
+  std::set<DefId> reachable;
+  std::deque<DefId> queue;
+  for (const DefId& root : roots) {
+    if (reachable.insert(root).second) queue.push_back(root);
+  }
+  while (!queue.empty()) {
+    const DefId at = queue.front();
+    queue.pop_front();
+    const std::vector<DefId>* out = graph.EdgesOf(at);
+    if (out == nullptr) continue;
+    for (const DefId& target : *out) {
+      if (reachable.count(target) > 0) continue;
+      if (enter && !enter(target)) continue;
+      reachable.insert(target);
+      if (parent != nullptr) (*parent)[target] = at;
+      queue.push_back(target);
+    }
+  }
+  return reachable;
+}
+
+std::string ChainOf(const SemaModel& model,
+                    const std::map<DefId, DefId>& parent, DefId id) {
+  std::string chain = QualifiedName(model, id);
+  size_t hops = 0;
+  while (hops++ < 16) {
+    auto it = parent.find(id);
+    if (it == parent.end()) break;
+    id = it->second;
+    chain = QualifiedName(model, id) + " -> " + chain;
+  }
+  return chain;
+}
+
+std::set<DefId> DecidingDefs(const SemaModel& model, const CallGraph& graph) {
+  // Reverse worklist: a definition decides when it calls Offer/OfferBatch
+  // directly or any of its (include-gated) callees decides.
+  std::map<DefId, std::vector<DefId>> callers;
+  for (const auto& [caller, callees] : graph.edges) {
+    for (const DefId& callee : callees) callers[callee].push_back(caller);
+  }
+  std::set<DefId> deciding;
+  std::deque<DefId> work;
+  for (size_t i = 0; i < model.files.size(); ++i) {
+    for (size_t j = 0; j < model.files[i].functions.size(); ++j) {
+      const DefId id{static_cast<int>(i), static_cast<int>(j)};
+      const std::set<std::string>& calls = DefAt(model, id).calls;
+      if (calls.count("Offer") > 0 || calls.count("OfferBatch") > 0) {
+        if (deciding.insert(id).second) work.push_back(id);
+      }
+    }
+  }
+  while (!work.empty()) {
+    const DefId at = work.front();
+    work.pop_front();
+    auto it = callers.find(at);
+    if (it == callers.end()) continue;
+    for (const DefId& caller : it->second) {
+      if (deciding.insert(caller).second) work.push_back(caller);
+    }
+  }
+  return deciding;
+}
+
+// --- taint dataflow ----------------------------------------------------------
+
+namespace {
+
+/// The lattice value for one local/parameter.
+struct TaintVal {
+  std::set<std::string> origins;  ///< taint-source names that reach it
+  std::set<int> params;           ///< caller parameters that reach it
+  bool checked = false;           ///< passed a sanctioning bound check
+
+  bool Tainted() const { return !origins.empty() || !params.empty(); }
+  void MergeFrom(const TaintVal& o) {
+    origins.insert(o.origins.begin(), o.origins.end());
+    params.insert(o.params.begin(), o.params.end());
+    checked = checked || o.checked;
+  }
+  bool operator==(const TaintVal& o) const {
+    return origins == o.origins && params == o.params && checked == o.checked;
+  }
+};
+
+bool IsCompareOp(const std::string& text) {
+  return text == "==" || text == "!=" || text == "<" || text == ">" ||
+         text == "<=" || text == ">=";
+}
+
+const std::set<std::string>& AllocCalls() {
+  static const std::set<std::string> kCalls = {"malloc", "calloc", "realloc"};
+  return kCalls;
+}
+
+const std::set<std::string>& MemCalls() {
+  static const std::set<std::string> kCalls = {"memcpy", "memmove", "memset"};
+  return kCalls;
+}
+
+/// Members whose reads are taint sources regardless of the holder's
+/// taint: WAL record / frame payload bytes.
+const std::set<std::string>& TaintMemberSources() {
+  static const std::set<std::string> kMembers = {"payload"};
+  return kMembers;
+}
+
+class TaintClient {
+ public:
+  using State = std::map<std::string, TaintVal>;
+
+  /// Resolves a call name to the current summaries of its include-gated
+  /// callees.
+  using Resolver =
+      std::function<std::vector<const FunctionSummary*>(const std::string&)>;
+
+  TaintClient(const SemaModel& model, const TokenView& code,
+              const Resolver& resolve, FunctionSummary* out)
+      : model_(model), code_(code), resolve_(resolve), out_(out) {}
+
+  void Transfer(const Stmt& stmt, int /*depth*/, State* state) {
+    const size_t begin = stmt.begin;
+    const size_t end = std::min(stmt.end, code_.size());
+    if (begin >= end) return;
+
+    // Identifiers inside `[...]` index taint, not value taint: in
+    // `for (x : table[i])` the element x must not inherit i's taint.
+    std::vector<char> bracketed(end - begin, 0);
+    {
+      int depth_brackets = 0;
+      for (size_t k = begin; k < end; ++k) {
+        if (IsPunct(*code_[k], "[")) {
+          ++depth_brackets;
+        } else if (IsPunct(*code_[k], "]")) {
+          if (depth_brackets > 0) --depth_brackets;
+        } else {
+          bracketed[k - begin] = depth_brackets > 0 ? 1 : 0;
+        }
+      }
+    }
+    const auto in_brackets = [&](size_t k) {
+      return bracketed[k - begin] != 0;
+    };
+
+    // 1. Sanctioning bound checks: an identifier adjacent to a
+    //    comparison marks its member-chain BASE checked (`post.author <
+    //    n` sanctions `post`), as do std::min/max/clamp arguments.
+    for (size_t k = begin; k < end; ++k) {
+      const Token& t = *code_[k];
+      if (t.kind == TokenKind::kPunct && IsCompareOp(t.text)) {
+        if (k > begin) MarkChecked(k - 1, state);
+        if (k + 1 < end) MarkChecked(k + 1, state);
+        continue;
+      }
+      if (t.kind == TokenKind::kIdentifier &&
+          (t.text == "min" || t.text == "max" || t.text == "clamp") &&
+          IsPunctAt(code_, k + 1, "(")) {
+        const size_t close = MatchForward(code_, k + 1, "(", ")");
+        for (size_t a = k + 2; a + 1 < close && a < end; ++a) {
+          MarkChecked(a, state);
+        }
+      }
+    }
+
+    // 2. Call effects: taint sources taint their result and their
+    //    out-parameters; summarized callees propagate return taint and
+    //    surface sink-parameter hits at the call site.
+    std::vector<std::pair<size_t, TaintVal>> expr_taints;
+    for (size_t k = begin; k < end; ++k) {
+      const Token& t = *code_[k];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      // Member taint source: `record.payload` carries untrusted bytes.
+      if (TaintMemberSources().count(t.text) > 0 && k > begin &&
+          (IsPunctAt(code_, k - 1, ".") || IsPunctAt(code_, k - 1, "->")) &&
+          !IsPunctAt(code_, k + 1, "(")) {
+        TaintVal v;
+        v.origins.insert(t.text);
+        expr_taints.push_back({k, v});
+        continue;
+      }
+      if (!IsPunctAt(code_, k + 1, "(")) continue;
+      const size_t close = MatchForward(code_, k + 1, "(", ")");
+      const auto source = model_.taint_sources.find(t.text);
+      if (source != model_.taint_sources.end() &&
+          source->second.count(
+              SplitArgs(k + 2, std::min(close > 0 ? close - 1 : close, end))
+                  .size()) > 0) {
+        TaintVal v;
+        v.origins.insert(t.text);
+        expr_taints.push_back({k, v});
+        // Out-parameters: every base identifier argument.
+        for (size_t a = k + 2; a + 1 < close && a < end; ++a) {
+          if (code_[a]->kind == TokenKind::kIdentifier && IsBase(a) &&
+              !IsPunctAt(code_, a + 1, "(")) {
+            (*state)[code_[a]->text].origins.insert(t.text);
+          }
+        }
+        continue;
+      }
+      const std::vector<const FunctionSummary*> callees = resolve_(t.text);
+      if (callees.empty()) continue;
+      const std::vector<std::pair<size_t, size_t>> args =
+          SplitArgs(k + 2, std::min(close > 0 ? close - 1 : close, end));
+      TaintVal result;
+      for (const FunctionSummary* summary : callees) {
+        for (const std::string& origin : summary->returns_origins) {
+          result.origins.insert(origin);
+        }
+      }
+      for (size_t i = 0; i < args.size(); ++i) {
+        const TaintVal arg = RangeTaint(args[i].first, args[i].second, *state,
+                                        in_brackets);
+        if (!arg.Tainted()) continue;
+        for (const FunctionSummary* summary : callees) {
+          if (summary->returns_params.count(static_cast<int>(i)) > 0) {
+            TaintVal flowed = arg;
+            flowed.checked = false;
+            result.MergeFrom(flowed);
+          }
+          if (summary->sink_params.count(static_cast<int>(i)) > 0 &&
+              !arg.checked) {
+            if (!arg.origins.empty()) {
+              RecordHit(t.line, FirstIdentIn(args[i].first, args[i].second),
+                        "arg " + std::to_string(i) + " of '" + t.text + "'",
+                        arg.origins);
+            }
+            for (const int p : arg.params) out_->sink_params.insert(p);
+          }
+        }
+      }
+      if (result.Tainted()) expr_taints.push_back({k, result});
+    }
+
+    // 3. Sinks fed by already-tainted state.
+    const std::vector<Decl> decls = StmtDecls(begin, end);
+    std::set<std::string> decl_names;
+    for (const Decl& d : decls) decl_names.insert(d.name);
+    for (size_t k = begin; k < end; ++k) {
+      const Token& t = *code_[k];
+      if (t.kind == TokenKind::kIdentifier) {
+        // x.resize(n) / x.reserve(n) / x->resize(n)
+        if ((t.text == "resize" || t.text == "reserve") && k > begin &&
+            (IsPunctAt(code_, k - 1, ".") || IsPunctAt(code_, k - 1, "->")) &&
+            IsPunctAt(code_, k + 1, "(")) {
+          const size_t close = MatchForward(code_, k + 1, "(", ")");
+          SinkCheck(k + 2, std::min(close > 0 ? close - 1 : close, end),
+                    *state, in_brackets, t.line, t.text);
+          continue;
+        }
+        if (AllocCalls().count(t.text) > 0 && IsPunctAt(code_, k + 1, "(")) {
+          const size_t close = MatchForward(code_, k + 1, "(", ")");
+          SinkCheck(k + 2, std::min(close > 0 ? close - 1 : close, end),
+                    *state, in_brackets, t.line, t.text);
+          continue;
+        }
+        if (MemCalls().count(t.text) > 0 && IsPunctAt(code_, k + 1, "(")) {
+          const size_t close = MatchForward(code_, k + 1, "(", ")");
+          const std::vector<std::pair<size_t, size_t>> args =
+              SplitArgs(k + 2, std::min(close > 0 ? close - 1 : close, end));
+          if (args.size() >= 3) {
+            SinkCheck(args[2].first, args[2].second, *state, in_brackets,
+                      t.line, t.text);
+          }
+          continue;
+        }
+        // new T[n]
+        if (t.text == "new") {
+          size_t j = k + 1;
+          while (j < end && (code_[j]->kind == TokenKind::kIdentifier ||
+                             IsPunct(*code_[j], "::"))) {
+            ++j;
+            if (j < end && IsPunct(*code_[j], "<")) j = SkipAngles(code_, j);
+          }
+          if (j < end && IsPunct(*code_[j], "[")) {
+            const size_t close = MatchForward(code_, j, "[", "]");
+            NewArraySinkCheck(j + 1, std::min(close > 0 ? close - 1 : close,
+                                              end),
+                              *state, code_[k]->line);
+          }
+          continue;
+        }
+      }
+      // Indexing x[i]: the index expression must be sanctioned. Skip the
+      // brackets of array declarations (`char buf[kSize]`).
+      if (IsPunct(t, "[") && k > begin &&
+          (code_[k - 1]->kind == TokenKind::kIdentifier ||
+           IsPunct(*code_[k - 1], "]") || IsPunct(*code_[k - 1], ")"))) {
+        if (code_[k - 1]->kind == TokenKind::kIdentifier &&
+            decl_names.count(code_[k - 1]->text) > 0) {
+          continue;
+        }
+        const size_t close = MatchForward(code_, k, "[", "]");
+        NewArraySinkCheck(k + 1, std::min(close > 0 ? close - 1 : close, end),
+                          *state, t.line, /*sink=*/"index");
+      }
+    }
+
+    // 4. Address-of out-parameters: a statement carrying any taint
+    //    spreads it to every `&x` argument (`record.GetVarint(&seq)`).
+    TaintVal stmt_taint;
+    for (size_t k = begin; k < end; ++k) {
+      if (code_[k]->kind != TokenKind::kIdentifier || in_brackets(k) ||
+          !IsBase(k) || IsPunctAt(code_, k + 1, "(")) {
+        continue;
+      }
+      auto it = state->find(code_[k]->text);
+      if (it != state->end()) {
+        stmt_taint.origins.insert(it->second.origins.begin(),
+                                  it->second.origins.end());
+        stmt_taint.params.insert(it->second.params.begin(),
+                                 it->second.params.end());
+      }
+    }
+    for (const auto& entry : expr_taints) {
+      stmt_taint.origins.insert(entry.second.origins.begin(),
+                                entry.second.origins.end());
+      stmt_taint.params.insert(entry.second.params.begin(),
+                               entry.second.params.end());
+    }
+    if (stmt_taint.Tainted()) {
+      for (size_t k = begin + 1; k < end; ++k) {
+        if (code_[k]->kind == TokenKind::kIdentifier &&
+            IsPunctAt(code_, k - 1, "&") && k >= begin + 2 &&
+            (IsPunct(*code_[k - 2], "(") || IsPunct(*code_[k - 2], ","))) {
+          TaintVal v = stmt_taint;
+          v.checked = false;
+          (*state)[code_[k]->text].MergeFrom(v);
+        }
+      }
+    }
+
+    // 5. Assignment / declaration targets, last: overwrite semantics.
+    if (stmt.kind == StmtKind::kReturn) {
+      const TaintVal v = RangeTaint(begin, end, *state, in_brackets,
+                                    &expr_taints);
+      out_->returns_origins.insert(v.origins.begin(), v.origins.end());
+      for (const int p : v.params) out_->returns_params.insert(p);
+      return;
+    }
+    if (!decls.empty()) {
+      for (const Decl& decl : decls) {
+        const TaintVal v = RangeTaint(decl.name_index + 1, end, *state,
+                                      in_brackets, &expr_taints);
+        if (v.Tainted()) {
+          (*state)[decl.name] = v;
+        } else {
+          state->erase(decl.name);
+        }
+      }
+      return;
+    }
+    // Leading `x = ...` / `*x = ...` (member stores are not tracked).
+    size_t target = begin;
+    if (IsPunctAt(code_, target, "*")) ++target;
+    if (target < end && code_[target]->kind == TokenKind::kIdentifier &&
+        IsPunctAt(code_, target + 1, "=") && target + 2 < end) {
+      const TaintVal v = RangeTaint(target + 2, end, *state, in_brackets,
+                                    &expr_taints);
+      if (v.Tainted()) {
+        (*state)[code_[target]->text] = v;
+      } else {
+        state->erase(code_[target]->text);
+      }
+    }
+  }
+
+  State Merge(const State& a, const State& b) {
+    State out = a;
+    for (const auto& [name, val] : b) out[name].MergeFrom(val);
+    return out;
+  }
+
+  bool Equal(const State& a, const State& b) { return a == b; }
+
+  void ExitScopesTo(int /*depth*/, State* /*state*/) {}
+
+ private:
+  bool IsBase(size_t k) const {
+    return !(k > 0 && (IsPunctAt(code_, k - 1, ".") ||
+                       IsPunctAt(code_, k - 1, "->")));
+  }
+
+  // Member-chain base of the identifier at `k`: `post.author` -> `post`.
+  size_t BaseOf(size_t k) const {
+    while (k >= 2 &&
+           (IsPunctAt(code_, k - 1, ".") || IsPunctAt(code_, k - 1, "->")) &&
+           code_[k - 2]->kind == TokenKind::kIdentifier) {
+      k -= 2;
+    }
+    return k;
+  }
+
+  void MarkChecked(size_t k, State* state) {
+    if (code_[k]->kind != TokenKind::kIdentifier) return;
+    const size_t base = BaseOf(k);
+    if (!IsBase(base)) return;  // chain rooted in an expression
+    (*state)[code_[base]->text].checked = true;
+  }
+
+  // Union taint of base identifiers in [r0, r1), excluding index
+  // expressions, member-chain tails and call names; `extra` contributes
+  // positioned call-result/member-source taints falling in the range.
+  TaintVal RangeTaint(
+      size_t r0, size_t r1, const State& state,
+      const std::function<bool(size_t)>& in_brackets,
+      const std::vector<std::pair<size_t, TaintVal>>* extra = nullptr) const {
+    TaintVal out;
+    bool any_tainted = false;
+    bool all_checked = true;
+    for (size_t k = r0; k < r1; ++k) {
+      if (code_[k]->kind != TokenKind::kIdentifier || in_brackets(k) ||
+          !IsBase(k) || IsPunctAt(code_, k + 1, "(")) {
+        continue;
+      }
+      auto it = state.find(code_[k]->text);
+      if (it == state.end() || !it->second.Tainted()) continue;
+      out.origins.insert(it->second.origins.begin(), it->second.origins.end());
+      out.params.insert(it->second.params.begin(), it->second.params.end());
+      any_tainted = true;
+      all_checked = all_checked && it->second.checked;
+    }
+    if (extra != nullptr) {
+      for (const auto& entry : *extra) {
+        if (entry.first < r0 || entry.first >= r1) continue;
+        out.origins.insert(entry.second.origins.begin(),
+                           entry.second.origins.end());
+        out.params.insert(entry.second.params.begin(),
+                          entry.second.params.end());
+        any_tainted = true;
+        all_checked = false;
+      }
+    }
+    out.checked = any_tainted && all_checked;
+    return out;
+  }
+
+  // Same as RangeTaint but applied per-identifier for sinks, so the
+  // finding names the specific offending value.
+  void SinkCheck(size_t r0, size_t r1, const State& state,
+                 const std::function<bool(size_t)>& in_brackets, int line,
+                 const std::string& sink) {
+    const TaintVal v = RangeTaint(r0, r1, state, in_brackets);
+    if (!v.Tainted() || v.checked) return;
+    if (!v.origins.empty()) {
+      RecordHit(line, FirstIdentIn(r0, r1), sink, v.origins);
+    }
+    for (const int p : v.params) out_->sink_params.insert(p);
+  }
+
+  // Index/new[] variant: bracket exclusion does not apply (the sink IS
+  // the bracketed expression).
+  void NewArraySinkCheck(size_t r0, size_t r1, const State& state, int line,
+                         const std::string& sink = "new[]") {
+    TaintVal v;
+    bool any_tainted = false;
+    bool all_checked = true;
+    std::string var;
+    for (size_t k = r0; k < r1; ++k) {
+      if (code_[k]->kind != TokenKind::kIdentifier ||
+          IsPunctAt(code_, k + 1, "(")) {
+        continue;
+      }
+      const size_t base = BaseOf(k);
+      if (!IsBase(base)) continue;
+      auto it = state.find(code_[base]->text);
+      if (it == state.end() || !it->second.Tainted()) continue;
+      v.origins.insert(it->second.origins.begin(), it->second.origins.end());
+      v.params.insert(it->second.params.begin(), it->second.params.end());
+      any_tainted = true;
+      all_checked = all_checked && it->second.checked;
+      if (var.empty()) var = code_[k]->text;
+    }
+    if (!any_tainted || all_checked) return;
+    if (!v.origins.empty()) RecordHit(line, var, sink, v.origins);
+    for (const int p : v.params) out_->sink_params.insert(p);
+  }
+
+  std::string FirstIdentIn(size_t r0, size_t r1) const {
+    for (size_t k = r0; k < r1; ++k) {
+      if (code_[k]->kind == TokenKind::kIdentifier) return code_[k]->text;
+    }
+    return "<expr>";
+  }
+
+  // Top-level comma-separated argument ranges of [r0, r1).
+  std::vector<std::pair<size_t, size_t>> SplitArgs(size_t r0,
+                                                   size_t r1) const {
+    std::vector<std::pair<size_t, size_t>> args;
+    if (r0 >= r1) return args;
+    size_t start = r0;
+    int depth = 0;
+    for (size_t k = r0; k < r1; ++k) {
+      const Token& t = *code_[k];
+      if (t.kind != TokenKind::kPunct) continue;
+      if (t.text == "(" || t.text == "[" || t.text == "{") {
+        ++depth;
+      } else if (t.text == ")" || t.text == "]" || t.text == "}") {
+        --depth;
+      } else if (t.text == "," && depth == 0) {
+        args.push_back({start, k});
+        start = k + 1;
+      }
+    }
+    args.push_back({start, r1});
+    return args;
+  }
+
+  std::vector<Decl> StmtDecls(size_t begin, size_t end) const {
+    std::vector<Decl> decls = ExtractDecls(code_, begin, end);
+    if (decls.empty() && IsPunctAt(code_, begin, "(")) {
+      // for-init declarations sit one token inside the parens.
+      decls = ExtractDecls(code_, begin + 1, end);
+    }
+    return decls;
+  }
+
+  void RecordHit(int line, const std::string& var, const std::string& sink,
+                 const std::set<std::string>& origins) {
+    if (!reported_.insert(var + "@" + sink + "@" + std::to_string(line))
+             .second) {
+      return;
+    }
+    TaintHit hit;
+    hit.line = line;
+    hit.var = var;
+    hit.sink = sink;
+    hit.origins = origins;
+    out_->hits.push_back(hit);
+  }
+
+  const SemaModel& model_;
+  const TokenView& code_;
+  const Resolver& resolve_;
+  FunctionSummary* out_;
+  std::set<std::string> reported_;
+};
+
+FunctionSummary AnalyzeFunction(const SemaModel& model, const DefId& id,
+                                const SummaryTable& prev) {
+  const FunctionDef& def = DefAt(model, id);
+  const FileSema& fs = model.files[id.first];
+  FunctionSummary summary;
+
+  const TaintClient::Resolver resolve =
+      [&model, &prev, &id](const std::string& name) {
+        std::vector<const FunctionSummary*> out;
+        auto defs = model.functions_by_name.find(name);
+        if (defs == model.functions_by_name.end()) return out;
+        for (const DefId& target : defs->second) {
+          if (!ClosureAdmits(model, id.first, target.first)) continue;
+          const FunctionSummary* s = prev.Find(target);
+          if (s != nullptr) out.push_back(s);
+        }
+        return out;
+      };
+
+  TaintClient client(model, fs.code, resolve, &summary);
+  TaintClient::State entry;
+  for (size_t i = 0; i < def.params.size(); ++i) {
+    if (def.params[i].empty()) continue;
+    entry[def.params[i]].params.insert(static_cast<int>(i));
+  }
+  const Stmt root = BuildStmtTree(fs.code, def.body_begin, def.body_end);
+  RunDataflow(root, std::move(entry), &client);
+  return summary;
+}
+
+}  // namespace
+
+SummaryTable BuildSummaries(const SemaModel& model,
+                            const CallGraph& /*graph*/) {
+  // Definitions in src/ only: findings are src-gated and test bodies
+  // would triple the work for nothing. Fixtures are presented under
+  // src/ paths by the fixture harness, so they are covered.
+  std::vector<DefId> ids;
+  for (size_t i = 0; i < model.files.size(); ++i) {
+    if (!InSrc(model.graph->files[i].path)) continue;
+    for (size_t j = 0; j < model.files[i].functions.size(); ++j) {
+      ids.push_back({static_cast<int>(i), static_cast<int>(j)});
+    }
+  }
+  SummaryTable table;
+  for (int round = 0; round < 3; ++round) {
+    SummaryTable next;
+    for (const DefId& id : ids) {
+      next.summaries[id] = AnalyzeFunction(model, id, table);
+    }
+    const bool stable = next.summaries == table.summaries;
+    table = std::move(next);
+    if (stable) break;
+  }
+  return table;
+}
+
+}  // namespace sema
+}  // namespace analysis
+}  // namespace firehose

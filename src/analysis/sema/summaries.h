@@ -1,0 +1,111 @@
+#ifndef FIREHOSE_ANALYSIS_SEMA_SUMMARIES_H_
+#define FIREHOSE_ANALYSIS_SEMA_SUMMARIES_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/sema/functions.h"
+
+namespace firehose {
+namespace analysis {
+namespace sema {
+
+/// Identity of one FunctionDef: (file index, index into
+/// SemaModel::files[file].functions).
+using DefId = std::pair<int, int>;
+
+const FunctionDef& DefAt(const SemaModel& model, const DefId& id);
+
+/// "ShardWorker::Loop" / "ParseFrame".
+std::string QualifiedName(const SemaModel& model, const DefId& id);
+
+/// Name-based call graph over every definition, gated by the include
+/// closure: caller -> callee edge exists when the caller's file
+/// (transitively) includes the callee's file or the callee's primary
+/// header (foo.cc's interface is foo.h). Over-approximate by design —
+/// overloads collapse onto one name.
+struct CallGraph {
+  std::map<DefId, std::vector<DefId>> edges;
+
+  const std::vector<DefId>* EdgesOf(const DefId& id) const {
+    auto it = edges.find(id);
+    return it == edges.end() ? nullptr : &it->second;
+  }
+};
+
+CallGraph BuildCallGraph(const SemaModel& model);
+
+/// Multi-source BFS from `roots` (visited in order, so chains through
+/// earlier roots are preferred deterministically). `enter` gates edges
+/// INTO a definition — returning false cuts the walk there without
+/// visiting it. `parent` (optional) records the BFS tree for
+/// shortest-chain reconstruction; roots have no parent.
+std::set<DefId> ReachableFrom(const CallGraph& graph,
+                              const std::vector<DefId>& roots,
+                              const std::function<bool(const DefId&)>& enter,
+                              std::map<DefId, DefId>* parent);
+
+/// "Dispatch -> HandleConnection -> HandleMessage" — the BFS chain from
+/// a root to `id`, qualified names joined with " -> ".
+std::string ChainOf(const SemaModel& model,
+                    const std::map<DefId, DefId>& parent, DefId id);
+
+/// Definitions that reach core's Offer/OfferBatch — the per-post decide
+/// path — computed as a boolean fixpoint over the call graph.
+std::set<DefId> DecidingDefs(const SemaModel& model, const CallGraph& graph);
+
+/// One tainted-value-reaches-sink occurrence inside a function body.
+struct TaintHit {
+  int line = 0;
+  std::string var;   ///< value name at the sink
+  std::string sink;  ///< "resize", "reserve", "index", "new[]", an
+                     ///< allocator name, or "arg N of 'Callee'"
+  /// Taint-source names that reach the sink ("Next", "payload", ...).
+  std::set<std::string> origins;
+};
+
+/// What the interprocedural taint pass knows about one function.
+struct FunctionSummary {
+  /// Parameter indices that flow, unsanitized, into a size/index sink
+  /// (directly or through callees).
+  std::set<int> sink_params;
+  /// Parameter indices whose taint flows into the return value.
+  std::set<int> returns_params;
+  /// Source origins that flow into the return value.
+  std::set<std::string> returns_origins;
+  /// Source-origin taint reaching a sink in this body — the findings.
+  std::vector<TaintHit> hits;
+
+  bool operator==(const FunctionSummary& o) const {
+    return sink_params == o.sink_params && returns_params == o.returns_params &&
+           returns_origins == o.returns_origins && hits.size() == o.hits.size();
+  }
+};
+
+struct SummaryTable {
+  std::map<DefId, FunctionSummary> summaries;
+
+  const FunctionSummary* Find(const DefId& id) const {
+    auto it = summaries.find(id);
+    return it == summaries.end() ? nullptr : &it->second;
+  }
+};
+
+/// Runs the forward taint dataflow over every definition, consulting the
+/// previous round's callee summaries at call sites, iterated to a
+/// bounded fixpoint (context-insensitive: one summary per definition).
+/// Values are tainted by FIREHOSE_TAINT_SOURCE calls and `.payload`
+/// member reads; a bound comparison (`n > kMax`, std::min/max/clamp)
+/// sanitizes. Member variables are not tracked across functions — the
+/// lattice covers locals and parameters only.
+SummaryTable BuildSummaries(const SemaModel& model, const CallGraph& graph);
+
+}  // namespace sema
+}  // namespace analysis
+}  // namespace firehose
+
+#endif  // FIREHOSE_ANALYSIS_SEMA_SUMMARIES_H_

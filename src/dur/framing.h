@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "src/util/crc32c.h"
+#include "src/util/thread_annotations.h"
 
 namespace firehose {
 namespace dur {
@@ -59,7 +60,7 @@ enum class FrameStatus {
 /// `data` and `*next_offset` is the offset of the following frame.
 inline FrameStatus ParseFrame(std::string_view data, size_t offset,
                               std::string_view* payload,
-                              size_t* next_offset) {
+                              size_t* next_offset) FIREHOSE_TAINT_SOURCE {
   if (offset > data.size() || data.size() - offset < kFrameHeaderBytes) {
     return FrameStatus::kTruncated;
   }

@@ -5,6 +5,8 @@
 #include <string>
 #include <string_view>
 
+#include "src/util/thread_annotations.h"
+
 namespace firehose {
 
 /// Low-level blocking-socket seam shared by the debug HTTP listener
@@ -81,7 +83,7 @@ void SetIoTimeouts(int fd, int send_timeout_ms, int recv_timeout_ms);
 /// deadline independent of any SO_RCVTIMEO on the fd). Returns the byte
 /// count read, 0 on orderly peer close, -1 on timeout, -2 on error.
 [[nodiscard]] long ReadSomeDeadline(int fd, char* buffer, size_t capacity,
-                                    int timeout_ms);
+                                    int timeout_ms) FIREHOSE_TAINT_SOURCE;
 
 /// Appends to `*out` until `terminator` appears in it, `limit` bytes
 /// accumulate, the peer closes, or `deadline_ms` of total wall time
@@ -91,7 +93,7 @@ void SetIoTimeouts(int fd, int send_timeout_ms, int recv_timeout_ms);
 /// when the terminator was seen.
 [[nodiscard]] bool ReadUntilTerminator(int fd, std::string_view terminator,
                                        size_t limit, int deadline_ms,
-                                       std::string* out);
+                                       std::string* out) FIREHOSE_TAINT_SOURCE;
 
 }  // namespace firehose
 

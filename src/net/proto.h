@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/stream/post.h"
+#include "src/util/thread_annotations.h"
 
 namespace firehose {
 namespace net {
@@ -120,7 +121,8 @@ class FrameReader {
   explicit FrameReader(int fd) : fd_(fd) {}
 
   /// Blocks up to `timeout_ms` for the next complete message.
-  [[nodiscard]] Result Next(NetMessage* message, int timeout_ms);
+  [[nodiscard]] Result Next(NetMessage* message, int timeout_ms)
+      FIREHOSE_TAINT_SOURCE;
 
  private:
   int fd_;

@@ -14,6 +14,7 @@
 #include "src/obs/export.h"
 #include "src/runtime/spsc_queue.h"
 #include "src/util/binary.h"
+#include "src/util/thread_annotations.h"
 
 namespace firehose {
 namespace net {
@@ -227,7 +228,7 @@ class ShardWorker {
     ingested_.fetch_add(1, std::memory_order_seq_cst);
   }
 
-  void Loop() {
+  void Loop() FIREHOSE_RUNS_ON(shard_worker) {
     const int watchdog_task =
         options_.watchdog != nullptr
             ? options_.watchdog->RegisterTask("serve-shard")
@@ -288,16 +289,23 @@ class ShardWorker {
   const uint32_t index_;
   const ServeOptions& options_;
 
-  std::vector<std::unique_ptr<Component>> components_;
-  std::vector<std::vector<uint32_t>> author_components_;
-  std::vector<std::vector<PostId>> timelines_;
+  // Worker-confined state: built single-threaded before Spawn (the
+  // exclusive phase), then owned by the worker thread until Join. The
+  // thread-confinement pass enforces this statically.
+  std::vector<std::unique_ptr<Component>> components_
+      FIREHOSE_THREAD_OWNED(shard_worker);
+  std::vector<std::vector<uint32_t>> author_components_
+      FIREHOSE_THREAD_OWNED(shard_worker);
+  std::vector<std::vector<PostId>> timelines_
+      FIREHOSE_THREAD_OWNED(shard_worker);
 
-  std::unique_ptr<dur::SyncPolicy> sync_;
-  std::unique_ptr<dur::WalWriter> wal_;
+  std::unique_ptr<dur::SyncPolicy> sync_ FIREHOSE_THREAD_OWNED(shard_worker);
+  std::unique_ptr<dur::WalWriter> wal_ FIREHOSE_THREAD_OWNED(shard_worker);
   /// Highest post id ingested (WAL'd + offered); -1 = none yet.
-  int64_t watermark_ = -1;
+  int64_t watermark_ FIREHOSE_THREAD_OWNED(shard_worker) = -1;
 
-  SpscQueue<ShardCmd> queue_;
+  SpscQueue<ShardCmd> queue_ FIREHOSE_PRODUCER_ONLY(dispatcher)
+      FIREHOSE_CONSUMER_ONLY(shard_worker);
   std::thread thread_;
 
   std::atomic<uint64_t> ingested_{0};

@@ -16,6 +16,7 @@
 #include "src/obs/debug_server.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/watchdog.h"
+#include "src/util/thread_annotations.h"
 
 namespace firehose {
 namespace net {
@@ -117,11 +118,13 @@ class Server {
   ServeStats stats() const;
 
  private:
-  void Dispatch();
+  void Dispatch() FIREHOSE_RUNS_ON(dispatcher);
   void HandleConnection(int fd);
   /// True when the message keeps the connection alive.
   [[nodiscard]] bool HandleMessage(int fd, const NetMessage& message);
-  [[nodiscard]] bool BuildShards(std::string* error);
+  // Runs on the dispatcher thread at seal time, but before any worker
+  // exists — a single-threaded phase, hence the `exclusive` role.
+  [[nodiscard]] bool BuildShards(std::string* error) FIREHOSE_RUNS_ON(exclusive);
   void RouteToShards(const NetMessage& message);
   void PublishIntrospection();
   [[nodiscard]] bool AppendControlRecord(const std::string& payload,
@@ -139,8 +142,9 @@ class Server {
 
   // Pre-seal state, owned by the dispatcher after Start (and by Start
   // itself during recovery, before the dispatcher exists).
-  std::vector<std::pair<UserId, AuthorId>> follows_;
-  uint64_t num_users_ = 0;
+  std::vector<std::pair<UserId, AuthorId>> follows_
+      FIREHOSE_THREAD_OWNED(dispatcher);
+  uint64_t num_users_ FIREHOSE_THREAD_OWNED(dispatcher) = 0;
   std::atomic<bool> sealed_{false};
 
   // Post-seal routing (built once at seal/recovery, read-only after).

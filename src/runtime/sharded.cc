@@ -36,8 +36,9 @@ struct Shard {
   std::vector<std::vector<uint32_t>> author_components;
   // Everything below is written only by this shard's worker thread
   // between spawn and join; the main thread merges after the join. No
-  // locks by design — the annotations record the confinement contract
-  // (checked dynamically by the tsan preset, not statically).
+  // locks by design — the annotations record the confinement contract,
+  // enforced statically by the thread-confinement pass (and dynamically
+  // by the tsan preset).
   std::vector<std::pair<PostId, UserId>> deliveries
       FIREHOSE_THREAD_OWNED(shard_worker);
   uint64_t posts_in FIREHOSE_THREAD_OWNED(shard_worker) = 0;
@@ -48,7 +49,8 @@ struct Shard {
       FIREHOSE_THREAD_OWNED(shard_worker);  // merged after Run
 
   void Run(const PostStream& stream, const obs::Clock& clock,
-           const PipelineObs& o, uint32_t shard_index) {
+           const PipelineObs& o, uint32_t shard_index)
+      FIREHOSE_RUNS_ON(shard_worker) {
     obs::TraceScope span(o.trace, "Shard.scan", "shard", shard_index);
     // The shard's "queue" is the undrained suffix of the shared stream:
     // depth > 0 with a frozen scan position is exactly a wedged worker.

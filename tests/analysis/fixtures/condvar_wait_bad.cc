@@ -1,0 +1,29 @@
+// Deliberately broken fixture for the ordering-discipline pass, wait
+// rule: a one-argument condition_variable::wait outside any loop wakes
+// spuriously with nothing re-checking the predicate.
+
+#include <condition_variable>
+#include <mutex>
+
+namespace firehose {
+
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+
+  void Await() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock);  // BAD: no predicate loop around the bare wait
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ready = true;
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace firehose

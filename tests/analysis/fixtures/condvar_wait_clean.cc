@@ -1,0 +1,36 @@
+// Clean twin of condvar_wait_bad.cc: both sanctioned wait shapes — the
+// explicit predicate loop and the two-argument predicate overload
+// (which re-checks internally).
+
+#include <condition_variable>
+#include <mutex>
+
+namespace firehose {
+
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+
+  void AwaitLoop() {
+    std::unique_lock<std::mutex> lock(mu);
+    while (!ready) {
+      cv.wait(lock);  // fine: inside the predicate loop
+    }
+  }
+
+  void AwaitPredicate() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return ready; });  // fine: two-argument form
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ready = true;
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace firehose

@@ -1,0 +1,54 @@
+// Deliberately broken fixture for the thread-confinement pass.
+// Presented with an src/net/ path. `Dispatch` and `Loop` are the two
+// role roots; the violations are:
+//   - worker-owned `timeline_` touched from two dispatcher-reachable
+//     functions (NearTouch directly, Far via Mid) — the analyzer must
+//     collapse both to ONE finding carrying the SHORTER chain,
+//   - the consumer-only queue popped from the dispatcher walk,
+//   - the producer-only queue pushed from the worker walk (the
+//     cross-thread Push).
+
+#include <vector>
+
+#include "src/runtime/spsc_queue.h"
+#include "src/util/thread_annotations.h"
+
+namespace firehose {
+
+class Worker {
+ public:
+  void Dispatch() FIREHOSE_RUNS_ON(dispatcher) {
+    Enqueue(7);  // fine: dispatcher is the annotated producer
+    NearTouch();
+    Mid();
+    StealPop();
+  }
+
+  void Loop() FIREHOSE_RUNS_ON(shard_worker) { Drain(); }
+
+ private:
+  void Enqueue(int v) { queue_.Push(v); }
+
+  void Drain() {
+    int v = 0;
+    if (queue_.TryPop(&v)) timeline_.push_back(v);
+    queue_.Push(v);  // BAD: producer-only queue pushed from the worker
+  }
+
+  void NearTouch() { timeline_.clear(); }  // BAD via Dispatch -> NearTouch
+
+  void Mid() { Far(); }
+
+  void Far() { timeline_.clear(); }  // BAD, but the longer chain loses
+
+  void StealPop() {
+    int v = 0;
+    (void)queue_.TryPop(&v);  // BAD: consumer-only queue from dispatcher
+  }
+
+  std::vector<int> timeline_ FIREHOSE_THREAD_OWNED(shard_worker);
+  SpscQueue<int> queue_ FIREHOSE_PRODUCER_ONLY(dispatcher)
+      FIREHOSE_CONSUMER_ONLY(shard_worker);
+};
+
+}  // namespace firehose

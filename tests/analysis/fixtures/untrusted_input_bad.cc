@@ -1,0 +1,35 @@
+// Deliberately broken fixture for the untrusted-input taint pass.
+// `ReadWire` is annotated FIREHOSE_TAINT_SOURCE, so `m` carries wire
+// bytes after the call. Two violations:
+//   - `m.count` fed straight into a resize,
+//   - `m.count` passed to `Apply`, whose summary says parameter 1
+//     reaches a resize unchecked (the interprocedural hop).
+
+#include <string>
+#include <vector>
+
+#include "src/util/thread_annotations.h"
+
+namespace firehose {
+
+struct WireMessage {
+  unsigned long count = 0;
+  std::string body;
+};
+
+long ReadWire(int fd, WireMessage* out, int timeout_ms) FIREHOSE_TAINT_SOURCE;
+
+void Apply(std::vector<int>* sink, unsigned long n) {
+  sink->resize(n);  // unchecked size parameter: callers must sanitize
+}
+
+void HandleBad(int fd) {
+  WireMessage m;
+  if (ReadWire(fd, &m, 50) <= 0) return;
+  std::vector<int> direct;
+  direct.resize(m.count);  // BAD: tainted resize, no bound check
+  std::vector<int> via;
+  Apply(&via, m.count);  // BAD: tainted arg reaches Apply's resize
+}
+
+}  // namespace firehose

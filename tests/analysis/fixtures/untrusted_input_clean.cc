@@ -1,0 +1,37 @@
+// Clean twin of untrusted_input_bad.cc: the same taint source and the
+// same sinks, but every tainted value passes a sanctioning bound check
+// first — a comparison against a cap marks the whole message checked,
+// and the callee guards its own size parameter.
+
+#include <string>
+#include <vector>
+
+#include "src/util/thread_annotations.h"
+
+namespace firehose {
+
+constexpr unsigned long kMaxEntries = 1u << 20;
+
+struct WireMessage {
+  unsigned long count = 0;
+  std::string body;
+};
+
+long ReadWire(int fd, WireMessage* out, int timeout_ms) FIREHOSE_TAINT_SOURCE;
+
+void Apply(std::vector<int>* sink, unsigned long n) {
+  if (n > kMaxEntries) return;  // the callee sanitizes its own size
+  sink->resize(n);
+}
+
+void HandleClean(int fd) {
+  WireMessage m;
+  if (ReadWire(fd, &m, 50) <= 0) return;
+  if (m.count > kMaxEntries) return;  // sanctioning bound check
+  std::vector<int> direct;
+  direct.resize(m.count);
+  std::vector<int> via;
+  Apply(&via, m.count);
+}
+
+}  // namespace firehose

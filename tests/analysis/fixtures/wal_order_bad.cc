@@ -1,0 +1,28 @@
+// Deliberately broken fixture for the ordering-discipline pass, WAL
+// rule: the decide path (Offer) runs before the durable append, so a
+// crash between the two loses a decision the WAL can never replay.
+
+#include <string>
+
+namespace firehose {
+
+struct Post;
+class Engine;
+class WalWriter;
+
+std::string EncodePostRecord(const Post& post);
+
+class Session {
+ public:
+  bool Process(const Post& post) {
+    const bool admitted = engine_->Offer(post);  // BAD: decide first
+    if (!wal_->Append(EncodePostRecord(post))) return false;
+    return admitted;
+  }
+
+ private:
+  Engine* engine_ = nullptr;
+  WalWriter* wal_ = nullptr;
+};
+
+}  // namespace firehose

@@ -1,0 +1,27 @@
+// Clean twin of wal_order_bad.cc: append-before-decide, the order
+// recovery depends on — a crash after the append replays the post; a
+// crash before it never decided.
+
+#include <string>
+
+namespace firehose {
+
+struct Post;
+class Engine;
+class WalWriter;
+
+std::string EncodePostRecord(const Post& post);
+
+class Session {
+ public:
+  bool Process(const Post& post) {
+    if (!wal_->Append(EncodePostRecord(post))) return false;
+    return engine_->Offer(post);
+  }
+
+ private:
+  Engine* engine_ = nullptr;
+  WalWriter* wal_ = nullptr;
+};
+
+}  // namespace firehose

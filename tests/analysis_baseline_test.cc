@@ -16,10 +16,10 @@ namespace analysis {
 namespace {
 
 const std::vector<Finding> kFindings = {
-    {"src/core/a.cc", 10, "raw-new-delete", "raw `new`; use containers"},
+    {"src/core/a.cc", 10, "raw-new-delete", "raw `new`; use containers", ""},
     {"src/dur/wal.cc", 20, "unchecked-error",
-     "result of 'Sync' is silently discarded"},
-    {"src/util/b.h", 1, "include-guard", "header with \"quotes\"\tand tabs"},
+     "result of 'Sync' is silently discarded", ""},
+    {"src/util/b.h", 1, "include-guard", "header with \"quotes\"\tand tabs", ""},
 };
 
 // --- FormatFinding -----------------------------------------------------------
@@ -270,7 +270,7 @@ TEST(SarifTest, EscapesMessageText) {
 
 TEST(SarifTest, ClampsNonPositiveLinesToOne) {
   const std::string sarif =
-      ToSarif({{"src/core/a.cc", 0, "layering", "module-level finding"}});
+      ToSarif({{"src/core/a.cc", 0, "layering", "module-level finding", ""}});
   EXPECT_NE(sarif.find("\"startLine\": 1"), std::string::npos);
   EXPECT_TRUE(JsonChecker(sarif).Valid());
 }

@@ -1,0 +1,232 @@
+// Tests for the content-hash result cache: HashBytes chaining, the text
+// format roundtrip (with escaping), malformed-input rejection, and the
+// Analyze-level partial replay — a file whose content and include
+// closure are unchanged keeps its file-scoped findings without being
+// re-analyzed, while a header edit invalidates every includer.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/analysis/analyzer.h"
+#include "src/analysis/cache.h"
+
+namespace firehose {
+namespace analysis {
+namespace {
+
+// --- HashBytes ---------------------------------------------------------------
+
+TEST(CacheHashTest, IsDeterministicAndContentSensitive) {
+  EXPECT_EQ(HashBytes("offer"), HashBytes("offer"));
+  EXPECT_NE(HashBytes("offer"), HashBytes("Offer"));
+  EXPECT_NE(HashBytes(""), 0u);  // FNV offset basis, not zero
+}
+
+TEST(CacheHashTest, ChainsThroughSeed) {
+  const uint64_t ab = HashBytes("b", HashBytes("a"));
+  EXPECT_EQ(ab, HashBytes("ab"));
+  EXPECT_NE(ab, HashBytes("ba"));
+}
+
+TEST(CacheHashTest, RuleTableHashIsStableWithinProcess) {
+  EXPECT_EQ(RuleTableHash(), RuleTableHash());
+  EXPECT_NE(RuleTableHash(), 0u);
+}
+
+TEST(CacheHashTest, FileScopedSplitMatchesRegistry) {
+  // File-scoped: findings depend only on the file + include closure.
+  EXPECT_TRUE(IsFileScopedCheck("raw-new-delete"));
+  EXPECT_TRUE(IsFileScopedCheck("view-invalidation"));
+  // Interprocedural passes must rerun every time.
+  EXPECT_FALSE(IsFileScopedCheck("thread-confinement"));
+  EXPECT_FALSE(IsFileScopedCheck("untrusted-input"));
+  EXPECT_FALSE(IsFileScopedCheck("ordering-discipline"));
+  EXPECT_FALSE(IsFileScopedCheck("lock-discipline"));
+  EXPECT_FALSE(IsFileScopedCheck("no-such-check"));
+}
+
+// --- Format roundtrip --------------------------------------------------------
+
+AnalysisCache SampleCache() {
+  AnalysisCache cache;
+  cache.config_hash = 1234567890123456789ull;
+  cache.file_count = 2;
+  CacheEntry& a = cache.files["src/core/a.cc"];
+  a.content_hash = 11;
+  a.closure_hash = 22;
+  a.findings.push_back(
+      {"src/core/a.cc", 7, "raw-new-delete", "raw `new` in 'Make'", ""});
+  a.findings.push_back({"src/core/a.cc", 9, "unchecked-error",
+                        "message with\ttab and\nnewline and \\ backslash",
+                        "tok@role"});
+  cache.files["src/core/b.cc"] = {33, 44, {}};
+  cache.all_findings = a.findings;
+  return cache;
+}
+
+TEST(CacheFormatTest, RoundTripsThroughText) {
+  const AnalysisCache original = SampleCache();
+  AnalysisCache parsed;
+  ASSERT_TRUE(ParseCache(FormatCache(original), &parsed));
+
+  EXPECT_EQ(parsed.config_hash, original.config_hash);
+  EXPECT_EQ(parsed.file_count, original.file_count);
+  ASSERT_EQ(parsed.files.size(), 2u);
+  const CacheEntry& a = parsed.files.at("src/core/a.cc");
+  EXPECT_EQ(a.content_hash, 11u);
+  EXPECT_EQ(a.closure_hash, 22u);
+  ASSERT_EQ(a.findings.size(), 2u);
+  EXPECT_EQ(a.findings[1].message,
+            "message with\ttab and\nnewline and \\ backslash");
+  EXPECT_EQ(a.findings[1].token, "tok@role");
+  EXPECT_TRUE(parsed.files.at("src/core/b.cc").findings.empty());
+  ASSERT_EQ(parsed.all_findings.size(), 2u);
+  EXPECT_EQ(parsed.all_findings[0].check, "raw-new-delete");
+  EXPECT_EQ(parsed.all_findings[0].line, 7);
+}
+
+TEST(CacheFormatTest, RejectsMalformedInputAndLeavesCacheEmpty) {
+  AnalysisCache cache;
+  // Wrong magic.
+  EXPECT_FALSE(ParseCache("not-a-cache\nconfig\t1\n", &cache));
+  EXPECT_TRUE(cache.files.empty());
+  // Magic only — no config line.
+  EXPECT_FALSE(ParseCache("firehose-analyze-cache v1\n", &cache));
+  // A finding before any file line.
+  EXPECT_FALSE(ParseCache(
+      "firehose-analyze-cache v1\nconfig\t1\n"
+      "finding\tsrc/a.cc\t3\tcheck\tmsg\ttok\n",
+      &cache));
+  // Truncated finding (four fields instead of five).
+  EXPECT_FALSE(ParseCache(
+      "firehose-analyze-cache v1\nconfig\t1\nfile\tsrc/a.cc\t1\t2\n"
+      "finding\tsrc/a.cc\t3\tcheck\tmsg\n",
+      &cache));
+  EXPECT_TRUE(cache.files.empty());
+  // Non-numeric hash.
+  EXPECT_FALSE(ParseCache(
+      "firehose-analyze-cache v1\nconfig\t1\nfile\tsrc/a.cc\tx\t2\n", &cache));
+  // Unknown tag.
+  EXPECT_FALSE(ParseCache(
+      "firehose-analyze-cache v1\nconfig\t1\nbogus\tline\n", &cache));
+}
+
+TEST(CacheFormatTest, AcceptsPathsWithEscapedCharacters) {
+  AnalysisCache original;
+  original.config_hash = 1;
+  original.files["src/odd\tname.cc"] = {5, 6, {}};
+  AnalysisCache parsed;
+  ASSERT_TRUE(ParseCache(FormatCache(original), &parsed));
+  EXPECT_EQ(parsed.files.count("src/odd\tname.cc"), 1u);
+}
+
+// --- Analyze-level partial replay -------------------------------------------
+
+std::vector<SourceFile> TwoFileTree(const std::string& b_body) {
+  return {
+      {"src/core/a.cc",
+       "int* Make() {\n"
+       "  return new int;\n"  // raw-new-delete fires here
+       "}\n"},
+      {"src/core/b.cc", b_body},
+  };
+}
+
+TEST(CacheReplayTest, SecondRunReplaysFileScopedFindings) {
+  AnalysisCache cache;
+  AnalysisOptions options;
+  options.checks = {"raw-new-delete"};
+  options.cache = &cache;
+
+  const std::vector<SourceFile> files = TwoFileTree("void Idle() {}\n");
+  const AnalysisResult cold = Analyze(files, options);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.cache_misses, 2u);
+  ASSERT_EQ(cold.findings.size(), 1u);
+  EXPECT_EQ(cold.findings[0].check, "raw-new-delete");
+  EXPECT_EQ(cache.files.size(), 2u);
+  EXPECT_EQ(cache.file_count, 2u);
+
+  const AnalysisResult warm = Analyze(files, options);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_EQ(warm.cache_hits, 2u);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  ASSERT_EQ(warm.findings.size(), 1u);
+  EXPECT_EQ(warm.findings[0].message, cold.findings[0].message);
+  EXPECT_EQ(warm.findings[0].line, cold.findings[0].line);
+}
+
+TEST(CacheReplayTest, EditedFileMissesWhileOthersReplay) {
+  AnalysisCache cache;
+  AnalysisOptions options;
+  options.checks = {"raw-new-delete"};
+  options.cache = &cache;
+
+  const AnalysisResult cold = Analyze(TwoFileTree("void Idle() {}\n"), options);
+  ASSERT_TRUE(cold.ok) << cold.error;
+
+  // Edit b.cc; a.cc's finding must survive via replay, and b.cc's new
+  // hazard must be found live.
+  const AnalysisResult edited = Analyze(
+      TwoFileTree("char* Grab() {\n  return new char[8];\n}\n"), options);
+  ASSERT_TRUE(edited.ok) << edited.error;
+  EXPECT_EQ(edited.cache_hits, 1u);
+  EXPECT_EQ(edited.cache_misses, 1u);
+  ASSERT_EQ(edited.findings.size(), 2u);
+  EXPECT_EQ(edited.findings[0].path, "src/core/a.cc");
+  EXPECT_EQ(edited.findings[1].path, "src/core/b.cc");
+}
+
+TEST(CacheReplayTest, HeaderEditInvalidatesIncluders) {
+  AnalysisCache cache;
+  AnalysisOptions options;
+  options.checks = {"raw-new-delete"};
+  options.cache = &cache;
+
+  const std::vector<SourceFile> v1 = {
+      {"src/core/limits.h",
+       "#ifndef FIREHOSE_LIMITS_H_\n#define FIREHOSE_LIMITS_H_\n"
+       "inline constexpr int kCap = 8;\n#endif\n"},
+      {"src/core/user.cc",
+       "#include \"src/core/limits.h\"\n"
+       "int Cap() { return kCap; }\n"},
+  };
+  const AnalysisResult cold = Analyze(v1, options);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_EQ(cold.cache_misses, 2u);
+
+  // Touch only the header: the includer's closure hash changes, so both
+  // files must miss even though user.cc's bytes are identical.
+  std::vector<SourceFile> v2 = v1;
+  v2[0].text =
+      "#ifndef FIREHOSE_LIMITS_H_\n#define FIREHOSE_LIMITS_H_\n"
+      "inline constexpr int kCap = 16;\n#endif\n";
+  const AnalysisResult warm = Analyze(v2, options);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_EQ(warm.cache_hits, 0u);
+  EXPECT_EQ(warm.cache_misses, 2u);
+
+  // And an untouched rerun after that hits both.
+  const AnalysisResult hot = Analyze(v2, options);
+  ASSERT_TRUE(hot.ok) << hot.error;
+  EXPECT_EQ(hot.cache_hits, 2u);
+}
+
+TEST(CacheReplayTest, StatsTimersCoverEveryEnabledPass) {
+  AnalysisOptions options;
+  options.checks = {"raw-new-delete", "include-guard"};
+  const AnalysisResult result =
+      Analyze(TwoFileTree("void Idle() {}\n"), options);
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.pass_ms.size(), 2u);
+  for (const auto& [name, ms] : result.pass_ms) {
+    EXPECT_TRUE(name == "raw-new-delete" || name == "include-guard") << name;
+    EXPECT_GE(ms, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace firehose

@@ -123,6 +123,132 @@ TEST(FixtureTest, BlockingSilentWhenIoIsNotReachableFromOffer) {
   EXPECT_TRUE(result.findings.empty());
 }
 
+TEST(FixtureTest, ThreadConfinementFiresOnCrossRoleTouches) {
+  const AnalysisResult result = RunFixture(
+      "thread_confinement_bad.cc", "src/net/confinement_fixture.cc",
+      "thread-confinement");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.findings.size(), 3u);
+  std::set<std::string> tokens;
+  for (const Finding& finding : result.findings) {
+    EXPECT_EQ(finding.check, "thread-confinement");
+    tokens.insert(finding.token);
+  }
+  EXPECT_EQ(tokens, (std::set<std::string>{"timeline_@dispatcher",
+                                           "queue_.Push@shard_worker",
+                                           "queue_.TryPop@dispatcher"}));
+}
+
+TEST(FixtureTest, ThreadConfinementCatchesCrossThreadPush) {
+  // The acceptance mutation: a worker-side Push on a producer-only
+  // queue must be one of the findings, with the worker chain attached.
+  const AnalysisResult result = RunFixture(
+      "thread_confinement_bad.cc", "src/net/confinement_fixture.cc",
+      "thread-confinement");
+  ASSERT_TRUE(result.ok) << result.error;
+  bool found = false;
+  for (const Finding& finding : result.findings) {
+    if (finding.token == "queue_.Push@shard_worker") {
+      found = true;
+      EXPECT_NE(finding.message.find("FIREHOSE_PRODUCER_ONLY(dispatcher)"),
+                std::string::npos);
+      EXPECT_NE(finding.message.find("Worker::Loop -> Worker::Drain"),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FixtureTest, ThreadConfinementDedupesToShortestChain) {
+  // timeline_ is touched from NearTouch (2 hops) and Far (3 hops via
+  // Mid); the (check, path, token) collapse must keep only the shorter
+  // chain's finding.
+  const AnalysisResult result = RunFixture(
+      "thread_confinement_bad.cc", "src/net/confinement_fixture.cc",
+      "thread-confinement");
+  ASSERT_TRUE(result.ok) << result.error;
+  int timeline_findings = 0;
+  for (const Finding& finding : result.findings) {
+    if (finding.token != "timeline_@dispatcher") continue;
+    ++timeline_findings;
+    EXPECT_NE(finding.message.find("Worker::Dispatch -> Worker::NearTouch"),
+              std::string::npos);
+    EXPECT_EQ(finding.message.find("Far"), std::string::npos)
+        << "longer chain survived the dedupe: " << finding.message;
+  }
+  EXPECT_EQ(timeline_findings, 1);
+}
+
+TEST(FixtureTest, ThreadConfinementSilentOnCleanRoles) {
+  const AnalysisResult result = RunFixture(
+      "thread_confinement_clean.cc", "src/net/confinement_fixture.cc",
+      "thread-confinement");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(FixtureTest, UntrustedInputFiresDirectAndInterprocedural) {
+  const AnalysisResult result = RunFixture(
+      "untrusted_input_bad.cc", "src/net/taint_fixture.cc",
+      "untrusted-input");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.findings.size(), 2u);
+  EXPECT_NE(result.findings[0].message.find("'resize' argument"),
+            std::string::npos);
+  EXPECT_NE(result.findings[1].message.find("arg 1 of 'Apply'"),
+            std::string::npos);
+  for (const Finding& finding : result.findings) {
+    EXPECT_NE(finding.message.find("from ReadWire"), std::string::npos);
+  }
+}
+
+TEST(FixtureTest, UntrustedInputSilentAfterBoundChecks) {
+  const AnalysisResult result = RunFixture(
+      "untrusted_input_clean.cc", "src/net/taint_fixture.cc",
+      "untrusted-input");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(FixtureTest, OrderingFiresOnBareWaitOutsideLoop) {
+  const AnalysisResult result = RunFixture(
+      "condvar_wait_bad.cc", "src/runtime/wait_fixture.cc",
+      "ordering-discipline");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_NE(result.findings[0].message.find("'cv.wait(lock)'"),
+            std::string::npos);
+  EXPECT_NE(result.findings[0].message.find("Gate::Await"),
+            std::string::npos);
+}
+
+TEST(FixtureTest, OrderingSilentOnPredicateWaits) {
+  const AnalysisResult result = RunFixture(
+      "condvar_wait_clean.cc", "src/runtime/wait_fixture.cc",
+      "ordering-discipline");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(FixtureTest, OrderingFiresOnDecideBeforeAppend) {
+  const AnalysisResult result = RunFixture(
+      "wal_order_bad.cc", "src/dur/order_fixture.cc", "ordering-discipline");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_NE(result.findings[0].message.find("'Offer' precedes"),
+            std::string::npos);
+  EXPECT_NE(result.findings[0].message.find("wal_->Append"),
+            std::string::npos);
+}
+
+TEST(FixtureTest, OrderingSilentOnAppendBeforeDecide) {
+  const AnalysisResult result = RunFixture(
+      "wal_order_clean.cc", "src/dur/order_fixture.cc",
+      "ordering-discipline");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.findings.empty());
+}
+
 TEST(FixtureTest, SemanticFindingSarifMatchesGolden) {
   const AnalysisResult result =
       RunFixture("view_invalidation_bad.cc", "src/core/view_fixture.cc",

@@ -1,0 +1,261 @@
+// Tests for the interprocedural layer: the include-gated name-based
+// call graph, BFS reachability with chain reconstruction, the
+// decide-path fixpoint, and the taint summary table — all driven on
+// synthetic in-memory trees through BuildIncludeGraph/BuildSemaModel.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/analysis/include_graph.h"
+#include "src/analysis/sema/functions.h"
+#include "src/analysis/sema/summaries.h"
+
+namespace firehose {
+namespace analysis {
+namespace {
+
+using sema::BuildCallGraph;
+using sema::BuildSemaModel;
+using sema::BuildSummaries;
+using sema::CallGraph;
+using sema::ChainOf;
+using sema::DefId;
+using sema::DecidingDefs;
+using sema::FunctionSummary;
+using sema::QualifiedName;
+using sema::ReachableFrom;
+using sema::SemaModel;
+using sema::SummaryTable;
+
+// First definition registered under `name`; test trees keep names
+// unique so this is unambiguous.
+DefId FindDef(const SemaModel& model, const std::string& name) {
+  const auto it = model.functions_by_name.find(name);
+  EXPECT_TRUE(it != model.functions_by_name.end() && !it->second.empty())
+      << "no definition of " << name;
+  if (it == model.functions_by_name.end() || it->second.empty()) {
+    return {-1, -1};
+  }
+  return it->second.front();
+}
+
+bool HasEdge(const CallGraph& graph, const DefId& from, const DefId& to) {
+  const std::vector<DefId>* out = graph.EdgesOf(from);
+  if (out == nullptr) return false;
+  for (const DefId& target : *out) {
+    if (target == to) return true;
+  }
+  return false;
+}
+
+// --- call graph --------------------------------------------------------------
+
+TEST(CallGraphTest, EdgesAreGatedByIncludeClosure) {
+  const IncludeGraph graph = BuildIncludeGraph({
+      {"src/core/helper.h",
+       "#ifndef H_\n#define H_\nint Helper(int v);\n#endif\n"},
+      {"src/core/helper.cc",
+       "#include \"src/core/helper.h\"\n"
+       "int Helper(int v) { return v + 1; }\n"},
+      {"src/core/caller.cc",
+       "#include \"src/core/helper.h\"\n"
+       "int Caller(int v) { return Helper(v); }\n"},
+      {"src/gen/stranger.cc",
+       "int Stranger(int v) { return Helper(v); }\n"},
+  });
+  const SemaModel model = BuildSemaModel(graph);
+  const CallGraph calls = BuildCallGraph(model);
+
+  const DefId helper = FindDef(model, "Helper");
+  // caller.cc includes helper.h — helper.cc's primary header — so the
+  // edge to the out-of-line definition exists.
+  EXPECT_TRUE(HasEdge(calls, FindDef(model, "Caller"), helper));
+  // stranger.cc includes nothing; the same-named call resolves to no
+  // definition it can see.
+  EXPECT_FALSE(HasEdge(calls, FindDef(model, "Stranger"), helper));
+}
+
+TEST(CallGraphTest, QualifiedNamesCarryTheClass) {
+  const IncludeGraph graph = BuildIncludeGraph({
+      {"src/net/worker.cc",
+       "class Worker {\n"
+       " public:\n"
+       "  void Loop() { Drain(); }\n"
+       "  void Drain() {}\n"
+       "};\n"
+       "void Free() {}\n"},
+  });
+  const SemaModel model = BuildSemaModel(graph);
+  EXPECT_EQ(QualifiedName(model, FindDef(model, "Loop")), "Worker::Loop");
+  EXPECT_EQ(QualifiedName(model, FindDef(model, "Free")), "Free");
+}
+
+// --- reachability + chains ---------------------------------------------------
+
+TEST(ReachabilityTest, BfsRecordsShortestChains) {
+  const IncludeGraph graph = BuildIncludeGraph({
+      {"src/net/chain.cc",
+       "class Worker {\n"
+       " public:\n"
+       "  void Dispatch() { Mid(); Leaf(); }\n"
+       "  void Mid() { Leaf(); }\n"
+       "  void Leaf() {}\n"
+       "};\n"},
+  });
+  const SemaModel model = BuildSemaModel(graph);
+  const CallGraph calls = BuildCallGraph(model);
+
+  const DefId root = FindDef(model, "Dispatch");
+  std::map<DefId, DefId> parent;
+  const std::set<DefId> reached =
+      ReachableFrom(calls, {root}, nullptr, &parent);
+  EXPECT_EQ(reached.size(), 3u);
+  // Leaf is reachable both directly and through Mid; BFS keeps the
+  // one-hop parent, so the chain is the short one.
+  EXPECT_EQ(ChainOf(model, parent, FindDef(model, "Leaf")),
+            "Worker::Dispatch -> Worker::Leaf");
+  EXPECT_EQ(ChainOf(model, parent, FindDef(model, "Mid")),
+            "Worker::Dispatch -> Worker::Mid");
+  EXPECT_EQ(ChainOf(model, parent, root), "Worker::Dispatch");
+}
+
+TEST(ReachabilityTest, EnterGateCutsTheWalk) {
+  const IncludeGraph graph = BuildIncludeGraph({
+      {"src/net/gate.cc",
+       "void Leaf() {}\n"
+       "void Mid() { Leaf(); }\n"
+       "void Root() { Mid(); }\n"},
+  });
+  const SemaModel model = BuildSemaModel(graph);
+  const CallGraph calls = BuildCallGraph(model);
+
+  const DefId mid = FindDef(model, "Mid");
+  const std::set<DefId> reached = ReachableFrom(
+      calls, {FindDef(model, "Root")},
+      [&](const DefId& id) { return !(id == mid); }, nullptr);
+  // Refusing entry into Mid keeps Leaf unreachable too.
+  EXPECT_EQ(reached.count(mid), 0u);
+  EXPECT_EQ(reached.count(FindDef(model, "Leaf")), 0u);
+  EXPECT_EQ(reached.size(), 1u);
+}
+
+// --- decide-path fixpoint ----------------------------------------------------
+
+TEST(DecidingDefsTest, PropagatesBackwardsOverCallers) {
+  const IncludeGraph graph = BuildIncludeGraph({
+      {"src/net/session.cc",
+       "class Session {\n"
+       " public:\n"
+       "  bool Process(int post) { return Offer(post); }\n"
+       "  bool Handle(int post) { return Process(post); }\n"
+       "  void Idle() {}\n"
+       "  bool Offer(int post) { return post > 0; }\n"
+       "};\n"},
+  });
+  const SemaModel model = BuildSemaModel(graph);
+  const std::set<DefId> deciding = DecidingDefs(model, BuildCallGraph(model));
+
+  EXPECT_EQ(deciding.count(FindDef(model, "Process")), 1u);
+  EXPECT_EQ(deciding.count(FindDef(model, "Handle")), 1u);
+  EXPECT_EQ(deciding.count(FindDef(model, "Idle")), 0u);
+}
+
+// --- taint summaries ---------------------------------------------------------
+
+constexpr const char* kTaintTree =
+    "#include <vector>\n"
+    "struct Msg { unsigned long count; };\n"
+    "long ReadWire(int fd, Msg* out) FIREHOSE_TAINT_SOURCE;\n"
+    "void Apply(std::vector<int>* sink, unsigned long n) {\n"
+    "  sink->resize(n);\n"
+    "}\n"
+    "void Handle(int fd, std::vector<int>* v) {\n"
+    "  Msg m;\n"
+    "  ReadWire(fd, &m);\n"
+    "  v->resize(m.count);\n"
+    "  Apply(v, m.count);\n"
+    "}\n"
+    "void HandleChecked(int fd, std::vector<int>* v) {\n"
+    "  Msg m;\n"
+    "  ReadWire(fd, &m);\n"
+    "  if (m.count > 64) return;\n"
+    "  v->resize(m.count);\n"
+    "}\n";
+
+TEST(SummariesTest, SinkParamsAndOriginHitsAreRecorded) {
+  const IncludeGraph graph =
+      BuildIncludeGraph({{"src/net/taint.cc", kTaintTree}});
+  const SemaModel model = BuildSemaModel(graph);
+
+  // The annotated declaration registers the source at its arity.
+  ASSERT_EQ(model.taint_sources.count("ReadWire"), 1u);
+  EXPECT_EQ(model.taint_sources.at("ReadWire").count(2), 1u);
+
+  const SummaryTable table = BuildSummaries(model, BuildCallGraph(model));
+
+  // Apply pipes parameter 1 into resize unsanitized.
+  const FunctionSummary* apply = table.Find(FindDef(model, "Apply"));
+  ASSERT_NE(apply, nullptr);
+  EXPECT_EQ(apply->sink_params, std::set<int>{1});
+  EXPECT_TRUE(apply->hits.empty());
+
+  // Handle: the direct resize and the interprocedural flow through
+  // Apply both land as hits with the source's name attached.
+  const FunctionSummary* handle = table.Find(FindDef(model, "Handle"));
+  ASSERT_NE(handle, nullptr);
+  ASSERT_EQ(handle->hits.size(), 2u);
+  for (const sema::TaintHit& hit : handle->hits) {
+    EXPECT_EQ(hit.origins, std::set<std::string>{"ReadWire"});
+  }
+
+  // The bound check sanitizes: no hits in HandleChecked.
+  const FunctionSummary* checked = table.Find(FindDef(model, "HandleChecked"));
+  ASSERT_NE(checked, nullptr);
+  EXPECT_TRUE(checked->hits.empty());
+}
+
+TEST(SummariesTest, ArityMismatchedCallsAreNotSources) {
+  // Rng::Next() — arity 0 — must not light up just because a two-arg
+  // FrameReader-style Next is a taint source somewhere else.
+  const IncludeGraph graph = BuildIncludeGraph({
+      {"src/net/reader.h",
+       "#ifndef R_\n#define R_\n"
+       "struct Frame { unsigned long size; };\n"
+       "long Next(int fd, Frame* out) FIREHOSE_TAINT_SOURCE;\n"
+       "#endif\n"},
+      {"src/gen/rng.cc",
+       "#include <vector>\n"
+       "#include \"src/net/reader.h\"\n"
+       "unsigned long Next();\n"
+       "void Shuffle(std::vector<int>* v) {\n"
+       "  v->resize(Next());\n"
+       "}\n"},
+  });
+  const SemaModel model = BuildSemaModel(graph);
+  ASSERT_EQ(model.taint_sources.count("Next"), 1u);
+  EXPECT_EQ(model.taint_sources.at("Next").count(2), 1u);
+  EXPECT_EQ(model.taint_sources.at("Next").count(0), 0u);
+
+  const SummaryTable table = BuildSummaries(model, BuildCallGraph(model));
+  const FunctionSummary* shuffle = table.Find(FindDef(model, "Shuffle"));
+  ASSERT_NE(shuffle, nullptr);
+  EXPECT_TRUE(shuffle->hits.empty());
+}
+
+TEST(SummariesTest, DefaultedParametersWidenTheArityRange) {
+  const IncludeGraph graph = BuildIncludeGraph({
+      {"src/io/read.cc",
+       "long ReadSome(char* buf, int len, int timeout_ms = -1)"
+       " FIREHOSE_TAINT_SOURCE;\n"},
+  });
+  const SemaModel model = BuildSemaModel(graph);
+  ASSERT_EQ(model.taint_sources.count("ReadSome"), 1u);
+  const std::set<size_t>& arities = model.taint_sources.at("ReadSome");
+  EXPECT_EQ(arities, (std::set<size_t>{2, 3}));
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace firehose

@@ -27,18 +27,21 @@ case "${1:-}" in
     ;;
 esac
 
-# 1. Static analysis (layering, unchecked errors, determinism/hygiene,
-# and the sema passes: view-invalidation, lock-discipline,
-# atomic-ordering, blocking-in-hot-path). Built tiny and standalone so
-# the gate fails fast before any full preset build. Stale baseline
-# entries fail too — run `firehose_analyze --prune-baseline` to drop
-# them.
+# 1. Static analysis: all seventeen passes (layering, unchecked errors,
+# determinism/hygiene, and the sema passes up through the
+# interprocedural thread-confinement / untrusted-input /
+# ordering-discipline checks). Built tiny and standalone so the gate
+# fails fast before any full preset build. Stale baseline entries fail
+# too — run `firehose_analyze --prune-baseline` to drop them. The
+# content-hash cache makes repeated local runs near-instant; --stats
+# prints the per-pass timing and the hit rate.
 lint_build="$repo/build-lint"
 cmake -S "$repo" -B "$lint_build" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$lint_build" --target firehose_analyze -j "$jobs" >/dev/null
 echo "== firehose_analyze src/ tools/ tests/"
 "$lint_build/tools/firehose_analyze" --root="$repo" \
-  --fail-on-stale-baseline src tools tests
+  --fail-on-stale-baseline \
+  --cache="$lint_build/analyze_cache.txt" --stats src tools tests
 
 # 1b. clang-tidy over compile_commands.json, when installed. Optional:
 # the build exports compile_commands.json either way, and CI treats a
