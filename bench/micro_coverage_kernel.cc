@@ -9,8 +9,13 @@
 // byte-stable across runs and machines; wall-clock keys carry _ns/_pct
 // suffixes and are compared fuzzily (or skipped) by tools/bench_compare.py.
 // The headline `scan.speedup_pct` gauge carries the CI hard floor
-// (--require scan.speedup_pct>=150: kernel drifting toward scalar parity
-// fails the build) while the committed baseline records the measured ~2x.
+// (--require scan.speedup_pct>=300: the SIMD kernel must at least
+// triple candidate-check throughput over the pre-SoA loop) while the
+// committed baseline records the measured value under FIREHOSE_KERNEL=
+// avx2, the widest variant CI runners reliably execute. The kernel side
+// runs whatever variant runtime dispatch resolves (or FIREHOSE_KERNEL
+// forces), so CI re-runs this bench once per variant; the deterministic
+// counter keys are identical across variants by the dispatch contract.
 
 #include <algorithm>
 #include <cstdint>
@@ -20,6 +25,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/core/kernels/dispatch.h"
 #include "src/util/timer.h"
 
 namespace firehose {
@@ -133,6 +139,12 @@ void Run() {
   DiversityThresholds t = PaperThresholds();  // lambda_c = 18
   auto author_similar = [](AuthorId) { return false; };
 
+  const kernels::KernelDispatchReport& dispatch =
+      kernels::GetKernelDispatchReport();
+  std::printf("kernel dispatch: active=%s requested=%s best=%s compiled=%s\n",
+              dispatch.active, dispatch.requested, dispatch.best,
+              dispatch.compiled);
+
   std::printf("%-8s %14s %14s %12s\n", "bin", "scalar ns/cand", "kernel ns/cand",
               "speedup");
   int64_t headline_speedup_pct = 0;
@@ -205,11 +217,56 @@ void Run() {
     m.GetGauge(label + ".speedup_pct")->Set(speedup_pct);
     headline_speedup_pct = speedup_pct;  // largest size wins the headline
   }
-  // The CI regression gate reads this headline: ~200 means the kernel
-  // doubles candidate-check throughput over the pre-change loop.
+  // The CI regression gate reads this headline: 300 means the dispatched
+  // kernel triples candidate-check throughput over the pre-change loop.
   m.GetGauge("scan.speedup_pct")->Set(headline_speedup_pct);
   std::printf("headline scan.speedup_pct: %lld\n",
               static_cast<long long>(headline_speedup_pct));
+
+  // ------------------------------------------------------------------
+  // Dispatch matrix: every variant this binary + CPU can run, timed on
+  // the largest bin. Printed for the CI log only — per-variant JSON
+  // artifacts come from re-running the whole bench under FIREHOSE_KERNEL,
+  // so the metric key set stays identical across variants. The counter
+  // cross-check doubles as a coarse online version of the differential
+  // fuzz harness: a variant that diverges from scalar aborts the bench.
+  {
+    Rng rng(42 + 65536);
+    const PostBin bin = MakeBin(65536, rng);
+    const ProbeSet probes = MakeProbes(bin, 128, rng);
+    std::printf("%-8s %14s %12s\n", "variant", "ns/cand", "vs scalar");
+    double scalar_variant_ms = 0.0;
+    uint64_t scalar_matrix_comparisons = 0;
+    uint64_t scalar_matrix_covered = 0;
+    for (const kernels::KernelOps* ops : kernels::AvailableKernelOps()) {
+      uint64_t comparisons = 0;
+      uint64_t covered = 0;
+      const double variant_ms = BestMillis([&] {
+        comparisons = 0;
+        covered = 0;
+        for (size_t p = 0; p < probes.hashes.size(); ++p) {
+          const CoverageScanResult scan = ScanCoveredSimHashWithOps(
+              *ops, bin, /*cutoff_ms=*/-1, probes.hashes[p],
+              probes.authors[p], t, author_similar);
+          comparisons += scan.comparisons;
+          covered += scan.covered ? 1 : 0;
+        }
+      });
+      if (ops->variant == kernels::KernelVariant::kScalar) {
+        scalar_variant_ms = variant_ms;
+        scalar_matrix_comparisons = comparisons;
+        scalar_matrix_covered = covered;
+      } else if (comparisons != scalar_matrix_comparisons ||
+                 covered != scalar_matrix_covered) {
+        std::fprintf(stderr, "FATAL: variant %s diverged from scalar\n",
+                     ops->name);
+        std::exit(1);
+      }
+      std::printf("%-8s %14.3f %11.2fx\n", ops->name,
+                  variant_ms * 1e6 / static_cast<double>(comparisons),
+                  scalar_variant_ms / variant_ms);
+    }
+  }
 
   // ------------------------------------------------------------------
   // Permuted-index routing: at a small lambda_c the index can answer the

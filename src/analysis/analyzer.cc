@@ -89,7 +89,9 @@ bool IsFileScopedCheck(const std::string& check) {
 uint64_t RuleTableHash() {
   // Bump when pass semantics change without a registry text edit, so
   // stale caches from older binaries are discarded.
-  constexpr uint64_t kAnalyzerCacheEpoch = 1;
+  // Epoch 2: blocking-in-hot-path learned the ResolveKernelOps cold-init
+  // seam and view-invalidation learned PostBin::PushBatch.
+  constexpr uint64_t kAnalyzerCacheEpoch = 2;
   uint64_t hash = HashBytes(std::to_string(kAnalyzerCacheEpoch));
   for (const RegisteredPass& pass : PassRegistry()) {
     hash = HashBytes(pass.check.name, hash);

@@ -40,7 +40,7 @@ const std::vector<ViewRule>& ViewRules() {
       {"PostBin",
        {"LaneSpan", "LaneSpans"},
        {"Segments"},
-       {"Push", "EvictOlderThan", "Load", "Grow"}},
+       {"Push", "PushBatch", "EvictOlderThan", "Load", "Grow"}},
   };
   return kRules;
 }
@@ -662,6 +662,13 @@ void CheckBlockingInHotPath(const AnalysisContext& context,
   const std::set<DefId> reachable = ReachableFrom(
       call_graph, roots,
       [&](const DefId& target) {
+        // ResolveKernelOps is the SIMD dispatch probe
+        // (src/core/kernels/dispatch.cc): it runs exactly once behind
+        // ResolvedDispatch's magic static, so its environment read is
+        // cold init reached lazily from the first Offer, not per-post
+        // work. Cutting the walk at this one name keeps the decide path
+        // clean without allowlisting getenv for everyone.
+        if (DefAt(*model, target).name == "ResolveKernelOps") return false;
         return InSrc(context.graph->files[target.first].path);
       },
       &parent);

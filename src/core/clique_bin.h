@@ -25,6 +25,8 @@ class CliqueBinDiversifier final : public Diversifier {
                        const CliqueCover* cover);
 
   bool Offer(const Post& post) override;
+  size_t OfferBatch(std::span<const Post> posts,
+                    std::vector<uint8_t>* admitted = nullptr) override;
   const IngestStats& stats() const override { return stats_; }
   size_t ApproxBytes() const override;
   BinOccupancy bin_occupancy() const override;
@@ -40,6 +42,7 @@ class CliqueBinDiversifier final : public Diversifier {
   }
 
  private:
+  bool OfferOne(const Post& post);
   bool LoadStatePayload(BinaryReader& in);
 
   const DiversityThresholds thresholds_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/core/kernels/dispatch.h"
 #include "src/text/normalize.h"
 
 namespace firehose {
@@ -14,6 +15,26 @@ CosineUniBinDiversifier::CosineUniBinDiversifier(
       graph_(graph) {}
 
 bool CosineUniBinDiversifier::Offer(const Post& post) {
+  return OfferOne(post);
+}
+
+size_t CosineUniBinDiversifier::OfferBatch(std::span<const Post> posts,
+                                           std::vector<uint8_t>* admitted) {
+  // One virtual call per burst; each post still runs the identical
+  // evict → vectorize → scan → push sequence, so the timeline, stats and
+  // snapshot bytes match per-post Offer exactly.
+  if (admitted != nullptr) admitted->assign(posts.size(), 0);
+  size_t delivered = 0;
+  for (size_t i = 0; i < posts.size(); ++i) {
+    if (OfferOne(posts[i])) {
+      ++delivered;
+      if (admitted != nullptr) (*admitted)[i] = 1;
+    }
+  }
+  return delivered;
+}
+
+bool CosineUniBinDiversifier::OfferOne(const Post& post) {
   ++stats_.posts_in;
   const int64_t cutoff = post.time_ms - thresholds_.lambda_t_ms;
   const size_t evicted = bin_.EvictOlderThan(cutoff);
@@ -26,13 +47,21 @@ bool CosineUniBinDiversifier::Offer(const Post& post) {
   const TfVector vector = TfVector::FromText(Normalize(post.text));
 
   // The generic kernel path: the cover lambda addresses the parallel term
-  // vectors by the bin's logical from-oldest index.
+  // vectors by the bin's logical from-oldest index. The sparse dot runs
+  // through the dispatched SIMD kernel; it is integer-exact, so every
+  // variant produces the same similarity as TfVector::CosineSimilarity.
+  const kernels::KernelOps& ops = kernels::ActiveKernelOps();
   auto covers = [&](size_t from_oldest, int64_t /*time_ms*/,
                     uint64_t /*simhash*/, AuthorId author) {
-    if (thresholds_.use_content &&
-        vector.CosineSimilarity(vectors_[from_oldest]) <
-            min_cosine_similarity_) {
-      return false;
+    if (thresholds_.use_content) {
+      const TfVector& other = vectors_[from_oldest];
+      const uint64_t dot =
+          ops.sparse_dot(vector.term_hashes(), vector.term_counts(),
+                         vector.size(), other.term_hashes(),
+                         other.term_counts(), other.size());
+      if (vector.SimilarityFromDot(dot, other) < min_cosine_similarity_) {
+        return false;
+      }
     }
     if (thresholds_.use_author && author != post.author &&
         (graph_ == nullptr || !graph_->IsNeighbor(post.author, author))) {

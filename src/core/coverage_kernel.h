@@ -6,6 +6,7 @@
 #include <memory>
 #include <utility>
 
+#include "src/core/kernels/dispatch.h"
 #include "src/core/thresholds.h"
 #include "src/simhash/permuted_index.h"
 #include "src/stream/post.h"
@@ -75,15 +76,19 @@ CoverageScanResult ScanCovered(const PostBin& bin, int64_t cutoff_ms,
   return result;
 }
 
-/// The SimHash fast path: a tight XOR+popcount loop over the fingerprint
-/// lane, touching the author lane only on a content hit (the paper's
-/// cheap-dimension-first pruning). Semantics match
-/// internal::CoversContentAndAuthor applied newest-first with early exit.
+/// The SimHash fast path: the content dimension runs through the
+/// runtime-dispatched find-newest-within-λc kernel (src/core/kernels/,
+/// DESIGN.md §4k) over the fingerprint lane, touching the author lane
+/// only on a content hit (the paper's cheap-dimension-first pruning).
+/// Semantics match internal::CoversContentAndAuthor applied newest-first
+/// with early exit. `ops` variant taking explicit kernel ops is the seam
+/// the cross-kernel differential fuzz harness drives; production callers
+/// use the ActiveKernelOps() overload below.
 template <typename AuthorSimilarFn>
-CoverageScanResult ScanCoveredSimHash(const PostBin& bin, int64_t cutoff_ms,
-                                      uint64_t simhash, AuthorId author,
-                                      const DiversityThresholds& thresholds,
-                                      AuthorSimilarFn&& author_similar) {
+CoverageScanResult ScanCoveredSimHashWithOps(
+    const kernels::KernelOps& ops, const PostBin& bin, int64_t cutoff_ms,
+    uint64_t simhash, AuthorId author, const DiversityThresholds& thresholds,
+    AuthorSimilarFn&& author_similar) {
   CoverageScanResult result;
   if (bin.empty()) return result;
   const size_t boundary = bin.CountOlderThan(cutoff_ms);
@@ -95,46 +100,56 @@ CoverageScanResult ScanCoveredSimHash(const PostBin& bin, int64_t cutoff_ms,
   // convention (any distance exceeds it). use_content = false reads as
   // "everything is content-similar": 64 >= any possible distance.
   const int lambda_c = thresholds.use_content ? thresholds.lambda_c : 64;
+  if (num_segments == 2) {
+    // The scan crosses the ring's wrap boundary: while the kernel walks
+    // the newer segment, pull the older segment's newest cache lines in
+    // (they are the next bytes the scan touches on an all-miss).
+    const PostBin::LaneSpan& older = segments[0];
+    for (size_t back = 0; back < 32 && back < older.size; back += 8) {
+      __builtin_prefetch(older.simhash + (older.size - 1 - back), 0, 1);
+    }
+  }
   size_t base = bin.size();
   for (size_t s = num_segments; s-- > 0;) {
     const PostBin::LaneSpan& seg = segments[s];
     base -= seg.size;
     const size_t lo = boundary > base ? boundary - base : 0;
     if (lo >= seg.size) break;
-    const uint64_t* hashes = seg.simhash;
+    // The kernel answers "newest content hit in [lo, j)"; the author
+    // dimension is resolved here, and an author miss re-enters the
+    // kernel below the hit (a content hit whose author dimension misses
+    // must not stop the scan).
     size_t j = seg.size;
-    // 4-wide front: four independent XOR+popcount chains per iteration
-    // and a single combined not-taken branch, so the dominant all-miss
-    // scan retires ~1 candidate/cycle instead of serializing on a
-    // per-entry branch. A group hit falls through to the per-entry loop
-    // below, which resolves newest-first (and keeps scanning past a
-    // content hit whose author dimension misses).
-    while (j - lo >= 4) {
-      const bool any_hit =
-          (Popcount64(hashes[j - 1] ^ simhash) <= lambda_c) |
-          (Popcount64(hashes[j - 2] ^ simhash) <= lambda_c) |
-          (Popcount64(hashes[j - 3] ^ simhash) <= lambda_c) |
-          (Popcount64(hashes[j - 4] ^ simhash) <= lambda_c);
-      if (any_hit) break;
-      j -= 4;
-    }
-    for (; j-- > lo;) {
-      if (Popcount64(hashes[j] ^ simhash) > lambda_c) {
-        continue;
+    while (true) {
+      const size_t hit =
+          ops.find_newest_within(seg.simhash, lo, j, simhash, lambda_c);
+      if (hit == kernels::kNoHit) break;
+      if (!use_author || seg.author[hit] == author ||
+          author_similar(seg.author[hit])) {
+        // Covered at logical index base + hit: comparisons counts the
+        // entries examined so far — everything newer than (and
+        // including) the hit.
+        result.comparisons += (bin.size() - (base + hit));
+        result.covered = true;
+        return result;
       }
-      if (use_author && seg.author[j] != author &&
-          !author_similar(seg.author[j])) {
-        continue;
-      }
-      // Covered at logical index base + j: comparisons counts the entries
-      // examined so far — everything newer than (and including) the hit.
-      result.comparisons += (bin.size() - (base + j));
-      result.covered = true;
-      return result;
+      j = hit;
     }
   }
   result.comparisons += bin.size() - boundary;  // full in-window scan
   return result;
+}
+
+/// Production entry point: same scan through the process-wide dispatched
+/// kernel variant.
+template <typename AuthorSimilarFn>
+CoverageScanResult ScanCoveredSimHash(const PostBin& bin, int64_t cutoff_ms,
+                                      uint64_t simhash, AuthorId author,
+                                      const DiversityThresholds& thresholds,
+                                      AuthorSimilarFn&& author_similar) {
+  return ScanCoveredSimHashWithOps(
+      kernels::ActiveKernelOps(), bin, cutoff_ms, simhash, author, thresholds,
+      std::forward<AuthorSimilarFn>(author_similar));
 }
 
 /// Per-scan tuning of the coverage kernel. Defaults keep every bin on the

@@ -1,0 +1,118 @@
+// AVX2 tier: 8 fingerprints per iteration in two 256-bit blocks, with the
+// classic pshufb nibble-LUT popcount (AVX2 has no vector popcount
+// instruction; the LUT counts bits per byte and _mm256_sad_epu8 folds the
+// bytes into per-64-bit-lane sums). Compiled with -mavx2 -mpopcnt
+// (per-file flags in src/CMakeLists.txt).
+
+#include <immintrin.h>
+
+#include <bit>
+
+#include "src/core/kernels/variants.h"
+
+namespace firehose {
+namespace kernels {
+namespace {
+
+constexpr size_t kNoHit = static_cast<size_t>(-1);
+
+/// Per-64-bit-lane popcount of 4 lanes.
+inline __m256i Popcount64x4(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i per_byte = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                           _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(per_byte, _mm256_setzero_si256());
+}
+
+/// 4-bit miss mask for the block at `base`: bit k set when
+/// popcount(hashes[base + k] ^ probe) > lambda (lane k = index base + k).
+inline int MissMask4(const uint64_t* hashes, size_t base, __m256i probe_v,
+                     __m256i lambda_v) {
+  const __m256i x = _mm256_xor_si256(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hashes + base)),
+      probe_v);
+  const __m256i gt = _mm256_cmpgt_epi64(Popcount64x4(x), lambda_v);
+  return _mm256_movemask_pd(_mm256_castsi256_pd(gt));
+}
+
+}  // namespace
+
+size_t FindNewestWithinAvx2(const uint64_t* hashes, size_t lo, size_t hi,
+                            uint64_t probe, int lambda_c) {
+  if (lambda_c < 0) return kNoHit;  // nothing is ever within distance -1
+  const __m256i probe_v = _mm256_set1_epi64x(static_cast<long long>(probe));
+  const __m256i lambda_v = _mm256_set1_epi64x(lambda_c);
+  size_t j = hi;
+  while (j - lo >= 8) {
+    const int miss_hi = MissMask4(hashes, j - 4, probe_v, lambda_v);
+    const int miss_lo = MissMask4(hashes, j - 8, probe_v, lambda_v);
+    if ((miss_hi & miss_lo) == 0xf) {
+      if (j - lo >= 72) __builtin_prefetch(hashes + j - 72, 0, 3);
+      j -= 8;
+      continue;
+    }
+    const int hits_hi = ~miss_hi & 0xf;
+    if (hits_hi != 0) return j - 4 + (31 - __builtin_clz(hits_hi));
+    const int hits_lo = ~miss_lo & 0xf;
+    return j - 8 + (31 - __builtin_clz(hits_lo));
+  }
+  if (j - lo >= 4) {
+    const int hits = ~MissMask4(hashes, j - 4, probe_v, lambda_v) & 0xf;
+    if (hits != 0) return j - 4 + (31 - __builtin_clz(hits));
+    j -= 4;
+  }
+  for (size_t k = j; k-- > lo;) {
+    if (std::popcount(hashes[k] ^ probe) <= lambda_c) return k;
+  }
+  return kNoHit;
+}
+
+uint64_t SparseDotAvx2(const uint64_t* a_hash, const uint32_t* a_count,
+                       size_t a_n, const uint64_t* b_hash,
+                       const uint32_t* b_count, size_t b_n) {
+  uint64_t dot = 0;
+  size_t i = 0;
+  size_t j = 0;
+  // Block-broadcast intersection over the sorted hash lanes: each a-hash
+  // is compared against 4 b-hashes at once; a whole b-block below the
+  // current a-hash is skipped with one scalar compare. Hashes are
+  // strictly increasing within each vector, so a block holds at most one
+  // match and matched blocks never need re-visiting for later a-hashes.
+  while (i < a_n && j + 4 <= b_n) {
+    if (a_hash[i] > b_hash[j + 3]) {
+      j += 4;
+      continue;
+    }
+    const __m256i bv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b_hash + j));
+    const __m256i av =
+        _mm256_set1_epi64x(static_cast<long long>(a_hash[i]));
+    const int eq =
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(av, bv)));
+    if (eq != 0) {
+      const int k = __builtin_ctz(static_cast<unsigned>(eq));
+      dot += static_cast<uint64_t>(a_count[i]) * b_count[j + k];
+    }
+    ++i;
+  }
+  while (i < a_n && j < b_n) {  // scalar merge over the short tails
+    if (a_hash[i] < b_hash[j]) {
+      ++i;
+    } else if (a_hash[i] > b_hash[j]) {
+      ++j;
+    } else {
+      dot += static_cast<uint64_t>(a_count[i]) * b_count[j];
+      ++i;
+      ++j;
+    }
+  }
+  return dot;
+}
+
+}  // namespace kernels
+}  // namespace firehose

@@ -1,0 +1,99 @@
+// AVX-512 tier: 16 fingerprints per iteration in two 512-bit blocks using
+// the VPOPCNTQ instruction (AVX512VPOPCNTDQ) — one instruction replaces
+// the whole AVX2 nibble-LUT sequence — and compare-into-mask, so the
+// all-miss test is a single 8-bit mask OR per block. Compiled with
+// -mavx512f -mavx512bw -mavx512vl -mavx512vpopcntdq -mpopcnt (per-file
+// flags in src/CMakeLists.txt).
+
+#include <immintrin.h>
+
+#include <bit>
+
+#include "src/core/kernels/variants.h"
+
+namespace firehose {
+namespace kernels {
+namespace {
+
+constexpr size_t kNoHit = static_cast<size_t>(-1);
+
+/// 8-bit hit mask for the block at `base`: bit k set when
+/// popcount(hashes[base + k] ^ probe) <= lambda (lane k = index base + k).
+inline __mmask8 HitMask8(const uint64_t* hashes, size_t base, __m512i probe_v,
+                         __m512i lambda_v) {
+  const __m512i x = _mm512_xor_si512(_mm512_loadu_si512(hashes + base),
+                                     probe_v);
+  return _mm512_cmple_epu64_mask(_mm512_popcnt_epi64(x), lambda_v);
+}
+
+}  // namespace
+
+size_t FindNewestWithinAvx512(const uint64_t* hashes, size_t lo, size_t hi,
+                              uint64_t probe, int lambda_c) {
+  if (lambda_c < 0) return kNoHit;  // nothing is ever within distance -1
+  const __m512i probe_v = _mm512_set1_epi64(static_cast<long long>(probe));
+  const __m512i lambda_v = _mm512_set1_epi64(lambda_c);
+  size_t j = hi;
+  while (j - lo >= 16) {
+    const __mmask8 hit_hi = HitMask8(hashes, j - 8, probe_v, lambda_v);
+    const __mmask8 hit_lo = HitMask8(hashes, j - 16, probe_v, lambda_v);
+    if ((hit_hi | hit_lo) == 0) {
+      if (j - lo >= 144) __builtin_prefetch(hashes + j - 144, 0, 3);
+      j -= 16;
+      continue;
+    }
+    if (hit_hi != 0) {
+      return j - 8 + (31 - __builtin_clz(static_cast<unsigned>(hit_hi)));
+    }
+    return j - 16 + (31 - __builtin_clz(static_cast<unsigned>(hit_lo)));
+  }
+  while (j - lo >= 8) {
+    const __mmask8 hit = HitMask8(hashes, j - 8, probe_v, lambda_v);
+    if (hit != 0) {
+      return j - 8 + (31 - __builtin_clz(static_cast<unsigned>(hit)));
+    }
+    j -= 8;
+  }
+  for (size_t k = j; k-- > lo;) {
+    if (std::popcount(hashes[k] ^ probe) <= lambda_c) return k;
+  }
+  return kNoHit;
+}
+
+uint64_t SparseDotAvx512(const uint64_t* a_hash, const uint32_t* a_count,
+                         size_t a_n, const uint64_t* b_hash,
+                         const uint32_t* b_count, size_t b_n) {
+  uint64_t dot = 0;
+  size_t i = 0;
+  size_t j = 0;
+  // Same block-broadcast intersection as the AVX2 tier, 8 b-hashes wide.
+  while (i < a_n && j + 8 <= b_n) {
+    if (a_hash[i] > b_hash[j + 7]) {
+      j += 8;
+      continue;
+    }
+    const __m512i bv = _mm512_loadu_si512(b_hash + j);
+    const __m512i av = _mm512_set1_epi64(static_cast<long long>(a_hash[i]));
+    const __mmask8 eq = _mm512_cmpeq_epi64_mask(av, bv);
+    if (eq != 0) {
+      const int k = __builtin_ctz(static_cast<unsigned>(eq));
+      dot += static_cast<uint64_t>(a_count[i]) * b_count[j + k];
+    }
+    ++i;
+  }
+  while (i < a_n && j < b_n) {  // scalar merge over the short tails
+    if (a_hash[i] < b_hash[j]) {
+      ++i;
+    } else if (a_hash[i] > b_hash[j]) {
+      ++j;
+    } else {
+      dot += static_cast<uint64_t>(a_count[i]) * b_count[j];
+      ++i;
+      ++j;
+    }
+  }
+  return dot;
+}
+
+}  // namespace kernels
+}  // namespace firehose

@@ -1,0 +1,37 @@
+// The "sse" tier: hardware popcount, no vector registers. This is the
+// shape of the pre-dispatch coverage loop — four independent XOR+popcount
+// chains per iteration with one combined not-taken branch — kept as its
+// own tier so machines (or FIREHOSE_KERNEL=sse runs) without AVX2 still
+// beat the portable scalar walk. Compiled with -mpopcnt (per-file flag in
+// src/CMakeLists.txt); this TU is only built when the compiler has it.
+
+#include <bit>
+
+#include "src/core/kernels/variants.h"
+
+namespace firehose {
+namespace kernels {
+
+size_t FindNewestWithinPopcnt(const uint64_t* hashes, size_t lo, size_t hi,
+                              uint64_t probe, int lambda_c) {
+  size_t j = hi;
+  // 4-wide front: the dominant all-miss scan retires ~1 candidate/cycle
+  // instead of serializing on a per-entry branch. A group hit falls
+  // through to the per-entry loop, which resolves newest-first.
+  while (j - lo >= 4) {
+    const bool any_hit = (std::popcount(hashes[j - 1] ^ probe) <= lambda_c) |
+                         (std::popcount(hashes[j - 2] ^ probe) <= lambda_c) |
+                         (std::popcount(hashes[j - 3] ^ probe) <= lambda_c) |
+                         (std::popcount(hashes[j - 4] ^ probe) <= lambda_c);
+    if (any_hit) break;
+    if (j - lo >= 36) __builtin_prefetch(hashes + j - 36, 0, 3);
+    j -= 4;
+  }
+  for (size_t k = j; k-- > lo;) {
+    if (std::popcount(hashes[k] ^ probe) <= lambda_c) return k;
+  }
+  return static_cast<size_t>(-1);
+}
+
+}  // namespace kernels
+}  // namespace firehose

@@ -80,6 +80,23 @@ class MUserEngine final : public MultiUserEngine {
     std::sort(delivered->begin(), delivered->end());
   }
 
+  size_t OfferBatch(std::span<const Post> posts,
+                    std::vector<BatchDelivery>* deliveries) override {
+    // Devirtualized per-post Offer (this class is final) with one scratch
+    // vector for the burst. Each post still updates live_bin_bytes_ and
+    // the engine-wide peak individually, so AggregateStats().peak_bytes
+    // matches the per-post path bit for bit.
+    deliveries->clear();
+    std::vector<UserId> scratch;
+    for (size_t i = 0; i < posts.size(); ++i) {
+      Offer(posts[i], &scratch);
+      for (UserId user : scratch) {
+        deliveries->push_back({static_cast<uint32_t>(i), user});
+      }
+    }
+    return deliveries->size();
+  }
+
   IngestStats AggregateStats() const override {
     IngestStats total;
     for (const auto& e : engines_) total.MergeFrom(e->diversifier->stats());
@@ -178,6 +195,21 @@ class SUserEngine final : public MultiUserEngine {
     }
     peak_live_bytes_ = std::max(peak_live_bytes_, live_bin_bytes_);
     std::sort(delivered->begin(), delivered->end());
+  }
+
+  size_t OfferBatch(std::span<const Post> posts,
+                    std::vector<BatchDelivery>* deliveries) override {
+    // See MUserEngine::OfferBatch: devirtualized per-post Offer, one
+    // scratch vector, per-post peak accounting preserved.
+    deliveries->clear();
+    std::vector<UserId> scratch;
+    for (size_t i = 0; i < posts.size(); ++i) {
+      Offer(posts[i], &scratch);
+      for (UserId user : scratch) {
+        deliveries->push_back({static_cast<uint32_t>(i), user});
+      }
+    }
+    return deliveries->size();
   }
 
   IngestStats AggregateStats() const override {

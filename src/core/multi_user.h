@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -65,6 +66,32 @@ class MultiUserEngine {
   /// `delivered` is cleared first. Users are appended in increasing id
   /// order at most once each.
   virtual void Offer(const Post& post, std::vector<UserId>* delivered) = 0;
+
+  /// One delivery of an OfferBatch burst: posts[post_index] reached
+  /// `user`'s timeline.
+  struct BatchDelivery {
+    uint32_t post_index;
+    UserId user;
+  };
+
+  /// Offers a burst of posts (same ordering contract as Offer) and
+  /// appends every delivery to `*deliveries` (cleared first), grouped by
+  /// ascending post_index with users ascending within a post — the exact
+  /// concatenation of per-post Offer outputs. Returns deliveries->size().
+  /// Semantically identical to per-post Offer, including the per-post
+  /// peak-memory accounting; overrides amortize the per-call overhead.
+  virtual size_t OfferBatch(std::span<const Post> posts,
+                            std::vector<BatchDelivery>* deliveries) {
+    deliveries->clear();
+    std::vector<UserId> scratch;
+    for (size_t i = 0; i < posts.size(); ++i) {
+      Offer(posts[i], &scratch);
+      for (UserId user : scratch) {
+        deliveries->push_back({static_cast<uint32_t>(i), user});
+      }
+    }
+    return deliveries->size();
+  }
 
   /// Counters summed over all internal diversifiers.
   virtual IngestStats AggregateStats() const = 0;

@@ -5,6 +5,9 @@
 #include <condition_variable>
 #include <csignal>
 #include <mutex>
+#include <span>
+
+#include "src/core/kernels/dispatch.h"
 
 #include "src/author/clique_cover.h"
 #include "src/core/engine.h"
@@ -228,12 +231,96 @@ class ShardWorker {
     ingested_.fetch_add(1, std::memory_order_seq_cst);
   }
 
+  /// Batched Ingest: the whole run is WAL-appended up front (still
+  /// append-before-decide for every post), each touched component gets
+  /// one OfferBatch call over its sub-burst, and the counters advance
+  /// with one atomic update per batch. Timeline appends replay in post
+  /// order against the per-component routing order, so every user's
+  /// timeline is byte-identical to per-post Ingest.
+  void IngestBatch(std::span<const Post> posts)
+      FIREHOSE_RUNS_ON(shard_worker) {
+    if (posts.empty()) return;
+    if (wal_ != nullptr) {
+      for (const Post& post : posts) {
+        if (!wal_->Append(dur::EncodePostRecord(post))) {
+          wal_failures_.fetch_add(1, std::memory_order_seq_cst);
+          wal_.reset();  // same freeze-durability semantics as Ingest
+          break;
+        }
+      }
+    }
+    const obs::Clock* clock =
+        options_.flight != nullptr ? obs::RealClock() : nullptr;
+    // Group the burst per component (first-touch order); fanout per post
+    // is small, so the linear component lookup is cheap.
+    std::vector<uint32_t> touched;
+    std::vector<std::vector<Post>> groups;
+    std::vector<std::vector<uint32_t>> group_pos;  // burst index per element
+    for (uint32_t p = 0; p < posts.size(); ++p) {
+      const Post& post = posts[p];
+      if (post.author >= author_components_.size()) continue;
+      for (uint32_t i : author_components_[post.author]) {
+        size_t g = 0;
+        while (g < touched.size() && touched[g] != i) ++g;
+        if (g == touched.size()) {
+          touched.push_back(i);
+          groups.emplace_back();
+          group_pos.emplace_back();
+        }
+        groups[g].push_back(post);
+        group_pos[g].push_back(p);
+      }
+    }
+    // Decide per component; components are independent state, so the
+    // component-major order cannot change any decision.
+    std::vector<std::vector<uint32_t>> admitted_of_post(posts.size());
+    std::vector<uint8_t> admitted;
+    for (size_t g = 0; g < touched.size(); ++g) {
+      Component& c = *components_[touched[g]];
+      const uint64_t start = clock != nullptr ? clock->NowNanos() : 0;
+      c.diversifier->OfferBatch(groups[g], &admitted);
+      if (clock != nullptr) {
+        options_.flight->RecordComplete(index_, "offer", "serve", start,
+                                        clock->NowNanos());
+      }
+      for (size_t k = 0; k < admitted.size(); ++k) {
+        if (admitted[k] != 0) {
+          admitted_of_post[group_pos[g][k]].push_back(touched[g]);
+        }
+      }
+    }
+    // Timeline appends in post order, routing order within a post —
+    // exactly the per-post Ingest order.
+    uint64_t new_deliveries = 0;
+    for (uint32_t p = 0; p < posts.size(); ++p) {
+      const Post& post = posts[p];
+      if (post.author >= author_components_.size()) continue;
+      for (uint32_t i : author_components_[post.author]) {
+        const std::vector<uint32_t>& hits = admitted_of_post[p];
+        if (std::find(hits.begin(), hits.end(), i) == hits.end()) continue;
+        const Component& c = *components_[i];
+        for (UserId user : c.users) {
+          if (user < timelines_.size()) timelines_[user].push_back(post.id);
+        }
+        new_deliveries += c.users.size();
+      }
+    }
+    if (new_deliveries > 0) {
+      deliveries_.fetch_add(new_deliveries, std::memory_order_seq_cst);
+    }
+    watermark_ = static_cast<int64_t>(posts.back().id);
+    ingested_.fetch_add(posts.size(), std::memory_order_seq_cst);
+  }
+
   void Loop() FIREHOSE_RUNS_ON(shard_worker) {
     const int watchdog_task =
         options_.watchdog != nullptr
             ? options_.watchdog->RegisterTask("serve-shard")
             : -1;
     uint64_t processed = 0;
+    const size_t batch_max = std::max<size_t>(1, options_.ingest_batch_max);
+    std::vector<Post> batch;
+    batch.reserve(batch_max);
     for (;;) {
       ShardCmd cmd;
       if (!queue_.TryPop(&cmd)) {
@@ -244,6 +331,53 @@ class ShardWorker {
         continue;
       }
       ++processed;
+      if (cmd.kind == ShardCmd::Kind::kPost) {
+        // Gather the run of already-queued posts into one ingest epoch.
+        // A control command ends the run and is handled below, after the
+        // batch — so a kStop can never drop queued posts.
+        batch.clear();
+        int64_t horizon = watermark_;
+        bool have_control = false;
+        ShardCmd control;
+        // Watermark dedupe: the dispatcher routes posts in id order,
+        // so a post at or below the watermark (or a batched predecessor)
+        // is a client resend of work this shard already ingested
+        // (possibly pre-crash).
+        auto consider = [&](const Post& post) {
+          if (static_cast<int64_t>(post.id) <= horizon) {
+            duplicates_.fetch_add(1, std::memory_order_seq_cst);
+          } else {
+            horizon = static_cast<int64_t>(post.id);
+            batch.push_back(post);
+          }
+        };
+        consider(cmd.post);
+        while (batch.size() < batch_max) {
+          ShardCmd next;
+          if (!queue_.TryPop(&next)) break;
+          ++processed;
+          if (next.kind == ShardCmd::Kind::kPost) {
+            consider(next.post);
+          } else {
+            have_control = true;
+            control = next;
+            break;
+          }
+        }
+        // Single posts keep the scalar path; runs share one batch epoch.
+        if (batch.size() == 1) {
+          Ingest(batch[0]);
+        } else {
+          IngestBatch(batch);
+        }
+        if (watchdog_task >= 0) {
+          options_.watchdog->ReportProgress(watchdog_task, processed);
+          options_.watchdog->SetQueueDepth(
+              watchdog_task, static_cast<int64_t>(queue_.ApproxSize()));
+        }
+        if (!have_control) continue;
+        cmd = control;
+      }
       if (watchdog_task >= 0) {
         options_.watchdog->ReportProgress(watchdog_task, processed);
         options_.watchdog->SetQueueDepth(
@@ -253,15 +387,7 @@ class ShardWorker {
         case ShardCmd::Kind::kStop:
           return;
         case ShardCmd::Kind::kPost:
-          // Watermark dedupe: the dispatcher routes posts in id order,
-          // so a post at or below the watermark is a client resend of
-          // work this shard already ingested (possibly pre-crash).
-          if (static_cast<int64_t>(cmd.post.id) <= watermark_) {
-            duplicates_.fetch_add(1, std::memory_order_seq_cst);
-          } else {
-            Ingest(cmd.post);
-          }
-          break;
+          break;  // unreachable: posts are gathered above
         case ShardCmd::Kind::kPoll: {
           std::vector<PostId> timeline;
           if (cmd.user < timelines_.size()) timeline = timelines_[cmd.user];
@@ -739,7 +865,9 @@ void Server::PublishIntrospection() {
   status += ",\"duplicates\":" + std::to_string(s.duplicates);
   status += ",\"deliveries\":" + std::to_string(s.deliveries);
   status += ",\"polls\":" + std::to_string(s.polls);
-  status += ",\"queue_depths\":[";
+  status += ",\"kernel\":\"";
+  status += kernels::GetKernelDispatchReport().active;
+  status += "\",\"queue_depths\":[";
   for (size_t i = 0; i < shards_.size(); ++i) {
     if (i > 0) status += ",";
     status += std::to_string(shards_[i]->queue_depth());

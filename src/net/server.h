@@ -49,6 +49,15 @@ struct ServeOptions {
   /// Crash-test hook (mirrors FIREHOSE_CRASH_AFTER in firehose_serve):
   /// raise SIGKILL after this many kPost messages received; 0 = off.
   uint64_t crash_after_posts = 0;
+
+  /// Maximum consecutive kPost commands a shard worker folds into one
+  /// ingest epoch: the run is WAL-appended together, offered through
+  /// OfferBatch per component, and counted with one atomic update. A
+  /// control command arriving mid-run ends the batch and executes after
+  /// it (kStop included — queued posts are never dropped). Timelines,
+  /// dedupe and recovery semantics are identical to per-post ingest;
+  /// 1 disables batching.
+  size_t ingest_batch_max = 64;
 };
 
 /// Monitoring snapshot; counters are cumulative since Start (recovered

@@ -2,8 +2,9 @@
 
 namespace firehose {
 
-void PostBin::Grow() {
-  const size_t new_capacity = time_.empty() ? 2 : time_.size() * 2;
+void PostBin::Grow(size_t min_capacity) {
+  size_t new_capacity = time_.empty() ? 2 : time_.size() * 2;
+  while (new_capacity < min_capacity) new_capacity *= 2;
   std::vector<int64_t> next_time(new_capacity);
   std::vector<uint64_t> next_hash(new_capacity);
   std::vector<AuthorId> next_author(new_capacity);
@@ -24,7 +25,7 @@ void PostBin::Grow() {
 }
 
 void PostBin::Push(const BinEntry& entry) {
-  if (size_ == time_.size()) Grow();
+  if (size_ == time_.size()) Grow(size_ + 1);
   const size_t slot = (head_ + size_) & mask_;
   time_[slot] = entry.time_ms;
   hash_[slot] = entry.simhash;
@@ -32,6 +33,20 @@ void PostBin::Push(const BinEntry& entry) {
   id_[slot] = entry.post_id;
   ++size_;
   ++pushes_;
+}
+
+void PostBin::PushBatch(std::span<const BinEntry> entries) {
+  if (entries.empty()) return;
+  if (size_ + entries.size() > time_.size()) Grow(size_ + entries.size());
+  for (const BinEntry& entry : entries) {
+    const size_t slot = (head_ + size_) & mask_;
+    time_[slot] = entry.time_ms;
+    hash_[slot] = entry.simhash;
+    author_[slot] = entry.author;
+    id_[slot] = entry.post_id;
+    ++size_;
+  }
+  pushes_ += entries.size();
 }
 
 size_t PostBin::Segments(LaneSpan out[2]) const {

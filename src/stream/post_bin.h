@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/util/binary.h"
@@ -54,6 +55,13 @@ class PostBin {
   /// Appends an entry. Entries must arrive in non-decreasing `time_ms`
   /// order (streams are time-ordered); violating this breaks eviction.
   void Push(const BinEntry& entry);
+
+  /// Appends a run of entries (same ordering contract as Push). Grows at
+  /// most once — straight to a capacity that fits the whole run — so a
+  /// burst pays one reallocation instead of log2(burst) of them.
+  /// Equivalent to calling Push per entry: same final ring state, same
+  /// pushes() count.
+  void PushBatch(std::span<const BinEntry> entries);
 
   /// Removes all entries with time_ms < cutoff_ms. Returns the number of
   /// evicted entries. O(log size): the λt boundary is binary-searched in
@@ -109,7 +117,9 @@ class PostBin {
   bool Load(BinaryReader& in);
 
  private:
-  void Grow();
+  /// Reallocates the ring to the smallest power of two >= min_capacity
+  /// (at least double the current capacity), compacting to head_ = 0.
+  void Grow(size_t min_capacity);
 
   BinEntry At(size_t slot) const {
     return BinEntry{time_[slot], hash_[slot], author_[slot], id_[slot]};

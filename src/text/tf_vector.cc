@@ -18,24 +18,26 @@ TfVector TfVector::FromText(std::string_view text) {
   for (size_t i = 0; i < hashes.size();) {
     size_t j = i;
     while (j < hashes.size() && hashes[j] == hashes[i]) ++j;
-    v.entries_.push_back(Entry{hashes[i], static_cast<uint32_t>(j - i)});
+    v.hashes_.push_back(hashes[i]);
+    v.counts_.push_back(static_cast<uint32_t>(j - i));
     i = j;
   }
   return v;
 }
 
 void TfVector::Save(BinaryWriter* out) const {
-  out->PutVarint(entries_.size());
+  out->PutVarint(hashes_.size());
   uint64_t prev_hash = 0;
-  for (const Entry& e : entries_) {
-    out->PutVarint(e.term_hash - prev_hash);  // strictly increasing hashes
-    prev_hash = e.term_hash;
-    out->PutVarint(e.count);
+  for (size_t i = 0; i < hashes_.size(); ++i) {
+    out->PutVarint(hashes_[i] - prev_hash);  // strictly increasing hashes
+    prev_hash = hashes_[i];
+    out->PutVarint(counts_[i]);
   }
 }
 
 bool TfVector::Load(BinaryReader& in) {
-  entries_.clear();
+  hashes_.clear();
+  counts_.clear();
   uint64_t count = 0;
   if (!in.GetVarint(&count)) return false;
   // Each entry costs at least two bytes on the wire; a declared count
@@ -48,42 +50,47 @@ bool TfVector::Load(BinaryReader& in) {
     if (!in.GetVarint(&delta) || !in.GetVarint(&term_count) ||
         term_count == 0 || term_count > 0xFFFFFFFFull ||
         (i > 0 && delta == 0)) {
-      entries_.clear();
+      hashes_.clear();
+      counts_.clear();
       return false;
     }
     prev_hash += delta;
-    entries_.push_back(Entry{prev_hash, static_cast<uint32_t>(term_count)});
+    hashes_.push_back(prev_hash);
+    counts_.push_back(static_cast<uint32_t>(term_count));
   }
   return true;
 }
 
 double TfVector::Norm() const {
   double sq = 0.0;
-  for (const Entry& e : entries_) {
-    sq += static_cast<double>(e.count) * static_cast<double>(e.count);
+  for (const uint32_t count : counts_) {
+    sq += static_cast<double>(count) * static_cast<double>(count);
   }
   return std::sqrt(sq);
 }
 
-double TfVector::CosineSimilarity(const TfVector& other) const {
-  if (entries_.empty() || other.entries_.empty()) return 0.0;
-  double dot = 0.0;
+uint64_t TfVector::DotExact(const TfVector& a, const TfVector& b) {
+  uint64_t dot = 0;
   size_t i = 0;
   size_t j = 0;
-  while (i < entries_.size() && j < other.entries_.size()) {
-    if (entries_[i].term_hash < other.entries_[j].term_hash) {
+  while (i < a.hashes_.size() && j < b.hashes_.size()) {
+    if (a.hashes_[i] < b.hashes_[j]) {
       ++i;
-    } else if (entries_[i].term_hash > other.entries_[j].term_hash) {
+    } else if (a.hashes_[i] > b.hashes_[j]) {
       ++j;
     } else {
-      dot += static_cast<double>(entries_[i].count) *
-             static_cast<double>(other.entries_[j].count);
+      dot += static_cast<uint64_t>(a.counts_[i]) * b.counts_[j];
       ++i;
       ++j;
     }
   }
+  return dot;
+}
+
+double TfVector::SimilarityFromDot(uint64_t dot, const TfVector& other) const {
+  if (hashes_.empty() || other.hashes_.empty()) return 0.0;
   const double denom = Norm() * other.Norm();
-  return denom == 0.0 ? 0.0 : dot / denom;
+  return denom == 0.0 ? 0.0 : static_cast<double>(dot) / denom;
 }
 
 }  // namespace firehose

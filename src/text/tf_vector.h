@@ -1,6 +1,7 @@
 #ifndef FIREHOSE_TEXT_TF_VECTOR_H_
 #define FIREHOSE_TEXT_TF_VECTOR_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 #include <vector>
@@ -13,8 +14,11 @@ namespace firehose {
 /// (non-hashed) content-similarity baseline the paper compares SimHash
 /// against in §3: cosine similarity over token frequencies.
 ///
-/// Tokens are identified by their 64-bit FNV-1a hashes; entries are kept
-/// sorted by token hash so dot products run in linear-merge time.
+/// Tokens are identified by their 64-bit FNV-1a hashes, kept sorted so
+/// dot products run in linear-merge time. Storage is structure-of-arrays
+/// — a hash lane and a count lane with matching indices — so the SIMD
+/// sparse-dot kernels (src/core/kernels/) can stream the hash lane as a
+/// contiguous array without gathering through struct padding.
 class TfVector {
  public:
   TfVector() = default;
@@ -22,8 +26,24 @@ class TfVector {
   /// Builds the vector from whitespace-tokenized `text`.
   static TfVector FromText(std::string_view text);
 
+  /// Exact integer dot product of two vectors: sum of count products
+  /// over the terms they share. Every u32×u32 product and the running
+  /// sum fit u64 for any realistic document, and integer addition is
+  /// order-free — which is why the SIMD kernels are bit-identical to
+  /// this scalar definition (a float FMA version would not be: it
+  /// reassociates).
+  static uint64_t DotExact(const TfVector& a, const TfVector& b);
+
+  /// Cosine similarity given a precomputed DotExact result, so callers
+  /// that route the dot through a dispatched kernel share the exact
+  /// normalization (and the empty-vector convention) with
+  /// CosineSimilarity.
+  double SimilarityFromDot(uint64_t dot, const TfVector& other) const;
+
   /// Cosine similarity in [0, 1]; 0 when either vector is empty.
-  double CosineSimilarity(const TfVector& other) const;
+  double CosineSimilarity(const TfVector& other) const {
+    return SimilarityFromDot(DotExact(*this, other), other);
+  }
 
   /// Cosine distance = 1 - similarity.
   double CosineDistance(const TfVector& other) const {
@@ -31,8 +51,14 @@ class TfVector {
   }
 
   /// Number of distinct terms.
-  size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  size_t size() const { return hashes_.size(); }
+  bool empty() const { return hashes_.empty(); }
+
+  /// Lane views: term_hashes()[i] is strictly increasing and pairs with
+  /// term_counts()[i] > 0. Valid for size() elements; invalidated by
+  /// Load.
+  const uint64_t* term_hashes() const { return hashes_.data(); }
+  const uint32_t* term_counts() const { return counts_.data(); }
 
   /// L2 norm of the frequency vector.
   double Norm() const;
@@ -47,11 +73,9 @@ class TfVector {
   bool Load(BinaryReader& in);
 
  private:
-  struct Entry {
-    uint64_t term_hash;
-    uint32_t count;
-  };
-  std::vector<Entry> entries_;  // sorted by term_hash
+  // Parallel sorted lanes; entry i is (hashes_[i], counts_[i]).
+  std::vector<uint64_t> hashes_;
+  std::vector<uint32_t> counts_;
 };
 
 }  // namespace firehose

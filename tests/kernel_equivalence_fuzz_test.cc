@@ -1,0 +1,363 @@
+// Cross-kernel differential fuzz harness (DESIGN.md §4k).
+//
+// Every SIMD variant of the two kernel primitives must be bit-identical
+// to the scalar reference — decisions AND counters — or runtime dispatch
+// would make diversification results machine-dependent. The harness
+// drives each variant returned by AvailableKernelOps() against the
+// scalar ops (and against independent re-implementations here, so a bug
+// shared by scalar.cc and the SIMD ports cannot self-certify) across
+// seeded random inputs that concentrate on the edges where vector code
+// breaks: misaligned bases, short tails (0..65 lanes), duplicate
+// fingerprints, λc extremes, and ring states whose scan crosses the
+// wrap boundary.
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/coverage_kernel.h"
+#include "src/core/kernels/dispatch.h"
+#include "src/core/thresholds.h"
+#include "src/stream/post_bin.h"
+#include "src/util/random.h"
+
+namespace firehose {
+namespace {
+
+using kernels::AvailableKernelOps;
+using kernels::KernelOps;
+using kernels::KernelOpsFor;
+using kernels::KernelVariant;
+using kernels::kNoHit;
+
+// Independent oracle for find_newest_within: one-wide, std::popcount.
+size_t ReferenceFindNewest(const std::vector<uint64_t>& hashes, size_t lo,
+                           size_t hi, uint64_t probe, int lambda_c) {
+  for (size_t j = hi; j-- > lo;) {
+    if (static_cast<int>(std::popcount(hashes[j] ^ probe)) <= lambda_c) {
+      return j;
+    }
+  }
+  return kNoHit;
+}
+
+// Independent oracle for sparse_dot: quadratic pair enumeration, so it
+// does not share the merge-join structure under test.
+uint64_t ReferenceSparseDot(const std::vector<uint64_t>& a_hash,
+                            const std::vector<uint32_t>& a_count,
+                            const std::vector<uint64_t>& b_hash,
+                            const std::vector<uint32_t>& b_count) {
+  uint64_t dot = 0;
+  for (size_t i = 0; i < a_hash.size(); ++i) {
+    for (size_t j = 0; j < b_hash.size(); ++j) {
+      if (a_hash[i] == b_hash[j]) {
+        dot += static_cast<uint64_t>(a_count[i]) * b_count[j];
+      }
+    }
+  }
+  return dot;
+}
+
+// A fingerprint within `flips` bit flips of `probe` — plants hits at
+// controlled Hamming distances.
+uint64_t NearProbe(Rng& rng, uint64_t probe, int flips) {
+  uint64_t h = probe;
+  for (int f = 0; f < flips; ++f) {
+    h ^= uint64_t{1} << rng.UniformInt(64);
+  }
+  return h;
+}
+
+const int kLambdas[] = {-1, 0, 3, 18, 64};
+
+TEST(KernelEquivalenceFuzz, ReportsAtLeastScalar) {
+  const std::vector<const KernelOps*> variants = AvailableKernelOps();
+  ASSERT_FALSE(variants.empty());
+  EXPECT_EQ(variants.front()->variant, KernelVariant::kScalar);
+  ASSERT_NE(KernelOpsFor(KernelVariant::kScalar), nullptr);
+  // Ascending, no duplicates.
+  for (size_t i = 1; i < variants.size(); ++i) {
+    EXPECT_LT(static_cast<int>(variants[i - 1]->variant),
+              static_cast<int>(variants[i]->variant));
+  }
+}
+
+TEST(KernelEquivalenceFuzz, FindNewestWithinMatchesOracle) {
+  Rng rng(0xF1DE5);
+  const std::vector<const KernelOps*> variants = AvailableKernelOps();
+
+  for (int round = 0; round < 400; ++round) {
+    // Short tails 0..65 dominate; a sprinkle of larger lanes exercises
+    // the wide-iteration + prefetch paths.
+    const size_t n = round % 4 == 0
+                         ? 66 + static_cast<size_t>(rng.UniformInt(4031))
+                         : static_cast<size_t>(rng.UniformInt(66));
+    const uint64_t probe = rng.Next();
+    std::vector<uint64_t> hashes(n);
+    for (size_t i = 0; i < n; ++i) {
+      switch (rng.UniformInt(4)) {
+        case 0:  // planted near-hit at a random small distance
+          hashes[i] = NearProbe(rng, probe, static_cast<int>(rng.UniformInt(20)));
+          break;
+        case 1:  // exact duplicate of the probe
+          hashes[i] = probe;
+          break;
+        case 2:  // duplicate of an earlier lane, if any
+          hashes[i] = i > 0 ? hashes[rng.UniformInt(i)] : rng.Next();
+          break;
+        default:
+          hashes[i] = rng.Next();
+      }
+    }
+    for (const int lambda_c : kLambdas) {
+      // Sweep [lo, hi) windows, including empty and full.
+      for (int w = 0; w < 8; ++w) {
+        const size_t lo = static_cast<size_t>(rng.UniformInt(n + 1));
+        const size_t hi = lo + static_cast<size_t>(rng.UniformInt(n + 1 - lo));
+        const size_t want =
+            ReferenceFindNewest(hashes, lo, hi, probe, lambda_c);
+        for (const KernelOps* ops : variants) {
+          EXPECT_EQ(ops->find_newest_within(hashes.data(), lo, hi, probe,
+                                            lambda_c),
+                    want)
+              << ops->name << " n=" << n << " lo=" << lo << " hi=" << hi
+              << " lambda_c=" << lambda_c << " round=" << round;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceFuzz, FindNewestWithinMisalignedBases) {
+  // SIMD loads anchored at hashes.data() + offset for every offset in a
+  // vector width: catches alignment assumptions and tail masks.
+  Rng rng(0xA11C4);
+  const std::vector<const KernelOps*> variants = AvailableKernelOps();
+  const uint64_t probe = rng.Next();
+  std::vector<uint64_t> hashes(96);
+  for (auto& h : hashes) {
+    h = rng.Bernoulli(0.3) ? NearProbe(rng, probe, 5) : rng.Next();
+  }
+  for (size_t lo = 0; lo < 16; ++lo) {
+    for (size_t hi = lo; hi <= hashes.size(); ++hi) {
+      for (const int lambda_c : kLambdas) {
+        const size_t want =
+            ReferenceFindNewest(hashes, lo, hi, probe, lambda_c);
+        for (const KernelOps* ops : variants) {
+          ASSERT_EQ(ops->find_newest_within(hashes.data(), lo, hi, probe,
+                                            lambda_c),
+                    want)
+              << ops->name << " lo=" << lo << " hi=" << hi
+              << " lambda_c=" << lambda_c;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceFuzz, SparseDotMatchesOracle) {
+  Rng rng(0xD07);
+  const std::vector<const KernelOps*> variants = AvailableKernelOps();
+
+  for (int round = 0; round < 300; ++round) {
+    const size_t a_n = static_cast<size_t>(rng.UniformInt(66));
+    const size_t b_n = round % 3 == 0
+                           ? 66 + static_cast<size_t>(rng.UniformInt(446))
+                           : static_cast<size_t>(rng.UniformInt(66));
+    // Strictly increasing hash lanes from a small shared universe, so
+    // overlap is common; counts stress the u32×u32 product range.
+    auto make = [&](size_t n) {
+      std::set<uint64_t> picked;
+      while (picked.size() < n) {
+        picked.insert(rng.UniformInt(512) * 0x9E3779B97F4A7C15ULL);
+      }
+      return std::vector<uint64_t>(picked.begin(), picked.end());
+    };
+    std::vector<uint64_t> a_hash = make(a_n);
+    std::vector<uint64_t> b_hash = make(b_n);
+    std::sort(a_hash.begin(), a_hash.end());
+    std::sort(b_hash.begin(), b_hash.end());
+    std::vector<uint32_t> a_count(a_n);
+    std::vector<uint32_t> b_count(b_n);
+    for (auto& c : a_count) {
+      c = rng.Bernoulli(0.1) ? 0xFFFFFFFFu
+                             : static_cast<uint32_t>(rng.UniformInt(100) + 1);
+    }
+    for (auto& c : b_count) {
+      c = rng.Bernoulli(0.1) ? 0xFFFFFFFFu
+                             : static_cast<uint32_t>(rng.UniformInt(100) + 1);
+    }
+    const uint64_t want = ReferenceSparseDot(a_hash, a_count, b_hash, b_count);
+    for (const KernelOps* ops : variants) {
+      EXPECT_EQ(ops->sparse_dot(a_hash.data(), a_count.data(), a_n,
+                                b_hash.data(), b_count.data(), b_n),
+                want)
+          << ops->name << " a_n=" << a_n << " b_n=" << b_n
+          << " round=" << round;
+    }
+  }
+}
+
+// Builds a bin whose ring state (head offset, wrap split) is controlled
+// by pushing `evicted + live` entries and evicting the first `evicted`:
+// after the evictions head_ = evicted & mask, so later pushes wrap.
+PostBin MakeBin(Rng& rng, size_t evicted, size_t live, uint64_t probe) {
+  PostBin bin;
+  int64_t t = 0;
+  for (size_t i = 0; i < evicted; ++i) {
+    bin.Push({t, rng.Next(), static_cast<AuthorId>(rng.UniformInt(8)),
+              static_cast<PostId>(i)});
+    t += static_cast<int64_t>(rng.UniformInt(3));
+  }
+  if (evicted > 0) {
+    t += 1;  // strict gap so the eviction cutoff splits cleanly
+    bin.EvictOlderThan(t);
+  }
+  for (size_t i = 0; i < live; ++i) {
+    uint64_t h;
+    switch (rng.UniformInt(3)) {
+      case 0:
+        h = NearProbe(rng, probe, static_cast<int>(rng.UniformInt(24)));
+        break;
+      case 1:
+        h = probe;
+        break;
+      default:
+        h = rng.Next();
+    }
+    bin.Push({t, h, static_cast<AuthorId>(rng.UniformInt(8)),
+              static_cast<PostId>(evicted + i)});
+    t += static_cast<int64_t>(rng.UniformInt(3));
+  }
+  return bin;
+}
+
+// Full-scan oracle: per-entry newest-first walk applying the documented
+// accounting contract directly, independent of the segment/kernel
+// structure in ScanCoveredSimHashWithOps.
+template <typename AuthorSimilarFn>
+CoverageScanResult ReferenceScan(const PostBin& bin, int64_t cutoff_ms,
+                                 uint64_t probe, AuthorId author,
+                                 const DiversityThresholds& thresholds,
+                                 AuthorSimilarFn&& author_similar) {
+  CoverageScanResult result;
+  if (bin.empty()) return result;
+  result.pruned = bin.CountOlderThan(cutoff_ms);
+  const int lambda_c = thresholds.use_content ? thresholds.lambda_c : 64;
+  const size_t in_window = bin.size() - result.pruned;
+  for (size_t i = 0; i < in_window; ++i) {
+    const BinEntry entry = bin.FromNewest(i);
+    ++result.comparisons;
+    if (static_cast<int>(std::popcount(entry.simhash ^ probe)) <= lambda_c &&
+        (!thresholds.use_author || entry.author == author ||
+         author_similar(entry.author))) {
+      result.covered = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+TEST(KernelEquivalenceFuzz, ScanCoveredBitIdenticalAcrossVariantsAndSegments) {
+  Rng rng(0x5CA9);
+  const std::vector<const KernelOps*> variants = AvailableKernelOps();
+  const KernelOps& scalar = *KernelOpsFor(KernelVariant::kScalar);
+
+  // (evicted, live) pairs sweep head offsets and wrap splits: evicted=0
+  // is a single segment; larger evicted counts move the split point
+  // through (and past) vector-width boundaries.
+  const size_t kShapes[][2] = {{0, 0},   {0, 1},  {0, 7},   {0, 64},
+                               {1, 63},  {3, 61}, {5, 100}, {17, 47},
+                               {31, 33}, {60, 4}, {63, 65}, {120, 130}};
+  for (const auto& shape : kShapes) {
+    const uint64_t probe = rng.Next();
+    const PostBin bin = MakeBin(rng, shape[0], shape[1], probe);
+    PostBin::LaneSpan segments[2];
+    const size_t num_segments = bin.Segments(segments);
+    ASSERT_LE(num_segments, 2u);
+
+    for (const int lambda_c : kLambdas) {
+      for (const bool use_content : {true, false}) {
+        for (const bool use_author : {true, false}) {
+          DiversityThresholds thresholds;
+          thresholds.lambda_c = lambda_c;
+          thresholds.use_content = use_content;
+          thresholds.use_author = use_author;
+          // Odd authors are "similar" — exercises author-miss kernel
+          // re-entry (even authors != probe author fall through).
+          const AuthorId author = 1;
+          auto similar = [](AuthorId a) { return a % 2 == 1; };
+          // Cutoffs: everything in window, a mid-window prune, and
+          // everything pruned.
+          const int64_t newest_t =
+              bin.empty() ? 0 : bin.FromNewest(0).time_ms;
+          for (const int64_t cutoff :
+               {int64_t{0}, newest_t / 2, newest_t + 1}) {
+            const CoverageScanResult want =
+                ReferenceScan(bin, cutoff, probe, author, thresholds,
+                              similar);
+            const CoverageScanResult scalar_got = ScanCoveredSimHashWithOps(
+                scalar, bin, cutoff, probe, author, thresholds, similar);
+            EXPECT_EQ(scalar_got.covered, want.covered);
+            EXPECT_EQ(scalar_got.comparisons, want.comparisons);
+            EXPECT_EQ(scalar_got.pruned, want.pruned);
+            for (const KernelOps* ops : variants) {
+              const CoverageScanResult got = ScanCoveredSimHashWithOps(
+                  *ops, bin, cutoff, probe, author, thresholds, similar);
+              EXPECT_EQ(got.covered, want.covered)
+                  << ops->name << " evicted=" << shape[0]
+                  << " live=" << shape[1] << " segs=" << num_segments
+                  << " lambda_c=" << lambda_c << " cutoff=" << cutoff
+                  << " use_content=" << use_content
+                  << " use_author=" << use_author;
+              EXPECT_EQ(got.comparisons, want.comparisons)
+                  << ops->name << " evicted=" << shape[0]
+                  << " live=" << shape[1] << " lambda_c=" << lambda_c;
+              EXPECT_EQ(got.pruned, want.pruned) << ops->name;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceFuzz, ScanCoveredRandomizedRings) {
+  Rng rng(0xB1B0);
+  const std::vector<const KernelOps*> variants = AvailableKernelOps();
+
+  for (int round = 0; round < 120; ++round) {
+    const size_t evicted = static_cast<size_t>(rng.UniformInt(200));
+    const size_t live = static_cast<size_t>(rng.UniformInt(300));
+    const uint64_t probe = rng.Next();
+    const PostBin bin = MakeBin(rng, evicted, live, probe);
+    DiversityThresholds thresholds;
+    thresholds.lambda_c = kLambdas[rng.UniformInt(std::size(kLambdas))];
+    thresholds.use_content = rng.Bernoulli(0.9);
+    thresholds.use_author = rng.Bernoulli(0.7);
+    const AuthorId author = static_cast<AuthorId>(rng.UniformInt(8));
+    auto similar = [](AuthorId a) { return a % 3 == 0; };
+    const int64_t cutoff =
+        bin.empty() ? 0
+                    : rng.UniformRange(0, bin.FromNewest(0).time_ms + 1);
+    const CoverageScanResult want =
+        ReferenceScan(bin, cutoff, probe, author, thresholds, similar);
+    for (const KernelOps* ops : variants) {
+      const CoverageScanResult got = ScanCoveredSimHashWithOps(
+          *ops, bin, cutoff, probe, author, thresholds, similar);
+      EXPECT_EQ(got.covered, want.covered)
+          << ops->name << " round=" << round;
+      EXPECT_EQ(got.comparisons, want.comparisons)
+          << ops->name << " round=" << round;
+      EXPECT_EQ(got.pruned, want.pruned) << ops->name << " round=" << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace firehose
